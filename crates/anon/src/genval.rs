@@ -1,0 +1,100 @@
+//! Generalized attribute values.
+
+use pprl_hierarchy::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A generalized value: a taxonomy node for categorical attributes, or a
+/// half-open interval for continuous ones.
+///
+/// Intervals are explicit (not VGH node ids) because TDS and Mondrian build
+/// numeric intervals *on the fly* rather than following a static hierarchy
+/// — the paper's §VI-A critique (3) hinges on exactly this difference.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum GenVal {
+    /// Categorical generalization: a node of the attribute's taxonomy.
+    Cat(NodeId),
+    /// Continuous generalization: the half-open interval `[lo, hi)`.
+    Range {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl GenVal {
+    /// The taxonomy node, panicking for ranges.
+    pub fn as_cat(&self) -> NodeId {
+        match self {
+            GenVal::Cat(n) => *n,
+            GenVal::Range { lo, hi } => panic!("expected Cat, got [{lo}-{hi})"),
+        }
+    }
+
+    /// The interval bounds, panicking for categorical nodes.
+    pub fn as_range(&self) -> (f64, f64) {
+        match self {
+            GenVal::Range { lo, hi } => (*lo, *hi),
+            GenVal::Cat(n) => panic!("expected Range, got node {n}"),
+        }
+    }
+}
+
+impl PartialEq for GenVal {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (GenVal::Cat(a), GenVal::Cat(b)) => a == b,
+            (GenVal::Range { lo: a1, hi: a2 }, GenVal::Range { lo: b1, hi: b2 }) => {
+                a1.to_bits() == b1.to_bits() && a2.to_bits() == b2.to_bits()
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for GenVal {}
+
+impl std::hash::Hash for GenVal {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            GenVal::Cat(n) => {
+                state.write_u8(0);
+                state.write_u32(*n);
+            }
+            GenVal::Range { lo, hi } => {
+                state.write_u8(1);
+                state.write_u64(lo.to_bits());
+                state.write_u64(hi.to_bits());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_and_hashing() {
+        let mut set = HashSet::new();
+        set.insert(GenVal::Cat(3));
+        set.insert(GenVal::Range { lo: 1.0, hi: 2.0 });
+        assert!(set.contains(&GenVal::Cat(3)));
+        assert!(set.contains(&GenVal::Range { lo: 1.0, hi: 2.0 }));
+        assert!(!set.contains(&GenVal::Cat(4)));
+        assert!(!set.contains(&GenVal::Range { lo: 1.0, hi: 2.5 }));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(GenVal::Cat(7).as_cat(), 7);
+        assert_eq!(GenVal::Range { lo: 0.0, hi: 8.0 }.as_range(), (0.0, 8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Cat")]
+    fn wrong_accessor_panics() {
+        GenVal::Range { lo: 0.0, hi: 1.0 }.as_cat();
+    }
+}

@@ -1,0 +1,552 @@
+//! The shared top-down specialization engine.
+//!
+//! TDS \[7\], the paper's MaxEntropy method (§VI-A), and Mondrian \[24\] are
+//! all instances of one scheme: start from the fully generalized partition
+//! and repeatedly *specialize* a partition on one attribute, provided every
+//! resulting sub-partition still satisfies the anonymity requirement
+//! ("valid") and the method's metric approves ("beneficial"). They differ
+//! only in the metric ([`ChooserKind`]) and in how numeric intervals are
+//! refined ([`NumericStrategy`]).
+
+use crate::genval::GenVal;
+use crate::view::AnonymizedView;
+use pprl_data::DataSet;
+use pprl_hierarchy::{NodeId, Vgh};
+
+/// Attribute-selection metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChooserKind {
+    /// TDS: maximize information gain on the class label. With
+    /// `require_positive`, zero-gain specializations are *skipped* — the
+    /// paper's critique (1) of TDS as a blocking enabler.
+    InfoGain {
+        /// Skip specializations whose gain is not strictly positive.
+        require_positive: bool,
+    },
+    /// The paper's metric: maximize the entropy of the attribute's value
+    /// distribution within the partition; every specialization counts as
+    /// beneficial.
+    MaxEntropy,
+    /// Mondrian: pick the attribute with the widest normalized extent.
+    Widest,
+}
+
+/// How continuous attributes are specialized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NumericStrategy {
+    /// Follow the static interval VGH (the paper's method and DataFly).
+    StaticVgh,
+    /// Best-information-gain binary splits built on the fly (TDS \[7\]) —
+    /// the source of the paper's critique (3): gain hits zero quickly, so
+    /// the resulting interval "hierarchies" stay shallow.
+    BestGainBinary,
+    /// Median binary splits (Mondrian \[24\]).
+    MedianBinary,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TopDownConfig {
+    /// Anonymity requirement.
+    pub k: usize,
+    /// Attribute-selection metric.
+    pub chooser: ChooserKind,
+    /// Numeric refinement strategy.
+    pub numeric: NumericStrategy,
+    /// Optional distinct ℓ-diversity requirement on the class label
+    /// (Machanavajjhala et al. \[10\], the related-work extension): a
+    /// specialization is valid only if every resulting partition retains at
+    /// least ℓ distinct class labels.
+    pub diversity: Option<usize>,
+}
+
+/// A work-in-progress partition.
+struct Partition {
+    rows: Vec<u32>,
+    seq: Vec<GenVal>,
+    /// For continuous attributes under [`NumericStrategy::StaticVgh`], the
+    /// VGH node backing `seq[j]` (intervals alone cannot be specialized
+    /// without knowing their place in the tree).
+    numeric_nodes: Vec<Option<NodeId>>,
+}
+
+/// Bucketed rows: each entry is the bucket's new generalized value, the
+/// backing VGH node (static numeric refinement only), and the member rows.
+type Buckets = Vec<(GenVal, Option<NodeId>, Vec<u32>)>;
+
+/// A candidate specialization of one partition on one attribute.
+struct Candidate {
+    attr_pos: usize,
+    score: f64,
+    buckets: Buckets,
+}
+
+/// Runs the top-down engine and returns the anonymized view.
+pub fn top_down(data: &DataSet, qids: &[usize], config: &TopDownConfig) -> AnonymizedView {
+    let vghs: Vec<&Vgh> = qids
+        .iter()
+        .map(|&q| data.schema().attribute(q).vgh())
+        .collect();
+
+    let root_seq: Vec<GenVal> = vghs
+        .iter()
+        .map(|vgh| match vgh {
+            Vgh::Categorical(_) => GenVal::Cat(vgh.root()),
+            Vgh::Continuous(h) => {
+                let (lo, hi) = h.domain();
+                GenVal::Range { lo, hi }
+            }
+        })
+        .collect();
+    let root_nodes: Vec<Option<NodeId>> = vghs
+        .iter()
+        .map(|vgh| match (vgh, config.numeric) {
+            (Vgh::Continuous(_), NumericStrategy::StaticVgh) => Some(0),
+            _ => None,
+        })
+        .collect();
+
+    let mut stack = vec![Partition {
+        rows: (0..data.len() as u32).collect(),
+        seq: root_seq,
+        numeric_nodes: root_nodes,
+    }];
+    let mut finished: Vec<(u32, Vec<GenVal>)> = Vec::new();
+
+    while let Some(part) = stack.pop() {
+        match best_candidate(data, qids, &vghs, &part, config) {
+            None => {
+                for &row in &part.rows {
+                    finished.push((row, part.seq.clone()));
+                }
+            }
+            Some(cand) => {
+                for (val, node, rows) in cand.buckets {
+                    let mut seq = part.seq.clone();
+                    seq[cand.attr_pos] = val;
+                    let mut numeric_nodes = part.numeric_nodes.clone();
+                    if numeric_nodes[cand.attr_pos].is_some() || node.is_some() {
+                        numeric_nodes[cand.attr_pos] = node;
+                    }
+                    stack.push(Partition {
+                        rows,
+                        seq,
+                        numeric_nodes,
+                    });
+                }
+            }
+        }
+    }
+
+    AnonymizedView::from_assignments(data, qids.to_vec(), finished, Vec::new())
+}
+
+/// Finds the highest-scoring valid (and beneficial) specialization.
+fn best_candidate(
+    data: &DataSet,
+    qids: &[usize],
+    vghs: &[&Vgh],
+    part: &Partition,
+    config: &TopDownConfig,
+) -> Option<Candidate> {
+    let mut best: Option<Candidate> = None;
+    for (pos, (&qid, vgh)) in qids.iter().zip(vghs).enumerate() {
+        let Some(buckets) = propose_split(data, qid, vgh, part, pos, config) else {
+            continue;
+        };
+        // Validity: every non-empty bucket keeps the anonymity requirement.
+        if buckets.iter().any(|(_, _, rows)| rows.len() < config.k) {
+            continue;
+        }
+        // Optional ℓ-diversity validity: every bucket keeps ≥ ℓ distinct
+        // class labels.
+        if let Some(l) = config.diversity {
+            let diverse_enough = buckets.iter().all(|(_, _, rows)| {
+                let mut seen = vec![false; data.schema().class_count()];
+                let mut distinct = 0usize;
+                for &row in rows {
+                    let c = data.records()[row as usize].class() as usize;
+                    if !seen[c] {
+                        seen[c] = true;
+                        distinct += 1;
+                        if distinct >= l {
+                            break;
+                        }
+                    }
+                }
+                distinct >= l
+            });
+            if !diverse_enough {
+                continue;
+            }
+        }
+        let score = match config.chooser {
+            ChooserKind::InfoGain { require_positive } => {
+                let gain = info_gain(data, &part.rows, &buckets);
+                if require_positive && gain <= 1e-12 {
+                    continue; // not beneficial — skipped, per TDS
+                }
+                gain
+            }
+            ChooserKind::MaxEntropy => bucket_entropy(&buckets, part.rows.len()),
+            ChooserKind::Widest => match vgh {
+                Vgh::Categorical(t) => {
+                    let node = part.seq[pos].as_cat();
+                    t.spec_set_size(node) as f64 / t.leaf_count() as f64
+                }
+                Vgh::Continuous(h) => {
+                    let (lo, hi) = part.seq[pos].as_range();
+                    (hi - lo) / h.norm_factor()
+                }
+            },
+        };
+        if best.as_ref().map_or(true, |b| score > b.score) {
+            best = Some(Candidate {
+                attr_pos: pos,
+                score,
+                buckets,
+            });
+        }
+    }
+    best
+}
+
+/// Proposes the bucketing a specialization of attribute `qid` would create,
+/// or `None` if the attribute cannot be specialized further.
+fn propose_split(
+    data: &DataSet,
+    qid: usize,
+    vgh: &Vgh,
+    part: &Partition,
+    pos: usize,
+    config: &TopDownConfig,
+) -> Option<Buckets> {
+    match vgh {
+        Vgh::Categorical(t) => {
+            let node = part.seq[pos].as_cat();
+            if t.is_leaf(node) {
+                return None;
+            }
+            let children = t.children(node);
+            let mut buckets: Vec<(GenVal, Option<NodeId>, Vec<u32>)> = children
+                .iter()
+                .map(|&c| (GenVal::Cat(c), None, Vec::new()))
+                .collect();
+            for &row in &part.rows {
+                let leaf_pos = data.records()[row as usize].value(qid).as_cat();
+                let child_idx = children
+                    .iter()
+                    .position(|&c| {
+                        let (lo, hi) = t.leaf_range(c);
+                        (lo..hi).contains(&leaf_pos)
+                    })
+                    .expect("every leaf lies under exactly one child");
+                buckets[child_idx].2.push(row);
+            }
+            buckets.retain(|(_, _, rows)| !rows.is_empty());
+            Some(buckets)
+        }
+        Vgh::Continuous(h) => match config.numeric {
+            NumericStrategy::StaticVgh => {
+                let node = part.numeric_nodes[pos].expect("static numeric node tracked");
+                if h.is_leaf(node) {
+                    return None;
+                }
+                let children = h.children(node);
+                let mut buckets: Vec<(GenVal, Option<NodeId>, Vec<u32>)> = children
+                    .iter()
+                    .map(|&c| {
+                        let (lo, hi) = h.bounds(c);
+                        (GenVal::Range { lo, hi }, Some(c), Vec::new())
+                    })
+                    .collect();
+                for &row in &part.rows {
+                    let v = data.records()[row as usize].value(qid).as_num();
+                    let idx = children
+                        .iter()
+                        .position(|&c| {
+                            let (lo, hi) = h.bounds(c);
+                            v >= lo && v < hi
+                        })
+                        .expect("children tile parent");
+                    buckets[idx].2.push(row);
+                }
+                buckets.retain(|(_, _, rows)| !rows.is_empty());
+                Some(buckets)
+            }
+            NumericStrategy::BestGainBinary => {
+                binary_split(data, qid, part, pos, config.k, SplitRule::BestGain)
+            }
+            NumericStrategy::MedianBinary => {
+                binary_split(data, qid, part, pos, config.k, SplitRule::Median)
+            }
+        },
+    }
+}
+
+enum SplitRule {
+    BestGain,
+    Median,
+}
+
+/// Splits `[lo, hi)` at a cut `c` into `[lo, c)` / `[c, hi)`.
+fn binary_split(
+    data: &DataSet,
+    qid: usize,
+    part: &Partition,
+    pos: usize,
+    k: usize,
+    rule: SplitRule,
+) -> Option<Buckets> {
+    let (lo, hi) = part.seq[pos].as_range();
+    let mut values: Vec<(f64, u32)> = part
+        .rows
+        .iter()
+        .map(|&row| (data.records()[row as usize].value(qid).as_num(), row))
+        .collect();
+    values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+    // Candidate cuts between adjacent distinct values.
+    let mut cuts: Vec<f64> = Vec::new();
+    for w in values.windows(2) {
+        if w[0].0 < w[1].0 {
+            cuts.push(w[1].0);
+        }
+    }
+    if cuts.is_empty() {
+        return None; // all values identical: nothing to split
+    }
+
+    let cut = match rule {
+        SplitRule::Median => {
+            // The distinct value nearest to the median row.
+            let mid = values[values.len() / 2].0;
+            *cuts
+                .iter()
+                .min_by(|a, b| {
+                    (*a - mid)
+                        .abs()
+                        .partial_cmp(&(*b - mid).abs())
+                        .expect("finite")
+                })
+                .expect("non-empty cuts")
+        }
+        SplitRule::BestGain => {
+            let mut best = (f64::NEG_INFINITY, cuts[0]);
+            for &c in &cuts {
+                let split_at = values.partition_point(|&(v, _)| v < c);
+                if split_at < k || values.len() - split_at < k {
+                    continue; // invalid cut; skip early
+                }
+                let left: Vec<u32> = values[..split_at].iter().map(|&(_, r)| r).collect();
+                let right: Vec<u32> = values[split_at..].iter().map(|&(_, r)| r).collect();
+                let g = info_gain(
+                    data,
+                    &part.rows,
+                    &[
+                        (GenVal::Range { lo, hi: c }, None, left),
+                        (GenVal::Range { lo: c, hi }, None, right),
+                    ],
+                );
+                if g > best.0 {
+                    best = (g, c);
+                }
+            }
+            if best.0 == f64::NEG_INFINITY {
+                return None; // no valid cut
+            }
+            best.1
+        }
+    };
+
+    let split_at = values.partition_point(|&(v, _)| v < cut);
+    let left: Vec<u32> = values[..split_at].iter().map(|&(_, r)| r).collect();
+    let right: Vec<u32> = values[split_at..].iter().map(|&(_, r)| r).collect();
+    if left.is_empty() || right.is_empty() {
+        return None;
+    }
+    Some(vec![
+        (GenVal::Range { lo, hi: cut }, None, left),
+        (GenVal::Range { lo: cut, hi }, None, right),
+    ])
+}
+
+/// Shannon entropy of the class label over `rows`.
+fn class_entropy(data: &DataSet, rows: &[u32]) -> f64 {
+    let classes = data.schema().class_count();
+    let mut counts = vec![0usize; classes];
+    for &row in rows {
+        counts[data.records()[row as usize].class() as usize] += 1;
+    }
+    entropy_of_counts(&counts, rows.len())
+}
+
+/// Information gain of a split w.r.t. the class label.
+fn info_gain(
+    data: &DataSet,
+    parent_rows: &[u32],
+    buckets: &[(GenVal, Option<NodeId>, Vec<u32>)],
+) -> f64 {
+    let parent = class_entropy(data, parent_rows);
+    let n = parent_rows.len() as f64;
+    let children: f64 = buckets
+        .iter()
+        .map(|(_, _, rows)| rows.len() as f64 / n * class_entropy(data, rows))
+        .sum();
+    parent - children
+}
+
+/// Entropy of the bucket-occupancy distribution — the paper's "attribute
+/// with maximum entropy" metric, measured over the specialization's
+/// immediate branches.
+fn bucket_entropy(buckets: &[(GenVal, Option<NodeId>, Vec<u32>)], total: usize) -> f64 {
+    let counts: Vec<usize> = buckets.iter().map(|(_, _, rows)| rows.len()).collect();
+    entropy_of_counts(&counts, total)
+}
+
+fn entropy_of_counts(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_data::synth::{generate, SynthConfig};
+
+    fn data() -> DataSet {
+        generate(&SynthConfig {
+            records: 600,
+            seed: 11,
+        })
+    }
+
+    fn config(chooser: ChooserKind, numeric: NumericStrategy, k: usize) -> TopDownConfig {
+        TopDownConfig {
+            k,
+            chooser,
+            numeric,
+            diversity: None,
+        }
+    }
+
+    #[test]
+    fn max_entropy_produces_k_anonymous_partition() {
+        let d = data();
+        let view = top_down(
+            &d,
+            &[0, 1, 2, 3, 4],
+            &config(ChooserKind::MaxEntropy, NumericStrategy::StaticVgh, 8),
+        );
+        assert!(view.is_k_anonymous(8));
+        assert_eq!(view.covered_records(), d.len());
+        assert!(view.distinct_sequences() > 1, "root-only view is useless");
+    }
+
+    #[test]
+    fn larger_k_means_fewer_sequences() {
+        let d = data();
+        let count = |k: usize| {
+            top_down(
+                &d,
+                &[0, 1, 2, 3, 4],
+                &config(ChooserKind::MaxEntropy, NumericStrategy::StaticVgh, k),
+            )
+            .distinct_sequences()
+        };
+        let (c2, c16, c128) = (count(2), count(16), count(128));
+        assert!(c2 >= c16, "k=2 ({c2}) >= k=16 ({c16})");
+        assert!(c16 >= c128, "k=16 ({c16}) >= k=128 ({c128})");
+    }
+
+    #[test]
+    fn tds_benefit_test_only_prunes() {
+        // The greedy path with and without the benefit test is identical
+        // until the strict variant stops early (when the best gain is no
+        // longer positive), so requiring positive gain can only *reduce*
+        // the number of distinct sequences — the paper's critique (1).
+        let d = data();
+        let strict = top_down(
+            &d,
+            &[0, 1, 2, 3],
+            &config(
+                ChooserKind::InfoGain {
+                    require_positive: true,
+                },
+                NumericStrategy::BestGainBinary,
+                8,
+            ),
+        );
+        let lenient = top_down(
+            &d,
+            &[0, 1, 2, 3],
+            &config(
+                ChooserKind::InfoGain {
+                    require_positive: false,
+                },
+                NumericStrategy::BestGainBinary,
+                8,
+            ),
+        );
+        assert!(strict.is_k_anonymous(8));
+        assert!(lenient.is_k_anonymous(8));
+        assert!(
+            strict.distinct_sequences() <= lenient.distinct_sequences(),
+            "benefit test must prune: strict {} > lenient {}",
+            strict.distinct_sequences(),
+            lenient.distinct_sequences()
+        );
+    }
+
+    #[test]
+    fn mondrian_median_splits_are_valid() {
+        let d = data();
+        let view = top_down(
+            &d,
+            &[0, 1, 2, 3, 4],
+            &config(ChooserKind::Widest, NumericStrategy::MedianBinary, 16),
+        );
+        assert!(view.is_k_anonymous(16));
+        assert_eq!(view.covered_records(), d.len());
+    }
+
+    #[test]
+    fn k_equals_one_specializes_to_leaves() {
+        // With k = 1 every specialization is valid, so categorical values
+        // reach taxonomy leaves and the blocking step sees exact values.
+        let d = generate(&SynthConfig {
+            records: 60,
+            seed: 3,
+        });
+        let view = top_down(
+            &d,
+            &[1, 2],
+            &config(ChooserKind::MaxEntropy, NumericStrategy::StaticVgh, 1),
+        );
+        let schema = d.schema();
+        for class in view.classes() {
+            for (pos, val) in class.sequence.iter().enumerate() {
+                let vgh = schema.attribute(view.qids()[pos]).vgh();
+                let t = vgh.as_taxonomy().unwrap();
+                assert!(t.is_leaf(val.as_cat()), "k=1 must reach leaves");
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_of_counts_basics() {
+        assert_eq!(entropy_of_counts(&[10], 10), 0.0);
+        let h = entropy_of_counts(&[5, 5], 10);
+        assert!((h - 1.0).abs() < 1e-12);
+        assert_eq!(entropy_of_counts(&[], 0), 0.0);
+    }
+}

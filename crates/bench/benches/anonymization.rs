@@ -1,0 +1,33 @@
+//! Anonymization cost at paper scale (the paper measures 2.02 s / 2.03 s
+//! for D1 / D2 with its MaxEntropy method), for all four algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pprl_anon::{AnonymizationMethod, Anonymizer, KAnonymityRequirement};
+use pprl_bench::{Env, DEFAULT_K, DEFAULT_QIDS};
+
+fn bench_anon(c: &mut Criterion) {
+    let env = Env::new(20_108, 42);
+    let qids = Env::qids(DEFAULT_QIDS);
+
+    let mut g = c.benchmark_group("anonymize-paper-scale");
+    g.sample_size(10);
+    for method in [
+        AnonymizationMethod::MaxEntropy,
+        AnonymizationMethod::Datafly,
+        AnonymizationMethod::Tds,
+        AnonymizationMethod::Mondrian,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("k32", format!("{method:?}")),
+            &method,
+            |b, &method| {
+                let anon = Anonymizer::new(method, KAnonymityRequirement(DEFAULT_K));
+                b.iter(|| anon.anonymize(&env.d1, &qids).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_anon);
+criterion_main!(benches);

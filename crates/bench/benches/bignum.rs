@@ -1,0 +1,62 @@
+//! Microbenchmarks for the arithmetic substrate: the cost drivers behind
+//! every Paillier operation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pprl_bignum::{prime, random_bits, BigUint, Montgomery};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bignum(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a1024 = random_bits(&mut rng, 1024);
+    let b1024 = random_bits(&mut rng, 1024);
+    let m2048 = {
+        let mut m = random_bits(&mut rng, 2048);
+        m.set_bit(0);
+        m
+    };
+    let e1024 = random_bits(&mut rng, 1024);
+
+    c.bench_function("mul/1024x1024", |b| {
+        b.iter(|| black_box(&a1024).mul(black_box(&b1024)))
+    });
+    c.bench_function("div_rem/2048by1024", |b| {
+        let n = a1024.mul(&b1024);
+        b.iter(|| black_box(&n).div_rem(black_box(&b1024)).unwrap())
+    });
+    c.bench_function("mont_mul/2048", |b| {
+        let ctx = Montgomery::new(&m2048).unwrap();
+        let am = ctx.to_mont(&a1024);
+        let bm = ctx.to_mont(&b1024);
+        b.iter(|| ctx.mont_mul(black_box(&am), black_box(&bm)))
+    });
+    c.bench_function("mod_pow/1024exp_2048mod", |b| {
+        let ctx = Montgomery::new(&m2048).unwrap();
+        b.iter(|| ctx.pow(black_box(&a1024), black_box(&e1024)))
+    });
+
+    let mut g = c.benchmark_group("primes");
+    g.sample_size(10);
+    g.bench_function("gen_prime/512", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| prime::gen_prime(&mut rng, 512))
+    });
+    g.finish();
+
+    c.bench_function("gcd/1024", |b| {
+        b.iter(|| black_box(&a1024).gcd(black_box(&b1024)))
+    });
+    c.bench_function("mod_inverse/1024", |b| {
+        let m = {
+            let mut m = random_bits(&mut rng, 1024);
+            m.set_bit(0);
+            m
+        };
+        let x = BigUint::from_u64(0xDEAD_BEEF);
+        b.iter(|| black_box(&x).mod_inverse(black_box(&m)))
+    });
+}
+
+criterion_group!(benches, bench_bignum);
+criterion_main!(benches);

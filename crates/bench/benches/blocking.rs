@@ -1,0 +1,31 @@
+//! Blocking-step cost at paper scale (the paper measures 1.35 s) and the
+//! slack-rule microcosts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pprl_anon::AnonymizationMethod;
+use pprl_bench::{make_views, run_blocking, Env, DEFAULT_K, DEFAULT_QIDS, DEFAULT_THETA};
+
+fn bench_blocking(c: &mut Criterion) {
+    let env = Env::new(20_108, 42);
+    let qids = Env::qids(DEFAULT_QIDS);
+    let rule = env.rule(&qids, DEFAULT_THETA);
+    let views = make_views(&env, AnonymizationMethod::MaxEntropy, DEFAULT_K, &qids);
+
+    let mut g = c.benchmark_group("blocking");
+    g.sample_size(20);
+    g.bench_function("blocking_step/paper_scale_k32", |b| {
+        b.iter(|| run_blocking(&views, &rule))
+    });
+    g.finish();
+
+    // Ground truth computation (evaluation-side cost, not protocol cost).
+    let mut g = c.benchmark_group("evaluation");
+    g.sample_size(10);
+    g.bench_function("ground_truth/paper_scale", |b| {
+        b.iter(|| pprl_core::GroundTruth::compute(&env.d1, &env.d2, &qids, &rule))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Paillier primitive costs at the paper's 1024-bit key size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pprl_bignum::BigUint;
+use pprl_crypto::paillier::Keypair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_paillier(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let keys = Keypair::generate(&mut rng, 1024);
+    let (pk, sk) = keys.clone().split();
+    let c1 = pk.encrypt_u64(1234, &mut rng);
+    let c2 = pk.encrypt_u64(5678, &mut rng);
+
+    let mut g = c.benchmark_group("paillier-1024");
+    g.sample_size(20);
+    g.bench_function("keygen", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| Keypair::generate(&mut rng, 1024))
+    });
+    g.bench_function("encrypt", |b| {
+        b.iter(|| pk.encrypt_u64(black_box(42), &mut rng))
+    });
+    g.bench_function("decrypt_crt", |b| {
+        b.iter(|| sk.decrypt_u64(black_box(&c1)).unwrap())
+    });
+    g.bench_function("homomorphic_add", |b| {
+        b.iter(|| pk.add(black_box(&c1), black_box(&c2)))
+    });
+    g.bench_function("scalar_mul", |b| {
+        b.iter(|| pk.mul_plain(black_box(&c1), &BigUint::from_u64(987_654_321)))
+    });
+    g.bench_function("rerandomize", |b| {
+        b.iter(|| pk.rerandomize(black_box(&c1), &mut rng))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_paillier);
+criterion_main!(benches);

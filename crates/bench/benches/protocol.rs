@@ -1,0 +1,79 @@
+//! The §VI headline cost: one secure distance comparison at 1024-bit keys
+//! (the paper measures 0.43 s per continuous attribute on 2008 hardware).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pprl_crypto::paillier::Keypair;
+use pprl_crypto::protocol::party::run_wire_protocol;
+use pprl_crypto::protocol::party::QueryingParty;
+use pprl_crypto::protocol::{secure_squared_distance, secure_threshold_match};
+use pprl_crypto::CostLedger;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let keys = Keypair::generate(&mut rng, 1024);
+
+    let mut g = c.benchmark_group("protocol-1024");
+    g.sample_size(20);
+    g.bench_function("secure_distance/one_attribute", |b| {
+        let mut ledger = CostLedger::new();
+        b.iter(|| {
+            secure_squared_distance(keys.public(), keys.private(), 40, 31, &mut rng, &mut ledger)
+                .unwrap()
+        })
+    });
+    g.bench_function("secure_threshold_match/one_attribute", |b| {
+        let mut ledger = CostLedger::new();
+        b.iter(|| {
+            secure_threshold_match(
+                keys.public(),
+                keys.private(),
+                40,
+                31,
+                23,
+                &mut rng,
+                &mut ledger,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("wire_protocol/one_attribute", |b| {
+        let querier = QueryingParty::with_keys(keys.clone());
+        let mut ledger = CostLedger::new();
+        b.iter(|| run_wire_protocol(&querier, 40, 31, &mut rng, &mut ledger).unwrap())
+    });
+    g.bench_function("record_protocol/five_attributes", |b| {
+        use pprl_crypto::protocol::record::{
+            alice_record_message, bob_record_message, querier_reveal_record,
+        };
+        let mut ledger = CostLedger::new();
+        let a = [3u64, 7, 2, 9, 40_000];
+        let bv = [3u64, 7, 2, 9, 42_000];
+        let t = [0u64, 0, 0, 0, 23_040_000];
+        b.iter(|| {
+            let m1 = alice_record_message(keys.public(), &a, &mut rng, &mut ledger);
+            let m2 =
+                bob_record_message(keys.public(), &m1, &bv, &t, &mut rng, &mut ledger).unwrap();
+            querier_reveal_record(keys.private(), &m2, &mut ledger).unwrap()
+        })
+    });
+    g.finish();
+
+    // The set-intersection comparator's primitives.
+    let mut g = c.benchmark_group("commutative-1536");
+    g.sample_size(20);
+    let group = pprl_crypto::CommutativeGroup::default();
+    let key = pprl_crypto::CommutativeKey::generate(&group, &mut rng);
+    g.bench_function("hash_encrypt", |b| {
+        b.iter(|| key.encrypt_value(b"smith|1975-03-12"))
+    });
+    g.bench_function("sha256/64B", |b| {
+        let data = [0xABu8; 64];
+        b.iter(|| pprl_crypto::sha256(&data))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,524 @@
+//! Regenerates every table and figure of the paper's evaluation (§VI).
+//!
+//! ```sh
+//! cargo run --release -p pprl-bench --bin experiments -- all
+//! cargo run --release -p pprl-bench --bin experiments -- fig4 --records 20108
+//! ```
+//!
+//! Subcommands: `fig2 fig3 fig4 fig5 fig6 fig7 fig8 timing strategies
+//! baselines ablation-heuristics ablation-anonymizers all`.
+//! Options: `--records N` (records per linkage input; default 20108, the
+//! paper's scale), `--seed S`, `--csv DIR` (also write each table as CSV).
+
+use pprl_anon::{AnonymizationMethod, Anonymizer, KAnonymityRequirement};
+use pprl_bench::*;
+use pprl_core::GroundTruth;
+use pprl_crypto::paillier::Keypair;
+use pprl_crypto::protocol::secure_squared_distance;
+use pprl_crypto::CostLedger;
+use pprl_smc::{LabelingStrategy, SmcAllowance};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut records = 20_108usize;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--records" => {
+                records = args[i + 1].parse().expect("--records N");
+                i += 2;
+            }
+            "--seed" => {
+                seed = args[i + 1].parse().expect("--seed S");
+                i += 2;
+            }
+            "--csv" => {
+                let dir = std::path::PathBuf::from(&args[i + 1]);
+                std::fs::create_dir_all(&dir).expect("create --csv dir");
+                pprl_bench::set_csv_dir(Some(dir));
+                i += 2;
+            }
+            c if cmd.is_none() => {
+                cmd = Some(c.to_string());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cmd = cmd.unwrap_or_else(|| "all".to_string());
+
+    eprintln!("# scale: {records} records per input, seed {seed}");
+    let t = Instant::now();
+    let env = Env::new(records, seed);
+    eprintln!("# data generated in {:?}", t.elapsed());
+
+    match cmd.as_str() {
+        "fig2" => fig2(&env),
+        "fig3" => fig3(&env),
+        "fig4" => fig4(&env),
+        "fig5" => fig5(&env),
+        "fig6" => fig6(&env),
+        "fig7" => fig7(&env),
+        "fig8" => fig8(&env),
+        "timing" => timing(&env),
+        "strategies" => strategies(&env),
+        "baselines" => baselines(&env),
+        "ablation-heuristics" => ablation_heuristics(&env),
+        "ablation-anonymizers" => ablation_anonymizers(&env),
+        "all" => {
+            fig2(&env);
+            fig3(&env);
+            fig4(&env);
+            fig5(&env);
+            fig6(&env);
+            fig7(&env);
+            fig8(&env);
+            strategies(&env);
+            baselines(&env);
+            ablation_heuristics(&env);
+            ablation_anonymizers(&env);
+            timing(&env);
+        }
+        other => {
+            eprintln!("unknown subcommand {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Fig. 2 — number of distinct generalization sequences vs k, for
+/// TDS / MaxEntropy / DataFly, on the full (un-partitioned) data set.
+fn fig2(env: &Env) {
+    let qids = Env::qids(DEFAULT_QIDS);
+    let methods = [
+        ("TDS", AnonymizationMethod::Tds),
+        ("Entropy", AnonymizationMethod::MaxEntropy),
+        ("DataFly", AnonymizationMethod::Datafly),
+    ];
+    let mut rows = Vec::new();
+    for &k in &K_SWEEP {
+        let mut vals = Vec::new();
+        for (_, method) in &methods {
+            let view = Anonymizer::new(*method, KAnonymityRequirement(k))
+                .anonymize(&env.source, &qids)
+                .expect("valid inputs");
+            vals.push(view.distinct_sequences() as f64);
+        }
+        rows.push((k.to_string(), vals));
+    }
+    print_table(
+        "Fig. 2 — distinct generalization sequences vs anonymity requirement k",
+        "k",
+        &methods.iter().map(|(n, _)| n.to_string()).collect::<Vec<_>>(),
+        &rows,
+    );
+}
+
+/// Fig. 3 — blocking efficiency vs k (defaults otherwise).
+fn fig3(env: &Env) {
+    let qids = Env::qids(DEFAULT_QIDS);
+    let rule = env.rule(&qids, DEFAULT_THETA);
+    let mut rows = Vec::new();
+    for &k in &K_SWEEP {
+        let views = make_views(env, AnonymizationMethod::MaxEntropy, k, &qids);
+        let blocking = run_blocking(&views, &rule);
+        rows.push((k.to_string(), vec![100.0 * blocking.efficiency()]));
+    }
+    print_table(
+        "Fig. 3 — blocking efficiency (%) vs anonymity requirement k",
+        "k",
+        &["efficiency %".into()],
+        &rows,
+    );
+}
+
+/// Fig. 4 — recall vs k for the three heuristics (allowance 1.5 %).
+fn fig4(env: &Env) {
+    let qids = Env::qids(DEFAULT_QIDS);
+    let rule = env.rule(&qids, DEFAULT_THETA);
+    let truth = GroundTruth::compute(&env.d1, &env.d2, &qids, &rule);
+    let mut rows = Vec::new();
+    for &k in &K_SWEEP {
+        let views = make_views(env, AnonymizationMethod::MaxEntropy, k, &qids);
+        let blocking = run_blocking(&views, &rule);
+        let vals = HEURISTICS
+            .iter()
+            .map(|&h| {
+                100.0
+                    * run_point(
+                        env,
+                        &views,
+                        &rule,
+                        &blocking,
+                        &truth,
+                        h,
+                        SmcAllowance::Fraction(DEFAULT_ALLOWANCE),
+                    )
+                    .recall
+            })
+            .collect();
+        rows.push((k.to_string(), vals));
+    }
+    print_table(
+        "Fig. 4 — recall (%) vs anonymity requirement k",
+        "k",
+        &heuristic_names(),
+        &rows,
+    );
+}
+
+/// Fig. 5 — recall vs matching threshold θ, plus the §VI-C observation that
+/// blocking efficiency barely moves with θ (E9 ablation).
+fn fig5(env: &Env) {
+    let qids = Env::qids(DEFAULT_QIDS);
+    let views = make_views(env, AnonymizationMethod::MaxEntropy, DEFAULT_K, &qids);
+    let mut rows = Vec::new();
+    for &theta in &THETA_SWEEP {
+        let rule = env.rule(&qids, theta);
+        let blocking = run_blocking(&views, &rule);
+        let truth = GroundTruth::compute(&env.d1, &env.d2, &qids, &rule);
+        let mut vals: Vec<f64> = HEURISTICS
+            .iter()
+            .map(|&h| {
+                100.0
+                    * run_point(
+                        env,
+                        &views,
+                        &rule,
+                        &blocking,
+                        &truth,
+                        h,
+                        SmcAllowance::Fraction(DEFAULT_ALLOWANCE),
+                    )
+                    .recall
+            })
+            .collect();
+        vals.push(100.0 * blocking.efficiency());
+        rows.push((format!("{theta:.2}"), vals));
+    }
+    let mut series = heuristic_names();
+    series.push("blocking %".into());
+    print_table(
+        "Fig. 5 — recall (%) vs matching threshold θ (last column: §VI-C blocking-efficiency ablation)",
+        "theta",
+        &series,
+        &rows,
+    );
+}
+
+/// Fig. 6 — blocking efficiency vs number of QIDs.
+fn fig6(env: &Env) {
+    let mut rows = Vec::new();
+    for &q in &QID_SWEEP {
+        let qids = Env::qids(q);
+        let rule = env.rule(&qids, DEFAULT_THETA);
+        let views = make_views(env, AnonymizationMethod::MaxEntropy, DEFAULT_K, &qids);
+        let blocking = run_blocking(&views, &rule);
+        rows.push((q.to_string(), vec![100.0 * blocking.efficiency()]));
+    }
+    print_table(
+        "Fig. 6 — blocking efficiency (%) vs number of quasi-identifiers",
+        "qids",
+        &["efficiency %".into()],
+        &rows,
+    );
+}
+
+/// Fig. 7 — recall vs number of QIDs for the three heuristics.
+fn fig7(env: &Env) {
+    let mut rows = Vec::new();
+    for &q in &QID_SWEEP {
+        let qids = Env::qids(q);
+        let rule = env.rule(&qids, DEFAULT_THETA);
+        let views = make_views(env, AnonymizationMethod::MaxEntropy, DEFAULT_K, &qids);
+        let blocking = run_blocking(&views, &rule);
+        let truth = GroundTruth::compute(&env.d1, &env.d2, &qids, &rule);
+        let vals = HEURISTICS
+            .iter()
+            .map(|&h| {
+                100.0
+                    * run_point(
+                        env,
+                        &views,
+                        &rule,
+                        &blocking,
+                        &truth,
+                        h,
+                        SmcAllowance::Fraction(DEFAULT_ALLOWANCE),
+                    )
+                    .recall
+            })
+            .collect();
+        rows.push((q.to_string(), vals));
+    }
+    print_table(
+        "Fig. 7 — recall (%) vs number of quasi-identifiers",
+        "qids",
+        &heuristic_names(),
+        &rows,
+    );
+}
+
+/// Fig. 8 — recall vs SMC allowance (k = 32).
+fn fig8(env: &Env) {
+    let qids = Env::qids(DEFAULT_QIDS);
+    let rule = env.rule(&qids, DEFAULT_THETA);
+    let views = make_views(env, AnonymizationMethod::MaxEntropy, DEFAULT_K, &qids);
+    let blocking = run_blocking(&views, &rule);
+    let truth = GroundTruth::compute(&env.d1, &env.d2, &qids, &rule);
+    println!(
+        "\n(blocking efficiency at defaults: {:.2}% — sufficient allowance {:.2}%)",
+        100.0 * blocking.efficiency(),
+        100.0 * blocking.sufficient_allowance()
+    );
+    let mut rows = Vec::new();
+    for &pct in &ALLOWANCE_SWEEP {
+        let vals = HEURISTICS
+            .iter()
+            .map(|&h| {
+                100.0
+                    * run_point(
+                        env,
+                        &views,
+                        &rule,
+                        &blocking,
+                        &truth,
+                        h,
+                        SmcAllowance::Fraction(pct / 100.0),
+                    )
+                    .recall
+            })
+            .collect();
+        rows.push((format!("{pct:.2}%"), vals));
+    }
+    print_table(
+        "Fig. 8 — recall (%) vs SMC allowance (% of all record pairs)",
+        "allowance",
+        &heuristic_names(),
+        &rows,
+    );
+}
+
+/// §VI timing text — anonymization / blocking / secure-distance costs.
+fn timing(env: &Env) {
+    println!("\n## §VI timing measurements (this host; paper: 2.8 GHz PC, 2 GB)");
+    let qids = Env::qids(DEFAULT_QIDS);
+    let rule = env.rule(&qids, DEFAULT_THETA);
+
+    let anon = Anonymizer::new(
+        AnonymizationMethod::MaxEntropy,
+        KAnonymityRequirement(DEFAULT_K),
+    );
+    let t = Instant::now();
+    let r_view = anon.anonymize(&env.d1, &qids).expect("valid inputs");
+    let t_anon1 = t.elapsed();
+    let t = Instant::now();
+    let s_view = anon.anonymize(&env.d2, &qids).expect("valid inputs");
+    let t_anon2 = t.elapsed();
+    println!("anonymize D1 : {t_anon1:?}   (paper: 2.02 s)");
+    println!("anonymize D2 : {t_anon2:?}   (paper: 2.03 s)");
+
+    let engine = pprl_blocking::BlockingEngine::new(rule);
+    let t = Instant::now();
+    let blocking = engine.run(&r_view, &s_view).expect("views share QIDs");
+    let t_block = t.elapsed();
+    println!(
+        "blocking step: {t_block:?}   (paper: 1.35 s; efficiency here {:.2}%)",
+        100.0 * blocking.efficiency()
+    );
+
+    // One secure distance on a single continuous attribute, 1024-bit keys.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let keys = Keypair::generate(&mut rng, 1024);
+    let mut ledger = CostLedger::new();
+    let reps = 10;
+    let t = Instant::now();
+    for i in 0..reps {
+        let d = secure_squared_distance(
+            keys.public(),
+            keys.private(),
+            40 + i,
+            30,
+            &mut rng,
+            &mut ledger,
+        )
+        .expect("protocol runs");
+        assert!(d > 0);
+    }
+    let per = t.elapsed() / reps as u32;
+    println!("secure distance (1 continuous attribute, 1024-bit): {per:?}   (paper: 0.43 s)");
+
+    let non_crypto = t_anon1 + t_anon2 + t_block;
+    println!(
+        "=> all non-crypto costs equal ≈ {:.1} secure comparisons (paper: ≈13)",
+        non_crypto.as_secs_f64() / per.as_secs_f64()
+    );
+}
+
+/// E10 — the three §V-B labeling strategies.
+fn strategies(env: &Env) {
+    let qids = Env::qids(DEFAULT_QIDS);
+    let rule = env.rule(&qids, DEFAULT_THETA);
+    let views = make_views(env, AnonymizationMethod::MaxEntropy, DEFAULT_K, &qids);
+    let blocking = run_blocking(&views, &rule);
+    let truth = GroundTruth::compute(&env.d1, &env.d2, &qids, &rule);
+    let mut rows = Vec::new();
+    for (name, strategy) in [
+        ("max-precision", LabelingStrategy::MaximizePrecision),
+        ("max-recall", LabelingStrategy::MaximizeRecall),
+        ("classifier", LabelingStrategy::Classifier),
+    ] {
+        let (p, r) = run_strategy(
+            env,
+            &views,
+            &qids,
+            &rule,
+            &blocking,
+            &truth,
+            strategy,
+            SmcAllowance::Fraction(DEFAULT_ALLOWANCE),
+        );
+        rows.push((name.to_string(), vec![100.0 * p, 100.0 * r]));
+    }
+    print_table(
+        "E10 — §V-B labeling strategies (precision/recall %)",
+        "strategy",
+        &["precision %".into(), "recall %".into()],
+        &rows,
+    );
+}
+
+/// The two §I baselines.
+fn baselines(env: &Env) {
+    let qids = Env::qids(DEFAULT_QIDS);
+    let rule = env.rule(&qids, DEFAULT_THETA);
+    let smc = pprl_core::baselines::pure_smc(&env.d1, &env.d2);
+    let mut rows = vec![(
+        "pure-SMC".to_string(),
+        vec![smc.smc_invocations as f64, 100.0, 100.0],
+    )];
+    let intersect =
+        pprl_core::baselines::secure_set_intersection(&env.d1, &env.d2, &qids, &rule);
+    rows.push((
+        "set-inter".to_string(),
+        vec![
+            intersect.smc_invocations as f64,
+            100.0 * intersect.precision,
+            100.0 * intersect.recall,
+        ],
+    ));
+    for k in [2usize, DEFAULT_K] {
+        let s = pprl_core::baselines::pure_sanitization(
+            &env.d1,
+            &env.d2,
+            &qids,
+            &rule,
+            k,
+            AnonymizationMethod::MaxEntropy,
+        )
+        .expect("baseline runs");
+        rows.push((
+            format!("sanit-k{k}"),
+            vec![0.0, 100.0 * s.precision, 100.0 * s.recall],
+        ));
+    }
+    print_table(
+        "Baselines — cost and accuracy (§I comparison)",
+        "baseline",
+        &["invocations".into(), "precision %".into(), "recall %".into()],
+        &rows,
+    );
+}
+
+/// E11 — do the expected-distance heuristics actually beat random order?
+fn ablation_heuristics(env: &Env) {
+    use pprl_smc::SelectionHeuristic;
+    let qids = Env::qids(DEFAULT_QIDS);
+    let rule = env.rule(&qids, DEFAULT_THETA);
+    let views = make_views(env, AnonymizationMethod::MaxEntropy, DEFAULT_K, &qids);
+    let blocking = run_blocking(&views, &rule);
+    let truth = GroundTruth::compute(&env.d1, &env.d2, &qids, &rule);
+    let mut rows = Vec::new();
+    for pct in [0.5f64, 1.0, 1.5] {
+        let mut vals = Vec::new();
+        for h in HEURISTICS
+            .iter()
+            .copied()
+            .chain([SelectionHeuristic::Random { seed: 7 }])
+        {
+            vals.push(
+                100.0
+                    * run_point(
+                        env,
+                        &views,
+                        &rule,
+                        &blocking,
+                        &truth,
+                        h,
+                        SmcAllowance::Fraction(pct / 100.0),
+                    )
+                    .recall,
+            );
+        }
+        rows.push((format!("{pct:.1}%"), vals));
+    }
+    let mut series = heuristic_names();
+    series.push("Random".into());
+    print_table(
+        "E11 — heuristics vs random selection order (recall %, by allowance)",
+        "allowance",
+        &series,
+        &rows,
+    );
+}
+
+/// E12 — how much does the anonymizer choice matter downstream?
+fn ablation_anonymizers(env: &Env) {
+    let qids = Env::qids(DEFAULT_QIDS);
+    let rule = env.rule(&qids, DEFAULT_THETA);
+    let truth = GroundTruth::compute(&env.d1, &env.d2, &qids, &rule);
+    let mut rows = Vec::new();
+    for (name, method) in [
+        ("Entropy", AnonymizationMethod::MaxEntropy),
+        ("TDS", AnonymizationMethod::Tds),
+        ("DataFly", AnonymizationMethod::Datafly),
+        ("Mondrian", AnonymizationMethod::Mondrian),
+    ] {
+        let views = make_views(env, method, DEFAULT_K, &qids);
+        let blocking = run_blocking(&views, &rule);
+        let point = run_point(
+            env,
+            &views,
+            &rule,
+            &blocking,
+            &truth,
+            pprl_smc::SelectionHeuristic::MinAvgFirst,
+            SmcAllowance::Fraction(DEFAULT_ALLOWANCE),
+        );
+        rows.push((
+            name.to_string(),
+            vec![
+                views.r.distinct_sequences() as f64,
+                100.0 * point.efficiency,
+                100.0 * point.recall,
+            ],
+        ));
+    }
+    print_table(
+        "E12 — anonymizer choice at k = 32 (sequences / blocking % / recall %)",
+        "method",
+        &["sequences".into(), "blocking %".into(), "recall %".into()],
+        &rows,
+    );
+}
+
+fn heuristic_names() -> Vec<String> {
+    HEURISTICS.iter().map(|h| h.to_string()).collect()
+}

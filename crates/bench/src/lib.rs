@@ -1,0 +1,345 @@
+//! Shared machinery for the experiment harness: scenario setup, sweep
+//! runners that reuse expensive artifacts (anonymized views, ground truth)
+//! across series, and table printing.
+//!
+//! Every figure/table of the paper's §VI maps to one function here; the
+//! `experiments` binary is a thin CLI over them. See `DESIGN.md` for the
+//! experiment index and `EXPERIMENTS.md` for recorded results.
+
+use pprl_anon::{AnonymizationMethod, AnonymizedView, Anonymizer, KAnonymityRequirement};
+use pprl_blocking::{BlockingEngine, BlockingOutcome, MatchingRule, PairLabel};
+use pprl_core::{GroundTruth, SyntheticScenario};
+use pprl_data::DataSet;
+use pprl_smc::{
+    label_leftovers, LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode, SmcStep,
+};
+use serde::Serialize;
+
+/// The paper's k sweep (Figs. 2–4).
+pub const K_SWEEP: [usize; 10] = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+/// The paper's θ sweep (Fig. 5).
+pub const THETA_SWEEP: [f64; 10] = [0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.1];
+/// The paper's |QID| sweep (Figs. 6–7).
+pub const QID_SWEEP: [usize; 6] = [3, 4, 5, 6, 7, 8];
+/// The paper's allowance sweep in percent (Fig. 8).
+pub const ALLOWANCE_SWEEP: [f64; 7] = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0];
+/// The three heuristics of the §VI series.
+pub const HEURISTICS: [SelectionHeuristic; 3] = [
+    SelectionHeuristic::MaxLast,
+    SelectionHeuristic::MinFirst,
+    SelectionHeuristic::MinAvgFirst,
+];
+
+/// Paper defaults (§VI).
+pub const DEFAULT_K: usize = 32;
+/// Default θ.
+pub const DEFAULT_THETA: f64 = 0.05;
+/// Default allowance (fraction of all pairs).
+pub const DEFAULT_ALLOWANCE: f64 = 0.015;
+/// Default QID count.
+pub const DEFAULT_QIDS: usize = 5;
+
+/// Experiment environment: the two linkage inputs plus the full source
+/// (Fig. 2 anonymizes the un-partitioned data set).
+pub struct Env {
+    /// First linkage input.
+    pub d1: DataSet,
+    /// Second linkage input.
+    pub d2: DataSet,
+    /// The full cleaned source (3/2 × records-per-set).
+    pub source: DataSet,
+}
+
+impl Env {
+    /// Builds the environment at a given scale (records per linkage input).
+    pub fn new(records_per_set: usize, seed: u64) -> Self {
+        let scenario = SyntheticScenario::builder()
+            .records_per_set(records_per_set)
+            .seed(seed)
+            .build();
+        let (d1, d2) = scenario.data_sets();
+        let source = pprl_data::synth::generate(&pprl_data::synth::SynthConfig {
+            records: records_per_set / 2 * 3,
+            seed,
+        });
+        Env { d1, d2, source }
+    }
+
+    /// QID indices for a top-q sweep.
+    pub fn qids(q: usize) -> Vec<usize> {
+        (0..q).collect()
+    }
+
+    /// The uniform matching rule at θ.
+    pub fn rule(&self, qids: &[usize], theta: f64) -> MatchingRule {
+        MatchingRule::uniform(self.d1.schema(), qids, theta)
+    }
+}
+
+/// One anonymized pair of views (shared across heuristic series).
+pub struct Views {
+    /// D1's view.
+    pub r: AnonymizedView,
+    /// D2's view.
+    pub s: AnonymizedView,
+}
+
+/// Anonymizes both inputs with the same method and k.
+pub fn make_views(env: &Env, method: AnonymizationMethod, k: usize, qids: &[usize]) -> Views {
+    let anon = Anonymizer::new(method, KAnonymityRequirement(k));
+    Views {
+        r: anon.anonymize(&env.d1, qids).expect("valid anonymization inputs"),
+        s: anon.anonymize(&env.d2, qids).expect("valid anonymization inputs"),
+    }
+}
+
+/// Result of one (views, rule, heuristic, allowance) linkage evaluation.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunPoint {
+    /// Blocking efficiency.
+    pub efficiency: f64,
+    /// Recall against ground truth.
+    pub recall: f64,
+    /// Precision.
+    pub precision: f64,
+    /// SMC comparisons spent.
+    pub invocations: u64,
+}
+
+/// Runs blocking once for a views/rule pair.
+pub fn run_blocking(views: &Views, rule: &MatchingRule) -> BlockingOutcome {
+    BlockingEngine::new(rule.clone())
+        .run(&views.r, &views.s)
+        .expect("views share QIDs")
+}
+
+/// Runs the SMC step + maximize-precision scoring for one heuristic,
+/// reusing a precomputed blocking outcome and ground truth.
+#[allow(clippy::too_many_arguments)]
+pub fn run_point(
+    env: &Env,
+    views: &Views,
+    rule: &MatchingRule,
+    blocking: &BlockingOutcome,
+    truth: &GroundTruth,
+    heuristic: SelectionHeuristic,
+    allowance: SmcAllowance,
+) -> RunPoint {
+    let step = SmcStep {
+        heuristic,
+        allowance,
+        strategy: LabelingStrategy::MaximizePrecision,
+        mode: SmcMode::Oracle,
+    };
+    let smc = step
+        .run(
+            &env.d1,
+            &env.d2,
+            &views.r,
+            &views.s,
+            &blocking.unknown,
+            rule,
+            blocking.total_pairs,
+        )
+        .expect("oracle mode cannot fail");
+    let tp = blocking.matched_pairs + smc.matched_pairs.len() as u64;
+    RunPoint {
+        efficiency: blocking.efficiency(),
+        recall: if truth.total_matches() == 0 {
+            1.0
+        } else {
+            tp as f64 / truth.total_matches() as f64
+        },
+        precision: 1.0, // structural under maximize-precision
+        invocations: smc.invocations,
+    }
+}
+
+/// Full strategy evaluation (E10): runs one strategy end to end and scores
+/// precision *and* recall, including leftover declarations.
+#[allow(clippy::too_many_arguments)]
+pub fn run_strategy(
+    env: &Env,
+    views: &Views,
+    qids: &[usize],
+    rule: &MatchingRule,
+    blocking: &BlockingOutcome,
+    truth: &GroundTruth,
+    strategy: LabelingStrategy,
+    allowance: SmcAllowance,
+) -> (f64, f64) {
+    // Strategy 3 uses random selection (paper §V-B); 1 and 2 use the
+    // default heuristic.
+    let heuristic = match strategy {
+        LabelingStrategy::Classifier => SelectionHeuristic::Random { seed: 1 },
+        _ => SelectionHeuristic::MinAvgFirst,
+    };
+    let step = SmcStep {
+        heuristic,
+        allowance,
+        strategy,
+        mode: SmcMode::Oracle,
+    };
+    let smc = step
+        .run(
+            &env.d1,
+            &env.d2,
+            &views.r,
+            &views.s,
+            &blocking.unknown,
+            rule,
+            blocking.total_pairs,
+        )
+        .expect("oracle mode cannot fail");
+
+    // Score leftovers under the strategy.
+    let schema = env.d1.schema();
+    let vghs: Vec<&pprl_hierarchy::Vgh> =
+        qids.iter().map(|&q| schema.attribute(q).vgh()).collect();
+    let avg_ed = |pref: &pprl_blocking::ClassPairRef| {
+        let eds = pprl_smc::expected::expected_vector(
+            &vghs,
+            &rule.distances,
+            &views.r.classes()[pref.r_class as usize].sequence,
+            &views.s.classes()[pref.s_class as usize].sequence,
+        );
+        eds.iter().sum::<f64>() / eds.len().max(1) as f64
+    };
+    let leftover_scores: Vec<f64> = smc.leftovers.iter().map(|l| avg_ed(&l.class_pair)).collect();
+    let examined_scores: Vec<f64> = smc.examined.iter().map(|e| avg_ed(&e.class_pair)).collect();
+    let labels = label_leftovers(
+        strategy,
+        &smc.leftovers,
+        &leftover_scores,
+        &smc.examined,
+        &examined_scores,
+    );
+
+    let mut declared = blocking.matched_pairs + smc.matched_pairs.len() as u64;
+    let mut tp = declared; // blocking + SMC matches are sound
+    for (leftover, label) in smc.leftovers.iter().zip(&labels) {
+        if *label == PairLabel::Match {
+            declared += leftover.class_pair.pairs - leftover.skip;
+            tp += pprl_core::count_matches_in_class_pair(
+                &env.d1,
+                &env.d2,
+                qids,
+                rule,
+                &views.r.classes()[leftover.class_pair.r_class as usize].rows,
+                &views.s.classes()[leftover.class_pair.s_class as usize].rows,
+                leftover.skip,
+            );
+        }
+    }
+    let precision = if declared == 0 {
+        1.0
+    } else {
+        tp as f64 / declared as f64
+    };
+    let recall = if truth.total_matches() == 0 {
+        1.0
+    } else {
+        tp as f64 / truth.total_matches() as f64
+    };
+    (precision, recall)
+}
+
+/// Optional directory for CSV copies of every printed table.
+static CSV_DIR: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
+
+/// Enables CSV export (call once, before any table is printed).
+pub fn set_csv_dir(dir: Option<std::path::PathBuf>) {
+    let _ = CSV_DIR.set(dir);
+}
+
+/// Prints an aligned table: header + rows of (x, series values). With CSV
+/// export enabled, also writes `<slug>.csv` into the chosen directory.
+pub fn print_table(title: &str, x_label: &str, series: &[String], rows: &[(String, Vec<f64>)]) {
+    println!("\n## {title}");
+    print!("{x_label:>12}");
+    for s in series {
+        print!(" {s:>14}");
+    }
+    println!();
+    for (x, vals) in rows {
+        print!("{x:>12}");
+        for v in vals {
+            print!(" {v:>14.4}");
+        }
+        println!();
+    }
+
+    if let Some(Some(dir)) = CSV_DIR.get() {
+        let slug: String = title
+            .chars()
+            .take_while(|&c| c != '—')
+            .collect::<String>()
+            .trim()
+            .to_lowercase()
+            .replace('.', "")
+            .replace(' ', "_");
+        let mut csv = format!("{x_label},{}\n", series.join(","));
+        for (x, vals) in rows {
+            let vals: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();
+            csv.push_str(&format!("{x},{}\n", vals.join(",")));
+        }
+        let path = dir.join(format!("{slug}.csv"));
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("# csv export to {} failed: {e}", path.display());
+        } else {
+            eprintln!("# wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_and_point_smoke() {
+        let env = Env::new(200, 3);
+        assert_eq!(env.d1.len(), 200);
+        assert_eq!(env.source.len(), 300);
+        let qids = Env::qids(5);
+        let rule = env.rule(&qids, DEFAULT_THETA);
+        let views = make_views(&env, AnonymizationMethod::MaxEntropy, 8, &qids);
+        let blocking = run_blocking(&views, &rule);
+        let truth = GroundTruth::compute(&env.d1, &env.d2, &qids, &rule);
+        let point = run_point(
+            &env,
+            &views,
+            &rule,
+            &blocking,
+            &truth,
+            SelectionHeuristic::MinAvgFirst,
+            SmcAllowance::Fraction(0.015),
+        );
+        assert!(point.efficiency > 0.0);
+        assert!(point.recall >= 0.0 && point.recall <= 1.0);
+        assert_eq!(point.precision, 1.0);
+    }
+
+    #[test]
+    fn strategies_tradeoff_direction() {
+        let env = Env::new(150, 5);
+        let qids = Env::qids(5);
+        let rule = env.rule(&qids, DEFAULT_THETA);
+        let views = make_views(&env, AnonymizationMethod::MaxEntropy, 16, &qids);
+        let blocking = run_blocking(&views, &rule);
+        let truth = GroundTruth::compute(&env.d1, &env.d2, &qids, &rule);
+        let allowance = SmcAllowance::Pairs(200);
+        let (p1, r1) = run_strategy(
+            &env, &views, &qids, &rule, &blocking, &truth,
+            LabelingStrategy::MaximizePrecision, allowance,
+        );
+        let (p2, r2) = run_strategy(
+            &env, &views, &qids, &rule, &blocking, &truth,
+            LabelingStrategy::MaximizeRecall, allowance,
+        );
+        assert_eq!(p1, 1.0);
+        assert_eq!(r2, 1.0);
+        assert!(r1 <= r2);
+        assert!(p2 <= p1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Conversions: big-endian bytes, hexadecimal, decimal, and serde support.
+//!
+//! Serde serializes values as lowercase hex strings — human-readable in
+//! experiment dumps and free of endianness pitfalls.
+
+use crate::{BigUint, BignumError};
+use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::str::FromStr;
+
+impl BigUint {
+    /// Builds a value from big-endian bytes (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Serializes to minimal big-endian bytes (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zero bytes of the most significant limb.
+                let skip = (limb.leading_zeros() / 8) as usize;
+                out.extend_from_slice(&bytes[skip..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serializes to big-endian bytes left-padded to exactly `len` bytes.
+    ///
+    /// Returns an error-free best effort: panics if the value needs more than
+    /// `len` bytes (protocol messages size buffers from the key length, so
+    /// this indicates a logic error, not input error).
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(
+            raw.len() <= len,
+            "value needs {} bytes, buffer is {len}",
+            raw.len()
+        );
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parses a hexadecimal string (no prefix, case-insensitive).
+    pub fn from_hex(s: &str) -> Result<Self, BignumError> {
+        if s.is_empty() {
+            return Err(BignumError::Parse("empty hex string".into()));
+        }
+        let mut bytes = Vec::with_capacity(s.len() / 2 + 1);
+        let s = if s.len() % 2 == 1 {
+            format!("0{s}")
+        } else {
+            s.to_string()
+        };
+        for pair in s.as_bytes().chunks(2) {
+            let hi = hex_digit(pair[0])?;
+            let lo = hex_digit(pair[1])?;
+            bytes.push((hi << 4) | lo);
+        }
+        Ok(BigUint::from_bytes_be(&bytes))
+    }
+
+    /// Lowercase hexadecimal rendering ("0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::with_capacity(self.limbs.len() * 16);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        s
+    }
+
+    /// Decimal rendering.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Peel 19 decimal digits at a time (largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut n = self.clone();
+        let mut parts: Vec<u64> = Vec::new();
+        while !n.is_zero() {
+            let (q, r) = n.div_rem_u64(CHUNK).expect("chunk is non-zero");
+            parts.push(r);
+            n = q;
+        }
+        let mut s = String::new();
+        for (i, part) in parts.iter().enumerate().rev() {
+            if i == parts.len() - 1 {
+                s.push_str(&part.to_string());
+            } else {
+                s.push_str(&format!("{part:019}"));
+            }
+        }
+        s
+    }
+
+    /// Parses a decimal string.
+    pub fn from_decimal(s: &str) -> Result<Self, BignumError> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(BignumError::Parse(format!("invalid decimal: {s:?}")));
+        }
+        let mut out = BigUint::zero();
+        for chunk in s.as_bytes().chunks(19) {
+            let digits = std::str::from_utf8(chunk).expect("ascii digits");
+            let v: u64 = digits
+                .parse()
+                .map_err(|e| BignumError::Parse(format!("{e}")))?;
+            out = out.mul_u64(10u64.pow(chunk.len() as u32));
+            out.add_u64_assign(v);
+        }
+        Ok(out)
+    }
+}
+
+fn hex_digit(b: u8) -> Result<u8, BignumError> {
+    match b {
+        b'0'..=b'9' => Ok(b - b'0'),
+        b'a'..=b'f' => Ok(b - b'a' + 10),
+        b'A'..=b'F' => Ok(b - b'A' + 10),
+        _ => Err(BignumError::Parse(format!("invalid hex digit {:?}", b as char))),
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_decimal())
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = BignumError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x") {
+            BigUint::from_hex(hex)
+        } else {
+            BigUint::from_decimal(s)
+        }
+    }
+}
+
+impl Serialize for BigUint {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_hex())
+    }
+}
+
+impl<'de> Deserialize<'de> for BigUint {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        BigUint::from_hex(&s).map_err(de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v = BigUint::from_u128(0x0102_0304_0506_0708_090a_0b0cu128);
+        let bytes = v.to_bytes_be();
+        assert_eq!(bytes[0], 0x01);
+        assert_eq!(BigUint::from_bytes_be(&bytes), v);
+    }
+
+    #[test]
+    fn bytes_leading_zeros_ignored() {
+        let v = BigUint::from_u64(0xABCD);
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 0xAB, 0xCD]), v);
+        assert_eq!(v.to_bytes_be(), vec![0xAB, 0xCD]);
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let v = BigUint::from_u64(0xFF);
+        assert_eq!(v.to_bytes_be_padded(4), vec![0, 0, 0, 0xFF]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer")]
+    fn padded_bytes_too_small_panics() {
+        BigUint::from_u128(1u128 << 64).to_bytes_be_padded(4);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+            let v = BigUint::from_hex(s).unwrap();
+            assert_eq!(v.to_hex(), s, "input {s}");
+            assert_eq!(BigUint::from_hex(&v.to_hex()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn hex_odd_length() {
+        assert_eq!(BigUint::from_hex("abc").unwrap().to_u64(), Some(0xabc));
+    }
+
+    #[test]
+    fn hex_invalid_digit() {
+        assert!(BigUint::from_hex("xyz").is_err());
+        assert!(BigUint::from_hex("").is_err());
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        let cases = [
+            "0",
+            "1",
+            "18446744073709551616", // 2^64
+            "340282366920938463463374607431768211456", // 2^128
+            "99999999999999999999999999999999999999",
+        ];
+        for s in cases {
+            assert_eq!(BigUint::from_decimal(s).unwrap().to_decimal(), s);
+        }
+    }
+
+    #[test]
+    fn decimal_rejects_garbage() {
+        assert!(BigUint::from_decimal("12a3").is_err());
+        assert!(BigUint::from_decimal("").is_err());
+        assert!(BigUint::from_decimal("-5").is_err());
+    }
+
+    #[test]
+    fn from_str_dispatches_on_prefix() {
+        assert_eq!("0xff".parse::<BigUint>().unwrap().to_u64(), Some(255));
+        assert_eq!("255".parse::<BigUint>().unwrap().to_u64(), Some(255));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let v = BigUint::from_u64(255);
+        assert_eq!(format!("{v}"), "255");
+        assert_eq!(format!("{v:?}"), "BigUint(0xff)");
+    }
+}

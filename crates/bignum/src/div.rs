@@ -1,0 +1,268 @@
+//! Division with remainder: Knuth's Algorithm D, performed over 32-bit
+//! digits so that the quotient-digit estimation fits comfortably in `u64`
+//! intermediates. The 64→32-bit digit conversion costs a copy per division,
+//! which is negligible next to the O(n·m) core loop at Paillier sizes.
+
+use crate::{BigUint, BignumError};
+
+impl BigUint {
+    /// Computes `(self / divisor, self % divisor)`.
+    pub fn div_rem(&self, divisor: &BigUint) -> Result<(BigUint, BigUint), BignumError> {
+        if divisor.is_zero() {
+            return Err(BignumError::DivisionByZero);
+        }
+        if self < divisor {
+            return Ok((BigUint::zero(), self.clone()));
+        }
+        if let Some(d) = divisor.to_u64() {
+            let (q, r) = self.div_rem_u64(d)?;
+            return Ok((q, BigUint::from_u64(r)));
+        }
+
+        let u = to_u32_digits(self.limbs());
+        let v = to_u32_digits(divisor.limbs());
+        let (q, r) = knuth_d(&u, &v);
+        Ok((from_u32_digits(&q), from_u32_digits(&r)))
+    }
+
+    /// Computes `(self / d, self % d)` for a single-word divisor.
+    pub fn div_rem_u64(&self, d: u64) -> Result<(BigUint, u64), BignumError> {
+        if d == 0 {
+            return Err(BignumError::DivisionByZero);
+        }
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        Ok((BigUint::from_limbs(q), rem as u64))
+    }
+
+    /// `self % modulus`, panicking on a zero modulus.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).expect("modulus must be non-zero").1
+    }
+}
+
+impl std::ops::Div for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).expect("division by zero").0
+    }
+}
+
+impl std::ops::Rem for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        BigUint::rem(self, rhs)
+    }
+}
+
+/// Splits little-endian `u64` limbs into little-endian `u32` digits,
+/// dropping high zero digits.
+fn to_u32_digits(limbs: &[u64]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(limbs.len() * 2);
+    for &l in limbs {
+        out.push(l as u32);
+        out.push((l >> 32) as u32);
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// Reassembles little-endian `u32` digits into a normalized [`BigUint`].
+fn from_u32_digits(digits: &[u32]) -> BigUint {
+    let mut limbs = Vec::with_capacity(digits.len().div_ceil(2));
+    for pair in digits.chunks(2) {
+        let lo = pair[0] as u64;
+        let hi = pair.get(1).copied().unwrap_or(0) as u64;
+        limbs.push(lo | (hi << 32));
+    }
+    BigUint::from_limbs(limbs)
+}
+
+const BASE: u64 = 1 << 32;
+
+/// Knuth TAOCP vol. 2, Algorithm 4.3.1 D. Requires `u >= v`, `v.len() >= 2`,
+/// digits normalized (no leading zeros). Returns `(quotient, remainder)`.
+fn knuth_d(u: &[u32], v: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let n = v.len();
+    let m = u.len() - n;
+    debug_assert!(n >= 2);
+
+    // D1: normalize so the top divisor digit has its high bit set.
+    let shift = v[n - 1].leading_zeros();
+    let vn = shl_digits(v, shift);
+    let mut un = shl_digits(u, shift);
+    un.resize(u.len() + 1, 0); // extra high digit for the first iteration
+
+    let mut q = vec![0u32; m + 1];
+
+    // D2-D7: compute one quotient digit per iteration, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate qhat from the top two dividend digits.
+        let top = (un[j + n] as u64) * BASE + un[j + n - 1] as u64;
+        let mut qhat = top / vn[n - 1] as u64;
+        let mut rhat = top % vn[n - 1] as u64;
+        while qhat >= BASE
+            || qhat * vn[n - 2] as u64 > rhat * BASE + un[j + n - 2] as u64
+        {
+            qhat -= 1;
+            rhat += vn[n - 1] as u64;
+            if rhat >= BASE {
+                break;
+            }
+        }
+
+        // qhat may still equal BASE when the estimation loop exits via
+        // rhat >= BASE; clamp to BASE-1 (still >= the true digit, and the
+        // add-back in D6 repairs the off-by-one) so D4 cannot overflow u64.
+        qhat = qhat.min(BASE - 1);
+
+        // D4: multiply and subtract un[j..j+n+1] -= qhat * vn.
+        let mut borrow = 0i64;
+        let mut carry = 0u64;
+        for i in 0..n {
+            let p = qhat * vn[i] as u64 + carry;
+            carry = p >> 32;
+            let t = un[i + j] as i64 - borrow - (p as u32) as i64;
+            un[i + j] = t as u32;
+            borrow = if t < 0 { 1 } else { 0 };
+        }
+        let t = un[j + n] as i64 - borrow - carry as i64;
+        un[j + n] = t as u32;
+
+        // D5/D6: if we subtracted too much, add one divisor back.
+        if t < 0 {
+            qhat -= 1;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let s = un[i + j] as u64 + vn[i] as u64 + carry;
+                un[i + j] = s as u32;
+                carry = s >> 32;
+            }
+            un[j + n] = (un[j + n] as u64).wrapping_add(carry) as u32;
+        }
+
+        q[j] = qhat as u32;
+    }
+
+    // D8: denormalize the remainder.
+    let rem = shr_digits(&un[..n], shift);
+    while q.last() == Some(&0) {
+        q.pop();
+    }
+    (q, rem)
+}
+
+fn shl_digits(d: &[u32], shift: u32) -> Vec<u32> {
+    if shift == 0 {
+        return d.to_vec();
+    }
+    let mut out = Vec::with_capacity(d.len() + 1);
+    let mut carry = 0u32;
+    for &x in d {
+        out.push((x << shift) | carry);
+        carry = x >> (32 - shift);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+fn shr_digits(d: &[u32], shift: u32) -> Vec<u32> {
+    let mut out = d.to_vec();
+    if shift != 0 {
+        for i in 0..out.len() {
+            out[i] >>= shift;
+            if i + 1 < d.len() {
+                out[i] |= d[i + 1] << (32 - shift);
+            }
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(a: &BigUint, b: &BigUint) {
+        let (q, r) = a.div_rem(b).unwrap();
+        assert!(r < *b, "remainder must be < divisor");
+        let recomposed = &q.mul(b) + &r;
+        assert_eq!(recomposed, *a, "q*b + r must equal a");
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let a = BigUint::from_u64(5);
+        assert_eq!(
+            a.div_rem(&BigUint::zero()),
+            Err(BignumError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn small_divisions() {
+        let a = BigUint::from_u64(1000);
+        let b = BigUint::from_u64(7);
+        let (q, r) = a.div_rem(&b).unwrap();
+        assert_eq!(q.to_u64(), Some(142));
+        assert_eq!(r.to_u64(), Some(6));
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let a = BigUint::from_u64(3);
+        let b = BigUint::from_u128(1u128 << 80);
+        let (q, r) = a.div_rem(&b).unwrap();
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn multi_limb_division_roundtrips() {
+        let a = BigUint::from_u128(0xDEAD_BEEF_CAFE_BABE_0123_4567_89AB_CDEFu128);
+        let b = BigUint::from_u128(0x1_0000_0001_0000_0001u128);
+        check(&a, &b);
+    }
+
+    #[test]
+    fn stress_structured_operands() {
+        // Operands chosen to stress qhat correction paths (top digits near BASE).
+        let mut a = BigUint::one().shl(512);
+        a = &a - &BigUint::one();
+        let mut b = BigUint::one().shl(200);
+        b = &b - &BigUint::from_u64(1);
+        check(&a, &b);
+        let c = BigUint::one().shl(256);
+        check(&a, &c);
+        check(&c, &b);
+    }
+
+    #[test]
+    fn div_rem_u64_matches_general_path() {
+        let a = BigUint::from_u128(u128::MAX - 12345);
+        let (q1, r1) = a.div_rem_u64(97).unwrap();
+        let (q2, r2) = a.div_rem(&BigUint::from_u64(97)).unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(BigUint::from_u64(r1), r2);
+    }
+
+    #[test]
+    fn rem_operator() {
+        let a = BigUint::from_u64(100);
+        let m = BigUint::from_u64(7);
+        assert_eq!((&a % &m).to_u64(), Some(2));
+        assert_eq!((&a / &m).to_u64(), Some(14));
+    }
+}

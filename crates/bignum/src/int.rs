@@ -1,0 +1,192 @@
+//! Minimal signed big integer: just enough for the extended Euclidean
+//! algorithm (Bézout coefficients go negative). Not a general-purpose signed
+//! type — only the operations `egcd` needs are implemented.
+
+use crate::BigUint;
+use std::cmp::Ordering;
+
+/// Sign of a [`BigInt`]. Zero is always [`Sign::Plus`] with zero magnitude.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sign {
+    /// Non-negative.
+    Plus,
+    /// Strictly negative.
+    Minus,
+}
+
+/// Signed arbitrary-precision integer (sign + magnitude).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::one(),
+        }
+    }
+
+    /// A non-negative value from a magnitude.
+    pub fn from_biguint(mag: BigUint) -> Self {
+        BigInt {
+            sign: Sign::Plus,
+            mag,
+        }
+    }
+
+    /// Builds from sign and magnitude, normalizing `-0` to `+0`.
+    pub fn new(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// `true` iff negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> BigInt {
+        BigInt::new(
+            match self.sign {
+                Sign::Plus => Sign::Minus,
+                Sign::Minus => Sign::Plus,
+            },
+            self.mag.clone(),
+        )
+    }
+
+    /// Signed addition.
+    pub fn add(&self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Plus) => BigInt::new(Sign::Plus, &self.mag + &other.mag),
+            (Sign::Minus, Sign::Minus) => BigInt::new(Sign::Minus, &self.mag + &other.mag),
+            _ => {
+                // Opposite signs: subtract smaller magnitude from larger.
+                match self.mag.cmp(&other.mag) {
+                    Ordering::Equal => BigInt::zero(),
+                    Ordering::Greater => BigInt::new(self.sign, &self.mag - &other.mag),
+                    Ordering::Less => BigInt::new(other.sign, &other.mag - &self.mag),
+                }
+            }
+        }
+    }
+
+    /// Signed subtraction.
+    pub fn sub(&self, other: &BigInt) -> BigInt {
+        self.add(&other.neg())
+    }
+
+    /// Signed multiplication.
+    pub fn mul(&self, other: &BigInt) -> BigInt {
+        let sign = if self.sign == other.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
+        BigInt::new(sign, self.mag.mul(&other.mag))
+    }
+
+    /// Multiplies by an unsigned magnitude.
+    pub fn mul_biguint(&self, other: &BigUint) -> BigInt {
+        BigInt::new(self.sign, self.mag.mul(other))
+    }
+
+    /// Reduces into `[0, m)` — the canonical representative modulo `m`.
+    pub fn rem_euclid(&self, m: &BigUint) -> BigUint {
+        let r = self.mag.rem(m);
+        match self.sign {
+            Sign::Plus => r,
+            Sign::Minus => {
+                if r.is_zero() {
+                    r
+                } else {
+                    m - &r
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BigInt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_negative() {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> BigInt {
+        if v < 0 {
+            BigInt::new(Sign::Minus, BigUint::from_u64(v.unsigned_abs()))
+        } else {
+            BigInt::new(Sign::Plus, BigUint::from_u64(v as u64))
+        }
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        let z = BigInt::new(Sign::Minus, BigUint::zero());
+        assert_eq!(z, BigInt::zero());
+        assert!(!z.is_negative());
+    }
+
+    #[test]
+    fn signed_addition_table() {
+        for (a, b) in [(5i64, 3i64), (5, -3), (-5, 3), (-5, -3), (3, -5), (-3, 5)] {
+            assert_eq!(int(a).add(&int(b)), int(a + b), "{a} + {b}");
+            assert_eq!(int(a).sub(&int(b)), int(a - b), "{a} - {b}");
+            assert_eq!(int(a).mul(&int(b)), int(a * b), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn rem_euclid_wraps_negatives() {
+        let m = BigUint::from_u64(7);
+        assert_eq!(int(-1).rem_euclid(&m).to_u64(), Some(6));
+        assert_eq!(int(-7).rem_euclid(&m).to_u64(), Some(0));
+        assert_eq!(int(-15).rem_euclid(&m).to_u64(), Some(6));
+        assert_eq!(int(15).rem_euclid(&m).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn display_includes_sign() {
+        assert_eq!(format!("{}", int(-42)), "-42");
+        assert_eq!(format!("{}", int(42)), "42");
+    }
+}

@@ -1,0 +1,76 @@
+//! # pprl-bignum — arbitrary-precision integer arithmetic
+//!
+//! A from-scratch big-integer substrate sized for the needs of the Paillier
+//! cryptosystem used by the hybrid private-record-linkage protocol:
+//! 512-bit prime generation, 2048-bit modular exponentiation (mod `n²`),
+//! extended GCD / modular inverses, and CRT-friendly decompositions.
+//!
+//! The crate deliberately avoids external big-integer dependencies — it is
+//! one of the substrates the reproduction builds rather than imports.
+//!
+//! ## Layout
+//!
+//! * [`BigUint`] — unsigned magnitude, little-endian `u64` limbs.
+//! * [`BigInt`] — thin signed wrapper (sign + magnitude), used by the
+//!   extended Euclidean algorithm.
+//! * [`Montgomery`] — Montgomery multiplication context for odd moduli;
+//!   drives [`BigUint::mod_pow`].
+//! * [`prime`] — Miller–Rabin primality testing and random prime generation.
+//!
+//! ## Example
+//!
+//! ```
+//! use pprl_bignum::BigUint;
+//!
+//! let p = BigUint::from_u64(1_000_003);
+//! let a = BigUint::from_u64(1234);
+//! // Fermat: a^(p-1) = 1 (mod p) for prime p not dividing a.
+//! let e = &p - &BigUint::one();
+//! assert_eq!(a.mod_pow(&e, &p), BigUint::one());
+//! ```
+
+mod convert;
+mod div;
+mod gcd;
+mod int;
+mod modular;
+mod modpow;
+mod mul;
+pub mod prime;
+mod random;
+mod shift;
+mod uint;
+
+pub use int::{BigInt, Sign};
+pub use modular::Montgomery;
+pub use random::{random_below, random_bits};
+pub use uint::BigUint;
+
+/// Errors produced by bignum operations that can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BignumError {
+    /// Division or reduction by zero.
+    DivisionByZero,
+    /// Subtraction would underflow an unsigned magnitude.
+    Underflow,
+    /// The element has no inverse modulo the given modulus.
+    NotInvertible,
+    /// Montgomery arithmetic requires an odd modulus greater than one.
+    EvenModulus,
+    /// A textual representation could not be parsed.
+    Parse(String),
+}
+
+impl std::fmt::Display for BignumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BignumError::DivisionByZero => write!(f, "division by zero"),
+            BignumError::Underflow => write!(f, "unsigned subtraction underflow"),
+            BignumError::NotInvertible => write!(f, "element is not invertible"),
+            BignumError::EvenModulus => write!(f, "modulus must be odd and > 1"),
+            BignumError::Parse(s) => write!(f, "parse error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BignumError {}

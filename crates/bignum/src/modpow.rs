@@ -1,0 +1,169 @@
+//! Modular exponentiation: 4-bit windowed square-and-multiply over a
+//! Montgomery context for odd moduli, with a generic division-based fallback
+//! for even moduli (unused by Paillier but kept for API completeness).
+
+use crate::{BigUint, Montgomery};
+
+/// Window width in bits. 4 gives a 16-entry table: a good trade for
+/// 1024–2048-bit exponents (≈12% fewer multiplications than binary).
+const WINDOW: usize = 4;
+
+impl BigUint {
+    /// Computes `self^exp mod modulus`.
+    ///
+    /// Panics if `modulus` is zero; `modulus == 1` yields zero.
+    pub fn mod_pow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "mod_pow: zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        if modulus.is_odd() {
+            let ctx = Montgomery::new(modulus).expect("odd modulus > 1");
+            ctx.pow(self, exp)
+        } else {
+            mod_pow_binary(self, exp, modulus)
+        }
+    }
+}
+
+impl Montgomery {
+    /// `base^exp mod m` using this context (reusable across many calls with
+    /// the same modulus — Paillier encrypts thousands of values mod `n²`).
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(self.modulus());
+        }
+        let base_m = self.to_mont(base);
+
+        // Precompute base^0..base^(2^W - 1) in Montgomery form.
+        let mut table = Vec::with_capacity(1 << WINDOW);
+        table.push(self.one_mont());
+        table.push(base_m.clone());
+        for i in 2..(1 << WINDOW) {
+            table.push(self.mont_mul(&table[i - 1], &base_m));
+        }
+
+        let bits = exp.bits();
+        let mut acc = self.one_mont();
+        let mut started = false;
+        // Consume the exponent in aligned 4-bit windows, MSB first.
+        let top_window = bits.div_ceil(WINDOW);
+        for w in (0..top_window).rev() {
+            if started {
+                for _ in 0..WINDOW {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut digit = 0usize;
+            for b in 0..WINDOW {
+                let idx = w * WINDOW + b;
+                if idx < bits && exp.bit(idx) {
+                    digit |= 1 << b;
+                }
+            }
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &table[digit]);
+                started = true;
+            } else if started {
+                // squares already applied; nothing to multiply
+            } else {
+                // still leading zeros; skip
+            }
+        }
+        if !started {
+            return BigUint::one().rem(self.modulus());
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Plain binary square-and-multiply with division-based reduction.
+fn mod_pow_binary(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
+    let mut acc = BigUint::one().rem(modulus);
+    let mut b = base.rem(modulus);
+    for i in 0..exp.bits() {
+        if exp.bit(i) {
+            acc = acc.mod_mul(&b, modulus);
+        }
+        if i + 1 < exp.bits() {
+            b = b.mod_mul(&b, modulus);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_pow(base: u64, exp: u64, m: u64) -> u64 {
+        let mut acc = 1u128;
+        let b = base as u128 % m as u128;
+        for _ in 0..exp {
+            acc = acc * b % m as u128;
+        }
+        acc as u64
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        for (b, e, m) in [
+            (2u64, 10u64, 1_000_003u64),
+            (7, 13, 11),
+            (123, 0, 7),
+            (0, 5, 7),
+            (5, 1, 9),
+            (10, 30, 17),
+        ] {
+            let got = BigUint::from_u64(b)
+                .mod_pow(&BigUint::from_u64(e), &BigUint::from_u64(m));
+            assert_eq!(got.to_u64(), Some(naive_pow(b, e, m)), "({b},{e},{m})");
+        }
+    }
+
+    #[test]
+    fn even_modulus_fallback() {
+        // 3^5 mod 16 = 243 mod 16 = 3
+        let got = BigUint::from_u64(3).mod_pow(&BigUint::from_u64(5), &BigUint::from_u64(16));
+        assert_eq!(got.to_u64(), Some(3));
+    }
+
+    #[test]
+    fn modulus_one_gives_zero() {
+        let got = BigUint::from_u64(42).mod_pow(&BigUint::from_u64(3), &BigUint::one());
+        assert!(got.is_zero());
+    }
+
+    #[test]
+    fn fermat_little_theorem_128bit() {
+        // p = 2^127 - 1 (Mersenne prime)
+        let p = BigUint::from_decimal("170141183460469231731687303715884105727").unwrap();
+        let a = BigUint::from_u64(0xCAFE_BABE_DEAD_BEEF);
+        let e = &p - &BigUint::one();
+        assert_eq!(a.mod_pow(&e, &p), BigUint::one());
+    }
+
+    #[test]
+    fn exponent_crossing_window_boundaries() {
+        let m = BigUint::from_u64(1_000_000_007);
+        let base = BigUint::from_u64(3);
+        // exponent with bits straddling 4-bit windows: 2^65 + 2^4 + 1
+        let mut e = BigUint::one().shl(65);
+        e.add_u64_assign(17);
+        let got = base.mod_pow(&e, &m);
+        // cross-check via two smaller steps: 3^(2^65) * 3^17
+        let e1 = BigUint::one().shl(65);
+        let part1 = base.mod_pow(&e1, &m);
+        let part2 = base.mod_pow(&BigUint::from_u64(17), &m);
+        assert_eq!(got, part1.mod_mul(&part2, &m));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero modulus")]
+    fn zero_modulus_panics() {
+        BigUint::one().mod_pow(&BigUint::one(), &BigUint::zero());
+    }
+}

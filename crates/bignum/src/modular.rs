@@ -1,0 +1,245 @@
+//! Modular arithmetic helpers and the Montgomery multiplication context.
+//!
+//! Montgomery form turns each modular multiplication inside an
+//! exponentiation into two schoolbook passes with no division, which is what
+//! makes 2048-bit `mod n²` Paillier exponentiations tractable.
+
+use crate::{BigUint, BignumError};
+
+impl BigUint {
+    /// `(self + other) mod m`. Operands need not be reduced.
+    pub fn mod_add(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        let s = self + other;
+        s.rem(m)
+    }
+
+    /// `(self - other) mod m`, wrapping into `[0, m)`.
+    pub fn mod_sub(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        let a = self.rem(m);
+        let b = other.rem(m);
+        if a >= b {
+            &a - &b
+        } else {
+            &(&a + m) - &b
+        }
+    }
+
+    /// `(self * other) mod m`.
+    pub fn mod_mul(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(other).rem(m)
+    }
+}
+
+/// Montgomery multiplication context for a fixed odd modulus.
+///
+/// Construction is O(n²) (computes `R² mod m`); each [`Montgomery::mul`]
+/// afterwards is a single CIOS pass. Values live in *Montgomery form*
+/// (`a·R mod m` where `R = 2^(64·n)`); convert with [`Montgomery::to_mont`] /
+/// [`Montgomery::from_mont`].
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    modulus: BigUint,
+    /// Modulus limbs padded to exactly `n`.
+    m_limbs: Vec<u64>,
+    /// `-m⁻¹ mod 2^64` (for the per-limb reduction step).
+    n0inv: u64,
+    /// `R² mod m`, in plain form, padded to `n` limbs.
+    r2: Vec<u64>,
+    /// `R mod m` (the Montgomery form of 1), padded to `n` limbs.
+    r1: Vec<u64>,
+    n: usize,
+}
+
+impl Montgomery {
+    /// Creates a context for an odd modulus `> 1`.
+    pub fn new(modulus: &BigUint) -> Result<Self, BignumError> {
+        if modulus.is_even() || modulus.is_one() || modulus.is_zero() {
+            return Err(BignumError::EvenModulus);
+        }
+        let n = modulus.limbs().len();
+        let mut m_limbs = modulus.limbs().to_vec();
+        m_limbs.resize(n, 0);
+
+        // Newton's iteration: inv ≡ m0⁻¹ (mod 2^64) in 6 steps.
+        let m0 = m_limbs[0];
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(m0.wrapping_mul(inv), 1);
+        let n0inv = inv.wrapping_neg();
+
+        // R mod m and R² mod m via plain division (one-time cost).
+        let r = BigUint::one().shl(n * 64).rem(modulus);
+        let r2_big = r.mul(&r).rem(modulus);
+        let mut r1 = r.limbs().to_vec();
+        r1.resize(n, 0);
+        let mut r2 = r2_big.limbs().to_vec();
+        r2.resize(n, 0);
+
+        Ok(Montgomery {
+            modulus: modulus.clone(),
+            m_limbs,
+            n0inv,
+            r2,
+            r1,
+            n,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Number of 64-bit limbs in the modulus.
+    pub fn limb_count(&self) -> usize {
+        self.n
+    }
+
+    /// Converts `a` (reduced mod m internally) into Montgomery form.
+    pub fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+        let reduced = a.rem(&self.modulus);
+        let mut limbs = reduced.limbs().to_vec();
+        limbs.resize(self.n, 0);
+        self.mont_mul(&limbs, &self.r2)
+    }
+
+    /// Converts a Montgomery-form value back to a plain [`BigUint`].
+    pub fn from_mont(&self, a: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.n];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(a, &one))
+    }
+
+    /// Montgomery form of 1 (`R mod m`).
+    pub fn one_mont(&self) -> Vec<u64> {
+        self.r1.clone()
+    }
+
+    /// CIOS Montgomery product of two `n`-limb Montgomery-form values.
+    ///
+    /// Returns `a·b·R⁻¹ mod m`, padded to `n` limbs.
+    #[allow(clippy::needless_range_loop)] // shifted-index reduction loop
+    pub fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert_eq!(a.len(), self.n);
+        debug_assert_eq!(b.len(), self.n);
+        let n = self.n;
+        let mut t = vec![0u64; n + 2];
+
+        for &ai in a.iter() {
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..n {
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[n] as u128 + carry;
+            t[n] = s as u64;
+            t[n + 1] = (s >> 64) as u64;
+
+            // Reduce one limb: add mi * m so the lowest limb cancels, shift.
+            let mi = t[0].wrapping_mul(self.n0inv);
+            let s = t[0] as u128 + mi as u128 * self.m_limbs[0] as u128;
+            let mut carry = s >> 64;
+            for j in 1..n {
+                let s = t[j] as u128 + mi as u128 * self.m_limbs[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[n] as u128 + carry;
+            t[n - 1] = s as u64;
+            t[n] = t[n + 1].wrapping_add((s >> 64) as u64);
+            t[n + 1] = 0;
+        }
+
+        // Result in t[0..=n] is < 2m; subtract m once if needed.
+        let needs_sub = t[n] != 0 || ge_limbs(&t[..n], &self.m_limbs);
+        if needs_sub {
+            let mut borrow = 0u64;
+            for j in 0..n {
+                let (d1, b1) = t[j].overflowing_sub(self.m_limbs[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                t[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            debug_assert!(t[n] >= borrow);
+        }
+        t.truncate(n);
+        t
+    }
+
+    /// `(a * b) mod m` on plain values, via Montgomery form.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+}
+
+/// `a >= b` for equal-length limb slices (little-endian).
+fn ge_limbs(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_even_modulus() {
+        assert!(Montgomery::new(&BigUint::from_u64(10)).is_err());
+        assert!(Montgomery::new(&BigUint::one()).is_err());
+        assert!(Montgomery::new(&BigUint::zero()).is_err());
+    }
+
+    #[test]
+    fn to_from_mont_roundtrip() {
+        let m = BigUint::from_u64(1_000_003);
+        let ctx = Montgomery::new(&m).unwrap();
+        for v in [0u64, 1, 2, 999_999, 1_000_002] {
+            let big = BigUint::from_u64(v);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&big)), big, "v={v}");
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_plain() {
+        let m = BigUint::from_decimal("170141183460469231731687303715884105727").unwrap(); // 2^127-1
+        let ctx = Montgomery::new(&m).unwrap();
+        let a = BigUint::from_u128(0x1234_5678_9abc_def0_1111_2222u128);
+        let b = BigUint::from_u128(0xfeed_face_dead_beef_3333_4444u128);
+        assert_eq!(ctx.mul(&a, &b), a.mod_mul(&b, &m));
+    }
+
+    #[test]
+    fn mont_one_is_r_mod_m() {
+        let m = BigUint::from_u64(0xFFFF_FFFF_FFFF_FFC5); // largest 64-bit prime
+        let ctx = Montgomery::new(&m).unwrap();
+        assert_eq!(ctx.from_mont(&ctx.one_mont()), BigUint::one());
+    }
+
+    #[test]
+    fn mod_add_sub_wrap() {
+        let m = BigUint::from_u64(7);
+        let a = BigUint::from_u64(5);
+        let b = BigUint::from_u64(6);
+        assert_eq!(a.mod_add(&b, &m).to_u64(), Some(4));
+        assert_eq!(a.mod_sub(&b, &m).to_u64(), Some(6));
+        assert_eq!(b.mod_sub(&a, &m).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn mod_mul_reduces() {
+        let m = BigUint::from_u64(13);
+        let a = BigUint::from_u64(12);
+        assert_eq!(a.mod_mul(&a, &m).to_u64(), Some(1));
+    }
+}

@@ -1,0 +1,223 @@
+//! Multiplication: schoolbook for small operands, Karatsuba above a
+//! threshold. Paillier keygen multiplies 512-bit primes and squares 1024-bit
+//! moduli, so operands are 8–32 limbs — squarely in schoolbook territory —
+//! but Karatsuba keeps larger key sizes (2048/3072-bit) usable.
+
+use crate::BigUint;
+
+/// Operand size (in limbs) above which Karatsuba splits pay off.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+impl BigUint {
+    /// Full multiplication `self * other`.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let out = mul_limbs(self.limbs(), other.limbs());
+        BigUint::from_limbs(out)
+    }
+
+    /// Multiplies by a single `u64`.
+    pub fn mul_u64(&self, v: u64) -> BigUint {
+        if v == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in self.limbs() {
+            let t = l as u128 * v as u128 + carry;
+            out.push(t as u64);
+            carry = t >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Squares the value (thin wrapper; dedicated squaring saved for later
+    /// optimization — profiling showed modexp dominated by Montgomery loop).
+    pub fn square(&self) -> BigUint {
+        self.mul(self)
+    }
+}
+
+impl std::ops::Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        BigUint::mul(self, rhs)
+    }
+}
+
+impl std::ops::Mul<u64> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: u64) -> BigUint {
+        self.mul_u64(rhs)
+    }
+}
+
+/// Multiplies two little-endian limb slices (non-empty, normalized or not).
+fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len().min(b.len()) >= KARATSUBA_THRESHOLD {
+        karatsuba(a, b)
+    } else {
+        schoolbook(a, b)
+    }
+}
+
+/// O(n·m) schoolbook multiplication.
+fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = ai as u128 * bj as u128 + out[i + j] as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Karatsuba: split at half the shorter length, recurse three ways.
+fn karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let split = a.len().min(b.len()) / 2;
+    let (a0, a1) = a.split_at(split);
+    let (b0, b1) = b.split_at(split);
+
+    let z0 = mul_limbs(a0, b0);
+    let z2 = mul_limbs(a1, b1);
+
+    let a0a1 = add_slices(a0, a1);
+    let b0b1 = add_slices(b0, b1);
+    let mut z1 = mul_limbs(&a0a1, &b0b1);
+    // z1 = (a0+a1)(b0+b1) - z0 - z2
+    sub_in_place(&mut z1, &z0);
+    sub_in_place(&mut z1, &z2);
+
+    // out = z0 + z1 << (64*split) + z2 << (64*2*split)
+    let mut out = vec![0u64; a.len() + b.len()];
+    add_shifted(&mut out, &z0, 0);
+    add_shifted(&mut out, &z1, split);
+    add_shifted(&mut out, &z2, 2 * split);
+    out
+}
+
+/// Returns `a + b` as limbs.
+#[allow(clippy::needless_range_loop)] // offset-indexed carry loop reads clearer
+fn add_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let rhs = short.get(i).copied().unwrap_or(0);
+        let (s1, c1) = long[i].overflowing_add(rhs);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out.push(s2);
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a -= b` on limb vectors, assuming `a >= b` (guaranteed by Karatsuba math).
+#[allow(clippy::needless_range_loop)] // offset-indexed carry loop reads clearer
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let rhs = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = a[i].overflowing_sub(rhs);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+        if borrow == 0 && i >= b.len() {
+            break;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "Karatsuba intermediate underflow");
+}
+
+/// `out += src << (64*shift)`; `out` must be long enough.
+fn add_shifted(out: &mut [u64], src: &[u64], shift: usize) {
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < src.len() || carry != 0 {
+        let rhs = src.get(i).copied().unwrap_or(0);
+        let slot = &mut out[shift + i];
+        let (s1, c1) = slot.overflowing_add(rhs);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *slot = s2;
+        carry = (c1 as u64) + (c2 as u64);
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_products() {
+        let a = BigUint::from_u64(12345);
+        let b = BigUint::from_u64(67890);
+        assert_eq!((&a * &b).to_u64(), Some(12345 * 67890));
+    }
+
+    #[test]
+    fn cross_limb_product() {
+        let a = BigUint::from_u64(u64::MAX);
+        let b = BigUint::from_u64(u64::MAX);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        let expected = (u64::MAX as u128) * (u64::MAX as u128);
+        assert_eq!((&a * &b).to_u128(), Some(expected));
+    }
+
+    #[test]
+    fn mul_u64_matches_full_mul() {
+        let a = BigUint::from_u128(0xdead_beef_cafe_babe_1234_5678u128);
+        assert_eq!(a.mul_u64(1_000_003), a.mul(&BigUint::from_u64(1_000_003)));
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        let a = BigUint::from_u128(u128::MAX);
+        assert!(a.mul(&BigUint::zero()).is_zero());
+        assert!(BigUint::zero().mul(&a).is_zero());
+    }
+
+    #[test]
+    fn karatsuba_agrees_with_schoolbook() {
+        // Build operands big enough to trigger the Karatsuba path.
+        let limbs_a: Vec<u64> = (0..80u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let limbs_b: Vec<u64> = (0..75u64).map(|i| (i + 7).wrapping_mul(0xC2B2AE3D27D4EB4F)).collect();
+        let k = karatsuba(&limbs_a, &limbs_b);
+        let s = schoolbook(&limbs_a, &limbs_b);
+        let (mut k, mut s) = (k, s);
+        while k.last() == Some(&0) {
+            k.pop();
+        }
+        while s.last() == Some(&0) {
+            s.pop();
+        }
+        assert_eq!(k, s);
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let a = BigUint::from_u128(0xffff_ffff_ffff_ffff_ffffu128);
+        assert_eq!(a.square(), a.mul(&a));
+    }
+}

@@ -1,0 +1,142 @@
+//! Primality testing (Miller–Rabin) and random prime generation for
+//! Paillier key material.
+
+use crate::{random_below, random_bits, BigUint, Montgomery};
+use rand::RngCore;
+
+/// Small primes used for fast trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+/// Number of random Miller–Rabin rounds. 40 rounds bound the error
+/// probability by 4⁻⁴⁰ ≈ 10⁻²⁴ for adversarially-chosen composites; for
+/// *random* candidates the true error is far smaller still.
+const MR_ROUNDS: usize = 40;
+
+/// Probabilistic primality test (trial division + Miller–Rabin).
+pub fn is_prime<R: RngCore + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = BigUint::from_u64(p);
+        if *n == pb {
+            return true;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+    miller_rabin(n, MR_ROUNDS, rng)
+}
+
+/// Miller–Rabin with `rounds` random bases. `n` must be odd, `> 3`, and
+/// coprime to the small-prime list (callers ensure this via [`is_prime`]).
+fn miller_rabin<R: RngCore + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    debug_assert!(n.is_odd());
+    let one = BigUint::one();
+    let n_minus_1 = n - &one;
+    let s = n_minus_1
+        .trailing_zeros()
+        .expect("n-1 > 0 since n > 3");
+    let d = n_minus_1.shr(s);
+
+    // Reuse one Montgomery context across all bases — this is where nearly
+    // all of the prime-generation time goes.
+    let ctx = Montgomery::new(n).expect("odd modulus");
+
+    let two = BigUint::from_u64(2);
+    let bound = &n_minus_1 - &two; // bases drawn from [2, n-2]
+    'witness: for _ in 0..rounds {
+        let a = &random_below(rng, &bound) + &two;
+        let mut x = ctx.pow(&a, &d);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.mod_mul(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random prime with exactly `bits` significant bits.
+///
+/// The two top bits are forced to one so that the product of two such
+/// primes has exactly `2·bits` bits (Paillier wants a full-width modulus).
+pub fn gen_prime<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 8, "prime size must be at least 8 bits");
+    loop {
+        let mut candidate = random_bits(rng, bits);
+        candidate.set_bit(0); // odd
+        candidate.set_bit(bits - 1); // full width
+        candidate.set_bit(bits - 2); // product of two has width 2·bits
+        if is_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 7, 97, 199, 211, 65537, 1_000_003] {
+            assert!(is_prime(&BigUint::from_u64(p), &mut rng), "{p} is prime");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for c in [0u64, 1, 4, 9, 15, 91, 561, 6601, 41041, 1_000_001] {
+            assert!(!is_prime(&BigUint::from_u64(c), &mut rng), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Classic Miller–Rabin stress: Carmichael numbers fool Fermat tests.
+        let mut rng = StdRng::seed_from_u64(3);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 62745, 162401] {
+            assert!(!is_prime(&BigUint::from_u64(c), &mut rng), "{c} is Carmichael");
+        }
+    }
+
+    #[test]
+    fn mersenne_127_is_prime() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = BigUint::from_decimal("170141183460469231731687303715884105727").unwrap();
+        assert!(is_prime(&p, &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_has_requested_width_and_is_odd() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = gen_prime(&mut rng, 64);
+        assert_eq!(p.bits(), 64);
+        assert!(p.is_odd());
+        assert!(p.bit(62), "second-highest bit forced");
+        assert!(is_prime(&p, &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_128_bits() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = gen_prime(&mut rng, 128);
+        assert_eq!(p.bits(), 128);
+        assert!(is_prime(&p, &mut rng));
+    }
+}

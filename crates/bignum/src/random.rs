@@ -1,0 +1,87 @@
+//! Uniform random big integers from any [`rand::RngCore`] source.
+
+use crate::BigUint;
+use rand::RngCore;
+
+/// Samples a uniformly random value with exactly `bits` significant bits
+/// (the top bit is forced to one). `bits == 0` yields zero.
+pub fn random_bits<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let limbs = bits.div_ceil(64);
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+    let top_bits = bits - (limbs - 1) * 64;
+    // Mask excess high bits, then force the top bit.
+    if top_bits < 64 {
+        v[limbs - 1] &= (1u64 << top_bits) - 1;
+    }
+    v[limbs - 1] |= 1u64 << (top_bits - 1);
+    BigUint::from_limbs(v)
+}
+
+/// Samples uniformly from `[0, bound)` by rejection. Panics on zero bound.
+pub fn random_below<R: RngCore + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "random_below: zero bound");
+    let bits = bound.bits();
+    let limbs = bits.div_ceil(64);
+    let top_bits = bits - (limbs - 1) * 64;
+    let mask = if top_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << top_bits) - 1
+    };
+    loop {
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+        v[limbs - 1] &= mask;
+        let candidate = BigUint::from_limbs(v);
+        if candidate < *bound {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_has_exact_width() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [1usize, 8, 63, 64, 65, 512, 1024] {
+            let v = random_bits(&mut rng, bits);
+            assert_eq!(v.bits(), bits, "bits={bits}");
+        }
+        assert!(random_bits(&mut rng, 0).is_zero());
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bound = BigUint::from_u64(1000);
+        for _ in 0..200 {
+            assert!(random_below(&mut rng, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_covers_small_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = BigUint::from_u64(4);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            let v = random_below(&mut rng, &bound).to_u64().unwrap() as usize;
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bound")]
+    fn random_below_zero_bound_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        random_below(&mut rng, &BigUint::zero());
+    }
+}

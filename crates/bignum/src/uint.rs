@@ -1,0 +1,329 @@
+//! Core unsigned big-integer type: representation, comparison, addition,
+//! and subtraction. Multiplication, division, shifting, conversions, and
+//! modular arithmetic live in sibling modules.
+
+use crate::BignumError;
+use std::cmp::Ordering;
+
+/// Arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian `u64` limbs with the invariant that the most
+/// significant limb is non-zero; zero is the empty limb vector. All public
+/// constructors and operations preserve this normalization.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    #[inline]
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    #[inline]
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from a single `u64`.
+    #[inline]
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Builds a value from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut out = BigUint {
+            limbs: vec![lo, hi],
+        };
+        out.normalize();
+        out
+    }
+
+    /// Builds a value from little-endian limbs, normalizing trailing zeros.
+    pub(crate) fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Read-only access to the little-endian limbs.
+    #[inline]
+    pub(crate) fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Drops high zero limbs to restore the representation invariant.
+    #[inline]
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `true` iff the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff the value is one.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// `true` iff the value is even (zero counts as even).
+    #[inline]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// `true` iff the value is odd.
+    #[inline]
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&hi) => self.limbs.len() * 64 - hi.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// In-place addition: `self += other`.
+    pub fn add_assign(&mut self, other: &BigUint) {
+        if self.limbs.len() < other.limbs.len() {
+            self.limbs.resize(other.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limb.overflowing_add(rhs);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *limb = s2;
+            carry = (c1 as u64) + (c2 as u64);
+            if carry == 0 && i >= other.limbs.len() {
+                return; // no carry left and nothing more to add
+            }
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Adds a single `u64` in place.
+    pub fn add_u64_assign(&mut self, mut v: u64) {
+        for limb in self.limbs.iter_mut() {
+            let (s, c) = limb.overflowing_add(v);
+            *limb = s;
+            if !c {
+                return;
+            }
+            v = 1;
+        }
+        if v != 0 {
+            self.limbs.push(v);
+        }
+    }
+
+    /// Checked subtraction: `self - other`, or an underflow error.
+    pub fn checked_sub(&self, other: &BigUint) -> Result<BigUint, BignumError> {
+        if self < other {
+            return Err(BignumError::Underflow);
+        }
+        let mut out = self.clone();
+        out.sub_assign_unchecked(other);
+        Ok(out)
+    }
+
+    /// In-place subtraction assuming `self >= other` (debug-asserted).
+    pub(crate) fn sub_assign_unchecked(&mut self, other: &BigUint) {
+        debug_assert!(*self >= *other, "BigUint subtraction underflow");
+        let mut borrow = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+            if borrow == 0 && i >= other.limbs.len() {
+                break;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        self.normalize();
+    }
+
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::ops::Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+}
+
+impl std::ops::Add<u64> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: u64) -> BigUint {
+        let mut out = self.clone();
+        out.add_u64_assign(rhs);
+        out
+    }
+}
+
+impl std::ops::Sub for &BigUint {
+    type Output = BigUint;
+    /// Panics on underflow; use [`BigUint::checked_sub`] to handle it.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from_u64(v as u64)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_u128(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_normalized_and_even() {
+        let z = BigUint::zero();
+        assert!(z.is_zero());
+        assert!(z.is_even());
+        assert_eq!(z.bits(), 0);
+        assert_eq!(z.to_u64(), Some(0));
+    }
+
+    #[test]
+    fn from_u128_roundtrip() {
+        let v = 0x1234_5678_9abc_def0_1122_3344_5566_7788u128;
+        assert_eq!(BigUint::from_u128(v).to_u128(), Some(v));
+    }
+
+    #[test]
+    fn addition_carries_across_limbs() {
+        let a = BigUint::from_u64(u64::MAX);
+        let b = BigUint::from_u64(1);
+        let s = &a + &b;
+        assert_eq!(s.to_u128(), Some(1u128 << 64));
+    }
+
+    #[test]
+    fn add_u64_carry_chain() {
+        let mut a = BigUint::from_u128(u128::MAX);
+        a.add_u64_assign(1);
+        assert_eq!(a.limbs(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn subtraction_borrows() {
+        let a = BigUint::from_u128(1u128 << 64);
+        let b = BigUint::from_u64(1);
+        let d = &a - &b;
+        assert_eq!(d.to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn checked_sub_underflow_errors() {
+        let a = BigUint::from_u64(1);
+        let b = BigUint::from_u64(2);
+        assert_eq!(a.checked_sub(&b), Err(BignumError::Underflow));
+    }
+
+    #[test]
+    fn ordering_compares_by_magnitude() {
+        let small = BigUint::from_u64(u64::MAX);
+        let big = BigUint::from_u128(1u128 << 64);
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(big.cmp(&big), Ordering::Equal);
+    }
+
+    #[test]
+    fn bits_counts_significant_bits() {
+        assert_eq!(BigUint::from_u64(1).bits(), 1);
+        assert_eq!(BigUint::from_u64(0xFF).bits(), 8);
+        assert_eq!(BigUint::from_u128(1u128 << 100).bits(), 101);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(BigUint::from_u64(2).is_even());
+        assert!(BigUint::from_u64(3).is_odd());
+    }
+}

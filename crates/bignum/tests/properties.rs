@@ -1,0 +1,226 @@
+//! Property-based tests for the bignum substrate: ring laws, division
+//! invariants, Montgomery/modpow consistency, and conversion roundtrips.
+
+use pprl_bignum::{prime, random_below, BigUint, Montgomery};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a BigUint from arbitrary bytes (0..=48 bytes → up to 384 bits).
+fn biguint() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..48).prop_map(|b| BigUint::from_bytes_be(&b))
+}
+
+/// Strategy: a non-zero BigUint.
+fn biguint_nonzero() -> impl Strategy<Value = BigUint> {
+    biguint().prop_map(|v| if v.is_zero() { BigUint::one() } else { v })
+}
+
+/// Strategy: an odd modulus > 1.
+fn odd_modulus() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 1..32).prop_map(|b| {
+        let mut v = BigUint::from_bytes_be(&b);
+        v.set_bit(0);
+        if v.is_one() {
+            BigUint::from_u64(3)
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_then_sub_roundtrips(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn mul_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in biguint(), b in biguint(), c in biguint()) {
+        let lhs = a.mul(&(&b + &c));
+        let rhs = &a.mul(&b) + &a.mul(&c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn division_invariant(a in biguint(), b in biguint_nonzero()) {
+        let (q, r) = a.div_rem(&b).unwrap();
+        prop_assert!(r < b);
+        prop_assert_eq!(&q.mul(&b) + &r, a);
+    }
+
+    #[test]
+    fn shift_is_power_of_two_mul(a in biguint(), bits in 0usize..130) {
+        let shifted = a.shl(bits);
+        let expected = a.mul(&BigUint::one().shl(bits));
+        prop_assert_eq!(shifted, expected);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_decimal(&a.to_decimal()).unwrap(), a);
+    }
+
+    #[test]
+    fn montgomery_mul_matches_plain(a in biguint(), b in biguint(), m in odd_modulus()) {
+        let ctx = Montgomery::new(&m).unwrap();
+        prop_assert_eq!(ctx.mul(&a, &b), a.mod_mul(&b, &m));
+    }
+
+    #[test]
+    fn modpow_matches_repeated_squaring(a in biguint(), e in 0u64..64, m in odd_modulus()) {
+        // Naive reference: e multiplications.
+        let mut expected = BigUint::one().rem(&m);
+        let ar = a.rem(&m);
+        for _ in 0..e {
+            expected = expected.mod_mul(&ar, &m);
+        }
+        prop_assert_eq!(a.mod_pow(&BigUint::from_u64(e), &m), expected);
+    }
+
+    #[test]
+    fn modpow_product_law(a in biguint(), e1 in 0u64..1000, e2 in 0u64..1000, m in odd_modulus()) {
+        // a^(e1+e2) = a^e1 * a^e2 (mod m)
+        let lhs = a.mod_pow(&BigUint::from_u64(e1 + e2), &m);
+        let rhs = a
+            .mod_pow(&BigUint::from_u64(e1), &m)
+            .mod_mul(&a.mod_pow(&BigUint::from_u64(e2), &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in biguint_nonzero(), b in biguint_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+
+    #[test]
+    fn gcd_lcm_product_law(a in biguint_nonzero(), b in biguint_nonzero()) {
+        // gcd(a,b) * lcm(a,b) == a*b
+        prop_assert_eq!(a.gcd(&b).mul(&a.lcm(&b)), a.mul(&b));
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in biguint_nonzero(), m in odd_modulus()) {
+        if let Ok(inv) = a.mod_inverse(&m) {
+            prop_assert_eq!(a.mod_mul(&inv, &m), BigUint::one().rem(&m));
+        } else {
+            // Not invertible implies non-trivial gcd.
+            prop_assert!(!a.gcd(&m).is_one());
+        }
+    }
+
+    #[test]
+    fn random_below_in_range(seed in any::<u64>(), m in odd_modulus()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = random_below(&mut rng, &m);
+        prop_assert!(v < m);
+    }
+}
+
+/// Structured operands that exercise Knuth D's rare correction paths
+/// (qhat overestimation and the D6 add-back), from the classic
+/// Hacker's Delight test set, adapted to 32-bit digits.
+#[test]
+fn knuth_d_add_back_cases() {
+    let digit = |d: u64, shift: usize| BigUint::from_u64(d).shl(shift * 32);
+    let cases = [
+        // u = [3, 0, 0x8000_0000], v = [1, 0x8000_0000] (digits, LE)
+        (
+            &digit(3, 0) + &digit(0x8000_0000, 2),
+            &digit(1, 0) + &digit(0x8000_0000, 1),
+        ),
+        // u = [0, 0x8000_0000, 0x7fff_ffff], v = [1, 0x8000_0000]
+        (
+            &digit(0x8000_0000, 1) + &digit(0x7fff_ffff, 2),
+            &digit(1, 0) + &digit(0x8000_0000, 1),
+        ),
+        // u = [0, 0xfffe_0000, 0x8000_0000], v = [0xffff_ffff, 0x8000_0000]
+        (
+            &digit(0xfffe_0000, 1) + &digit(0x8000_0000, 2),
+            &digit(0xffff_ffff, 0) + &digit(0x8000_0000, 1),
+        ),
+        // Divisor with max top digit, dividend all ones.
+        (
+            BigUint::one().shl(256).checked_sub(&BigUint::one()).unwrap(),
+            &digit(0xffff_ffff, 0) + &digit(0xffff_ffff, 3),
+        ),
+    ];
+    for (i, (u, v)) in cases.iter().enumerate() {
+        let (q, r) = u.div_rem(v).unwrap();
+        assert!(r < *v, "case {i}: remainder bound");
+        assert_eq!(&q.mul(v) + &r, *u, "case {i}: reconstruction");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Heavier operands than the main suite: up to 2048-bit dividends,
+    /// the sizes Paillier actually uses mod n².
+    #[test]
+    fn division_invariant_large(
+        a in proptest::collection::vec(any::<u8>(), 128..256),
+        b in proptest::collection::vec(any::<u8>(), 32..128),
+    ) {
+        let a = BigUint::from_bytes_be(&a);
+        let mut b = BigUint::from_bytes_be(&b);
+        if b.is_zero() {
+            b = BigUint::one();
+        }
+        let (q, r) = a.div_rem(&b).unwrap();
+        prop_assert!(r < b);
+        prop_assert_eq!(&q.mul(&b) + &r, a);
+    }
+}
+
+#[test]
+fn prime_product_has_no_small_factors() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let p = prime::gen_prime(&mut rng, 96);
+    let q = prime::gen_prime(&mut rng, 96);
+    assert_ne!(p, q);
+    let n = p.mul(&q);
+    assert_eq!(n.bits(), 192);
+    assert_eq!(n.gcd(&p), p);
+    assert_eq!(&n / &p, q);
+}
+
+#[test]
+fn fermat_on_generated_primes() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for bits in [32usize, 64, 128] {
+        let p = prime::gen_prime(&mut rng, bits);
+        let a = BigUint::from_u64(2);
+        let e = &p - &BigUint::one();
+        assert_eq!(a.mod_pow(&e, &p), BigUint::one(), "bits={bits}");
+    }
+}

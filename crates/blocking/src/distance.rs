@@ -1,0 +1,212 @@
+//! Plaintext attribute distances and the decision rule `dr` (paper §II).
+//!
+//! These run on *original* values. The hybrid protocol itself never
+//! evaluates them outside the SMC step — they exist for the SMC oracle
+//! (provably equivalent to the Paillier protocol), for ground-truth
+//! computation, and for tests that check the slack bounds really bound
+//! them.
+
+use pprl_data::{Record, Schema, Value};
+use pprl_hierarchy::{AttributeKind, Vgh};
+use serde::{Deserialize, Serialize};
+
+/// Distance function attached to one matching attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrDistance {
+    /// 0/1 mismatch indicator (discrete attributes, §V-C).
+    Hamming,
+    /// `|x − y| / normFactor` (continuous attributes, §II/§V-C).
+    NormalizedEuclidean,
+    /// Levenshtein distance over leaf labels, normalized by the longest
+    /// label in the domain (the §VIII future-work extension).
+    NormalizedEdit,
+}
+
+/// The classifier the querying party supplies: per matching attribute a
+/// distance function and a threshold θᵢ. A record pair matches iff *every*
+/// attribute distance is ≤ its threshold.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MatchingRule {
+    /// Per-QID thresholds θᵢ ∈ [0, 1].
+    pub thetas: Vec<f64>,
+    /// Per-QID distance functions.
+    pub distances: Vec<AttrDistance>,
+}
+
+impl MatchingRule {
+    /// Uniform thresholds with the natural distance per attribute kind
+    /// (Hamming for categorical, normalized Euclidean for continuous) —
+    /// the paper's experimental setup with θᵢ = θ.
+    pub fn uniform(schema: &Schema, qids: &[usize], theta: f64) -> Self {
+        let distances = qids
+            .iter()
+            .map(|&q| match schema.attribute(q).kind() {
+                AttributeKind::Categorical => AttrDistance::Hamming,
+                AttributeKind::Continuous => AttrDistance::NormalizedEuclidean,
+            })
+            .collect();
+        MatchingRule {
+            thetas: vec![theta; qids.len()],
+            distances,
+        }
+    }
+
+    /// Validates thresholds and arity against a QID list.
+    pub fn validate(&self, qids: &[usize]) -> Result<(), crate::BlockingError> {
+        if self.thetas.len() != qids.len() || self.distances.len() != qids.len() {
+            return Err(crate::BlockingError::RuleArity {
+                rule: self.thetas.len(),
+                qids: qids.len(),
+            });
+        }
+        for &t in &self.thetas {
+            if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+                return Err(crate::BlockingError::BadThreshold(t));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Distance between two original values of one attribute.
+pub fn attribute_distance(vgh: &Vgh, dist: AttrDistance, a: Value, b: Value) -> f64 {
+    match dist {
+        AttrDistance::Hamming => {
+            if a.as_cat() == b.as_cat() {
+                0.0
+            } else {
+                1.0
+            }
+        }
+        AttrDistance::NormalizedEuclidean => {
+            let h = vgh.as_intervals().expect("continuous attribute");
+            (a.as_num() - b.as_num()).abs() / h.norm_factor()
+        }
+        AttrDistance::NormalizedEdit => {
+            let t = vgh.as_taxonomy().expect("categorical attribute");
+            let la = t.label(t.leaf_node(a.as_cat()));
+            let lb = t.label(t.leaf_node(b.as_cat()));
+            let norm = max_label_len(t) as f64;
+            crate::slack::edit_distance(la, lb) as f64 / norm
+        }
+    }
+}
+
+/// Longest leaf label in a taxonomy (edit-distance normalizer).
+pub(crate) fn max_label_len(t: &pprl_hierarchy::Taxonomy) -> usize {
+    (0..t.leaf_count() as u32)
+        .map(|p| t.label(t.leaf_node(p)).chars().count())
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// The decision rule `dr(r, s)` (paper §II): true iff every matching
+/// attribute respects its threshold.
+pub fn records_match(
+    schema: &Schema,
+    qids: &[usize],
+    rule: &MatchingRule,
+    r: &Record,
+    s: &Record,
+) -> bool {
+    qids.iter().enumerate().all(|(pos, &q)| {
+        let vgh = schema.attribute(q).vgh();
+        let d = attribute_distance(vgh, rule.distances[pos], r.value(q), s.value(q));
+        d <= rule.thetas[pos]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_data::synth::{generate, SynthConfig};
+
+    #[test]
+    fn uniform_rule_picks_natural_distances() {
+        let schema = Schema::adult();
+        let rule = MatchingRule::uniform(&schema, &[0, 1, 2], 0.05);
+        assert_eq!(rule.distances[0], AttrDistance::NormalizedEuclidean);
+        assert_eq!(rule.distances[1], AttrDistance::Hamming);
+        assert_eq!(rule.thetas, vec![0.05; 3]);
+        assert!(rule.validate(&[0, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn rule_validation_rejects_bad_inputs() {
+        let schema = Schema::adult();
+        let rule = MatchingRule::uniform(&schema, &[0, 1], 0.05);
+        assert!(rule.validate(&[0, 1, 2]).is_err());
+        let bad = MatchingRule {
+            thetas: vec![1.5],
+            distances: vec![AttrDistance::Hamming],
+        };
+        assert!(bad.validate(&[1]).is_err());
+        let nan = MatchingRule {
+            thetas: vec![f64::NAN],
+            distances: vec![AttrDistance::Hamming],
+        };
+        assert!(nan.validate(&[1]).is_err());
+    }
+
+    #[test]
+    fn hamming_is_equality() {
+        let schema = Schema::adult();
+        let vgh = schema.attribute(1).vgh();
+        assert_eq!(
+            attribute_distance(vgh, AttrDistance::Hamming, Value::Cat(3), Value::Cat(3)),
+            0.0
+        );
+        assert_eq!(
+            attribute_distance(vgh, AttrDistance::Hamming, Value::Cat(3), Value::Cat(4)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn euclidean_is_normalized_by_domain_width() {
+        let schema = Schema::adult();
+        let vgh = schema.attribute(0).vgh(); // age, norm 96
+        let d = attribute_distance(
+            vgh,
+            AttrDistance::NormalizedEuclidean,
+            Value::Num(30.0),
+            Value::Num(54.0),
+        );
+        assert!((d - 24.0 / 96.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_records_always_match() {
+        let data = generate(&SynthConfig {
+            records: 20,
+            seed: 9,
+        });
+        let schema = data.schema();
+        let qids = [0usize, 1, 2, 3, 4];
+        let rule = MatchingRule::uniform(schema, &qids, 0.05);
+        for r in data.records() {
+            assert!(records_match(schema, &qids, &rule, r, r));
+        }
+    }
+
+    #[test]
+    fn age_window_drives_matching() {
+        // Same categorical values, ages 4 apart: θ=0.05 → window 4.8 ⇒ match;
+        // θ=0.03 → window 2.88 ⇒ mismatch.
+        let data = generate(&SynthConfig {
+            records: 1,
+            seed: 10,
+        });
+        let schema = data.schema();
+        let base = &data.records()[0];
+        let mut vals = base.values().to_vec();
+        vals[0] = Value::Num(base.value(0).as_num().min(85.0) + 4.0);
+        let shifted = Record::new(999, vals, base.class());
+        let qids = [0usize, 1, 2, 3, 4];
+        let loose = MatchingRule::uniform(schema, &qids, 0.05);
+        let tight = MatchingRule::uniform(schema, &qids, 0.03);
+        assert!(records_match(schema, &qids, &loose, base, &shifted));
+        assert!(!records_match(schema, &qids, &tight, base, &shifted));
+    }
+}

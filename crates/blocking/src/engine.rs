@@ -1,0 +1,296 @@
+//! The blocking engine: applies the slack decision rule to every pair of
+//! equivalence classes across the two anonymized views.
+
+use crate::distance::MatchingRule;
+use crate::rule::{slack_decision, PairLabel};
+use crate::BlockingError;
+use pprl_anon::AnonymizedView;
+use pprl_hierarchy::Vgh;
+use serde::{Deserialize, Serialize};
+
+/// Reference to one class pair `(index into R'.classes, index into
+/// S'.classes)` plus the number of record pairs it stands for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassPairRef {
+    /// Index of the class in the first view.
+    pub r_class: u32,
+    /// Index of the class in the second view.
+    pub s_class: u32,
+    /// `|class_R| × |class_S|` record pairs represented.
+    pub pairs: u64,
+}
+
+/// Result of the blocking step.
+#[derive(Clone, Debug, Default)]
+pub struct BlockingOutcome {
+    /// Total record pairs `|R| × |S|` (covered + suppressed).
+    pub total_pairs: u64,
+    /// Record pairs provably matched.
+    pub matched_pairs: u64,
+    /// Record pairs provably mismatched.
+    pub nonmatched_pairs: u64,
+    /// Record pairs left undecided (class pairs below, plus suppressed).
+    pub unknown_pairs: u64,
+    /// Record pairs involving a suppressed record (DataFly only): no
+    /// generalization sequence exists for them, so they cannot be blocked
+    /// and fall through to the SMC step with lowest priority.
+    pub suppressed_pairs: u64,
+    /// Class pairs labeled M.
+    pub matched: Vec<ClassPairRef>,
+    /// Class pairs labeled U, in grid order.
+    pub unknown: Vec<ClassPairRef>,
+}
+
+impl BlockingOutcome {
+    /// Blocking efficiency (§VI): the fraction of record pairs permanently
+    /// classified by the slack decision rule.
+    pub fn efficiency(&self) -> f64 {
+        if self.total_pairs == 0 {
+            return 0.0;
+        }
+        (self.matched_pairs + self.nonmatched_pairs) as f64 / self.total_pairs as f64
+    }
+
+    /// The *sufficient SMC allowance* for 100 % recall (§VI: "blocking
+    /// efficiency also indicates the sufficient SMC allowance"), as a
+    /// fraction of all pairs.
+    pub fn sufficient_allowance(&self) -> f64 {
+        1.0 - self.efficiency()
+    }
+}
+
+/// Configured blocking step.
+#[derive(Clone, Debug)]
+pub struct BlockingEngine {
+    rule: MatchingRule,
+}
+
+impl BlockingEngine {
+    /// Builds an engine for a matching rule.
+    pub fn new(rule: MatchingRule) -> Self {
+        BlockingEngine { rule }
+    }
+
+    /// The matching rule.
+    pub fn rule(&self) -> &MatchingRule {
+        &self.rule
+    }
+
+    /// Runs the blocking step over two anonymized views.
+    ///
+    /// Complexity: `O(|classes_R| · |classes_S| · q)` — *not* a function of
+    /// the record count, which is what makes blocking cheap (§VI measures
+    /// 1.35 s against 0.43 s for a *single* SMC comparison).
+    pub fn run(
+        &self,
+        r_view: &AnonymizedView,
+        s_view: &AnonymizedView,
+    ) -> Result<BlockingOutcome, BlockingError> {
+        if r_view.qids() != s_view.qids() {
+            return Err(BlockingError::QidMismatch);
+        }
+        self.rule.validate(r_view.qids())?;
+
+        let schema = r_view.schema();
+        let vghs: Vec<&Vgh> = r_view
+            .qids()
+            .iter()
+            .map(|&q| schema.attribute(q).vgh())
+            .collect();
+
+        let r_total = (r_view.covered_records() + r_view.suppressed().len()) as u64;
+        let s_total = (s_view.covered_records() + s_view.suppressed().len()) as u64;
+        let covered_pairs = r_view.covered_records() as u64 * s_view.covered_records() as u64;
+
+        let mut outcome = BlockingOutcome {
+            total_pairs: r_total * s_total,
+            suppressed_pairs: r_total * s_total - covered_pairs,
+            ..BlockingOutcome::default()
+        };
+        outcome.unknown_pairs = outcome.suppressed_pairs;
+
+        for (ri, rc) in r_view.classes().iter().enumerate() {
+            for (si, sc) in s_view.classes().iter().enumerate() {
+                let pairs = rc.size() as u64 * sc.size() as u64;
+                let pref = ClassPairRef {
+                    r_class: ri as u32,
+                    s_class: si as u32,
+                    pairs,
+                };
+                match slack_decision(&vghs, &self.rule, &rc.sequence, &sc.sequence) {
+                    PairLabel::Match => {
+                        outcome.matched_pairs += pairs;
+                        outcome.matched.push(pref);
+                    }
+                    PairLabel::NonMatch => {
+                        outcome.nonmatched_pairs += pairs;
+                    }
+                    PairLabel::Unknown => {
+                        outcome.unknown_pairs += pairs;
+                        outcome.unknown.push(pref);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            outcome.matched_pairs + outcome.nonmatched_pairs + outcome.unknown_pairs,
+            outcome.total_pairs
+        );
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::records_match;
+    use pprl_anon::{AnonymizationMethod, Anonymizer, KAnonymityRequirement};
+    use pprl_data::synth::{generate, SynthConfig};
+    use pprl_data::DataSet;
+
+    const QIDS: [usize; 5] = [0, 1, 2, 3, 4];
+
+    fn inputs(n: usize, seed: u64) -> (DataSet, DataSet) {
+        let a = generate(&SynthConfig {
+            records: n,
+            seed,
+        });
+        let b = generate(&SynthConfig {
+            records: n,
+            seed: seed + 1,
+        });
+        (a, b)
+    }
+
+    fn anonymize(data: &DataSet, k: usize) -> AnonymizedView {
+        Anonymizer::new(AnonymizationMethod::MaxEntropy, KAnonymityRequirement(k))
+            .anonymize(data, &QIDS)
+            .unwrap()
+    }
+
+    #[test]
+    fn pair_accounting_is_exact() {
+        let (a, b) = inputs(300, 41);
+        let va = anonymize(&a, 8);
+        let vb = anonymize(&b, 16); // asymmetric k is allowed (§I)
+        let rule = MatchingRule::uniform(a.schema(), &QIDS, 0.05);
+        let out = BlockingEngine::new(rule).run(&va, &vb).unwrap();
+        assert_eq!(out.total_pairs, 300 * 300);
+        assert_eq!(
+            out.matched_pairs + out.nonmatched_pairs + out.unknown_pairs,
+            out.total_pairs
+        );
+        assert!(out.efficiency() > 0.0 && out.efficiency() <= 1.0);
+        assert!((out.efficiency() + out.sufficient_allowance() - 1.0).abs() < 1e-12);
+    }
+
+    /// Soundness: every pair in an M class-pair truly matches; every pair
+    /// in an N class-pair truly mismatches. This is the paper's 100 %
+    /// precision claim, checked against brute-force ground truth.
+    #[test]
+    fn blocking_is_sound() {
+        let (a, b) = inputs(200, 43);
+        let va = anonymize(&a, 4);
+        let vb = anonymize(&b, 4);
+        let rule = MatchingRule::uniform(a.schema(), &QIDS, 0.05);
+        let out = BlockingEngine::new(rule.clone()).run(&va, &vb).unwrap();
+        let schema = a.schema();
+
+        for m in &out.matched {
+            let rc = &va.classes()[m.r_class as usize];
+            let sc = &vb.classes()[m.s_class as usize];
+            for &ri in &rc.rows {
+                for &si in &sc.rows {
+                    assert!(
+                        records_match(
+                            schema,
+                            &QIDS,
+                            &rule,
+                            &a.records()[ri as usize],
+                            &b.records()[si as usize]
+                        ),
+                        "M pair must truly match"
+                    );
+                }
+            }
+        }
+        // N pairs: everything not in matched/unknown. Reconstruct a quick
+        // lookup of U/M class pairs and verify a sample of the rest.
+        use std::collections::HashSet;
+        let undecided: HashSet<(u32, u32)> = out
+            .unknown
+            .iter()
+            .chain(&out.matched)
+            .map(|p| (p.r_class, p.s_class))
+            .collect();
+        for (ri_class, rc) in va.classes().iter().enumerate() {
+            for (si_class, sc) in vb.classes().iter().enumerate() {
+                if undecided.contains(&(ri_class as u32, si_class as u32)) {
+                    continue;
+                }
+                // Labeled N: sample the corner records.
+                let r = &a.records()[rc.rows[0] as usize];
+                let s = &b.records()[sc.rows[0] as usize];
+                assert!(
+                    !records_match(schema, &QIDS, &rule, r, s),
+                    "N pair must truly mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_k_lowers_efficiency() {
+        // Fig. 3's monotone trend, on synthetic data. Greedy anonymizers
+        // are not perfectly monotone point-to-point, so compare extremes.
+        let (a, b) = inputs(400, 47);
+        let rule = MatchingRule::uniform(a.schema(), &QIDS, 0.05);
+        let engine = BlockingEngine::new(rule);
+        let eff = |k: usize| {
+            engine
+                .run(&anonymize(&a, k), &anonymize(&b, k))
+                .unwrap()
+                .efficiency()
+        };
+        let (lo_k, hi_k) = (eff(2), eff(128));
+        assert!(
+            lo_k >= hi_k,
+            "efficiency at k=2 ({lo_k:.4}) should dominate k=128 ({hi_k:.4})"
+        );
+    }
+
+    #[test]
+    fn qid_mismatch_rejected() {
+        let (a, b) = inputs(60, 51);
+        let va = Anonymizer::new(AnonymizationMethod::MaxEntropy, KAnonymityRequirement(2))
+            .anonymize(&a, &[0, 1])
+            .unwrap();
+        let vb = Anonymizer::new(AnonymizationMethod::MaxEntropy, KAnonymityRequirement(2))
+            .anonymize(&b, &[0, 2])
+            .unwrap();
+        let rule = MatchingRule::uniform(a.schema(), &[0, 1], 0.05);
+        assert_eq!(
+            BlockingEngine::new(rule).run(&va, &vb).unwrap_err(),
+            BlockingError::QidMismatch
+        );
+    }
+
+    #[test]
+    fn suppressed_records_count_as_unknown() {
+        let (a, b) = inputs(150, 53);
+        // DataFly suppresses; MaxEntropy never does.
+        let va = Anonymizer::new(AnonymizationMethod::Datafly, KAnonymityRequirement(8))
+            .anonymize(&a, &QIDS)
+            .unwrap();
+        let vb = anonymize(&b, 8);
+        let rule = MatchingRule::uniform(a.schema(), &QIDS, 0.05);
+        let out = BlockingEngine::new(rule).run(&va, &vb).unwrap();
+        assert_eq!(
+            out.suppressed_pairs,
+            va.suppressed().len() as u64 * 150,
+            "suppressed rows pair with every S record"
+        );
+        assert!(out.unknown_pairs >= out.suppressed_pairs);
+        assert_eq!(out.total_pairs, 150 * 150);
+    }
+}

@@ -1,0 +1,184 @@
+//! The slack decision rule `sdr` (paper §IV).
+
+use crate::distance::MatchingRule;
+use crate::slack::slack_bounds;
+use pprl_anon::GenVal;
+use pprl_hierarchy::Vgh;
+use serde::{Deserialize, Serialize};
+
+/// Three-way label of a (class or record) pair after blocking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairLabel {
+    /// Provably matching (every `sds ≤ θᵢ`).
+    Match,
+    /// Provably mismatching (some `sdl > θᵢ`).
+    NonMatch,
+    /// Undecidable from the anonymized views alone.
+    Unknown,
+}
+
+/// Applies `sdr` to two generalization sequences.
+///
+/// Short-circuits on the first attribute that proves a mismatch — the
+/// common case on skewed data, and the reason blocking is cheap.
+pub fn slack_decision(
+    vghs: &[&Vgh],
+    rule: &MatchingRule,
+    a: &[GenVal],
+    b: &[GenVal],
+) -> PairLabel {
+    debug_assert_eq!(vghs.len(), a.len());
+    debug_assert_eq!(a.len(), b.len());
+    let mut all_match = true;
+    for (pos, vgh) in vghs.iter().enumerate() {
+        let (sdl, sds) = slack_bounds(vgh, rule.distances[pos], &a[pos], &b[pos]);
+        if sdl > rule.thetas[pos] {
+            return PairLabel::NonMatch;
+        }
+        if sds > rule.thetas[pos] {
+            all_match = false;
+        }
+    }
+    if all_match {
+        PairLabel::Match
+    } else {
+        PairLabel::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::AttrDistance;
+    use pprl_hierarchy::{IntervalHierarchy, TaxSpec, Taxonomy};
+
+    /// The paper's §III running example: Education × Work Hrs.
+    fn setup() -> (Vgh, Vgh) {
+        let edu = Taxonomy::from_spec(
+            "education",
+            &TaxSpec::node(
+                "ANY",
+                vec![
+                    TaxSpec::node(
+                        "Secondary",
+                        vec![
+                            TaxSpec::node(
+                                "Junior Sec.",
+                                vec![TaxSpec::leaf("9th"), TaxSpec::leaf("10th")],
+                            ),
+                            TaxSpec::node(
+                                "Senior Sec.",
+                                vec![TaxSpec::leaf("11th"), TaxSpec::leaf("12th")],
+                            ),
+                        ],
+                    ),
+                    TaxSpec::node(
+                        "University",
+                        vec![
+                            TaxSpec::leaf("Bachelors"),
+                            TaxSpec::node(
+                                "Grad School",
+                                vec![TaxSpec::leaf("Masters"), TaxSpec::leaf("Doctorate")],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        )
+        .unwrap();
+        let hrs = IntervalHierarchy::from_spec(
+            "work-hrs",
+            &pprl_hierarchy::IntervalSpec::node(
+                1.0,
+                99.0,
+                vec![
+                    pprl_hierarchy::IntervalSpec::node(
+                        1.0,
+                        37.0,
+                        vec![
+                            pprl_hierarchy::IntervalSpec::leaf(1.0, 35.0),
+                            pprl_hierarchy::IntervalSpec::leaf(35.0, 37.0),
+                        ],
+                    ),
+                    pprl_hierarchy::IntervalSpec::leaf(37.0, 99.0),
+                ],
+            ),
+        )
+        .unwrap();
+        (Vgh::Categorical(edu), Vgh::Continuous(hrs))
+    }
+
+    fn rule() -> MatchingRule {
+        MatchingRule {
+            thetas: vec![0.5, 0.2],
+            distances: vec![AttrDistance::Hamming, AttrDistance::NormalizedEuclidean],
+        }
+    }
+
+    fn seq(edu: &Vgh, label: &str, lo: f64, hi: f64) -> Vec<GenVal> {
+        let node = edu.as_taxonomy().unwrap().node_by_label(label).unwrap();
+        vec![GenVal::Cat(node), GenVal::Range { lo, hi }]
+    }
+
+    #[test]
+    fn paper_mismatch_r1_s5() {
+        // (Masters, [35-37)) vs (Senior Sec., [1-35)): the Education slack
+        // infimum is 1 > 0.5 ⇒ N (paper §III).
+        let (edu, hrs) = setup();
+        let vghs = [&edu, &hrs];
+        let a = seq(&edu, "Masters", 35.0, 37.0);
+        let b = seq(&edu, "Senior Sec.", 1.0, 35.0);
+        assert_eq!(slack_decision(&vghs, &rule(), &a, &b), PairLabel::NonMatch);
+    }
+
+    #[test]
+    fn paper_match_r1_s1() {
+        // (Masters, [35-37)) vs (Masters, [35-37)): equal singleton leaf +
+        // interval span 2 ≤ 0.2·98 ⇒ M (paper §III).
+        let (edu, hrs) = setup();
+        let vghs = [&edu, &hrs];
+        let a = seq(&edu, "Masters", 35.0, 37.0);
+        assert_eq!(slack_decision(&vghs, &rule(), &a, &a), PairLabel::Match);
+    }
+
+    #[test]
+    fn paper_unknown_r1_s3() {
+        // (Masters, [35-37)) vs (ANY, [1-35)): Education could match
+        // (specSets intersect) and Work Hrs could go either way ⇒ U.
+        let (edu, hrs) = setup();
+        let vghs = [&edu, &hrs];
+        let a = seq(&edu, "Masters", 35.0, 37.0);
+        let b = seq(&edu, "ANY", 1.0, 35.0);
+        assert_eq!(slack_decision(&vghs, &rule(), &a, &b), PairLabel::Unknown);
+    }
+
+    #[test]
+    fn all_attributes_must_agree_for_match() {
+        let (edu, hrs) = setup();
+        let vghs = [&edu, &hrs];
+        // Education matches exactly, but Work Hrs spans the whole domain.
+        let a = seq(&edu, "Masters", 1.0, 99.0);
+        assert_eq!(slack_decision(&vghs, &rule(), &a, &a), PairLabel::Unknown);
+    }
+
+    #[test]
+    fn numeric_gap_can_prove_mismatch() {
+        let (edu, hrs) = setup();
+        let vghs = [&edu, &hrs];
+        // Education equal; Work Hrs [1-35) vs [37-99): gap 2/98 ≈ 0.0204.
+        let mut a = seq(&edu, "Masters", 1.0, 35.0);
+        let b = seq(&edu, "Masters", 37.0, 99.0);
+        // θ₂ = 0.2 → gap is fine → still Unknown (span too wide to match).
+        assert_eq!(slack_decision(&vghs, &rule(), &a, &b), PairLabel::Unknown);
+        // Tighten θ₂ below the gap → provable mismatch.
+        let tight = MatchingRule {
+            thetas: vec![0.5, 0.01],
+            distances: vec![AttrDistance::Hamming, AttrDistance::NormalizedEuclidean],
+        };
+        assert_eq!(slack_decision(&vghs, &tight, &a, &b), PairLabel::NonMatch);
+        // And matching intervals at tight θ₂ still match when narrow enough.
+        a[1] = GenVal::Range { lo: 35.0, hi: 37.0 };
+        let c = a.clone();
+        assert_eq!(slack_decision(&vghs, &tight, &a, &c), PairLabel::Unknown);
+    }
+}

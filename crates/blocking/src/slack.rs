@@ -1,0 +1,214 @@
+//! Slack distance functions `sdl` (infimum) and `sds` (supremum), paper §IV.
+//!
+//! For generalized values `v = gen(r).aᵢ` and `w = gen(s).aᵢ`, the original
+//! pair `(r.aᵢ, s.aᵢ)` is guaranteed to lie in `specSet(v) × specSet(w)`;
+//! `sdl`/`sds` bound the attribute distance over that product set.
+
+use crate::distance::{max_label_len, AttrDistance};
+use pprl_anon::GenVal;
+use pprl_hierarchy::{Taxonomy, Vgh};
+
+/// Computes `(sdl, sds)` for one attribute.
+pub fn slack_bounds(vgh: &Vgh, dist: AttrDistance, a: &GenVal, b: &GenVal) -> (f64, f64) {
+    match dist {
+        AttrDistance::Hamming => {
+            let t = vgh.as_taxonomy().expect("categorical attribute");
+            hamming_bounds(t, a.as_cat(), b.as_cat())
+        }
+        AttrDistance::NormalizedEuclidean => {
+            let h = vgh.as_intervals().expect("continuous attribute");
+            let (a_lo, a_hi) = a.as_range();
+            let (b_lo, b_hi) = b.as_range();
+            euclidean_bounds(a_lo, a_hi, b_lo, b_hi, h.norm_factor())
+        }
+        AttrDistance::NormalizedEdit => {
+            let t = vgh.as_taxonomy().expect("categorical attribute");
+            edit_bounds(t, a.as_cat(), b.as_cat())
+        }
+    }
+}
+
+/// Hamming: the originals *can* be equal iff the specialization sets
+/// intersect (`sdl = 0`); they *must* be equal iff both sets are the same
+/// singleton (`sds = 0`).
+fn hamming_bounds(t: &Taxonomy, a: pprl_hierarchy::NodeId, b: pprl_hierarchy::NodeId) -> (f64, f64) {
+    let overlap = t.spec_set_overlap(a, b);
+    let sdl = if overlap > 0 { 0.0 } else { 1.0 };
+    let both_same_singleton =
+        t.spec_set_size(a) == 1 && t.spec_set_size(b) == 1 && overlap == 1;
+    let sds = if both_same_singleton { 0.0 } else { 1.0 };
+    (sdl, sds)
+}
+
+/// Normalized Euclidean over intervals `[a_lo, a_hi) × [b_lo, b_hi)`:
+/// infimum is the gap between the intervals (0 when they overlap), supremum
+/// is the widest end-to-end span.
+fn euclidean_bounds(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64, norm: f64) -> (f64, f64) {
+    let gap = (a_lo.max(b_lo) - a_hi.min(b_hi)).max(0.0);
+    let span = (b_hi - a_lo).max(a_hi - b_lo);
+    (gap / norm, span / norm)
+}
+
+/// Edit-distance bounds by exhaustive evaluation over the (finite)
+/// specialization sets — the literal §IV definitions
+/// `sdl = inf …`, `sds = sup …`. String domains are small (name/address
+/// dictionaries), and the engine memoizes per node pair.
+fn edit_bounds(t: &Taxonomy, a: pprl_hierarchy::NodeId, b: pprl_hierarchy::NodeId) -> (f64, f64) {
+    let norm = max_label_len(t) as f64;
+    let mut inf = f64::INFINITY;
+    let mut sup = f64::NEG_INFINITY;
+    for pa in t.leaves_under(a) {
+        let la = t.label(t.leaf_node(pa));
+        for pb in t.leaves_under(b) {
+            let lb = t.label(t.leaf_node(pb));
+            let d = edit_distance(la, lb) as f64 / norm;
+            inf = inf.min(d);
+            sup = sup.max(d);
+        }
+    }
+    (inf, sup)
+}
+
+/// Levenshtein distance (unit costs), O(|a|·|b|) with a rolling row.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_hierarchy::{prefix_hierarchy, TaxSpec};
+
+    fn edu() -> Taxonomy {
+        Taxonomy::from_spec(
+            "edu",
+            &TaxSpec::node(
+                "ANY",
+                vec![
+                    TaxSpec::node(
+                        "Senior Sec.",
+                        vec![TaxSpec::leaf("11th"), TaxSpec::leaf("12th")],
+                    ),
+                    TaxSpec::node(
+                        "Grad",
+                        vec![TaxSpec::leaf("Masters"), TaxSpec::leaf("Doctorate")],
+                    ),
+                ],
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_masters_vs_senior_sec() {
+        // §III: d₁(r₁.a₁, s₅.a₁) = 1 because no specialization of
+        // "Senior Sec." equals Masters → provable mismatch at θ = 0.5.
+        let t = edu();
+        let masters = t.node_by_label("Masters").unwrap();
+        let senior = t.node_by_label("Senior Sec.").unwrap();
+        let (sdl, sds) = hamming_bounds(&t, masters, senior);
+        assert_eq!(sdl, 1.0);
+        assert_eq!(sds, 1.0);
+    }
+
+    #[test]
+    fn paper_example_masters_vs_masters() {
+        // §III: both un-generalized and equal → distance exactly 0.
+        let t = edu();
+        let masters = t.node_by_label("Masters").unwrap();
+        let (sdl, sds) = hamming_bounds(&t, masters, masters);
+        assert_eq!(sdl, 0.0);
+        assert_eq!(sds, 0.0);
+    }
+
+    #[test]
+    fn overlapping_generalizations_are_undecided() {
+        // ANY vs Masters: could be equal (sdl=0) or differ (sds=1).
+        let t = edu();
+        let any = t.root();
+        let masters = t.node_by_label("Masters").unwrap();
+        let (sdl, sds) = hamming_bounds(&t, any, masters);
+        assert_eq!(sdl, 0.0);
+        assert_eq!(sds, 1.0);
+        // Same non-singleton node vs itself: records may still differ.
+        let grad = t.node_by_label("Grad").unwrap();
+        let (sdl, sds) = hamming_bounds(&t, grad, grad);
+        assert_eq!((sdl, sds), (0.0, 1.0));
+    }
+
+    #[test]
+    fn euclidean_bounds_paper_example() {
+        // §III: both values in [35, 37) → sup < 19.6 at norm 98, so the
+        // pair matches at θ₂ = 0.2.
+        let (sdl, sds) = euclidean_bounds(35.0, 37.0, 35.0, 37.0, 98.0);
+        assert_eq!(sdl, 0.0);
+        assert!((sds - 2.0 / 98.0).abs() < 1e-12);
+        assert!(sds <= 0.2);
+    }
+
+    #[test]
+    fn euclidean_bounds_disjoint_intervals() {
+        let (sdl, sds) = euclidean_bounds(0.0, 10.0, 30.0, 40.0, 100.0);
+        assert!((sdl - 0.2).abs() < 1e-12); // gap 20
+        assert!((sds - 0.4).abs() < 1e-12); // span 40
+        // Symmetry.
+        let (sdl2, sds2) = euclidean_bounds(30.0, 40.0, 0.0, 10.0, 100.0);
+        assert_eq!((sdl, sds), (sdl2, sds2));
+    }
+
+    #[test]
+    fn euclidean_bounds_nested_intervals() {
+        let (sdl, sds) = euclidean_bounds(0.0, 100.0, 40.0, 50.0, 100.0);
+        assert_eq!(sdl, 0.0);
+        assert!((sds - 0.6).abs() < 1e-12); // max(50-0, 100-40)=60
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("smith", "smyth"), 1);
+        assert_eq!(edit_distance("a", "a"), 0);
+    }
+
+    #[test]
+    fn edit_bounds_bracket_all_leaf_pairs() {
+        let t = prefix_hierarchy(
+            "surname",
+            &["smith", "smythe", "stone", "jones"],
+            &[1, 2],
+        )
+        .unwrap();
+        let norm = max_label_len(&t) as f64;
+        let s_star = t.node_by_label("s*").unwrap();
+        let jones = t.node_by_label("jones").unwrap();
+        let (sdl, sds) = edit_bounds(&t, s_star, jones);
+        // Bounds must bracket every concrete pair.
+        for name in ["smith", "smythe", "stone"] {
+            let d = edit_distance(name, "jones") as f64 / norm;
+            assert!(sdl <= d + 1e-12 && d <= sds + 1e-12, "{name}");
+        }
+        // Identical singleton: exact zero.
+        let (sdl, sds) = edit_bounds(&t, jones, jones);
+        assert_eq!((sdl, sds), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,507 @@
+//! `pprl-link` — hybrid private record linkage from the command line.
+//!
+//! ```sh
+//! # Generate a reproducible two-holder scenario as adult.data-format CSVs:
+//! pprl-link synth --records 2000 --seed 7 --out /tmp/demo
+//!
+//! # Link the two files with the paper's defaults and print the report:
+//! pprl-link run --left /tmp/demo/d1.csv --right /tmp/demo/d2.csv
+//!
+//! # Tune the three-way trade-off:
+//! pprl-link run --left d1.csv --right d2.csv \
+//!     --k 64 --theta 0.05 --allowance-pct 2.0 --heuristic maxlast --json
+//!
+//! # Inspect exactly what a holder would publish:
+//! pprl-link anonymize --input d1.csv --k 32 --method entropy
+//! ```
+
+use pprl_anon::{AnonymizationMethod, Anonymizer, KAnonymityRequirement};
+use pprl_core::{HybridLinkage, LinkageConfig};
+use pprl_data::loader::load_adult;
+use pprl_smc::{LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "synth" => cmd_synth(&opts),
+        "run" => cmd_run(&opts),
+        "anonymize" => cmd_anonymize(&opts),
+        "block" => cmd_block(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+pprl-link — hybrid private record linkage (ICDE 2008 reproduction)
+
+USAGE:
+  pprl-link synth     --out DIR [--records N] [--seed S]
+  pprl-link run       --left FILE --right FILE [options]
+  pprl-link anonymize --input FILE [--k K] [--method M] [--qids Q] [--publish FILE]
+  pprl-link block     --left-view FILE --right-view FILE [--theta T]
+
+`anonymize --publish` writes the k-anonymous release to a file; `block`
+labels the pair space from two published views alone — no plaintext ever
+crosses the boundary, exactly the protocol's trust model.
+
+RUN OPTIONS:
+  --k K               anonymity requirement for both holders   [32]
+  --k-left K          override left holder's k
+  --k-right K         override right holder's k
+  --theta T           matching threshold θ for all attributes  [0.05]
+  --qids Q            number of quasi-identifiers (top-q)      [5]
+  --allowance-pct P   SMC allowance as % of all pairs          [1.5]
+  --heuristic H       minfirst | maxlast | minavg | random     [minavg]
+  --method M          entropy | tds | datafly | mondrian       [entropy]
+  --strategy S        precision | recall | classifier          [precision]
+  --paillier BITS     run real Paillier SMC with BITS-bit keys (slow)
+  --json              emit the report as JSON
+";
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?;
+        if key == "json" {
+            opts.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            opts.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+    }
+    Ok(opts)
+}
+
+fn get<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse {raw:?}")),
+    }
+}
+
+fn parse_method(name: &str) -> Result<AnonymizationMethod, String> {
+    match name {
+        "entropy" => Ok(AnonymizationMethod::MaxEntropy),
+        "tds" => Ok(AnonymizationMethod::Tds),
+        "datafly" => Ok(AnonymizationMethod::Datafly),
+        "mondrian" => Ok(AnonymizationMethod::Mondrian),
+        other => Err(format!("unknown method {other:?}")),
+    }
+}
+
+fn cmd_synth(opts: &Opts) -> Result<(), String> {
+    let out = opts.get("out").ok_or("--out DIR is required")?;
+    let records: usize = get(opts, "records", 2_000)?;
+    let seed: u64 = get(opts, "seed", 42)?;
+    let scenario = pprl_core::SyntheticScenario::builder()
+        .records_per_set(records)
+        .seed(seed)
+        .build();
+    let (d1, d2) = scenario.data_sets();
+    std::fs::create_dir_all(out).map_err(|e| e.to_string())?;
+    for (name, ds) in [("d1.csv", &d1), ("d2.csv", &d2)] {
+        let path = format!("{out}/{name}");
+        std::fs::write(&path, pprl_data::writer::write_adult_csv(ds))
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path} ({} records)", ds.len());
+    }
+    Ok(())
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let left = opts.get("left").ok_or("--left FILE is required")?;
+    let right = opts.get("right").ok_or("--right FILE is required")?;
+    let d1 = load_adult(left).map_err(|e| format!("{left}: {e}"))?;
+    let d2 = load_adult(right).map_err(|e| format!("{right}: {e}"))?;
+
+    let k: usize = get(opts, "k", 32)?;
+    let mut config = LinkageConfig::paper_defaults()
+        .with_k(k)
+        .with_theta(get(opts, "theta", 0.05)?)
+        .with_qid_count(get(opts, "qids", 5)?)
+        .with_allowance(SmcAllowance::Fraction(
+            get(opts, "allowance-pct", 1.5)? / 100.0,
+        ));
+    config.k_r = KAnonymityRequirement(get(opts, "k-left", k)?);
+    config.k_s = KAnonymityRequirement(get(opts, "k-right", k)?);
+    let method = parse_method(opts.get("method").map(String::as_str).unwrap_or("entropy"))?;
+    config.method_r = method;
+    config.method_s = method;
+    config.heuristic = match opts.get("heuristic").map(String::as_str).unwrap_or("minavg") {
+        "minfirst" => SelectionHeuristic::MinFirst,
+        "maxlast" => SelectionHeuristic::MaxLast,
+        "minavg" => SelectionHeuristic::MinAvgFirst,
+        "random" => SelectionHeuristic::Random { seed: 1 },
+        other => return Err(format!("unknown heuristic {other:?}")),
+    };
+    config.strategy = match opts.get("strategy").map(String::as_str).unwrap_or("precision") {
+        "precision" => LabelingStrategy::MaximizePrecision,
+        "recall" => LabelingStrategy::MaximizeRecall,
+        "classifier" => LabelingStrategy::Classifier,
+        other => return Err(format!("unknown strategy {other:?}")),
+    };
+    if let Some(bits) = opts.get("paillier") {
+        config.mode = SmcMode::Paillier {
+            modulus_bits: bits.parse().map_err(|_| "--paillier BITS")?,
+            seed: get(opts, "seed", 42)?,
+        };
+    }
+
+    let outcome = HybridLinkage::new(config)
+        .run(&d1, &d2)
+        .map_err(|e| e.to_string())?;
+    let m = &outcome.metrics;
+
+    if opts.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::json!({
+                "total_pairs": m.total_pairs,
+                "true_matches": m.true_matches,
+                "declared_matches": m.declared_matches,
+                "true_positives": m.true_positives,
+                "precision": m.precision(),
+                "recall": m.recall(),
+                "f1": m.f1(),
+                "blocking_efficiency": m.blocking_efficiency,
+                "blocking_matched": m.blocking_matched,
+                "smc_matched": m.smc_matched,
+                "smc_invocations": m.smc_invocations,
+                "smc_budget": m.smc_budget,
+                "crypto": {
+                    "encryptions": outcome.ledger.encryptions,
+                    "decryptions": outcome.ledger.decryptions,
+                    "scalar_muls": outcome.ledger.scalar_muls,
+                    "messages": outcome.ledger.messages,
+                    "bytes": outcome.ledger.bytes,
+                },
+            })
+        );
+    } else {
+        println!("pairs               : {}", m.total_pairs);
+        println!(
+            "blocking efficiency : {:.2}%  ({} matched, {} pairs undecided)",
+            100.0 * m.blocking_efficiency,
+            m.blocking_matched,
+            m.total_pairs - (m.blocking_efficiency * m.total_pairs as f64) as u64
+        );
+        println!(
+            "SMC                 : {} / {} comparisons, {} matches",
+            m.smc_invocations, m.smc_budget, m.smc_matched
+        );
+        println!("true matches        : {}", m.true_matches);
+        println!("declared matches    : {}", m.declared_matches);
+        println!("precision           : {:.2}%", 100.0 * m.precision());
+        println!("recall              : {:.2}%", 100.0 * m.recall());
+    }
+    Ok(())
+}
+
+fn cmd_anonymize(opts: &Opts) -> Result<(), String> {
+    let input = opts.get("input").ok_or("--input FILE is required")?;
+    let data = load_adult(input).map_err(|e| format!("{input}: {e}"))?;
+    let k: usize = get(opts, "k", 32)?;
+    let q: usize = get(opts, "qids", 5)?;
+    let method = parse_method(opts.get("method").map(String::as_str).unwrap_or("entropy"))?;
+    let qids: Vec<usize> = (0..q).collect();
+    let view = Anonymizer::new(method, KAnonymityRequirement(k))
+        .anonymize(&data, &qids)
+        .map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "# prosecutor risk {:.4} (bound 1/k = {:.4}), marketer risk {:.4}",
+        pprl_anon::prosecutor_risk(&view),
+        1.0 / k as f64,
+        pprl_anon::marketer_risk(&view),
+    );
+    let text = publish_view(&data, &qids, &view);
+    if let Some(path) = opts.get("publish") {
+        std::fs::write(path, &text).map_err(|e| e.to_string())?;
+        println!(
+            "published {} classes ({} records, k = {k}, {method:?}) to {path}",
+            view.distinct_sequences(),
+            data.len()
+        );
+    } else {
+        print!("{text}");
+    }
+    Ok(())
+}
+
+/// Serializes the *publishable* part of a view: generalization sequences
+/// and class sizes only — no row identities, no original values.
+fn publish_view(
+    data: &pprl_data::DataSet,
+    qids: &[usize],
+    view: &pprl_anon::AnonymizedView,
+) -> String {
+    let schema = data.schema();
+    let header: Vec<&str> = qids.iter().map(|&i| schema.attribute(i).name()).collect();
+    let mut out = format!("# pprl-view v1\n# count\t{}\n", header.join("\t"));
+    let mut classes: Vec<_> = view.classes().iter().collect();
+    classes.sort_by_key(|c| std::cmp::Reverse(c.size()));
+    for class in classes {
+        let rendered: Vec<String> = class
+            .sequence
+            .iter()
+            .zip(qids)
+            .map(|(gv, &qid)| render_genval(schema.attribute(qid).vgh(), gv))
+            .collect();
+        out.push_str(&format!("{}\t{}\n", class.size(), rendered.join("\t")));
+    }
+    out
+}
+
+/// Parses a published view back into `(class sizes, sequences)` against
+/// the Adult schema's VGHs.
+fn parse_view(
+    path: &str,
+    schema: &pprl_data::Schema,
+    qids: &[usize],
+) -> Result<Vec<(u64, Vec<pprl_anon::GenVal>)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut classes = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != qids.len() + 1 {
+            return Err(format!("{path}:{}: expected {} fields", no + 1, qids.len() + 1));
+        }
+        let count: u64 = fields[0]
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad count {:?}", no + 1, fields[0]))?;
+        let mut seq = Vec::with_capacity(qids.len());
+        for (pos, &qid) in qids.iter().enumerate() {
+            seq.push(parse_genval(schema.attribute(qid).vgh(), fields[pos + 1]).map_err(
+                |e| format!("{path}:{}: {e}", no + 1),
+            )?);
+        }
+        classes.push((count, seq));
+    }
+    Ok(classes)
+}
+
+fn parse_genval(vgh: &pprl_hierarchy::Vgh, text: &str) -> Result<pprl_anon::GenVal, String> {
+    match vgh {
+        pprl_hierarchy::Vgh::Categorical(t) => t
+            .node_by_label(text)
+            .map(pprl_anon::GenVal::Cat)
+            .map_err(|e| e.to_string()),
+        pprl_hierarchy::Vgh::Continuous(h) => {
+            if text == "ANY" {
+                let (lo, hi) = h.domain();
+                return Ok(pprl_anon::GenVal::Range { lo, hi });
+            }
+            let inner = text
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(')'))
+                .ok_or_else(|| format!("bad interval {text:?}"))?;
+            let (lo, hi) = inner
+                .split_once('-')
+                .ok_or_else(|| format!("bad interval {text:?}"))?;
+            Ok(pprl_anon::GenVal::Range {
+                lo: lo.parse().map_err(|_| format!("bad bound {lo:?}"))?,
+                hi: hi.parse().map_err(|_| format!("bad bound {hi:?}"))?,
+            })
+        }
+    }
+}
+
+/// Blocking from two *published views only* — the step any third party (or
+/// either holder) can replicate without plaintext access.
+fn cmd_block(opts: &Opts) -> Result<(), String> {
+    use pprl_blocking::{slack_decision, MatchingRule, PairLabel};
+
+    let left = opts.get("left-view").ok_or("--left-view FILE is required")?;
+    let right = opts.get("right-view").ok_or("--right-view FILE is required")?;
+    let theta: f64 = get(opts, "theta", 0.05)?;
+    let q: usize = get(opts, "qids", 5)?;
+    let qids: Vec<usize> = (0..q).collect();
+    let schema = pprl_data::Schema::adult();
+
+    let l = parse_view(left, &schema, &qids)?;
+    let r = parse_view(right, &schema, &qids)?;
+    let rule = MatchingRule::uniform(&schema, &qids, theta);
+    let vghs: Vec<&pprl_hierarchy::Vgh> =
+        qids.iter().map(|&i| schema.attribute(i).vgh()).collect();
+
+    let (mut m, mut n, mut u) = (0u64, 0u64, 0u64);
+    for (lc, lseq) in &l {
+        for (rc, rseq) in &r {
+            let pairs = lc * rc;
+            match slack_decision(&vghs, &rule, lseq, rseq) {
+                PairLabel::Match => m += pairs,
+                PairLabel::NonMatch => n += pairs,
+                PairLabel::Unknown => u += pairs,
+            }
+        }
+    }
+    let total = m + n + u;
+    println!("pair space          : {total}");
+    println!("provably matching   : {m}");
+    println!("provably mismatching: {n}");
+    println!("undecided (SMC work): {u}");
+    println!(
+        "blocking efficiency : {:.2}%",
+        100.0 * (m + n) as f64 / total.max(1) as f64
+    );
+    println!(
+        "sufficient allowance: {:.2}% of pairs",
+        100.0 * u as f64 / total.max(1) as f64
+    );
+    Ok(())
+}
+
+fn render_genval(vgh: &pprl_hierarchy::Vgh, gv: &pprl_anon::GenVal) -> String {
+    match gv {
+        pprl_anon::GenVal::Cat(node) => vgh.render(*node),
+        pprl_anon::GenVal::Range { lo, hi } => format!("[{lo}-{hi})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opts_parsing() {
+        let args: Vec<String> = ["--k", "8", "--json", "--theta", "0.1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_opts(&args).unwrap();
+        assert_eq!(get::<usize>(&opts, "k", 32).unwrap(), 8);
+        assert_eq!(get::<f64>(&opts, "theta", 0.05).unwrap(), 0.1);
+        assert_eq!(get::<usize>(&opts, "missing", 7).unwrap(), 7);
+        assert!(opts.contains_key("json"));
+        // Malformed inputs.
+        assert!(parse_opts(&["k".to_string()]).is_err());
+        assert!(parse_opts(&["--k".to_string()]).is_err());
+        let bad = parse_opts(&["--k".to_string(), "x".to_string()]).unwrap();
+        assert!(get::<usize>(&bad, "k", 1).is_err());
+    }
+
+    #[test]
+    fn method_names_resolve() {
+        assert!(parse_method("entropy").is_ok());
+        assert!(parse_method("tds").is_ok());
+        assert!(parse_method("datafly").is_ok());
+        assert!(parse_method("mondrian").is_ok());
+        assert!(parse_method("magic").is_err());
+    }
+
+    #[test]
+    fn genval_render_parse_roundtrip() {
+        let schema = pprl_data::Schema::adult();
+        // Continuous: interval and ANY forms.
+        let age = schema.attribute(0).vgh();
+        for gv in [
+            pprl_anon::GenVal::Range { lo: 17.0, hi: 25.0 },
+            pprl_anon::GenVal::Range { lo: 17.0, hi: 113.0 },
+        ] {
+            let text = render_genval(age, &gv);
+            let parsed = parse_genval(age, &text).unwrap();
+            assert_eq!(parsed, gv, "{text}");
+        }
+        assert_eq!(
+            parse_genval(age, "ANY").unwrap(),
+            pprl_anon::GenVal::Range { lo: 17.0, hi: 113.0 }
+        );
+        // Categorical: every node label round-trips.
+        let edu = schema.attribute(2).vgh();
+        for node in 0..edu.as_taxonomy().unwrap().node_count() as u32 {
+            let gv = pprl_anon::GenVal::Cat(node);
+            let text = render_genval(edu, &gv);
+            assert_eq!(parse_genval(edu, &text).unwrap(), gv, "{text}");
+        }
+        // Garbage rejected.
+        assert!(parse_genval(age, "[17-").is_err());
+        assert!(parse_genval(age, "17-25").is_err());
+        assert!(parse_genval(edu, "NotALabel").is_err());
+    }
+
+    #[test]
+    fn publish_block_roundtrip_counts_match_engine() {
+        use pprl_blocking::{slack_decision, BlockingEngine, MatchingRule, PairLabel};
+
+        // Publish two views to text, parse back, and check the text path's
+        // M/N/U pair counts equal the in-memory engine's.
+        let scenario = pprl_core::SyntheticScenario::builder()
+            .records_per_set(120)
+            .seed(3)
+            .build();
+        let (d1, d2) = scenario.data_sets();
+        let qids: Vec<usize> = (0..5).collect();
+        let anon = Anonymizer::new(
+            AnonymizationMethod::MaxEntropy,
+            KAnonymityRequirement(4),
+        );
+        let v1 = anon.anonymize(&d1, &qids).unwrap();
+        let v2 = anon.anonymize(&d2, &qids).unwrap();
+
+        let dir = std::env::temp_dir().join("pprl-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("a.view");
+        let p2 = dir.join("b.view");
+        std::fs::write(&p1, publish_view(&d1, &qids, &v1)).unwrap();
+        std::fs::write(&p2, publish_view(&d2, &qids, &v2)).unwrap();
+
+        let schema = d1.schema();
+        let l = parse_view(p1.to_str().unwrap(), schema, &qids).unwrap();
+        let r = parse_view(p2.to_str().unwrap(), schema, &qids).unwrap();
+        let rule = MatchingRule::uniform(schema, &qids, 0.05);
+        let vghs: Vec<&pprl_hierarchy::Vgh> =
+            qids.iter().map(|&i| schema.attribute(i).vgh()).collect();
+        let (mut m, mut n, mut u) = (0u64, 0u64, 0u64);
+        for (lc, lseq) in &l {
+            for (rc, rseq) in &r {
+                match slack_decision(&vghs, &rule, lseq, rseq) {
+                    PairLabel::Match => m += lc * rc,
+                    PairLabel::NonMatch => n += lc * rc,
+                    PairLabel::Unknown => u += lc * rc,
+                }
+            }
+        }
+        let engine = BlockingEngine::new(rule).run(&v1, &v2).unwrap();
+        assert_eq!(m, engine.matched_pairs);
+        assert_eq!(n, engine.nonmatched_pairs);
+        assert_eq!(u, engine.unknown_pairs);
+    }
+}

@@ -1,0 +1,257 @@
+//! The two baselines the paper positions itself against (§I):
+//!
+//! * **Pure cryptographic** — run the SMC protocol on every record pair.
+//!   Exact (precision = recall = 1) but the cost is the full `|R|·|S|`
+//!   pair space.
+//! * **Pure sanitization** — decide every pair from the anonymized views
+//!   alone: declare M class pairs matching, and classify U class pairs by
+//!   thresholding their expected distances ("perturbing sensitive data at
+//!   the expense of degrading matching accuracy").
+
+use crate::truth::{count_matches_in_class_pair, GroundTruth};
+use crate::LinkageError;
+use pprl_anon::{AnonymizationMethod, Anonymizer, KAnonymityRequirement};
+use pprl_blocking::{BlockingEngine, MatchingRule};
+use pprl_data::DataSet;
+use pprl_hierarchy::Vgh;
+use pprl_smc::expected::expected_vector;
+use serde::{Deserialize, Serialize};
+
+/// Quality/cost summary of a baseline run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BaselineReport {
+    /// Baseline name.
+    pub name: String,
+    /// SMC invocations required.
+    pub smc_invocations: u64,
+    /// Precision achieved.
+    pub precision: f64,
+    /// Recall achieved.
+    pub recall: f64,
+}
+
+/// Pure-SMC baseline: cost is the whole pair space, accuracy is perfect.
+/// (No crypto actually runs — the report is analytic; the per-invocation
+/// cost comes from the criterion benches.)
+pub fn pure_smc(r: &DataSet, s: &DataSet) -> BaselineReport {
+    BaselineReport {
+        name: "pure-smc".into(),
+        smc_invocations: r.len() as u64 * s.len() as u64,
+        precision: 1.0,
+        recall: 1.0,
+    }
+}
+
+/// Pure-sanitization baseline: no SMC at all. Pairs provably matching via
+/// the slack rule are declared; unknown class pairs are classified by
+/// expected distance against the thresholds (`EDᵢ ≤ θᵢ` for all i).
+pub fn pure_sanitization(
+    r: &DataSet,
+    s: &DataSet,
+    qids: &[usize],
+    rule: &MatchingRule,
+    k: usize,
+    method: AnonymizationMethod,
+) -> Result<BaselineReport, LinkageError> {
+    let anonymizer = Anonymizer::new(method, KAnonymityRequirement(k));
+    let r_view = anonymizer.anonymize(r, qids)?;
+    let s_view = anonymizer.anonymize(s, qids)?;
+    let blocking = BlockingEngine::new(rule.clone()).run(&r_view, &s_view)?;
+
+    let schema = r.schema();
+    let vghs: Vec<&Vgh> = qids.iter().map(|&q| schema.attribute(q).vgh()).collect();
+
+    // Declared = all M pairs + U class pairs passing the ED threshold test.
+    let mut declared = blocking.matched_pairs;
+    let mut true_positives = blocking.matched_pairs; // M pairs are sound
+    for pref in &blocking.unknown {
+        let a = &r_view.classes()[pref.r_class as usize].sequence;
+        let b = &s_view.classes()[pref.s_class as usize].sequence;
+        let eds = expected_vector(&vghs, &rule.distances, a, b);
+        let predicted_match = eds
+            .iter()
+            .zip(&rule.thetas)
+            .all(|(ed, theta)| ed <= theta);
+        if predicted_match {
+            declared += pref.pairs;
+            true_positives += count_matches_in_class_pair(
+                r,
+                s,
+                qids,
+                rule,
+                &r_view.classes()[pref.r_class as usize].rows,
+                &s_view.classes()[pref.s_class as usize].rows,
+                0,
+            );
+        }
+    }
+
+    let truth = GroundTruth::compute(r, s, qids, rule);
+    let precision = if declared == 0 {
+        1.0
+    } else {
+        true_positives as f64 / declared as f64
+    };
+    let recall = if truth.total_matches() == 0 {
+        1.0
+    } else {
+        true_positives as f64 / truth.total_matches() as f64
+    };
+    Ok(BaselineReport {
+        name: format!("pure-sanitization(k={k})"),
+        smc_invocations: 0,
+        precision,
+        recall,
+    })
+}
+
+/// Secure set intersection (Agrawal et al. \[15\], the paper's §VII
+/// comparator): commutative-encryption equality join on the exact QID
+/// tuple. Precision is 1 (equal tuples have distance 0 on every attribute)
+/// but *near* matches — the whole point of distance-threshold linkage —
+/// are structurally invisible, and cost still scales with both tables.
+///
+/// The report is computed from plaintext tuple equality, which the
+/// commutative protocol decides exactly (`tests/` validate the real
+/// [`pprl_crypto::commutative::intersect_encrypted`] against it); the
+/// exponentiation count is the protocol's actual cost: `2(|R| + |S|)`.
+pub fn secure_set_intersection(
+    r: &DataSet,
+    s: &DataSet,
+    qids: &[usize],
+    rule: &MatchingRule,
+) -> BaselineReport {
+    use std::collections::HashMap;
+    let mut index: HashMap<Vec<u64>, u64> = HashMap::new();
+    for rec in s.records() {
+        *index.entry(tuple_key(rec, qids)).or_insert(0) += 1;
+    }
+    let mut matched = 0u64;
+    for rec in r.records() {
+        if let Some(&count) = index.get(&tuple_key(rec, qids)) {
+            matched += count;
+        }
+    }
+    let truth = GroundTruth::compute(r, s, qids, rule);
+    let recall = if truth.total_matches() == 0 {
+        1.0
+    } else {
+        matched as f64 / truth.total_matches() as f64
+    };
+    BaselineReport {
+        name: "secure-set-intersection".into(),
+        // One hash-encrypt + one re-encrypt per element on each side.
+        smc_invocations: 2 * (r.len() as u64 + s.len() as u64),
+        precision: 1.0,
+        recall,
+    }
+}
+
+/// Serializes the exact matching tuple of a record (equality key).
+pub fn tuple_key(rec: &pprl_data::Record, qids: &[usize]) -> Vec<u64> {
+    qids.iter()
+        .map(|&q| match rec.value(q) {
+            pprl_data::Value::Cat(p) => p as u64,
+            pprl_data::Value::Num(v) => (v * 1000.0).round() as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SyntheticScenario;
+
+    const QIDS: [usize; 5] = [0, 1, 2, 3, 4];
+
+    #[test]
+    fn pure_smc_costs_the_whole_pair_space() {
+        let (d1, d2) = SyntheticScenario::builder()
+            .records_per_set(100)
+            .seed(3)
+            .build()
+            .data_sets();
+        let report = pure_smc(&d1, &d2);
+        assert_eq!(report.smc_invocations, 10_000);
+        assert_eq!(report.precision, 1.0);
+        assert_eq!(report.recall, 1.0);
+    }
+
+    #[test]
+    fn set_intersection_misses_near_matches() {
+        let (d1, d2) = SyntheticScenario::builder()
+            .records_per_set(200)
+            .seed(7)
+            .build()
+            .data_sets();
+        let rule = MatchingRule::uniform(d1.schema(), &QIDS, 0.05);
+        let report = secure_set_intersection(&d1, &d2, &QIDS, &rule);
+        assert_eq!(report.precision, 1.0);
+        // The d3 overlap guarantees exact duplicates, so recall > 0, but
+        // age-window matches are missed, so recall < 1.
+        assert!(report.recall > 0.0);
+        assert!(report.recall < 1.0, "near matches must be missed");
+        assert_eq!(report.smc_invocations, 2 * (200 + 200));
+    }
+
+    #[test]
+    fn analytic_intersection_equals_real_commutative_protocol() {
+        use pprl_crypto::commutative::intersect_encrypted;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let (d1, d2) = SyntheticScenario::builder()
+            .records_per_set(40)
+            .seed(9)
+            .build()
+            .data_sets();
+        let encode = |ds: &DataSet| -> Vec<Vec<u8>> {
+            ds.records()
+                .iter()
+                .map(|r| {
+                    tuple_key(r, &QIDS)
+                        .iter()
+                        .flat_map(|v| v.to_be_bytes())
+                        .collect()
+                })
+                .collect()
+        };
+        let mut rng = StdRng::seed_from_u64(31);
+        let (pairs, cost) = intersect_encrypted(&encode(&d1), &encode(&d2), &mut rng);
+        // Plaintext reference count.
+        let mut expected = 0usize;
+        for r in d1.records() {
+            for s in d2.records() {
+                if tuple_key(r, &QIDS) == tuple_key(s, &QIDS) {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(pairs.len(), expected);
+        assert_eq!(cost.exponentiations, 2 * (40 + 40));
+    }
+
+    #[test]
+    fn pure_sanitization_degrades_recall_as_k_grows() {
+        let (d1, d2) = SyntheticScenario::builder()
+            .records_per_set(240)
+            .seed(5)
+            .build()
+            .data_sets();
+        let rule = MatchingRule::uniform(d1.schema(), &QIDS, 0.05);
+        let run = |k: usize| {
+            pure_sanitization(&d1, &d2, &QIDS, &rule, k, AnonymizationMethod::MaxEntropy)
+                .unwrap()
+        };
+        let fine = run(2);
+        let coarse = run(64);
+        assert_eq!(fine.smc_invocations, 0);
+        // Heavier perturbation should not improve recall.
+        assert!(
+            coarse.recall <= fine.recall + 0.05,
+            "recall k=64 ({:.3}) vs k=2 ({:.3})",
+            coarse.recall,
+            fine.recall
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Pipeline configuration.
+
+use pprl_anon::{AnonymizationMethod, KAnonymityRequirement};
+use pprl_blocking::MatchingRule;
+use pprl_data::Schema;
+use pprl_smc::{LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode};
+
+/// Everything the three participants agree on before the protocol runs.
+///
+/// Each data holder picks its own anonymization method and `k`
+/// (the paper: "Participants can choose different anonymization methods,
+/// anonymity levels, quasi-identifier attribute sets" — we require the QID
+/// *set* to match so the released sequences are comparable, as the
+/// experiments do).
+#[derive(Clone, Debug)]
+pub struct LinkageConfig {
+    /// QID attribute indices (also the matching attributes).
+    pub qids: Vec<usize>,
+    /// Uniform matching threshold θ (used when `custom_rule` is `None`).
+    pub theta: f64,
+    /// Full per-attribute rule override.
+    pub custom_rule: Option<MatchingRule>,
+    /// First holder's anonymization method.
+    pub method_r: AnonymizationMethod,
+    /// Second holder's anonymization method.
+    pub method_s: AnonymizationMethod,
+    /// First holder's anonymity requirement.
+    pub k_r: KAnonymityRequirement,
+    /// Second holder's anonymity requirement.
+    pub k_s: KAnonymityRequirement,
+    /// SMC candidate ordering.
+    pub heuristic: SelectionHeuristic,
+    /// SMC budget.
+    pub allowance: SmcAllowance,
+    /// Leftover labeling strategy (§V-B; the paper uses strategy 1).
+    pub strategy: LabelingStrategy,
+    /// Oracle (sweeps) or real Paillier execution.
+    pub mode: SmcMode,
+}
+
+impl LinkageConfig {
+    /// The paper's §VI defaults: QIDs = {age, workclass, education,
+    /// marital-status, occupation}, θᵢ = 0.05, k = 32 for both holders,
+    /// MaxEntropy anonymization, SMC allowance = 1.5 %, maximize-precision
+    /// strategy.
+    pub fn paper_defaults() -> Self {
+        LinkageConfig {
+            qids: vec![0, 1, 2, 3, 4],
+            theta: 0.05,
+            custom_rule: None,
+            method_r: AnonymizationMethod::MaxEntropy,
+            method_s: AnonymizationMethod::MaxEntropy,
+            k_r: KAnonymityRequirement(32),
+            k_s: KAnonymityRequirement(32),
+            heuristic: SelectionHeuristic::MinAvgFirst,
+            allowance: SmcAllowance::paper_default(),
+            strategy: LabelingStrategy::MaximizePrecision,
+            mode: SmcMode::Oracle,
+        }
+    }
+
+    /// Sets the same `k` for both holders.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k_r = KAnonymityRequirement(k);
+        self.k_s = KAnonymityRequirement(k);
+        self
+    }
+
+    /// Sets the uniform matching threshold.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Uses the top-`q` QIDs of the Adult order (Figs. 6–7 sweeps).
+    pub fn with_qid_count(mut self, q: usize) -> Self {
+        self.qids = (0..q).collect();
+        self
+    }
+
+    /// Sets the SMC allowance.
+    pub fn with_allowance(mut self, allowance: SmcAllowance) -> Self {
+        self.allowance = allowance;
+        self
+    }
+
+    /// Sets the selection heuristic.
+    pub fn with_heuristic(mut self, heuristic: SelectionHeuristic) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Sets the anonymization method for both holders.
+    pub fn with_method(mut self, method: AnonymizationMethod) -> Self {
+        self.method_r = method;
+        self.method_s = method;
+        self
+    }
+
+    /// Sets the leftover labeling strategy.
+    pub fn with_strategy(mut self, strategy: LabelingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Resolves the matching rule against a schema.
+    pub fn rule(&self, schema: &Schema) -> MatchingRule {
+        self.custom_rule
+            .clone()
+            .unwrap_or_else(|| MatchingRule::uniform(schema, &self.qids, self.theta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_vi() {
+        let c = LinkageConfig::paper_defaults();
+        assert_eq!(c.qids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.theta, 0.05);
+        assert_eq!(c.k_r.k(), 32);
+        assert_eq!(c.k_s.k(), 32);
+        assert!(matches!(c.allowance, SmcAllowance::Fraction(f) if (f - 0.015).abs() < 1e-12));
+        assert_eq!(c.strategy, LabelingStrategy::MaximizePrecision);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = LinkageConfig::paper_defaults()
+            .with_k(8)
+            .with_theta(0.1)
+            .with_qid_count(3)
+            .with_heuristic(SelectionHeuristic::MaxLast);
+        assert_eq!(c.k_r.k(), 8);
+        assert_eq!(c.theta, 0.1);
+        assert_eq!(c.qids, vec![0, 1, 2]);
+        assert_eq!(c.heuristic, SelectionHeuristic::MaxLast);
+    }
+
+    #[test]
+    fn rule_resolution_uses_uniform_theta() {
+        let c = LinkageConfig::paper_defaults();
+        let schema = Schema::adult();
+        let rule = c.rule(&schema);
+        assert_eq!(rule.thetas, vec![0.05; 5]);
+    }
+}

@@ -1,0 +1,77 @@
+//! # pprl-core — the hybrid private record linkage pipeline
+//!
+//! The paper's primary contribution, assembled from the substrate crates:
+//!
+//! ```text
+//! R ──anonymize(k_R)──► R' ─┐
+//!                           ├─ blocking (sdr: M/N/U) ─► SMC step (budget,
+//! S ──anonymize(k_S)──► S' ─┘                            heuristic) ─► labels
+//! ```
+//!
+//! [`HybridLinkage::run`] executes the full protocol simulation and scores
+//! it against brute-force-verified ground truth. The paper's three-way
+//! trade-off shows up directly in [`LinkageConfig`]: `k` buys privacy,
+//! [`pprl_smc::SmcAllowance`] caps cost, and [`LinkageMetrics::recall`]
+//! reports the accuracy that remains (precision is structurally 100 % under
+//! the default *maximize precision* strategy).
+//!
+//! Baselines for the paper's comparisons live in [`baselines`]: the pure
+//! cryptographic approach (every pair through SMC) and the pure
+//! sanitization approach (decide everything from the anonymized views).
+
+pub mod baselines;
+mod config;
+mod metrics;
+mod pipeline;
+mod scenario;
+mod truth;
+
+pub use config::LinkageConfig;
+pub use metrics::LinkageMetrics;
+pub use pipeline::{HybridLinkage, LinkageOutcome};
+pub use scenario::{SyntheticScenario, SyntheticScenarioBuilder};
+pub use truth::{count_matches_in_class_pair, GroundTruth};
+
+/// Errors from the pipeline.
+#[derive(Debug)]
+pub enum LinkageError {
+    /// The two inputs disagree structurally.
+    SchemaMismatch,
+    /// Anonymization failed.
+    Anon(pprl_anon::AnonError),
+    /// Blocking failed.
+    Blocking(pprl_blocking::BlockingError),
+    /// The SMC step failed.
+    Smc(pprl_smc::SmcError),
+}
+
+impl std::fmt::Display for LinkageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkageError::SchemaMismatch => write!(f, "input schemas differ"),
+            LinkageError::Anon(e) => write!(f, "anonymization: {e}"),
+            LinkageError::Blocking(e) => write!(f, "blocking: {e}"),
+            LinkageError::Smc(e) => write!(f, "smc: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkageError {}
+
+impl From<pprl_anon::AnonError> for LinkageError {
+    fn from(e: pprl_anon::AnonError) -> Self {
+        LinkageError::Anon(e)
+    }
+}
+
+impl From<pprl_blocking::BlockingError> for LinkageError {
+    fn from(e: pprl_blocking::BlockingError) -> Self {
+        LinkageError::Blocking(e)
+    }
+}
+
+impl From<pprl_smc::SmcError> for LinkageError {
+    fn from(e: pprl_smc::SmcError) -> Self {
+        LinkageError::Smc(e)
+    }
+}

@@ -1,0 +1,113 @@
+//! Linkage quality and cost metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Scorecard for one pipeline run, in the paper's terms: precision (always
+/// 1 under strategy 1), recall ("the percentage of record pairs correctly
+/// labeled as match among all pairs satisfying the decision rule", §VI),
+/// blocking efficiency, and the SMC cost actually spent.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LinkageMetrics {
+    /// `|R| · |S|`.
+    pub total_pairs: u64,
+    /// Pairs satisfying the decision rule (ground truth).
+    pub true_matches: u64,
+    /// Pairs the protocol declared matching.
+    pub declared_matches: u64,
+    /// Declared matches that are truly matching.
+    pub true_positives: u64,
+    /// Pairs decided by blocking alone (M + N) / total.
+    pub blocking_efficiency: f64,
+    /// Matches found by the blocking step.
+    pub blocking_matched: u64,
+    /// Matches found by the SMC step.
+    pub smc_matched: u64,
+    /// SMC record-pair comparisons performed.
+    pub smc_invocations: u64,
+    /// SMC budget that was available.
+    pub smc_budget: u64,
+    /// Matches declared by the leftover labeling strategy (0 under
+    /// maximize-precision).
+    pub leftover_declared: u64,
+}
+
+impl LinkageMetrics {
+    /// Precision: `tp / declared` (1.0 when nothing was declared).
+    pub fn precision(&self) -> f64 {
+        if self.declared_matches == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.declared_matches as f64
+        }
+    }
+
+    /// Recall: `tp / true_matches` (1.0 when there is nothing to find).
+    pub fn recall(&self) -> f64 {
+        if self.true_matches == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.true_matches as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// SMC cost as a fraction of the pair space (the paper's x-axis in
+    /// Fig. 8).
+    pub fn smc_cost_fraction(&self) -> f64 {
+        if self.total_pairs == 0 {
+            0.0
+        } else {
+            self.smc_invocations as f64 / self.total_pairs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_cases() {
+        let m = LinkageMetrics::default();
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.smc_cost_fraction(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let m = LinkageMetrics {
+            total_pairs: 1000,
+            true_matches: 100,
+            declared_matches: 80,
+            true_positives: 80,
+            smc_invocations: 15,
+            ..LinkageMetrics::default()
+        };
+        assert_eq!(m.precision(), 1.0);
+        assert!((m.recall() - 0.8).abs() < 1e-12);
+        assert!((m.f1() - 2.0 * 0.8 / 1.8).abs() < 1e-12);
+        assert!((m.smc_cost_fraction() - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imperfect_precision() {
+        let m = LinkageMetrics {
+            true_matches: 10,
+            declared_matches: 20,
+            true_positives: 10,
+            ..LinkageMetrics::default()
+        };
+        assert!((m.precision() - 0.5).abs() < 1e-12);
+        assert_eq!(m.recall(), 1.0);
+    }
+}

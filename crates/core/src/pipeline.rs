@@ -1,0 +1,377 @@
+//! The hybrid linkage pipeline (paper §III overview).
+
+use crate::config::LinkageConfig;
+use crate::metrics::LinkageMetrics;
+use crate::truth::{count_matches_in_class_pair, GroundTruth};
+use crate::LinkageError;
+use pprl_anon::{AnonymizedView, Anonymizer};
+use pprl_blocking::{BlockingEngine, BlockingOutcome, MatchingRule, PairLabel};
+use pprl_crypto::CostLedger;
+use pprl_data::DataSet;
+use pprl_hierarchy::Vgh;
+use pprl_smc::expected::expected_vector;
+use pprl_smc::{label_leftovers, SmcReport, SmcStep};
+
+/// The configured pipeline.
+#[derive(Clone, Debug)]
+pub struct HybridLinkage {
+    config: LinkageConfig,
+}
+
+/// Everything a run produces: the published views, the per-step outcomes,
+/// and the evaluation against ground truth.
+#[derive(Debug)]
+pub struct LinkageOutcome {
+    /// First holder's published view.
+    pub r_view: AnonymizedView,
+    /// Second holder's published view.
+    pub s_view: AnonymizedView,
+    /// Blocking-step outcome.
+    pub blocking: BlockingOutcome,
+    /// SMC-step report.
+    pub smc: SmcReport,
+    /// Strategy labels for the leftover class pairs, aligned with
+    /// `smc.leftovers`.
+    pub leftover_labels: Vec<PairLabel>,
+    /// Quality and cost metrics.
+    pub metrics: LinkageMetrics,
+    /// Crypto cost ledger (meaningful in Paillier mode).
+    pub ledger: CostLedger,
+}
+
+impl LinkageOutcome {
+    /// Enumerates the linkage *result*: every record-row pair `(row in R,
+    /// row in S)` declared matching — blocking-step matches (expanded from
+    /// class pairs) followed by SMC-step matches. Under the default
+    /// maximize-precision strategy every yielded pair is a true match.
+    pub fn matched_rows(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let from_blocking = self.blocking.matched.iter().flat_map(move |pref| {
+            let rc = &self.r_view.classes()[pref.r_class as usize];
+            let sc = &self.s_view.classes()[pref.s_class as usize];
+            rc.rows
+                .iter()
+                .flat_map(move |&ri| sc.rows.iter().map(move |&si| (ri, si)))
+        });
+        from_blocking.chain(self.smc.matched_pairs.iter().copied())
+    }
+}
+
+impl HybridLinkage {
+    /// Builds the pipeline from a configuration.
+    pub fn new(config: LinkageConfig) -> Self {
+        HybridLinkage { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LinkageConfig {
+        &self.config
+    }
+
+    /// Runs the full protocol simulation of `r` against `s`.
+    pub fn run(&self, r: &DataSet, s: &DataSet) -> Result<LinkageOutcome, LinkageError> {
+        let cfg = &self.config;
+        check_schemas(r, s)?;
+        let schema = r.schema();
+        let rule = cfg.rule(schema);
+
+        // Step 1 — each holder anonymizes independently (§III).
+        let r_view =
+            Anonymizer::new(cfg.method_r, cfg.k_r).anonymize(r, &cfg.qids)?;
+        let s_view =
+            Anonymizer::new(cfg.method_s, cfg.k_s).anonymize(s, &cfg.qids)?;
+
+        // Step 2 — blocking on the published views.
+        let blocking = BlockingEngine::new(rule.clone()).run(&r_view, &s_view)?;
+
+        // Step 3 — SMC step under the allowance.
+        let step = SmcStep {
+            heuristic: cfg.heuristic,
+            allowance: cfg.allowance,
+            strategy: cfg.strategy,
+            mode: cfg.mode,
+        };
+        let smc = step.run(
+            r,
+            s,
+            &r_view,
+            &s_view,
+            &blocking.unknown,
+            &rule,
+            blocking.total_pairs,
+        )?;
+
+        // Step 4 — leftover labeling (§V-B).
+        let vghs: Vec<&Vgh> = cfg.qids.iter().map(|&q| schema.attribute(q).vgh()).collect();
+        let avg_ed = |pref: &pprl_blocking::ClassPairRef| -> f64 {
+            let a = &r_view.classes()[pref.r_class as usize].sequence;
+            let b = &s_view.classes()[pref.s_class as usize].sequence;
+            let eds = expected_vector(&vghs, &rule.distances, a, b);
+            eds.iter().sum::<f64>() / eds.len().max(1) as f64
+        };
+        let leftover_scores: Vec<f64> =
+            smc.leftovers.iter().map(|l| avg_ed(&l.class_pair)).collect();
+        let examined_scores: Vec<f64> =
+            smc.examined.iter().map(|e| avg_ed(&e.class_pair)).collect();
+        let leftover_labels = label_leftovers(
+            cfg.strategy,
+            &smc.leftovers,
+            &leftover_scores,
+            &smc.examined,
+            &examined_scores,
+        );
+
+        // Step 5 — evaluate against ground truth.
+        let truth = GroundTruth::compute(r, s, &cfg.qids, &rule);
+        let metrics = self.score(
+            r, s, &rule, &r_view, &s_view, &blocking, &smc, &leftover_labels, &truth,
+        );
+
+        let ledger = smc.ledger.clone();
+        Ok(LinkageOutcome {
+            r_view,
+            s_view,
+            blocking,
+            smc,
+            leftover_labels,
+            metrics,
+            ledger,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn score(
+        &self,
+        r: &DataSet,
+        s: &DataSet,
+        rule: &MatchingRule,
+        r_view: &AnonymizedView,
+        s_view: &AnonymizedView,
+        blocking: &BlockingOutcome,
+        smc: &SmcReport,
+        leftover_labels: &[PairLabel],
+        truth: &GroundTruth,
+    ) -> LinkageMetrics {
+        let cfg = &self.config;
+        let smc_matched = smc.matched_pairs.len() as u64;
+
+        // Leftovers the strategy declared matching (strategies 2 and 3).
+        let mut leftover_declared = 0u64;
+        let mut leftover_tp = 0u64;
+
+        // Suppressed-record pairs the budget never reached carry no
+        // generalization features; under maximize-recall they are declared
+        // matching like every other leftover.
+        let leftover_suppressed = smc.suppressed_total - smc.suppressed_examined;
+        if leftover_suppressed > 0
+            && matches!(cfg.strategy, pprl_smc::LabelingStrategy::MaximizeRecall)
+        {
+            leftover_declared += leftover_suppressed;
+            let total = count_suppressed_matches(r, s, &cfg.qids, rule, r_view, s_view);
+            leftover_tp += total - smc.suppressed_matched;
+        }
+        for (leftover, label) in smc.leftovers.iter().zip(leftover_labels) {
+            if *label == PairLabel::Match {
+                let remaining = leftover.class_pair.pairs - leftover.skip;
+                leftover_declared += remaining;
+                leftover_tp += count_matches_in_class_pair(
+                    r,
+                    s,
+                    &cfg.qids,
+                    rule,
+                    &r_view.classes()[leftover.class_pair.r_class as usize].rows,
+                    &s_view.classes()[leftover.class_pair.s_class as usize].rows,
+                    leftover.skip,
+                );
+            }
+        }
+
+        LinkageMetrics {
+            total_pairs: blocking.total_pairs,
+            true_matches: truth.total_matches(),
+            declared_matches: blocking.matched_pairs + smc_matched + leftover_declared,
+            true_positives: blocking.matched_pairs + smc_matched + leftover_tp,
+            blocking_efficiency: blocking.efficiency(),
+            blocking_matched: blocking.matched_pairs,
+            smc_matched,
+            smc_invocations: smc.invocations,
+            smc_budget: smc.budget,
+            leftover_declared,
+        }
+    }
+}
+
+/// True matches inside the suppressed region:
+/// `(suppressed_R × all_S) ∪ (covered_R × suppressed_S)`.
+fn count_suppressed_matches(
+    r: &DataSet,
+    s: &DataSet,
+    qids: &[usize],
+    rule: &MatchingRule,
+    r_view: &AnonymizedView,
+    s_view: &AnonymizedView,
+) -> u64 {
+    use pprl_blocking::records_match;
+    let schema = r.schema();
+    let mut r_sup = vec![false; r.len()];
+    for &row in r_view.suppressed() {
+        r_sup[row as usize] = true;
+    }
+    let mut count = 0u64;
+    for &ri in r_view.suppressed() {
+        for srec in s.records() {
+            if records_match(schema, qids, rule, &r.records()[ri as usize], srec) {
+                count += 1;
+            }
+        }
+    }
+    for &si in s_view.suppressed() {
+        for (ri, rrec) in r.records().iter().enumerate() {
+            if r_sup[ri] {
+                continue;
+            }
+            if records_match(schema, qids, rule, rrec, &s.records()[si as usize]) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn check_schemas(r: &DataSet, s: &DataSet) -> Result<(), LinkageError> {
+    let (a, b) = (r.schema(), s.schema());
+    if a.arity() != b.arity() {
+        return Err(LinkageError::SchemaMismatch);
+    }
+    for i in 0..a.arity() {
+        let (x, y) = (a.attribute(i), b.attribute(i));
+        if x.name() != y.name() || x.kind() != y.kind() {
+            return Err(LinkageError::SchemaMismatch);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SyntheticScenario;
+    use pprl_smc::{LabelingStrategy, SmcAllowance};
+
+    fn scenario(n: usize, seed: u64) -> (DataSet, DataSet) {
+        SyntheticScenario::builder()
+            .records_per_set(n)
+            .seed(seed)
+            .build()
+            .data_sets()
+    }
+
+    #[test]
+    fn paper_defaults_run_end_to_end() {
+        let (d1, d2) = scenario(300, 91);
+        let outcome = HybridLinkage::new(LinkageConfig::paper_defaults())
+            .run(&d1, &d2)
+            .unwrap();
+        // 100 % precision is structural under maximize-precision.
+        assert_eq!(outcome.metrics.precision(), 1.0);
+        assert!(outcome.metrics.true_matches > 0, "d3 guarantees matches");
+        assert!(outcome.metrics.recall() > 0.0);
+        assert!(outcome.metrics.blocking_efficiency > 0.5);
+        assert!(outcome.metrics.smc_invocations <= outcome.metrics.smc_budget);
+    }
+
+    #[test]
+    fn unlimited_allowance_reaches_full_recall() {
+        let (d1, d2) = scenario(200, 93);
+        let cfg = LinkageConfig::paper_defaults().with_allowance(SmcAllowance::Unlimited);
+        let outcome = HybridLinkage::new(cfg).run(&d1, &d2).unwrap();
+        assert_eq!(outcome.metrics.recall(), 1.0);
+        assert_eq!(outcome.metrics.precision(), 1.0);
+    }
+
+    #[test]
+    fn zero_allowance_still_perfectly_precise() {
+        let (d1, d2) = scenario(200, 95);
+        let cfg = LinkageConfig::paper_defaults().with_allowance(SmcAllowance::Pairs(0));
+        let outcome = HybridLinkage::new(cfg).run(&d1, &d2).unwrap();
+        assert_eq!(outcome.metrics.precision(), 1.0);
+        // Blocking alone still matches the provable pairs.
+        assert_eq!(
+            outcome.metrics.true_positives,
+            outcome.metrics.blocking_matched
+        );
+    }
+
+    #[test]
+    fn recall_is_monotone_in_allowance() {
+        let (d1, d2) = scenario(250, 97);
+        let recall_at = |pairs: u64| {
+            let cfg =
+                LinkageConfig::paper_defaults().with_allowance(SmcAllowance::Pairs(pairs));
+            HybridLinkage::new(cfg).run(&d1, &d2).unwrap().metrics.recall()
+        };
+        let (r0, r1, r2) = (recall_at(0), recall_at(2_000), recall_at(200_000));
+        assert!(r0 <= r1 + 1e-12, "recall({r0}) <= recall({r1})");
+        assert!(r1 <= r2 + 1e-12, "recall({r1}) <= recall({r2})");
+    }
+
+    #[test]
+    fn maximize_recall_strategy_reaches_full_recall() {
+        let (d1, d2) = scenario(150, 99);
+        let cfg = LinkageConfig::paper_defaults()
+            .with_allowance(SmcAllowance::Pairs(100))
+            .with_strategy(LabelingStrategy::MaximizeRecall);
+        let outcome = HybridLinkage::new(cfg).run(&d1, &d2).unwrap();
+        assert_eq!(outcome.metrics.recall(), 1.0, "strategy 2 finds all matches");
+        assert!(
+            outcome.metrics.precision() < 1.0,
+            "…at the price of precision (paper §V-B)"
+        );
+    }
+
+    #[test]
+    fn matched_rows_enumerates_exactly_the_true_positives() {
+        use pprl_blocking::records_match;
+        let (d1, d2) = scenario(150, 103);
+        let cfg = LinkageConfig::paper_defaults()
+            .with_k(4)
+            .with_allowance(SmcAllowance::Unlimited);
+        let out = HybridLinkage::new(cfg.clone()).run(&d1, &d2).unwrap();
+        let rows: Vec<(u32, u32)> = out.matched_rows().collect();
+        assert_eq!(rows.len() as u64, out.metrics.true_positives);
+        // Every enumerated pair really matches.
+        let schema = d1.schema();
+        let rule = cfg.rule(schema);
+        for &(ri, si) in rows.iter().take(200) {
+            assert!(records_match(
+                schema,
+                &cfg.qids,
+                &rule,
+                &d1.records()[ri as usize],
+                &d2.records()[si as usize]
+            ));
+        }
+        // No duplicates.
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), rows.len());
+    }
+
+    #[test]
+    fn mismatched_schemas_rejected() {
+        let (d1, _) = scenario(60, 101);
+        let other = pprl_data::DataSet::new(
+            "other",
+            pprl_data::Schema::new(
+                vec![pprl_hierarchy::AdultAttribute::Age.vgh()],
+                vec!["a".into()],
+            ),
+            vec![],
+        )
+        .unwrap();
+        let err = HybridLinkage::new(LinkageConfig::paper_defaults())
+            .run(&d1, &other)
+            .unwrap_err();
+        assert!(matches!(err, LinkageError::SchemaMismatch));
+    }
+}

@@ -1,0 +1,263 @@
+//! Ground truth: the exact set size of truly matching record pairs.
+//!
+//! Used only for *evaluation* (recall cannot be measured without it) —
+//! the protocol itself never touches plaintext across parties outside the
+//! SMC step.
+//!
+//! With θ < 1, Hamming attributes must be *equal* for a pair to match, so
+//! matches are counted by bucketing on the exact-match attribute tuple and
+//! resolving the remaining attributes inside each bucket — O(|R| + |S|)
+//! buckets instead of the |R|·|S| brute force (which the tests still use
+//! as the specification on small inputs).
+
+use pprl_blocking::{records_match, AttrDistance, MatchingRule};
+use pprl_data::{DataSet, Record};
+
+/// Exact match statistics for one pair of data sets under one rule.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    total_matches: u64,
+}
+
+impl GroundTruth {
+    /// Counts the truly matching pairs.
+    pub fn compute(r: &DataSet, s: &DataSet, qids: &[usize], rule: &MatchingRule) -> Self {
+        let schema = r.schema();
+
+        // Attribute positions that force exact equality (Hamming, θ < 1).
+        let exact: Vec<usize> = qids
+            .iter()
+            .enumerate()
+            .filter(|&(pos, _)| {
+                rule.distances[pos] == AttrDistance::Hamming && rule.thetas[pos] < 1.0
+            })
+            .map(|(pos, &q)| {
+                let _ = q;
+                pos
+            })
+            .collect();
+        // Residual positions that still need a within-bucket check: every
+        // non-Hamming attribute. (Hamming with θ ≥ 1 is always satisfied;
+        // Hamming with θ < 1 became part of the bucket key.)
+        let residual: Vec<usize> = (0..qids.len())
+            .filter(|&pos| rule.distances[pos] != AttrDistance::Hamming)
+            .collect();
+
+        // Bucket S by the exact tuple.
+        use std::collections::HashMap;
+        let key_of = |rec: &Record| -> Vec<u32> {
+            exact.iter().map(|&pos| rec.value(qids[pos]).as_cat()).collect()
+        };
+        let mut buckets: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+        for (i, rec) in s.records().iter().enumerate() {
+            buckets.entry(key_of(rec)).or_default().push(i as u32);
+        }
+
+        // Fast path: exactly one residual attribute, and it is normalized
+        // Euclidean → sort each bucket by it and count by binary search.
+        let fast = residual.len() == 1
+            && rule.distances[residual[0]] == AttrDistance::NormalizedEuclidean;
+        let mut sorted_vals: HashMap<&[u32], Vec<f64>> = HashMap::new();
+        let mut window = 0.0;
+        if fast {
+            let pos = residual[0];
+            let q = qids[pos];
+            let norm = schema
+                .attribute(q)
+                .vgh()
+                .as_intervals()
+                .expect("Euclidean attr is continuous")
+                .norm_factor();
+            window = rule.thetas[pos] * norm;
+            for (key, rows) in &buckets {
+                let mut vals: Vec<f64> = rows
+                    .iter()
+                    .map(|&i| s.records()[i as usize].value(q).as_num())
+                    .collect();
+                vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                sorted_vals.insert(key.as_slice(), vals);
+            }
+        }
+
+        // Count in parallel over R.
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(r.len().max(1));
+        let chunk = r.len().div_ceil(threads.max(1)).max(1);
+        let total: u64 = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let key_of = &key_of;
+            for records in r.records().chunks(chunk) {
+                let buckets = &buckets;
+                let sorted_vals = &sorted_vals;
+                let residual = &residual;
+                handles.push(scope.spawn(move |_| {
+                    let mut count = 0u64;
+                    for rec in records {
+                        let key = key_of(rec);
+                        let Some(rows) = buckets.get(&key) else {
+                            continue;
+                        };
+                        if fast {
+                            let vals = &sorted_vals[key.as_slice()];
+                            let v = rec.value(qids[residual[0]]).as_num();
+                            let lo = vals.partition_point(|&x| x < v - window);
+                            let hi = vals.partition_point(|&x| x <= v + window);
+                            count += (hi - lo) as u64;
+                        } else if residual.is_empty() {
+                            count += rows.len() as u64;
+                        } else {
+                            for &si in rows {
+                                if records_match(
+                                    schema,
+                                    qids,
+                                    rule,
+                                    rec,
+                                    &s.records()[si as usize],
+                                ) {
+                                    count += 1;
+                                }
+                            }
+                        }
+                    }
+                    count
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("no panics")).sum()
+        })
+        .expect("scope completes");
+
+        GroundTruth {
+            total_matches: total,
+        }
+    }
+
+    /// Brute-force specification (quadratic) — kept for validation.
+    pub fn brute_force(r: &DataSet, s: &DataSet, qids: &[usize], rule: &MatchingRule) -> Self {
+        let schema = r.schema();
+        let mut total = 0u64;
+        for rr in r.records() {
+            for ss in s.records() {
+                if records_match(schema, qids, rule, rr, ss) {
+                    total += 1;
+                }
+            }
+        }
+        GroundTruth {
+            total_matches: total,
+        }
+    }
+
+    /// Number of truly matching record pairs.
+    pub fn total_matches(&self) -> u64 {
+        self.total_matches
+    }
+}
+
+/// Counts true matches inside one class pair, skipping the first `skip`
+/// record pairs in row-major order (those were already examined by SMC).
+pub fn count_matches_in_class_pair(
+    r: &DataSet,
+    s: &DataSet,
+    qids: &[usize],
+    rule: &MatchingRule,
+    r_rows: &[u32],
+    s_rows: &[u32],
+    skip: u64,
+) -> u64 {
+    let schema = r.schema();
+    let mut seen = 0u64;
+    let mut count = 0u64;
+    for &ri in r_rows {
+        for &si in s_rows {
+            if seen < skip {
+                seen += 1;
+                continue;
+            }
+            if records_match(
+                schema,
+                qids,
+                rule,
+                &r.records()[ri as usize],
+                &s.records()[si as usize],
+            ) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_data::synth::{generate, SynthConfig};
+
+    const QIDS: [usize; 5] = [0, 1, 2, 3, 4];
+
+    #[test]
+    fn fast_path_matches_brute_force() {
+        let a = generate(&SynthConfig {
+            records: 300,
+            seed: 81,
+        });
+        let b = generate(&SynthConfig {
+            records: 300,
+            seed: 82,
+        });
+        for theta in [0.01, 0.05, 0.1] {
+            let rule = MatchingRule::uniform(a.schema(), &QIDS, theta);
+            let fast = GroundTruth::compute(&a, &b, &QIDS, &rule);
+            let brute = GroundTruth::brute_force(&a, &b, &QIDS, &rule);
+            assert_eq!(
+                fast.total_matches(),
+                brute.total_matches(),
+                "theta={theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_sets_have_at_least_diagonal_matches() {
+        let a = generate(&SynthConfig {
+            records: 120,
+            seed: 83,
+        });
+        let rule = MatchingRule::uniform(a.schema(), &QIDS, 0.05);
+        let truth = GroundTruth::compute(&a, &a, &QIDS, &rule);
+        assert!(truth.total_matches() >= 120, "every record matches itself");
+    }
+
+    #[test]
+    fn categorical_only_rule_uses_bucket_counting() {
+        let a = generate(&SynthConfig {
+            records: 200,
+            seed: 84,
+        });
+        let b = generate(&SynthConfig {
+            records: 200,
+            seed: 85,
+        });
+        let qids = [1usize, 2, 3];
+        let rule = MatchingRule::uniform(a.schema(), &qids, 0.05);
+        let fast = GroundTruth::compute(&a, &b, &qids, &rule);
+        let brute = GroundTruth::brute_force(&a, &b, &qids, &rule);
+        assert_eq!(fast.total_matches(), brute.total_matches());
+    }
+
+    #[test]
+    fn class_pair_counting_respects_skip() {
+        let a = generate(&SynthConfig {
+            records: 30,
+            seed: 86,
+        });
+        let rule = MatchingRule::uniform(a.schema(), &QIDS, 0.05);
+        let rows: Vec<u32> = (0..30).collect();
+        let all = count_matches_in_class_pair(&a, &a, &QIDS, &rule, &rows, &rows, 0);
+        let skipped = count_matches_in_class_pair(&a, &a, &QIDS, &rule, &rows, &rows, 900);
+        assert_eq!(skipped, 0, "skipping everything leaves nothing");
+        let half = count_matches_in_class_pair(&a, &a, &QIDS, &rule, &rows, &rows, 450);
+        assert!(half <= all);
+    }
+}

@@ -1,0 +1,79 @@
+//! # pprl-crypto — Paillier cryptosystem and secure linkage protocols
+//!
+//! The cryptographic half of the hybrid private-record-linkage method
+//! (paper §V-A): a from-scratch implementation of the Paillier
+//! homomorphic public-key cryptosystem (Paillier, Eurocrypt '99 — the
+//! paper's reference \[18\]) plus the three-party secure squared-Euclidean-
+//! distance protocol built on it.
+//!
+//! ## The protocol (paper §V-A)
+//!
+//! The querying party generates a Paillier key pair and publishes the
+//! public key. For a record pair (r, s) held by data holders Alice and Bob:
+//!
+//! 1. Alice sends Bob `Enc(r²)` and `Enc(−2r)`.
+//! 2. Bob computes `Enc(r²) ⊕ₕ (Enc(−2r) ⊗ₕ s) ⊕ₕ Enc(s²) = Enc((r−s)²)`
+//!    using only the homomorphic operations, re-randomizes, and forwards
+//!    the result to the querying party.
+//! 3. The querying party decrypts and learns `(r−s)²` — and nothing else.
+//!
+//! A *masked comparison* variant ([`protocol::compare`]) reveals only
+//! whether `(r−s)² ≤ t` rather than the distance itself, matching the
+//! paper's remark that "secure distance evaluation could be combined with
+//! secure comparison to not to reveal even the distance result".
+//!
+//! ## Example
+//!
+//! ```
+//! use pprl_crypto::paillier::Keypair;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let keys = Keypair::generate(&mut rng, 512); // 512-bit n for test speed
+//! let (pk, sk) = keys.split();
+//!
+//! let c1 = pk.encrypt_u64(30, &mut rng);
+//! let c2 = pk.encrypt_u64(12, &mut rng);
+//! let sum = pk.add(&c1, &c2);
+//! assert_eq!(sk.decrypt_u64(&sum).unwrap(), 42);
+//! ```
+
+pub mod commutative;
+pub mod paillier;
+pub mod protocol;
+pub mod sha256;
+
+pub use commutative::{CommutativeGroup, CommutativeKey};
+pub use paillier::{Ciphertext, Keypair, PrivateKey, PublicKey};
+pub use protocol::cost::CostLedger;
+pub use sha256::sha256;
+
+/// Errors surfaced by cryptographic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// The ciphertext is not a valid element of Z*_{n²}.
+    InvalidCiphertext,
+    /// The plaintext does not fit the message space Z_n.
+    PlaintextTooLarge,
+    /// Decrypted value does not fit the requested native type.
+    ValueOutOfRange,
+    /// A protocol message arrived out of order or malformed.
+    Protocol(String),
+    /// Key material is inconsistent (e.g. p == q).
+    InvalidKey(String),
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::InvalidCiphertext => write!(f, "invalid ciphertext"),
+            CryptoError::PlaintextTooLarge => write!(f, "plaintext exceeds message space"),
+            CryptoError::ValueOutOfRange => write!(f, "decrypted value out of range"),
+            CryptoError::Protocol(s) => write!(f, "protocol error: {s}"),
+            CryptoError::InvalidKey(s) => write!(f, "invalid key: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

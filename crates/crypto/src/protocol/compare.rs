@@ -1,0 +1,148 @@
+//! Masked secure comparison: reveal *whether* `(a−b)² ≤ t`, not the
+//! distance itself.
+//!
+//! The paper notes that "such secure distance evaluation could be combined
+//! with secure comparison to not to reveal even the distance result". This
+//! module implements the classic multiplicative-masking realization: Bob
+//! computes `Enc(ρ·((a−b)² − t))` for a random positive mask `ρ`, so the
+//! querying party learns only the sign of `(a−b)² − t`.
+//!
+//! **Leakage caveat** (documented, as in the literature): the opened value
+//! is `ρ·(d² − t)`, whose magnitude is randomized but not perfectly hiding —
+//! it reveals ~log ρ bits of `|d² − t|`'s order of magnitude. A full DGK/
+//! Veugen comparison would close this; the hybrid method's security goal
+//! (§V: reveal only the linkage result and the anonymized data sets) is
+//! already met because only the sign is used downstream.
+
+use crate::paillier::{Ciphertext, PrivateKey, PublicKey};
+use crate::protocol::cost::CostLedger;
+use crate::protocol::distance::{alice_prepare, bob_combine, AliceShare};
+use crate::CryptoError;
+use pprl_bignum::BigUint;
+use rand::RngCore;
+
+/// Mask width in bits. `ρ ∈ [1, 2^48)` keeps `ρ·|d² − t| < 2^113`, far below
+/// `n/2` for the ≥ 256-bit moduli this crate generates.
+const MASK_BITS: usize = 48;
+
+/// Bob's side: from Alice's share, his value `b`, and the public threshold
+/// `t` (the squared matching threshold `⌊(θᵢ·norm)²⌋`), produce
+/// `Enc(ρ·((a−b)² − t))`.
+pub fn bob_combine_masked<R: RngCore + ?Sized>(
+    pk: &PublicKey,
+    share: &AliceShare,
+    b: u64,
+    threshold: u64,
+    rng: &mut R,
+    ledger: &mut CostLedger,
+) -> Ciphertext {
+    let enc_d2 = bob_combine(pk, share, b, rng, ledger);
+    // Enc(d² − t): add the encoding of −t.
+    let minus_t = if threshold == 0 {
+        BigUint::zero()
+    } else {
+        pk.n()
+            .checked_sub(&BigUint::from_u64(threshold))
+            .expect("t << n")
+    };
+    let shifted = pk.add_plain(&enc_d2, &minus_t);
+    // Multiply by a random positive mask.
+    let rho = &pprl_bignum::random_bits(rng, MASK_BITS) + 1u64;
+    let masked = pk.mul_plain(&shifted, &rho);
+    ledger.homomorphic_adds += 1;
+    ledger.scalar_muls += 1;
+    masked
+}
+
+/// Querying party's side: open the masked value; non-positive ⇒ match.
+pub fn querier_reveal_match(
+    sk: &PrivateKey,
+    enc_masked: &Ciphertext,
+    ledger: &mut CostLedger,
+) -> Result<bool, CryptoError> {
+    ledger.decryptions += 1;
+    let m = sk.decrypt(enc_masked)?;
+    // Signed decoding: values above n/2 are negative ⇒ d² < t ⇒ match;
+    // zero ⇒ d² == t ⇒ match (the decision rule is d ≤ θ).
+    let negative = m > *sk.public().half_n();
+    Ok(negative || m.is_zero())
+}
+
+/// End-to-end masked threshold match: `(a − b)² ≤ t` with only the bit
+/// revealed. Charges one SMC invocation.
+pub fn secure_threshold_match<R: RngCore + ?Sized>(
+    pk: &PublicKey,
+    sk: &PrivateKey,
+    a: u64,
+    b: u64,
+    threshold: u64,
+    rng: &mut R,
+    ledger: &mut CostLedger,
+) -> Result<bool, CryptoError> {
+    let share = alice_prepare(pk, a, rng, ledger);
+    let masked = bob_combine_masked(pk, &share, b, threshold, rng, ledger);
+    ledger.invocations += 1;
+    querier_reveal_match(sk, &masked, ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paillier::Keypair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (PublicKey, PrivateKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(47);
+        let (pk, sk) = Keypair::generate(&mut rng, 256).split();
+        (pk, sk, rng)
+    }
+
+    #[test]
+    fn matches_inside_threshold() {
+        let (pk, sk, mut rng) = setup();
+        let mut ledger = CostLedger::new();
+        // |5-3| = 2, d² = 4 ≤ t = 16 ⇒ match.
+        assert!(secure_threshold_match(&pk, &sk, 5, 3, 16, &mut rng, &mut ledger).unwrap());
+    }
+
+    #[test]
+    fn rejects_outside_threshold() {
+        let (pk, sk, mut rng) = setup();
+        let mut ledger = CostLedger::new();
+        // d² = 100 > 16 ⇒ mismatch.
+        assert!(!secure_threshold_match(&pk, &sk, 20, 10, 16, &mut rng, &mut ledger).unwrap());
+    }
+
+    #[test]
+    fn boundary_is_a_match() {
+        let (pk, sk, mut rng) = setup();
+        let mut ledger = CostLedger::new();
+        // d² = 16 == t ⇒ match (decision rule is ≤).
+        assert!(secure_threshold_match(&pk, &sk, 7, 3, 16, &mut rng, &mut ledger).unwrap());
+    }
+
+    #[test]
+    fn equality_with_zero_threshold() {
+        // The Hamming case: t = 0, match iff equal.
+        let (pk, sk, mut rng) = setup();
+        let mut ledger = CostLedger::new();
+        assert!(secure_threshold_match(&pk, &sk, 9, 9, 0, &mut rng, &mut ledger).unwrap());
+        assert!(!secure_threshold_match(&pk, &sk, 9, 8, 0, &mut rng, &mut ledger).unwrap());
+    }
+
+    #[test]
+    fn agrees_with_plaintext_over_random_inputs() {
+        let (pk, sk, mut rng) = setup();
+        let mut ledger = CostLedger::new();
+        for i in 0..25u64 {
+            let a = (i * 7) % 50;
+            let b = (i * 13) % 50;
+            let t = (i * 3) % 40;
+            let expected = a.abs_diff(b).pow(2) <= t;
+            let got =
+                secure_threshold_match(&pk, &sk, a, b, t, &mut rng, &mut ledger).unwrap();
+            assert_eq!(got, expected, "a={a} b={b} t={t}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Length-prefixed binary framing for protocol messages.
+//!
+//! Every message is `tag: u8` followed by tag-specific fields; big integers
+//! are `u32` length + big-endian bytes. The framing is deliberately dumb —
+//! the point is that the party state machines in [`super::party`] exchange
+//! *bytes*, so communication cost is measured on the real wire format.
+
+use crate::paillier::Ciphertext;
+use crate::CryptoError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pprl_bignum::BigUint;
+
+/// Wire messages of the secure distance / comparison protocols.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolMessage {
+    /// Querying party → data holders: the Paillier public key (modulus `n`).
+    PublicKey { n: BigUint },
+    /// Alice → Bob: `Enc(a²)` and `Enc(−2a)` for one attribute.
+    AliceShare {
+        enc_a_squared: Ciphertext,
+        enc_minus_2a: Ciphertext,
+    },
+    /// Bob → querying party: re-randomized `Enc((a−b)²)`.
+    DistanceResult { enc_distance: Ciphertext },
+    /// Bob → querying party: masked `Enc(ρ·((a−b)² − t))`.
+    ComparisonResult { enc_masked: Ciphertext },
+}
+
+const TAG_PUBLIC_KEY: u8 = 1;
+const TAG_ALICE_SHARE: u8 = 2;
+const TAG_DISTANCE_RESULT: u8 = 3;
+const TAG_COMPARISON_RESULT: u8 = 4;
+
+impl ProtocolMessage {
+    /// Encodes to the wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            ProtocolMessage::PublicKey { n } => {
+                buf.put_u8(TAG_PUBLIC_KEY);
+                put_biguint(&mut buf, n);
+            }
+            ProtocolMessage::AliceShare {
+                enc_a_squared,
+                enc_minus_2a,
+            } => {
+                buf.put_u8(TAG_ALICE_SHARE);
+                put_biguint(&mut buf, enc_a_squared.as_biguint());
+                put_biguint(&mut buf, enc_minus_2a.as_biguint());
+            }
+            ProtocolMessage::DistanceResult { enc_distance } => {
+                buf.put_u8(TAG_DISTANCE_RESULT);
+                put_biguint(&mut buf, enc_distance.as_biguint());
+            }
+            ProtocolMessage::ComparisonResult { enc_masked } => {
+                buf.put_u8(TAG_COMPARISON_RESULT);
+                put_biguint(&mut buf, enc_masked.as_biguint());
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes from the wire format.
+    pub fn decode(mut data: &[u8]) -> Result<Self, CryptoError> {
+        if data.is_empty() {
+            return Err(CryptoError::Protocol("empty message".into()));
+        }
+        let tag = data.get_u8();
+        let msg = match tag {
+            TAG_PUBLIC_KEY => ProtocolMessage::PublicKey {
+                n: get_biguint(&mut data)?,
+            },
+            TAG_ALICE_SHARE => ProtocolMessage::AliceShare {
+                enc_a_squared: Ciphertext::from_biguint(get_biguint(&mut data)?),
+                enc_minus_2a: Ciphertext::from_biguint(get_biguint(&mut data)?),
+            },
+            TAG_DISTANCE_RESULT => ProtocolMessage::DistanceResult {
+                enc_distance: Ciphertext::from_biguint(get_biguint(&mut data)?),
+            },
+            TAG_COMPARISON_RESULT => ProtocolMessage::ComparisonResult {
+                enc_masked: Ciphertext::from_biguint(get_biguint(&mut data)?),
+            },
+            other => {
+                return Err(CryptoError::Protocol(format!("unknown tag {other}")));
+            }
+        };
+        if !data.is_empty() {
+            return Err(CryptoError::Protocol(format!(
+                "{} trailing bytes",
+                data.len()
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+fn put_biguint(buf: &mut BytesMut, v: &BigUint) {
+    let bytes = v.to_bytes_be();
+    buf.put_u32(bytes.len() as u32);
+    buf.put_slice(&bytes);
+}
+
+fn get_biguint(data: &mut &[u8]) -> Result<BigUint, CryptoError> {
+    if data.len() < 4 {
+        return Err(CryptoError::Protocol("truncated length prefix".into()));
+    }
+    let len = data.get_u32() as usize;
+    if data.len() < len {
+        return Err(CryptoError::Protocol(format!(
+            "truncated payload: want {len}, have {}",
+            data.len()
+        )));
+    }
+    let v = BigUint::from_bytes_be(&data[..len]);
+    data.advance(len);
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(hex: &str) -> BigUint {
+        BigUint::from_hex(hex).unwrap()
+    }
+
+    #[test]
+    fn public_key_roundtrip() {
+        let msg = ProtocolMessage::PublicKey {
+            n: big("deadbeefcafebabe0123"),
+        };
+        assert_eq!(ProtocolMessage::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn alice_share_roundtrip() {
+        let msg = ProtocolMessage::AliceShare {
+            enc_a_squared: Ciphertext::from_biguint(big("aa11")),
+            enc_minus_2a: Ciphertext::from_biguint(big("bb22")),
+        };
+        assert_eq!(ProtocolMessage::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn result_roundtrips() {
+        for msg in [
+            ProtocolMessage::DistanceResult {
+                enc_distance: Ciphertext::from_biguint(big("cc33")),
+            },
+            ProtocolMessage::ComparisonResult {
+                enc_masked: Ciphertext::from_biguint(big("dd44")),
+            },
+        ] {
+            assert_eq!(ProtocolMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn malformed_messages_rejected() {
+        assert!(ProtocolMessage::decode(&[]).is_err());
+        assert!(ProtocolMessage::decode(&[99]).is_err());
+        // Truncated length prefix.
+        assert!(ProtocolMessage::decode(&[TAG_PUBLIC_KEY, 0, 0]).is_err());
+        // Length prefix longer than payload.
+        assert!(ProtocolMessage::decode(&[TAG_PUBLIC_KEY, 0, 0, 0, 9, 1]).is_err());
+        // Trailing garbage.
+        let mut ok = ProtocolMessage::PublicKey { n: big("01") }.encode().to_vec();
+        ok.push(0);
+        assert!(ProtocolMessage::decode(&ok).is_err());
+    }
+}

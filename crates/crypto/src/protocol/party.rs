@@ -1,0 +1,306 @@
+//! Byte-level three-party state machines.
+//!
+//! These wrap the ciphertext-level building blocks of [`super::distance`]
+//! and [`super::compare`] behind the actual wire format, so that the
+//! integration tests and the cost model exercise exactly the messages the
+//! paper's participants would exchange:
+//!
+//! ```text
+//! Querier ──(1) public key──────────────► Alice, Bob
+//! Alice   ──(2) Enc(a²), Enc(−2a)───────► Bob
+//! Bob     ──(3) Enc((a−b)²) rerandomized─► Querier
+//! ```
+
+use crate::paillier::{Keypair, PrivateKey, PublicKey};
+use crate::protocol::compare::{bob_combine_masked, querier_reveal_match};
+use crate::protocol::cost::CostLedger;
+use crate::protocol::distance::{alice_prepare, bob_combine, querier_reveal, AliceShare};
+use crate::protocol::message::ProtocolMessage;
+use crate::CryptoError;
+use pprl_bignum::BigUint;
+use rand::RngCore;
+
+/// The querying party: owns the key pair, opens results.
+pub struct QueryingParty {
+    keys: Keypair,
+}
+
+impl QueryingParty {
+    /// Generates a fresh key pair of `modulus_bits` (1024 in the paper).
+    pub fn new<R: RngCore + ?Sized>(rng: &mut R, modulus_bits: usize) -> Self {
+        QueryingParty {
+            keys: Keypair::generate(rng, modulus_bits),
+        }
+    }
+
+    /// Wraps an existing key pair.
+    pub fn with_keys(keys: Keypair) -> Self {
+        QueryingParty { keys }
+    }
+
+    /// Message (1): the public key, broadcast to both data holders.
+    pub fn public_key_message(&self, ledger: &mut CostLedger) -> Vec<u8> {
+        let msg = ProtocolMessage::PublicKey {
+            n: self.keys.public().n().clone(),
+        }
+        .encode();
+        ledger.record_message(msg.len());
+        msg.to_vec()
+    }
+
+    /// Opens message (3) as a squared distance.
+    pub fn reveal_distance(
+        &self,
+        message: &[u8],
+        ledger: &mut CostLedger,
+    ) -> Result<u64, CryptoError> {
+        match ProtocolMessage::decode(message)? {
+            ProtocolMessage::DistanceResult { enc_distance } => {
+                querier_reveal(self.private(), &enc_distance, ledger)
+            }
+            other => Err(CryptoError::Protocol(format!(
+                "expected DistanceResult, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Opens message (3) in the masked-comparison variant as a match bit.
+    pub fn reveal_match(
+        &self,
+        message: &[u8],
+        ledger: &mut CostLedger,
+    ) -> Result<bool, CryptoError> {
+        match ProtocolMessage::decode(message)? {
+            ProtocolMessage::ComparisonResult { enc_masked } => {
+                querier_reveal_match(self.private(), &enc_masked, ledger)
+            }
+            other => Err(CryptoError::Protocol(format!(
+                "expected ComparisonResult, got {other:?}"
+            ))),
+        }
+    }
+
+    fn private(&self) -> &PrivateKey {
+        self.keys.private()
+    }
+}
+
+/// A data holder (Alice or Bob), initialized from the key broadcast.
+pub struct DataHolder {
+    pk: PublicKey,
+}
+
+impl DataHolder {
+    /// Consumes message (1) and installs the public key.
+    pub fn from_key_message(message: &[u8]) -> Result<Self, CryptoError> {
+        match ProtocolMessage::decode(message)? {
+            ProtocolMessage::PublicKey { n } => {
+                if n.bits() < 128 {
+                    return Err(CryptoError::InvalidKey(format!(
+                        "modulus too small ({} bits)",
+                        n.bits()
+                    )));
+                }
+                Ok(DataHolder {
+                    pk: rebuild_public_key(n),
+                })
+            }
+            other => Err(CryptoError::Protocol(format!(
+                "expected PublicKey, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The installed public key.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.pk
+    }
+
+    /// Alice's message (2) for value `a`.
+    pub fn alice_message<R: RngCore + ?Sized>(
+        &self,
+        a: u64,
+        rng: &mut R,
+        ledger: &mut CostLedger,
+    ) -> Vec<u8> {
+        let share = alice_prepare(&self.pk, a, rng, ledger);
+        let msg = ProtocolMessage::AliceShare {
+            enc_a_squared: share.enc_a_squared,
+            enc_minus_2a: share.enc_minus_2a,
+        }
+        .encode();
+        ledger.record_message(msg.len());
+        msg.to_vec()
+    }
+
+    /// Bob's message (3) for value `b`: the re-randomized encrypted distance.
+    pub fn bob_distance_message<R: RngCore + ?Sized>(
+        &self,
+        alice_message: &[u8],
+        b: u64,
+        rng: &mut R,
+        ledger: &mut CostLedger,
+    ) -> Result<Vec<u8>, CryptoError> {
+        let share = self.decode_share(alice_message)?;
+        let enc_distance = bob_combine(&self.pk, &share, b, rng, ledger);
+        let msg = ProtocolMessage::DistanceResult { enc_distance }.encode();
+        ledger.record_message(msg.len());
+        Ok(msg.to_vec())
+    }
+
+    /// Bob's message (3) in the masked-comparison variant.
+    pub fn bob_comparison_message<R: RngCore + ?Sized>(
+        &self,
+        alice_message: &[u8],
+        b: u64,
+        threshold: u64,
+        rng: &mut R,
+        ledger: &mut CostLedger,
+    ) -> Result<Vec<u8>, CryptoError> {
+        let share = self.decode_share(alice_message)?;
+        let enc_masked = bob_combine_masked(&self.pk, &share, b, threshold, rng, ledger);
+        let msg = ProtocolMessage::ComparisonResult { enc_masked }.encode();
+        ledger.record_message(msg.len());
+        Ok(msg.to_vec())
+    }
+
+    fn decode_share(&self, message: &[u8]) -> Result<AliceShare, CryptoError> {
+        match ProtocolMessage::decode(message)? {
+            ProtocolMessage::AliceShare {
+                enc_a_squared,
+                enc_minus_2a,
+            } => {
+                // Validate before computing on attacker-controlled bytes.
+                self.pk.validate(&enc_a_squared)?;
+                self.pk.validate(&enc_minus_2a)?;
+                Ok(AliceShare {
+                    enc_a_squared,
+                    enc_minus_2a,
+                })
+            }
+            other => Err(CryptoError::Protocol(format!(
+                "expected AliceShare, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Reconstructs public-key helpers from the transmitted modulus.
+fn rebuild_public_key(n: BigUint) -> PublicKey {
+    PublicKey::from_modulus(n)
+}
+
+/// Runs the full wire protocol for one attribute pair and returns the
+/// squared distance. Useful end-to-end harness for tests and benches.
+pub fn run_wire_protocol<R: RngCore + ?Sized>(
+    querier: &QueryingParty,
+    a: u64,
+    b: u64,
+    rng: &mut R,
+    ledger: &mut CostLedger,
+) -> Result<u64, CryptoError> {
+    let key_msg = querier.public_key_message(ledger);
+    let alice = DataHolder::from_key_message(&key_msg)?;
+    let bob = DataHolder::from_key_message(&key_msg)?;
+    let m2 = alice.alice_message(a, rng, ledger);
+    let m3 = bob.bob_distance_message(&m2, b, rng, ledger)?;
+    ledger.invocations += 1;
+    querier.reveal_distance(&m3, ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn querier(seed: u64) -> (QueryingParty, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = QueryingParty::new(&mut rng, 256);
+        (q, rng)
+    }
+
+    #[test]
+    fn wire_protocol_end_to_end() {
+        let (q, mut rng) = querier(61);
+        let mut ledger = CostLedger::new();
+        let d = run_wire_protocol(&q, 30, 18, &mut rng, &mut ledger).unwrap();
+        assert_eq!(d, 144);
+        // 1 key broadcast + Alice share + Bob result = 3 messages.
+        assert_eq!(ledger.messages, 3);
+        assert!(ledger.bytes > 0);
+        assert_eq!(ledger.invocations, 1);
+    }
+
+    #[test]
+    fn comparison_variant_end_to_end() {
+        let (q, mut rng) = querier(62);
+        let mut ledger = CostLedger::new();
+        let key_msg = q.public_key_message(&mut ledger);
+        let alice = DataHolder::from_key_message(&key_msg).unwrap();
+        let bob = DataHolder::from_key_message(&key_msg).unwrap();
+        let m2 = alice.alice_message(40, &mut rng, &mut ledger);
+        let m3 = bob
+            .bob_comparison_message(&m2, 38, 9, &mut rng, &mut ledger)
+            .unwrap();
+        assert!(q.reveal_match(&m3, &mut ledger).unwrap()); // d²=4 ≤ 9
+        let m3 = bob
+            .bob_comparison_message(&m2, 20, 9, &mut rng, &mut ledger)
+            .unwrap();
+        assert!(!q.reveal_match(&m3, &mut ledger).unwrap()); // d²=400 > 9
+    }
+
+    #[test]
+    fn out_of_order_messages_rejected() {
+        let (q, mut rng) = querier(63);
+        let mut ledger = CostLedger::new();
+        let key_msg = q.public_key_message(&mut ledger);
+        let alice = DataHolder::from_key_message(&key_msg).unwrap();
+        let m2 = alice.alice_message(1, &mut rng, &mut ledger);
+        // Feeding Alice's message where a result is expected must error.
+        assert!(q.reveal_distance(&m2, &mut ledger).is_err());
+        // Feeding the key message to Bob's combine must error.
+        assert!(alice
+            .bob_distance_message(&key_msg, 1, &mut rng, &mut ledger)
+            .is_err());
+        // A data holder cannot be built from a non-key message.
+        assert!(DataHolder::from_key_message(&m2).is_err());
+    }
+
+    #[test]
+    fn invalid_group_elements_rejected() {
+        // An AliceShare carrying a non-unit (zero, or a multiple of n) must
+        // fail Bob's validation before any homomorphic computation runs.
+        let (q, mut rng) = querier(64);
+        let mut ledger = CostLedger::new();
+        let key_msg = q.public_key_message(&mut ledger);
+        let alice = DataHolder::from_key_message(&key_msg).unwrap();
+        let bob = DataHolder::from_key_message(&key_msg).unwrap();
+        let good = alice.alice_message(5, &mut rng, &mut ledger);
+        let share = match ProtocolMessage::decode(&good).unwrap() {
+            ProtocolMessage::AliceShare { enc_minus_2a, .. } => enc_minus_2a,
+            _ => unreachable!(),
+        };
+        for bad in [
+            crate::paillier::Ciphertext::from_biguint(BigUint::zero()),
+            crate::paillier::Ciphertext::from_biguint(bob.public_key().n().clone()),
+        ] {
+            let forged = ProtocolMessage::AliceShare {
+                enc_a_squared: bad,
+                enc_minus_2a: share.clone(),
+            }
+            .encode();
+            let result = bob.bob_distance_message(&forged, 3, &mut rng, &mut ledger);
+            assert!(result.is_err());
+        }
+    }
+
+    #[test]
+    fn undersized_modulus_rejected() {
+        let msg = ProtocolMessage::PublicKey {
+            n: BigUint::from_u64(12345),
+        }
+        .encode();
+        assert!(DataHolder::from_key_message(&msg).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the Paillier homomorphism laws and the secure
+//! distance protocol's exactness.
+
+use pprl_crypto::paillier::Keypair;
+use pprl_crypto::protocol::{secure_squared_distance, secure_threshold_match};
+use pprl_crypto::CostLedger;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// One shared keypair: keygen is the expensive part, and the properties are
+// about operations under a fixed key.
+fn shared_keys() -> &'static Keypair {
+    use std::sync::OnceLock;
+    static KEYS: OnceLock<Keypair> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        Keypair::generate(&mut rng, 256)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn enc_dec_roundtrip(m in any::<u64>(), seed in any::<u64>()) {
+        let keys = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = keys.public().encrypt_u64(m, &mut rng);
+        prop_assert_eq!(keys.private().decrypt_u64(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn additive_homomorphism(a in 0u64..(1 << 62), b in 0u64..(1 << 62), seed in any::<u64>()) {
+        let keys = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = keys.public().encrypt_u64(a, &mut rng);
+        let cb = keys.public().encrypt_u64(b, &mut rng);
+        let sum = keys.public().add(&ca, &cb);
+        prop_assert_eq!(keys.private().decrypt_u64(&sum).unwrap(), a + b);
+    }
+
+    #[test]
+    fn scalar_homomorphism(a in 0u64..(1 << 32), k in 0u64..(1 << 31), seed in any::<u64>()) {
+        let keys = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = keys.public().encrypt_u64(a, &mut rng);
+        let prod = keys.public().mul_plain_u64(&ca, k);
+        prop_assert_eq!(
+            keys.private().decrypt(&prod).unwrap().to_u128(),
+            Some(a as u128 * k as u128)
+        );
+    }
+
+    #[test]
+    fn signed_roundtrip(v in any::<i32>(), seed in any::<u64>()) {
+        let keys = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = keys.public().encrypt_i64(v as i64, &mut rng);
+        prop_assert_eq!(keys.private().decrypt_i64(&c).unwrap(), v as i64);
+    }
+
+    #[test]
+    fn rerandomization_is_plaintext_invariant(m in any::<u32>(), seed in any::<u64>()) {
+        let keys = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = keys.public().encrypt_u64(m as u64, &mut rng);
+        let c2 = keys.public().rerandomize(&c, &mut rng);
+        prop_assert_ne!(&c, &c2);
+        prop_assert_eq!(keys.private().decrypt_u64(&c2).unwrap(), m as u64);
+    }
+
+    #[test]
+    fn secure_distance_is_exact(a in 0u64..100_000, b in 0u64..100_000, seed in any::<u64>()) {
+        let keys = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ledger = CostLedger::new();
+        let d = secure_squared_distance(
+            keys.public(), keys.private(), a, b, &mut rng, &mut ledger,
+        ).unwrap();
+        prop_assert_eq!(d, a.abs_diff(b).pow(2));
+    }
+
+    #[test]
+    fn secure_threshold_matches_plaintext(
+        a in 0u64..1000, b in 0u64..1000, t in 0u64..1_000_000, seed in any::<u64>()
+    ) {
+        let keys = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ledger = CostLedger::new();
+        let got = secure_threshold_match(
+            keys.public(), keys.private(), a, b, t, &mut rng, &mut ledger,
+        ).unwrap();
+        prop_assert_eq!(got, a.abs_diff(b).pow(2) <= t);
+    }
+}

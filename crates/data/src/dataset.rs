@@ -1,0 +1,196 @@
+//! Records and data sets.
+
+use crate::schema::Schema;
+use crate::DataError;
+use std::sync::Arc;
+
+/// One attribute value of an original (un-anonymized) record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// Categorical value as its VGH leaf position.
+    Cat(u32),
+    /// Continuous value.
+    Num(f64),
+}
+
+impl Value {
+    /// The categorical leaf position, panicking for continuous values.
+    pub fn as_cat(&self) -> u32 {
+        match self {
+            Value::Cat(p) => *p,
+            Value::Num(v) => panic!("expected categorical value, got {v}"),
+        }
+    }
+
+    /// The numeric value, panicking for categorical values.
+    pub fn as_num(&self) -> f64 {
+        match self {
+            Value::Num(v) => *v,
+            Value::Cat(p) => panic!("expected continuous value, got leaf {p}"),
+        }
+    }
+}
+
+/// A record: one value per schema attribute, a class label index, and a
+/// globally unique id (stable across the `d1/d2/d3` partitioning, so the
+/// guaranteed `d3` duplicates can be identified in analyses).
+#[derive(Clone, Debug)]
+pub struct Record {
+    id: u64,
+    values: Vec<Value>,
+    class: u8,
+}
+
+impl Record {
+    /// Builds a record.
+    pub fn new(id: u64, values: Vec<Value>, class: u8) -> Self {
+        Record { id, values, class }
+    }
+
+    /// Globally unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attribute values in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value of attribute `idx`.
+    pub fn value(&self, idx: usize) -> Value {
+        self.values[idx]
+    }
+
+    /// Class label index.
+    pub fn class(&self) -> u8 {
+        self.class
+    }
+}
+
+/// A named collection of records under a shared schema.
+#[derive(Clone, Debug)]
+pub struct DataSet {
+    name: String,
+    schema: Arc<Schema>,
+    records: Vec<Record>,
+}
+
+impl DataSet {
+    /// Builds a data set, validating record arity against the schema.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+        records: Vec<Record>,
+    ) -> Result<Self, DataError> {
+        let arity = schema.arity();
+        for (i, r) in records.iter().enumerate() {
+            if r.values().len() != arity {
+                return Err(DataError::BadArity {
+                    line: i,
+                    got: r.values().len(),
+                });
+            }
+        }
+        Ok(DataSet {
+            name: name.into(),
+            schema,
+            records,
+        })
+    }
+
+    /// Data set name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Record count.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// A copy restricted to the first `n` records (scaled-down experiments).
+    pub fn truncated(&self, n: usize) -> DataSet {
+        DataSet {
+            name: self.name.clone(),
+            schema: Arc::clone(&self.schema),
+            records: self.records.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn adult_record(id: u64) -> Record {
+        Record::new(
+            id,
+            vec![
+                Value::Num(35.0),
+                Value::Cat(0),
+                Value::Cat(1),
+                Value::Cat(2),
+                Value::Cat(3),
+                Value::Cat(0),
+                Value::Cat(1),
+                Value::Cat(0),
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn dataset_validates_arity() {
+        let schema = Schema::adult();
+        let ok = DataSet::new("t", Arc::clone(&schema), vec![adult_record(1)]);
+        assert!(ok.is_ok());
+        let bad = Record::new(2, vec![Value::Num(1.0)], 0);
+        let err = DataSet::new("t", schema, vec![bad]);
+        assert!(matches!(err, Err(DataError::BadArity { .. })));
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Cat(3);
+        assert_eq!(v.as_cat(), 3);
+        let n = Value::Num(2.5);
+        assert_eq!(n.as_num(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected categorical")]
+    fn wrong_accessor_panics() {
+        Value::Num(1.0).as_cat();
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let schema = Schema::adult();
+        let ds = DataSet::new(
+            "t",
+            schema,
+            (0..10).map(adult_record).collect(),
+        )
+        .unwrap();
+        let t = ds.truncated(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.records()[2].id(), 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! # pprl-data — the Adult data-set substrate
+//!
+//! The paper evaluates on the UCI Adult data set (\[17\]): 30,162 complete
+//! records, randomly partitioned into three equal parts `d1, d2, d3`, with
+//! the two linkage inputs built as `D1 = d1 ∪ d3` and `D2 = d2 ∪ d3` — so
+//! the `d3` records are guaranteed cross-set matches.
+//!
+//! Because the original file cannot be shipped, this crate provides:
+//!
+//! * [`Schema`] / [`Record`] / [`DataSet`] — the relational model shared by
+//!   every other crate (records store categorical values as VGH leaf
+//!   positions and continuous values as `f64`);
+//! * [`synth`] — a synthetic generator over the *exact Adult schema* with
+//!   marginal distributions close to the published Adult marginals (the
+//!   substitution is documented in `DESIGN.md`);
+//! * [`loader`] — a parser for the real `adult.data` file, so the identical
+//!   pipeline runs on the original records when the user supplies them;
+//! * [`partition`] — the paper's `d1/d2/d3 → D1/D2` construction;
+//! * [`names`] — a surname corpus with typo injection for the edit-distance
+//!   extension (§VIII);
+//! * [`writer`] — `adult.data`-format CSV output (interoperates with
+//!   [`loader`]).
+//!
+//! ```
+//! use pprl_data::synth::{generate, SynthConfig};
+//! use pprl_data::partition::paper_partition;
+//! use rand::SeedableRng;
+//!
+//! let source = generate(&SynthConfig { records: 300, seed: 9 });
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (d1, d2) = paper_partition(&source, &mut rng);
+//! assert_eq!(d1.len(), 200); // 2/3 of the source each, sharing one third
+//! assert_eq!(d2.len(), 200);
+//! ```
+
+mod dataset;
+pub mod loader;
+pub mod names;
+pub mod partition;
+mod schema;
+pub mod synth;
+pub mod writer;
+
+pub use dataset::{DataSet, Record, Value};
+pub use schema::{Attribute, Schema};
+
+/// Errors from data loading and construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A value did not parse or is outside its attribute domain.
+    BadValue { line: usize, detail: String },
+    /// The record has the wrong number of fields.
+    BadArity { line: usize, got: usize },
+    /// I/O failure while reading a file.
+    Io(String),
+    /// Schema mismatch between operations.
+    SchemaMismatch,
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::BadValue { line, detail } => write!(f, "line {line}: {detail}"),
+            DataError::BadArity { line, got } => write!(f, "line {line}: {got} fields"),
+            DataError::Io(e) => write!(f, "io error: {e}"),
+            DataError::SchemaMismatch => write!(f, "schema mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

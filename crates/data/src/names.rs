@@ -1,0 +1,257 @@
+//! Name-corpus substrate for the alphanumeric-attribute extension
+//! (paper §VIII): surname domains with realistic typo variants, plus a
+//! two-holder scenario generator where the overlapping records carry
+//! spelling errors — the workload edit-distance linkage exists for.
+
+use crate::dataset::{DataSet, Record, Value};
+use crate::schema::Schema;
+use pprl_hierarchy::{prefix_hierarchy, IntervalHierarchy, Vgh};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A hundred common surnames (US census order-ish) as the base domain.
+pub const SURNAMES: [&str; 100] = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
+    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
+    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
+    "rivera", "campbell", "mitchell", "carter", "roberts", "gomez", "phillips", "evans",
+    "turner", "diaz", "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan", "cooper", "peterson",
+    "bailey", "reed", "kelly", "howard", "ramos", "kim", "cox", "ward", "richardson", "watson",
+    "brooks", "chavez", "wood", "james", "bennett", "gray", "mendoza", "ruiz", "hughes", "price",
+    "alvarez", "castillo", "sanders", "patel", "myers", "long", "ross", "foster", "jimenez",
+];
+
+/// Applies one random edit (substitution, insertion, deletion, or
+/// transposition) to a name — edit distance exactly 1 from the original
+/// (2 for transposition under unit-cost Levenshtein).
+pub fn corrupt<R: Rng>(name: &str, rng: &mut R) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    let alphabet = "abcdefghijklmnopqrstuvwxyz";
+    let pick = |rng: &mut R| {
+        alphabet
+            .chars()
+            .nth(rng.gen_range(0..alphabet.len()))
+            .expect("index in range")
+    };
+    // Rejection loop: a substitution can pick the original character and a
+    // transposition can swap equal neighbors; retry until the spelling
+    // actually changes.
+    loop {
+        let attempt = corrupt_once(&chars, rng, &pick);
+        if attempt != chars {
+            return attempt.into_iter().collect();
+        }
+    }
+}
+
+fn corrupt_once<R: Rng>(
+    chars: &[char],
+    rng: &mut R,
+    pick: &impl Fn(&mut R) -> char,
+) -> Vec<char> {
+    let mut out = chars.to_vec();
+    match rng.gen_range(0..4) {
+        0 => {
+            // substitution
+            let i = rng.gen_range(0..out.len());
+            out[i] = pick(rng);
+        }
+        1 => {
+            // insertion
+            let i = rng.gen_range(0..=out.len());
+            out.insert(i, pick(rng));
+        }
+        2 if out.len() > 2 => {
+            // deletion (keep names non-trivial)
+            let i = rng.gen_range(0..out.len());
+            out.remove(i);
+        }
+        _ if out.len() >= 2 => {
+            // transposition
+            let i = rng.gen_range(0..out.len() - 1);
+            out.swap(i, i + 1);
+        }
+        _ => {
+            let i = rng.gen_range(0..out.len());
+            out[i] = pick(rng);
+        }
+    }
+    out
+}
+
+/// Configuration for the fuzzy two-holder scenario.
+#[derive(Clone, Debug)]
+pub struct FuzzyScenarioConfig {
+    /// Records per holder.
+    pub records_per_set: usize,
+    /// Fraction of each holder that is the shared population.
+    pub overlap: f64,
+    /// Probability that a shared record's surname is misspelled in the
+    /// second holder's copy.
+    pub typo_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FuzzyScenarioConfig {
+    fn default() -> Self {
+        FuzzyScenarioConfig {
+            records_per_set: 400,
+            overlap: 0.4,
+            typo_rate: 0.5,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+/// Builds two data sets over a `(surname, age)` schema where the shared
+/// population appears in both — second copies carrying typos at
+/// `typo_rate`. The surname domain is the base corpus plus every generated
+/// variant, generalized by prefix truncation.
+pub fn fuzzy_pair_scenario(config: &FuzzyScenarioConfig) -> (DataSet, DataSet) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+
+    let shared = (config.records_per_set as f64 * config.overlap).round() as usize;
+    let unique = config.records_per_set - shared;
+
+    // Draw the person list: (surname index into base corpus, age).
+    let person = |rng: &mut rand::rngs::StdRng| {
+        let name = *SURNAMES.choose(rng).expect("non-empty corpus");
+        let age = rng.gen_range(18..80) as f64;
+        (name.to_string(), age)
+    };
+    let shared_people: Vec<(String, f64)> = (0..shared).map(|_| person(&mut rng)).collect();
+    let a_only: Vec<(String, f64)> = (0..unique).map(|_| person(&mut rng)).collect();
+    let b_only: Vec<(String, f64)> = (0..unique).map(|_| person(&mut rng)).collect();
+
+    // B's copies of shared people: possible typo.
+    let shared_in_b: Vec<(String, f64)> = shared_people
+        .iter()
+        .map(|(name, age)| {
+            if rng.gen::<f64>() < config.typo_rate {
+                (corrupt(name, &mut rng), *age)
+            } else {
+                (name.clone(), *age)
+            }
+        })
+        .collect();
+
+    // The domain must cover every spelling that occurs anywhere.
+    let mut domain: Vec<&str> = shared_people
+        .iter()
+        .chain(&a_only)
+        .chain(&b_only)
+        .chain(&shared_in_b)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    domain.sort_unstable();
+    domain.dedup();
+
+    let surname_vgh = Vgh::Categorical(
+        prefix_hierarchy("surname", &domain, &[1, 3]).expect("non-empty domain"),
+    );
+    let age_vgh = Vgh::Continuous(
+        IntervalHierarchy::equi_width("age", 17.0, 113.0, &[2, 2, 3]).expect("static definition"),
+    );
+    let schema = Schema::new(vec![surname_vgh, age_vgh], vec!["-".into()]);
+    let tax = schema
+        .attribute(0)
+        .vgh()
+        .as_taxonomy()
+        .expect("surname is categorical")
+        .clone();
+
+    let mk = |people: &[(String, f64)], base: u64| -> Vec<Record> {
+        people
+            .iter()
+            .enumerate()
+            .map(|(i, (name, age))| {
+                let pos = tax.leaf_position(name).expect("name in domain");
+                Record::new(base + i as u64, vec![Value::Cat(pos), Value::Num(*age)], 0)
+            })
+            .collect()
+    };
+    let mut a_records = mk(&shared_people, 0);
+    a_records.extend(mk(&a_only, 10_000));
+    let mut b_records = mk(&shared_in_b, 0); // same ids as A's shared block
+    b_records.extend(mk(&b_only, 20_000));
+
+    let d1 = DataSet::new("fuzzy-A", Arc::clone(&schema), a_records).expect("schema matches");
+    let d2 = DataSet::new("fuzzy-B", schema, b_records).expect("schema matches");
+    (d1, d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corrupt_produces_small_edits() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let name = *SURNAMES.choose(&mut rng).unwrap();
+            let bad = corrupt(name, &mut rng);
+            let d = pprl_edit_distance(name, &bad);
+            assert!((1..=2).contains(&d), "{name} -> {bad}: distance {d}");
+        }
+    }
+
+    // Local Levenshtein to avoid a dev-dependency cycle with pprl-blocking.
+    fn pprl_edit_distance(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut cur = vec![0usize; b.len() + 1];
+        for (i, &ca) in a.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, &cb) in b.iter().enumerate() {
+                let sub = prev[j] + usize::from(ca != cb);
+                cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn scenario_has_requested_shape() {
+        let cfg = FuzzyScenarioConfig {
+            records_per_set: 100,
+            overlap: 0.3,
+            typo_rate: 1.0,
+            seed: 2,
+        };
+        let (a, b) = fuzzy_pair_scenario(&cfg);
+        assert_eq!(a.len(), 100);
+        assert_eq!(b.len(), 100);
+        // Shared block shares record ids.
+        let shared_ids = a
+            .records()
+            .iter()
+            .filter(|r| b.records().iter().any(|s| s.id() == r.id()))
+            .count();
+        assert_eq!(shared_ids, 30);
+        // With typo_rate = 1, shared ages agree but shared names may differ.
+        for (ra, rb) in a.records()[..30].iter().zip(&b.records()[..30]) {
+            assert_eq!(ra.id(), rb.id());
+            assert_eq!(ra.value(1).as_num(), rb.value(1).as_num());
+        }
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let cfg = FuzzyScenarioConfig::default();
+        let (a1, _) = fuzzy_pair_scenario(&cfg);
+        let (a2, _) = fuzzy_pair_scenario(&cfg);
+        for (x, y) in a1.records().iter().zip(a2.records()) {
+            assert_eq!(x.values(), y.values());
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Relational schema shared by both data holders.
+//!
+//! The paper assumes matching schemas (`R(A₁…Aₙ)` and `S(A₁…Aₙ)`, §II) —
+//! private schema matching is cited as prior work \[5\] and out of scope.
+
+use pprl_hierarchy::{adult_vghs, AttributeKind, Vgh};
+use std::sync::Arc;
+
+/// One attribute: its name, kind, and value generalization hierarchy.
+#[derive(Clone, Debug)]
+pub struct Attribute {
+    name: String,
+    vgh: Arc<Vgh>,
+}
+
+impl Attribute {
+    /// Wraps a VGH as an attribute (name comes from the hierarchy).
+    pub fn new(vgh: Vgh) -> Self {
+        Attribute {
+            name: vgh.name().to_string(),
+            vgh: Arc::new(vgh),
+        }
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Categorical or continuous.
+    pub fn kind(&self) -> AttributeKind {
+        self.vgh.kind()
+    }
+
+    /// The attribute's VGH.
+    pub fn vgh(&self) -> &Vgh {
+        &self.vgh
+    }
+
+    /// Domain size for categorical attributes; `None` for continuous.
+    pub fn domain_size(&self) -> Option<usize> {
+        self.vgh.as_taxonomy().map(|t| t.leaf_count())
+    }
+}
+
+/// An ordered attribute list plus the class-label domain (the Adult income
+/// column, needed by the information-gain anonymizer TDS \[7\]).
+#[derive(Clone, Debug)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    class_labels: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from VGHs and class labels.
+    pub fn new(vghs: Vec<Vgh>, class_labels: Vec<String>) -> Arc<Self> {
+        Arc::new(Schema {
+            attributes: vghs.into_iter().map(Attribute::new).collect(),
+            class_labels,
+        })
+    }
+
+    /// The full Adult schema in the paper's QID order, with the income
+    /// class (`<=50K` / `>50K`).
+    pub fn adult() -> Arc<Self> {
+        Schema::new(
+            adult_vghs(),
+            vec!["<=50K".to_string(), ">50K".to_string()],
+        )
+    }
+
+    /// The attributes, in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attribute by index.
+    pub fn attribute(&self, idx: usize) -> &Attribute {
+        &self.attributes[idx]
+    }
+
+    /// Index of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name() == name)
+    }
+
+    /// The class-label domain.
+    pub fn class_labels(&self) -> &[String] {
+        &self.class_labels
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.class_labels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adult_schema_shape() {
+        let s = Schema::adult();
+        assert_eq!(s.arity(), 8);
+        assert_eq!(s.class_count(), 2);
+        assert_eq!(s.attribute(0).name(), "age");
+        assert_eq!(s.attribute(0).kind(), AttributeKind::Continuous);
+        assert_eq!(s.attribute(2).name(), "education");
+        assert_eq!(s.attribute(2).domain_size(), Some(16));
+        assert_eq!(s.attribute(0).domain_size(), None);
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = Schema::adult();
+        assert_eq!(s.index_of("occupation"), Some(4));
+        assert_eq!(s.index_of("nope"), None);
+    }
+}

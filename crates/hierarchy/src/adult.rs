@@ -1,0 +1,351 @@
+//! The published Adult-data-set VGHs (paper §VI; hierarchies adopted from
+//! Fung et al. \[7\] and the anonymization literature's standard Adult
+//! taxonomy).
+//!
+//! The quasi-identifier order matches the paper's: the |QID|-sweep
+//! experiments (Figs. 6–7) take the top-q attributes of
+//! `{age, workclass, education, marital status, occupation, race, sex,
+//! native country}`.
+//!
+//! The continuous `age` hierarchy follows §VI: 4 levels, equi-width leaf
+//! intervals of 8 units. We use the domain `[17, 113)` (Adult ages span
+//! 17–90) with fanouts 2×2×3, giving 12 leaves of width 8 and
+//! `normFactor = 96`.
+
+use crate::{IntervalHierarchy, TaxSpec, Taxonomy, Vgh};
+
+/// The eight Adult quasi-identifier attributes, in the paper's order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AdultAttribute {
+    /// Continuous age (17–90).
+    Age,
+    /// Employer class (8 values).
+    Workclass,
+    /// Education level (16 values).
+    Education,
+    /// Marital status (7 values).
+    MaritalStatus,
+    /// Occupation (14 values).
+    Occupation,
+    /// Race (5 values).
+    Race,
+    /// Sex (2 values).
+    Sex,
+    /// Native country (41 values).
+    NativeCountry,
+}
+
+/// The paper's quasi-identifier priority order (top-q sweeps use prefixes).
+pub const ADULT_QID_ORDER: [AdultAttribute; 8] = [
+    AdultAttribute::Age,
+    AdultAttribute::Workclass,
+    AdultAttribute::Education,
+    AdultAttribute::MaritalStatus,
+    AdultAttribute::Occupation,
+    AdultAttribute::Race,
+    AdultAttribute::Sex,
+    AdultAttribute::NativeCountry,
+];
+
+impl AdultAttribute {
+    /// Attribute name as it appears in the UCI schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdultAttribute::Age => "age",
+            AdultAttribute::Workclass => "workclass",
+            AdultAttribute::Education => "education",
+            AdultAttribute::MaritalStatus => "marital-status",
+            AdultAttribute::Occupation => "occupation",
+            AdultAttribute::Race => "race",
+            AdultAttribute::Sex => "sex",
+            AdultAttribute::NativeCountry => "native-country",
+        }
+    }
+
+    /// Builds this attribute's VGH.
+    pub fn vgh(self) -> Vgh {
+        match self {
+            AdultAttribute::Age => Vgh::Continuous(
+                IntervalHierarchy::equi_width("age", 17.0, 113.0, &[2, 2, 3])
+                    .expect("static definition is valid"),
+            ),
+            AdultAttribute::Workclass => Vgh::Categorical(workclass()),
+            AdultAttribute::Education => Vgh::Categorical(education()),
+            AdultAttribute::MaritalStatus => Vgh::Categorical(marital_status()),
+            AdultAttribute::Occupation => Vgh::Categorical(occupation()),
+            AdultAttribute::Race => Vgh::Categorical(race()),
+            AdultAttribute::Sex => Vgh::Categorical(sex()),
+            AdultAttribute::NativeCountry => Vgh::Categorical(native_country()),
+        }
+    }
+}
+
+/// All eight VGHs in [`ADULT_QID_ORDER`].
+pub fn adult_vghs() -> Vec<Vgh> {
+    ADULT_QID_ORDER.iter().map(|a| a.vgh()).collect()
+}
+
+fn leaves(labels: &[&str]) -> Vec<TaxSpec> {
+    labels.iter().map(|l| TaxSpec::leaf(*l)).collect()
+}
+
+fn workclass() -> Taxonomy {
+    let spec = TaxSpec::node(
+        "ANY",
+        vec![
+            TaxSpec::leaf("Private"),
+            TaxSpec::node(
+                "Self-Employed",
+                leaves(&["Self-emp-not-inc", "Self-emp-inc"]),
+            ),
+            TaxSpec::node("Government", leaves(&["Federal-gov", "Local-gov", "State-gov"])),
+            TaxSpec::node("Unpaid", leaves(&["Without-pay", "Never-worked"])),
+        ],
+    );
+    Taxonomy::from_spec("workclass", &spec).expect("static definition is valid")
+}
+
+fn education() -> Taxonomy {
+    let spec = TaxSpec::node(
+        "ANY",
+        vec![
+            TaxSpec::node(
+                "Elementary",
+                leaves(&["Preschool", "1st-4th", "5th-6th", "7th-8th"]),
+            ),
+            TaxSpec::node(
+                "Secondary",
+                vec![
+                    TaxSpec::node("Junior-Secondary", leaves(&["9th", "10th"])),
+                    TaxSpec::node("Senior-Secondary", leaves(&["11th", "12th", "HS-grad"])),
+                ],
+            ),
+            TaxSpec::node(
+                "Higher-Education",
+                vec![
+                    TaxSpec::leaf("Some-college"),
+                    TaxSpec::node("Associate", leaves(&["Assoc-voc", "Assoc-acdm"])),
+                    TaxSpec::node(
+                        "University",
+                        vec![
+                            TaxSpec::leaf("Bachelors"),
+                            TaxSpec::node(
+                                "Grad-School",
+                                leaves(&["Masters", "Prof-school", "Doctorate"]),
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    );
+    Taxonomy::from_spec("education", &spec).expect("static definition is valid")
+}
+
+fn marital_status() -> Taxonomy {
+    let spec = TaxSpec::node(
+        "ANY",
+        vec![
+            TaxSpec::node(
+                "Married",
+                leaves(&[
+                    "Married-civ-spouse",
+                    "Married-AF-spouse",
+                    "Married-spouse-absent",
+                ]),
+            ),
+            TaxSpec::node(
+                "Previously-Married",
+                leaves(&["Divorced", "Separated", "Widowed"]),
+            ),
+            TaxSpec::leaf("Never-married"),
+        ],
+    );
+    Taxonomy::from_spec("marital-status", &spec).expect("static definition is valid")
+}
+
+fn occupation() -> Taxonomy {
+    let spec = TaxSpec::node(
+        "ANY",
+        vec![
+            TaxSpec::node(
+                "White-Collar",
+                leaves(&[
+                    "Exec-managerial",
+                    "Prof-specialty",
+                    "Adm-clerical",
+                    "Sales",
+                    "Tech-support",
+                ]),
+            ),
+            TaxSpec::node(
+                "Blue-Collar",
+                leaves(&[
+                    "Craft-repair",
+                    "Machine-op-inspct",
+                    "Handlers-cleaners",
+                    "Transport-moving",
+                    "Farming-fishing",
+                ]),
+            ),
+            TaxSpec::node(
+                "Service",
+                leaves(&[
+                    "Other-service",
+                    "Priv-house-serv",
+                    "Protective-serv",
+                    "Armed-Forces",
+                ]),
+            ),
+        ],
+    );
+    Taxonomy::from_spec("occupation", &spec).expect("static definition is valid")
+}
+
+fn race() -> Taxonomy {
+    let spec = TaxSpec::node(
+        "ANY",
+        vec![
+            TaxSpec::leaf("White"),
+            TaxSpec::node(
+                "Non-White",
+                leaves(&["Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"]),
+            ),
+        ],
+    );
+    Taxonomy::from_spec("race", &spec).expect("static definition is valid")
+}
+
+fn sex() -> Taxonomy {
+    Taxonomy::flat("sex", ["Male", "Female"]).expect("static definition is valid")
+}
+
+fn native_country() -> Taxonomy {
+    let spec = TaxSpec::node(
+        "ANY",
+        vec![
+            TaxSpec::node(
+                "North-America",
+                leaves(&[
+                    "United-States",
+                    "Canada",
+                    "Puerto-Rico",
+                    "Outlying-US(Guam-USVI-etc)",
+                    "Mexico",
+                    "Cuba",
+                    "Jamaica",
+                    "Haiti",
+                    "Dominican-Republic",
+                    "Guatemala",
+                    "Honduras",
+                    "Nicaragua",
+                    "El-Salvador",
+                    "Trinadad&Tobago",
+                ]),
+            ),
+            TaxSpec::node("South-America", leaves(&["Columbia", "Ecuador", "Peru"])),
+            TaxSpec::node(
+                "Europe",
+                leaves(&[
+                    "England",
+                    "Germany",
+                    "Greece",
+                    "Italy",
+                    "Poland",
+                    "Portugal",
+                    "Ireland",
+                    "France",
+                    "Hungary",
+                    "Scotland",
+                    "Yugoslavia",
+                    "Holand-Netherlands",
+                ]),
+            ),
+            TaxSpec::node(
+                "Asia",
+                leaves(&[
+                    "Cambodia",
+                    "India",
+                    "Japan",
+                    "China",
+                    "Iran",
+                    "Philippines",
+                    "Vietnam",
+                    "Laos",
+                    "Taiwan",
+                    "Thailand",
+                    "South",
+                    "Hong",
+                ]),
+            ),
+        ],
+    );
+    Taxonomy::from_spec("native-country", &spec).expect("static definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_sizes_match_adult() {
+        let sizes: Vec<(AdultAttribute, usize)> = vec![
+            (AdultAttribute::Workclass, 8),
+            (AdultAttribute::Education, 16),
+            (AdultAttribute::MaritalStatus, 7),
+            (AdultAttribute::Occupation, 14),
+            (AdultAttribute::Race, 5),
+            (AdultAttribute::Sex, 2),
+            (AdultAttribute::NativeCountry, 41),
+        ];
+        for (attr, expected) in sizes {
+            let vgh = attr.vgh();
+            let tax = vgh.as_taxonomy().unwrap();
+            assert_eq!(tax.leaf_count(), expected, "{}", attr.name());
+        }
+    }
+
+    #[test]
+    fn age_hierarchy_shape() {
+        let vgh = AdultAttribute::Age.vgh();
+        let h = vgh.as_intervals().unwrap();
+        assert_eq!(h.leaf_count(), 12);
+        assert_eq!(h.height(), 3); // 4 levels counting the root
+        assert_eq!(h.norm_factor(), 96.0);
+        // Every Adult age (17..=90) maps to a leaf.
+        for age in 17..=90 {
+            assert!(h.leaf_for(age as f64).is_ok(), "age {age}");
+        }
+    }
+
+    #[test]
+    fn qid_order_has_eight_attributes() {
+        let vghs = adult_vghs();
+        assert_eq!(vghs.len(), 8);
+        assert_eq!(vghs[0].name(), "age");
+        assert_eq!(vghs[4].name(), "occupation");
+        assert_eq!(vghs[7].name(), "native-country");
+    }
+
+    #[test]
+    fn education_depth_reaches_four_levels() {
+        let vgh = AdultAttribute::Education.vgh();
+        let tax = vgh.as_taxonomy().unwrap();
+        assert_eq!(tax.height(), 4); // ANY → Higher-Ed → University → Grad-School → Masters
+        let masters = tax.node_by_label("Masters").unwrap();
+        assert_eq!(tax.label(tax.generalize(masters, 1)), "Grad-School");
+    }
+
+    #[test]
+    fn all_taxonomies_have_unique_labels() {
+        // from_spec would have panicked on duplicates; spot-check lookups.
+        for attr in ADULT_QID_ORDER {
+            if let Some(tax) = attr.vgh().as_taxonomy() {
+                for pos in 0..tax.leaf_count() as u32 {
+                    let label = tax.label(tax.leaf_node(pos)).to_string();
+                    assert_eq!(tax.leaf_position(&label).unwrap(), pos);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Interval hierarchies for continuous attributes.
+//!
+//! The paper's continuous VGHs (§VI: "The hierarchy that we used consists
+//! of 4 levels and equi-width leaf nodes cover 8-unit intervals") are
+//! balanced trees of half-open intervals. Custom unbalanced trees (like
+//! Fig. 1's Work Hrs hierarchy) are supported via [`IntervalSpec`].
+
+use crate::{HierarchyError, NodeId};
+
+/// Declarative interval-tree specification.
+#[derive(Clone, Debug)]
+pub struct IntervalSpec {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+    /// Child intervals (must tile `[lo, hi)` in order); empty for leaves.
+    pub children: Vec<IntervalSpec>,
+}
+
+impl IntervalSpec {
+    /// A leaf interval.
+    pub fn leaf(lo: f64, hi: f64) -> Self {
+        IntervalSpec {
+            lo,
+            hi,
+            children: Vec::new(),
+        }
+    }
+
+    /// An internal interval with children.
+    pub fn node(lo: f64, hi: f64, children: Vec<IntervalSpec>) -> Self {
+        IntervalSpec { lo, hi, children }
+    }
+}
+
+/// An immutable interval hierarchy. Node 0 is the root (the full domain).
+#[derive(Clone, Debug)]
+pub struct IntervalHierarchy {
+    name: String,
+    los: Vec<f64>,
+    his: Vec<f64>,
+    parents: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    depths: Vec<u32>,
+    /// Leaf slot range below each node (DFS-contiguous, like taxonomies).
+    leaf_ranges: Vec<(u32, u32)>,
+    /// Leaf slot → node id, ordered by interval position.
+    leaf_nodes: Vec<NodeId>,
+    height: u32,
+}
+
+impl IntervalHierarchy {
+    /// Builds a balanced equi-width hierarchy: the domain `[min, max)` is
+    /// split by `fanouts\[0\]`, each child by `fanouts\[1\]`, and so on.
+    ///
+    /// `equi_width("age", 17.0, 113.0, &[2, 2, 3])` yields a 4-level tree
+    /// whose 12 leaves cover 8-unit intervals.
+    pub fn equi_width(
+        name: impl Into<String>,
+        min: f64,
+        max: f64,
+        fanouts: &[usize],
+    ) -> Result<Self, HierarchyError> {
+        if min.partial_cmp(&max) != Some(std::cmp::Ordering::Less) {
+            return Err(HierarchyError::Invalid(format!(
+                "empty domain [{min}, {max})"
+            )));
+        }
+        if fanouts.iter().any(|&f| f < 2) {
+            return Err(HierarchyError::Invalid("fanouts must be >= 2".into()));
+        }
+        fn split(lo: f64, hi: f64, fanouts: &[usize]) -> IntervalSpec {
+            match fanouts.split_first() {
+                None => IntervalSpec::leaf(lo, hi),
+                Some((&f, rest)) => {
+                    let width = (hi - lo) / f as f64;
+                    let children = (0..f)
+                        .map(|i| {
+                            let clo = lo + i as f64 * width;
+                            let chi = if i == f - 1 { hi } else { lo + (i + 1) as f64 * width };
+                            split(clo, chi, rest)
+                        })
+                        .collect();
+                    IntervalSpec::node(lo, hi, children)
+                }
+            }
+        }
+        Self::from_spec(name, &split(min, max, fanouts))
+    }
+
+    /// Builds from an explicit (possibly unbalanced) specification.
+    pub fn from_spec(
+        name: impl Into<String>,
+        spec: &IntervalSpec,
+    ) -> Result<Self, HierarchyError> {
+        let mut h = IntervalHierarchy {
+            name: name.into(),
+            los: Vec::new(),
+            his: Vec::new(),
+            parents: Vec::new(),
+            children: Vec::new(),
+            depths: Vec::new(),
+            leaf_ranges: Vec::new(),
+            leaf_nodes: Vec::new(),
+            height: 0,
+        };
+        h.build(spec, None, 0)?;
+        Ok(h)
+    }
+
+    fn build(
+        &mut self,
+        spec: &IntervalSpec,
+        parent: Option<NodeId>,
+        depth: u32,
+    ) -> Result<NodeId, HierarchyError> {
+        if spec.lo.partial_cmp(&spec.hi) != Some(std::cmp::Ordering::Less) {
+            return Err(HierarchyError::Invalid(format!(
+                "empty interval [{}, {})",
+                spec.lo, spec.hi
+            )));
+        }
+        // Children must tile the parent exactly, in order.
+        if !spec.children.is_empty() {
+            let mut cursor = spec.lo;
+            for c in &spec.children {
+                if (c.lo - cursor).abs() > 1e-9 {
+                    return Err(HierarchyError::Invalid(format!(
+                        "children do not tile parent at {cursor}"
+                    )));
+                }
+                cursor = c.hi;
+            }
+            if (cursor - spec.hi).abs() > 1e-9 {
+                return Err(HierarchyError::Invalid(format!(
+                    "children end at {cursor}, parent at {}",
+                    spec.hi
+                )));
+            }
+        }
+
+        let id = self.los.len() as NodeId;
+        self.los.push(spec.lo);
+        self.his.push(spec.hi);
+        self.parents.push(parent);
+        self.children.push(Vec::new());
+        self.depths.push(depth);
+        self.leaf_ranges.push((0, 0));
+        self.height = self.height.max(depth);
+
+        if spec.children.is_empty() {
+            let pos = self.leaf_nodes.len() as u32;
+            self.leaf_nodes.push(id);
+            self.leaf_ranges[id as usize] = (pos, pos + 1);
+        } else {
+            let lo = self.leaf_nodes.len() as u32;
+            for c in &spec.children {
+                let child = self.build(c, Some(id), depth + 1)?;
+                self.children[id as usize].push(child);
+            }
+            let hi = self.leaf_nodes.len() as u32;
+            self.leaf_ranges[id as usize] = (lo, hi);
+        }
+        Ok(id)
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The root node (full domain).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Domain bounds `[min, max)`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.los[0], self.his[0])
+    }
+
+    /// Domain width — the paper's `normFactor` for normalized Euclidean
+    /// distance (98 for the `[1, 99)` Work Hrs example).
+    pub fn norm_factor(&self) -> f64 {
+        self.his[0] - self.los[0]
+    }
+
+    /// Interval `[lo, hi)` of a node.
+    pub fn bounds(&self, id: NodeId) -> (f64, f64) {
+        (self.los[id as usize], self.his[id as usize])
+    }
+
+    /// Parent of a node.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.parents[id as usize]
+    }
+
+    /// Children of a node.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.children[id as usize]
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.depths[id as usize]
+    }
+
+    /// Maximum depth.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// `true` iff the node is a leaf interval.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.children[id as usize].is_empty()
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.los.len()
+    }
+
+    /// Number of leaf intervals.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_nodes.len()
+    }
+
+    /// The leaf interval containing `v` (domain membership required).
+    pub fn leaf_for(&self, v: f64) -> Result<NodeId, HierarchyError> {
+        let (min, max) = self.domain();
+        if !(v >= min && v < max) {
+            return Err(HierarchyError::OutOfDomain(v));
+        }
+        let mut cur = self.root();
+        while !self.is_leaf(cur) {
+            let next = self.children[cur as usize]
+                .iter()
+                .copied()
+                .find(|&c| v >= self.los[c as usize] && v < self.his[c as usize]);
+            cur = next.expect("children tile parent, so one contains v");
+        }
+        Ok(cur)
+    }
+
+    /// Ancestor `levels_up` levels toward the root (saturating).
+    pub fn generalize(&self, id: NodeId, levels_up: u32) -> NodeId {
+        let mut cur = id;
+        for _ in 0..levels_up {
+            match self.parents[cur as usize] {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// Ancestor at exactly `depth` (requires `depth ≤ depth(id)`).
+    pub fn ancestor_at_depth(&self, id: NodeId, depth: u32) -> NodeId {
+        let d = self.depths[id as usize];
+        debug_assert!(depth <= d);
+        self.generalize(id, d - depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn age() -> IntervalHierarchy {
+        IntervalHierarchy::equi_width("age", 17.0, 113.0, &[2, 2, 3]).unwrap()
+    }
+
+    #[test]
+    fn equi_width_structure() {
+        let h = age();
+        assert_eq!(h.leaf_count(), 12);
+        assert_eq!(h.height(), 3);
+        assert_eq!(h.norm_factor(), 96.0);
+        // Leaves are 8-unit intervals.
+        for slot in 0..12u32 {
+            let id = h.leaf_nodes[slot as usize];
+            let (lo, hi) = h.bounds(id);
+            assert!((hi - lo - 8.0).abs() < 1e-9, "leaf width at slot {slot}");
+        }
+    }
+
+    #[test]
+    fn leaf_for_locates_values() {
+        let h = age();
+        let leaf = h.leaf_for(17.0).unwrap();
+        assert_eq!(h.bounds(leaf), (17.0, 25.0));
+        let leaf = h.leaf_for(36.0).unwrap();
+        assert_eq!(h.bounds(leaf), (33.0, 41.0));
+        let leaf = h.leaf_for(112.9).unwrap();
+        assert_eq!(h.bounds(leaf).1, 113.0);
+    }
+
+    #[test]
+    fn out_of_domain_rejected() {
+        let h = age();
+        assert!(h.leaf_for(16.99).is_err());
+        assert!(h.leaf_for(113.0).is_err());
+    }
+
+    #[test]
+    fn generalize_widens_interval() {
+        let h = age();
+        let leaf = h.leaf_for(36.0).unwrap();
+        let mid = h.generalize(leaf, 1);
+        let (lo, hi) = h.bounds(mid);
+        assert!(lo <= 33.0 && hi >= 41.0 && (hi - lo - 24.0).abs() < 1e-9);
+        assert_eq!(h.generalize(leaf, 10), h.root());
+    }
+
+    #[test]
+    fn custom_unbalanced_spec() {
+        // The paper's Fig. 1 Work Hrs hierarchy:
+        // ANY [1-99) → { [1-37) → { [1-35), [35-37) }, [37-99) }
+        let spec = IntervalSpec::node(
+            1.0,
+            99.0,
+            vec![
+                IntervalSpec::node(
+                    1.0,
+                    37.0,
+                    vec![IntervalSpec::leaf(1.0, 35.0), IntervalSpec::leaf(35.0, 37.0)],
+                ),
+                IntervalSpec::leaf(37.0, 99.0),
+            ],
+        );
+        let h = IntervalHierarchy::from_spec("work-hrs", &spec).unwrap();
+        assert_eq!(h.leaf_count(), 3);
+        assert_eq!(h.norm_factor(), 98.0);
+        assert_eq!(h.bounds(h.leaf_for(36.0).unwrap()), (35.0, 37.0));
+        assert_eq!(h.bounds(h.leaf_for(50.0).unwrap()), (37.0, 99.0));
+    }
+
+    #[test]
+    fn gap_in_children_rejected() {
+        let spec = IntervalSpec::node(
+            0.0,
+            10.0,
+            vec![IntervalSpec::leaf(0.0, 4.0), IntervalSpec::leaf(5.0, 10.0)],
+        );
+        assert!(IntervalHierarchy::from_spec("gap", &spec).is_err());
+    }
+
+    #[test]
+    fn short_children_rejected() {
+        let spec = IntervalSpec::node(0.0, 10.0, vec![IntervalSpec::leaf(0.0, 4.0)]);
+        assert!(IntervalHierarchy::from_spec("short", &spec).is_err());
+    }
+
+    #[test]
+    fn degenerate_interval_rejected() {
+        assert!(IntervalHierarchy::equi_width("x", 5.0, 5.0, &[2]).is_err());
+        assert!(IntervalHierarchy::equi_width("x", 0.0, 10.0, &[1]).is_err());
+    }
+}

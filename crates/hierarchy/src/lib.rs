@@ -1,0 +1,58 @@
+//! # pprl-hierarchy — value generalization hierarchies
+//!
+//! Anonymization replaces precise attribute values by *generalizations*
+//! drawn from a Value Generalization Hierarchy (VGH, paper §II Fig. 1):
+//! taxonomy trees for categorical attributes (`Masters → Grad School →
+//! University → ANY`) and interval trees for continuous ones
+//! (`36 → [35-37) → [35-99) → ANY`).
+//!
+//! The blocking step's machinery is built on one observation (paper §IV):
+//! a generalized value `v` pins the original value into its
+//! **specialization set** `specSet(v)` — the leaves below a taxonomy node,
+//! or the interval covered by an interval node. Everything downstream
+//! (slack distances, expected distances) is arithmetic over these sets.
+//!
+//! Taxonomy leaves are numbered in depth-first order so that every node
+//! covers a *contiguous leaf range*; specialization-set sizes and
+//! intersections are O(1) range arithmetic instead of set operations.
+
+mod adult;
+mod interval;
+mod strings;
+mod taxonomy;
+mod vgh;
+
+pub use adult::{adult_vghs, AdultAttribute, ADULT_QID_ORDER};
+pub use interval::{IntervalHierarchy, IntervalSpec};
+pub use strings::{leaf_strings, prefix_hierarchy};
+pub use taxonomy::{TaxSpec, Taxonomy};
+pub use vgh::{AttributeKind, GenValue, Vgh};
+
+/// Node identifier within a hierarchy (root is always `0`).
+pub type NodeId = u32;
+
+/// Errors from hierarchy construction and lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HierarchyError {
+    /// A label appears more than once in a taxonomy.
+    DuplicateLabel(String),
+    /// A requested label does not exist.
+    UnknownLabel(String),
+    /// The structure is invalid (e.g. empty taxonomy, zero-width interval).
+    Invalid(String),
+    /// A value lies outside the hierarchy's domain.
+    OutOfDomain(f64),
+}
+
+impl std::fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HierarchyError::DuplicateLabel(l) => write!(f, "duplicate label: {l}"),
+            HierarchyError::UnknownLabel(l) => write!(f, "unknown label: {l}"),
+            HierarchyError::Invalid(s) => write!(f, "invalid hierarchy: {s}"),
+            HierarchyError::OutOfDomain(v) => write!(f, "value {v} outside domain"),
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}

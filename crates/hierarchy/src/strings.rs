@@ -1,0 +1,119 @@
+//! String generalization via prefix truncation — infrastructure for the
+//! paper's future-work direction ("extend our existing solution to handle
+//! alphanumeric attributes (e.g., address information)", §VIII).
+//!
+//! A string domain is generalized by truncating to shorter and shorter
+//! prefixes: `"smith" → "smi*" → "s*" → ANY`. The result is an ordinary
+//! [`Taxonomy`], so every blocking and heuristic mechanism applies
+//! unchanged; the edit-distance slack bounds live in `pprl-blocking`.
+
+use crate::{HierarchyError, TaxSpec, Taxonomy};
+use std::collections::BTreeMap;
+
+/// Builds a prefix-truncation taxonomy over a string domain.
+///
+/// `prefix_lengths` are the truncation lengths from coarse to fine, e.g.
+/// `&[1, 3]` yields `ANY → "s*" → "smi*" → "smith"`. Values are deduplicated
+/// and sorted; labels of internal nodes carry a `*` suffix.
+pub fn prefix_hierarchy(
+    name: impl Into<String>,
+    values: &[&str],
+    prefix_lengths: &[usize],
+) -> Result<Taxonomy, HierarchyError> {
+    if values.is_empty() {
+        return Err(HierarchyError::Invalid("empty string domain".into()));
+    }
+    let mut sorted: Vec<&str> = values.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut lens = prefix_lengths.to_vec();
+    lens.sort_unstable();
+    lens.dedup();
+
+    let spec = TaxSpec::Node("ANY".into(), group(&sorted, &lens));
+    Taxonomy::from_spec(name, &spec)
+}
+
+/// Recursively groups sorted values by their prefix of `lens\[0\]` chars.
+fn group(values: &[&str], lens: &[usize]) -> Vec<TaxSpec> {
+    match lens.split_first() {
+        None => values.iter().map(|v| TaxSpec::leaf(*v)).collect(),
+        Some((&len, rest)) => {
+            let mut buckets: BTreeMap<String, Vec<&str>> = BTreeMap::new();
+            for &v in values {
+                let prefix: String = v.chars().take(len).collect();
+                buckets.entry(prefix).or_default().push(v);
+            }
+            buckets
+                .into_iter()
+                .map(|(prefix, members)| {
+                    // A bucket holding a single full string that *is* its own
+                    // prefix collapses to a leaf (avoids `ab*` over just `ab`).
+                    if members.len() == 1 && members[0] == prefix {
+                        TaxSpec::leaf(members[0])
+                    } else {
+                        TaxSpec::node(format!("{prefix}*"), group(&members, rest))
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Extracts the string specialization set of a taxonomy node: the leaf
+/// labels below it. Used by the edit-distance slack bounds.
+pub fn leaf_strings(tax: &Taxonomy, node: crate::NodeId) -> Vec<&str> {
+    tax.leaves_under(node)
+        .map(|pos| tax.label(tax.leaf_node(pos)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_by_prefix() {
+        let t = prefix_hierarchy(
+            "surname",
+            &["smith", "smythe", "sanders", "jones", "johnson"],
+            &[1, 2],
+        )
+        .unwrap();
+        assert_eq!(t.leaf_count(), 5);
+        let s_star = t.node_by_label("s*").unwrap();
+        assert_eq!(t.spec_set_size(s_star), 3);
+        let sm = t.node_by_label("sm*").unwrap();
+        let leaves = leaf_strings(&t, sm);
+        assert_eq!(leaves, vec!["smith", "smythe"]);
+    }
+
+    #[test]
+    fn deduplicates_values() {
+        let t = prefix_hierarchy("x", &["aa", "aa", "ab"], &[1]).unwrap();
+        assert_eq!(t.leaf_count(), 2);
+    }
+
+    #[test]
+    fn single_member_bucket_collapses() {
+        let t = prefix_hierarchy("x", &["ab", "cd", "ce"], &[2]).unwrap();
+        // "ab" is alone under prefix "ab" and equals it → leaf directly
+        // under the root.
+        let ab = t.node_by_label("ab").unwrap();
+        assert_eq!(t.parent(ab), Some(t.root()));
+        assert!(t.node_by_label("c*").is_err()); // prefix length 2 → "cd"/"ce" split
+    }
+
+    #[test]
+    fn empty_domain_rejected() {
+        assert!(prefix_hierarchy("x", &[], &[1]).is_err());
+    }
+
+    #[test]
+    fn root_only_hierarchy() {
+        // No prefix levels: flat ANY over all strings.
+        let t = prefix_hierarchy("x", &["p", "q"], &[]).unwrap();
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.leaf_count(), 2);
+    }
+}

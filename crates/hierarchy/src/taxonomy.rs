@@ -1,0 +1,403 @@
+//! Taxonomy trees for categorical attributes.
+
+use crate::{HierarchyError, NodeId};
+use std::collections::HashMap;
+
+/// Declarative taxonomy specification — nested labels.
+///
+/// ```
+/// use pprl_hierarchy::{TaxSpec, Taxonomy};
+///
+/// let spec = TaxSpec::node("ANY", vec![
+///     TaxSpec::node("Secondary", vec![TaxSpec::leaf("9th"), TaxSpec::leaf("10th")]),
+///     TaxSpec::leaf("Bachelors"),
+/// ]);
+/// let tax = Taxonomy::from_spec("education", &spec).unwrap();
+/// assert_eq!(tax.leaf_count(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub enum TaxSpec {
+    /// A leaf value of the attribute domain.
+    Leaf(String),
+    /// An internal generalization with at least one child.
+    Node(String, Vec<TaxSpec>),
+}
+
+impl TaxSpec {
+    /// Convenience leaf constructor.
+    pub fn leaf(label: impl Into<String>) -> Self {
+        TaxSpec::Leaf(label.into())
+    }
+
+    /// Convenience internal-node constructor.
+    pub fn node(label: impl Into<String>, children: Vec<TaxSpec>) -> Self {
+        TaxSpec::Node(label.into(), children)
+    }
+}
+
+/// An immutable taxonomy tree with DFS-contiguous leaf numbering.
+///
+/// Leaf *positions* (`0..leaf_count`) are the values records store; node
+/// ids are the generalizations anonymized records store. Every node knows
+/// the half-open range of leaf positions below it, so specialization-set
+/// arithmetic is O(1).
+#[derive(Clone, Debug)]
+pub struct Taxonomy {
+    name: String,
+    labels: Vec<String>,
+    parents: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    depths: Vec<u32>,
+    /// Half-open leaf-position range covered by each node.
+    leaf_ranges: Vec<(u32, u32)>,
+    /// Leaf position → node id.
+    leaf_nodes: Vec<NodeId>,
+    label_to_node: HashMap<String, NodeId>,
+    height: u32,
+}
+
+impl Taxonomy {
+    /// Builds a taxonomy from a specification. The spec root becomes node 0.
+    pub fn from_spec(name: impl Into<String>, spec: &TaxSpec) -> Result<Self, HierarchyError> {
+        let mut t = Taxonomy {
+            name: name.into(),
+            labels: Vec::new(),
+            parents: Vec::new(),
+            children: Vec::new(),
+            depths: Vec::new(),
+            leaf_ranges: Vec::new(),
+            leaf_nodes: Vec::new(),
+            label_to_node: HashMap::new(),
+            height: 0,
+        };
+        t.build(spec, None, 0)?;
+        if t.leaf_nodes.is_empty() {
+            return Err(HierarchyError::Invalid("taxonomy has no leaves".into()));
+        }
+        Ok(t)
+    }
+
+    /// Builds a flat taxonomy: root `ANY` over the given leaves. Handy for
+    /// attributes without a published hierarchy (e.g. `sex`).
+    pub fn flat(
+        name: impl Into<String>,
+        leaves: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<Self, HierarchyError> {
+        let spec = TaxSpec::Node(
+            "ANY".into(),
+            leaves.into_iter().map(|l| TaxSpec::Leaf(l.into())).collect(),
+        );
+        Taxonomy::from_spec(name, &spec)
+    }
+
+    fn build(
+        &mut self,
+        spec: &TaxSpec,
+        parent: Option<NodeId>,
+        depth: u32,
+    ) -> Result<NodeId, HierarchyError> {
+        let (label, kids) = match spec {
+            TaxSpec::Leaf(l) => (l, None),
+            TaxSpec::Node(l, c) => {
+                if c.is_empty() {
+                    return Err(HierarchyError::Invalid(format!(
+                        "internal node {l:?} has no children"
+                    )));
+                }
+                (l, Some(c))
+            }
+        };
+        let id = self.labels.len() as NodeId;
+        if self.label_to_node.insert(label.clone(), id).is_some() {
+            return Err(HierarchyError::DuplicateLabel(label.clone()));
+        }
+        self.labels.push(label.clone());
+        self.parents.push(parent);
+        self.children.push(Vec::new());
+        self.depths.push(depth);
+        self.leaf_ranges.push((0, 0));
+        self.height = self.height.max(depth);
+
+        match kids {
+            None => {
+                let pos = self.leaf_nodes.len() as u32;
+                self.leaf_nodes.push(id);
+                self.leaf_ranges[id as usize] = (pos, pos + 1);
+            }
+            Some(kids) => {
+                let lo = self.leaf_nodes.len() as u32;
+                for child_spec in kids {
+                    let child = self.build(child_spec, Some(id), depth + 1)?;
+                    self.children[id as usize].push(child);
+                }
+                let hi = self.leaf_nodes.len() as u32;
+                self.leaf_ranges[id as usize] = (lo, hi);
+            }
+        }
+        Ok(id)
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The root node (always `0`).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of leaves (the domain size).
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_nodes.len()
+    }
+
+    /// Maximum depth (root = 0).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Human-readable label of a node.
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.labels[id as usize]
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.parents[id as usize]
+    }
+
+    /// Children of a node (empty for leaves).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.children[id as usize]
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.depths[id as usize]
+    }
+
+    /// `true` iff the node is a leaf.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.children[id as usize].is_empty()
+    }
+
+    /// Half-open range of leaf positions below the node — the
+    /// specialization set in range form.
+    pub fn leaf_range(&self, id: NodeId) -> (u32, u32) {
+        self.leaf_ranges[id as usize]
+    }
+
+    /// Size of the specialization set.
+    pub fn spec_set_size(&self, id: NodeId) -> u32 {
+        let (lo, hi) = self.leaf_ranges[id as usize];
+        hi - lo
+    }
+
+    /// `|specSet(a) ∩ specSet(b)|` — in a tree, ranges are nested or
+    /// disjoint, so this is range-overlap arithmetic.
+    pub fn spec_set_overlap(&self, a: NodeId, b: NodeId) -> u32 {
+        let (alo, ahi) = self.leaf_ranges[a as usize];
+        let (blo, bhi) = self.leaf_ranges[b as usize];
+        ahi.min(bhi).saturating_sub(alo.max(blo))
+    }
+
+    /// Node id of the leaf at a given position.
+    pub fn leaf_node(&self, pos: u32) -> NodeId {
+        self.leaf_nodes[pos as usize]
+    }
+
+    /// Looks up any node by its label.
+    pub fn node_by_label(&self, label: &str) -> Result<NodeId, HierarchyError> {
+        self.label_to_node
+            .get(label)
+            .copied()
+            .ok_or_else(|| HierarchyError::UnknownLabel(label.to_string()))
+    }
+
+    /// Looks up a *leaf position* by label.
+    pub fn leaf_position(&self, label: &str) -> Result<u32, HierarchyError> {
+        let id = self.node_by_label(label)?;
+        if !self.is_leaf(id) {
+            return Err(HierarchyError::UnknownLabel(format!(
+                "{label} is not a leaf"
+            )));
+        }
+        Ok(self.leaf_ranges[id as usize].0)
+    }
+
+    /// Ancestor of `id` that sits `levels_up` levels closer to the root
+    /// (saturating at the root) — full-domain generalization's primitive.
+    pub fn generalize(&self, id: NodeId, levels_up: u32) -> NodeId {
+        let mut cur = id;
+        for _ in 0..levels_up {
+            match self.parents[cur as usize] {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// Ancestor of `id` at exactly `depth` (requires `depth ≤ depth(id)`).
+    pub fn ancestor_at_depth(&self, id: NodeId, depth: u32) -> NodeId {
+        let d = self.depths[id as usize];
+        debug_assert!(depth <= d);
+        self.generalize(id, d - depth)
+    }
+
+    /// Lowest common ancestor of two nodes.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut a, mut b) = (a, b);
+        while self.depths[a as usize] > self.depths[b as usize] {
+            a = self.parents[a as usize].expect("deeper node has parent");
+        }
+        while self.depths[b as usize] > self.depths[a as usize] {
+            b = self.parents[b as usize].expect("deeper node has parent");
+        }
+        while a != b {
+            a = self.parents[a as usize].expect("non-root while distinct");
+            b = self.parents[b as usize].expect("non-root while distinct");
+        }
+        a
+    }
+
+    /// Iterates over the leaf positions below a node.
+    pub fn leaves_under(&self, id: NodeId) -> impl Iterator<Item = u32> + '_ {
+        let (lo, hi) = self.leaf_ranges[id as usize];
+        lo..hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 1 Education hierarchy.
+    fn education() -> Taxonomy {
+        let spec = TaxSpec::node(
+            "ANY",
+            vec![
+                TaxSpec::node(
+                    "Secondary",
+                    vec![
+                        TaxSpec::node("Junior Sec.", vec![TaxSpec::leaf("9th"), TaxSpec::leaf("10th")]),
+                        TaxSpec::node("Senior Sec.", vec![TaxSpec::leaf("11th"), TaxSpec::leaf("12th")]),
+                    ],
+                ),
+                TaxSpec::node(
+                    "University",
+                    vec![
+                        TaxSpec::leaf("Bachelors"),
+                        TaxSpec::node(
+                            "Grad School",
+                            vec![TaxSpec::leaf("Masters"), TaxSpec::leaf("Doctorate")],
+                        ),
+                    ],
+                ),
+            ],
+        );
+        Taxonomy::from_spec("education", &spec).unwrap()
+    }
+
+    #[test]
+    fn structure_matches_spec() {
+        let t = education();
+        assert_eq!(t.leaf_count(), 7);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.label(t.root()), "ANY");
+        assert_eq!(t.spec_set_size(t.root()), 7);
+    }
+
+    #[test]
+    fn leaf_ranges_are_contiguous_dfs() {
+        let t = education();
+        let senior = t.node_by_label("Senior Sec.").unwrap();
+        let (lo, hi) = t.leaf_range(senior);
+        assert_eq!(hi - lo, 2);
+        let labels: Vec<_> = t
+            .leaves_under(senior)
+            .map(|p| t.label(t.leaf_node(p)))
+            .collect();
+        assert_eq!(labels, vec!["11th", "12th"]);
+    }
+
+    #[test]
+    fn spec_set_overlap_nested_and_disjoint() {
+        let t = education();
+        let any = t.root();
+        let senior = t.node_by_label("Senior Sec.").unwrap();
+        let masters = t.node_by_label("Masters").unwrap();
+        // Paper §III: specSet(Senior Sec.) = {11th, 12th}; Masters not in it.
+        assert_eq!(t.spec_set_overlap(senior, masters), 0);
+        assert_eq!(t.spec_set_overlap(any, senior), 2);
+        assert_eq!(t.spec_set_overlap(senior, senior), 2);
+    }
+
+    #[test]
+    fn generalize_walks_toward_root() {
+        let t = education();
+        let masters = t.node_by_label("Masters").unwrap();
+        assert_eq!(t.label(t.generalize(masters, 1)), "Grad School");
+        assert_eq!(t.label(t.generalize(masters, 2)), "University");
+        assert_eq!(t.label(t.generalize(masters, 99)), "ANY");
+    }
+
+    #[test]
+    fn lca_pairs() {
+        let t = education();
+        let m = t.node_by_label("Masters").unwrap();
+        let d = t.node_by_label("Doctorate").unwrap();
+        let b = t.node_by_label("Bachelors").unwrap();
+        let n9 = t.node_by_label("9th").unwrap();
+        assert_eq!(t.label(t.lca(m, d)), "Grad School");
+        assert_eq!(t.label(t.lca(m, b)), "University");
+        assert_eq!(t.label(t.lca(m, n9)), "ANY");
+        assert_eq!(t.lca(m, m), m);
+    }
+
+    #[test]
+    fn ancestor_at_depth() {
+        let t = education();
+        let m = t.node_by_label("Masters").unwrap();
+        assert_eq!(t.depth(m), 3);
+        assert_eq!(t.label(t.ancestor_at_depth(m, 0)), "ANY");
+        assert_eq!(t.label(t.ancestor_at_depth(m, 2)), "Grad School");
+    }
+
+    #[test]
+    fn label_lookups() {
+        let t = education();
+        assert!(t.node_by_label("Nope").is_err());
+        assert_eq!(t.leaf_position("9th").unwrap(), 0);
+        assert!(t.leaf_position("Secondary").is_err());
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let spec = TaxSpec::node("ANY", vec![TaxSpec::leaf("x"), TaxSpec::leaf("x")]);
+        assert!(matches!(
+            Taxonomy::from_spec("dup", &spec),
+            Err(HierarchyError::DuplicateLabel(_))
+        ));
+    }
+
+    #[test]
+    fn empty_internal_node_rejected() {
+        let spec = TaxSpec::node("ANY", vec![TaxSpec::node("empty", vec![])]);
+        assert!(Taxonomy::from_spec("bad", &spec).is_err());
+    }
+
+    #[test]
+    fn flat_taxonomy() {
+        let t = Taxonomy::flat("sex", ["Male", "Female"]).unwrap();
+        assert_eq!(t.leaf_count(), 2);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.spec_set_size(t.root()), 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! Unified view over categorical and continuous hierarchies.
+
+use crate::{HierarchyError, IntervalHierarchy, NodeId, Taxonomy};
+use serde::{Deserialize, Serialize};
+
+/// The two attribute families the paper's distance functions cover:
+/// Hamming distance for discrete attributes, normalized Euclidean for
+/// continuous ones (§V-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttributeKind {
+    /// Discrete domain with a taxonomy VGH; Hamming distance.
+    Categorical,
+    /// Numeric domain with an interval VGH; normalized Euclidean distance.
+    Continuous,
+}
+
+/// A value generalization hierarchy for one attribute.
+#[derive(Clone, Debug)]
+pub enum Vgh {
+    /// Taxonomy tree over a discrete domain.
+    Categorical(Taxonomy),
+    /// Interval tree over a numeric domain.
+    Continuous(IntervalHierarchy),
+}
+
+impl Vgh {
+    /// The attribute family.
+    pub fn kind(&self) -> AttributeKind {
+        match self {
+            Vgh::Categorical(_) => AttributeKind::Categorical,
+            Vgh::Continuous(_) => AttributeKind::Continuous,
+        }
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        match self {
+            Vgh::Categorical(t) => t.name(),
+            Vgh::Continuous(h) => h.name(),
+        }
+    }
+
+    /// The root generalization (`ANY`).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Tree height (root = depth 0).
+    pub fn height(&self) -> u32 {
+        match self {
+            Vgh::Categorical(t) => t.height(),
+            Vgh::Continuous(h) => h.height(),
+        }
+    }
+
+    /// Node depth.
+    pub fn depth(&self, id: NodeId) -> u32 {
+        match self {
+            Vgh::Categorical(t) => t.depth(id),
+            Vgh::Continuous(h) => h.depth(id),
+        }
+    }
+
+    /// Parent node.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        match self {
+            Vgh::Categorical(t) => t.parent(id),
+            Vgh::Continuous(h) => h.parent(id),
+        }
+    }
+
+    /// Child nodes.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        match self {
+            Vgh::Categorical(t) => t.children(id),
+            Vgh::Continuous(h) => h.children(id),
+        }
+    }
+
+    /// `true` iff `id` is maximally specific.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        match self {
+            Vgh::Categorical(t) => t.is_leaf(id),
+            Vgh::Continuous(h) => h.is_leaf(id),
+        }
+    }
+
+    /// Generalizes `levels_up` levels toward the root (saturating).
+    pub fn generalize(&self, id: NodeId, levels_up: u32) -> NodeId {
+        match self {
+            Vgh::Categorical(t) => t.generalize(id, levels_up),
+            Vgh::Continuous(h) => h.generalize(id, levels_up),
+        }
+    }
+
+    /// Human-readable rendering of a generalization.
+    pub fn render(&self, id: NodeId) -> String {
+        match self {
+            Vgh::Categorical(t) => t.label(id).to_string(),
+            Vgh::Continuous(h) => {
+                if id == h.root() {
+                    "ANY".to_string()
+                } else {
+                    let (lo, hi) = h.bounds(id);
+                    format!("[{lo}-{hi})")
+                }
+            }
+        }
+    }
+
+    /// The taxonomy, if categorical.
+    pub fn as_taxonomy(&self) -> Option<&Taxonomy> {
+        match self {
+            Vgh::Categorical(t) => Some(t),
+            Vgh::Continuous(_) => None,
+        }
+    }
+
+    /// The interval hierarchy, if continuous.
+    pub fn as_intervals(&self) -> Option<&IntervalHierarchy> {
+        match self {
+            Vgh::Categorical(_) => None,
+            Vgh::Continuous(h) => Some(h),
+        }
+    }
+
+    /// Maps an original attribute value to its *leaf* generalization node —
+    /// the starting point for bottom-up anonymization.
+    pub fn leaf_node_for(&self, value: &GenValueInput) -> Result<NodeId, HierarchyError> {
+        match (self, value) {
+            (Vgh::Categorical(t), GenValueInput::LeafPosition(pos)) => {
+                if (*pos as usize) < t.leaf_count() {
+                    Ok(t.leaf_node(*pos))
+                } else {
+                    Err(HierarchyError::Invalid(format!(
+                        "leaf position {pos} out of range"
+                    )))
+                }
+            }
+            (Vgh::Continuous(h), GenValueInput::Numeric(v)) => h.leaf_for(*v),
+            _ => Err(HierarchyError::Invalid(
+                "value kind does not match hierarchy kind".into(),
+            )),
+        }
+    }
+}
+
+/// An original (un-generalized) attribute value, used to locate leaves.
+#[derive(Clone, Copy, Debug)]
+pub enum GenValueInput {
+    /// Categorical leaf position.
+    LeafPosition(u32),
+    /// Continuous value.
+    Numeric(f64),
+}
+
+/// A generalized attribute value: a node in the attribute's VGH.
+///
+/// (The anonymized data sets the data holders publish are sequences of
+/// these, one per quasi-identifier — the paper's "generalization
+/// sequences".)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GenValue(pub NodeId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaxSpec;
+
+    fn cat() -> Vgh {
+        Vgh::Categorical(
+            Taxonomy::from_spec(
+                "edu",
+                &TaxSpec::node(
+                    "ANY",
+                    vec![
+                        TaxSpec::node("Sec", vec![TaxSpec::leaf("9th"), TaxSpec::leaf("10th")]),
+                        TaxSpec::leaf("Bachelors"),
+                    ],
+                ),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn num() -> Vgh {
+        Vgh::Continuous(IntervalHierarchy::equi_width("age", 0.0, 16.0, &[2, 2]).unwrap())
+    }
+
+    #[test]
+    fn kind_dispatch() {
+        assert_eq!(cat().kind(), AttributeKind::Categorical);
+        assert_eq!(num().kind(), AttributeKind::Continuous);
+    }
+
+    #[test]
+    fn render_forms() {
+        let c = cat();
+        assert_eq!(c.render(0), "ANY");
+        let n = num();
+        assert_eq!(n.render(0), "ANY");
+        let leaf = n.leaf_node_for(&GenValueInput::Numeric(5.0)).unwrap();
+        assert_eq!(n.render(leaf), "[4-8)");
+    }
+
+    #[test]
+    fn leaf_node_for_dispatch() {
+        let c = cat();
+        let leaf = c.leaf_node_for(&GenValueInput::LeafPosition(2)).unwrap();
+        assert_eq!(c.render(leaf), "Bachelors");
+        assert!(c.leaf_node_for(&GenValueInput::LeafPosition(5)).is_err());
+        assert!(c.leaf_node_for(&GenValueInput::Numeric(1.0)).is_err());
+        let n = num();
+        assert!(n.leaf_node_for(&GenValueInput::LeafPosition(0)).is_err());
+    }
+
+    #[test]
+    fn generalize_saturates_at_root() {
+        let c = cat();
+        let leaf = c.leaf_node_for(&GenValueInput::LeafPosition(0)).unwrap();
+        assert_eq!(c.generalize(leaf, 10), c.root());
+    }
+}

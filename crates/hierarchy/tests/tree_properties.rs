@@ -1,0 +1,117 @@
+//! Property tests over randomly generated taxonomies: the structural
+//! invariants every other crate's arithmetic relies on.
+
+use pprl_hierarchy::{TaxSpec, Taxonomy};
+use proptest::prelude::*;
+
+/// Strategy: a random taxonomy with unique labels, depth ≤ 4, fanout ≤ 4.
+fn taxonomy() -> impl Strategy<Value = Taxonomy> {
+    // Encode the shape as a nested fanout description and generate labels
+    // mechanically (uniqueness by path).
+    let leaf = Just(Vec::<Vec<usize>>::new());
+    let shape = prop_oneof![
+        leaf,
+        proptest::collection::vec(proptest::collection::vec(1usize..4, 0..3), 1..4),
+    ];
+    shape.prop_map(|levels| {
+        fn build(prefix: String, depth: usize, levels: &[Vec<usize>]) -> TaxSpec {
+            match levels.get(depth) {
+                None | Some(_) if depth > 0 && levels.get(depth).map_or(true, Vec::is_empty) => {
+                    TaxSpec::leaf(prefix)
+                }
+                None => TaxSpec::node(prefix.clone(), vec![TaxSpec::leaf(format!("{prefix}/only"))]),
+                Some(fanouts) => {
+                    let children = fanouts
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(i, &f)| {
+                            (0..f).map(move |j| (i, j))
+                        })
+                        .map(|(i, j)| build(format!("{prefix}/{i}.{j}"), depth + 1, levels))
+                        .collect::<Vec<_>>();
+                    if children.is_empty() {
+                        TaxSpec::leaf(prefix)
+                    } else {
+                        TaxSpec::node(prefix, children)
+                    }
+                }
+            }
+        }
+        let spec = build("root".to_string(), 0, &levels);
+        Taxonomy::from_spec("random", &spec).expect("generated spec is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Children's leaf ranges partition the parent's exactly.
+    #[test]
+    fn leaf_ranges_partition(t in taxonomy()) {
+        for node in 0..t.node_count() as u32 {
+            let kids = t.children(node);
+            if kids.is_empty() {
+                prop_assert_eq!(t.spec_set_size(node), 1);
+                continue;
+            }
+            let (plo, phi) = t.leaf_range(node);
+            let mut cursor = plo;
+            for &c in kids {
+                let (clo, chi) = t.leaf_range(c);
+                prop_assert_eq!(clo, cursor, "children contiguous in DFS order");
+                cursor = chi;
+            }
+            prop_assert_eq!(cursor, phi, "children cover the parent");
+        }
+    }
+
+    /// Overlap arithmetic agrees with explicit set intersection.
+    #[test]
+    fn overlap_matches_set_semantics(t in taxonomy()) {
+        use std::collections::HashSet;
+        let leaf_set = |n: u32| -> HashSet<u32> { t.leaves_under(n).collect() };
+        for a in 0..t.node_count() as u32 {
+            for b in 0..t.node_count() as u32 {
+                let expected = leaf_set(a).intersection(&leaf_set(b)).count() as u32;
+                prop_assert_eq!(t.spec_set_overlap(a, b), expected);
+            }
+        }
+    }
+
+    /// The LCA is an ancestor of both nodes and no deeper ancestor is.
+    #[test]
+    fn lca_is_deepest_common_ancestor(t in taxonomy()) {
+        let ancestors = |mut n: u32| -> Vec<u32> {
+            let mut out = vec![n];
+            while let Some(p) = t.parent(n) {
+                out.push(p);
+                n = p;
+            }
+            out
+        };
+        for a in 0..t.node_count() as u32 {
+            for b in 0..t.node_count() as u32 {
+                let l = t.lca(a, b);
+                let aa = ancestors(a);
+                let ab = ancestors(b);
+                prop_assert!(aa.contains(&l) && ab.contains(&l));
+                // Deepest: the first common element of the ancestor chains.
+                let first_common = aa.iter().find(|x| ab.contains(x)).copied().unwrap();
+                prop_assert_eq!(l, first_common);
+            }
+        }
+    }
+
+    /// Generalization walks strictly toward the root and saturates there.
+    #[test]
+    fn generalize_saturates(t in taxonomy()) {
+        for n in 0..t.node_count() as u32 {
+            let d = t.depth(n);
+            prop_assert_eq!(t.generalize(n, d), t.root());
+            prop_assert_eq!(t.generalize(n, d + 5), t.root());
+            if d > 0 {
+                prop_assert_eq!(t.depth(t.generalize(n, 1)), d - 1);
+            }
+        }
+    }
+}

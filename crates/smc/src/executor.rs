@@ -1,0 +1,567 @@
+//! Spends the SMC allowance on the ordered unknown class pairs.
+//!
+//! Record pairs are compared one by one, in deterministic row-major order
+//! within each class pair; the class pair that straddles the budget is
+//! consumed *partially* (its remaining record pairs join the leftovers).
+//!
+//! Two execution modes:
+//! * [`SmcMode::Paillier`] — the real §V-A protocol: per attribute, a
+//!   masked secure threshold comparison under a fresh Paillier key pair
+//!   owned by the querying party.
+//! * [`SmcMode::Oracle`] — plaintext evaluation of the *same* predicate.
+//!   Because the SMC protocol computes the exact distance, the two modes
+//!   return identical labels (enforced by `tests/` equivalence tests);
+//!   sweeps use the oracle so that million-pair experiments finish.
+
+use crate::allowance::SmcAllowance;
+use crate::heuristics::{order_unknown, SelectionHeuristic};
+use crate::strategy::LabelingStrategy;
+use crate::SmcError;
+use pprl_anon::AnonymizedView;
+use pprl_blocking::{records_match, AttrDistance, ClassPairRef, MatchingRule};
+use pprl_crypto::paillier::Keypair;
+use pprl_crypto::protocol::secure_threshold_match;
+use pprl_crypto::CostLedger;
+use pprl_data::{DataSet, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fixed-point scale for continuous values entering the integer-only
+/// Paillier protocol (documented quantization: 1/1000 of a unit).
+const NUM_SCALE: f64 = 1000.0;
+
+/// How unknown pairs are actually compared.
+#[derive(Clone, Copy, Debug)]
+pub enum SmcMode {
+    /// Plaintext oracle, bit-identical to the protocol (for sweeps).
+    Oracle,
+    /// Real Paillier protocol, one masked comparison per attribute with
+    /// early exit on the first failing attribute (fewest exponentiations).
+    Paillier {
+        /// Modulus bits for the querying party's key pair.
+        modulus_bits: usize,
+        /// RNG seed for keygen and encryption randomness.
+        seed: u64,
+    },
+    /// Real Paillier protocol using the *batched record-level* wire
+    /// exchange ([`pprl_crypto::protocol::record`]): exactly two framed
+    /// messages per record pair, so the ledger's message/byte counts
+    /// reflect the deployable protocol.
+    PaillierBatched {
+        /// Modulus bits for the querying party's key pair.
+        modulus_bits: usize,
+        /// RNG seed for keygen and encryption randomness.
+        seed: u64,
+    },
+}
+
+/// Configuration of the SMC step.
+#[derive(Clone, Copy, Debug)]
+pub struct SmcStep {
+    /// Candidate ordering.
+    pub heuristic: SelectionHeuristic,
+    /// Budget.
+    pub allowance: SmcAllowance,
+    /// What happens to pairs the budget never reaches.
+    pub strategy: LabelingStrategy,
+    /// Oracle or real crypto.
+    pub mode: SmcMode,
+}
+
+/// A class pair the budget only partially covered (or never reached):
+/// `skip` record pairs (row-major order) were already examined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeftoverPair {
+    /// The class pair.
+    pub class_pair: ClassPairRef,
+    /// Record pairs already consumed from it.
+    pub skip: u64,
+}
+
+/// Per-class-pair statistics from the examined sample — training data for
+/// §V-B's strategy-3 classifier.
+#[derive(Clone, Copy, Debug)]
+pub struct ExaminedStats {
+    /// The class pair.
+    pub class_pair: ClassPairRef,
+    /// Record pairs examined (≤ `class_pair.pairs`).
+    pub examined: u64,
+    /// Of those, how many matched.
+    pub matched: u64,
+}
+
+/// Outcome of the SMC step.
+#[derive(Clone, Debug)]
+pub struct SmcReport {
+    /// Resolved budget in record pairs.
+    pub budget: u64,
+    /// Record-pair comparisons actually performed.
+    pub invocations: u64,
+    /// Record pairs `(row in R, row in S)` the SMC step labeled *match*.
+    pub matched_pairs: Vec<(u32, u32)>,
+    /// Class pairs (fully or partially) not examined.
+    pub leftovers: Vec<LeftoverPair>,
+    /// Stats per examined class pair.
+    pub examined: Vec<ExaminedStats>,
+    /// Pairs involving a suppressed record (DataFly): total in the input.
+    pub suppressed_total: u64,
+    /// Of those, how many the budget covered.
+    pub suppressed_examined: u64,
+    /// Of the examined suppressed pairs, how many matched.
+    pub suppressed_matched: u64,
+    /// Crypto cost accounting (all zeros in oracle mode except invocations).
+    pub ledger: CostLedger,
+}
+
+impl SmcStep {
+    /// Runs the SMC step over the blocking outcome's unknown class pairs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        r_data: &DataSet,
+        s_data: &DataSet,
+        r_view: &AnonymizedView,
+        s_view: &AnonymizedView,
+        unknown: &[ClassPairRef],
+        rule: &MatchingRule,
+        total_pairs: u64,
+    ) -> Result<SmcReport, SmcError> {
+        let ordered = order_unknown(r_view, s_view, unknown, rule, self.heuristic);
+        let budget = self.allowance.budget_pairs(total_pairs);
+
+        let mut comparer = Comparer::new(self.mode, r_data, r_view.qids(), rule)?;
+        let mut report = SmcReport {
+            budget,
+            invocations: 0,
+            matched_pairs: Vec::new(),
+            leftovers: Vec::new(),
+            examined: Vec::new(),
+            suppressed_total: 0,
+            suppressed_examined: 0,
+            suppressed_matched: 0,
+            ledger: CostLedger::new(),
+        };
+
+        let qids = r_view.qids();
+        for pref in ordered {
+            let remaining = budget - report.invocations;
+            if remaining == 0 {
+                report.leftovers.push(LeftoverPair {
+                    class_pair: pref,
+                    skip: 0,
+                });
+                continue;
+            }
+            let rc = &r_view.classes()[pref.r_class as usize];
+            let sc = &s_view.classes()[pref.s_class as usize];
+            let mut examined = 0u64;
+            let mut matched = 0u64;
+            'pairs: for &ri in &rc.rows {
+                for &si in &sc.rows {
+                    if examined == remaining {
+                        break 'pairs;
+                    }
+                    let r = &r_data.records()[ri as usize];
+                    let s = &s_data.records()[si as usize];
+                    let is_match = comparer.compare(qids, r, s, &mut report.ledger)?;
+                    examined += 1;
+                    if is_match {
+                        matched += 1;
+                        report.matched_pairs.push((ri, si));
+                    }
+                }
+            }
+            report.invocations += examined;
+            report.examined.push(ExaminedStats {
+                class_pair: pref,
+                examined,
+                matched,
+            });
+            if examined < pref.pairs {
+                report.leftovers.push(LeftoverPair {
+                    class_pair: pref,
+                    skip: examined,
+                });
+            }
+        }
+
+        // Pairs involving suppressed records (DataFly) carry no
+        // generalization sequence, so no heuristic can rank them — they are
+        // processed last, budget permitting, in deterministic row order:
+        // suppressed-R × all-S, then covered-R × suppressed-S.
+        let r_suppressed = r_view.suppressed();
+        let s_suppressed = s_view.suppressed();
+        let s_all: Vec<u32> = (0..s_data.len() as u32).collect();
+        let r_covered: Vec<u32> = {
+            let mut sup = vec![false; r_data.len()];
+            for &row in r_suppressed {
+                sup[row as usize] = true;
+            }
+            (0..r_data.len() as u32)
+                .filter(|&row| !sup[row as usize])
+                .collect()
+        };
+        report.suppressed_total = r_suppressed.len() as u64 * s_data.len() as u64
+            + r_covered.len() as u64 * s_suppressed.len() as u64;
+        let qids = r_view.qids();
+        'sup: for (r_rows, s_rows) in [
+            (r_suppressed, s_all.as_slice()),
+            (r_covered.as_slice(), s_suppressed),
+        ] {
+            for &ri in r_rows {
+                for &si in s_rows {
+                    if report.invocations == budget {
+                        break 'sup;
+                    }
+                    let r = &r_data.records()[ri as usize];
+                    let s = &s_data.records()[si as usize];
+                    let is_match = comparer.compare(qids, r, s, &mut report.ledger)?;
+                    report.invocations += 1;
+                    report.suppressed_examined += 1;
+                    if is_match {
+                        report.suppressed_matched += 1;
+                        report.matched_pairs.push((ri, si));
+                    }
+                }
+            }
+        }
+
+        report.ledger.invocations = report.invocations;
+        Ok(report)
+    }
+}
+
+/// Pluggable record-pair comparison backend.
+struct Comparer {
+    schema: std::sync::Arc<pprl_data::Schema>,
+    rule: MatchingRule,
+    /// Per-QID normalization factors (1.0 for categorical attributes).
+    norms: Vec<f64>,
+    backend: Backend,
+}
+
+enum Backend {
+    Oracle,
+    Paillier(Box<PaillierBackend>),
+    PaillierBatched(Box<PaillierBackend>),
+}
+
+struct PaillierBackend {
+    keys: Keypair,
+    rng: StdRng,
+}
+
+impl Comparer {
+    fn new(
+        mode: SmcMode,
+        data: &DataSet,
+        qids: &[usize],
+        rule: &MatchingRule,
+    ) -> Result<Self, SmcError> {
+        let backend = match mode {
+            SmcMode::Oracle => Backend::Oracle,
+            SmcMode::Paillier { modulus_bits, seed }
+            | SmcMode::PaillierBatched { modulus_bits, seed } => {
+                // The integer protocol cannot evaluate edit distance.
+                if rule.distances.contains(&AttrDistance::NormalizedEdit) {
+                    return Err(SmcError::UnsupportedDistance("NormalizedEdit"));
+                }
+                let mut rng = StdRng::seed_from_u64(seed);
+                let keys = Keypair::generate(&mut rng, modulus_bits);
+                let payload = Box::new(PaillierBackend { keys, rng });
+                if matches!(mode, SmcMode::PaillierBatched { .. }) {
+                    Backend::PaillierBatched(payload)
+                } else {
+                    Backend::Paillier(payload)
+                }
+            }
+        };
+        let norms = qids
+            .iter()
+            .map(|&q| {
+                data.schema()
+                    .attribute(q)
+                    .vgh()
+                    .as_intervals()
+                    .map(|h| h.norm_factor())
+                    .unwrap_or(1.0)
+            })
+            .collect();
+        Ok(Comparer {
+            schema: std::sync::Arc::clone(data.schema()),
+            rule: rule.clone(),
+            norms,
+            backend,
+        })
+    }
+
+    fn compare(
+        &mut self,
+        qids: &[usize],
+        r: &pprl_data::Record,
+        s: &pprl_data::Record,
+        ledger: &mut CostLedger,
+    ) -> Result<bool, SmcError> {
+        match &mut self.backend {
+            // Same predicate the protocol evaluates; free of crypto.
+            Backend::Oracle => Ok(records_match(&self.schema, qids, &self.rule, r, s)),
+            Backend::Paillier(backend) => {
+                let PaillierBackend { keys, rng } = backend.as_mut();
+                for (pos, &q) in qids.iter().enumerate() {
+                    let (a, b, t) =
+                        encode_attribute(&self.rule, pos, r.value(q), s.value(q), &self.norms);
+                    if t == u64::MAX {
+                        continue; // θ ≥ 1: attribute can never fail
+                    }
+                    let ok = secure_threshold_match(
+                        keys.public(),
+                        keys.private(),
+                        a,
+                        b,
+                        t,
+                        rng,
+                        ledger,
+                    )?;
+                    if !ok {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Backend::PaillierBatched(backend) => {
+                let PaillierBackend { keys, rng } = backend.as_mut();
+                let mut a_vals = Vec::with_capacity(qids.len());
+                let mut b_vals = Vec::with_capacity(qids.len());
+                let mut thresholds = Vec::with_capacity(qids.len());
+                for (pos, &q) in qids.iter().enumerate() {
+                    let (a, b, t) =
+                        encode_attribute(&self.rule, pos, r.value(q), s.value(q), &self.norms);
+                    if t == u64::MAX {
+                        continue; // θ ≥ 1: attribute can never fail
+                    }
+                    a_vals.push(a);
+                    b_vals.push(b);
+                    thresholds.push(t);
+                }
+                if a_vals.is_empty() {
+                    return Ok(true);
+                }
+                use pprl_crypto::protocol::record::{
+                    alice_record_message, bob_record_message, querier_reveal_record,
+                };
+                let m_alice = alice_record_message(keys.public(), &a_vals, rng, ledger);
+                let m_bob = bob_record_message(
+                    keys.public(),
+                    &m_alice,
+                    &b_vals,
+                    &thresholds,
+                    rng,
+                    ledger,
+                )?;
+                Ok(querier_reveal_record(keys.private(), &m_bob, ledger)?)
+            }
+        }
+    }
+}
+
+/// Encodes one attribute comparison as integers for the Paillier protocol:
+/// values `a, b` and squared threshold `t` such that the predicate is
+/// `(a − b)² ≤ t`. Returns `t = u64::MAX` when the attribute can never
+/// fail (θ ≥ 1 under Hamming).
+fn encode_attribute(
+    rule: &MatchingRule,
+    pos: usize,
+    rv: Value,
+    sv: Value,
+    norms: &[f64],
+) -> (u64, u64, u64) {
+    let theta = rule.thetas[pos];
+    match rule.distances[pos] {
+        AttrDistance::Hamming => {
+            if theta >= 1.0 {
+                (0, 0, u64::MAX)
+            } else {
+                (rv.as_cat() as u64, sv.as_cat() as u64, 0)
+            }
+        }
+        AttrDistance::NormalizedEuclidean => {
+            let a = (rv.as_num() * NUM_SCALE).round() as u64;
+            let b = (sv.as_num() * NUM_SCALE).round() as u64;
+            let limit = theta * norms[pos] * NUM_SCALE;
+            (a, b, (limit * limit).floor() as u64)
+        }
+        AttrDistance::NormalizedEdit => unreachable!("rejected at construction"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_anon::{AnonymizationMethod, Anonymizer, KAnonymityRequirement};
+    use pprl_blocking::BlockingEngine;
+    use pprl_data::synth::{generate, SynthConfig};
+
+    const QIDS: [usize; 5] = [0, 1, 2, 3, 4];
+
+    struct Fixture {
+        a: DataSet,
+        b: DataSet,
+        va: AnonymizedView,
+        vb: AnonymizedView,
+        unknown: Vec<ClassPairRef>,
+        rule: MatchingRule,
+        total: u64,
+    }
+
+    fn fixture(n: usize) -> Fixture {
+        let a = generate(&SynthConfig {
+            records: n,
+            seed: 71,
+        });
+        let b = generate(&SynthConfig {
+            records: n,
+            seed: 72,
+        });
+        let anon = Anonymizer::new(AnonymizationMethod::MaxEntropy, KAnonymityRequirement(8));
+        let va = anon.anonymize(&a, &QIDS).unwrap();
+        let vb = anon.anonymize(&b, &QIDS).unwrap();
+        let rule = MatchingRule::uniform(a.schema(), &QIDS, 0.05);
+        let out = BlockingEngine::new(rule.clone()).run(&va, &vb).unwrap();
+        Fixture {
+            total: out.total_pairs,
+            unknown: out.unknown,
+            a,
+            b,
+            va,
+            vb,
+            rule,
+        }
+    }
+
+    fn step(allowance: SmcAllowance) -> SmcStep {
+        SmcStep {
+            heuristic: SelectionHeuristic::MinAvgFirst,
+            allowance,
+            strategy: LabelingStrategy::MaximizePrecision,
+            mode: SmcMode::Oracle,
+        }
+    }
+
+    #[test]
+    fn budget_is_respected_with_partial_consumption() {
+        let f = fixture(200);
+        let budget = 500u64;
+        let report = step(SmcAllowance::Pairs(budget))
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        assert!(report.invocations <= budget);
+        let unknown_total: u64 = f.unknown.iter().map(|p| p.pairs).sum();
+        if unknown_total > budget {
+            assert_eq!(report.invocations, budget, "budget fully spent");
+            assert!(!report.leftovers.is_empty());
+        }
+        // Examined + leftover = all unknown pairs.
+        let leftover_pairs: u64 = report
+            .leftovers
+            .iter()
+            .map(|l| l.class_pair.pairs - l.skip)
+            .sum();
+        assert_eq!(report.invocations + leftover_pairs, unknown_total);
+    }
+
+    #[test]
+    fn unlimited_budget_clears_all_unknowns() {
+        let f = fixture(150);
+        let report = step(SmcAllowance::Unlimited)
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        assert!(report.leftovers.is_empty());
+        let unknown_total: u64 = f.unknown.iter().map(|p| p.pairs).sum();
+        assert_eq!(report.invocations, unknown_total);
+    }
+
+    #[test]
+    fn smc_matches_are_true_matches() {
+        let f = fixture(150);
+        let report = step(SmcAllowance::Unlimited)
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        for &(ri, si) in &report.matched_pairs {
+            assert!(records_match(
+                f.a.schema(),
+                &QIDS,
+                &f.rule,
+                &f.a.records()[ri as usize],
+                &f.b.records()[si as usize]
+            ));
+        }
+    }
+
+    #[test]
+    fn paillier_mode_agrees_with_oracle() {
+        // Small slice so real crypto stays fast: limit to 40 comparisons.
+        let f = fixture(80);
+        let oracle = step(SmcAllowance::Pairs(40))
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        let mut crypto_step = step(SmcAllowance::Pairs(40));
+        crypto_step.mode = SmcMode::Paillier {
+            modulus_bits: 256,
+            seed: 5,
+        };
+        let crypto = crypto_step
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        assert_eq!(oracle.matched_pairs, crypto.matched_pairs);
+        assert_eq!(oracle.invocations, crypto.invocations);
+        assert!(crypto.ledger.encryptions > 0, "real crypto ran");
+        assert_eq!(oracle.ledger.encryptions, 0, "oracle is crypto-free");
+    }
+
+    #[test]
+    fn batched_paillier_agrees_with_oracle_and_counts_messages() {
+        let f = fixture(80);
+        let oracle = step(SmcAllowance::Pairs(30))
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        let mut batched = step(SmcAllowance::Pairs(30));
+        batched.mode = SmcMode::PaillierBatched {
+            modulus_bits: 256,
+            seed: 5,
+        };
+        let got = batched
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        assert_eq!(oracle.matched_pairs, got.matched_pairs);
+        // Exactly two framed messages per record-pair comparison.
+        assert_eq!(got.ledger.messages, 2 * got.invocations);
+        assert!(got.ledger.bytes > 0);
+    }
+
+    #[test]
+    fn edit_distance_rejected_in_paillier_mode() {
+        let f = fixture(50);
+        let mut rule = f.rule.clone();
+        rule.distances[1] = AttrDistance::NormalizedEdit;
+        let mut s = step(SmcAllowance::Pairs(10));
+        s.mode = SmcMode::Paillier {
+            modulus_bits: 256,
+            seed: 1,
+        };
+        let err = s
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &rule, f.total)
+            .unwrap_err();
+        assert!(matches!(err, SmcError::UnsupportedDistance(_)));
+    }
+
+    #[test]
+    fn zero_budget_leaves_everything() {
+        let f = fixture(100);
+        let report = step(SmcAllowance::Pairs(0))
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        assert_eq!(report.invocations, 0);
+        assert_eq!(report.leftovers.len(), f.unknown.len());
+        assert!(report.matched_pairs.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Expected-distance functions (paper §V-C, Eq. 1–8).
+//!
+//! With no released statistics, original values are modeled as uniform and
+//! independent over their specialization sets. For discrete attributes the
+//! derivation (Eq. 1–5) collapses to
+//!
+//! ```text
+//! ED = 1 − |V ∩ W| / (|V| · |W|)
+//! ```
+//!
+//! and for continuous attributes the expected *squared* distance (Eq. 6–8)
+//! over `V ~ U[a₁, b₁]`, `W ~ U[a₂, b₂]` is
+//!
+//! ```text
+//! ED = ⅓ (a₁² + b₁² + a₂² + b₂² + a₁b₁ + a₂b₂) − ½ (a₁ + b₁)(a₂ + b₂)
+//! ```
+//!
+//! Continuous values are normalized by the domain width (so the squared
+//! distance divides by `norm²`), keeping attribute-wise EDs comparable when
+//! heuristics aggregate across attribute kinds.
+
+use pprl_anon::GenVal;
+use pprl_blocking::{edit_distance, AttrDistance};
+use pprl_hierarchy::Vgh;
+
+/// Expected distance between two generalized values of one attribute.
+pub fn expected_distance(vgh: &Vgh, dist: AttrDistance, a: &GenVal, b: &GenVal) -> f64 {
+    match dist {
+        AttrDistance::Hamming => {
+            let t = vgh.as_taxonomy().expect("categorical attribute");
+            let (na, nb) = (a.as_cat(), b.as_cat());
+            let v = t.spec_set_size(na) as f64;
+            let w = t.spec_set_size(nb) as f64;
+            let overlap = t.spec_set_overlap(na, nb) as f64;
+            1.0 - overlap / (v * w)
+        }
+        AttrDistance::NormalizedEuclidean => {
+            let h = vgh.as_intervals().expect("continuous attribute");
+            let (a1, b1) = a.as_range();
+            let (a2, b2) = b.as_range();
+            let ed = expected_squared(a1, b1, a2, b2);
+            ed / (h.norm_factor() * h.norm_factor())
+        }
+        AttrDistance::NormalizedEdit => {
+            let t = vgh.as_taxonomy().expect("categorical attribute");
+            let norm = max_label_len(t) as f64;
+            let (na, nb) = (a.as_cat(), b.as_cat());
+            let mut sum = 0.0;
+            let mut count = 0.0;
+            for pa in t.leaves_under(na) {
+                let la = t.label(t.leaf_node(pa));
+                for pb in t.leaves_under(nb) {
+                    let lb = t.label(t.leaf_node(pb));
+                    sum += edit_distance(la, lb) as f64 / norm;
+                    count += 1.0;
+                }
+            }
+            sum / count
+        }
+    }
+}
+
+/// Eq. 8: `E[(V − W)²]` for independent uniforms on `[a₁,b₁]`, `[a₂,b₂]`.
+pub fn expected_squared(a1: f64, b1: f64, a2: f64, b2: f64) -> f64 {
+    (a1 * a1 + b1 * b1 + a2 * a2 + b2 * b2 + a1 * b1 + a2 * b2) / 3.0
+        - (a1 + b1) * (a2 + b2) / 2.0
+}
+
+/// The full ED vector for a pair of generalization sequences.
+pub fn expected_vector(
+    vghs: &[&Vgh],
+    distances: &[AttrDistance],
+    a: &[GenVal],
+    b: &[GenVal],
+) -> Vec<f64> {
+    vghs.iter()
+        .enumerate()
+        .map(|(pos, vgh)| expected_distance(vgh, distances[pos], &a[pos], &b[pos]))
+        .collect()
+}
+
+fn max_label_len(t: &pprl_hierarchy::Taxonomy) -> usize {
+    (0..t.leaf_count() as u32)
+        .map(|p| t.label(t.leaf_node(p)).chars().count())
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_hierarchy::{IntervalHierarchy, TaxSpec, Taxonomy};
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn tax() -> Taxonomy {
+        Taxonomy::from_spec(
+            "t",
+            &TaxSpec::node(
+                "ANY",
+                vec![
+                    TaxSpec::node("L", vec![TaxSpec::leaf("a"), TaxSpec::leaf("b")]),
+                    TaxSpec::node("R", vec![TaxSpec::leaf("c"), TaxSpec::leaf("d")]),
+                ],
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hamming_ed_formula_cases() {
+        let t = tax();
+        let vgh = Vgh::Categorical(t);
+        let t = vgh.as_taxonomy().unwrap();
+        let a_leaf = t.node_by_label("a").unwrap();
+        let l = t.node_by_label("L").unwrap();
+        let r = t.node_by_label("R").unwrap();
+        let any = t.root();
+        let ed = |x, y| {
+            expected_distance(&vgh, AttrDistance::Hamming, &GenVal::Cat(x), &GenVal::Cat(y))
+        };
+        assert_eq!(ed(a_leaf, a_leaf), 0.0); // identical singletons
+        assert_eq!(ed(l, r), 1.0); // disjoint sets
+        assert!((ed(l, l) - 0.5).abs() < 1e-12); // 1 - 2/(2·2)
+        assert!((ed(any, a_leaf) - 0.75).abs() < 1e-12); // 1 - 1/4
+        assert!((ed(any, any) - 0.75).abs() < 1e-12); // 1 - 4/16
+    }
+
+    #[test]
+    fn eq8_matches_monte_carlo() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for (a1, b1, a2, b2) in [
+            (0.0, 1.0, 0.0, 1.0),
+            (0.0, 8.0, 24.0, 32.0),
+            (10.0, 20.0, 15.0, 40.0),
+        ] {
+            let analytic = expected_squared(a1, b1, a2, b2);
+            let n = 200_000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let v = a1 + (b1 - a1) * rng.gen::<f64>();
+                let w = a2 + (b2 - a2) * rng.gen::<f64>();
+                sum += (v - w) * (v - w);
+            }
+            let mc = sum / n as f64;
+            assert!(
+                (analytic - mc).abs() / analytic.max(1e-9) < 0.02,
+                "analytic {analytic}, MC {mc} for ({a1},{b1})x({a2},{b2})"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_point_intervals_have_zero_ed() {
+        assert!(expected_squared(5.0, 5.0, 5.0, 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn continuous_ed_is_normalized() {
+        let h = IntervalHierarchy::equi_width("x", 0.0, 100.0, &[2]).unwrap();
+        let vgh = Vgh::Continuous(h);
+        let full = GenVal::Range { lo: 0.0, hi: 100.0 };
+        let ed = expected_distance(&vgh, AttrDistance::NormalizedEuclidean, &full, &full);
+        // E[(V-W)^2] over U[0,100]^2 = 100^2/6; normalized → 1/6.
+        assert!((ed - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edit_ed_averages_leaf_pairs() {
+        let t = Taxonomy::flat("s", ["ab", "ax"]).unwrap();
+        let vgh = Vgh::Categorical(t);
+        let t = vgh.as_taxonomy().unwrap();
+        let any = t.root();
+        let ab = t.node_by_label("ab").unwrap();
+        // pairs (ab,ab)=0, (ab,ax)=1 → mean 0.5, normalized by len 2 → 0.25.
+        let ed = expected_distance(
+            &vgh,
+            AttrDistance::NormalizedEdit,
+            &GenVal::Cat(any),
+            &GenVal::Cat(ab),
+        );
+        assert!((ed - 0.25).abs() < 1e-12);
+    }
+}

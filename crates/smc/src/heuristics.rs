@@ -1,0 +1,182 @@
+//! Selection heuristics for circuit evaluation (paper §V-C / §VI).
+//!
+//! All record pairs inside one unknown class pair share the same expected-
+//! distance vector, so ordering happens at class-pair granularity — the
+//! paper's observation that "groups of record pairs … will be classified
+//! similarly" turned into an efficiency win.
+
+use crate::expected::expected_vector;
+use pprl_anon::AnonymizedView;
+use pprl_blocking::{ClassPairRef, MatchingRule};
+use pprl_hierarchy::Vgh;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The orderings evaluated in §VI (Fig. 4–8 series) plus the random
+/// selection §V-B's strategy 3 calls for.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SelectionHeuristic {
+    /// Minimum attribute-wise expected distance first.
+    MinFirst,
+    /// Maximum attribute-wise expected distance last
+    /// (ascending by the max-ED coordinate).
+    MaxLast,
+    /// Minimum *average* attribute-wise expected distance first.
+    MinAvgFirst,
+    /// Uniformly random order (seeded for reproducibility).
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+impl std::fmt::Display for SelectionHeuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectionHeuristic::MinFirst => write!(f, "MinFirst"),
+            SelectionHeuristic::MaxLast => write!(f, "MaxLast"),
+            SelectionHeuristic::MinAvgFirst => write!(f, "MinAvgFirst"),
+            SelectionHeuristic::Random { .. } => write!(f, "Random"),
+        }
+    }
+}
+
+/// Orders the unknown class pairs for SMC processing, most promising first.
+pub fn order_unknown(
+    r_view: &AnonymizedView,
+    s_view: &AnonymizedView,
+    unknown: &[ClassPairRef],
+    rule: &MatchingRule,
+    heuristic: SelectionHeuristic,
+) -> Vec<ClassPairRef> {
+    let mut ordered: Vec<ClassPairRef> = unknown.to_vec();
+    if let SelectionHeuristic::Random { seed } = heuristic {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        ordered.shuffle(&mut rng);
+        return ordered;
+    }
+
+    let schema = r_view.schema();
+    let vghs: Vec<&Vgh> = r_view
+        .qids()
+        .iter()
+        .map(|&q| schema.attribute(q).vgh())
+        .collect();
+
+    let mut keyed: Vec<(f64, ClassPairRef)> = ordered
+        .into_iter()
+        .map(|pref| {
+            let a = &r_view.classes()[pref.r_class as usize].sequence;
+            let b = &s_view.classes()[pref.s_class as usize].sequence;
+            let eds = expected_vector(&vghs, &rule.distances, a, b);
+            let key = match heuristic {
+                SelectionHeuristic::MinFirst => {
+                    eds.iter().copied().fold(f64::INFINITY, f64::min)
+                }
+                SelectionHeuristic::MaxLast => {
+                    eds.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                }
+                SelectionHeuristic::MinAvgFirst => {
+                    eds.iter().sum::<f64>() / eds.len().max(1) as f64
+                }
+                SelectionHeuristic::Random { .. } => unreachable!("handled above"),
+            };
+            (key, pref)
+        })
+        .collect();
+
+    // Ascending key; deterministic tie-break on class indices.
+    keyed.sort_by(|(ka, pa), (kb, pb)| {
+        ka.partial_cmp(kb)
+            .expect("ED keys are finite")
+            .then(pa.r_class.cmp(&pb.r_class))
+            .then(pa.s_class.cmp(&pb.s_class))
+    });
+    keyed.into_iter().map(|(_, p)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_anon::{AnonymizationMethod, Anonymizer, KAnonymityRequirement};
+    use pprl_blocking::BlockingEngine;
+    use pprl_data::synth::{generate, SynthConfig};
+
+    const QIDS: [usize; 5] = [0, 1, 2, 3, 4];
+
+    fn setup() -> (AnonymizedView, AnonymizedView, Vec<ClassPairRef>, MatchingRule) {
+        let a = generate(&SynthConfig {
+            records: 250,
+            seed: 61,
+        });
+        let b = generate(&SynthConfig {
+            records: 250,
+            seed: 62,
+        });
+        let anon = Anonymizer::new(AnonymizationMethod::MaxEntropy, KAnonymityRequirement(8));
+        let va = anon.anonymize(&a, &QIDS).unwrap();
+        let vb = anon.anonymize(&b, &QIDS).unwrap();
+        let rule = MatchingRule::uniform(a.schema(), &QIDS, 0.05);
+        let out = BlockingEngine::new(rule.clone()).run(&va, &vb).unwrap();
+        assert!(!out.unknown.is_empty(), "need U pairs to order");
+        (va, vb, out.unknown, rule)
+    }
+
+    #[test]
+    fn orderings_are_permutations() {
+        let (va, vb, unknown, rule) = setup();
+        for h in [
+            SelectionHeuristic::MinFirst,
+            SelectionHeuristic::MaxLast,
+            SelectionHeuristic::MinAvgFirst,
+            SelectionHeuristic::Random { seed: 3 },
+        ] {
+            let ordered = order_unknown(&va, &vb, &unknown, &rule, h);
+            assert_eq!(ordered.len(), unknown.len(), "{h}");
+            let mut a: Vec<_> = ordered.iter().map(|p| (p.r_class, p.s_class)).collect();
+            let mut b: Vec<_> = unknown.iter().map(|p| (p.r_class, p.s_class)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{h} must permute the input");
+        }
+    }
+
+    #[test]
+    fn min_avg_first_is_sorted_by_mean_ed() {
+        let (va, vb, unknown, rule) = setup();
+        let ordered = order_unknown(&va, &vb, &unknown, &rule, SelectionHeuristic::MinAvgFirst);
+        let schema = va.schema();
+        let vghs: Vec<&Vgh> = QIDS.iter().map(|&q| schema.attribute(q).vgh()).collect();
+        let mean = |p: &ClassPairRef| {
+            let eds = expected_vector(
+                &vghs,
+                &rule.distances,
+                &va.classes()[p.r_class as usize].sequence,
+                &vb.classes()[p.s_class as usize].sequence,
+            );
+            eds.iter().sum::<f64>() / eds.len() as f64
+        };
+        for w in ordered.windows(2) {
+            assert!(mean(&w[0]) <= mean(&w[1]) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let (va, vb, unknown, rule) = setup();
+        let o1 = order_unknown(&va, &vb, &unknown, &rule, SelectionHeuristic::MinFirst);
+        let o2 = order_unknown(&va, &vb, &unknown, &rule, SelectionHeuristic::MinFirst);
+        assert_eq!(
+            o1.iter().map(|p| (p.r_class, p.s_class)).collect::<Vec<_>>(),
+            o2.iter().map(|p| (p.r_class, p.s_class)).collect::<Vec<_>>()
+        );
+        // Random with the same seed is deterministic too.
+        let r1 = order_unknown(&va, &vb, &unknown, &rule, SelectionHeuristic::Random { seed: 9 });
+        let r2 = order_unknown(&va, &vb, &unknown, &rule, SelectionHeuristic::Random { seed: 9 });
+        assert_eq!(
+            r1.iter().map(|p| (p.r_class, p.s_class)).collect::<Vec<_>>(),
+            r2.iter().map(|p| (p.r_class, p.s_class)).collect::<Vec<_>>()
+        );
+    }
+}

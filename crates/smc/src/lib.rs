@@ -1,0 +1,70 @@
+//! # pprl-smc — the SMC step (paper §V)
+//!
+//! The blocking step leaves a set of *unknown* (U) class pairs. This crate
+//! decides how the bounded cryptographic budget is spent on them:
+//!
+//! 1. [`expected`] — the expected-distance functions of §V-C (Eq. 1–8),
+//!    computed from generalization sequences under the uniform-distribution
+//!    assumption ("participants would not (and should not) release any
+//!    statistics on the distribution of original values").
+//! 2. [`SelectionHeuristic`] — the orderings evaluated in §VI:
+//!    `MinFirst`, `MaxLast`, `MinAvgFirst` (plus `Random`, which §V-B's
+//!    strategy 3 requires).
+//! 3. [`SmcAllowance`] — the cost cap, expressed as the paper does: a
+//!    percentage of all `|R|·|S|` record pairs.
+//! 4. [`executor`] — spends the budget, class pair by class pair (with
+//!    partial consumption of the pair that straddles the limit), using
+//!    either the real Paillier protocol or the plaintext oracle (provably
+//!    equivalent; see `DESIGN.md` substitution 2).
+//! 5. [`LabelingStrategy`] — §V-B's three options for the pairs the budget
+//!    never reaches; the paper adopts *maximize precision* (label them
+//!    non-match), which guarantees 100 % precision.
+//!
+//! ```
+//! use pprl_smc::SmcAllowance;
+//!
+//! // The paper's default: 1.5 % of the |R|·|S| pair space.
+//! let allowance = SmcAllowance::paper_default();
+//! assert_eq!(allowance.budget_pairs(404_331_664), 6_064_974);
+//! ```
+
+mod allowance;
+pub mod executor;
+pub mod expected;
+mod heuristics;
+mod strategy;
+
+pub use allowance::SmcAllowance;
+pub use executor::{ExaminedStats, LeftoverPair, SmcMode, SmcReport, SmcStep};
+pub use heuristics::{order_unknown, SelectionHeuristic};
+pub use strategy::{label_leftovers, LabelingStrategy};
+
+/// Errors from the SMC step.
+#[derive(Debug)]
+pub enum SmcError {
+    /// The Paillier protocol cannot evaluate this distance securely
+    /// (edit distance needs a garbled-circuit protocol; oracle mode
+    /// supports it for experimentation).
+    UnsupportedDistance(&'static str),
+    /// Crypto-layer failure.
+    Crypto(pprl_crypto::CryptoError),
+}
+
+impl std::fmt::Display for SmcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmcError::UnsupportedDistance(d) => {
+                write!(f, "distance {d} not supported by the SMC protocol")
+            }
+            SmcError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SmcError {}
+
+impl From<pprl_crypto::CryptoError> for SmcError {
+    fn from(e: pprl_crypto::CryptoError) -> Self {
+        SmcError::Crypto(e)
+    }
+}

@@ -1,0 +1,192 @@
+//! Labeling strategies for the pairs the SMC budget never reaches
+//! (paper §V-B).
+
+use crate::executor::{ExaminedStats, LeftoverPair};
+use pprl_blocking::PairLabel;
+use serde::{Deserialize, Serialize};
+
+/// §V-B's three options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LabelingStrategy {
+    /// Strategy 1 — label leftovers *non-match*. "Since privacy is our
+    /// primary concern, we choose to follow the first strategy": no
+    /// false positives, 100 % precision, recall bounded by the budget.
+    MaximizePrecision,
+    /// Strategy 2 — label leftovers *match*. Recall is 1 but precision
+    /// collapses (and privacy with it: irrelevant pairs get disclosed).
+    MaximizeRecall,
+    /// Strategy 3 — train a classifier on the SMC-labeled sample (random
+    /// selection) and let it label leftover class pairs. As the paper
+    /// argues intuitively, anonymized features cannot discriminate pairs
+    /// sharing a generalization, so both precision and recall stay low.
+    Classifier,
+}
+
+/// Labels each leftover class pair according to the strategy.
+///
+/// `leftover_scores` supplies the classifier feature (average expected
+/// distance) per leftover, aligned by index; `examined` with per-class
+/// match rates is the training sample (with feature scores aligned via
+/// `examined_scores`).
+pub fn label_leftovers(
+    strategy: LabelingStrategy,
+    leftovers: &[LeftoverPair],
+    leftover_scores: &[f64],
+    examined: &[ExaminedStats],
+    examined_scores: &[f64],
+) -> Vec<PairLabel> {
+    debug_assert_eq!(leftovers.len(), leftover_scores.len());
+    debug_assert_eq!(examined.len(), examined_scores.len());
+    match strategy {
+        LabelingStrategy::MaximizePrecision => {
+            vec![PairLabel::NonMatch; leftovers.len()]
+        }
+        LabelingStrategy::MaximizeRecall => vec![PairLabel::Match; leftovers.len()],
+        LabelingStrategy::Classifier => {
+            let tau = train_threshold(examined, examined_scores);
+            leftover_scores
+                .iter()
+                .map(|&score| {
+                    if score <= tau {
+                        PairLabel::Match
+                    } else {
+                        PairLabel::NonMatch
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// 1-D threshold learner: choose the expected-distance cut that minimizes
+/// weighted training error on the SMC-labeled sample. With no sample (or a
+/// sample with no matches) the threshold is −∞, labeling everything
+/// non-match.
+fn train_threshold(examined: &[ExaminedStats], scores: &[f64]) -> f64 {
+    // Each examined class pair contributes (score, matched, mismatched).
+    let mut points: Vec<(f64, u64, u64)> = examined
+        .iter()
+        .zip(scores)
+        .filter(|(e, _)| e.examined > 0)
+        .map(|(e, &s)| (s, e.matched, e.examined - e.matched))
+        .collect();
+    if points.iter().all(|&(_, m, _)| m == 0) {
+        return f64::NEG_INFINITY;
+    }
+    points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+
+    let total_matched: u64 = points.iter().map(|p| p.1).sum();
+    let total_mismatched: u64 = points.iter().map(|p| p.2).sum();
+
+    // Sweep candidate cuts after each point: error = matches above cut
+    // (missed) + mismatches at/below cut (false positives).
+    let mut best = (total_matched, f64::NEG_INFINITY); // cut below everything
+    let mut seen_matched = 0u64;
+    let mut seen_mismatched = 0u64;
+    for &(score, m, n) in &points {
+        seen_matched += m;
+        seen_mismatched += n;
+        let err = (total_matched - seen_matched) + seen_mismatched;
+        if err < best.0 {
+            best = (err, score);
+        }
+    }
+    let _ = total_mismatched;
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_blocking::ClassPairRef;
+
+    fn leftover(n: usize) -> Vec<LeftoverPair> {
+        (0..n)
+            .map(|i| LeftoverPair {
+                class_pair: ClassPairRef {
+                    r_class: i as u32,
+                    s_class: 0,
+                    pairs: 10,
+                },
+                skip: 0,
+            })
+            .collect()
+    }
+
+    fn stats(data: &[(f64, u64, u64)]) -> (Vec<ExaminedStats>, Vec<f64>) {
+        let examined = data
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, matched, examined))| ExaminedStats {
+                class_pair: ClassPairRef {
+                    r_class: i as u32,
+                    s_class: 1,
+                    pairs: examined,
+                },
+                examined,
+                matched,
+            })
+            .collect();
+        let scores = data.iter().map(|&(s, _, _)| s).collect();
+        (examined, scores)
+    }
+
+    #[test]
+    fn maximize_precision_labels_all_nonmatch() {
+        let lo = leftover(3);
+        let labels = label_leftovers(
+            LabelingStrategy::MaximizePrecision,
+            &lo,
+            &[0.1, 0.2, 0.3],
+            &[],
+            &[],
+        );
+        assert_eq!(labels, vec![PairLabel::NonMatch; 3]);
+    }
+
+    #[test]
+    fn maximize_recall_labels_all_match() {
+        let lo = leftover(2);
+        let labels =
+            label_leftovers(LabelingStrategy::MaximizeRecall, &lo, &[0.9, 0.9], &[], &[]);
+        assert_eq!(labels, vec![PairLabel::Match; 2]);
+    }
+
+    #[test]
+    fn classifier_learns_a_separating_threshold() {
+        // Low scores matched, high scores did not: τ should fall between.
+        let (examined, scores) = stats(&[
+            (0.05, 9, 10),
+            (0.10, 8, 10),
+            (0.60, 0, 10),
+            (0.70, 1, 10),
+        ]);
+        let lo = leftover(2);
+        let labels = label_leftovers(
+            LabelingStrategy::Classifier,
+            &lo,
+            &[0.08, 0.65],
+            &examined,
+            &scores,
+        );
+        assert_eq!(labels[0], PairLabel::Match, "low-ED leftover predicted match");
+        assert_eq!(labels[1], PairLabel::NonMatch, "high-ED leftover predicted non-match");
+    }
+
+    #[test]
+    fn classifier_with_no_training_matches_labels_nonmatch() {
+        let (examined, scores) = stats(&[(0.5, 0, 10)]);
+        let lo = leftover(1);
+        let labels = label_leftovers(
+            LabelingStrategy::Classifier,
+            &lo,
+            &[0.01],
+            &examined,
+            &scores,
+        );
+        assert_eq!(labels, vec![PairLabel::NonMatch]);
+        // Entirely empty sample behaves the same.
+        let labels = label_leftovers(LabelingStrategy::Classifier, &lo, &[0.01], &[], &[]);
+        assert_eq!(labels, vec![PairLabel::NonMatch]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests tying the expected-distance functions (§V-C) to the
+//! slack bounds (§IV): the expectation always lies inside the bounds.
+
+use pprl_anon::GenVal;
+use pprl_blocking::{slack_bounds, AttrDistance};
+use pprl_hierarchy::{IntervalHierarchy, TaxSpec, Taxonomy, Vgh};
+use pprl_smc::expected::{expected_distance, expected_squared};
+use proptest::prelude::*;
+
+fn small_taxonomy() -> Taxonomy {
+    Taxonomy::from_spec(
+        "t",
+        &TaxSpec::node(
+            "ANY",
+            vec![
+                TaxSpec::node(
+                    "A",
+                    vec![TaxSpec::leaf("a1"), TaxSpec::leaf("a2"), TaxSpec::leaf("a3")],
+                ),
+                TaxSpec::node("B", vec![TaxSpec::leaf("b1"), TaxSpec::leaf("b2")]),
+                TaxSpec::leaf("c"),
+            ],
+        ),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Hamming ED is bracketed by the Hamming slack bounds and lives in
+    /// [0, 1].
+    #[test]
+    fn hamming_ed_within_slack_bounds(a in 0u32..10, b in 0u32..10) {
+        let t = small_taxonomy();
+        let n = t.node_count() as u32;
+        let (a, b) = (a % n, b % n);
+        let vgh = Vgh::Categorical(t);
+        let (ga, gb) = (GenVal::Cat(a), GenVal::Cat(b));
+        let ed = expected_distance(&vgh, AttrDistance::Hamming, &ga, &gb);
+        let (sdl, sds) = slack_bounds(&vgh, AttrDistance::Hamming, &ga, &gb);
+        prop_assert!((0.0..=1.0).contains(&ed));
+        prop_assert!(sdl <= ed + 1e-12, "sdl {sdl} <= ED {ed}");
+        prop_assert!(ed <= sds + 1e-12, "ED {ed} <= sds {sds}");
+    }
+
+    /// Continuous expected *squared* distance is bracketed by the squared
+    /// slack bounds.
+    #[test]
+    fn euclidean_ed_within_squared_slack_bounds(
+        a_lo in 0.0f64..80.0, a_w in 1.0f64..20.0,
+        b_lo in 0.0f64..80.0, b_w in 1.0f64..20.0,
+    ) {
+        let h = IntervalHierarchy::equi_width("x", 0.0, 100.0, &[2]).unwrap();
+        let norm = h.norm_factor();
+        let vgh = Vgh::Continuous(h);
+        let ga = GenVal::Range { lo: a_lo, hi: (a_lo + a_w).min(100.0) };
+        let gb = GenVal::Range { lo: b_lo, hi: (b_lo + b_w).min(100.0) };
+        let ed = expected_distance(&vgh, AttrDistance::NormalizedEuclidean, &ga, &gb);
+        let (sdl, sds) = slack_bounds(&vgh, AttrDistance::NormalizedEuclidean, &ga, &gb);
+        let _ = norm;
+        prop_assert!(ed >= sdl * sdl - 1e-9, "ED {ed} >= sdl² {}", sdl * sdl);
+        prop_assert!(ed <= sds * sds + 1e-9, "ED {ed} <= sds² {}", sds * sds);
+    }
+
+    /// Eq. 8 symmetry and non-negativity.
+    #[test]
+    fn eq8_symmetric_nonnegative(
+        a1 in 0.0f64..100.0, w1 in 0.0f64..50.0,
+        a2 in 0.0f64..100.0, w2 in 0.0f64..50.0,
+    ) {
+        let (b1, b2) = (a1 + w1, a2 + w2);
+        let fwd = expected_squared(a1, b1, a2, b2);
+        let rev = expected_squared(a2, b2, a1, b1);
+        prop_assert!((fwd - rev).abs() < 1e-9, "symmetry");
+        prop_assert!(fwd >= -1e-9, "non-negativity");
+    }
+}

@@ -1,0 +1,77 @@
+//! The paper's motivating scenario (§I): two hospitals hold overlapping
+//! patient populations; a medical researcher (the querying party) needs the
+//! linked records, and the hospitals will not disclose anything beyond the
+//! linkage result and their k-anonymous releases.
+//!
+//! This example shows the asymmetric setting: each hospital picks its own
+//! anonymization method and privacy level, and the SMC step runs with the
+//! *real Paillier protocol* (small key for demo speed) so the cost ledger
+//! reflects genuine cryptographic work.
+//!
+//! ```sh
+//! cargo run --release --example hospital_linkage
+//! ```
+
+use pprl::anon::AnonymizationMethod;
+use pprl::prelude::*;
+use pprl::smc::{SmcAllowance, SmcMode};
+
+fn main() {
+    let scenario = SyntheticScenario::builder()
+        .records_per_set(160)
+        .seed(2026)
+        .build();
+    let (hospital_a, hospital_b) = scenario.data_sets();
+
+    // Hospital A is privacy-conservative (k = 16, the paper's MaxEntropy
+    // anonymizer); hospital B runs legacy DataFly with k = 8. The paper
+    // explicitly allows this: "Participants can choose different
+    // anonymization methods, anonymity levels" (§I).
+    let mut config = LinkageConfig::paper_defaults();
+    config.k_r = pprl::anon::KAnonymityRequirement(16);
+    config.k_s = pprl::anon::KAnonymityRequirement(8);
+    config.method_r = AnonymizationMethod::MaxEntropy;
+    config.method_s = AnonymizationMethod::Datafly;
+    // Real crypto: 512-bit Paillier modulus (1024 in the paper; smaller
+    // here so the demo finishes in seconds), budget of 400 comparisons.
+    config.mode = SmcMode::Paillier {
+        modulus_bits: 512,
+        seed: 99,
+    };
+    config.allowance = SmcAllowance::Pairs(400);
+
+    println!("hospital A: {} records (MaxEntropy, k=16)", hospital_a.len());
+    println!("hospital B: {} records (DataFly,    k=8)", hospital_b.len());
+    println!("running blocking + Paillier SMC step...\n");
+
+    let outcome = HybridLinkage::new(config)
+        .run(&hospital_a, &hospital_b)
+        .expect("pipeline runs");
+
+    let m = &outcome.metrics;
+    println!("published views     : {} x {} equivalence classes",
+        outcome.r_view.distinct_sequences(),
+        outcome.s_view.distinct_sequences());
+    println!(
+        "blocking efficiency : {:.2}%",
+        100.0 * m.blocking_efficiency
+    );
+    println!("true matches        : {}", m.true_matches);
+    println!(
+        "found               : {} (recall {:.1}%, precision {:.0}%)",
+        m.true_positives,
+        100.0 * m.recall(),
+        100.0 * m.precision()
+    );
+
+    println!("\n=== cryptographic cost (real Paillier run) ===");
+    println!("{}", outcome.ledger);
+    println!(
+        "modular exponentiations: {}",
+        outcome.ledger.exponentiations()
+    );
+
+    // The researcher receives the matched record id pairs:
+    let sample: Vec<_> = outcome.smc.matched_pairs.iter().take(5).collect();
+    println!("\nfirst SMC-matched row pairs (R-row, S-row): {sample:?}");
+}

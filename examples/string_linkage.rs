@@ -1,0 +1,94 @@
+//! The paper's §VIII future-work direction, implemented: linkage over an
+//! *alphanumeric* attribute (surnames with typos) using edit distance —
+//! "distance functions are much more complex than Hamming distance (e.g.
+//! edit distance) and there are many possible generalization mechanisms".
+//!
+//! Two registries share 40 % of their population, and half of the shared
+//! surnames are misspelled in the second registry (substitution, insertion,
+//! deletion, or transposition). Surnames are generalized by prefix
+//! truncation (`smith → smi* → s* → ANY`) and blocked with exhaustive
+//! inf/sup edit-distance slack bounds over the specialization sets. The
+//! SMC step runs in oracle mode (a secure edit-distance circuit is out of
+//! scope even for the paper).
+//!
+//! ```sh
+//! cargo run --release --example string_linkage
+//! ```
+
+use pprl::anon::KAnonymityRequirement;
+use pprl::blocking::{AttrDistance, MatchingRule};
+use pprl::data::names::{fuzzy_pair_scenario, FuzzyScenarioConfig};
+use pprl::prelude::*;
+use pprl::smc::{SmcAllowance, SmcMode};
+
+fn main() {
+    let config = FuzzyScenarioConfig {
+        records_per_set: 500,
+        overlap: 0.4,
+        typo_rate: 0.5,
+        seed: 20_260,
+    };
+    let (d1, d2) = fuzzy_pair_scenario(&config);
+    println!(
+        "registry A: {} records, registry B: {} ({}% shared, {}% of shared surnames misspelled)",
+        d1.len(),
+        d2.len(),
+        (config.overlap * 100.0) as u32,
+        (config.typo_rate * 100.0) as u32
+    );
+
+    // Edit distance on surnames: θ = 0.2 tolerates roughly 2 edits on the
+    // longest domain name; ages must agree within 0.05 · 96 ≈ 4.8 years.
+    let rule = MatchingRule {
+        thetas: vec![0.2, 0.05],
+        distances: vec![AttrDistance::NormalizedEdit, AttrDistance::NormalizedEuclidean],
+    };
+
+    let mut cfg = LinkageConfig::paper_defaults();
+    cfg.qids = vec![0, 1];
+    cfg.custom_rule = Some(rule);
+    cfg.k_r = KAnonymityRequirement(4);
+    cfg.k_s = KAnonymityRequirement(4);
+    cfg.allowance = SmcAllowance::Fraction(0.05);
+    cfg.mode = SmcMode::Oracle; // secure edit-distance circuits: future work
+
+    let outcome = HybridLinkage::new(cfg).run(&d1, &d2).expect("pipeline runs");
+    let m = &outcome.metrics;
+
+    println!(
+        "\nblocking efficiency : {:.2}% (edit-distance slack bounds over prefix classes)",
+        100.0 * m.blocking_efficiency
+    );
+    println!(
+        "SMC                 : {} / {} comparisons",
+        m.smc_invocations, m.smc_budget
+    );
+    println!("true fuzzy matches  : {}", m.true_matches);
+    println!(
+        "found               : {} (recall {:.1}%, precision {:.0}%)",
+        m.true_positives,
+        100.0 * m.recall(),
+        100.0 * m.precision()
+    );
+
+    // Show a few recovered typo pairs.
+    let schema = d1.schema();
+    let tax = schema.attribute(0).vgh().as_taxonomy().unwrap().clone();
+    let name_of = |ds: &pprl::data::DataSet, row: u32| {
+        tax.label(tax.leaf_node(ds.records()[row as usize].value(0).as_cat()))
+            .to_string()
+    };
+    println!("\nsample recovered pairs (A-surname ~ B-surname):");
+    let mut shown = 0;
+    for (ri, si) in outcome.matched_rows() {
+        let (a, b) = (name_of(&d1, ri), name_of(&d2, si));
+        if a != b {
+            println!("  {a} ~ {b}");
+            shown += 1;
+            if shown == 8 {
+                break;
+            }
+        }
+    }
+    assert_eq!(m.precision(), 1.0);
+}

@@ -1,0 +1,73 @@
+//! # pprl — A Hybrid Approach to Private Record Linkage
+//!
+//! Production-quality Rust reproduction of *Inan, Kantarcioglu, Bertino,
+//! Scannapieco, "A Hybrid Approach to Private Record Linkage", ICDE 2008*.
+//!
+//! Two data holders want the matching record pairs of their private data
+//! sets revealed to a querying party — and nothing else. The hybrid method
+//! publishes k-anonymous generalizations, **blocks** (decides) most pairs
+//! from the anonymized releases alone using slack distance bounds, and spends
+//! a bounded budget of **secure multi-party computation** (Paillier-based
+//! secure distance) on the pairs the blocking step could not decide.
+//!
+//! The result trades off along three axes the paper names in its title
+//! figure: *privacy* (the anonymity requirement `k`), *cost* (the SMC
+//! allowance), and *accuracy* (recall; precision is always 100 %).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pprl::prelude::*;
+//!
+//! // Two hospitals synthesize their (overlapping) patient data sets.
+//! let scenario = SyntheticScenario::builder()
+//!     .records_per_set(300)
+//!     .seed(7)
+//!     .build();
+//! let (d1, d2) = scenario.data_sets();
+//!
+//! // Paper defaults are k = 32, theta = 0.05, allowance = 1.5 % of the
+//! // pair space, 5 quasi-identifiers; at this toy scale we relax k so the
+//! // equivalence classes stay informative.
+//! let config = LinkageConfig::paper_defaults().with_k(4);
+//! let outcome = HybridLinkage::new(config).run(&d1, &d2).unwrap();
+//!
+//! assert_eq!(outcome.metrics.precision(), 1.0);
+//! assert!(outcome.metrics.recall() > 0.5);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | re-export | crate | contents |
+//! |---|---|---|
+//! | [`bignum`] | `pprl-bignum` | arbitrary-precision arithmetic substrate |
+//! | [`crypto`] | `pprl-crypto` | Paillier cryptosystem + secure distance protocol |
+//! | [`hierarchy`] | `pprl-hierarchy` | value generalization hierarchies |
+//! | [`data`] | `pprl-data` | Adult-like data set substrate |
+//! | [`anon`] | `pprl-anon` | k-anonymization algorithms |
+//! | [`blocking`] | `pprl-blocking` | slack distances + M/N/U blocking step |
+//! | [`smc`] | `pprl-smc` | SMC step, heuristics, allowance budgeting |
+//! | [`core`] | `pprl-core` | the hybrid pipeline, metrics, baselines |
+
+pub use pprl_anon as anon;
+pub use pprl_bignum as bignum;
+pub use pprl_blocking as blocking;
+pub use pprl_core as core;
+pub use pprl_crypto as crypto;
+pub use pprl_data as data;
+pub use pprl_hierarchy as hierarchy;
+pub use pprl_smc as smc;
+
+/// Convenience re-exports covering the common API surface.
+pub mod prelude {
+    pub use pprl_anon::{AnonymizationMethod, Anonymizer, KAnonymityRequirement};
+    pub use pprl_blocking::{BlockingEngine, BlockingOutcome, PairLabel};
+    pub use pprl_core::{
+        GroundTruth, HybridLinkage, LinkageConfig, LinkageMetrics, LinkageOutcome,
+        SyntheticScenario,
+    };
+    pub use pprl_crypto::paillier::{Keypair, PrivateKey, PublicKey};
+    pub use pprl_data::{DataSet, Record, Schema};
+    pub use pprl_hierarchy::{AttributeKind, Vgh};
+    pub use pprl_smc::{LabelingStrategy, SelectionHeuristic, SmcAllowance};
+}

@@ -1,0 +1,79 @@
+//! The central substitution argument (DESIGN.md #2): the SMC oracle used by
+//! the sweeps is *bit-identical* to the real Paillier protocol. This test
+//! runs the full pipeline in both modes and compares everything observable.
+
+use pprl::prelude::*;
+use pprl::smc::{SmcAllowance, SmcMode};
+
+#[test]
+fn pipeline_oracle_equals_pipeline_paillier() {
+    let (d1, d2) = SyntheticScenario::builder()
+        .records_per_set(120)
+        .seed(7_771)
+        .build()
+        .data_sets();
+
+    let base = LinkageConfig::paper_defaults()
+        .with_k(8)
+        .with_allowance(SmcAllowance::Pairs(60)); // keep real crypto quick
+
+    let mut oracle_cfg = base.clone();
+    oracle_cfg.mode = SmcMode::Oracle;
+    let oracle = HybridLinkage::new(oracle_cfg).run(&d1, &d2).unwrap();
+
+    let mut crypto_cfg = base;
+    crypto_cfg.mode = SmcMode::Paillier {
+        modulus_bits: 256,
+        seed: 99,
+    };
+    let crypto = HybridLinkage::new(crypto_cfg).run(&d1, &d2).unwrap();
+
+    // Identical labels everywhere.
+    assert_eq!(oracle.smc.matched_pairs, crypto.smc.matched_pairs);
+    assert_eq!(oracle.smc.invocations, crypto.smc.invocations);
+    assert_eq!(
+        oracle.metrics.true_positives,
+        crypto.metrics.true_positives
+    );
+    assert_eq!(
+        oracle.metrics.declared_matches,
+        crypto.metrics.declared_matches
+    );
+    assert_eq!(oracle.metrics.recall(), crypto.metrics.recall());
+
+    // And only the crypto run did cryptographic work.
+    assert_eq!(oracle.ledger.encryptions, 0);
+    assert!(crypto.ledger.encryptions > 0);
+    assert!(crypto.ledger.decryptions > 0);
+}
+
+#[test]
+fn secure_comparison_equals_plaintext_on_grid() {
+    // Exhaustive per-attribute check on a value grid: the protocol's
+    // predicate (a−b)² ≤ t agrees with the plaintext predicate.
+    use pprl::crypto::protocol::secure_threshold_match;
+    use pprl::crypto::{CostLedger, Keypair};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(4_242);
+    let keys = Keypair::generate(&mut rng, 256);
+    let mut ledger = CostLedger::new();
+    for a in (0..60u64).step_by(7) {
+        for b in (0..60u64).step_by(11) {
+            for t in [0u64, 9, 23, 100] {
+                let secure = secure_threshold_match(
+                    keys.public(),
+                    keys.private(),
+                    a,
+                    b,
+                    t,
+                    &mut rng,
+                    &mut ledger,
+                )
+                .unwrap();
+                assert_eq!(secure, a.abs_diff(b).pow(2) <= t, "a={a} b={b} t={t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based cross-crate invariants of the hybrid pipeline.
+
+use pprl::anon::AnonymizationMethod;
+use pprl::prelude::*;
+use pprl::smc::{SmcAllowance, SmcMode};
+use proptest::prelude::*;
+
+fn any_method() -> impl Strategy<Value = AnonymizationMethod> {
+    prop_oneof![
+        Just(AnonymizationMethod::Datafly),
+        Just(AnonymizationMethod::Tds),
+        Just(AnonymizationMethod::MaxEntropy),
+        Just(AnonymizationMethod::Mondrian),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The paper's headline guarantee: precision is 100 % regardless of
+    /// anonymizer, k, θ, heuristic, or budget (strategy 1).
+    #[test]
+    fn precision_is_always_one(
+        seed in 0u64..1000,
+        k in 2usize..40,
+        theta in 0.01f64..0.12,
+        budget in 0u64..5_000,
+        method_r in any_method(),
+        method_s in any_method(),
+        qid_count in 2usize..6,
+    ) {
+        let (d1, d2) = SyntheticScenario::builder()
+            .records_per_set(120)
+            .seed(seed)
+            .build()
+            .data_sets();
+        let mut cfg = LinkageConfig::paper_defaults()
+            .with_k(k)
+            .with_theta(theta)
+            .with_qid_count(qid_count)
+            .with_allowance(SmcAllowance::Pairs(budget));
+        cfg.method_r = method_r;
+        cfg.method_s = method_s;
+        cfg.mode = SmcMode::Oracle;
+        let out = HybridLinkage::new(cfg).run(&d1, &d2).unwrap();
+        prop_assert_eq!(out.metrics.precision(), 1.0);
+        // Cost accounting invariants.
+        prop_assert!(out.metrics.smc_invocations <= budget);
+        prop_assert!(out.metrics.recall() <= 1.0 + 1e-12);
+        // Pair accounting: everything sums to |R|·|S|.
+        prop_assert_eq!(
+            out.blocking.matched_pairs
+                + out.blocking.nonmatched_pairs
+                + out.blocking.unknown_pairs,
+            out.blocking.total_pairs
+        );
+    }
+
+    /// Blocking M-labels are sound under arbitrary configurations: all
+    /// blocking-matched pairs are true matches (tp ≥ blocking_matched).
+    #[test]
+    fn blocking_matches_are_true_positives(
+        seed in 0u64..1000,
+        k in 2usize..24,
+    ) {
+        let (d1, d2) = SyntheticScenario::builder()
+            .records_per_set(100)
+            .seed(seed)
+            .build()
+            .data_sets();
+        let cfg = LinkageConfig::paper_defaults()
+            .with_k(k)
+            .with_allowance(SmcAllowance::Pairs(0));
+        let out = HybridLinkage::new(cfg).run(&d1, &d2).unwrap();
+        // With zero budget, declared = blocking matches only, and precision
+        // is 1 — so every blocking match is true.
+        prop_assert_eq!(out.metrics.declared_matches, out.metrics.blocking_matched);
+        prop_assert_eq!(out.metrics.true_positives, out.metrics.blocking_matched);
+        prop_assert!(out.metrics.true_matches >= out.metrics.blocking_matched);
+    }
+
+    /// Unlimited budget ⇒ recall 1 (the blocking N-labels are sound, so no
+    /// true match can be lost outside the SMC-covered region).
+    #[test]
+    fn unlimited_budget_recovers_every_match(
+        seed in 0u64..500,
+        k in 2usize..24,
+        method in any_method(),
+    ) {
+        let (d1, d2) = SyntheticScenario::builder()
+            .records_per_set(90)
+            .seed(seed)
+            .build()
+            .data_sets();
+        let mut cfg = LinkageConfig::paper_defaults()
+            .with_k(k)
+            .with_allowance(SmcAllowance::Unlimited);
+        cfg.method_r = method;
+        cfg.method_s = method;
+        let out = HybridLinkage::new(cfg).run(&d1, &d2).unwrap();
+        prop_assert_eq!(out.metrics.recall(), 1.0);
+        prop_assert_eq!(out.metrics.precision(), 1.0);
+    }
+}
