@@ -52,7 +52,7 @@ fn bench_protocol(c: &mut Criterion) {
         let bv = [3u64, 7, 2, 9, 42_000];
         let t = [0u64, 0, 0, 0, 23_040_000];
         b.iter(|| {
-            let m1 = alice_record_message(keys.public(), &a, &mut rng, &mut ledger);
+            let m1 = alice_record_message(keys.public(), &a, &mut rng, &mut ledger).unwrap();
             let m2 =
                 bob_record_message(keys.public(), &m1, &bv, &t, &mut rng, &mut ledger).unwrap();
             querier_reveal_record(keys.private(), &m2, &mut ledger).unwrap()

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Subcommands: `fig2 fig3 fig4 fig5 fig6 fig7 fig8 timing strategies
-//! baselines ablation-heuristics ablation-anonymizers all`.
+//! baselines ablation-heuristics ablation-anonymizers chaos all`.
 //! Options: `--records N` (records per linkage input; default 20108, the
 //! paper's scale), `--seed S`, `--csv DIR` (also write each table as CSV).
 
@@ -71,6 +71,7 @@ fn main() {
         "baselines" => baselines(&env),
         "ablation-heuristics" => ablation_heuristics(&env),
         "ablation-anonymizers" => ablation_anonymizers(&env),
+        "chaos" => chaos(seed),
         "all" => {
             fig2(&env);
             fig3(&env);
@@ -83,6 +84,7 @@ fn main() {
             baselines(&env);
             ablation_heuristics(&env);
             ablation_anonymizers(&env);
+            chaos(seed);
             timing(&env);
         }
         other => {
@@ -515,6 +517,59 @@ fn ablation_anonymizers(env: &Env) {
         "E12 — anonymizer choice at k = 32 (sequences / blocking % / recall %)",
         "method",
         &["sequences".into(), "blocking %".into(), "recall %".into()],
+        &rows,
+    );
+}
+
+/// Chaos sweep — linkage quality vs injected fault rate for the batched
+/// wire protocol over a faulty transport with retries. Runs at a small
+/// fixed scale (real 256-bit Paillier per pair, independent of --records).
+fn chaos(seed: u64) {
+    use pprl_core::{HybridLinkage, LinkageConfig};
+    use pprl_smc::{ChannelConfig, FaultConfig, RetryPolicy, SmcMode};
+
+    let scenario = pprl_core::SyntheticScenario::builder()
+        .records_per_set(400)
+        .seed(seed)
+        .build();
+    let (d1, d2) = scenario.data_sets();
+    let mut rows = Vec::new();
+    for &rate in &[0.0f64, 0.02, 0.05, 0.08, 0.10] {
+        let cfg = LinkageConfig::paper_defaults()
+            .with_k(8)
+            .with_allowance(SmcAllowance::Pairs(150))
+            .with_mode(SmcMode::PaillierBatched {
+                modulus_bits: 256,
+                seed,
+            })
+            .with_channel(ChannelConfig {
+                faults: FaultConfig::uniform(rate),
+                retry: RetryPolicy::with_retries(16),
+                seed: seed ^ (rate * 1000.0) as u64,
+            });
+        let out = HybridLinkage::new(cfg).run(&d1, &d2).expect("pipeline runs");
+        let deg = out.degradation();
+        rows.push((
+            format!("{:.0}%", rate * 100.0),
+            vec![
+                100.0 * out.metrics.precision(),
+                100.0 * out.metrics.recall(),
+                deg.pairs_abandoned as f64,
+                deg.retries_spent as f64,
+                deg.injected.total() as f64,
+            ],
+        ));
+    }
+    print_table(
+        "Chaos — linkage quality vs injected fault rate (batched Paillier over faulty transport, 16 retries)",
+        "fault rate",
+        &[
+            "precision %".into(),
+            "recall %".into(),
+            "abandoned".into(),
+            "retries".into(),
+            "faults".into(),
+        ],
         &rows,
     );
 }

@@ -130,6 +130,7 @@ pub fn run_point(
         allowance,
         strategy: LabelingStrategy::MaximizePrecision,
         mode: SmcMode::Oracle,
+        channel: None,
     };
     let smc = step
         .run(
@@ -179,6 +180,7 @@ pub fn run_strategy(
         allowance,
         strategy,
         mode: SmcMode::Oracle,
+        channel: None,
     };
     let smc = step
         .run(

@@ -18,7 +18,10 @@
 use pprl_anon::{AnonymizationMethod, Anonymizer, KAnonymityRequirement};
 use pprl_core::{HybridLinkage, LinkageConfig};
 use pprl_data::loader::load_adult;
-use pprl_smc::{LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode};
+use pprl_smc::{
+    ChannelConfig, FaultConfig, LabelingStrategy, RetryPolicy, SelectionHeuristic, SmcAllowance,
+    SmcMode,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -79,7 +82,16 @@ RUN OPTIONS:
   --method M          entropy | tds | datafly | mondrian       [entropy]
   --strategy S        precision | recall | classifier          [precision]
   --paillier BITS     run real Paillier SMC with BITS-bit keys (slow)
+  --fault-rate R      run the batched wire protocol over a faulty network:
+                      drop/corrupt/duplicate/reorder/delay each frame with
+                      probability R (implies batched Paillier mode)
+  --retries N         max retransmissions per exchange              [8]
+  --fault-seed S      fault-injection and backoff-jitter seed       [7]
   --json              emit the report as JSON
+
+Example — 5 % fault injection, 4 retries, degradation report:
+  pprl-link run --left d1.csv --right d2.csv \\
+      --allowance-pct 0.5 --fault-rate 0.05 --retries 4 --paillier 256
 ";
 
 type Opts = HashMap<String, String>;
@@ -181,6 +193,25 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             seed: get(opts, "seed", 42)?,
         };
     }
+    if opts.contains_key("fault-rate") || opts.contains_key("retries") {
+        let rate: f64 = get(opts, "fault-rate", 0.0)?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--fault-rate must be in [0, 1], got {rate}"));
+        }
+        // Only the batched wire protocol moves bytes over a network.
+        config.mode = SmcMode::PaillierBatched {
+            modulus_bits: get(opts, "paillier", 256)?,
+            seed: get(opts, "seed", 42)?,
+        };
+        config.channel = Some(ChannelConfig {
+            faults: FaultConfig::uniform(rate),
+            retry: RetryPolicy {
+                max_retries: get(opts, "retries", 8)?,
+                ..RetryPolicy::default()
+            },
+            seed: get(opts, "fault-seed", 7)?,
+        });
+    }
 
     let outcome = HybridLinkage::new(config)
         .run(&d1, &d2)
@@ -210,6 +241,14 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
                     "messages": outcome.ledger.messages,
                     "bytes": outcome.ledger.bytes,
                 },
+                "degradation": {
+                    "pairs_abandoned": outcome.degradation().pairs_abandoned,
+                    "declared_matches": outcome.degradation().declared.len(),
+                    "retries_spent": outcome.degradation().retries_spent,
+                    "faults_survived": outcome.degradation().faults_survived,
+                    "faults_injected": outcome.degradation().injected.total(),
+                    "virtual_backoff_ms": outcome.degradation().virtual_backoff_ms,
+                },
             })
         );
     } else {
@@ -228,6 +267,21 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         println!("declared matches    : {}", m.declared_matches);
         println!("precision           : {:.2}%", 100.0 * m.precision());
         println!("recall              : {:.2}%", 100.0 * m.recall());
+        let deg = outcome.degradation();
+        if deg.injected.total() > 0 || deg.degraded() {
+            println!(
+                "transport           : {} faults injected, {} survived, {} retransmissions ({} virtual backoff ms)",
+                deg.injected.total(),
+                deg.faults_survived,
+                deg.retries_spent,
+                deg.virtual_backoff_ms
+            );
+            println!(
+                "degraded pairs      : {} abandoned after retry exhaustion ({} declared match by strategy)",
+                deg.pairs_abandoned,
+                deg.declared.len()
+            );
+        }
     }
     Ok(())
 }

@@ -3,7 +3,7 @@
 use pprl_anon::{AnonymizationMethod, KAnonymityRequirement};
 use pprl_blocking::MatchingRule;
 use pprl_data::Schema;
-use pprl_smc::{LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode};
+use pprl_smc::{ChannelConfig, LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode};
 
 /// Everything the three participants agree on before the protocol runs.
 ///
@@ -36,6 +36,9 @@ pub struct LinkageConfig {
     pub strategy: LabelingStrategy,
     /// Oracle (sweeps) or real Paillier execution.
     pub mode: SmcMode,
+    /// Simulated network under the batched wire protocol (`None` = the
+    /// historical perfect in-process hand-off).
+    pub channel: Option<ChannelConfig>,
 }
 
 impl LinkageConfig {
@@ -56,6 +59,7 @@ impl LinkageConfig {
             allowance: SmcAllowance::paper_default(),
             strategy: LabelingStrategy::MaximizePrecision,
             mode: SmcMode::Oracle,
+            channel: None,
         }
     }
 
@@ -100,6 +104,20 @@ impl LinkageConfig {
     /// Sets the leftover labeling strategy.
     pub fn with_strategy(mut self, strategy: LabelingStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Sets the SMC execution mode.
+    pub fn with_mode(mut self, mode: SmcMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Runs the batched wire protocol over a simulated network (fault
+    /// injection + retries). Only meaningful with
+    /// [`SmcMode::PaillierBatched`].
+    pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
+        self.channel = Some(channel);
         self
     }
 

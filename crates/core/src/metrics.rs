@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 /// 1 under strategy 1), recall ("the percentage of record pairs correctly
 /// labeled as match among all pairs satisfying the decision rule", §VI),
 /// blocking efficiency, and the SMC cost actually spent.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct LinkageMetrics {
     /// `|R| · |S|`.
     pub total_pairs: u64,
@@ -29,6 +29,10 @@ pub struct LinkageMetrics {
     /// Matches declared by the leftover labeling strategy (0 under
     /// maximize-precision).
     pub leftover_declared: u64,
+    /// SMC record pairs abandoned after transport retry exhaustion and
+    /// decided by the labeling strategy instead of the protocol (0 on a
+    /// reliable channel).
+    pub smc_abandoned: u64,
 }
 
 impl LinkageMetrics {

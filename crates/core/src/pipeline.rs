@@ -40,6 +40,13 @@ pub struct LinkageOutcome {
 }
 
 impl LinkageOutcome {
+    /// The SMC step's graceful-degradation accounting: pairs abandoned
+    /// after retry exhaustion, faults survived, retransmissions spent.
+    /// All zeros unless the run was configured with a faulty channel.
+    pub fn degradation(&self) -> &pprl_smc::DegradationReport {
+        &self.smc.degradation
+    }
+
     /// Enumerates the linkage *result*: every record-row pair `(row in R,
     /// row in S)` declared matching — blocking-step matches (expanded from
     /// class pairs) followed by SMC-step matches. Under the default
@@ -89,6 +96,7 @@ impl HybridLinkage {
             allowance: cfg.allowance,
             strategy: cfg.strategy,
             mode: cfg.mode,
+            channel: cfg.channel,
         };
         let smc = step.run(
             r,
@@ -154,6 +162,24 @@ impl HybridLinkage {
         let cfg = &self.config;
         let smc_matched = smc.matched_pairs.len() as u64;
 
+        // Pairs the transport abandoned and the strategy declared matching
+        // (maximize-recall only; maximize-precision abandons to non-match,
+        // so degradation can never cost precision).
+        let mut degraded_declared = 0u64;
+        let mut degraded_tp = 0u64;
+        for &(ri, si) in &smc.degradation.declared {
+            degraded_declared += 1;
+            if pprl_blocking::records_match(
+                r.schema(),
+                &cfg.qids,
+                rule,
+                &r.records()[ri as usize],
+                &s.records()[si as usize],
+            ) {
+                degraded_tp += 1;
+            }
+        }
+
         // Leftovers the strategy declared matching (strategies 2 and 3).
         let mut leftover_declared = 0u64;
         let mut leftover_tp = 0u64;
@@ -188,14 +214,18 @@ impl HybridLinkage {
         LinkageMetrics {
             total_pairs: blocking.total_pairs,
             true_matches: truth.total_matches(),
-            declared_matches: blocking.matched_pairs + smc_matched + leftover_declared,
-            true_positives: blocking.matched_pairs + smc_matched + leftover_tp,
+            declared_matches: blocking.matched_pairs
+                + smc_matched
+                + leftover_declared
+                + degraded_declared,
+            true_positives: blocking.matched_pairs + smc_matched + leftover_tp + degraded_tp,
             blocking_efficiency: blocking.efficiency(),
             blocking_matched: blocking.matched_pairs,
             smc_matched,
             smc_invocations: smc.invocations,
             smc_budget: smc.budget,
             leftover_declared,
+            smc_abandoned: smc.degradation.pairs_abandoned,
         }
     }
 }

@@ -35,15 +35,15 @@ pub fn bob_combine_masked<R: RngCore + ?Sized>(
     threshold: u64,
     rng: &mut R,
     ledger: &mut CostLedger,
-) -> Ciphertext {
-    let enc_d2 = bob_combine(pk, share, b, rng, ledger);
+) -> Result<Ciphertext, CryptoError> {
+    let enc_d2 = bob_combine(pk, share, b, rng, ledger)?;
     // Enc(d² − t): add the encoding of −t.
     let minus_t = if threshold == 0 {
         BigUint::zero()
     } else {
         pk.n()
             .checked_sub(&BigUint::from_u64(threshold))
-            .expect("t << n")
+            .ok_or(CryptoError::PlaintextTooLarge)?
     };
     let shifted = pk.add_plain(&enc_d2, &minus_t);
     // Multiply by a random positive mask.
@@ -51,7 +51,7 @@ pub fn bob_combine_masked<R: RngCore + ?Sized>(
     let masked = pk.mul_plain(&shifted, &rho);
     ledger.homomorphic_adds += 1;
     ledger.scalar_muls += 1;
-    masked
+    Ok(masked)
 }
 
 /// Querying party's side: open the masked value; non-positive ⇒ match.
@@ -79,8 +79,8 @@ pub fn secure_threshold_match<R: RngCore + ?Sized>(
     rng: &mut R,
     ledger: &mut CostLedger,
 ) -> Result<bool, CryptoError> {
-    let share = alice_prepare(pk, a, rng, ledger);
-    let masked = bob_combine_masked(pk, &share, b, threshold, rng, ledger);
+    let share = alice_prepare(pk, a, rng, ledger)?;
+    let masked = bob_combine_masked(pk, &share, b, threshold, rng, ledger)?;
     ledger.invocations += 1;
     querier_reveal_match(sk, &masked, ledger)
 }

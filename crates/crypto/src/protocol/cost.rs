@@ -28,6 +28,14 @@ pub struct CostLedger {
     /// Complete SMC protocol invocations (one attribute comparison each —
     /// the unit the paper's *SMC allowance* is expressed in).
     pub invocations: u64,
+    /// Frame retransmissions performed by the reliable link.
+    pub retries: u64,
+    /// Frames discarded because envelope framing/checksum validation failed.
+    pub corrupt_dropped: u64,
+    /// Duplicate or stale frames detected and discarded without processing.
+    pub duplicates_discarded: u64,
+    /// Bytes sent again due to retransmission (not counted in `bytes`).
+    pub bytes_retransmitted: u64,
 }
 
 impl CostLedger {
@@ -52,6 +60,10 @@ impl CostLedger {
         self.messages += other.messages;
         self.bytes += other.bytes;
         self.invocations += other.invocations;
+        self.retries += other.retries;
+        self.corrupt_dropped += other.corrupt_dropped;
+        self.duplicates_discarded += other.duplicates_discarded;
+        self.bytes_retransmitted += other.bytes_retransmitted;
     }
 
     /// Total modular exponentiations — the dominant cost driver
@@ -74,7 +86,18 @@ impl std::fmt::Display for CostLedger {
             self.rerandomizations,
             self.messages,
             self.bytes
-        )
+        )?;
+        if self.retries + self.corrupt_dropped + self.duplicates_discarded > 0 {
+            write!(
+                f,
+                " | {} retries / {} retransmitted bytes, {} corrupt dropped, {} dups discarded",
+                self.retries,
+                self.bytes_retransmitted,
+                self.corrupt_dropped,
+                self.duplicates_discarded
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -93,12 +116,20 @@ mod tests {
             messages: 6,
             bytes: 7,
             invocations: 8,
+            retries: 9,
+            corrupt_dropped: 10,
+            duplicates_discarded: 11,
+            bytes_retransmitted: 12,
         };
         let b = a.clone();
         a.merge(&b);
         assert_eq!(a.encryptions, 2);
         assert_eq!(a.bytes, 14);
         assert_eq!(a.invocations, 16);
+        assert_eq!(a.retries, 18);
+        assert_eq!(a.corrupt_dropped, 20);
+        assert_eq!(a.duplicates_discarded, 22);
+        assert_eq!(a.bytes_retransmitted, 24);
     }
 
     #[test]

@@ -20,29 +20,32 @@ pub struct AliceShare {
 }
 
 /// Step 1 — Alice encrypts her value's share of the expansion.
+///
+/// Fails with [`CryptoError::PlaintextTooLarge`] if the modulus is too
+/// small for `a²` or `2a` (only possible with absurdly undersized keys).
 pub fn alice_prepare<R: RngCore + ?Sized>(
     pk: &PublicKey,
     a: u64,
     rng: &mut R,
     ledger: &mut CostLedger,
-) -> AliceShare {
+) -> Result<AliceShare, CryptoError> {
     let a_sq = (a as u128) * (a as u128);
-    let enc_a_squared = pk
-        .encrypt(&pprl_bignum::BigUint::from_u128(a_sq), rng)
-        .expect("a² fits the message space");
+    let enc_a_squared = pk.encrypt(&pprl_bignum::BigUint::from_u128(a_sq), rng)?;
     // −2a encoded as n − 2a (avoids i64 overflow for large a).
     let minus_2a = if a == 0 {
         pprl_bignum::BigUint::zero()
     } else {
         let two_a = pprl_bignum::BigUint::from_u128(2 * a as u128);
-        pk.n().checked_sub(&two_a).expect("2a < n for u64 inputs")
+        pk.n()
+            .checked_sub(&two_a)
+            .ok_or(CryptoError::PlaintextTooLarge)?
     };
-    let enc_minus_2a = pk.encrypt(&minus_2a, rng).expect("encoded value reduced");
+    let enc_minus_2a = pk.encrypt(&minus_2a, rng)?;
     ledger.encryptions += 2;
-    AliceShare {
+    Ok(AliceShare {
         enc_a_squared,
         enc_minus_2a,
-    }
+    })
 }
 
 /// Step 2 — Bob combines Alice's share with his own value:
@@ -53,11 +56,9 @@ pub fn bob_combine<R: RngCore + ?Sized>(
     b: u64,
     rng: &mut R,
     ledger: &mut CostLedger,
-) -> Ciphertext {
+) -> Result<Ciphertext, CryptoError> {
     let b_sq = (b as u128) * (b as u128);
-    let enc_b_squared = pk
-        .encrypt(&pprl_bignum::BigUint::from_u128(b_sq), rng)
-        .expect("b² fits the message space");
+    let enc_b_squared = pk.encrypt(&pprl_bignum::BigUint::from_u128(b_sq), rng)?;
     let cross = pk.mul_plain(&share.enc_minus_2a, &pprl_bignum::BigUint::from_u64(b));
     let sum = pk.add(&pk.add(&share.enc_a_squared, &cross), &enc_b_squared);
     let result = pk.rerandomize(&sum, rng);
@@ -65,7 +66,7 @@ pub fn bob_combine<R: RngCore + ?Sized>(
     ledger.scalar_muls += 1;
     ledger.homomorphic_adds += 2;
     ledger.rerandomizations += 1;
-    result
+    Ok(result)
 }
 
 /// Step 3 — the querying party opens the squared distance.
@@ -92,8 +93,8 @@ pub fn secure_squared_distance<R: RngCore + ?Sized>(
     rng: &mut R,
     ledger: &mut CostLedger,
 ) -> Result<u64, CryptoError> {
-    let share = alice_prepare(pk, a, rng, ledger);
-    let combined = bob_combine(pk, &share, b, rng, ledger);
+    let share = alice_prepare(pk, a, rng, ledger)?;
+    let combined = bob_combine(pk, &share, b, rng, ledger)?;
     ledger.invocations += 1;
     querier_reveal(sk, &combined, ledger)
 }
@@ -150,8 +151,8 @@ mod tests {
         // protocol runs even for identical inputs (semantic security).
         let (pk, _, mut rng) = setup();
         let mut ledger = CostLedger::new();
-        let s1 = alice_prepare(&pk, 42, &mut rng, &mut ledger);
-        let s2 = alice_prepare(&pk, 42, &mut rng, &mut ledger);
+        let s1 = alice_prepare(&pk, 42, &mut rng, &mut ledger).unwrap();
+        let s2 = alice_prepare(&pk, 42, &mut rng, &mut ledger).unwrap();
         assert_ne!(s1.enc_a_squared, s2.enc_a_squared);
         assert_ne!(s1.enc_minus_2a, s2.enc_minus_2a);
     }

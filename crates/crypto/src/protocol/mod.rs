@@ -20,8 +20,15 @@ pub mod distance;
 pub mod message;
 pub mod party;
 pub mod record;
+pub mod retry;
+pub mod transport;
 
 pub use compare::secure_threshold_match;
 pub use distance::secure_squared_distance;
 pub use party::{DataHolder, QueryingParty};
 pub use record::{alice_record_message, bob_record_message, querier_reveal_record};
+pub use retry::{ReliableLink, RetryPolicy};
+pub use transport::{
+    Envelope, FaultConfig, FaultStats, FaultyTransport, LocalTransport, PartyId, Transport,
+    TransportError,
+};

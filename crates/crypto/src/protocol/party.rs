@@ -122,15 +122,15 @@ impl DataHolder {
         a: u64,
         rng: &mut R,
         ledger: &mut CostLedger,
-    ) -> Vec<u8> {
-        let share = alice_prepare(&self.pk, a, rng, ledger);
+    ) -> Result<Vec<u8>, CryptoError> {
+        let share = alice_prepare(&self.pk, a, rng, ledger)?;
         let msg = ProtocolMessage::AliceShare {
             enc_a_squared: share.enc_a_squared,
             enc_minus_2a: share.enc_minus_2a,
         }
         .encode();
         ledger.record_message(msg.len());
-        msg.to_vec()
+        Ok(msg.to_vec())
     }
 
     /// Bob's message (3) for value `b`: the re-randomized encrypted distance.
@@ -142,7 +142,7 @@ impl DataHolder {
         ledger: &mut CostLedger,
     ) -> Result<Vec<u8>, CryptoError> {
         let share = self.decode_share(alice_message)?;
-        let enc_distance = bob_combine(&self.pk, &share, b, rng, ledger);
+        let enc_distance = bob_combine(&self.pk, &share, b, rng, ledger)?;
         let msg = ProtocolMessage::DistanceResult { enc_distance }.encode();
         ledger.record_message(msg.len());
         Ok(msg.to_vec())
@@ -158,7 +158,7 @@ impl DataHolder {
         ledger: &mut CostLedger,
     ) -> Result<Vec<u8>, CryptoError> {
         let share = self.decode_share(alice_message)?;
-        let enc_masked = bob_combine_masked(&self.pk, &share, b, threshold, rng, ledger);
+        let enc_masked = bob_combine_masked(&self.pk, &share, b, threshold, rng, ledger)?;
         let msg = ProtocolMessage::ComparisonResult { enc_masked }.encode();
         ledger.record_message(msg.len());
         Ok(msg.to_vec())
@@ -202,7 +202,7 @@ pub fn run_wire_protocol<R: RngCore + ?Sized>(
     let key_msg = querier.public_key_message(ledger);
     let alice = DataHolder::from_key_message(&key_msg)?;
     let bob = DataHolder::from_key_message(&key_msg)?;
-    let m2 = alice.alice_message(a, rng, ledger);
+    let m2 = alice.alice_message(a, rng, ledger)?;
     let m3 = bob.bob_distance_message(&m2, b, rng, ledger)?;
     ledger.invocations += 1;
     querier.reveal_distance(&m3, ledger)
@@ -239,7 +239,7 @@ mod tests {
         let key_msg = q.public_key_message(&mut ledger);
         let alice = DataHolder::from_key_message(&key_msg).unwrap();
         let bob = DataHolder::from_key_message(&key_msg).unwrap();
-        let m2 = alice.alice_message(40, &mut rng, &mut ledger);
+        let m2 = alice.alice_message(40, &mut rng, &mut ledger).unwrap();
         let m3 = bob
             .bob_comparison_message(&m2, 38, 9, &mut rng, &mut ledger)
             .unwrap();
@@ -256,7 +256,7 @@ mod tests {
         let mut ledger = CostLedger::new();
         let key_msg = q.public_key_message(&mut ledger);
         let alice = DataHolder::from_key_message(&key_msg).unwrap();
-        let m2 = alice.alice_message(1, &mut rng, &mut ledger);
+        let m2 = alice.alice_message(1, &mut rng, &mut ledger).unwrap();
         // Feeding Alice's message where a result is expected must error.
         assert!(q.reveal_distance(&m2, &mut ledger).is_err());
         // Feeding the key message to Bob's combine must error.
@@ -276,7 +276,7 @@ mod tests {
         let key_msg = q.public_key_message(&mut ledger);
         let alice = DataHolder::from_key_message(&key_msg).unwrap();
         let bob = DataHolder::from_key_message(&key_msg).unwrap();
-        let good = alice.alice_message(5, &mut rng, &mut ledger);
+        let good = alice.alice_message(5, &mut rng, &mut ledger).unwrap();
         let share = match ProtocolMessage::decode(&good).unwrap() {
             ProtocolMessage::AliceShare { enc_minus_2a, .. } => enc_minus_2a,
             _ => unreachable!(),

@@ -99,17 +99,15 @@ pub fn alice_record_message<R: RngCore + ?Sized>(
     values: &[u64],
     rng: &mut R,
     ledger: &mut CostLedger,
-) -> Vec<u8> {
-    let shares = values
-        .iter()
-        .map(|&a| {
-            let share = alice_prepare(pk, a, rng, ledger);
-            (share.enc_a_squared, share.enc_minus_2a)
-        })
-        .collect();
+) -> Result<Vec<u8>, CryptoError> {
+    let mut shares = Vec::with_capacity(values.len());
+    for &a in values {
+        let share = alice_prepare(pk, a, rng, ledger)?;
+        shares.push((share.enc_a_squared, share.enc_minus_2a));
+    }
     let msg = RecordShareMessage { shares }.encode();
     ledger.record_message(msg.len());
-    msg.to_vec()
+    Ok(msg.to_vec())
 }
 
 /// Bob's step: fold in his values and thresholds, one masked comparison per
@@ -139,7 +137,7 @@ pub fn bob_record_message<R: RngCore + ?Sized>(
             enc_a_squared: a2.clone(),
             enc_minus_2a: m2a.clone(),
         };
-        masked.push(bob_combine_masked(pk, &share, b, t, rng, ledger));
+        masked.push(bob_combine_masked(pk, &share, b, t, rng, ledger)?);
     }
     let msg = RecordResultMessage { masked }.encode();
     ledger.record_message(msg.len());
@@ -242,7 +240,7 @@ mod tests {
         ];
         for (a, b, expected) in cases {
             let mut ledger = CostLedger::new();
-            let m_alice = alice_record_message(&pk, &a, &mut rng, &mut ledger);
+            let m_alice = alice_record_message(&pk, &a, &mut rng, &mut ledger).unwrap();
             let m_bob =
                 bob_record_message(&pk, &m_alice, &b, &thresholds, &mut rng, &mut ledger)
                     .unwrap();
@@ -256,7 +254,7 @@ mod tests {
     fn arity_mismatch_rejected() {
         let (pk, _, mut rng) = setup();
         let mut ledger = CostLedger::new();
-        let m_alice = alice_record_message(&pk, &[1, 2], &mut rng, &mut ledger);
+        let m_alice = alice_record_message(&pk, &[1, 2], &mut rng, &mut ledger).unwrap();
         let err = bob_record_message(&pk, &m_alice, &[1], &[0], &mut rng, &mut ledger);
         assert!(err.is_err());
         let err = bob_record_message(&pk, &m_alice, &[1, 2], &[0], &mut rng, &mut ledger);
@@ -267,7 +265,7 @@ mod tests {
     fn message_roundtrips_and_rejects_garbage() {
         let (pk, _, mut rng) = setup();
         let mut ledger = CostLedger::new();
-        let m = alice_record_message(&pk, &[3, 4, 5], &mut rng, &mut ledger);
+        let m = alice_record_message(&pk, &[3, 4, 5], &mut rng, &mut ledger).unwrap();
         let decoded = RecordShareMessage::decode(&m).unwrap();
         assert_eq!(decoded.shares.len(), 3);
         assert_eq!(RecordShareMessage::decode(&m).unwrap().encode().to_vec(), m);

@@ -4,14 +4,27 @@
 //! within each class pair; the class pair that straddles the budget is
 //! consumed *partially* (its remaining record pairs join the leftovers).
 //!
-//! Two execution modes:
-//! * [`SmcMode::Paillier`] — the real §V-A protocol: per attribute, a
-//!   masked secure threshold comparison under a fresh Paillier key pair
-//!   owned by the querying party.
-//! * [`SmcMode::Oracle`] — plaintext evaluation of the *same* predicate.
-//!   Because the SMC protocol computes the exact distance, the two modes
-//!   return identical labels (enforced by `tests/` equivalence tests);
-//!   sweeps use the oracle so that million-pair experiments finish.
+//! Three concerns layered on the basic loop:
+//!
+//! * **Execution modes** ([`SmcMode`]) — the real §V-A Paillier protocol
+//!   (per-attribute or batched record-level), or a plaintext oracle
+//!   evaluating the *same* predicate. Because the SMC protocol computes
+//!   the exact distance, the modes return identical labels (enforced by
+//!   `tests/` equivalence tests); sweeps use the oracle so that
+//!   million-pair experiments finish.
+//! * **Fault-tolerant transport** ([`ChannelConfig`]) — when configured,
+//!   the batched wire exchange runs over a [`FaultyTransport`] behind a
+//!   [`ReliableLink`]: frames can be dropped, corrupted, duplicated,
+//!   reordered, or delayed, and the link retries with backoff. A pair
+//!   whose retry budget runs out is *abandoned* — labeled by the
+//!   configured [`LabelingStrategy`] (maximize-precision ⇒ non-match, so
+//!   precision stays 1.0 by construction) and tallied in the
+//!   [`DegradationReport`].
+//! * **Resumable sessions** ([`SmcSession`]) — the loop is a checkpointable
+//!   state machine: [`SmcStep::start`] yields an [`SmcRunner`] that can be
+//!   stepped pair by pair, snapshotted with [`SmcRunner::checkpoint`]
+//!   (serde-serializable), and later revived with [`SmcStep::resume`]
+//!   without re-running or double-charging any record pair.
 
 use crate::allowance::SmcAllowance;
 use crate::heuristics::{order_unknown, SelectionHeuristic};
@@ -20,15 +33,30 @@ use crate::SmcError;
 use pprl_anon::AnonymizedView;
 use pprl_blocking::{records_match, AttrDistance, ClassPairRef, MatchingRule};
 use pprl_crypto::paillier::Keypair;
-use pprl_crypto::protocol::secure_threshold_match;
+use pprl_crypto::protocol::message::ProtocolMessage;
+use pprl_crypto::protocol::retry::{ReliableLink, RetryPolicy};
+use pprl_crypto::protocol::transport::{
+    FaultConfig, FaultStats, FaultyTransport, LocalTransport, PartyId, TransportError,
+};
+use pprl_crypto::protocol::{secure_threshold_match, DataHolder};
 use pprl_crypto::CostLedger;
 use pprl_data::{DataSet, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// Fixed-point scale for continuous values entering the integer-only
 /// Paillier protocol (documented quantization: 1/1000 of a unit).
 const NUM_SCALE: f64 = 1000.0;
+
+/// Pair id reserved for the public-key broadcast.
+const KEY_BROADCAST_PAIR_ID: u64 = 0;
+
+/// Minimum retry budget for the key broadcast. Losing the broadcast kills
+/// the whole session (no shared key ⇒ no degraded continuation), while a
+/// lost record pair merely degrades recall — so session setup is allowed a
+/// more generous budget than individual pairs.
+const KEY_BROADCAST_MIN_RETRIES: u32 = 16;
 
 /// How unknown pairs are actually compared.
 #[derive(Clone, Copy, Debug)]
@@ -46,13 +74,50 @@ pub enum SmcMode {
     /// Real Paillier protocol using the *batched record-level* wire
     /// exchange ([`pprl_crypto::protocol::record`]): exactly two framed
     /// messages per record pair, so the ledger's message/byte counts
-    /// reflect the deployable protocol.
+    /// reflect the deployable protocol. This is the mode that honors a
+    /// configured [`ChannelConfig`].
     PaillierBatched {
         /// Modulus bits for the querying party's key pair.
         modulus_bits: usize,
         /// RNG seed for keygen and encryption randomness.
         seed: u64,
     },
+}
+
+/// Network model for the wire-level exchange: fault injection rates plus
+/// the retry policy that rides over them.
+///
+/// Only [`SmcMode::PaillierBatched`] moves bytes over the simulated
+/// network; [`SmcMode::Oracle`] and the per-attribute mode ignore the
+/// channel (they model computation, not transport).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Injected fault rates.
+    pub faults: FaultConfig,
+    /// Retry/backoff policy of the reliable link.
+    pub retry: RetryPolicy,
+    /// Seed for fault injection and backoff jitter.
+    pub seed: u64,
+}
+
+impl ChannelConfig {
+    /// A perfect network with the default retry policy armed.
+    pub fn reliable() -> Self {
+        ChannelConfig {
+            faults: FaultConfig::none(),
+            retry: RetryPolicy::default(),
+            seed: 0,
+        }
+    }
+
+    /// Every fault at `rate`, default retries — the chaos-sweep knob.
+    pub fn faulty(rate: f64, seed: u64) -> Self {
+        ChannelConfig {
+            faults: FaultConfig::uniform(rate),
+            retry: RetryPolicy::default(),
+            seed,
+        }
+    }
 }
 
 /// Configuration of the SMC step.
@@ -62,15 +127,19 @@ pub struct SmcStep {
     pub heuristic: SelectionHeuristic,
     /// Budget.
     pub allowance: SmcAllowance,
-    /// What happens to pairs the budget never reaches.
+    /// What happens to pairs the budget never reaches (and, under a faulty
+    /// channel, to pairs whose retries run out).
     pub strategy: LabelingStrategy,
     /// Oracle or real crypto.
     pub mode: SmcMode,
+    /// Simulated network under the wire protocol; `None` keeps the
+    /// historical in-process hand-off (a perfect, unmetered network).
+    pub channel: Option<ChannelConfig>,
 }
 
 /// A class pair the budget only partially covered (or never reached):
 /// `skip` record pairs (row-major order) were already examined.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LeftoverPair {
     /// The class pair.
     pub class_pair: ClassPairRef,
@@ -80,7 +149,7 @@ pub struct LeftoverPair {
 
 /// Per-class-pair statistics from the examined sample — training data for
 /// §V-B's strategy-3 classifier.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExaminedStats {
     /// The class pair.
     pub class_pair: ClassPairRef,
@@ -90,12 +159,43 @@ pub struct ExaminedStats {
     pub matched: u64,
 }
 
+/// What graceful degradation cost: the toll of running over a faulty
+/// network with bounded retries.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Record pairs whose exchange exhausted its retry budget; each was
+    /// labeled by the [`LabelingStrategy`] instead of the protocol.
+    pub pairs_abandoned: u64,
+    /// Abandoned pairs the strategy declared *match* (only under
+    /// [`LabelingStrategy::MaximizeRecall`]; maximize-precision declares
+    /// non-match, keeping precision at 1.0 by construction).
+    pub declared: Vec<(u32, u32)>,
+    /// Retransmissions the reliable link performed (faults survived by
+    /// retrying).
+    pub retries_spent: u64,
+    /// Frames the link discarded as corrupt or duplicate — faults that
+    /// were detected and absorbed without harming the result.
+    pub faults_survived: u64,
+    /// Faults the simulated network actually injected.
+    pub injected: FaultStats,
+    /// Backoff time the link would have slept (virtual, not wall-clock).
+    pub virtual_backoff_ms: u64,
+}
+
+impl DegradationReport {
+    /// True when at least one pair was decided by strategy, not protocol.
+    pub fn degraded(&self) -> bool {
+        self.pairs_abandoned > 0
+    }
+}
+
 /// Outcome of the SMC step.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SmcReport {
     /// Resolved budget in record pairs.
     pub budget: u64,
-    /// Record-pair comparisons actually performed.
+    /// Record-pair comparisons actually performed (abandoned pairs count:
+    /// they consumed budget).
     pub invocations: u64,
     /// Record pairs `(row in R, row in S)` the SMC step labeled *match*.
     pub matched_pairs: Vec<(u32, u32)>,
@@ -111,10 +211,95 @@ pub struct SmcReport {
     pub suppressed_matched: u64,
     /// Crypto cost accounting (all zeros in oracle mode except invocations).
     pub ledger: CostLedger,
+    /// Fault-tolerance accounting (all zeros without a faulty channel).
+    pub degradation: DegradationReport,
+}
+
+/// Where a session stands in the deterministic pair walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionPhase {
+    /// Walking the heuristic-ordered unknown class pairs: `cursor` indexes
+    /// the ordering, `skip` record pairs of that class were consumed
+    /// (row-major), `matched` of them matched.
+    Ordered {
+        /// Index into the deterministic class-pair ordering.
+        cursor: u32,
+        /// Record pairs consumed from the class at `cursor`.
+        skip: u64,
+        /// Of those, how many matched.
+        matched: u64,
+    },
+    /// Walking suppressed-record pairs: group 0 is suppressed-R × all-S,
+    /// group 1 is covered-R × suppressed-S; `offset` is the row-major
+    /// position within the group.
+    Suppressed {
+        /// Which suppressed group.
+        group: u8,
+        /// Row-major position within the group.
+        offset: u64,
+    },
+    /// Every reachable pair has been decided.
+    Done,
+}
+
+/// Serializable snapshot of a partially-executed SMC step.
+///
+/// Everything needed to continue after a crash is here: the phase cursor
+/// (which record pair is next), the allowance spent, and the labels so
+/// far. The class-pair ordering itself is *recomputed* on resume — it is a
+/// deterministic function of the inputs and the configured heuristic — so
+/// the snapshot stays small.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmcSession {
+    /// Resolved budget in record pairs.
+    pub budget: u64,
+    /// Walk position.
+    pub phase: SessionPhase,
+    /// Record-pair comparisons performed so far.
+    pub invocations: u64,
+    /// Labels so far.
+    pub matched_pairs: Vec<(u32, u32)>,
+    /// Leftovers recorded so far.
+    pub leftovers: Vec<LeftoverPair>,
+    /// Examined-class stats so far.
+    pub examined: Vec<ExaminedStats>,
+    /// Suppressed-pair universe size (validated on resume).
+    pub suppressed_total: u64,
+    /// Suppressed pairs examined so far.
+    pub suppressed_examined: u64,
+    /// Of those, matched.
+    pub suppressed_matched: u64,
+    /// Cost accounting so far.
+    pub ledger: CostLedger,
+    /// Degradation accounting so far.
+    pub degradation: DegradationReport,
+}
+
+impl SmcSession {
+    fn fresh(budget: u64, suppressed_total: u64) -> Self {
+        SmcSession {
+            budget,
+            phase: SessionPhase::Ordered {
+                cursor: 0,
+                skip: 0,
+                matched: 0,
+            },
+            invocations: 0,
+            matched_pairs: Vec::new(),
+            leftovers: Vec::new(),
+            examined: Vec::new(),
+            suppressed_total,
+            suppressed_examined: 0,
+            suppressed_matched: 0,
+            ledger: CostLedger::new(),
+            degradation: DegradationReport::default(),
+        }
+    }
 }
 
 impl SmcStep {
-    /// Runs the SMC step over the blocking outcome's unknown class pairs.
+    /// Runs the SMC step over the blocking outcome's unknown class pairs,
+    /// start to finish.
     #[allow(clippy::too_many_arguments)]
     pub fn run(
         &self,
@@ -126,109 +311,405 @@ impl SmcStep {
         rule: &MatchingRule,
         total_pairs: u64,
     ) -> Result<SmcReport, SmcError> {
-        let ordered = order_unknown(r_view, s_view, unknown, rule, self.heuristic);
+        let mut runner = self.start(r_data, s_data, r_view, s_view, unknown, rule, total_pairs)?;
+        runner.run_to_completion()?;
+        Ok(runner.finish())
+    }
+
+    /// Begins a fresh, checkpointable session.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start<'a>(
+        &self,
+        r_data: &'a DataSet,
+        s_data: &'a DataSet,
+        r_view: &'a AnonymizedView,
+        s_view: &'a AnonymizedView,
+        unknown: &[ClassPairRef],
+        rule: &MatchingRule,
+        total_pairs: u64,
+    ) -> Result<SmcRunner<'a>, SmcError> {
         let budget = self.allowance.budget_pairs(total_pairs);
+        let layout = SuppressedLayout::compute(r_data, s_data, r_view, s_view);
+        let session = SmcSession::fresh(budget, layout.total);
+        self.attach(session, layout, r_data, s_data, r_view, s_view, unknown, rule)
+    }
 
-        let mut comparer = Comparer::new(self.mode, r_data, r_view.qids(), rule)?;
-        let mut report = SmcReport {
-            budget,
-            invocations: 0,
-            matched_pairs: Vec::new(),
-            leftovers: Vec::new(),
-            examined: Vec::new(),
-            suppressed_total: 0,
-            suppressed_examined: 0,
-            suppressed_matched: 0,
-            ledger: CostLedger::new(),
-        };
+    /// Revives a checkpointed session: the class-pair ordering is
+    /// recomputed (it is deterministic), the snapshot supplies the cursor,
+    /// spent allowance, and labels. No already-examined pair is re-run or
+    /// re-charged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume<'a>(
+        &self,
+        session: SmcSession,
+        r_data: &'a DataSet,
+        s_data: &'a DataSet,
+        r_view: &'a AnonymizedView,
+        s_view: &'a AnonymizedView,
+        unknown: &[ClassPairRef],
+        rule: &MatchingRule,
+        total_pairs: u64,
+    ) -> Result<SmcRunner<'a>, SmcError> {
+        let budget = self.allowance.budget_pairs(total_pairs);
+        if session.budget != budget {
+            return Err(SmcError::SessionMismatch(format!(
+                "snapshot budget {} vs configured {budget}",
+                session.budget
+            )));
+        }
+        let layout = SuppressedLayout::compute(r_data, s_data, r_view, s_view);
+        if session.suppressed_total != layout.total {
+            return Err(SmcError::SessionMismatch(format!(
+                "snapshot saw {} suppressed pairs, inputs have {}",
+                session.suppressed_total, layout.total
+            )));
+        }
+        self.attach(session, layout, r_data, s_data, r_view, s_view, unknown, rule)
+    }
 
-        let qids = r_view.qids();
-        for pref in ordered {
-            let remaining = budget - report.invocations;
-            if remaining == 0 {
-                report.leftovers.push(LeftoverPair {
-                    class_pair: pref,
-                    skip: 0,
-                });
-                continue;
-            }
-            let rc = &r_view.classes()[pref.r_class as usize];
-            let sc = &s_view.classes()[pref.s_class as usize];
-            let mut examined = 0u64;
-            let mut matched = 0u64;
-            'pairs: for &ri in &rc.rows {
-                for &si in &sc.rows {
-                    if examined == remaining {
-                        break 'pairs;
-                    }
-                    let r = &r_data.records()[ri as usize];
-                    let s = &s_data.records()[si as usize];
-                    let is_match = comparer.compare(qids, r, s, &mut report.ledger)?;
-                    examined += 1;
-                    if is_match {
-                        matched += 1;
-                        report.matched_pairs.push((ri, si));
-                    }
-                }
-            }
-            report.invocations += examined;
-            report.examined.push(ExaminedStats {
-                class_pair: pref,
-                examined,
-                matched,
-            });
-            if examined < pref.pairs {
-                report.leftovers.push(LeftoverPair {
-                    class_pair: pref,
-                    skip: examined,
-                });
+    #[allow(clippy::too_many_arguments)]
+    fn attach<'a>(
+        &self,
+        mut session: SmcSession,
+        layout: SuppressedLayout,
+        r_data: &'a DataSet,
+        s_data: &'a DataSet,
+        r_view: &'a AnonymizedView,
+        s_view: &'a AnonymizedView,
+        unknown: &[ClassPairRef],
+        rule: &MatchingRule,
+    ) -> Result<SmcRunner<'a>, SmcError> {
+        let ordered = order_unknown(r_view, s_view, unknown, rule, self.heuristic);
+        if let SessionPhase::Ordered { cursor, .. } = session.phase {
+            if cursor as usize > ordered.len() {
+                return Err(SmcError::SessionMismatch(format!(
+                    "snapshot cursor {cursor} beyond {} ordered class pairs",
+                    ordered.len()
+                )));
             }
         }
+        let comparer = Comparer::new(
+            self.mode,
+            self.channel,
+            r_data,
+            r_view.qids(),
+            rule,
+            &mut session.ledger,
+        )?;
+        Ok(SmcRunner {
+            strategy: self.strategy,
+            r_data,
+            s_data,
+            r_view,
+            s_view,
+            qids: r_view.qids().to_vec(),
+            ordered,
+            layout,
+            comparer,
+            session,
+        })
+    }
+}
 
-        // Pairs involving suppressed records (DataFly) carry no
-        // generalization sequence, so no heuristic can rank them — they are
-        // processed last, budget permitting, in deterministic row order:
-        // suppressed-R × all-S, then covered-R × suppressed-S.
-        let r_suppressed = r_view.suppressed();
-        let s_suppressed = s_view.suppressed();
+/// Row universes for the suppressed-record phase (DataFly: suppressed
+/// records carry no generalization sequence, so no heuristic can rank
+/// them — they are processed last, in deterministic row order).
+struct SuppressedLayout {
+    r_suppressed: Vec<u32>,
+    s_suppressed: Vec<u32>,
+    s_all: Vec<u32>,
+    r_covered: Vec<u32>,
+    total: u64,
+}
+
+impl SuppressedLayout {
+    fn compute(
+        r_data: &DataSet,
+        s_data: &DataSet,
+        r_view: &AnonymizedView,
+        s_view: &AnonymizedView,
+    ) -> Self {
+        let r_suppressed = r_view.suppressed().to_vec();
+        let s_suppressed = s_view.suppressed().to_vec();
         let s_all: Vec<u32> = (0..s_data.len() as u32).collect();
         let r_covered: Vec<u32> = {
             let mut sup = vec![false; r_data.len()];
-            for &row in r_suppressed {
+            for &row in &r_suppressed {
                 sup[row as usize] = true;
             }
             (0..r_data.len() as u32)
                 .filter(|&row| !sup[row as usize])
                 .collect()
         };
-        report.suppressed_total = r_suppressed.len() as u64 * s_data.len() as u64
+        let total = r_suppressed.len() as u64 * s_data.len() as u64
             + r_covered.len() as u64 * s_suppressed.len() as u64;
-        let qids = r_view.qids();
-        'sup: for (r_rows, s_rows) in [
-            (r_suppressed, s_all.as_slice()),
-            (r_covered.as_slice(), s_suppressed),
-        ] {
-            for &ri in r_rows {
-                for &si in s_rows {
-                    if report.invocations == budget {
-                        break 'sup;
+        SuppressedLayout {
+            r_suppressed,
+            s_suppressed,
+            s_all,
+            r_covered,
+            total,
+        }
+    }
+
+    /// Row universes of a suppressed group: 0 ⇒ suppressed-R × all-S,
+    /// 1 ⇒ covered-R × suppressed-S.
+    fn group(&self, group: u8) -> (&[u32], &[u32]) {
+        if group == 0 {
+            (&self.r_suppressed, &self.s_all)
+        } else {
+            (&self.r_covered, &self.s_suppressed)
+        }
+    }
+}
+
+/// An in-flight SMC session: step it, checkpoint it, finish it.
+pub struct SmcRunner<'a> {
+    strategy: LabelingStrategy,
+    r_data: &'a DataSet,
+    s_data: &'a DataSet,
+    r_view: &'a AnonymizedView,
+    s_view: &'a AnonymizedView,
+    qids: Vec<usize>,
+    ordered: Vec<ClassPairRef>,
+    layout: SuppressedLayout,
+    comparer: Comparer,
+    session: SmcSession,
+}
+
+impl<'a> SmcRunner<'a> {
+    /// True once every reachable pair has been decided.
+    pub fn is_done(&self) -> bool {
+        matches!(self.session.phase, SessionPhase::Done)
+    }
+
+    /// Allowance spent so far.
+    pub fn invocations(&self) -> u64 {
+        self.session.invocations
+    }
+
+    /// Decides the next record pair (or performs the pending phase
+    /// transition). Returns `false` once the session is done.
+    pub fn step_pair(&mut self) -> Result<bool, SmcError> {
+        loop {
+            match self.session.phase {
+                SessionPhase::Done => return Ok(false),
+                SessionPhase::Ordered {
+                    cursor,
+                    skip,
+                    matched,
+                } => {
+                    let Some(pref) = self.ordered.get(cursor as usize).copied() else {
+                        self.session.phase = SessionPhase::Suppressed {
+                            group: 0,
+                            offset: 0,
+                        };
+                        continue;
+                    };
+                    let next_class = SessionPhase::Ordered {
+                        cursor: cursor + 1,
+                        skip: 0,
+                        matched: 0,
+                    };
+                    // Entering a class with nothing left to spend: the
+                    // whole class is leftover (untouched, no stats row).
+                    if skip == 0 && self.session.invocations == self.session.budget {
+                        self.session.leftovers.push(LeftoverPair {
+                            class_pair: pref,
+                            skip: 0,
+                        });
+                        self.session.phase = next_class;
+                        continue;
                     }
-                    let r = &r_data.records()[ri as usize];
-                    let s = &s_data.records()[si as usize];
-                    let is_match = comparer.compare(qids, r, s, &mut report.ledger)?;
-                    report.invocations += 1;
-                    report.suppressed_examined += 1;
-                    if is_match {
-                        report.suppressed_matched += 1;
-                        report.matched_pairs.push((ri, si));
+                    // Degenerate empty class entered with budget in hand.
+                    if pref.pairs == 0 {
+                        self.session.examined.push(ExaminedStats {
+                            class_pair: pref,
+                            examined: 0,
+                            matched: 0,
+                        });
+                        self.session.phase = next_class;
+                        continue;
                     }
+                    let (r_view, s_view) = (self.r_view, self.s_view);
+                    let (ri, si) = {
+                        let rc = &r_view.classes()[pref.r_class as usize];
+                        let sc = &s_view.classes()[pref.s_class as usize];
+                        let s_len = sc.rows.len() as u64;
+                        (
+                            rc.rows[(skip / s_len) as usize],
+                            sc.rows[(skip % s_len) as usize],
+                        )
+                    };
+                    let mut matched = matched;
+                    match self.compare_pair(ri, si)? {
+                        CompareOutcome::Decided(true) => {
+                            matched += 1;
+                            self.session.matched_pairs.push((ri, si));
+                        }
+                        CompareOutcome::Decided(false) => {}
+                        CompareOutcome::Abandoned => self.abandon(ri, si),
+                    }
+                    let skip = skip + 1;
+                    self.session.invocations += 1;
+                    if skip == pref.pairs {
+                        // Class fully consumed.
+                        self.session.examined.push(ExaminedStats {
+                            class_pair: pref,
+                            examined: skip,
+                            matched,
+                        });
+                        self.session.phase = next_class;
+                    } else if self.session.invocations == self.session.budget {
+                        // Budget ran out mid-class: partial consumption.
+                        self.session.examined.push(ExaminedStats {
+                            class_pair: pref,
+                            examined: skip,
+                            matched,
+                        });
+                        self.session.leftovers.push(LeftoverPair {
+                            class_pair: pref,
+                            skip,
+                        });
+                        self.session.phase = next_class;
+                    } else {
+                        self.session.phase = SessionPhase::Ordered {
+                            cursor,
+                            skip,
+                            matched,
+                        };
+                    }
+                    return Ok(true);
+                }
+                SessionPhase::Suppressed { group, offset } => {
+                    let (ri, si, total) = {
+                        let (r_rows, s_rows) = self.layout.group(group);
+                        let total = r_rows.len() as u64 * s_rows.len() as u64;
+                        if offset >= total {
+                            (0, 0, total)
+                        } else {
+                            let s_len = s_rows.len() as u64;
+                            (
+                                r_rows[(offset / s_len) as usize],
+                                s_rows[(offset % s_len) as usize],
+                                total,
+                            )
+                        }
+                    };
+                    if offset >= total {
+                        self.session.phase = if group == 0 {
+                            SessionPhase::Suppressed {
+                                group: 1,
+                                offset: 0,
+                            }
+                        } else {
+                            SessionPhase::Done
+                        };
+                        continue;
+                    }
+                    if self.session.invocations == self.session.budget {
+                        self.session.phase = SessionPhase::Done;
+                        continue;
+                    }
+                    match self.compare_pair(ri, si)? {
+                        CompareOutcome::Decided(true) => {
+                            self.session.suppressed_matched += 1;
+                            self.session.matched_pairs.push((ri, si));
+                        }
+                        CompareOutcome::Decided(false) => {}
+                        CompareOutcome::Abandoned => self.abandon(ri, si),
+                    }
+                    self.session.invocations += 1;
+                    self.session.suppressed_examined += 1;
+                    self.session.phase = SessionPhase::Suppressed {
+                        group,
+                        offset: offset + 1,
+                    };
+                    return Ok(true);
                 }
             }
         }
-
-        report.ledger.invocations = report.invocations;
-        Ok(report)
     }
+
+    /// Steps at most `n` pairs; returns how many were actually decided.
+    pub fn step_pairs(&mut self, n: u64) -> Result<u64, SmcError> {
+        let mut done = 0;
+        while done < n && self.step_pair()? {
+            done += 1;
+        }
+        Ok(done)
+    }
+
+    /// Runs until every reachable pair is decided.
+    pub fn run_to_completion(&mut self) -> Result<(), SmcError> {
+        while self.step_pair()? {}
+        Ok(())
+    }
+
+    /// Snapshot of the current state, suitable for serialization and a
+    /// later [`SmcStep::resume`].
+    pub fn checkpoint(&mut self) -> SmcSession {
+        self.sync_degradation();
+        self.session.clone()
+    }
+
+    /// Consumes the runner and produces the report. Callable at any point;
+    /// a report taken before completion reflects the progress so far.
+    pub fn finish(mut self) -> SmcReport {
+        self.sync_degradation();
+        let mut s = self.session;
+        s.ledger.invocations = s.invocations;
+        SmcReport {
+            budget: s.budget,
+            invocations: s.invocations,
+            matched_pairs: s.matched_pairs,
+            leftovers: s.leftovers,
+            examined: s.examined,
+            suppressed_total: s.suppressed_total,
+            suppressed_examined: s.suppressed_examined,
+            suppressed_matched: s.suppressed_matched,
+            ledger: s.ledger,
+            degradation: s.degradation,
+        }
+    }
+
+    /// A pair the transport gave up on: charged, never matched by the
+    /// protocol, decided by the strategy instead.
+    fn abandon(&mut self, ri: u32, si: u32) {
+        let d = &mut self.session.degradation;
+        d.pairs_abandoned += 1;
+        if matches!(self.strategy, LabelingStrategy::MaximizeRecall) {
+            d.declared.push((ri, si));
+        }
+    }
+
+    /// Folds transport telemetry (fault stats, virtual backoff, ledger
+    /// tallies) into the degradation report.
+    fn sync_degradation(&mut self) {
+        if let Some(stats) = self.comparer.take_fault_stats() {
+            self.session.degradation.injected.merge(&stats);
+        }
+        self.session.degradation.virtual_backoff_ms += self.comparer.take_virtual_backoff_ms();
+        self.session.degradation.retries_spent = self.session.ledger.retries;
+        self.session.degradation.faults_survived =
+            self.session.ledger.corrupt_dropped + self.session.ledger.duplicates_discarded;
+    }
+
+    fn compare_pair(&mut self, ri: u32, si: u32) -> Result<CompareOutcome, SmcError> {
+        let (r_data, s_data) = (self.r_data, self.s_data);
+        let r = &r_data.records()[ri as usize];
+        let s = &s_data.records()[si as usize];
+        self.comparer
+            .compare(&self.qids, r, s, &mut self.session.ledger)
+    }
+}
+
+/// How one record-pair comparison ended.
+enum CompareOutcome {
+    /// The protocol decided: match or non-match.
+    Decided(bool),
+    /// The transport exhausted its retries; the strategy must decide.
+    Abandoned,
 }
 
 /// Pluggable record-pair comparison backend.
@@ -244,6 +725,8 @@ enum Backend {
     Oracle,
     Paillier(Box<PaillierBackend>),
     PaillierBatched(Box<PaillierBackend>),
+    /// Batched protocol over a (possibly faulty) transport with retries.
+    Transported(Box<TransportedBackend>),
 }
 
 struct PaillierBackend {
@@ -251,12 +734,80 @@ struct PaillierBackend {
     rng: StdRng,
 }
 
+/// The batched protocol run over an explicit simulated network: the key
+/// broadcast and both per-pair messages cross a [`ReliableLink`] over a
+/// [`FaultyTransport`].
+struct TransportedBackend {
+    keys: Keypair,
+    rng: StdRng,
+    link: ReliableLink<FaultyTransport<LocalTransport>>,
+    alice: DataHolder,
+    bob: DataHolder,
+    next_pair_id: u64,
+}
+
+impl TransportedBackend {
+    fn connect(
+        modulus_bits: usize,
+        seed: u64,
+        channel: ChannelConfig,
+        ledger: &mut CostLedger,
+    ) -> Result<Self, SmcError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = Keypair::generate(&mut rng, modulus_bits);
+        let transport = FaultyTransport::new(LocalTransport::new(), channel.faults, channel.seed);
+        let mut link = ReliableLink::new(
+            transport,
+            channel.retry,
+            channel.seed ^ 0x9e37_79b9_7f4a_7c15,
+        );
+        let broadcast_policy = RetryPolicy {
+            max_retries: channel.retry.max_retries.max(KEY_BROADCAST_MIN_RETRIES),
+            ..channel.retry
+        };
+        let key_msg = ProtocolMessage::PublicKey {
+            n: keys.public().n().clone(),
+        }
+        .encode()
+        .to_vec();
+        let mut broadcast = |link: &mut ReliableLink<FaultyTransport<LocalTransport>>,
+                             ledger: &mut CostLedger,
+                             party: PartyId|
+         -> Result<DataHolder, SmcError> {
+            ledger.record_message(key_msg.len());
+            let delivered = link
+                .deliver_with(
+                    broadcast_policy,
+                    PartyId::Querier,
+                    party,
+                    KEY_BROADCAST_PAIR_ID,
+                    key_msg.clone(),
+                    ledger,
+                )
+                .map_err(SmcError::Transport)?;
+            Ok(DataHolder::from_key_message(&delivered)?)
+        };
+        let alice = broadcast(&mut link, ledger, PartyId::Alice)?;
+        let bob = broadcast(&mut link, ledger, PartyId::Bob)?;
+        Ok(TransportedBackend {
+            keys,
+            rng,
+            link,
+            alice,
+            bob,
+            next_pair_id: KEY_BROADCAST_PAIR_ID,
+        })
+    }
+}
+
 impl Comparer {
     fn new(
         mode: SmcMode,
+        channel: Option<ChannelConfig>,
         data: &DataSet,
         qids: &[usize],
         rule: &MatchingRule,
+        ledger: &mut CostLedger,
     ) -> Result<Self, SmcError> {
         let backend = match mode {
             SmcMode::Oracle => Backend::Oracle,
@@ -266,13 +817,20 @@ impl Comparer {
                 if rule.distances.contains(&AttrDistance::NormalizedEdit) {
                     return Err(SmcError::UnsupportedDistance("NormalizedEdit"));
                 }
-                let mut rng = StdRng::seed_from_u64(seed);
-                let keys = Keypair::generate(&mut rng, modulus_bits);
-                let payload = Box::new(PaillierBackend { keys, rng });
-                if matches!(mode, SmcMode::PaillierBatched { .. }) {
-                    Backend::PaillierBatched(payload)
-                } else {
-                    Backend::Paillier(payload)
+                match (mode, channel) {
+                    (SmcMode::PaillierBatched { .. }, Some(ch)) => Backend::Transported(
+                        Box::new(TransportedBackend::connect(modulus_bits, seed, ch, ledger)?),
+                    ),
+                    (SmcMode::PaillierBatched { .. }, None) => {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let keys = Keypair::generate(&mut rng, modulus_bits);
+                        Backend::PaillierBatched(Box::new(PaillierBackend { keys, rng }))
+                    }
+                    _ => {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let keys = Keypair::generate(&mut rng, modulus_bits);
+                        Backend::Paillier(Box::new(PaillierBackend { keys, rng }))
+                    }
                 }
             }
         };
@@ -295,16 +853,38 @@ impl Comparer {
         })
     }
 
+    /// Injected-fault tally since the last harvest (`None` off-transport).
+    fn take_fault_stats(&mut self) -> Option<FaultStats> {
+        match &mut self.backend {
+            Backend::Transported(b) => Some(b.link.transport_mut().take_stats()),
+            _ => None,
+        }
+    }
+
+    /// Virtual backoff accumulated since the last harvest.
+    fn take_virtual_backoff_ms(&mut self) -> u64 {
+        match &mut self.backend {
+            Backend::Transported(b) => b.link.take_virtual_elapsed_ms(),
+            _ => 0,
+        }
+    }
+
     fn compare(
         &mut self,
         qids: &[usize],
         r: &pprl_data::Record,
         s: &pprl_data::Record,
         ledger: &mut CostLedger,
-    ) -> Result<bool, SmcError> {
+    ) -> Result<CompareOutcome, SmcError> {
         match &mut self.backend {
             // Same predicate the protocol evaluates; free of crypto.
-            Backend::Oracle => Ok(records_match(&self.schema, qids, &self.rule, r, s)),
+            Backend::Oracle => Ok(CompareOutcome::Decided(records_match(
+                &self.schema,
+                qids,
+                &self.rule,
+                r,
+                s,
+            ))),
             Backend::Paillier(backend) => {
                 let PaillierBackend { keys, rng } = backend.as_mut();
                 for (pos, &q) in qids.iter().enumerate() {
@@ -323,33 +903,22 @@ impl Comparer {
                         ledger,
                     )?;
                     if !ok {
-                        return Ok(false);
+                        return Ok(CompareOutcome::Decided(false));
                     }
                 }
-                Ok(true)
+                Ok(CompareOutcome::Decided(true))
             }
             Backend::PaillierBatched(backend) => {
                 let PaillierBackend { keys, rng } = backend.as_mut();
-                let mut a_vals = Vec::with_capacity(qids.len());
-                let mut b_vals = Vec::with_capacity(qids.len());
-                let mut thresholds = Vec::with_capacity(qids.len());
-                for (pos, &q) in qids.iter().enumerate() {
-                    let (a, b, t) =
-                        encode_attribute(&self.rule, pos, r.value(q), s.value(q), &self.norms);
-                    if t == u64::MAX {
-                        continue; // θ ≥ 1: attribute can never fail
-                    }
-                    a_vals.push(a);
-                    b_vals.push(b);
-                    thresholds.push(t);
-                }
-                if a_vals.is_empty() {
-                    return Ok(true);
-                }
+                let Some((a_vals, b_vals, thresholds)) =
+                    batch_encode(&self.rule, qids, r, s, &self.norms)
+                else {
+                    return Ok(CompareOutcome::Decided(true));
+                };
                 use pprl_crypto::protocol::record::{
                     alice_record_message, bob_record_message, querier_reveal_record,
                 };
-                let m_alice = alice_record_message(keys.public(), &a_vals, rng, ledger);
+                let m_alice = alice_record_message(keys.public(), &a_vals, rng, ledger)?;
                 let m_bob = bob_record_message(
                     keys.public(),
                     &m_alice,
@@ -358,9 +927,90 @@ impl Comparer {
                     rng,
                     ledger,
                 )?;
-                Ok(querier_reveal_record(keys.private(), &m_bob, ledger)?)
+                Ok(CompareOutcome::Decided(querier_reveal_record(
+                    keys.private(),
+                    &m_bob,
+                    ledger,
+                )?))
+            }
+            Backend::Transported(backend) => {
+                let b = backend.as_mut();
+                let Some((a_vals, b_vals, thresholds)) =
+                    batch_encode(&self.rule, qids, r, s, &self.norms)
+                else {
+                    return Ok(CompareOutcome::Decided(true));
+                };
+                use pprl_crypto::protocol::record::{
+                    alice_record_message, bob_record_message, querier_reveal_record,
+                };
+                b.next_pair_id += 1;
+                let pair_id = b.next_pair_id;
+                let m_alice =
+                    alice_record_message(b.alice.public_key(), &a_vals, &mut b.rng, ledger)?;
+                let delivered = match b
+                    .link
+                    .deliver(PartyId::Alice, PartyId::Bob, pair_id, m_alice, ledger)
+                {
+                    Ok(bytes) => bytes,
+                    Err(TransportError::RetriesExhausted { .. }) => {
+                        return Ok(CompareOutcome::Abandoned)
+                    }
+                };
+                // The envelope checksum guarantees the payload arrived
+                // intact, so a decode failure here is a real protocol bug —
+                // propagate it rather than degrade.
+                let m_bob = bob_record_message(
+                    b.bob.public_key(),
+                    &delivered,
+                    &b_vals,
+                    &thresholds,
+                    &mut b.rng,
+                    ledger,
+                )?;
+                let delivered = match b
+                    .link
+                    .deliver(PartyId::Bob, PartyId::Querier, pair_id, m_bob, ledger)
+                {
+                    Ok(bytes) => bytes,
+                    Err(TransportError::RetriesExhausted { .. }) => {
+                        return Ok(CompareOutcome::Abandoned)
+                    }
+                };
+                Ok(CompareOutcome::Decided(querier_reveal_record(
+                    b.keys.private(),
+                    &delivered,
+                    ledger,
+                )?))
             }
         }
+    }
+}
+
+/// Encodes every decidable attribute of a record pair for the batched
+/// protocol; `None` when no attribute can fail (trivial match).
+fn batch_encode(
+    rule: &MatchingRule,
+    qids: &[usize],
+    r: &pprl_data::Record,
+    s: &pprl_data::Record,
+    norms: &[f64],
+) -> Option<(Vec<u64>, Vec<u64>, Vec<u64>)> {
+    let mut a_vals = Vec::with_capacity(qids.len());
+    let mut b_vals = Vec::with_capacity(qids.len());
+    let mut thresholds = Vec::with_capacity(qids.len());
+    for (pos, &q) in qids.iter().enumerate() {
+        let (a, b, t) = encode_attribute(rule, pos, r.value(q), s.value(q), norms);
+        if t == u64::MAX {
+            continue; // θ ≥ 1: attribute can never fail
+        }
+        a_vals.push(a);
+        b_vals.push(b);
+        thresholds.push(t);
+    }
+    if a_vals.is_empty() {
+        None
+    } else {
+        Some((a_vals, b_vals, thresholds))
     }
 }
 
@@ -444,6 +1094,7 @@ mod tests {
             allowance,
             strategy: LabelingStrategy::MaximizePrecision,
             mode: SmcMode::Oracle,
+            channel: None,
         }
     }
 
@@ -563,5 +1214,76 @@ mod tests {
         assert_eq!(report.invocations, 0);
         assert_eq!(report.leftovers.len(), f.unknown.len());
         assert!(report.matched_pairs.is_empty());
+    }
+
+    #[test]
+    fn stepwise_execution_equals_one_shot() {
+        let f = fixture(150);
+        let s = step(SmcAllowance::Pairs(400));
+        let full = s
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        let mut runner = s
+            .start(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        while runner.step_pairs(7).unwrap() > 0 {}
+        assert!(runner.is_done());
+        assert_eq!(runner.finish(), full);
+    }
+
+    #[test]
+    fn checkpoint_resume_equals_one_shot() {
+        let f = fixture(150);
+        let s = step(SmcAllowance::Pairs(300));
+        let full = s
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        // Interrupt after every 11 pairs; resume from the snapshot.
+        let mut snapshot: Option<SmcSession> = None;
+        let resumed = loop {
+            let mut runner = match snapshot.take() {
+                None => s
+                    .start(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+                    .unwrap(),
+                Some(session) => s
+                    .resume(session, &f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+                    .unwrap(),
+            };
+            if runner.step_pairs(11).unwrap() == 0 {
+                break runner.finish();
+            }
+            snapshot = Some(runner.checkpoint());
+        };
+        assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_budget() {
+        let f = fixture(80);
+        let s = step(SmcAllowance::Pairs(50));
+        let mut runner = s
+            .start(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        runner.step_pairs(5).unwrap();
+        let snapshot = runner.checkpoint();
+        let other = step(SmcAllowance::Pairs(60));
+        let err = other
+            .resume(snapshot, &f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap_err();
+        assert!(matches!(err, SmcError::SessionMismatch(_)));
+    }
+
+    #[test]
+    fn session_snapshot_roundtrips_through_serde() {
+        let f = fixture(100);
+        let s = step(SmcAllowance::Pairs(120));
+        let mut runner = s
+            .start(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        runner.step_pairs(37).unwrap();
+        let snapshot = runner.checkpoint();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: SmcSession = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snapshot);
     }
 }

@@ -88,8 +88,7 @@ pub fn order_unknown(
 
     // Ascending key; deterministic tie-break on class indices.
     keyed.sort_by(|(ka, pa), (kb, pb)| {
-        ka.partial_cmp(kb)
-            .expect("ED keys are finite")
+        ka.total_cmp(kb)
             .then(pa.r_class.cmp(&pb.r_class))
             .then(pa.s_class.cmp(&pb.s_class))
     });

@@ -35,9 +35,17 @@ mod heuristics;
 mod strategy;
 
 pub use allowance::SmcAllowance;
-pub use executor::{ExaminedStats, LeftoverPair, SmcMode, SmcReport, SmcStep};
+pub use executor::{
+    ChannelConfig, DegradationReport, ExaminedStats, LeftoverPair, SessionPhase, SmcMode,
+    SmcReport, SmcRunner, SmcSession, SmcStep,
+};
 pub use heuristics::{order_unknown, SelectionHeuristic};
 pub use strategy::{label_leftovers, LabelingStrategy};
+
+// Transport-layer knobs surfaced so downstream crates can configure a
+// [`ChannelConfig`] without depending on pprl-crypto directly.
+pub use pprl_crypto::protocol::retry::RetryPolicy;
+pub use pprl_crypto::protocol::transport::{FaultConfig, FaultStats};
 
 /// Errors from the SMC step.
 #[derive(Debug)]
@@ -48,6 +56,12 @@ pub enum SmcError {
     UnsupportedDistance(&'static str),
     /// Crypto-layer failure.
     Crypto(pprl_crypto::CryptoError),
+    /// Unrecoverable transport failure during session setup (the key
+    /// broadcast); per-pair transport failures degrade instead of erroring.
+    Transport(pprl_crypto::protocol::transport::TransportError),
+    /// A checkpointed [`SmcSession`] does not fit the inputs or
+    /// configuration it was asked to resume against.
+    SessionMismatch(String),
 }
 
 impl std::fmt::Display for SmcError {
@@ -57,6 +71,8 @@ impl std::fmt::Display for SmcError {
                 write!(f, "distance {d} not supported by the SMC protocol")
             }
             SmcError::Crypto(e) => write!(f, "crypto error: {e}"),
+            SmcError::Transport(e) => write!(f, "transport error: {e}"),
+            SmcError::SessionMismatch(why) => write!(f, "session mismatch: {why}"),
         }
     }
 }
@@ -66,5 +82,11 @@ impl std::error::Error for SmcError {}
 impl From<pprl_crypto::CryptoError> for SmcError {
     fn from(e: pprl_crypto::CryptoError) -> Self {
         SmcError::Crypto(e)
+    }
+}
+
+impl From<pprl_crypto::protocol::transport::TransportError> for SmcError {
+    fn from(e: pprl_crypto::protocol::transport::TransportError) -> Self {
+        SmcError::Transport(e)
     }
 }

@@ -73,7 +73,7 @@ fn train_threshold(examined: &[ExaminedStats], scores: &[f64]) -> f64 {
     if points.iter().all(|&(_, m, _)| m == 0) {
         return f64::NEG_INFINITY;
     }
-    points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    points.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let total_matched: u64 = points.iter().map(|p| p.1).sum();
     let total_mismatched: u64 = points.iter().map(|p| p.2).sum();

@@ -52,7 +52,7 @@ fn main() {
     let bob = DataHolder::from_key_message(&key_msg).unwrap();
     // Match iff (a-b)² ≤ t. θ = 0.05 on the age domain (norm 96) gives a
     // window of 4.8 years → t = ⌊4.8²⌋ = 23.
-    let m2 = alice.alice_message(37, &mut rng, &mut ledger);
+    let m2 = alice.alice_message(37, &mut rng, &mut ledger).unwrap();
     let m3 = bob.bob_comparison_message(&m2, 31, 23, &mut rng, &mut ledger).unwrap();
     let matched = querier.reveal_match(&m3, &mut ledger).unwrap();
     println!("\nmasked comparison: |37-31| within θ-window? {matched} (distance stays hidden)");
@@ -71,7 +71,7 @@ fn main() {
     let b = [2u64, 9, 0, 34];
     let thresholds = [0u64, 0, 0, 23]; // equality ×3, age window 4.8y → t=⌊4.8²⌋
     let t = Instant::now();
-    let m1 = alice_record_message(&pk, &a, &mut rng, &mut ledger);
+    let m1 = alice_record_message(&pk, &a, &mut rng, &mut ledger).expect("protocol runs");
     let m2 = bob_record_message(&pk, &m1, &b, &thresholds, &mut rng, &mut ledger)
         .expect("protocol runs");
     let matched = querier_reveal_record(&sk, &m2, &mut ledger).expect("protocol runs");

@@ -48,6 +48,50 @@ fn pipeline_oracle_equals_pipeline_paillier() {
 }
 
 #[test]
+fn pipeline_oracle_equals_batched_paillier_over_faulty_transport() {
+    // The substitution argument survives a hostile network: the batched
+    // wire protocol behind a channel that drops / corrupts / duplicates /
+    // reorders 10 % of frames (with retries) still produces labels
+    // bit-identical to the oracle.
+    use pprl::smc::{ChannelConfig, FaultConfig, RetryPolicy};
+
+    let (d1, d2) = SyntheticScenario::builder()
+        .records_per_set(120)
+        .seed(7_771)
+        .build()
+        .data_sets();
+
+    let base = LinkageConfig::paper_defaults()
+        .with_k(8)
+        .with_allowance(SmcAllowance::Pairs(60));
+
+    let oracle = HybridLinkage::new(base.clone().with_mode(SmcMode::Oracle))
+        .run(&d1, &d2)
+        .unwrap();
+
+    let crypto_cfg = base
+        .with_mode(SmcMode::PaillierBatched {
+            modulus_bits: 256,
+            seed: 99,
+        })
+        .with_channel(ChannelConfig {
+            faults: FaultConfig::uniform(0.10),
+            retry: RetryPolicy::with_retries(16),
+            seed: 41,
+        });
+    let crypto = HybridLinkage::new(crypto_cfg).run(&d1, &d2).unwrap();
+
+    assert_eq!(oracle.smc.matched_pairs, crypto.smc.matched_pairs);
+    assert_eq!(oracle.smc.invocations, crypto.smc.invocations);
+    assert_eq!(oracle.smc.leftovers, crypto.smc.leftovers);
+    assert_eq!(oracle.metrics, crypto.metrics);
+
+    // The faults were real — the equivalence is retry-earned, not vacuous.
+    assert!(crypto.degradation().injected.total() > 0);
+    assert_eq!(crypto.degradation().pairs_abandoned, 0);
+}
+
+#[test]
 fn secure_comparison_equals_plaintext_on_grid() {
     // Exhaustive per-attribute check on a value grid: the protocol's
     // predicate (a−b)² ≤ t agrees with the plaintext predicate.

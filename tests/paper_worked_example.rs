@@ -201,6 +201,7 @@ fn ground_truth_and_full_recall_with_unbounded_smc() {
         allowance: SmcAllowance::Unlimited,
         strategy: LabelingStrategy::MaximizePrecision,
         mode: SmcMode::Oracle,
+        channel: None,
     };
     let smc = step
         .run(
@@ -235,6 +236,7 @@ fn papers_budget_of_ten_covers_part_of_the_unknowns() {
         allowance: SmcAllowance::Pairs(10),
         strategy: LabelingStrategy::MaximizePrecision,
         mode: SmcMode::Oracle,
+        channel: None,
     };
     let smc = step
         .run(

@@ -1,0 +1,155 @@
+//! Resumable SMC sessions: interrupting a run at a checkpoint — including
+//! a full serialize-to-JSON / deserialize crash simulation — and resuming
+//! must yield exactly the labels and allowance spend of an uninterrupted
+//! run, without re-running or double-charging any record pair.
+
+use pprl::blocking::{BlockingEngine, ClassPairRef, MatchingRule};
+use pprl::prelude::*;
+use pprl::smc::{
+    ChannelConfig, FaultConfig, LabelingStrategy, RetryPolicy, SelectionHeuristic, SmcAllowance,
+    SmcMode, SmcSession, SmcStep,
+};
+
+struct Fixture {
+    d1: DataSet,
+    d2: DataSet,
+    v1: pprl::anon::AnonymizedView,
+    v2: pprl::anon::AnonymizedView,
+    unknown: Vec<ClassPairRef>,
+    rule: MatchingRule,
+    total: u64,
+}
+
+fn fixture() -> Fixture {
+    let (d1, d2) = SyntheticScenario::builder()
+        .records_per_set(150)
+        .seed(8_881)
+        .build()
+        .data_sets();
+    let qids: Vec<usize> = (0..5).collect();
+    let anon = Anonymizer::new(AnonymizationMethod::MaxEntropy, KAnonymityRequirement(8));
+    let v1 = anon.anonymize(&d1, &qids).unwrap();
+    let v2 = anon.anonymize(&d2, &qids).unwrap();
+    let rule = MatchingRule::uniform(d1.schema(), &qids, 0.05);
+    let out = BlockingEngine::new(rule.clone()).run(&v1, &v2).unwrap();
+    Fixture {
+        total: out.total_pairs,
+        unknown: out.unknown,
+        d1,
+        d2,
+        v1,
+        v2,
+        rule,
+    }
+}
+
+fn step(mode: SmcMode, channel: Option<ChannelConfig>) -> SmcStep {
+    SmcStep {
+        heuristic: SelectionHeuristic::MinAvgFirst,
+        allowance: SmcAllowance::Pairs(250),
+        strategy: LabelingStrategy::MaximizePrecision,
+        mode,
+        channel,
+    }
+}
+
+#[test]
+fn oracle_interrupt_at_every_checkpoint_equals_one_shot() {
+    let f = fixture();
+    let s = step(SmcMode::Oracle, None);
+    let full = s
+        .run(&f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
+        .unwrap();
+
+    // Crash after every single pair: checkpoint, serialize to JSON, drop
+    // the runner, deserialize, resume.
+    let mut snapshot: Option<String> = None;
+    let resumed = loop {
+        let mut runner = match snapshot.take() {
+            None => s
+                .start(&f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
+                .unwrap(),
+            Some(json) => {
+                let session: SmcSession = serde_json::from_str(&json).unwrap();
+                s.resume(session, &f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
+                    .unwrap()
+            }
+        };
+        if runner.step_pairs(1).unwrap() == 0 {
+            break runner.finish();
+        }
+        snapshot = Some(serde_json::to_string(&runner.checkpoint()).unwrap());
+    };
+
+    // Bit-identical outcome: labels, stats, leftovers, budget accounting.
+    assert_eq!(resumed, full);
+}
+
+#[test]
+fn crypto_over_faulty_transport_resumes_without_double_charging() {
+    let f = fixture();
+    let channel = Some(ChannelConfig {
+        faults: FaultConfig::uniform(0.05),
+        retry: RetryPolicy::with_retries(16),
+        seed: 17,
+    });
+    let mode = SmcMode::PaillierBatched {
+        modulus_bits: 256,
+        seed: 5,
+    };
+    let mut s = step(mode, channel);
+    s.allowance = SmcAllowance::Pairs(40); // keep real crypto quick
+
+    let full = s
+        .run(&f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
+        .unwrap();
+
+    // Interrupt every 7 pairs. Each resume re-broadcasts the public key
+    // (honest session setup cost), so wire-byte totals differ — but the
+    // labels and the allowance spend must be identical.
+    let mut snapshot: Option<String> = None;
+    let resumed = loop {
+        let mut runner = match snapshot.take() {
+            None => s
+                .start(&f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
+                .unwrap(),
+            Some(json) => {
+                let session: SmcSession = serde_json::from_str(&json).unwrap();
+                s.resume(session, &f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
+                    .unwrap()
+            }
+        };
+        if runner.step_pairs(7).unwrap() == 0 {
+            break runner.finish();
+        }
+        snapshot = Some(serde_json::to_string(&runner.checkpoint()).unwrap());
+    };
+
+    assert_eq!(resumed.matched_pairs, full.matched_pairs);
+    assert_eq!(resumed.invocations, full.invocations);
+    assert_eq!(resumed.leftovers, full.leftovers);
+    assert_eq!(resumed.examined, full.examined);
+    assert_eq!(resumed.budget, full.budget);
+    assert_eq!(
+        resumed.ledger.invocations, full.ledger.invocations,
+        "no pair compared twice"
+    );
+}
+
+#[test]
+fn resume_against_changed_configuration_is_rejected() {
+    let f = fixture();
+    let s = step(SmcMode::Oracle, None);
+    let mut runner = s
+        .start(&f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
+        .unwrap();
+    runner.step_pairs(3).unwrap();
+    let session = runner.checkpoint();
+
+    let mut other = s;
+    other.allowance = SmcAllowance::Pairs(999);
+    let err = other
+        .resume(session, &f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
+        .unwrap_err();
+    assert!(matches!(err, pprl::smc::SmcError::SessionMismatch(_)));
+}
