@@ -1,0 +1,249 @@
+//! Baseline (allowlist) file: lets existing debt be burned down
+//! incrementally while CI fails on any *new* violation.
+//!
+//! Fingerprints are content-addressed, not line-addressed: FNV-1a over
+//! `rule | path | normalized source line | occurrence index`. Inserting
+//! or deleting unrelated lines therefore does not invalidate entries;
+//! only changing the flagged code (or adding another identical offender
+//! to the same file) does.
+//!
+//! File format (line-oriented, diff-friendly):
+//!
+//! ```text
+//! # pprl-analyze baseline v1
+//! <16-hex-fingerprint> <rule> <path> -- <justification>
+//! ```
+
+use crate::findings::Finding;
+use std::collections::HashMap;
+
+/// One accepted pre-existing violation.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    pub fingerprint: String,
+    pub rule: String,
+    pub file: String,
+    pub justification: String,
+}
+
+/// The parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Computes the content fingerprint for a finding.
+pub fn fingerprint(rule: &str, file: &str, snippet: &str, occurrence: usize) -> String {
+    let key = format!("{rule}|{file}|{snippet}|{occurrence}");
+    format!("{:016x}", fnv1a64(key.as_bytes()))
+}
+
+/// Assigns fingerprints to a batch of findings. Occurrence indices are
+/// per `(rule, file, snippet)` triple in file order, so two identical
+/// offending lines in one file get distinct fingerprints.
+pub fn assign_fingerprints(findings: &mut [Finding]) {
+    let mut seen: HashMap<(String, String, String), usize> = HashMap::new();
+    for f in findings.iter_mut() {
+        let key = (f.rule.to_string(), f.file.clone(), f.snippet.clone());
+        let occ = seen.entry(key).or_insert(0);
+        f.fingerprint = fingerprint(f.rule, &f.file, &f.snippet, *occ);
+        *occ += 1;
+    }
+}
+
+impl Baseline {
+    /// Parses baseline text. Unknown or malformed lines are errors — a
+    /// silently ignored baseline entry would un-suppress a finding.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // <fp> <rule> <path> -- <justification>
+            let (head, justification) = match line.split_once(" -- ") {
+                Some((h, j)) => (h.trim(), j.trim().to_string()),
+                None => (line, String::new()),
+            };
+            let mut parts = head.split_whitespace();
+            let (fp, rule, file) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(a), Some(b), Some(c)) => (a, b, c),
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected `<fingerprint> <rule> <path> -- <why>`",
+                        lineno + 1
+                    ))
+                }
+            };
+            if fp.len() != 16 || !fp.chars().all(|c| c.is_ascii_hexdigit()) {
+                return Err(format!(
+                    "baseline line {}: bad fingerprint {:?}",
+                    lineno + 1,
+                    fp
+                ));
+            }
+            entries.push(BaselineEntry {
+                fingerprint: fp.to_string(),
+                rule: rule.to_string(),
+                file: file.to_string(),
+                justification,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serializes to the canonical text format, sorted for stable diffs.
+    pub fn serialize(&self) -> String {
+        let mut lines: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let why = if e.justification.is_empty() {
+                    "TODO: justify or fix".to_string()
+                } else {
+                    e.justification.clone()
+                };
+                format!("{} {} {} -- {}", e.fingerprint, e.rule, e.file, why)
+            })
+            .collect();
+        lines.sort();
+        let mut out = String::from(
+            "# pprl-analyze baseline v1\n\
+             # One accepted pre-existing violation per line:\n\
+             #   <fingerprint> <rule> <path> -- <justification>\n\
+             # Remove lines as sites are fixed; never add lines for new code.\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Marks findings whose fingerprints appear in the baseline.
+    /// Returns fingerprints present in the baseline but no longer
+    /// produced (stale entries that should be pruned).
+    pub fn apply(&self, findings: &mut [Finding]) -> Vec<String> {
+        let mut known: HashMap<&str, bool> = self
+            .entries
+            .iter()
+            .map(|e| (e.fingerprint.as_str(), false))
+            .collect();
+        for f in findings.iter_mut() {
+            if let Some(hit) = known.get_mut(f.fingerprint.as_str()) {
+                f.baselined = true;
+                *hit = true;
+            }
+        }
+        known
+            .into_iter()
+            .filter(|(_, hit)| !hit)
+            .map(|(fp, _)| fp.to_string())
+            .collect()
+    }
+
+    /// Builds a baseline accepting every given finding (used by
+    /// `--update-baseline`), carrying over justifications from `prior`
+    /// where fingerprints match.
+    pub fn from_findings(findings: &[Finding], prior: Option<&Baseline>) -> Baseline {
+        let prior_just: HashMap<&str, &str> = prior
+            .map(|b| {
+                b.entries
+                    .iter()
+                    .map(|e| (e.fingerprint.as_str(), e.justification.as_str()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let entries = findings
+            .iter()
+            .filter(|f| !f.waived)
+            .map(|f| BaselineEntry {
+                fingerprint: f.fingerprint.clone(),
+                rule: f.rule.to_string(),
+                file: f.file.clone(),
+                justification: prior_just
+                    .get(f.fingerprint.as_str())
+                    .map(|s| s.to_string())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        Baseline { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::Severity;
+
+    fn finding(file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule: "P001",
+            family: "panic-path",
+            severity: Severity::Error,
+            file: file.into(),
+            line: 1,
+            message: "m".into(),
+            snippet: snippet.into(),
+            fingerprint: String::new(),
+            baselined: false,
+            waived: false,
+        }
+    }
+
+    #[test]
+    fn identical_snippets_get_distinct_fingerprints() {
+        let mut fs = vec![finding("a.rs", "x.unwrap()"), finding("a.rs", "x.unwrap()")];
+        assign_fingerprints(&mut fs);
+        assert_ne!(fs[0].fingerprint, fs[1].fingerprint);
+    }
+
+    #[test]
+    fn roundtrip_and_apply() {
+        let mut fs = vec![finding("a.rs", "x.unwrap()"), finding("b.rs", "y[0]")];
+        assign_fingerprints(&mut fs);
+        let base = Baseline::from_findings(&fs, None);
+        let text = base.serialize();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.entries.len(), 2);
+        let stale = parsed.apply(&mut fs);
+        assert!(stale.is_empty());
+        assert!(fs.iter().all(|f| f.baselined));
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let text = "0123456789abcdef P001 gone.rs -- was fixed\n";
+        let parsed = Baseline::parse(text).unwrap();
+        let mut fs: Vec<Finding> = Vec::new();
+        let stale = parsed.apply(&mut fs);
+        assert_eq!(stale, vec!["0123456789abcdef".to_string()]);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(Baseline::parse("zz P001 a.rs -- x\n").is_err());
+        assert!(Baseline::parse("0123456789abcdef\n").is_err());
+    }
+
+    #[test]
+    fn justifications_carry_over() {
+        let mut fs = vec![finding("a.rs", "x.unwrap()")];
+        assign_fingerprints(&mut fs);
+        let mut base = Baseline::from_findings(&fs, None);
+        base.entries[0].justification = "known-safe: invariant".into();
+        let again = Baseline::from_findings(&fs, Some(&base));
+        assert_eq!(again.entries[0].justification, "known-safe: invariant");
+    }
+}

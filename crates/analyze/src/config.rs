@@ -1,0 +1,261 @@
+//! Analyzer configuration: `pprl-analyze.toml`.
+//!
+//! Parsed with a deliberately small TOML-subset reader (sections, string
+//! values, string arrays) so the analyzer stays dependency-free. The
+//! grammar it accepts is exactly what the checked-in config uses:
+//!
+//! ```toml
+//! [scan]
+//! roots = ["src", "crates"]
+//!
+//! [secret]
+//! types = ["PrivateKey"]
+//! idents = ["private_key"]
+//!
+//! [panic]
+//! paths = ["crates/crypto", "crates/smc"]
+//!
+//! [[ct]]
+//! file = "crates/bignum/src/modpow.rs"
+//! functions = ["pow"]
+//! secret = ["exp"]
+//!
+//! [deps]
+//! "crates/bignum" = ["rand", "serde"]
+//! ```
+
+/// One timing-sensitive target: functions in `file` whose bodies must not
+/// branch on the listed secret identifiers.
+#[derive(Debug, Clone, Default)]
+pub struct CtTarget {
+    /// Path suffix of the file the functions live in.
+    pub file: String,
+    /// Function names to analyze.
+    pub functions: Vec<String>,
+    /// Identifiers considered secret-derived inside those functions.
+    pub secret: Vec<String>,
+}
+
+/// Full analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories (relative to the workspace root) to scan.
+    pub roots: Vec<String>,
+    /// Type names that are secret wherever they appear (in addition to
+    /// types carrying a `pprl:secret` marker comment).
+    pub secret_types: Vec<String>,
+    /// Variable/field identifiers treated as secret in format-macro args.
+    pub secret_idents: Vec<String>,
+    /// Path prefixes whose non-test code must be panic-free.
+    pub panic_paths: Vec<String>,
+    /// Timing-sensitive functions for the constant-time rule.
+    pub ct: Vec<CtTarget>,
+    /// Dependency allowlists: crate dir -> permitted external deps.
+    pub deps_allow: Vec<(String, Vec<String>)>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            roots: vec!["src".into(), "crates".into()],
+            secret_types: Vec::new(),
+            secret_idents: Vec::new(),
+            panic_paths: Vec::new(),
+            ct: Vec::new(),
+            deps_allow: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config {
+            roots: Vec::new(),
+            ..Config::default()
+        };
+        let mut section = String::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                section = format!("[[{}]]", name.trim());
+                if name.trim() == "ct" {
+                    cfg.ct.push(CtTarget::default());
+                }
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let eq = line
+                .find('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let key = unquote(line[..eq].trim());
+            let value = line[eq + 1..].trim();
+            let err = |what: &str| format!("line {}: {}", lineno + 1, what);
+
+            match section.as_str() {
+                "scan" => {
+                    if key == "roots" {
+                        cfg.roots = parse_list(value).ok_or_else(|| err("bad roots list"))?;
+                    }
+                }
+                "secret" => match key.as_str() {
+                    "types" => {
+                        cfg.secret_types =
+                            parse_list(value).ok_or_else(|| err("bad types list"))?;
+                    }
+                    "idents" => {
+                        cfg.secret_idents =
+                            parse_list(value).ok_or_else(|| err("bad idents list"))?;
+                    }
+                    _ => {}
+                },
+                "panic" => {
+                    if key == "paths" {
+                        cfg.panic_paths = parse_list(value).ok_or_else(|| err("bad paths list"))?;
+                    }
+                }
+                "[[ct]]" => {
+                    let target = cfg
+                        .ct
+                        .last_mut()
+                        .ok_or_else(|| err("ct key outside [[ct]]"))?;
+                    match key.as_str() {
+                        "file" => {
+                            target.file =
+                                parse_string(value).ok_or_else(|| err("bad file string"))?;
+                        }
+                        "functions" => {
+                            target.functions =
+                                parse_list(value).ok_or_else(|| err("bad functions list"))?;
+                        }
+                        "secret" => {
+                            target.secret =
+                                parse_list(value).ok_or_else(|| err("bad secret list"))?;
+                        }
+                        _ => {}
+                    }
+                }
+                "deps" => {
+                    let allow = parse_list(value).ok_or_else(|| err("bad deps list"))?;
+                    cfg.deps_allow.push((key, allow));
+                }
+                _ => {}
+            }
+        }
+        if cfg.roots.is_empty() {
+            cfg.roots = vec!["src".into(), "crates".into()];
+        }
+        Ok(cfg)
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (idx, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn unquote(s: &str) -> String {
+    let t = s.trim();
+    if t.len() >= 2 && t.starts_with('"') && t.ends_with('"') {
+        t[1..t.len() - 1].to_string()
+    } else {
+        t.to_string()
+    }
+}
+
+fn parse_string(value: &str) -> Option<String> {
+    let t = value.trim();
+    if t.len() >= 2 && t.starts_with('"') && t.ends_with('"') {
+        Some(t[1..t.len() - 1].to_string())
+    } else {
+        None
+    }
+}
+
+fn parse_list(value: &str) -> Option<Vec<String>> {
+    let t = value.trim();
+    let inner = t.strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let p = part.trim();
+        if p.is_empty() {
+            continue;
+        }
+        out.push(parse_string(p)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_sections() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[scan]
+roots = ["src", "crates"]
+
+[secret]
+types = ["PrivateKey", "Keypair"]
+idents = ["private_key"]
+
+[panic]
+paths = ["crates/crypto"]  # trailing comment
+
+[[ct]]
+file = "a/modpow.rs"
+functions = ["pow", "mod_pow"]
+secret = ["exp"]
+
+[[ct]]
+file = "b/paillier.rs"
+functions = ["decrypt"]
+secret = ["m"]
+
+[deps]
+"crates/bignum" = ["rand", "serde"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.roots, vec!["src", "crates"]);
+        assert_eq!(cfg.secret_types, vec!["PrivateKey", "Keypair"]);
+        assert_eq!(cfg.panic_paths, vec!["crates/crypto"]);
+        assert_eq!(cfg.ct.len(), 2);
+        assert_eq!(cfg.ct[0].functions, vec!["pow", "mod_pow"]);
+        assert_eq!(cfg.ct[1].file, "b/paillier.rs");
+        assert_eq!(cfg.deps_allow.len(), 1);
+        assert_eq!(cfg.deps_allow[0].0, "crates/bignum");
+    }
+
+    #[test]
+    fn empty_config_gets_defaults() {
+        let cfg = Config::parse("").unwrap();
+        assert_eq!(cfg.roots, vec!["src", "crates"]);
+        assert!(cfg.secret_types.is_empty());
+    }
+
+    #[test]
+    fn bad_list_is_an_error() {
+        assert!(Config::parse("[secret]\ntypes = [unquoted]").is_err());
+    }
+}

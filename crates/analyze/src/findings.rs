@@ -1,0 +1,192 @@
+//! Diagnostic model and rendering (human and machine-readable).
+
+/// How bad a finding is. Both severities fail CI when not baselined;
+/// the distinction drives display ordering and lets downstream tooling
+/// triage const-time warnings separately from hard leak errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One diagnostic produced by a lint rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule code, e.g. `P001`.
+    pub rule: &'static str,
+    /// Rule family, e.g. `panic-path` — the name waivers use.
+    pub family: &'static str,
+    pub severity: Severity,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+    /// Whitespace-normalized source line (fingerprint input).
+    pub snippet: String,
+    /// Content fingerprint (filled in by [`crate::baseline`]).
+    pub fingerprint: String,
+    /// Suppressed by the checked-in baseline file.
+    pub baselined: bool,
+    /// Suppressed by an inline `pprl:allow(...)` waiver.
+    pub waived: bool,
+}
+
+impl Finding {
+    /// True when the finding should fail the run.
+    pub fn is_new(&self) -> bool {
+        !self.baselined && !self.waived
+    }
+}
+
+/// Summary counts for a finished run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Summary {
+    pub total: usize,
+    pub new: usize,
+    pub baselined: usize,
+    pub waived: usize,
+}
+
+pub fn summarize(findings: &[Finding]) -> Summary {
+    let mut s = Summary {
+        total: findings.len(),
+        ..Summary::default()
+    };
+    for f in findings {
+        if f.waived {
+            s.waived += 1;
+        } else if f.baselined {
+            s.baselined += 1;
+        } else {
+            s.new += 1;
+        }
+    }
+    s
+}
+
+/// Renders findings for terminals: `file:line: severity[RULE] message`.
+pub fn render_human(findings: &[Finding], verbose: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        if !verbose && !f.is_new() {
+            continue;
+        }
+        let tag = if f.waived {
+            " (waived)"
+        } else if f.baselined {
+            " (baseline)"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "{}:{}: {}[{}/{}] {}{}\n",
+            f.file,
+            f.line,
+            f.severity.as_str(),
+            f.family,
+            f.rule,
+            f.message,
+            tag
+        ));
+    }
+    let s = summarize(findings);
+    out.push_str(&format!(
+        "pprl-analyze: {} finding(s): {} new, {} baselined, {} waived\n",
+        s.total, s.new, s.baselined, s.waived
+    ));
+    out
+}
+
+/// Renders findings as a JSON document (hand-rolled: no serde).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"family\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"fingerprint\": \"{}\", \"baselined\": {}, \"waived\": {}}}{}\n",
+            f.rule,
+            f.family,
+            f.severity.as_str(),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+            f.fingerprint,
+            f.baselined,
+            f.waived,
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    let s = summarize(findings);
+    out.push_str(&format!(
+        "  ],\n  \"summary\": {{\"total\": {}, \"new\": {}, \"baselined\": {}, \"waived\": {}}}\n}}\n",
+        s.total, s.new, s.baselined, s.waived
+    ));
+    out
+}
+
+/// Escapes a string for JSON embedding.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(new: bool) -> Finding {
+        Finding {
+            rule: "P001",
+            family: "panic-path",
+            severity: Severity::Error,
+            file: "a.rs".into(),
+            line: 3,
+            message: "msg \"quoted\"".into(),
+            snippet: "x.unwrap()".into(),
+            fingerprint: "abcd".into(),
+            baselined: !new,
+            waived: false,
+        }
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = summarize(&[finding(true), finding(false)]);
+        assert_eq!((s.total, s.new, s.baselined, s.waived), (2, 1, 1, 0));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let j = render_json(&[finding(true)]);
+        assert!(j.contains("msg \\\"quoted\\\""));
+        assert!(j.contains("\"new\": 1"));
+    }
+
+    #[test]
+    fn human_hides_baselined_unless_verbose() {
+        let out = render_human(&[finding(false)], false);
+        assert!(!out.contains("a.rs:3"));
+        let out = render_human(&[finding(false)], true);
+        assert!(out.contains("(baseline)"));
+    }
+}

@@ -1,0 +1,447 @@
+//! A small, dependency-free Rust lexer.
+//!
+//! The analyzer cannot use `syn` (the workspace is built in offline
+//! sandboxes with no registry access), so it works from a token stream
+//! with line information instead of a full AST. The lexer understands
+//! everything that would otherwise break naive text matching: nested
+//! block comments, raw/byte/C strings, char literals vs. lifetimes, and
+//! multi-character operators.
+
+/// Token classification — just enough structure for the lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (rules check the text against keyword lists).
+    Ident,
+    /// `'a` — distinguished from char literals.
+    Lifetime,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Character literal (`'x'`, `'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Operator / punctuation (multi-char operators are one token).
+    Punct,
+    /// `(`, `[`, or `{` — delimiter text is the single open character.
+    Open,
+    /// `)`, `]`, or `}`.
+    Close,
+}
+
+/// A lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A comment (line or block) with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Token stream plus the comments that were stripped from it.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so matching is greedy.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs are closed at end of input (the analyzer must degrade
+/// gracefully on code mid-edit).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($s:expr) => {
+            line += $s.chars().filter(|&c| c == '\n').count() as u32
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+
+        // Block comment (nested).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            let text: String = chars[i + 2..j.min(chars.len()).saturating_sub(2).max(i + 2)]
+                .iter()
+                .collect();
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            i = j;
+            continue;
+        }
+
+        // String literals, including prefixed (b, r, c, br, cr) and raw forms.
+        if let Some((consumed, text)) = try_lex_string(&chars, i) {
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: text.clone(),
+                line,
+            });
+            bump_lines!(text);
+            i += consumed;
+            continue;
+        }
+
+        // Lifetime vs char literal.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_lifetime = match (next, after) {
+                (Some(n), Some(a)) => is_ident_start(n) && a != '\'',
+                (Some(n), None) => is_ident_start(n),
+                _ => false,
+            };
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: chars[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            } else {
+                // Char literal: consume to the closing quote, honoring escapes.
+                let mut j = i + 1;
+                while j < chars.len() {
+                    match chars[j] {
+                        '\\' => j += 2,
+                        '\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: chars[i..j.min(chars.len())].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            continue;
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Number.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            let mut seen_dot = false;
+            while j < chars.len() {
+                let d = chars[j];
+                if d.is_alphanumeric() || d == '_' {
+                    // Exponent sign: 1e-3, 2.5E+10.
+                    if (d == 'e' || d == 'E')
+                        && matches!(chars.get(j + 1), Some('+') | Some('-'))
+                        && matches!(chars.get(j + 2), Some(x) if x.is_ascii_digit())
+                    {
+                        j += 2;
+                    }
+                    j += 1;
+                } else if d == '.'
+                    && !seen_dot
+                    && matches!(chars.get(j + 1), Some(x) if x.is_ascii_digit())
+                {
+                    seen_dot = true;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Num,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Delimiters.
+        if matches!(c, '(' | '[' | '{') {
+            out.tokens.push(Token {
+                kind: TokKind::Open,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        if matches!(c, ')' | ']' | '}') {
+            out.tokens.push(Token {
+                kind: TokKind::Close,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+
+        // Multi-char operators, greedy.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let oplen = op.len();
+            if i + oplen <= chars.len() {
+                let candidate: String = chars[i..i + oplen].iter().collect();
+                if candidate == *op {
+                    out.tokens.push(Token {
+                        kind: TokKind::Punct,
+                        text: candidate,
+                        line,
+                    });
+                    i += oplen;
+                    matched = true;
+                    break;
+                }
+            }
+        }
+        if matched {
+            continue;
+        }
+
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    out
+}
+
+/// Attempts to lex a string literal at `chars[at..]`, including prefixed
+/// and raw forms. Returns `(chars consumed, literal text)` on success.
+fn try_lex_string(chars: &[char], at: usize) -> Option<(usize, String)> {
+    let mut j = at;
+    // Optional 1–2 letter prefix drawn from {b, r, c}.
+    let mut prefix = String::new();
+    while j < chars.len() && prefix.len() < 2 && matches!(chars[j], 'b' | 'r' | 'c') {
+        prefix.push(chars[j]);
+        j += 1;
+    }
+    let raw = prefix.contains('r');
+    // Raw strings allow `#` padding between the prefix and the quote.
+    let mut hashes = 0usize;
+    if raw {
+        while j < chars.len() && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if j >= chars.len() || chars[j] != '"' {
+        return None;
+    }
+    // A bare identifier like `result` starts with `r` but is not a string;
+    // the check above (next char must be `"`) already excludes it.
+    j += 1;
+    if raw {
+        // Scan for `"` followed by `hashes` hash marks.
+        while j < chars.len() {
+            if chars[j] == '"' {
+                let mut k = j + 1;
+                let mut n = 0;
+                while n < hashes && k < chars.len() && chars[k] == '#' {
+                    n += 1;
+                    k += 1;
+                }
+                if n == hashes {
+                    let text: String = chars[at..k].iter().collect();
+                    return Some((k - at, text));
+                }
+            }
+            j += 1;
+        }
+    } else {
+        while j < chars.len() {
+            match chars[j] {
+                '\\' => j += 2,
+                '"' => {
+                    let text: String = chars[at..j + 1].iter().collect();
+                    return Some((j + 1 - at, text));
+                }
+                _ => j += 1,
+            }
+        }
+    }
+    // Unterminated: consume the rest.
+    let text: String = chars[at..].iter().collect();
+    Some((chars.len() - at, text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.unwrap();");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "a".into()));
+        assert_eq!(toks[4], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn multi_char_ops_are_single_tokens() {
+        let toks = kinds("a && b || c == d != e .. f ..= g");
+        let puncts: Vec<String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(puncts, vec!["&&", "||", "==", "!=", "..", "..="]);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("&'a str; 'x'; '\\n'");
+        assert_eq!(toks[1], (TokKind::Lifetime, "'a".into()));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Char && t == "'\\n'"));
+    }
+
+    #[test]
+    fn strings_with_brackets_do_not_confuse_tokens() {
+        let toks = kinds(r#"let s = "a[0].unwrap()"; t[1]"#);
+        // The bracket/unwrap inside the string must not surface as tokens.
+        let unwraps = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Ident && t == "unwrap")
+            .count();
+        assert_eq!(unwraps, 0);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Open && t == "["));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r##"let a = r#"x "quoted" y"#; let b = b"bytes";"##);
+        let strs = toks.iter().filter(|(k, _)| *k == TokKind::Str).count();
+        assert_eq!(strs, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_comments() {
+        let l = lex("a /* x /* y */ z */ b // tail\nc");
+        let idents: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[1].text.contains("tail"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = kinds("0..n 1.5f64 0xFF_u8 1e-3");
+        assert!(toks.contains(&(TokKind::Num, "0".into())));
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+        assert!(toks.contains(&(TokKind::Num, "1.5f64".into())));
+        assert!(toks.contains(&(TokKind::Num, "0xFF_u8".into())));
+        assert!(toks.contains(&(TokKind::Num, "1e-3".into())));
+    }
+}

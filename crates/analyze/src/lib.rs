@@ -1,0 +1,34 @@
+//! `pprl-analyze` — workspace-wide crypto-hygiene static analysis.
+//!
+//! Three lint families guard the PPRL codebase:
+//!
+//! * **secret-leak** — secret-marked types (Paillier private keys and
+//!   friends) must never reach Debug/Display/Serialize, format-macro
+//!   output, or the public field surface.
+//! * **panic-path** — protocol crates must not `unwrap`/`expect`/
+//!   `panic!`/index their way into an abort: a mid-session panic is a
+//!   remote DoS and a timing side channel.
+//! * **const-time** — designated timing-sensitive functions (modpow,
+//!   Montgomery ops, Paillier decrypt) must not branch or short-circuit
+//!   on secret-derived values.
+//!
+//! The analyzer is deliberately **dependency-free** (hand-rolled lexer,
+//! TOML-subset config reader, JSON emitter) so it builds and runs even
+//! where the registry is unreachable, and so it can never itself violate
+//! the dependency policy it enforces (`deps` family, D001).
+//!
+//! Existing debt is captured in a checked-in baseline keyed by content
+//! fingerprints; CI fails only on *new* violations. Individual sites are
+//! waived inline with `// pprl:allow(family): justification`.
+
+pub mod baseline;
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use baseline::Baseline;
+pub use config::Config;
+pub use findings::{render_human, render_json, summarize, Finding, Severity, Summary};
+pub use scan::{run_analysis, FileCtx};

@@ -1,0 +1,175 @@
+//! CLI for the pprl-analyze static analyzer.
+//!
+//! ```text
+//! pprl-analyze [analyze] [--root DIR] [--config FILE] [--baseline FILE]
+//!              [--json] [--verbose] [--update-baseline]
+//! pprl-analyze deps [--root DIR] [--config FILE]
+//! ```
+//!
+//! Exit codes: 0 = clean (no new findings), 1 = new findings or stale
+//! baseline entries, 2 = usage/config error.
+
+use pprl_analyze::baseline::Baseline;
+use pprl_analyze::config::Config;
+use pprl_analyze::findings::{render_human, render_json, summarize};
+use pprl_analyze::rules::deps;
+use pprl_analyze::scan::run_analysis;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    command: String,
+    root: PathBuf,
+    config: PathBuf,
+    baseline: PathBuf,
+    json: bool,
+    verbose: bool,
+    update_baseline: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: pprl-analyze [analyze|deps] [--root DIR] [--config FILE] \
+     [--baseline FILE] [--json] [--verbose] [--update-baseline]"
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        command: "analyze".to_string(),
+        root: PathBuf::from("."),
+        config: PathBuf::new(),
+        baseline: PathBuf::new(),
+        json: false,
+        verbose: false,
+        update_baseline: false,
+    };
+    let mut it = args.iter().peekable();
+    let mut first = true;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "analyze" | "deps" if first => opts.command = a.clone(),
+            "--root" => {
+                opts.root = PathBuf::from(
+                    it.next().ok_or("--root needs a value")?,
+                )
+            }
+            "--config" => {
+                opts.config = PathBuf::from(
+                    it.next().ok_or("--config needs a value")?,
+                )
+            }
+            "--baseline" => {
+                opts.baseline = PathBuf::from(
+                    it.next().ok_or("--baseline needs a value")?,
+                )
+            }
+            "--json" => opts.json = true,
+            "--verbose" | "-v" => opts.verbose = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+        first = false;
+    }
+    if opts.config.as_os_str().is_empty() {
+        opts.config = opts.root.join("pprl-analyze.toml");
+    }
+    if opts.baseline.as_os_str().is_empty() {
+        opts.baseline = opts.root.join("analyze-baseline.txt");
+    }
+    Ok(opts)
+}
+
+fn load_config(opts: &Opts) -> Result<Config, String> {
+    match std::fs::read_to_string(&opts.config) {
+        Ok(text) => Config::parse(&text)
+            .map_err(|e| format!("{}: {}", opts.config.display(), e)),
+        Err(_) => Ok(Config::default()),
+    }
+}
+
+fn run_analyze(opts: &Opts) -> Result<ExitCode, String> {
+    let config = load_config(opts)?;
+    let mut findings = run_analysis(&opts.root, &config);
+
+    let prior = match std::fs::read_to_string(&opts.baseline) {
+        Ok(text) => Some(
+            Baseline::parse(&text)
+                .map_err(|e| format!("{}: {}", opts.baseline.display(), e))?,
+        ),
+        Err(_) => None,
+    };
+
+    if opts.update_baseline {
+        let base = Baseline::from_findings(&findings, prior.as_ref());
+        std::fs::write(&opts.baseline, base.serialize())
+            .map_err(|e| format!("write {}: {}", opts.baseline.display(), e))?;
+        eprintln!(
+            "pprl-analyze: wrote {} entries to {}",
+            base.entries.len(),
+            opts.baseline.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let stale = prior
+        .as_ref()
+        .map(|b| b.apply(&mut findings))
+        .unwrap_or_default();
+
+    if opts.json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_human(&findings, opts.verbose));
+        for fp in &stale {
+            eprintln!(
+                "pprl-analyze: stale baseline entry {fp} — the site was fixed; \
+                 remove the line from {}",
+                opts.baseline.display()
+            );
+        }
+    }
+
+    let summary = summarize(&findings);
+    if summary.new > 0 || !stale.is_empty() {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn run_deps(opts: &Opts) -> Result<ExitCode, String> {
+    let config = load_config(opts)?;
+    let findings = deps::check_workspace(&opts.root, &config);
+    if opts.json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_human(&findings, opts.verbose));
+    }
+    if findings.iter().any(|f| f.is_new()) {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match opts.command.as_str() {
+        "deps" => run_deps(&opts),
+        _ => run_analyze(&opts),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("pprl-analyze: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

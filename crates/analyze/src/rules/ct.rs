@@ -1,0 +1,199 @@
+//! Rule family `const-time` (C001–C003).
+//!
+//! Timing-sensitive functions (modular exponentiation, Montgomery
+//! arithmetic, Paillier decryption) are listed in `[[ct]]` config blocks
+//! together with the identifiers that carry secret-derived data inside
+//! them. Within those function bodies:
+//!
+//! * C001 — `if` / `while` / `match` whose condition reads a secret.
+//! * C002 — early `return` (data-dependent control flow shortens the
+//!   observable runtime).
+//! * C003 — comparison or short-circuit operator applied to a secret
+//!   outside an already-flagged condition.
+//!
+//! These are warnings: constant-time violations need human judgement
+//! (some branches are on public loop bounds), so each real site is
+//! either fixed or waived with a written justification.
+
+use super::emit;
+use crate::config::{Config, CtTarget};
+use crate::findings::Severity;
+use crate::lexer::TokKind;
+use crate::scan::{match_delim, FileCtx};
+
+const FAMILY: &str = "const-time";
+
+const CMP_OPS: &[&str] = &["==", "!=", "<", ">", "<=", ">=", "&&", "||"];
+
+pub fn check(ctx: &FileCtx, config: &Config, findings: &mut Vec<crate::findings::Finding>) {
+    for target in &config.ct {
+        if !ctx.path.ends_with(target.file.as_str()) {
+            continue;
+        }
+        check_target(ctx, target, findings);
+    }
+}
+
+fn check_target(ctx: &FileCtx, target: &CtTarget, findings: &mut Vec<crate::findings::Finding>) {
+    let toks = &ctx.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && t.text == "fn"
+            && !ctx.excluded[i]
+            && !ctx.in_attr[i]
+            && toks.get(i + 1).is_some_and(|n| {
+                n.kind == TokKind::Ident && target.functions.iter().any(|f| f == &n.text)
+            })
+        {
+            // Find the body `{ … }`, skipping the signature.
+            let mut j = i + 2;
+            let mut body_open = None;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Open if toks[j].text == "{" => {
+                        body_open = Some(j);
+                        break;
+                    }
+                    TokKind::Open => j = match_delim(toks, j),
+                    TokKind::Punct if toks[j].text == ";" => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = body_open {
+                let close = match_delim(toks, open);
+                check_body(ctx, target, open + 1, close, findings);
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+fn is_secret(target: &CtTarget, text: &str) -> bool {
+    target.secret.iter().any(|s| s == text)
+}
+
+fn check_body(
+    ctx: &FileCtx,
+    target: &CtTarget,
+    from: usize,
+    to: usize,
+    findings: &mut Vec<crate::findings::Finding>,
+) {
+    let toks = &ctx.tokens;
+    // Lines already flagged by C001 — C003 skips them so one secret
+    // branch does not double-report as both a branch and a comparison.
+    let mut branch_lines: Vec<u32> = Vec::new();
+
+    let mut i = from;
+    while i < to {
+        let t = &toks[i];
+
+        // C001: branch whose condition mentions a secret identifier.
+        if t.kind == TokKind::Ident && matches!(t.text.as_str(), "if" | "while" | "match") {
+            // Condition spans from the keyword to the body `{` at the
+            // same bracket depth (skipping struct-literal-free Rust
+            // condition position: any nested `(`/`[` group is stepped
+            // over whole).
+            let mut j = i + 1;
+            let mut secret_hit: Option<u32> = None;
+            while j < to {
+                match toks[j].kind {
+                    TokKind::Open if toks[j].text == "{" => break,
+                    TokKind::Open => {
+                        let close = match_delim(toks, j);
+                        for u in &toks[j..=close.min(to - 1)] {
+                            if u.kind == TokKind::Ident && is_secret(target, &u.text) {
+                                secret_hit.get_or_insert(u.line);
+                            }
+                        }
+                        j = close;
+                    }
+                    TokKind::Ident if is_secret(target, &toks[j].text) => {
+                        secret_hit.get_or_insert(toks[j].line);
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(line) = secret_hit {
+                branch_lines.push(t.line);
+                branch_lines.push(line);
+                emit(
+                    ctx,
+                    findings,
+                    "C001",
+                    FAMILY,
+                    Severity::Warning,
+                    t.line,
+                    format!(
+                        "`{}` condition depends on secret data in `{}` — \
+                         restructure as constant-time select",
+                        t.text,
+                        fn_label(target)
+                    ),
+                );
+            }
+        }
+
+        // C002: early return inside a timing-sensitive body.
+        if t.kind == TokKind::Ident && t.text == "return" {
+            emit(
+                ctx,
+                findings,
+                "C002",
+                FAMILY,
+                Severity::Warning,
+                t.line,
+                format!(
+                    "early `return` in `{}` makes runtime data-dependent",
+                    fn_label(target)
+                ),
+            );
+        }
+
+        // C003: comparison/short-circuit operator touching a secret on
+        // a line not already flagged as a secret branch.
+        if t.kind == TokKind::Punct && CMP_OPS.contains(&t.text.as_str()) {
+            let near_secret = neighbors(toks, i, to)
+                .any(|u| u.kind == TokKind::Ident && is_secret(target, &u.text));
+            if near_secret && !branch_lines.contains(&t.line) {
+                emit(
+                    ctx,
+                    findings,
+                    "C003",
+                    FAMILY,
+                    Severity::Warning,
+                    t.line,
+                    format!(
+                        "comparison on secret data in `{}` — result is \
+                         branch-predictable; use a constant-time compare",
+                        fn_label(target)
+                    ),
+                );
+            }
+        }
+
+        i += 1;
+    }
+}
+
+/// Tokens within a short window either side of `i` (same expression,
+/// approximately) — enough to tell `x == secret` from unrelated ops.
+fn neighbors<'a>(
+    toks: &'a [crate::lexer::Token],
+    i: usize,
+    to: usize,
+) -> impl Iterator<Item = &'a crate::lexer::Token> {
+    let lo = i.saturating_sub(3);
+    let hi = (i + 4).min(to);
+    toks[lo..hi].iter()
+}
+
+fn fn_label(target: &CtTarget) -> String {
+    target.functions.join("/")
+}

@@ -1,0 +1,110 @@
+//! Rule family `deps` (D001): stdlib-only / allowlist dependency policy.
+//!
+//! Core crates (`bignum`, `crypto`) must not silently grow external
+//! dependencies — each crate dir listed under `[deps]` in the config may
+//! only depend on workspace-internal `pprl-*` crates plus its explicit
+//! allowlist. This is a cargo-deny-shaped check that works offline: it
+//! reads each crate's `Cargo.toml` `[dependencies]` section directly.
+
+use crate::config::Config;
+use crate::findings::{Finding, Severity};
+use std::path::Path;
+
+const FAMILY: &str = "deps";
+
+/// Checks dependency allowlists. Produces plain findings (no waiver or
+/// baseline context — policy violations here must be fixed in config).
+pub fn check_workspace(root: &Path, config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (crate_dir, allow) in &config.deps_allow {
+        let manifest = root.join(crate_dir).join("Cargo.toml");
+        let Ok(text) = std::fs::read_to_string(&manifest) else {
+            findings.push(Finding {
+                rule: "D001",
+                family: FAMILY,
+                severity: Severity::Error,
+                file: format!("{crate_dir}/Cargo.toml"),
+                line: 1,
+                message: "crate listed in [deps] policy but Cargo.toml not readable".to_string(),
+                snippet: String::new(),
+                fingerprint: String::new(),
+                baselined: false,
+                waived: false,
+            });
+            continue;
+        };
+        for (line_no, dep) in dependencies(&text) {
+            let internal = dep.starts_with("pprl");
+            if !internal && !allow.iter().any(|a| a == &dep) {
+                findings.push(Finding {
+                    rule: "D001",
+                    family: FAMILY,
+                    severity: Severity::Error,
+                    file: format!("{crate_dir}/Cargo.toml"),
+                    line: line_no,
+                    message: format!(
+                        "dependency `{dep}` is not on the allowlist for {crate_dir} \
+                         (allowed: {})",
+                        if allow.is_empty() {
+                            "workspace pprl-* crates only".to_string()
+                        } else {
+                            allow.join(", ")
+                        }
+                    ),
+                    snippet: String::new(),
+                    fingerprint: String::new(),
+                    baselined: false,
+                    waived: false,
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Extracts `(line, name)` for each key in `[dependencies]` /
+/// `[dev-dependencies]`-style sections of a manifest. Dotted keys like
+/// `serde.workspace = true` reduce to their first segment.
+fn dependencies(manifest: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (idx, raw) in manifest.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            // Only the real [dependencies] table is policy-relevant:
+            // dev-dependencies never ship in the built artifact.
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim().trim_matches('"');
+        let name = key.split('.').next().unwrap_or(key).trim();
+        if !name.is_empty() {
+            out.push((idx as u32 + 1, name.to_string()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_dependency_names() {
+        let deps = dependencies(
+            "[package]\nname = \"x\"\n\n[dependencies]\nrand = \"0.8\"\nserde.workspace = true\npprl-bignum = { path = \"../bignum\" }\n\n[dev-dependencies]\nproptest = \"1\"\n",
+        );
+        let names: Vec<&str> = deps.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(names, vec!["rand", "serde", "pprl-bignum"]);
+    }
+
+    #[test]
+    fn dev_dependencies_are_ignored() {
+        let deps = dependencies("[dev-dependencies]\ncriterion = \"0.5\"\n");
+        assert!(deps.is_empty());
+    }
+}

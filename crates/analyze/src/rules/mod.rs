@@ -1,0 +1,62 @@
+//! The lint rule families.
+//!
+//! | family       | codes      | what it catches                                  |
+//! |--------------|------------|--------------------------------------------------|
+//! | `secret-leak`| S001–S004  | secret types escaping via Debug/Display/Serialize,|
+//! |              |            | format-macro args, or public fields              |
+//! | `panic-path` | P001–P004  | unwrap/expect/panic-family/slice-indexing in     |
+//! |              |            | non-test protocol code                           |
+//! | `const-time` | C001–C003  | secret-dependent branches, early returns, and    |
+//! |              |            | short-circuit comparisons in timing-sensitive fns|
+//! | `deps`       | D001       | external dependencies outside the allowlist      |
+
+pub mod ct;
+pub mod deps;
+pub mod panic;
+pub mod secret;
+
+use crate::findings::{Finding, Severity};
+use crate::scan::FileCtx;
+
+/// Shared constructor: builds a finding, resolving snippet and waiver
+/// state from the file context.
+pub(crate) fn emit(
+    ctx: &FileCtx,
+    findings: &mut Vec<Finding>,
+    rule: &'static str,
+    family: &'static str,
+    severity: Severity,
+    line: u32,
+    message: String,
+) {
+    // One finding per (rule, line) per file keeps duplicate token hits
+    // (e.g. chained indexing) from flooding the report.
+    if findings
+        .iter()
+        .any(|f| f.rule == rule && f.file == ctx.path && f.line == line)
+    {
+        return;
+    }
+    let waived = ctx.waiver_for(line, family).is_some() || ctx.waiver_for(line, rule).is_some();
+    findings.push(Finding {
+        rule,
+        family,
+        severity,
+        file: ctx.path.clone(),
+        line,
+        message,
+        snippet: ctx.line_text(line),
+        fingerprint: String::new(),
+        baselined: false,
+        waived,
+    });
+}
+
+/// Rust keywords that can directly precede `[` without the bracket being
+/// an indexing operation (pattern/type/expression-head positions).
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while", "yield",
+];

@@ -1,0 +1,110 @@
+//! Rule family `panic-path` (P001–P004).
+//!
+//! Protocol code must not abort mid-session: a panic in the middle of an
+//! SMC exchange leaks timing information, strands the peer, and turns a
+//! malformed message into a denial of service. Within the configured
+//! path prefixes (non-test code only):
+//!
+//! * P001 — `.unwrap()`
+//! * P002 — `.expect(…)`
+//! * P003 — `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//! * P004 — slice/array indexing `x[i]` (use `get`/`get_mut` + `?`)
+
+use super::{emit, NON_INDEX_KEYWORDS};
+use crate::config::Config;
+use crate::findings::Severity;
+use crate::lexer::TokKind;
+use crate::scan::FileCtx;
+
+const FAMILY: &str = "panic-path";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(ctx: &FileCtx, config: &Config, findings: &mut Vec<crate::findings::Finding>) {
+    if !config.panic_paths.iter().any(|p| ctx.path.starts_with(p.as_str())) {
+        return;
+    }
+    let toks = &ctx.tokens;
+
+    for i in 0..toks.len() {
+        if ctx.excluded[i] || ctx.in_attr[i] {
+            continue;
+        }
+        let t = &toks[i];
+
+        // P001/P002: `.unwrap(` / `.expect(`.
+        if t.kind == TokKind::Punct && t.text == "." {
+            if let Some(m) = toks.get(i + 1).filter(|m| m.kind == TokKind::Ident) {
+                let is_call = toks
+                    .get(i + 2)
+                    .is_some_and(|o| o.kind == TokKind::Open && o.text == "(");
+                if is_call && m.text == "unwrap" {
+                    emit(
+                        ctx,
+                        findings,
+                        "P001",
+                        FAMILY,
+                        Severity::Error,
+                        m.line,
+                        "`.unwrap()` on a protocol path — propagate a typed error instead"
+                            .to_string(),
+                    );
+                } else if is_call && m.text == "expect" {
+                    emit(
+                        ctx,
+                        findings,
+                        "P002",
+                        FAMILY,
+                        Severity::Error,
+                        m.line,
+                        "`.expect(..)` on a protocol path — propagate a typed error instead"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
+        // P003: panic-family macro invocation.
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct && n.text == "!")
+        {
+            emit(
+                ctx,
+                findings,
+                "P003",
+                FAMILY,
+                Severity::Error,
+                t.line,
+                format!("`{}!` aborts the session — return an error variant instead", t.text),
+            );
+        }
+
+        // P004: indexing. A `[` directly after an expression tail
+        // (identifier that is not a keyword, `)`, or `]`) is an index
+        // operation; after keywords, `=`/`,`/`(` etc. it is an array or
+        // slice-pattern literal.
+        if t.kind == TokKind::Open && t.text == "[" && i > 0 {
+            let p = &toks[i - 1];
+            let indexes = match p.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+                TokKind::Close => p.text == ")" || p.text == "]",
+                _ => false,
+            };
+            if indexes {
+                emit(
+                    ctx,
+                    findings,
+                    "P004",
+                    FAMILY,
+                    Severity::Error,
+                    t.line,
+                    "slice indexing can panic on out-of-range — use `.get(..)` and handle `None`"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}

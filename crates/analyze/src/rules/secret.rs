@@ -1,0 +1,299 @@
+//! Rule family `secret-leak` (S001–S004).
+//!
+//! A type is *secret* when its name is in the config `[secret] types`
+//! list or it carries a `pprl:secret` marker comment. Secret material
+//! must never reach an output channel:
+//!
+//! * S001 — secret type derives `Debug` or `Serialize`.
+//! * S002 — manual `impl Debug/Display/Serialize for Secret` (a
+//!   redacting impl is waived with `pprl:allow(secret-leak): …`).
+//! * S003 — a secret type or secret identifier appears in the arguments
+//!   (or inline format captures) of a format/log macro.
+//! * S004 — a secret struct exposes a `pub` field (`pub(crate)` and
+//!   narrower are allowed: they do not escape the workspace API).
+
+use super::emit;
+use crate::config::Config;
+use crate::findings::Severity;
+use crate::lexer::TokKind;
+use crate::scan::{match_delim, FileCtx};
+use std::collections::HashSet;
+
+const FAMILY: &str = "secret-leak";
+
+/// Traits whose impl/derive moves a value onto an output channel.
+const LEAK_TRAITS: &[&str] = &["Debug", "Display", "Serialize"];
+
+/// Macros that format their arguments somewhere observable.
+const FMT_MACROS: &[&str] = &[
+    "format", "print", "println", "eprint", "eprintln", "write", "writeln", "format_args",
+    "panic", "todo", "unimplemented", "assert", "assert_eq", "assert_ne", "debug_assert",
+    "debug_assert_eq", "debug_assert_ne", "trace", "debug", "info", "warn", "error", "log",
+];
+
+pub fn check(
+    ctx: &FileCtx,
+    config: &Config,
+    secret_types: &HashSet<String>,
+    findings: &mut Vec<crate::findings::Finding>,
+) {
+    if secret_types.is_empty() && config.secret_idents.is_empty() {
+        return;
+    }
+    let toks = &ctx.tokens;
+
+    for i in 0..toks.len() {
+        if ctx.excluded[i] {
+            continue;
+        }
+        let t = &toks[i];
+
+        // S001: #[derive(…Debug/Serialize…)] on a secret type.
+        if t.kind == TokKind::Ident && t.text == "derive" && ctx.in_attr[i] {
+            if let Some(open) = toks
+                .get(i + 1)
+                .filter(|n| n.kind == TokKind::Open && n.text == "(")
+                .map(|_| i + 1)
+            {
+                let close = match_delim(toks, open);
+                let derived: Vec<&str> = toks[open + 1..close]
+                    .iter()
+                    .filter(|d| d.kind == TokKind::Ident)
+                    .map(|d| d.text.as_str())
+                    .collect();
+                let leaking: Vec<&str> = derived
+                    .iter()
+                    .copied()
+                    .filter(|d| LEAK_TRAITS.contains(d))
+                    .collect();
+                if !leaking.is_empty() {
+                    if let Some(name) = item_name_after(ctx, close + 1) {
+                        if secret_types.contains(&name) {
+                            emit(
+                                ctx,
+                                findings,
+                                "S001",
+                                FAMILY,
+                                Severity::Error,
+                                t.line,
+                                format!(
+                                    "secret type `{}` derives {} — remove the derive or \
+                                     provide a redacting impl",
+                                    name,
+                                    leaking.join("/")
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // S002: manual leak-trait impl for a secret type.
+        if t.kind == TokKind::Ident && t.text == "impl" && !ctx.in_attr[i] {
+            let mut trait_hit: Option<&str> = None;
+            let mut for_at: Option<usize> = None;
+            let mut j = i + 1;
+            while j < toks.len() && j < i + 40 {
+                let u = &toks[j];
+                if u.kind == TokKind::Open && u.text == "{" {
+                    break;
+                }
+                if u.kind == TokKind::Punct && u.text == ";" {
+                    break;
+                }
+                if u.kind == TokKind::Ident {
+                    if u.text == "for" && for_at.is_none() {
+                        for_at = Some(j);
+                    } else if for_at.is_none() && LEAK_TRAITS.contains(&u.text.as_str()) {
+                        trait_hit = Some(LEAK_TRAITS
+                            [LEAK_TRAITS.iter().position(|x| *x == u.text).unwrap_or(0)]);
+                    }
+                }
+                j += 1;
+            }
+            if let (Some(trait_name), Some(fa)) = (trait_hit, for_at) {
+                // The implementing type: last path segment before `{`/`<`/where.
+                let mut type_name: Option<String> = None;
+                let mut k = fa + 1;
+                while k < toks.len() && k < fa + 10 {
+                    let u = &toks[k];
+                    if u.kind == TokKind::Ident {
+                        if u.text == "where" {
+                            break;
+                        }
+                        type_name = Some(u.text.clone());
+                    } else if u.kind == TokKind::Open && u.text == "{" {
+                        break;
+                    } else if u.kind == TokKind::Punct && u.text != "::" {
+                        break;
+                    }
+                    k += 1;
+                }
+                if let Some(name) = type_name {
+                    if secret_types.contains(&name) {
+                        emit(
+                            ctx,
+                            findings,
+                            "S002",
+                            FAMILY,
+                            Severity::Error,
+                            t.line,
+                            format!(
+                                "manual `{trait_name}` impl for secret type `{name}` — \
+                                 redact fields, then waive with pprl:allow(secret-leak)"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // S003: secret in format-macro arguments.
+        if t.kind == TokKind::Ident
+            && FMT_MACROS.contains(&t.text.as_str())
+            && !ctx.in_attr[i]
+            && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Punct && n.text == "!")
+        {
+            if let Some(open) = toks
+                .get(i + 2)
+                .filter(|n| n.kind == TokKind::Open)
+                .map(|_| i + 2)
+            {
+                let close = match_delim(toks, open);
+                for a in &toks[open + 1..close] {
+                    let hit = match a.kind {
+                        TokKind::Ident => {
+                            secret_types.contains(&a.text)
+                                || config.secret_idents.contains(&a.text)
+                        }
+                        // Inline captures: "{sk:?}" inside the literal.
+                        TokKind::Str => str_captures_secret(&a.text, secret_types, config),
+                        _ => false,
+                    };
+                    if hit {
+                        emit(
+                            ctx,
+                            findings,
+                            "S003",
+                            FAMILY,
+                            Severity::Error,
+                            a.line,
+                            format!(
+                                "secret value reaches `{}!` output — remove it from the \
+                                 format arguments",
+                                t.text
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // S004: pub field inside a secret struct body.
+        if t.kind == TokKind::Ident && t.text == "struct" && !ctx.in_attr[i] {
+            let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                continue;
+            };
+            if !secret_types.contains(&name_tok.text) {
+                continue;
+            }
+            // Find the record body `{ … }` (skip tuple structs / `;`).
+            let mut j = i + 2;
+            let mut body: Option<usize> = None;
+            while j < toks.len() && j < i + 30 {
+                match toks[j].kind {
+                    TokKind::Open if toks[j].text == "{" => {
+                        body = Some(j);
+                        break;
+                    }
+                    TokKind::Punct if toks[j].text == ";" => break,
+                    TokKind::Open => {
+                        j = match_delim(toks, j);
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                let close = match_delim(toks, open);
+                let mut k = open + 1;
+                while k < close {
+                    let u = &toks[k];
+                    if u.kind == TokKind::Open {
+                        k = match_delim(toks, k) + 1;
+                        continue;
+                    }
+                    if u.kind == TokKind::Ident
+                        && u.text == "pub"
+                        && !toks
+                            .get(k + 1)
+                            .is_some_and(|n| n.kind == TokKind::Open && n.text == "(")
+                    {
+                        emit(
+                            ctx,
+                            findings,
+                            "S004",
+                            FAMILY,
+                            Severity::Error,
+                            u.line,
+                            format!(
+                                "secret type `{}` exposes a pub field — narrow to \
+                                 pub(crate) or an accessor",
+                                name_tok.text
+                            ),
+                        );
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+}
+
+/// First `struct`/`enum` name within a short window after a derive
+/// attribute (skipping stacked attributes and visibility modifiers).
+fn item_name_after(ctx: &FileCtx, from: usize) -> Option<String> {
+    let toks = &ctx.tokens;
+    let mut j = from;
+    let limit = (from + 40).min(toks.len());
+    while j < limit {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident && (t.text == "struct" || t.text == "enum") {
+            return toks
+                .get(j + 1)
+                .filter(|n| n.kind == TokKind::Ident)
+                .map(|n| n.text.clone());
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Does a format-string literal capture a secret via `{ident…}`?
+fn str_captures_secret(lit: &str, secret_types: &HashSet<String>, config: &Config) -> bool {
+    let mut chars = lit.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '{' {
+            continue;
+        }
+        if chars.peek() == Some(&'{') {
+            chars.next(); // escaped `{{`
+            continue;
+        }
+        let mut ident = String::new();
+        for d in chars.by_ref() {
+            if d.is_alphanumeric() || d == '_' {
+                ident.push(d);
+            } else {
+                break;
+            }
+        }
+        if !ident.is_empty()
+            && (secret_types.contains(&ident) || config.secret_idents.contains(&ident))
+        {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,459 @@
+//! Workspace scanning: file discovery, per-file analysis context
+//! (token stream + exclusion masks + waivers), and the two-pass driver
+//! that feeds the lint rules.
+//!
+//! Exclusion masks are what make token-level linting precise enough:
+//! `#[cfg(test)]` modules, `#[test]`/`#[bench]` functions, attribute
+//! token spans, and `macro_rules!` bodies are all marked so rules never
+//! fire inside them. Files under `tests/`, `benches/`, `examples/`, and
+//! `fixtures/` directories are skipped entirely.
+
+use crate::baseline::assign_fingerprints;
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::{lex, Comment, TokKind, Token};
+use crate::rules;
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+/// Inline waiver: `// pprl:allow(family[, family…]): justification`.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub families: Vec<String>,
+    pub reason: String,
+}
+
+/// Everything a rule needs to analyze one file.
+pub struct FileCtx {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// Token is inside test-only code or a `macro_rules!` body.
+    pub excluded: Vec<bool>,
+    /// Token is inside an `#[…]` attribute span.
+    pub in_attr: Vec<bool>,
+    /// Source lines (1-based access via `line_text`).
+    pub lines: Vec<String>,
+    /// Waivers keyed by the line(s) they cover.
+    pub waivers: HashMap<u32, Vec<Waiver>>,
+    /// Lines carrying a `pprl:secret` marker comment.
+    pub secret_marker_lines: Vec<u32>,
+}
+
+impl FileCtx {
+    pub fn build(path: String, src: &str) -> FileCtx {
+        let lexed = lex(src);
+        let (excluded, in_attr) = compute_masks(&lexed.tokens);
+        let mut waivers: HashMap<u32, Vec<Waiver>> = HashMap::new();
+        let mut secret_marker_lines = Vec::new();
+        let comment_lines: HashSet<u32> = lexed.comments.iter().map(|c| c.line).collect();
+        for c in &lexed.comments {
+            if let Some(w) = parse_waiver(&c.text) {
+                // A waiver covers its own line (trailing comment), any run
+                // of comment lines continuing the justification, and the
+                // first code line after it (the offending expression).
+                waivers.entry(c.line).or_default().push(w.clone());
+                let mut l = c.line + 1;
+                while comment_lines.contains(&l) {
+                    waivers.entry(l).or_default().push(w.clone());
+                    l += 1;
+                }
+                waivers.entry(l).or_default().push(w);
+            }
+            if c.text.contains("pprl:secret") {
+                secret_marker_lines.push(c.line);
+            }
+        }
+        FileCtx {
+            path,
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            excluded,
+            in_attr,
+            lines: src.lines().map(|l| l.to_string()).collect(),
+            waivers,
+            secret_marker_lines,
+        }
+    }
+
+    /// Whitespace-normalized text of a 1-based line.
+    pub fn line_text(&self, line: u32) -> String {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| normalize_ws(l))
+            .unwrap_or_default()
+    }
+
+    /// Returns the waiver covering `line` for `family`, if any.
+    pub fn waiver_for(&self, line: u32, family: &str) -> Option<&Waiver> {
+        self.waivers
+            .get(&line)?
+            .iter()
+            .find(|w| w.families.iter().any(|f| f == family))
+    }
+
+    /// Type names in this file marked secret via `pprl:secret` comments:
+    /// each marker tags the first `struct`/`enum` declared within three
+    /// lines below it.
+    pub fn marker_secret_types(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.secret_marker_lines.is_empty() {
+            return out;
+        }
+        let toks = &self.tokens;
+        let mut decls: Vec<(String, u32)> = Vec::new();
+        for i in 0..toks.len() {
+            if toks[i].kind == TokKind::Ident
+                && (toks[i].text == "struct" || toks[i].text == "enum")
+            {
+                if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                    decls.push((name.text.clone(), name.line));
+                }
+            }
+        }
+        for &m in &self.secret_marker_lines {
+            if let Some((name, _)) = decls
+                .iter()
+                .find(|&&(_, l)| m <= l && l.saturating_sub(m) <= 3)
+            {
+                out.push(name.clone());
+            }
+        }
+        out
+    }
+}
+
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Parses a waiver comment. Accepted shape:
+/// `pprl:allow(family1, family2): free-text reason`.
+fn parse_waiver(comment: &str) -> Option<Waiver> {
+    let at = comment.find("pprl:allow(")?;
+    let rest = &comment[at + "pprl:allow(".len()..];
+    let close = rest.find(')')?;
+    let families: Vec<String> = rest[..close]
+        .split(',')
+        .map(|f| f.trim().to_string())
+        .filter(|f| !f.is_empty())
+        .collect();
+    if families.is_empty() {
+        return None;
+    }
+    let reason = rest[close + 1..]
+        .trim_start_matches(':')
+        .trim()
+        .to_string();
+    Some(Waiver { families, reason })
+}
+
+/// Computes `(excluded, in_attr)` masks over the token stream.
+fn compute_masks(tokens: &[Token]) -> (Vec<bool>, Vec<bool>) {
+    let n = tokens.len();
+    let mut excluded = vec![false; n];
+    let mut in_attr = vec![false; n];
+    let mut i = 0usize;
+
+    while i < n {
+        let t = &tokens[i];
+
+        // `macro_rules! name { … }` — the body is a template, not code.
+        if t.kind == TokKind::Ident && t.text == "macro_rules" {
+            if let Some(open) = find_first_open(tokens, i) {
+                let close = match_delim(tokens, open);
+                mark(&mut excluded, i, close);
+                i = close + 1;
+                continue;
+            }
+        }
+
+        // Attribute: `#[…]` or `#![…]`.
+        if t.kind == TokKind::Punct && t.text == "#" {
+            let mut j = i + 1;
+            let inner = tokens.get(j).is_some_and(|t| t.text == "!");
+            if inner {
+                j += 1;
+            }
+            if tokens.get(j).is_some_and(|t| t.kind == TokKind::Open && t.text == "[") {
+                let close = match_delim(tokens, j);
+                mark(&mut in_attr, i, close);
+                let is_test = attr_is_test(&tokens[j + 1..close]);
+                i = close + 1;
+                // Outer test attributes exclude the item that follows.
+                if is_test && !inner {
+                    i = exclude_item(tokens, i, &mut excluded, &mut in_attr);
+                }
+                continue;
+            }
+        }
+
+        i += 1;
+    }
+    (excluded, in_attr)
+}
+
+/// Does an attribute's content mark test-only code?
+/// Matches `test`, `cfg(test)`, `cfg(any(test, …))`, `bench`,
+/// `should_panic` — but not `cfg(not(test))`.
+fn attr_is_test(content: &[Token]) -> bool {
+    for (k, t) in content.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "bench" | "should_panic" => return true,
+            "test" => {
+                // Reject when directly under `not(…)`.
+                let negated = k >= 2
+                    && content[k - 1].kind == TokKind::Open
+                    && content[k - 2].kind == TokKind::Ident
+                    && content[k - 2].text == "not";
+                if !negated {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Marks the item starting at `from` (after its test attribute) as
+/// excluded: any further attributes, then tokens through the end of the
+/// item (`;` at depth 0, or the matching close of its first `{`).
+/// Returns the index just past the item.
+fn exclude_item(
+    tokens: &[Token],
+    mut from: usize,
+    excluded: &mut [bool],
+    in_attr: &mut [bool],
+) -> usize {
+    let n = tokens.len();
+    // Skip (and mark) any additional attributes stacked on the item.
+    while from < n && tokens[from].kind == TokKind::Punct && tokens[from].text == "#" {
+        if tokens
+            .get(from + 1)
+            .is_some_and(|t| t.kind == TokKind::Open && t.text == "[")
+        {
+            let close = match_delim(tokens, from + 1);
+            mark(in_attr, from, close);
+            mark(excluded, from, close);
+            from = close + 1;
+        } else {
+            break;
+        }
+    }
+    let mut depth = 0usize;
+    let mut i = from;
+    while i < n {
+        let t = &tokens[i];
+        excluded[i] = true;
+        match t.kind {
+            TokKind::Open => {
+                if t.text == "{" && depth == 0 {
+                    let close = match_delim(tokens, i);
+                    mark(excluded, i, close);
+                    return close + 1;
+                }
+                depth += 1;
+            }
+            TokKind::Close => depth = depth.saturating_sub(1),
+            TokKind::Punct if t.text == ";" && depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    n
+}
+
+fn mark(mask: &mut [bool], from: usize, to: usize) {
+    let end = to.min(mask.len().saturating_sub(1));
+    for m in mask.iter_mut().take(end + 1).skip(from) {
+        *m = true;
+    }
+}
+
+/// Index of the first `Open` token at or after `from`.
+fn find_first_open(tokens: &[Token], from: usize) -> Option<usize> {
+    tokens[from..]
+        .iter()
+        .position(|t| t.kind == TokKind::Open)
+        .map(|p| from + p)
+}
+
+/// Index of the `Close` matching the `Open` at `open` (or the last token
+/// if unbalanced — the analyzer must not panic on malformed input).
+pub fn match_delim(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Open => depth += 1,
+            TokKind::Close => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Directory names never scanned.
+const SKIP_DIRS: &[&str] = &["target", "tests", "benches", "examples", "fixtures", ".git"];
+
+/// Recursively collects `.rs` files under `dir`.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if !SKIP_DIRS.contains(&name) {
+                walk(&path, out);
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Loads every scannable file under the configured roots.
+pub fn load_workspace(root: &Path, config: &Config) -> Vec<FileCtx> {
+    let mut files = Vec::new();
+    for r in &config.roots {
+        walk(&root.join(r), &mut files);
+    }
+    files.sort();
+    files
+        .into_iter()
+        .filter_map(|p| {
+            let src = std::fs::read_to_string(&p).ok()?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            Some(FileCtx::build(rel, &src))
+        })
+        .collect()
+}
+
+/// Runs the three lint families over the workspace and returns findings
+/// with fingerprints assigned, sorted by (file, line, rule).
+pub fn run_analysis(root: &Path, config: &Config) -> Vec<Finding> {
+    let files = load_workspace(root, config);
+
+    // Pass 1: the secret-type universe = config list + marker comments.
+    let mut secret_types: HashSet<String> =
+        config.secret_types.iter().cloned().collect();
+    for f in &files {
+        secret_types.extend(f.marker_secret_types());
+    }
+
+    // Pass 2: rules.
+    let mut findings = Vec::new();
+    for f in &files {
+        rules::secret::check(f, config, &secret_types, &mut findings);
+        rules::panic::check(f, config, &mut findings);
+        rules::ct::check(f, config, &mut findings);
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    assign_fingerprints(&mut findings);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::build("test.rs".into(), src)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_excluded() {
+        let f = ctx("fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn b() { y.unwrap(); } }\nfn c() {}");
+        // Tokens of `y.unwrap()` must be excluded, `x.unwrap()` not, and
+        // code after the test mod must be included again.
+        let y = f
+            .tokens
+            .iter()
+            .position(|t| t.text == "y")
+            .expect("y token");
+        let x = f.tokens.iter().position(|t| t.text == "x").unwrap();
+        let c = f.tokens.iter().rposition(|t| t.text == "c").unwrap();
+        assert!(f.excluded[y]);
+        assert!(!f.excluded[x]);
+        assert!(!f.excluded[c]);
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attrs_is_excluded() {
+        let f = ctx("#[test]\n#[allow(dead_code)]\nfn t() { a.unwrap(); }\nfn real() { b[0]; }");
+        let a = f.tokens.iter().position(|t| t.text == "a").unwrap();
+        let b = f.tokens.iter().position(|t| t.text == "b").unwrap();
+        assert!(f.excluded[a]);
+        assert!(!f.excluded[b]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_excluded() {
+        let f = ctx("#[cfg(not(test))]\nfn a() { x.unwrap(); }");
+        let x = f.tokens.iter().position(|t| t.text == "x").unwrap();
+        assert!(!f.excluded[x]);
+    }
+
+    #[test]
+    fn attribute_tokens_are_masked() {
+        let f = ctx("#[derive(Debug)]\nstruct S { v: [u8; 4] }");
+        let derive = f.tokens.iter().position(|t| t.text == "derive").unwrap();
+        assert!(f.in_attr[derive]);
+        let s = f.tokens.iter().position(|t| t.text == "S").unwrap();
+        assert!(!f.in_attr[s]);
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_excluded() {
+        let f = ctx("macro_rules! m { ($x:expr) => { $x.unwrap() }; }\nfn a() { b.unwrap(); }");
+        let uw = f.tokens.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(f.excluded[uw]);
+        let b = f.tokens.iter().position(|t| t.text == "b").unwrap();
+        assert!(!f.excluded[b]);
+    }
+
+    #[test]
+    fn waiver_parsing_and_lookup() {
+        let f = ctx("// pprl:allow(panic-path): length checked above\nlet x = v[0];");
+        let w = f.waiver_for(2, "panic-path").expect("waiver applies");
+        assert_eq!(w.reason, "length checked above");
+        assert!(f.waiver_for(2, "secret-leak").is_none());
+    }
+
+    #[test]
+    fn waiver_extends_over_multiline_justification() {
+        let f = ctx(
+            "// pprl:allow(panic-path): the emptiness check above bounds\n// the index, so this cannot go out of range\nlet x = v[0];\nlet y = w[0];",
+        );
+        assert!(f.waiver_for(3, "panic-path").is_some(), "first code line");
+        assert!(f.waiver_for(4, "panic-path").is_none(), "next line uncovered");
+    }
+
+    #[test]
+    fn secret_marker_tags_following_struct() {
+        let f = ctx("// pprl:secret\npub struct KeyMaterial { x: u64 }\nstruct Plain;");
+        assert_eq!(f.marker_secret_types(), vec!["KeyMaterial".to_string()]);
+    }
+}

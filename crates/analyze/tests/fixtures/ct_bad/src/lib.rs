@@ -1,0 +1,19 @@
+//! Fixture: const-time violations in a designated function (`pow` with
+//! secret `exp`), and an undesignated helper that must not be flagged.
+
+pub fn pow(exp: u64, base: u64) -> u64 {
+    if exp == 0 {
+        return 1;
+    }
+    let leak = exp == 42;
+    let _ = leak;
+    base
+}
+
+pub fn helper(x: u64) -> u64 {
+    if x == 0 {
+        1
+    } else {
+        x
+    }
+}

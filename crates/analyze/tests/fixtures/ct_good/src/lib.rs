@@ -1,0 +1,16 @@
+//! Fixture: constant-time square-and-multiply — loop bound and masks
+//! are public, no branch touches the secret exponent.
+
+pub fn pow(exp: u64, base: u64) -> u64 {
+    let mut acc = 1u64;
+    let mut b = base;
+    let mut i = 0u32;
+    while i < 64 {
+        let bit = (exp >> i) & 1;
+        let mask = bit.wrapping_neg();
+        acc = (acc.wrapping_mul(b) & mask) | (acc & !mask);
+        b = b.wrapping_mul(b);
+        i += 1;
+    }
+    acc
+}

@@ -1,0 +1,23 @@
+//! Fixture: one violation per panic-path rule in non-test code, plus a
+//! test module that must NOT be flagged.
+
+pub fn bad(values: &[u64], maybe: Option<u64>) -> u64 {
+    let a = maybe.unwrap();
+    let b = Some(1u64).expect("one");
+    if values.len() < 2 {
+        panic!("too short");
+    }
+    let c = values[0];
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let x: Option<u64> = Some(3);
+        assert_eq!(x.unwrap(), 3);
+        let v = vec![1u64];
+        let _ = v[0];
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: panic-free protocol code, plus one justified inline waiver.
+
+#[derive(Debug)]
+pub enum Error {
+    Missing,
+    TooShort,
+}
+
+pub fn good(values: &[u64], maybe: Option<u64>) -> Result<u64, Error> {
+    let a = maybe.ok_or(Error::Missing)?;
+    let b = values.first().copied().ok_or(Error::TooShort)?;
+    Ok(a + b)
+}
+
+pub fn waived(values: &[u64]) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    // pprl:allow(panic-path): index bounded by the emptiness check above
+    values[0]
+}

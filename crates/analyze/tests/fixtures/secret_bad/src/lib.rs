@@ -1,0 +1,29 @@
+//! Fixture: every secret-leak rule fires exactly as counted in
+//! `tests/rules.rs`. Never compiled — analyzer input only.
+
+// pprl:secret
+#[derive(Clone, Debug)]
+pub struct SecretKey {
+    pub limbs: Vec<u64>,
+    exponent: u64,
+}
+
+pub struct PublicInfo {
+    pub bits: u32,
+}
+
+impl std::fmt::Display for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "redacted")
+    }
+}
+
+pub fn log_key(sk: &SecretKey) {
+    println!("key = {:?}", sk);
+    let msg = format!("{sk:?}");
+    let _ = (msg, sk.exponent);
+}
+
+pub fn log_public(info: &PublicInfo) {
+    println!("bits = {}", info.bits);
+}

@@ -1,0 +1,19 @@
+//! Fixture: secret type handled correctly — redacting Debug impl is
+//! waived with a justification, fields stay private.
+
+// pprl:secret
+pub struct SecretKey {
+    limbs: Vec<u64>,
+    pub(crate) exponent: u64,
+}
+
+// pprl:allow(secret-leak): redacting impl — prints no field data
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecretKey").finish_non_exhaustive()
+    }
+}
+
+pub fn describe(key: &SecretKey) -> usize {
+    key.limbs.len()
+}

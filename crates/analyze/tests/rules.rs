@@ -1,0 +1,160 @@
+//! Integration tests: run the analyzer over the fixture mini-crates in
+//! `tests/fixtures/` and assert exact diagnostic counts per rule, waiver
+//! suppression, baseline round-trips, and fingerprint stability.
+//!
+//! The fixture directories deliberately have no `Cargo.toml`, so cargo
+//! never tries to compile their intentionally-bad code.
+
+use pprl_analyze::baseline::{assign_fingerprints, Baseline};
+use pprl_analyze::config::{Config, CtTarget};
+use pprl_analyze::findings::{summarize, Finding};
+use pprl_analyze::scan::{run_analysis, FileCtx};
+use std::path::PathBuf;
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+fn cfg(roots: &[&str]) -> Config {
+    Config {
+        roots: roots.iter().map(|r| r.to_string()).collect(),
+        ..Config::default()
+    }
+}
+
+#[test]
+fn secret_bad_flags_every_leak() {
+    let mut config = cfg(&["secret_bad"]);
+    config.secret_idents = vec!["sk".to_string()];
+    let findings = run_analysis(&fixtures_root(), &config);
+    assert_eq!(count(&findings, "S001"), 1, "derive(Debug) on secret type");
+    assert_eq!(count(&findings, "S002"), 1, "manual Display impl");
+    assert_eq!(count(&findings, "S003"), 2, "format-macro arg + inline capture");
+    assert_eq!(count(&findings, "S004"), 1, "pub field");
+    let s = summarize(&findings);
+    assert_eq!((s.total, s.new), (5, 5));
+}
+
+#[test]
+fn secret_good_redacting_impl_is_waived() {
+    let config = cfg(&["secret_good"]);
+    let findings = run_analysis(&fixtures_root(), &config);
+    assert_eq!(count(&findings, "S002"), 1);
+    let s = summarize(&findings);
+    assert_eq!((s.total, s.new, s.waived), (1, 0, 1));
+}
+
+#[test]
+fn panic_bad_flags_each_rule_once() {
+    let mut config = cfg(&["panic_bad"]);
+    config.panic_paths = vec!["panic_bad".to_string()];
+    let findings = run_analysis(&fixtures_root(), &config);
+    assert_eq!(count(&findings, "P001"), 1, "unwrap");
+    assert_eq!(count(&findings, "P002"), 1, "expect");
+    assert_eq!(count(&findings, "P003"), 1, "panic!");
+    assert_eq!(count(&findings, "P004"), 1, "indexing (test-mod index not counted)");
+    assert_eq!(summarize(&findings).new, 4);
+}
+
+#[test]
+fn panic_good_is_clean_except_waived_index() {
+    let mut config = cfg(&["panic_good"]);
+    config.panic_paths = vec!["panic_good".to_string()];
+    let findings = run_analysis(&fixtures_root(), &config);
+    let s = summarize(&findings);
+    assert_eq!((s.total, s.new, s.waived), (1, 0, 1), "only the justified index");
+    assert_eq!(count(&findings, "P004"), 1);
+}
+
+#[test]
+fn ct_bad_flags_branch_return_and_compare() {
+    let mut config = cfg(&["ct_bad"]);
+    config.ct = vec![CtTarget {
+        file: "ct_bad/src/lib.rs".to_string(),
+        functions: vec!["pow".to_string()],
+        secret: vec!["exp".to_string()],
+    }];
+    let findings = run_analysis(&fixtures_root(), &config);
+    assert_eq!(count(&findings, "C001"), 1, "if on secret exp");
+    assert_eq!(count(&findings, "C002"), 1, "early return");
+    assert_eq!(count(&findings, "C003"), 1, "comparison outside the branch");
+    assert_eq!(summarize(&findings).new, 3);
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.severity == pprl_analyze::Severity::Warning),
+        "const-time findings are warnings"
+    );
+}
+
+#[test]
+fn ct_good_constant_time_rewrite_is_clean() {
+    let mut config = cfg(&["ct_good"]);
+    config.ct = vec![CtTarget {
+        file: "ct_good/src/lib.rs".to_string(),
+        functions: vec!["pow".to_string()],
+        secret: vec!["exp".to_string()],
+    }];
+    let findings = run_analysis(&fixtures_root(), &config);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn combined_run_finds_all_families() {
+    let mut config = cfg(&["secret_bad", "panic_bad", "ct_bad"]);
+    config.secret_idents = vec!["sk".to_string()];
+    config.panic_paths = vec!["panic_bad".to_string()];
+    config.ct = vec![CtTarget {
+        file: "ct_bad/src/lib.rs".to_string(),
+        functions: vec!["pow".to_string()],
+        secret: vec!["exp".to_string()],
+    }];
+    let findings = run_analysis(&fixtures_root(), &config);
+    assert_eq!(summarize(&findings).new, 12, "5 secret + 4 panic + 3 ct");
+    for family in ["secret-leak", "panic-path", "const-time"] {
+        assert!(
+            findings.iter().any(|f| f.family == family),
+            "family {family} missing"
+        );
+    }
+}
+
+#[test]
+fn baseline_roundtrip_suppresses_known_findings() {
+    let mut config = cfg(&["panic_bad"]);
+    config.panic_paths = vec!["panic_bad".to_string()];
+    let findings = run_analysis(&fixtures_root(), &config);
+    assert_eq!(summarize(&findings).new, 4);
+
+    let baseline = Baseline::from_findings(&findings, None);
+    let parsed = Baseline::parse(&baseline.serialize()).expect("serialized baseline parses");
+
+    let mut rerun = run_analysis(&fixtures_root(), &config);
+    let stale = parsed.apply(&mut rerun);
+    assert!(stale.is_empty(), "no stale entries on identical code");
+    let s = summarize(&rerun);
+    assert_eq!((s.new, s.baselined), (0, 4), "all prior findings suppressed");
+}
+
+#[test]
+fn fingerprints_survive_unrelated_line_insertion() {
+    let mut config = Config::default();
+    config.panic_paths = vec!["x.rs".to_string()];
+
+    let fp_of = |src: &str| {
+        let ctx = FileCtx::build("x.rs".to_string(), src);
+        let mut findings = Vec::new();
+        pprl_analyze::rules::panic::check(&ctx, &config, &mut findings);
+        assign_fingerprints(&mut findings);
+        assert_eq!(findings.len(), 1);
+        findings[0].fingerprint.clone()
+    };
+
+    let before = fp_of("pub fn f(v: &[u64]) -> u64 { v[0] }\n");
+    let after = fp_of("// an unrelated comment pushes the code down\n\npub fn f(v: &[u64]) -> u64 { v[0] }\n");
+    assert_eq!(before, after, "content-addressed fingerprints ignore line shifts");
+}

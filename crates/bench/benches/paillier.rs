@@ -11,8 +11,8 @@ fn bench_paillier(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let keys = Keypair::generate(&mut rng, 1024);
     let (pk, sk) = keys.clone().split();
-    let c1 = pk.encrypt_u64(1234, &mut rng);
-    let c2 = pk.encrypt_u64(5678, &mut rng);
+    let c1 = pk.encrypt_u64(1234, &mut rng).unwrap();
+    let c2 = pk.encrypt_u64(5678, &mut rng).unwrap();
 
     let mut g = c.benchmark_group("paillier-1024");
     g.sample_size(20);
@@ -21,7 +21,7 @@ fn bench_paillier(c: &mut Criterion) {
         b.iter(|| Keypair::generate(&mut rng, 1024))
     });
     g.bench_function("encrypt", |b| {
-        b.iter(|| pk.encrypt_u64(black_box(42), &mut rng))
+        b.iter(|| pk.encrypt_u64(black_box(42), &mut rng).unwrap())
     });
     g.bench_function("decrypt_crt", |b| {
         b.iter(|| sk.decrypt_u64(black_box(&c1)).unwrap())

@@ -176,6 +176,22 @@ impl Montgomery {
         let bm = self.to_mont(b);
         self.from_mont(&self.mont_mul(&am, &bm))
     }
+
+    /// Scrubs the precomputed state. A context built for a secret prime
+    /// (CRT decryption uses `mod p²` / `mod q²`) embeds that prime in
+    /// `modulus`/`m_limbs`, so secret-key drops must clear it too.
+    pub fn zeroize(&mut self) {
+        self.modulus.zeroize();
+        for buf in [&mut self.m_limbs, &mut self.r2, &mut self.r1] {
+            for limb in buf.iter_mut() {
+                unsafe { core::ptr::write_volatile(limb, 0) };
+            }
+            buf.clear();
+        }
+        unsafe { core::ptr::write_volatile(&mut self.n0inv, 0) };
+        core::sync::atomic::compiler_fence(core::sync::atomic::Ordering::SeqCst);
+        self.n = 0;
+    }
 }
 
 /// `a >= b` for equal-length limb slices (little-endian).

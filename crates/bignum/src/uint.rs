@@ -70,6 +70,21 @@ impl BigUint {
         }
     }
 
+    /// Overwrites the limb storage with zeros, then leaves the value as
+    /// zero. For secret material (key limbs) dropped from long-lived
+    /// structs: volatile writes stop the compiler from eliding the
+    /// "dead" stores, and the fence keeps them ordered before the free.
+    ///
+    /// Best-effort only — clones and reallocations made during earlier
+    /// arithmetic are outside this value's control.
+    pub fn zeroize(&mut self) {
+        for limb in self.limbs.iter_mut() {
+            unsafe { core::ptr::write_volatile(limb, 0) };
+        }
+        core::sync::atomic::compiler_fence(core::sync::atomic::Ordering::SeqCst);
+        self.limbs.clear();
+    }
+
     /// `true` iff the value is zero.
     #[inline]
     pub fn is_zero(&self) -> bool {

@@ -51,6 +51,7 @@ impl Default for CommutativeGroup {
 impl CommutativeGroup {
     /// The standard 1536-bit group.
     pub fn rfc3526_1536() -> Self {
+        // pprl:allow(panic-path): parses a compile-time hex constant, exercised by every test
         let p = BigUint::from_hex(RFC3526_1536_HEX).expect("constant parses");
         let q = p.shr(1);
         CommutativeGroup { p, q }

@@ -33,8 +33,8 @@
 //! let keys = Keypair::generate(&mut rng, 512); // 512-bit n for test speed
 //! let (pk, sk) = keys.split();
 //!
-//! let c1 = pk.encrypt_u64(30, &mut rng);
-//! let c2 = pk.encrypt_u64(12, &mut rng);
+//! let c1 = pk.encrypt_u64(30, &mut rng).unwrap();
+//! let c2 = pk.encrypt_u64(12, &mut rng).unwrap();
 //! let sum = pk.add(&c1, &c2);
 //! assert_eq!(sk.decrypt_u64(&sum).unwrap(), 42);
 //! ```

@@ -43,21 +43,26 @@ pub struct PublicKey {
 }
 
 impl PublicKey {
-    fn new(n: BigUint) -> Self {
+    fn new(n: BigUint) -> Result<Self, CryptoError> {
         let n2 = n.square();
         let half_n = n.shr(1);
-        let mont_n2 = Montgomery::new(&n2).expect("n² is odd (p, q odd primes)");
-        PublicKey {
+        // An even (or trivial) modulus has no Montgomery context. This is
+        // reachable from the wire via `from_modulus`, so it must be an
+        // error, not a panic: a malicious key broadcast must not abort us.
+        let mont_n2 = Montgomery::new(&n2)
+            .map_err(|_| CryptoError::InvalidKey("modulus must be odd and > 1".into()))?;
+        Ok(PublicKey {
             n,
             n2,
             half_n,
             mont_n2,
-        }
+        })
     }
 
     /// Rebuilds a public key from a transmitted modulus (the key broadcast
-    /// carries only `n`; every helper is derivable from it).
-    pub fn from_modulus(n: BigUint) -> Self {
+    /// carries only `n`; every helper is derivable from it). Fails on a
+    /// degenerate modulus rather than trusting the sender.
+    pub fn from_modulus(n: BigUint) -> Result<Self, CryptoError> {
         PublicKey::new(n)
     }
 
@@ -100,17 +105,25 @@ impl PublicKey {
         Ok(Ciphertext(c))
     }
 
-    /// Encrypts a `u64` plaintext.
-    pub fn encrypt_u64<R: RngCore + ?Sized>(&self, m: u64, rng: &mut R) -> Ciphertext {
+    /// Encrypts a `u64` plaintext. Fails only if the plaintext does not
+    /// fit the modulus (possible with sub-64-bit test keys).
+    pub fn encrypt_u64<R: RngCore + ?Sized>(
+        &self,
+        m: u64,
+        rng: &mut R,
+    ) -> Result<Ciphertext, CryptoError> {
         self.encrypt(&BigUint::from_u64(m), rng)
-            .expect("u64 always fits a >= 128-bit modulus")
     }
 
     /// Encrypts a signed value by wrapping into `Z_n`
     /// (negative `v` encodes as `n − |v|`).
-    pub fn encrypt_i64<R: RngCore + ?Sized>(&self, v: i64, rng: &mut R) -> Ciphertext {
+    pub fn encrypt_i64<R: RngCore + ?Sized>(
+        &self,
+        v: i64,
+        rng: &mut R,
+    ) -> Result<Ciphertext, CryptoError> {
         let m = self.encode_i64(v);
-        self.encrypt(&m, rng).expect("encoded value is reduced")
+        self.encrypt(&m, rng)
     }
 
     /// Signed-to-`Z_n` encoding.
@@ -186,7 +199,12 @@ impl PublicKey {
 }
 
 /// Paillier private key with CRT decryption state.
-#[derive(Clone, Debug)]
+///
+/// Key limbs are zeroized on drop (best-effort: clones and intermediate
+/// arithmetic buffers are outside its control, but the long-lived copy
+/// is scrubbed).
+// pprl:secret
+#[derive(Clone)]
 pub struct PrivateKey {
     public: PublicKey,
     p: BigUint,
@@ -201,6 +219,29 @@ pub struct PrivateKey {
     p_inv_q: BigUint,
     mont_p2: Montgomery,
     mont_q2: Montgomery,
+}
+
+// pprl:allow(secret-leak): redacting impl — reveals only the modulus size
+impl std::fmt::Debug for PrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrivateKey")
+            .field("key_bits", &self.public.key_bits())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for PrivateKey {
+    fn drop(&mut self) {
+        self.p.zeroize();
+        self.q.zeroize();
+        self.p2.zeroize();
+        self.q2.zeroize();
+        self.hp.zeroize();
+        self.hq.zeroize();
+        self.p_inv_q.zeroize();
+        self.mont_p2.zeroize();
+        self.mont_q2.zeroize();
+    }
 }
 
 impl PrivateKey {
@@ -265,9 +306,17 @@ fn l_function(x: &BigUint, n: &BigUint) -> BigUint {
 }
 
 /// A freshly generated key pair.
-#[derive(Clone, Debug)]
+// pprl:secret
+#[derive(Clone)]
 pub struct Keypair {
     private: PrivateKey,
+}
+
+// pprl:allow(secret-leak): redacting impl — delegates to the redacted key
+impl std::fmt::Debug for Keypair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Keypair").field("private", &self.private).finish()
+    }
 }
 
 impl Keypair {
@@ -285,6 +334,8 @@ impl Keypair {
                 break q;
             }
         };
+        // pprl:allow(panic-path): gen_prime returns odd primes and p ≠ q is
+        // forced above, so from_primes cannot fail on this input
         Keypair::from_primes(p, q).expect("generated primes are valid")
     }
 
@@ -298,12 +349,14 @@ impl Keypair {
             return Err(CryptoError::InvalidKey("primes must be odd".into()));
         }
         let n = p.mul(&q);
-        let public = PublicKey::new(n.clone());
+        let public = PublicKey::new(n.clone())?;
 
         let p2 = p.square();
         let q2 = q.square();
-        let mont_p2 = Montgomery::new(&p2).expect("p² odd");
-        let mont_q2 = Montgomery::new(&q2).expect("q² odd");
+        let mont_p2 = Montgomery::new(&p2)
+            .map_err(|_| CryptoError::InvalidKey("p² must be odd".into()))?;
+        let mont_q2 = Montgomery::new(&q2)
+            .map_err(|_| CryptoError::InvalidKey("q² must be odd".into()))?;
 
         // g = n + 1; hp = L_p(g^(p−1) mod p²)⁻¹ mod p.
         let g = &n + &BigUint::one();
@@ -369,7 +422,7 @@ mod tests {
         let (pk, sk) = test_keys(1);
         let mut rng = StdRng::seed_from_u64(2);
         for m in [0u64, 1, 2, 41, 1000, u32::MAX as u64, u64::MAX] {
-            let c = pk.encrypt_u64(m, &mut rng);
+            let c = pk.encrypt_u64(m, &mut rng).unwrap();
             assert_eq!(sk.decrypt_u64(&c).unwrap(), m, "m={m}");
         }
     }
@@ -379,7 +432,7 @@ mod tests {
         let (pk, sk) = test_keys(3);
         let mut rng = StdRng::seed_from_u64(4);
         for v in [0i64, 1, -1, -42, 42, i32::MIN as i64, i32::MAX as i64] {
-            let c = pk.encrypt_i64(v, &mut rng);
+            let c = pk.encrypt_i64(v, &mut rng).unwrap();
             assert_eq!(sk.decrypt_i64(&c).unwrap(), v, "v={v}");
         }
     }
@@ -388,8 +441,8 @@ mod tests {
     fn ciphertexts_are_randomized() {
         let (pk, _) = test_keys(5);
         let mut rng = StdRng::seed_from_u64(6);
-        let c1 = pk.encrypt_u64(7, &mut rng);
-        let c2 = pk.encrypt_u64(7, &mut rng);
+        let c1 = pk.encrypt_u64(7, &mut rng).unwrap();
+        let c2 = pk.encrypt_u64(7, &mut rng).unwrap();
         assert_ne!(c1, c2, "semantic security: same plaintext, fresh randomness");
     }
 
@@ -397,8 +450,8 @@ mod tests {
     fn additive_homomorphism() {
         let (pk, sk) = test_keys(7);
         let mut rng = StdRng::seed_from_u64(8);
-        let c1 = pk.encrypt_u64(123, &mut rng);
-        let c2 = pk.encrypt_u64(877, &mut rng);
+        let c1 = pk.encrypt_u64(123, &mut rng).unwrap();
+        let c2 = pk.encrypt_u64(877, &mut rng).unwrap();
         assert_eq!(sk.decrypt_u64(&pk.add(&c1, &c2)).unwrap(), 1000);
     }
 
@@ -406,7 +459,7 @@ mod tests {
     fn plaintext_addition() {
         let (pk, sk) = test_keys(9);
         let mut rng = StdRng::seed_from_u64(10);
-        let c = pk.encrypt_u64(5, &mut rng);
+        let c = pk.encrypt_u64(5, &mut rng).unwrap();
         let c5 = pk.add_plain(&c, &BigUint::from_u64(37));
         assert_eq!(sk.decrypt_u64(&c5).unwrap(), 42);
     }
@@ -415,7 +468,7 @@ mod tests {
     fn scalar_multiplication() {
         let (pk, sk) = test_keys(11);
         let mut rng = StdRng::seed_from_u64(12);
-        let c = pk.encrypt_u64(6, &mut rng);
+        let c = pk.encrypt_u64(6, &mut rng).unwrap();
         assert_eq!(sk.decrypt_u64(&pk.mul_plain_u64(&c, 7)).unwrap(), 42);
         assert_eq!(sk.decrypt_u64(&pk.mul_plain_u64(&c, 0)).unwrap(), 0);
     }
@@ -424,7 +477,7 @@ mod tests {
     fn negation_wraps_signed() {
         let (pk, sk) = test_keys(13);
         let mut rng = StdRng::seed_from_u64(14);
-        let c = pk.encrypt_u64(30, &mut rng);
+        let c = pk.encrypt_u64(30, &mut rng).unwrap();
         assert_eq!(sk.decrypt_i64(&pk.negate(&c)).unwrap(), -30);
     }
 
@@ -432,7 +485,7 @@ mod tests {
     fn rerandomize_preserves_plaintext() {
         let (pk, sk) = test_keys(15);
         let mut rng = StdRng::seed_from_u64(16);
-        let c = pk.encrypt_u64(99, &mut rng);
+        let c = pk.encrypt_u64(99, &mut rng).unwrap();
         let c2 = pk.rerandomize(&c, &mut rng);
         assert_ne!(c, c2);
         assert_eq!(sk.decrypt_u64(&c2).unwrap(), 99);
@@ -466,7 +519,7 @@ mod tests {
         let (pk1, _) = test_keys(20);
         let (_, sk2) = test_keys(21);
         let mut rng = StdRng::seed_from_u64(22);
-        let c = pk1.encrypt_u64(42, &mut rng);
+        let c = pk1.encrypt_u64(42, &mut rng).unwrap();
         // Either validation fails or the plaintext is wrong; it must never
         // silently round-trip the original value.
         if let Ok(m) = sk2.decrypt(&c) { assert_ne!(m.to_u64(), Some(42)) }
@@ -486,9 +539,9 @@ mod tests {
         let (pk, sk) = test_keys(23);
         let mut rng = StdRng::seed_from_u64(24);
         let (a, b) = (37u64, 21u64);
-        let ca2 = pk.encrypt_u64(a * a, &mut rng);
-        let cm2a = pk.encrypt_i64(-2 * a as i64, &mut rng);
-        let cb2 = pk.encrypt_u64(b * b, &mut rng);
+        let ca2 = pk.encrypt_u64(a * a, &mut rng).unwrap();
+        let cm2a = pk.encrypt_i64(-2 * a as i64, &mut rng).unwrap();
+        let cb2 = pk.encrypt_u64(b * b, &mut rng).unwrap();
         let cross = pk.mul_plain_u64(&cm2a, b);
         let result = pk.add(&pk.add(&ca2, &cross), &cb2);
         assert_eq!(sk.decrypt_u64(&result).unwrap(), (a - b) * (a - b));

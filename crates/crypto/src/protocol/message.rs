@@ -111,7 +111,10 @@ fn get_biguint(data: &mut &[u8]) -> Result<BigUint, CryptoError> {
             data.len()
         )));
     }
-    let v = BigUint::from_bytes_be(&data[..len]);
+    let bytes = data
+        .get(..len)
+        .ok_or_else(|| CryptoError::Protocol("truncated payload".into()))?;
+    let v = BigUint::from_bytes_be(bytes);
     data.advance(len);
     Ok(v)
 }

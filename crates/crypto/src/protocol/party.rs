@@ -102,7 +102,7 @@ impl DataHolder {
                     )));
                 }
                 Ok(DataHolder {
-                    pk: rebuild_public_key(n),
+                    pk: rebuild_public_key(n)?,
                 })
             }
             other => Err(CryptoError::Protocol(format!(
@@ -185,8 +185,10 @@ impl DataHolder {
     }
 }
 
-/// Reconstructs public-key helpers from the transmitted modulus.
-fn rebuild_public_key(n: BigUint) -> PublicKey {
+/// Reconstructs public-key helpers from the transmitted modulus. An even
+/// or degenerate modulus is a protocol error, not a panic — the sender
+/// controls these bytes.
+fn rebuild_public_key(n: BigUint) -> Result<PublicKey, CryptoError> {
     PublicKey::from_modulus(n)
 }
 

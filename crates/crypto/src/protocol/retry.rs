@@ -182,6 +182,7 @@ impl<T: Transport> ReliableLink<T> {
                     ledger.duplicates_discarded += 1;
                     continue;
                 }
+                // pprl:allow(panic-path): PartyId::index() is 0..3 by construction, matching the array
                 let filter = &mut self.last_accepted[to.index()];
                 let already_seen = filter.is_some_and(|top| env.seq <= top);
                 if already_seen {

@@ -209,10 +209,12 @@ impl LocalTransport {
 
 impl Transport for LocalTransport {
     fn send(&mut self, from: PartyId, to: PartyId, frame: Vec<u8>) {
+        // pprl:allow(panic-path): PartyId::index() is 0..3 by construction, matching the array
         self.queues[to.index()].push_back((from, frame));
     }
 
     fn recv(&mut self, to: PartyId) -> Option<(PartyId, Vec<u8>)> {
+        // pprl:allow(panic-path): PartyId::index() is 0..3 by construction, matching the array
         self.queues[to.index()].pop_front()
     }
 }
@@ -391,8 +393,10 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         if self.roll(self.config.bit_flip_rate) && !frame.is_empty() {
             let byte = self.rng.gen_range(0..frame.len());
             let bit = self.rng.gen_range(0..8u32);
-            frame[byte] ^= 1u8 << bit;
-            self.stats.bit_flipped += 1;
+            if let Some(b) = frame.get_mut(byte) {
+                *b ^= 1u8 << bit;
+                self.stats.bit_flipped += 1;
+            }
         }
         if self.roll(self.config.delay_rate) {
             let ticks = self.rng.gen_range(1..=self.config.max_delay_ticks.max(1));

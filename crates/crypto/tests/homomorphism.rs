@@ -26,7 +26,7 @@ proptest! {
     fn enc_dec_roundtrip(m in any::<u64>(), seed in any::<u64>()) {
         let keys = shared_keys();
         let mut rng = StdRng::seed_from_u64(seed);
-        let c = keys.public().encrypt_u64(m, &mut rng);
+        let c = keys.public().encrypt_u64(m, &mut rng).unwrap();
         prop_assert_eq!(keys.private().decrypt_u64(&c).unwrap(), m);
     }
 
@@ -34,8 +34,8 @@ proptest! {
     fn additive_homomorphism(a in 0u64..(1 << 62), b in 0u64..(1 << 62), seed in any::<u64>()) {
         let keys = shared_keys();
         let mut rng = StdRng::seed_from_u64(seed);
-        let ca = keys.public().encrypt_u64(a, &mut rng);
-        let cb = keys.public().encrypt_u64(b, &mut rng);
+        let ca = keys.public().encrypt_u64(a, &mut rng).unwrap();
+        let cb = keys.public().encrypt_u64(b, &mut rng).unwrap();
         let sum = keys.public().add(&ca, &cb);
         prop_assert_eq!(keys.private().decrypt_u64(&sum).unwrap(), a + b);
     }
@@ -44,7 +44,7 @@ proptest! {
     fn scalar_homomorphism(a in 0u64..(1 << 32), k in 0u64..(1 << 31), seed in any::<u64>()) {
         let keys = shared_keys();
         let mut rng = StdRng::seed_from_u64(seed);
-        let ca = keys.public().encrypt_u64(a, &mut rng);
+        let ca = keys.public().encrypt_u64(a, &mut rng).unwrap();
         let prod = keys.public().mul_plain_u64(&ca, k);
         prop_assert_eq!(
             keys.private().decrypt(&prod).unwrap().to_u128(),
@@ -56,7 +56,7 @@ proptest! {
     fn signed_roundtrip(v in any::<i32>(), seed in any::<u64>()) {
         let keys = shared_keys();
         let mut rng = StdRng::seed_from_u64(seed);
-        let c = keys.public().encrypt_i64(v as i64, &mut rng);
+        let c = keys.public().encrypt_i64(v as i64, &mut rng).unwrap();
         prop_assert_eq!(keys.private().decrypt_i64(&c).unwrap(), v as i64);
     }
 
@@ -64,7 +64,7 @@ proptest! {
     fn rerandomization_is_plaintext_invariant(m in any::<u32>(), seed in any::<u64>()) {
         let keys = shared_keys();
         let mut rng = StdRng::seed_from_u64(seed);
-        let c = keys.public().encrypt_u64(m as u64, &mut rng);
+        let c = keys.public().encrypt_u64(m as u64, &mut rng).unwrap();
         let c2 = keys.public().rerandomize(&c, &mut rng);
         prop_assert_ne!(&c, &c2);
         prop_assert_eq!(keys.private().decrypt_u64(&c2).unwrap(), m as u64);

@@ -435,10 +435,12 @@ impl SuppressedLayout {
         let r_covered: Vec<u32> = {
             let mut sup = vec![false; r_data.len()];
             for &row in &r_suppressed {
-                sup[row as usize] = true;
+                if let Some(flag) = sup.get_mut(row as usize) {
+                    *flag = true;
+                }
             }
             (0..r_data.len() as u32)
-                .filter(|&row| !sup[row as usize])
+                .filter(|&row| !sup.get(row as usize).copied().unwrap_or(false))
                 .collect()
         };
         let total = r_suppressed.len() as u64 * s_data.len() as u64
@@ -533,13 +535,31 @@ impl<'a> SmcRunner<'a> {
                     }
                     let (r_view, s_view) = (self.r_view, self.s_view);
                     let (ri, si) = {
-                        let rc = &r_view.classes()[pref.r_class as usize];
-                        let sc = &s_view.classes()[pref.s_class as usize];
+                        let rc = r_view
+                            .classes()
+                            .get(pref.r_class as usize)
+                            .ok_or(SmcError::Internal("R class index out of range"))?;
+                        let sc = s_view
+                            .classes()
+                            .get(pref.s_class as usize)
+                            .ok_or(SmcError::Internal("S class index out of range"))?;
+                        // pref.pairs != 0 (checked above), so both row sets
+                        // are non-empty and the division is safe.
                         let s_len = sc.rows.len() as u64;
-                        (
-                            rc.rows[(skip / s_len) as usize],
-                            sc.rows[(skip % s_len) as usize],
-                        )
+                        if s_len == 0 {
+                            return Err(SmcError::Internal("empty S class with pairs > 0"));
+                        }
+                        let ri = rc
+                            .rows
+                            .get((skip / s_len) as usize)
+                            .copied()
+                            .ok_or(SmcError::Internal("R row cursor out of range"))?;
+                        let si = sc
+                            .rows
+                            .get((skip % s_len) as usize)
+                            .copied()
+                            .ok_or(SmcError::Internal("S row cursor out of range"))?;
+                        (ri, si)
                     };
                     let mut matched = matched;
                     match self.compare_pair(ri, si)? {
@@ -588,12 +608,18 @@ impl<'a> SmcRunner<'a> {
                         if offset >= total {
                             (0, 0, total)
                         } else {
+                            // offset < total implies both row sets are
+                            // non-empty, so s_len > 0 and both lookups hit.
                             let s_len = s_rows.len() as u64;
-                            (
-                                r_rows[(offset / s_len) as usize],
-                                s_rows[(offset % s_len) as usize],
-                                total,
-                            )
+                            let ri = r_rows
+                                .get((offset / s_len) as usize)
+                                .copied()
+                                .ok_or(SmcError::Internal("suppressed R cursor out of range"))?;
+                            let si = s_rows
+                                .get((offset % s_len) as usize)
+                                .copied()
+                                .ok_or(SmcError::Internal("suppressed S cursor out of range"))?;
+                            (ri, si, total)
                         }
                     };
                     if offset >= total {
@@ -697,8 +723,14 @@ impl<'a> SmcRunner<'a> {
 
     fn compare_pair(&mut self, ri: u32, si: u32) -> Result<CompareOutcome, SmcError> {
         let (r_data, s_data) = (self.r_data, self.s_data);
-        let r = &r_data.records()[ri as usize];
-        let s = &s_data.records()[si as usize];
+        let r = r_data
+            .records()
+            .get(ri as usize)
+            .ok_or(SmcError::Internal("R record index out of range"))?;
+        let s = s_data
+            .records()
+            .get(si as usize)
+            .ok_or(SmcError::Internal("S record index out of range"))?;
         self.comparer
             .compare(&self.qids, r, s, &mut self.session.ledger)
     }
@@ -889,7 +921,7 @@ impl Comparer {
                 let PaillierBackend { keys, rng } = backend.as_mut();
                 for (pos, &q) in qids.iter().enumerate() {
                     let (a, b, t) =
-                        encode_attribute(&self.rule, pos, r.value(q), s.value(q), &self.norms);
+                        encode_attribute(&self.rule, pos, r.value(q), s.value(q), &self.norms)?;
                     if t == u64::MAX {
                         continue; // θ ≥ 1: attribute can never fail
                     }
@@ -911,7 +943,7 @@ impl Comparer {
             Backend::PaillierBatched(backend) => {
                 let PaillierBackend { keys, rng } = backend.as_mut();
                 let Some((a_vals, b_vals, thresholds)) =
-                    batch_encode(&self.rule, qids, r, s, &self.norms)
+                    batch_encode(&self.rule, qids, r, s, &self.norms)?
                 else {
                     return Ok(CompareOutcome::Decided(true));
                 };
@@ -936,7 +968,7 @@ impl Comparer {
             Backend::Transported(backend) => {
                 let b = backend.as_mut();
                 let Some((a_vals, b_vals, thresholds)) =
-                    batch_encode(&self.rule, qids, r, s, &self.norms)
+                    batch_encode(&self.rule, qids, r, s, &self.norms)?
                 else {
                     return Ok(CompareOutcome::Decided(true));
                 };
@@ -987,19 +1019,19 @@ impl Comparer {
 }
 
 /// Encodes every decidable attribute of a record pair for the batched
-/// protocol; `None` when no attribute can fail (trivial match).
+/// protocol; `Ok(None)` when no attribute can fail (trivial match).
 fn batch_encode(
     rule: &MatchingRule,
     qids: &[usize],
     r: &pprl_data::Record,
     s: &pprl_data::Record,
     norms: &[f64],
-) -> Option<(Vec<u64>, Vec<u64>, Vec<u64>)> {
+) -> Result<Option<(Vec<u64>, Vec<u64>, Vec<u64>)>, SmcError> {
     let mut a_vals = Vec::with_capacity(qids.len());
     let mut b_vals = Vec::with_capacity(qids.len());
     let mut thresholds = Vec::with_capacity(qids.len());
     for (pos, &q) in qids.iter().enumerate() {
-        let (a, b, t) = encode_attribute(rule, pos, r.value(q), s.value(q), norms);
+        let (a, b, t) = encode_attribute(rule, pos, r.value(q), s.value(q), norms)?;
         if t == u64::MAX {
             continue; // θ ≥ 1: attribute can never fail
         }
@@ -1008,39 +1040,53 @@ fn batch_encode(
         thresholds.push(t);
     }
     if a_vals.is_empty() {
-        None
+        Ok(None)
     } else {
-        Some((a_vals, b_vals, thresholds))
+        Ok(Some((a_vals, b_vals, thresholds)))
     }
 }
 
 /// Encodes one attribute comparison as integers for the Paillier protocol:
 /// values `a, b` and squared threshold `t` such that the predicate is
 /// `(a − b)² ≤ t`. Returns `t = u64::MAX` when the attribute can never
-/// fail (θ ≥ 1 under Hamming).
+/// fail (θ ≥ 1 under Hamming). Edit distance is rejected at construction,
+/// so seeing it here means the rule tables are inconsistent with the
+/// session — an internal error, not a panic.
 fn encode_attribute(
     rule: &MatchingRule,
     pos: usize,
     rv: Value,
     sv: Value,
     norms: &[f64],
-) -> (u64, u64, u64) {
-    let theta = rule.thetas[pos];
-    match rule.distances[pos] {
+) -> Result<(u64, u64, u64), SmcError> {
+    let theta = *rule
+        .thetas
+        .get(pos)
+        .ok_or(SmcError::Internal("theta index out of range"))?;
+    let distance = rule
+        .distances
+        .get(pos)
+        .ok_or(SmcError::Internal("distance index out of range"))?;
+    match distance {
         AttrDistance::Hamming => {
             if theta >= 1.0 {
-                (0, 0, u64::MAX)
+                Ok((0, 0, u64::MAX))
             } else {
-                (rv.as_cat() as u64, sv.as_cat() as u64, 0)
+                Ok((rv.as_cat() as u64, sv.as_cat() as u64, 0))
             }
         }
         AttrDistance::NormalizedEuclidean => {
+            let norm = *norms
+                .get(pos)
+                .ok_or(SmcError::Internal("norm index out of range"))?;
             let a = (rv.as_num() * NUM_SCALE).round() as u64;
             let b = (sv.as_num() * NUM_SCALE).round() as u64;
-            let limit = theta * norms[pos] * NUM_SCALE;
-            (a, b, (limit * limit).floor() as u64)
+            let limit = theta * norm * NUM_SCALE;
+            Ok((a, b, (limit * limit).floor() as u64))
         }
-        AttrDistance::NormalizedEdit => unreachable!("rejected at construction"),
+        AttrDistance::NormalizedEdit => {
+            Err(SmcError::Internal("edit distance rejected at construction"))
+        }
     }
 }
 

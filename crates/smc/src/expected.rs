@@ -27,6 +27,9 @@ use pprl_hierarchy::Vgh;
 pub fn expected_distance(vgh: &Vgh, dist: AttrDistance, a: &GenVal, b: &GenVal) -> f64 {
     match dist {
         AttrDistance::Hamming => {
+            // pprl:allow(panic-path): rule/VGH kind agreement is enforced by
+            // MatchingRule construction; a mismatch is a local coding bug,
+            // never reachable from wire input
             let t = vgh.as_taxonomy().expect("categorical attribute");
             let (na, nb) = (a.as_cat(), b.as_cat());
             let v = t.spec_set_size(na) as f64;
@@ -35,6 +38,8 @@ pub fn expected_distance(vgh: &Vgh, dist: AttrDistance, a: &GenVal, b: &GenVal) 
             1.0 - overlap / (v * w)
         }
         AttrDistance::NormalizedEuclidean => {
+            // pprl:allow(panic-path): see the Hamming arm — kind agreement
+            // is a construction-time invariant
             let h = vgh.as_intervals().expect("continuous attribute");
             let (a1, b1) = a.as_range();
             let (a2, b2) = b.as_range();
@@ -42,6 +47,8 @@ pub fn expected_distance(vgh: &Vgh, dist: AttrDistance, a: &GenVal, b: &GenVal) 
             ed / (h.norm_factor() * h.norm_factor())
         }
         AttrDistance::NormalizedEdit => {
+            // pprl:allow(panic-path): see the Hamming arm — kind agreement
+            // is a construction-time invariant
             let t = vgh.as_taxonomy().expect("categorical attribute");
             let norm = max_label_len(t) as f64;
             let (na, nb) = (a.as_cat(), b.as_cat());
@@ -66,7 +73,9 @@ pub fn expected_squared(a1: f64, b1: f64, a2: f64, b2: f64) -> f64 {
         - (a1 + b1) * (a2 + b2) / 2.0
 }
 
-/// The full ED vector for a pair of generalization sequences.
+/// The full ED vector for a pair of generalization sequences. Zipped
+/// iteration (rather than indexing) means a length mismatch truncates to
+/// the shortest input instead of panicking.
 pub fn expected_vector(
     vghs: &[&Vgh],
     distances: &[AttrDistance],
@@ -74,8 +83,9 @@ pub fn expected_vector(
     b: &[GenVal],
 ) -> Vec<f64> {
     vghs.iter()
-        .enumerate()
-        .map(|(pos, vgh)| expected_distance(vgh, distances[pos], &a[pos], &b[pos]))
+        .zip(distances.iter())
+        .zip(a.iter().zip(b.iter()))
+        .map(|((vgh, dist), (ga, gb))| expected_distance(vgh, *dist, ga, gb))
         .collect()
 }
 

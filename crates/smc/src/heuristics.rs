@@ -67,9 +67,15 @@ pub fn order_unknown(
     let mut keyed: Vec<(f64, ClassPairRef)> = ordered
         .into_iter()
         .map(|pref| {
-            let a = &r_view.classes()[pref.r_class as usize].sequence;
-            let b = &s_view.classes()[pref.s_class as usize].sequence;
-            let eds = expected_vector(&vghs, &rule.distances, a, b);
+            // A pair referencing a class outside either view is corrupt
+            // input; rank it last rather than panicking.
+            let (Some(rc), Some(sc)) = (
+                r_view.classes().get(pref.r_class as usize),
+                s_view.classes().get(pref.s_class as usize),
+            ) else {
+                return (f64::INFINITY, pref);
+            };
+            let eds = expected_vector(&vghs, &rule.distances, &rc.sequence, &sc.sequence);
             let key = match heuristic {
                 SelectionHeuristic::MinFirst => {
                     eds.iter().copied().fold(f64::INFINITY, f64::min)
@@ -80,7 +86,9 @@ pub fn order_unknown(
                 SelectionHeuristic::MinAvgFirst => {
                     eds.iter().sum::<f64>() / eds.len().max(1) as f64
                 }
-                SelectionHeuristic::Random { .. } => unreachable!("handled above"),
+                // Unreachable in practice — Random returns early above —
+                // but a neutral key is harmless where a panic is not.
+                SelectionHeuristic::Random { .. } => 0.0,
             };
             (key, pref)
         })

@@ -62,6 +62,10 @@ pub enum SmcError {
     /// A checkpointed [`SmcSession`] does not fit the inputs or
     /// configuration it was asked to resume against.
     SessionMismatch(String),
+    /// An internal invariant did not hold (an index derived from session
+    /// state fell outside its table). Replaces panics on protocol paths:
+    /// corrupted session state must surface as an error, not an abort.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for SmcError {
@@ -73,6 +77,7 @@ impl std::fmt::Display for SmcError {
             SmcError::Crypto(e) => write!(f, "crypto error: {e}"),
             SmcError::Transport(e) => write!(f, "transport error: {e}"),
             SmcError::SessionMismatch(why) => write!(f, "session mismatch: {why}"),
+            SmcError::Internal(why) => write!(f, "internal invariant violated: {why}"),
         }
     }
 }

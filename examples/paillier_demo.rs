@@ -28,8 +28,8 @@ fn main() {
 
     // --- homomorphic arithmetic ---
     let (pk, sk) = keys.clone().split();
-    let enc_30 = pk.encrypt_u64(30, &mut rng);
-    let enc_12 = pk.encrypt_u64(12, &mut rng);
+    let enc_30 = pk.encrypt_u64(30, &mut rng).unwrap();
+    let enc_12 = pk.encrypt_u64(12, &mut rng).unwrap();
     let sum = pk.add(&enc_30, &enc_12);
     let scaled = pk.mul_plain(&enc_30, &BigUint::from_u64(3));
     println!("Dec(Enc(30) ⊕ Enc(12)) = {}", sk.decrypt_u64(&sum).unwrap());
