@@ -554,7 +554,7 @@ fn chaos(seed: u64) {
             vec![
                 100.0 * out.metrics.precision(),
                 100.0 * out.metrics.recall(),
-                deg.pairs_abandoned as f64,
+                deg.pairs_abandoned() as f64,
                 deg.retries_spent as f64,
                 deg.injected.total() as f64,
             ],

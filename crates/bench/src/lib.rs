@@ -11,7 +11,8 @@ use pprl_blocking::{BlockingEngine, BlockingOutcome, MatchingRule, PairLabel};
 use pprl_core::{GroundTruth, SyntheticScenario};
 use pprl_data::DataSet;
 use pprl_smc::{
-    label_leftovers, LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode, SmcStep,
+    label_leftovers, DeadlineBudget, LabelingStrategy, SelectionHeuristic, SmcAllowance,
+    SmcMode, SmcStep,
 };
 use serde::Serialize;
 
@@ -131,6 +132,7 @@ pub fn run_point(
         strategy: LabelingStrategy::MaximizePrecision,
         mode: SmcMode::Oracle,
         channel: None,
+        deadline: DeadlineBudget::None,
     };
     let smc = step
         .run(
@@ -181,6 +183,7 @@ pub fn run_strategy(
         strategy,
         mode: SmcMode::Oracle,
         channel: None,
+        deadline: DeadlineBudget::None,
     };
     let smc = step
         .run(

@@ -33,7 +33,7 @@ impl BigUint {
             if i == self.limbs.len() - 1 {
                 // Skip leading zero bytes of the most significant limb.
                 let skip = (limb.leading_zeros() / 8) as usize;
-                out.extend_from_slice(&bytes[skip..]);
+                out.extend(bytes.iter().skip(skip));
             } else {
                 out.extend_from_slice(&bytes);
             }
@@ -70,9 +70,11 @@ impl BigUint {
             s.to_string()
         };
         for pair in s.as_bytes().chunks(2) {
-            let hi = hex_digit(pair[0])?;
-            let lo = hex_digit(pair[1])?;
-            bytes.push((hi << 4) | lo);
+            let &[hi, lo] = pair else {
+                // Unreachable: the string was padded to even length above.
+                return Err(BignumError::Parse("odd hex length".into()));
+            };
+            bytes.push((hex_digit(hi)? << 4) | hex_digit(lo)?);
         }
         Ok(BigUint::from_bytes_be(&bytes))
     }
@@ -103,7 +105,10 @@ impl BigUint {
         let mut n = self.clone();
         let mut parts: Vec<u64> = Vec::new();
         while !n.is_zero() {
-            let (q, r) = n.div_rem_u64(CHUNK).expect("chunk is non-zero");
+            let Ok((q, r)) = n.div_rem_u64(CHUNK) else {
+                debug_assert!(false, "CHUNK is a non-zero constant");
+                break;
+            };
             parts.push(r);
             n = q;
         }
@@ -125,10 +130,11 @@ impl BigUint {
         }
         let mut out = BigUint::zero();
         for chunk in s.as_bytes().chunks(19) {
-            let digits = std::str::from_utf8(chunk).expect("ascii digits");
-            let v: u64 = digits
-                .parse()
-                .map_err(|e| BignumError::Parse(format!("{e}")))?;
+            // Every byte was validated as an ASCII digit above; 19 digits
+            // fit in u64 (10^19 - 1 < 2^64).
+            let v = chunk
+                .iter()
+                .fold(0u64, |acc, &b| acc * 10 + u64::from(b - b'0'));
             out = out.mul_u64(10u64.pow(chunk.len() as u32));
             out.add_u64_assign(v);
         }

@@ -32,9 +32,9 @@ impl BigUint {
         }
         let mut q = vec![0u64; self.limbs.len()];
         let mut rem = 0u128;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = (rem << 64) | self.limbs[i] as u128;
-            q[i] = (cur / d as u128) as u64;
+        for (qd, &l) in q.iter_mut().zip(self.limbs.iter()).rev() {
+            let cur = (rem << 64) | l as u128;
+            *qd = (cur / d as u128) as u64;
             rem = cur % d as u128;
         }
         Ok((BigUint::from_limbs(q), rem as u64))
@@ -78,7 +78,7 @@ fn to_u32_digits(limbs: &[u64]) -> Vec<u32> {
 fn from_u32_digits(digits: &[u32]) -> BigUint {
     let mut limbs = Vec::with_capacity(digits.len().div_ceil(2));
     for pair in digits.chunks(2) {
-        let lo = pair[0] as u64;
+        let lo = pair.first().copied().unwrap_or(0) as u64;
         let hi = pair.get(1).copied().unwrap_or(0) as u64;
         limbs.push(lo | (hi << 32));
     }
@@ -176,15 +176,14 @@ fn shl_digits(d: &[u32], shift: u32) -> Vec<u32> {
 }
 
 fn shr_digits(d: &[u32], shift: u32) -> Vec<u32> {
-    let mut out = d.to_vec();
-    if shift != 0 {
-        for i in 0..out.len() {
-            out[i] >>= shift;
-            if i + 1 < d.len() {
-                out[i] |= d[i + 1] << (32 - shift);
-            }
-        }
-    }
+    let mut out: Vec<u32> = if shift == 0 {
+        d.to_vec()
+    } else {
+        d.iter()
+            .zip(d.iter().skip(1).copied().chain(std::iter::once(0)))
+            .map(|(&x, hi)| (x >> shift) | (hi << (32 - shift)))
+            .collect()
+    };
     while out.last() == Some(&0) {
         out.pop();
     }

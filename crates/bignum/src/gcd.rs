@@ -37,7 +37,10 @@ impl BigUint {
         let mut y1 = BigInt::one();
 
         while !r1.is_zero() {
-            let (q, r) = r0.div_rem(&r1).expect("r1 checked non-zero");
+            let Ok((q, r)) = r0.div_rem(&r1) else {
+                debug_assert!(false, "r1 is non-zero inside the loop");
+                break;
+            };
             r0 = std::mem::replace(&mut r1, r);
             let qi = BigInt::from_biguint(q);
             let nx = x0.sub(&qi.mul(&x1));

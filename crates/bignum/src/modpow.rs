@@ -21,8 +21,12 @@ impl BigUint {
             return BigUint::one();
         }
         if modulus.is_odd() {
-            let ctx = Montgomery::new(modulus).expect("odd modulus > 1");
-            ctx.pow(self, exp)
+            match Montgomery::new(modulus) {
+                Ok(ctx) => ctx.pow(self, exp),
+                // Unreachable for an odd modulus > 1, but degrade to the
+                // generic division-based path rather than aborting.
+                Err(_) => mod_pow_binary(self, exp, modulus),
+            }
         } else {
             mod_pow_binary(self, exp, modulus)
         }

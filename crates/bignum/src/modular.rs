@@ -61,7 +61,10 @@ impl Montgomery {
         m_limbs.resize(n, 0);
 
         // Newton's iteration: inv ≡ m0⁻¹ (mod 2^64) in 6 steps.
-        let m0 = m_limbs[0];
+        let Some(&m0) = m_limbs.first() else {
+            // Unreachable: a zero modulus was rejected above.
+            return Err(BignumError::EvenModulus);
+        };
         let mut inv = 1u64;
         for _ in 0..6 {
             inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
@@ -108,7 +111,9 @@ impl Montgomery {
     /// Converts a Montgomery-form value back to a plain [`BigUint`].
     pub fn from_mont(&self, a: &[u64]) -> BigUint {
         let mut one = vec![0u64; self.n];
-        one[0] = 1;
+        if let Some(first) = one.first_mut() {
+            *first = 1;
+        }
         BigUint::from_limbs(self.mont_mul(a, &one))
     }
 
@@ -197,9 +202,9 @@ impl Montgomery {
 /// `a >= b` for equal-length limb slices (little-endian).
 fn ge_limbs(a: &[u64], b: &[u64]) -> bool {
     debug_assert_eq!(a.len(), b.len());
-    for i in (0..a.len()).rev() {
-        if a[i] != b[i] {
-            return a[i] > b[i];
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        if x != y {
+            return x > y;
         }
     }
     true

@@ -73,18 +73,23 @@ fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
         if ai == 0 {
             continue;
         }
+        // `window[j]` is `out[i + j]`; the split keeps the row addition and
+        // the carry run-out free of panicking index arithmetic.
+        let (_, window) = out.split_at_mut(i);
+        let (row, tail) = window.split_at_mut(b.len());
         let mut carry = 0u128;
-        for (j, &bj) in b.iter().enumerate() {
-            let t = ai as u128 * bj as u128 + out[i + j] as u128 + carry;
-            out[i + j] = t as u64;
+        for (slot, &bj) in row.iter_mut().zip(b) {
+            let t = ai as u128 * bj as u128 + *slot as u128 + carry;
+            *slot = t as u64;
             carry = t >> 64;
         }
-        let mut k = i + b.len();
-        while carry != 0 {
-            let t = out[k] as u128 + carry;
-            out[k] = t as u64;
+        for slot in tail {
+            if carry == 0 {
+                break;
+            }
+            let t = *slot as u128 + carry;
+            *slot = t as u64;
             carry = t >> 64;
-            k += 1;
         }
     }
     out
@@ -115,14 +120,13 @@ fn karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
 }
 
 /// Returns `a + b` as limbs.
-#[allow(clippy::needless_range_loop)] // offset-indexed carry loop reads clearer
 fn add_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
-    for i in 0..long.len() {
+    for (i, &l) in long.iter().enumerate() {
         let rhs = short.get(i).copied().unwrap_or(0);
-        let (s1, c1) = long[i].overflowing_add(rhs);
+        let (s1, c1) = l.overflowing_add(rhs);
         let (s2, c2) = s1.overflowing_add(carry);
         out.push(s2);
         carry = (c1 as u64) + (c2 as u64);
@@ -134,14 +138,13 @@ fn add_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
 }
 
 /// `a -= b` on limb vectors, assuming `a >= b` (guaranteed by Karatsuba math).
-#[allow(clippy::needless_range_loop)] // offset-indexed carry loop reads clearer
 fn sub_in_place(a: &mut [u64], b: &[u64]) {
     let mut borrow = 0u64;
-    for i in 0..a.len() {
+    for (i, slot) in a.iter_mut().enumerate() {
         let rhs = b.get(i).copied().unwrap_or(0);
-        let (d1, b1) = a[i].overflowing_sub(rhs);
+        let (d1, b1) = slot.overflowing_sub(rhs);
         let (d2, b2) = d1.overflowing_sub(borrow);
-        a[i] = d2;
+        *slot = d2;
         borrow = (b1 as u64) + (b2 as u64);
         if borrow == 0 && i >= b.len() {
             break;
@@ -152,17 +155,19 @@ fn sub_in_place(a: &mut [u64], b: &[u64]) {
 
 /// `out += src << (64*shift)`; `out` must be long enough.
 fn add_shifted(out: &mut [u64], src: &[u64], shift: usize) {
+    let (_, window) = out.split_at_mut(shift);
     let mut carry = 0u64;
-    let mut i = 0;
-    while i < src.len() || carry != 0 {
+    for (i, slot) in window.iter_mut().enumerate() {
+        if i >= src.len() && carry == 0 {
+            break;
+        }
         let rhs = src.get(i).copied().unwrap_or(0);
-        let slot = &mut out[shift + i];
         let (s1, c1) = slot.overflowing_add(rhs);
         let (s2, c2) = s1.overflowing_add(carry);
         *slot = s2;
         carry = (c1 as u64) + (c2 as u64);
-        i += 1;
     }
+    debug_assert_eq!(carry, 0, "Karatsuba result overflowed its buffer");
 }
 
 #[cfg(test)]

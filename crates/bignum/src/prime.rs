@@ -39,14 +39,19 @@ fn miller_rabin<R: RngCore + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) ->
     debug_assert!(n.is_odd());
     let one = BigUint::one();
     let n_minus_1 = n - &one;
-    let s = n_minus_1
-        .trailing_zeros()
-        .expect("n-1 > 0 since n > 3");
+    // Contract violations degrade to "composite" — never a false prime.
+    let Some(s) = n_minus_1.trailing_zeros() else {
+        debug_assert!(false, "miller_rabin requires n > 3");
+        return false;
+    };
     let d = n_minus_1.shr(s);
 
     // Reuse one Montgomery context across all bases — this is where nearly
     // all of the prime-generation time goes.
-    let ctx = Montgomery::new(n).expect("odd modulus");
+    let Ok(ctx) = Montgomery::new(n) else {
+        debug_assert!(false, "miller_rabin requires an odd modulus");
+        return false;
+    };
 
     let two = BigUint::from_u64(2);
     let bound = &n_minus_1 - &two; // bases drawn from [2, n-2]

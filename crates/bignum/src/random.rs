@@ -12,11 +12,13 @@ pub fn random_bits<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
     let limbs = bits.div_ceil(64);
     let mut v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
     let top_bits = bits - (limbs - 1) * 64;
-    // Mask excess high bits, then force the top bit.
-    if top_bits < 64 {
-        v[limbs - 1] &= (1u64 << top_bits) - 1;
+    if let Some(top) = v.last_mut() {
+        // Mask excess high bits, then force the top bit.
+        if top_bits < 64 {
+            *top &= (1u64 << top_bits) - 1;
+        }
+        *top |= 1u64 << (top_bits - 1);
     }
-    v[limbs - 1] |= 1u64 << (top_bits - 1);
     BigUint::from_limbs(v)
 }
 
@@ -33,7 +35,9 @@ pub fn random_below<R: RngCore + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUin
     };
     loop {
         let mut v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
-        v[limbs - 1] &= mask;
+        if let Some(top) = v.last_mut() {
+            *top &= mask;
+        }
         let candidate = BigUint::from_limbs(v);
         if candidate < *bound {
             return candidate;

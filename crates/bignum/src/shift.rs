@@ -10,12 +10,16 @@ impl BigUint {
         }
         let limb_shift = bits / 64;
         let bit_shift = bits % 64;
-        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
-        for (i, &l) in self.limbs.iter().enumerate() {
-            out[i + limb_shift] |= l << bit_shift;
-            if bit_shift != 0 {
-                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
             }
+            out.push(carry);
         }
         BigUint::from_limbs(out)
     }
@@ -27,16 +31,17 @@ impl BigUint {
             return BigUint::zero();
         }
         let bit_shift = bits % 64;
-        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
-        for i in limb_shift..self.limbs.len() {
-            let mut l = self.limbs[i] >> bit_shift;
-            if bit_shift != 0 {
-                if let Some(&hi) = self.limbs.get(i + 1) {
-                    l |= hi << (64 - bit_shift);
-                }
-            }
-            out.push(l);
-        }
+        let Some(tail) = self.limbs.get(limb_shift..) else {
+            return BigUint::zero();
+        };
+        let out: Vec<u64> = if bit_shift == 0 {
+            tail.to_vec()
+        } else {
+            tail.iter()
+                .zip(tail.iter().skip(1).copied().chain(std::iter::once(0)))
+                .map(|(&l, hi)| (l >> bit_shift) | (hi << (64 - bit_shift)))
+                .collect()
+        };
         BigUint::from_limbs(out)
     }
 
@@ -55,7 +60,9 @@ impl BigUint {
         if limb >= self.limbs.len() {
             self.limbs.resize(limb + 1, 0);
         }
-        self.limbs[limb] |= 1u64 << (i % 64);
+        if let Some(l) = self.limbs.get_mut(limb) {
+            *l |= 1u64 << (i % 64);
+        }
     }
 
     /// Number of trailing zero bits (`None` for zero).

@@ -94,7 +94,7 @@ impl BigUint {
     /// `true` iff the value is one.
     #[inline]
     pub fn is_one(&self) -> bool {
-        self.limbs.len() == 1 && self.limbs[0] == 1
+        matches!(self.limbs.as_slice(), [1])
     }
 
     /// `true` iff the value is even (zero counts as even).
@@ -119,19 +119,19 @@ impl BigUint {
 
     /// Returns the value as `u64` if it fits.
     pub fn to_u64(&self) -> Option<u64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0]),
+        match *self.limbs.as_slice() {
+            [] => Some(0),
+            [l] => Some(l),
             _ => None,
         }
     }
 
     /// Returns the value as `u128` if it fits.
     pub fn to_u128(&self) -> Option<u128> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0] as u128),
-            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+        match *self.limbs.as_slice() {
+            [] => Some(0),
+            [lo] => Some(lo as u128),
+            [lo, hi] => Some(lo as u128 | (hi as u128) << 64),
             _ => None,
         }
     }

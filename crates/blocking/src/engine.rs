@@ -59,6 +59,38 @@ impl BlockingOutcome {
     }
 }
 
+/// One resumable unit of blocking work: the slack decisions for R classes
+/// `[r_start, r_end)` against every S class, with per-chunk M/N/U record-
+/// pair tallies. Chunks are pure functions of the views and the rule, so a
+/// journaled chunk can be verified on resume by recomputation.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockingChunk {
+    /// Position of this chunk in the plan.
+    pub chunk_index: u32,
+    /// First R class covered (inclusive).
+    pub r_start: u32,
+    /// Last R class covered (exclusive).
+    pub r_end: u32,
+    /// Record pairs this chunk proved matched.
+    pub matched_pairs: u64,
+    /// Record pairs this chunk proved mismatched.
+    pub nonmatched_pairs: u64,
+    /// Record pairs this chunk left undecided.
+    pub unknown_pairs: u64,
+    /// Class pairs labeled M, in grid order.
+    pub matched: Vec<ClassPairRef>,
+    /// Class pairs labeled U, in grid order.
+    pub unknown: Vec<ClassPairRef>,
+}
+
+impl BlockingChunk {
+    /// The `(M, N, U)` record-pair tallies — the part of the chunk that is
+    /// journaled and checked against recomputation on resume.
+    pub fn tallies(&self) -> (u64, u64, u64) {
+        (self.matched_pairs, self.nonmatched_pairs, self.unknown_pairs)
+    }
+}
+
 /// Configured blocking step.
 #[derive(Clone, Debug)]
 pub struct BlockingEngine {
@@ -86,18 +118,52 @@ impl BlockingEngine {
         r_view: &AnonymizedView,
         s_view: &AnonymizedView,
     ) -> Result<BlockingOutcome, BlockingError> {
-        if r_view.qids() != s_view.qids() {
-            return Err(BlockingError::QidMismatch);
+        self.validate(r_view, s_view)?;
+        let chunk = self.scan_range(r_view, s_view, 0, 0, r_view.classes().len());
+        self.assemble(r_view, s_view, std::iter::once(chunk))
+    }
+
+    /// Number of resumable chunks the class grid splits into when each
+    /// chunk covers `r_classes_per_chunk` R classes (× every S class).
+    pub fn chunk_count(&self, r_view: &AnonymizedView, r_classes_per_chunk: usize) -> u32 {
+        let per = r_classes_per_chunk.max(1);
+        (r_view.classes().len().div_ceil(per)) as u32
+    }
+
+    /// Runs one chunk of the blocking step: the slack decisions for a
+    /// contiguous range of R classes against every S class. Chunks are
+    /// independent and deterministic, so a crashed run recomputes only the
+    /// chunks its journal is missing; concatenating all chunks in index
+    /// order via [`assemble`](Self::assemble) is exactly [`run`](Self::run).
+    pub fn run_chunk(
+        &self,
+        r_view: &AnonymizedView,
+        s_view: &AnonymizedView,
+        chunk_index: u32,
+        r_classes_per_chunk: usize,
+    ) -> Result<BlockingChunk, BlockingError> {
+        self.validate(r_view, s_view)?;
+        let per = r_classes_per_chunk.max(1);
+        let chunks = self.chunk_count(r_view, per);
+        if chunk_index >= chunks {
+            return Err(BlockingError::ChunkOutOfRange {
+                index: chunk_index,
+                chunks,
+            });
         }
-        self.rule.validate(r_view.qids())?;
+        let start = chunk_index as usize * per;
+        let end = (start + per).min(r_view.classes().len());
+        Ok(self.scan_range(r_view, s_view, chunk_index, start, end))
+    }
 
-        let schema = r_view.schema();
-        let vghs: Vec<&Vgh> = r_view
-            .qids()
-            .iter()
-            .map(|&q| schema.attribute(q).vgh())
-            .collect();
-
+    /// Folds chunks (in index order, covering every R class exactly once)
+    /// into the [`BlockingOutcome`] that [`run`](Self::run) would produce.
+    pub fn assemble(
+        &self,
+        r_view: &AnonymizedView,
+        s_view: &AnonymizedView,
+        chunks: impl IntoIterator<Item = BlockingChunk>,
+    ) -> Result<BlockingOutcome, BlockingError> {
         let r_total = (r_view.covered_records() + r_view.suppressed().len()) as u64;
         let s_total = (s_view.covered_records() + s_view.suppressed().len()) as u64;
         let covered_pairs = r_view.covered_records() as u64 * s_view.covered_records() as u64;
@@ -109,7 +175,69 @@ impl BlockingEngine {
         };
         outcome.unknown_pairs = outcome.suppressed_pairs;
 
-        for (ri, rc) in r_view.classes().iter().enumerate() {
+        let mut next_r = 0usize;
+        for chunk in chunks {
+            if chunk.r_start as usize != next_r {
+                return Err(BlockingError::ChunkOutOfRange {
+                    index: chunk.chunk_index,
+                    chunks: u32::MAX,
+                });
+            }
+            next_r = chunk.r_end as usize;
+            outcome.matched_pairs += chunk.matched_pairs;
+            outcome.nonmatched_pairs += chunk.nonmatched_pairs;
+            outcome.unknown_pairs += chunk.unknown_pairs;
+            outcome.matched.extend(chunk.matched);
+            outcome.unknown.extend(chunk.unknown);
+        }
+        if next_r != r_view.classes().len() {
+            return Err(BlockingError::ChunkOutOfRange {
+                index: u32::MAX,
+                chunks: u32::MAX,
+            });
+        }
+        debug_assert_eq!(
+            outcome.matched_pairs + outcome.nonmatched_pairs + outcome.unknown_pairs,
+            outcome.total_pairs
+        );
+        Ok(outcome)
+    }
+
+    fn validate(
+        &self,
+        r_view: &AnonymizedView,
+        s_view: &AnonymizedView,
+    ) -> Result<(), BlockingError> {
+        if r_view.qids() != s_view.qids() {
+            return Err(BlockingError::QidMismatch);
+        }
+        self.rule.validate(r_view.qids())
+    }
+
+    /// Applies the slack decision rule over R classes `[r_start, r_end)` ×
+    /// every S class, in grid order (assumes `validate` already passed).
+    fn scan_range(
+        &self,
+        r_view: &AnonymizedView,
+        s_view: &AnonymizedView,
+        chunk_index: u32,
+        r_start: usize,
+        r_end: usize,
+    ) -> BlockingChunk {
+        let schema = r_view.schema();
+        let vghs: Vec<&Vgh> = r_view
+            .qids()
+            .iter()
+            .map(|&q| schema.attribute(q).vgh())
+            .collect();
+
+        let mut chunk = BlockingChunk {
+            chunk_index,
+            r_start: r_start as u32,
+            r_end: r_end as u32,
+            ..BlockingChunk::default()
+        };
+        for (ri, rc) in r_view.classes().iter().enumerate().take(r_end).skip(r_start) {
             for (si, sc) in s_view.classes().iter().enumerate() {
                 let pairs = rc.size() as u64 * sc.size() as u64;
                 let pref = ClassPairRef {
@@ -119,24 +247,20 @@ impl BlockingEngine {
                 };
                 match slack_decision(&vghs, &self.rule, &rc.sequence, &sc.sequence) {
                     PairLabel::Match => {
-                        outcome.matched_pairs += pairs;
-                        outcome.matched.push(pref);
+                        chunk.matched_pairs += pairs;
+                        chunk.matched.push(pref);
                     }
                     PairLabel::NonMatch => {
-                        outcome.nonmatched_pairs += pairs;
+                        chunk.nonmatched_pairs += pairs;
                     }
                     PairLabel::Unknown => {
-                        outcome.unknown_pairs += pairs;
-                        outcome.unknown.push(pref);
+                        chunk.unknown_pairs += pairs;
+                        chunk.unknown.push(pref);
                     }
                 }
             }
         }
-        debug_assert_eq!(
-            outcome.matched_pairs + outcome.nonmatched_pairs + outcome.unknown_pairs,
-            outcome.total_pairs
-        );
-        Ok(outcome)
+        chunk
     }
 }
 
@@ -273,6 +397,59 @@ mod tests {
             BlockingEngine::new(rule).run(&va, &vb).unwrap_err(),
             BlockingError::QidMismatch
         );
+    }
+
+    /// Chunked execution is exactly the one-shot run: any chunk width
+    /// yields the same outcome (tallies, class-pair lists, order) when the
+    /// chunks are assembled in index order.
+    #[test]
+    fn chunked_run_assembles_to_the_one_shot_outcome() {
+        let (a, b) = inputs(250, 59);
+        let va = anonymize(&a, 8);
+        let vb = anonymize(&b, 16);
+        let rule = MatchingRule::uniform(a.schema(), &QIDS, 0.05);
+        let engine = BlockingEngine::new(rule);
+        let full = engine.run(&va, &vb).unwrap();
+        for per in [1usize, 3, 7, va.classes().len(), va.classes().len() + 10] {
+            let chunks: Vec<BlockingChunk> = (0..engine.chunk_count(&va, per))
+                .map(|i| engine.run_chunk(&va, &vb, i, per).unwrap())
+                .collect();
+            let m: u64 = chunks.iter().map(|c| c.tallies().0).sum();
+            assert_eq!(m, full.matched_pairs, "per-chunk tallies sum to the total");
+            let assembled = engine.assemble(&va, &vb, chunks).unwrap();
+            assert_eq!(assembled.total_pairs, full.total_pairs);
+            assert_eq!(assembled.matched_pairs, full.matched_pairs);
+            assert_eq!(assembled.nonmatched_pairs, full.nonmatched_pairs);
+            assert_eq!(assembled.unknown_pairs, full.unknown_pairs);
+            assert_eq!(assembled.matched, full.matched);
+            assert_eq!(assembled.unknown, full.unknown, "grid order preserved");
+        }
+    }
+
+    #[test]
+    fn chunk_plan_rejects_gaps_and_out_of_range_indexes() {
+        let (a, b) = inputs(120, 61);
+        let va = anonymize(&a, 8);
+        let vb = anonymize(&b, 8);
+        let rule = MatchingRule::uniform(a.schema(), &QIDS, 0.05);
+        let engine = BlockingEngine::new(rule);
+        let per = 2usize;
+        let n = engine.chunk_count(&va, per);
+        assert!(matches!(
+            engine.run_chunk(&va, &vb, n, per),
+            Err(BlockingError::ChunkOutOfRange { .. })
+        ));
+        // Dropping a middle chunk must not silently under-count.
+        let mut chunks: Vec<BlockingChunk> = (0..n)
+            .map(|i| engine.run_chunk(&va, &vb, i, per).unwrap())
+            .collect();
+        if chunks.len() > 2 {
+            chunks.remove(1);
+            assert!(matches!(
+                engine.assemble(&va, &vb, chunks),
+                Err(BlockingError::ChunkOutOfRange { .. })
+            ));
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod slack;
 pub use distance::{
     attribute_distance, records_match, AttrDistance, MatchingRule,
 };
-pub use engine::{BlockingEngine, BlockingOutcome, ClassPairRef};
+pub use engine::{BlockingChunk, BlockingEngine, BlockingOutcome, ClassPairRef};
 pub use rule::{slack_decision, PairLabel};
 pub use slack::{edit_distance, slack_bounds};
 
@@ -60,6 +60,14 @@ pub enum BlockingError {
     RuleArity { rule: usize, qids: usize },
     /// A threshold is outside `[0, 1]` or non-finite.
     BadThreshold(f64),
+    /// A chunk index addressed past the chunk plan (resume against
+    /// different inputs, or a corrupted journal).
+    ChunkOutOfRange {
+        /// The requested chunk.
+        index: u32,
+        /// Number of chunks the plan actually has.
+        chunks: u32,
+    },
 }
 
 impl std::fmt::Display for BlockingError {
@@ -70,6 +78,9 @@ impl std::fmt::Display for BlockingError {
                 write!(f, "matching rule arity {rule} != {qids} QIDs")
             }
             BlockingError::BadThreshold(t) => write!(f, "bad threshold {t}"),
+            BlockingError::ChunkOutOfRange { index, chunks } => {
+                write!(f, "blocking chunk {index} out of range ({chunks} chunks)")
+            }
         }
     }
 }

@@ -16,11 +16,11 @@
 //! ```
 
 use pprl_anon::{AnonymizationMethod, Anonymizer, KAnonymityRequirement};
-use pprl_core::{HybridLinkage, LinkageConfig};
+use pprl_core::{journal_run, HybridLinkage, LinkageConfig, LinkageOutcome};
 use pprl_data::loader::load_adult;
 use pprl_smc::{
-    ChannelConfig, FaultConfig, LabelingStrategy, RetryPolicy, SelectionHeuristic, SmcAllowance,
-    SmcMode,
+    ChannelConfig, DeadlineBudget, FaultConfig, LabelingStrategy, RetryPolicy, SelectionHeuristic,
+    SmcAllowance, SmcMode,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -87,11 +87,22 @@ RUN OPTIONS:
                       probability R (implies batched Paillier mode)
   --retries N         max retransmissions per exchange              [8]
   --fault-seed S      fault-injection and backoff-jitter seed       [7]
+  --deadline-ms MS    wall-clock budget for the SMC step; on expiry the
+                      remaining in-allowance pairs are labeled by the
+                      strategy instead of compared (precision stays 100%)
+  --journal PATH      journal progress to PATH so a killed run can resume
+  --resume            resume the run recorded in --journal PATH
+  --checkpoint-every N  session checkpoint cadence in SMC outcomes  [64]
+  --pace-ms MS        artificial delay per SMC outcome (test harness)
   --json              emit the report as JSON
 
 Example — 5 % fault injection, 4 retries, degradation report:
   pprl-link run --left d1.csv --right d2.csv \\
       --allowance-pct 0.5 --fault-rate 0.05 --retries 4 --paillier 256
+
+Example — crash-safe run, then recovery after a kill:
+  pprl-link run --left d1.csv --right d2.csv --journal /tmp/job.pprlj
+  pprl-link run --left d1.csv --right d2.csv --journal /tmp/job.pprlj --resume
 ";
 
 type Opts = HashMap<String, String>;
@@ -103,7 +114,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?;
-        if key == "json" {
+        if key == "json" || key == "resume" {
             opts.insert(key.to_string(), "true".to_string());
             i += 1;
         } else {
@@ -156,6 +167,9 @@ fn cmd_synth(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_run(opts: &Opts) -> Result<(), String> {
+    if opts.contains_key("resume") && !opts.contains_key("journal") {
+        return Err("--resume requires --journal PATH".to_string());
+    }
     let left = opts.get("left").ok_or("--left FILE is required")?;
     let right = opts.get("right").ok_or("--right FILE is required")?;
     let d1 = load_adult(left).map_err(|e| format!("{left}: {e}"))?;
@@ -213,10 +227,53 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         });
     }
 
-    let outcome = HybridLinkage::new(config)
-        .run(&d1, &d2)
-        .map_err(|e| e.to_string())?;
+    if let Some(ms) = opts.get("deadline-ms") {
+        config.deadline = DeadlineBudget::WallClockMs(
+            ms.parse().map_err(|_| "--deadline-ms: cannot parse MS")?,
+        );
+    }
+
+    let pipeline = HybridLinkage::new(config);
+    let outcome: LinkageOutcome = match opts.get("journal") {
+        None => pipeline.run(&d1, &d2).map_err(|e| e.to_string())?,
+        Some(path) => {
+            let jopts = journal_run::JournalOptions {
+                checkpoint_every: get(opts, "checkpoint-every", 64)?,
+                pace_ms: get(opts, "pace-ms", 0)?,
+                ..journal_run::JournalOptions::default()
+            };
+            let path = std::path::Path::new(path);
+            let journaled = if opts.contains_key("resume") {
+                journal_run::resume(&pipeline, &d1, &d2, path, &jopts)
+            } else {
+                journal_run::run_journaled(&pipeline, &d1, &d2, path, &jopts)
+            }
+            .map_err(|e| e.to_string())?;
+            // Progress accounting goes to stderr so stdout is byte-identical
+            // between a fresh run and a crash-recovered one.
+            eprintln!(
+                "journal: resumed={} restored={} replayed={} live={}",
+                journaled.resumed,
+                journaled.restored_pairs,
+                journaled.replayed_pairs,
+                journaled.live_pairs
+            );
+            journaled.outcome
+        }
+    };
     let m = &outcome.metrics;
+
+    // Order-independent digest of the declared match set, for comparing
+    // runs (e.g. a recovered run against an uninterrupted one).
+    let mut matched: Vec<(u32, u32)> = outcome.matched_rows().collect();
+    matched.sort_unstable();
+    let mut digest = pprl_journal::Fnv1a64::new();
+    digest.update_u64(matched.len() as u64);
+    for &(ri, si) in &matched {
+        digest.update_u64(ri as u64);
+        digest.update_u64(si as u64);
+    }
+    let matched_digest = format!("{:016x}", digest.finish());
 
     if opts.contains_key("json") {
         println!(
@@ -234,6 +291,9 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
                 "smc_matched": m.smc_matched,
                 "smc_invocations": m.smc_invocations,
                 "smc_budget": m.smc_budget,
+                "smc_abandoned": m.smc_abandoned,
+                "deadline_abandoned": m.deadline_abandoned,
+                "matched_digest": matched_digest,
                 "crypto": {
                     "encryptions": outcome.ledger.encryptions,
                     "decryptions": outcome.ledger.decryptions,
@@ -242,7 +302,9 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
                     "bytes": outcome.ledger.bytes,
                 },
                 "degradation": {
-                    "pairs_abandoned": outcome.degradation().pairs_abandoned,
+                    "pairs_abandoned": outcome.degradation().pairs_abandoned(),
+                    "retry_abandoned": outcome.degradation().abandoned.retry_exhausted,
+                    "deadline_abandoned": outcome.degradation().abandoned.deadline_expired,
                     "declared_matches": outcome.degradation().declared.len(),
                     "retries_spent": outcome.degradation().retries_spent,
                     "faults_survived": outcome.degradation().faults_survived,
@@ -267,6 +329,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         println!("declared matches    : {}", m.declared_matches);
         println!("precision           : {:.2}%", 100.0 * m.precision());
         println!("recall              : {:.2}%", 100.0 * m.recall());
+        println!("matched digest      : {matched_digest}");
         let deg = outcome.degradation();
         if deg.injected.total() > 0 || deg.degraded() {
             println!(
@@ -277,8 +340,10 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
                 deg.virtual_backoff_ms
             );
             println!(
-                "degraded pairs      : {} abandoned after retry exhaustion ({} declared match by strategy)",
-                deg.pairs_abandoned,
+                "degraded pairs      : {} abandoned ({} retry exhaustion, {} deadline expiry; {} declared match by strategy)",
+                deg.pairs_abandoned(),
+                deg.abandoned.retry_exhausted,
+                deg.abandoned.deadline_expired,
                 deg.declared.len()
             );
         }

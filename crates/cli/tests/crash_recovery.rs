@@ -1,0 +1,243 @@
+//! Kill-recovery harness: spawn the CLI as a child process, SIGKILL it at
+//! seeded byte offsets of journal progress, resume, and require the
+//! recovered report to be byte-identical to an uninterrupted run — with
+//! journal-level proof that no completed SMC pair was executed twice.
+
+use pprl_core::journal_run::K_SMC_OUTCOME;
+use pprl_journal::{recover, HEADER_LEN};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_pprl-link");
+
+/// Deterministic offset source (splitmix64) — the "randomized (seeded)"
+/// part of the harness, reproducible run to run.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join("pprl-crash-recovery");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// `run` arguments shared by every invocation: the config must be
+/// identical or the journal fingerprint rightfully refuses to resume.
+fn run_args(dir: &Path, journal: &Path, pace_ms: u64, resume: bool) -> Vec<String> {
+    let mut args: Vec<String> = [
+        "run",
+        "--left",
+        dir.join("d1.csv").to_str().unwrap(),
+        "--right",
+        dir.join("d2.csv").to_str().unwrap(),
+        "--k",
+        "8",
+        "--allowance-pct",
+        "3",
+        "--checkpoint-every",
+        "8",
+        "--json",
+        "--journal",
+        journal.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    args.extend(["--pace-ms".to_string(), pace_ms.to_string()]);
+    if resume {
+        args.push("--resume".to_string());
+    }
+    args
+}
+
+/// Runs the CLI paced, killing it (SIGKILL on unix) once the journal file
+/// reaches `threshold` bytes. Returns `true` if the kill landed, `false`
+/// if the child finished first.
+fn kill_at_journal_offset(args: &[String], journal: &Path, threshold: u64) -> bool {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pprl-link");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if std::fs::metadata(journal).map_or(false, |m| m.len() >= threshold) {
+            child.kill().expect("SIGKILL child");
+            child.wait().expect("reap child");
+            return true;
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            return false;
+        }
+        assert!(Instant::now() < deadline, "paced child never progressed");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Parses the `journal: resumed=.. restored=N replayed=N live=N` stderr
+/// accounting line into `(restored, replayed, live)`.
+fn parse_accounting(stderr: &str) -> (u64, u64, u64) {
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("journal: "))
+        .unwrap_or_else(|| panic!("no journal accounting line in stderr: {stderr:?}"));
+    let field = |key: &str| -> u64 {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(key))
+            .unwrap_or_else(|| panic!("missing {key} in {line:?}"))
+            .parse()
+            .unwrap()
+    };
+    (field("restored="), field("replayed="), field("live="))
+}
+
+/// The journal must hold exactly one outcome frame per comparison, all for
+/// distinct pairs — frame-level proof that resuming never re-ran a
+/// completed SMC comparison.
+fn assert_no_pair_reexecuted(journal: &Path, invocations: u64) {
+    let recovered = recover(journal).expect("recover finished journal");
+    let mut outcome_payloads: Vec<Vec<u8>> = recovered
+        .frames
+        .iter()
+        .filter(|f| f.kind == K_SMC_OUTCOME)
+        .map(|f| f.payload.clone())
+        .collect();
+    assert_eq!(
+        outcome_payloads.len() as u64,
+        invocations,
+        "one journal frame per SMC comparison"
+    );
+    // Distinct (ri, si) coordinates: the payload prefix is the pair.
+    outcome_payloads.iter_mut().for_each(|p| p.truncate(8));
+    outcome_payloads.sort();
+    outcome_payloads.dedup();
+    assert_eq!(
+        outcome_payloads.len() as u64,
+        invocations,
+        "no SMC pair appears twice in the journal"
+    );
+}
+
+#[test]
+fn sigkilled_runs_resume_to_the_byte_identical_report() {
+    let dir = workdir();
+    let synth = Command::new(BIN)
+        .args([
+            "synth",
+            "--records",
+            "120",
+            "--seed",
+            "11",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("synth scenario");
+    assert!(
+        synth.status.success(),
+        "synth failed: {}",
+        String::from_utf8_lossy(&synth.stderr)
+    );
+
+    // Ground truth: one uninterrupted journaled run.
+    let base_journal = dir.join("base.pprlj");
+    let _ = std::fs::remove_file(&base_journal);
+    let base = Command::new(BIN)
+        .args(run_args(&dir, &base_journal, 0, false))
+        .output()
+        .expect("baseline run");
+    assert!(
+        base.status.success(),
+        "baseline failed: {}",
+        String::from_utf8_lossy(&base.stderr)
+    );
+    let expected_stdout = base.stdout.clone();
+    let report: serde_json::Value =
+        serde_json::from_slice(&base.stdout).expect("baseline JSON report");
+    let invocations = report["smc_invocations"].as_u64().unwrap();
+    assert!(invocations > 0, "scenario must exercise the SMC step");
+    let full_len = std::fs::metadata(&base_journal).unwrap().len();
+    assert_no_pair_reexecuted(&base_journal, invocations);
+
+    // Four seeded rounds: kill at a random journal offset, sometimes kill
+    // a second time deeper in, then resume to completion and compare.
+    let mut rng = 0x1cde_2008_u64;
+    let mut kills_landed = 0;
+    for round in 0..4 {
+        let journal = dir.join(format!("crash-{round}.pprlj"));
+        let _ = std::fs::remove_file(&journal);
+        let span = full_len - HEADER_LEN as u64;
+        let first_cut = HEADER_LEN as u64 + splitmix64(&mut rng) % span.max(1);
+        let killed = kill_at_journal_offset(&run_args(&dir, &journal, 3, false), &journal, first_cut);
+        if killed {
+            kills_landed += 1;
+            // Half the rounds also die during *recovery* — resume must
+            // itself be crash-safe.
+            if round % 2 == 0 {
+                let second_cut = first_cut + splitmix64(&mut rng) % (full_len - first_cut).max(1);
+                if kill_at_journal_offset(
+                    &run_args(&dir, &journal, 3, true),
+                    &journal,
+                    second_cut,
+                ) {
+                    kills_landed += 1;
+                }
+            }
+        }
+        let resume_args = run_args(&dir, &journal, 0, killed);
+        let out = Command::new(BIN).args(resume_args).output().expect("resume");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "round {round} resume failed: {stderr}");
+        assert_eq!(
+            out.stdout, expected_stdout,
+            "round {round}: recovered report must be byte-identical to the \
+             uninterrupted run"
+        );
+        let (restored, replayed, live) = parse_accounting(&stderr);
+        assert_eq!(
+            restored + replayed + live,
+            invocations,
+            "round {round}: every comparison restored, replayed, or run once"
+        );
+        if killed {
+            assert!(
+                restored + replayed > 0 || live == invocations,
+                "round {round}: a mid-SMC kill must leave resumable progress"
+            );
+        }
+        assert_no_pair_reexecuted(&journal, invocations);
+    }
+    assert!(
+        kills_landed >= 2,
+        "harness too weak: only {kills_landed} kills landed mid-run"
+    );
+}
+
+#[test]
+fn resume_without_journal_flag_is_refused() {
+    let dir = workdir();
+    let out = Command::new(BIN)
+        .args([
+            "run",
+            "--left",
+            "x.csv",
+            "--right",
+            "y.csv",
+            "--resume",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--resume requires --journal"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -3,7 +3,9 @@
 use pprl_anon::{AnonymizationMethod, KAnonymityRequirement};
 use pprl_blocking::MatchingRule;
 use pprl_data::Schema;
-use pprl_smc::{ChannelConfig, LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode};
+use pprl_smc::{
+    ChannelConfig, DeadlineBudget, LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode,
+};
 
 /// Everything the three participants agree on before the protocol runs.
 ///
@@ -39,6 +41,10 @@ pub struct LinkageConfig {
     /// Simulated network under the batched wire protocol (`None` = the
     /// historical perfect in-process hand-off).
     pub channel: Option<ChannelConfig>,
+    /// Wall-clock (or virtual) budget for the SMC step; on expiry the
+    /// remaining in-allowance pairs are abandoned to the labeling strategy
+    /// instead of compared.
+    pub deadline: DeadlineBudget,
 }
 
 impl LinkageConfig {
@@ -60,6 +66,7 @@ impl LinkageConfig {
             strategy: LabelingStrategy::MaximizePrecision,
             mode: SmcMode::Oracle,
             channel: None,
+            deadline: DeadlineBudget::None,
         }
     }
 
@@ -118,6 +125,12 @@ impl LinkageConfig {
     /// [`SmcMode::PaillierBatched`].
     pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
         self.channel = Some(channel);
+        self
+    }
+
+    /// Caps how long the SMC step may run (see [`DeadlineBudget`]).
+    pub fn with_deadline(mut self, deadline: DeadlineBudget) -> Self {
+        self.deadline = deadline;
         self
     }
 

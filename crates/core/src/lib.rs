@@ -21,12 +21,14 @@
 
 pub mod baselines;
 mod config;
+pub mod journal_run;
 mod metrics;
 mod pipeline;
 mod scenario;
 mod truth;
 
 pub use config::LinkageConfig;
+pub use journal_run::{JournalOptions, JournaledOutcome};
 pub use metrics::LinkageMetrics;
 pub use pipeline::{HybridLinkage, LinkageOutcome};
 pub use scenario::{SyntheticScenario, SyntheticScenarioBuilder};
@@ -43,6 +45,9 @@ pub enum LinkageError {
     Blocking(pprl_blocking::BlockingError),
     /// The SMC step failed.
     Smc(pprl_smc::SmcError),
+    /// The run journal is unreadable, belongs to a different job, or
+    /// disagrees with the recomputed work it claims to record.
+    Journal(String),
 }
 
 impl std::fmt::Display for LinkageError {
@@ -52,6 +57,7 @@ impl std::fmt::Display for LinkageError {
             LinkageError::Anon(e) => write!(f, "anonymization: {e}"),
             LinkageError::Blocking(e) => write!(f, "blocking: {e}"),
             LinkageError::Smc(e) => write!(f, "smc: {e}"),
+            LinkageError::Journal(why) => write!(f, "journal: {why}"),
         }
     }
 }
@@ -73,5 +79,11 @@ impl From<pprl_blocking::BlockingError> for LinkageError {
 impl From<pprl_smc::SmcError> for LinkageError {
     fn from(e: pprl_smc::SmcError) -> Self {
         LinkageError::Smc(e)
+    }
+}
+
+impl From<pprl_journal::JournalError> for LinkageError {
+    fn from(e: pprl_journal::JournalError) -> Self {
+        LinkageError::Journal(e.to_string())
     }
 }

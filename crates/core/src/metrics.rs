@@ -33,6 +33,9 @@ pub struct LinkageMetrics {
     /// decided by the labeling strategy instead of the protocol (0 on a
     /// reliable channel).
     pub smc_abandoned: u64,
+    /// SMC record pairs abandoned because the deadline budget expired
+    /// before they could be compared (0 without a deadline).
+    pub deadline_abandoned: u64,
 }
 
 impl LinkageMetrics {

@@ -91,14 +91,7 @@ impl HybridLinkage {
         let blocking = BlockingEngine::new(rule.clone()).run(&r_view, &s_view)?;
 
         // Step 3 — SMC step under the allowance.
-        let step = SmcStep {
-            heuristic: cfg.heuristic,
-            allowance: cfg.allowance,
-            strategy: cfg.strategy,
-            mode: cfg.mode,
-            channel: cfg.channel,
-        };
-        let smc = step.run(
+        let smc = self.smc_step().run(
             r,
             s,
             &r_view,
@@ -107,6 +100,39 @@ impl HybridLinkage {
             &rule,
             blocking.total_pairs,
         )?;
+
+        Ok(self.finalize(r, s, &rule, r_view, s_view, blocking, smc))
+    }
+
+    /// The SMC step exactly as [`run`](Self::run) configures it (shared
+    /// with the journaled runner, which drives it pair by pair).
+    pub(crate) fn smc_step(&self) -> SmcStep {
+        let cfg = &self.config;
+        SmcStep {
+            heuristic: cfg.heuristic,
+            allowance: cfg.allowance,
+            strategy: cfg.strategy,
+            mode: cfg.mode,
+            channel: cfg.channel,
+            deadline: cfg.deadline,
+        }
+    }
+
+    /// Steps 4–5 of the protocol (leftover labeling, ground-truth scoring)
+    /// and outcome assembly — shared by [`run`](Self::run) and the
+    /// journaled runner so both paths score identically.
+    pub(crate) fn finalize(
+        &self,
+        r: &DataSet,
+        s: &DataSet,
+        rule: &MatchingRule,
+        r_view: AnonymizedView,
+        s_view: AnonymizedView,
+        blocking: BlockingOutcome,
+        smc: SmcReport,
+    ) -> LinkageOutcome {
+        let cfg = &self.config;
+        let schema = r.schema();
 
         // Step 4 — leftover labeling (§V-B).
         let vghs: Vec<&Vgh> = cfg.qids.iter().map(|&q| schema.attribute(q).vgh()).collect();
@@ -129,13 +155,13 @@ impl HybridLinkage {
         );
 
         // Step 5 — evaluate against ground truth.
-        let truth = GroundTruth::compute(r, s, &cfg.qids, &rule);
+        let truth = GroundTruth::compute(r, s, &cfg.qids, rule);
         let metrics = self.score(
-            r, s, &rule, &r_view, &s_view, &blocking, &smc, &leftover_labels, &truth,
+            r, s, rule, &r_view, &s_view, &blocking, &smc, &leftover_labels, &truth,
         );
 
         let ledger = smc.ledger.clone();
-        Ok(LinkageOutcome {
+        LinkageOutcome {
             r_view,
             s_view,
             blocking,
@@ -143,7 +169,7 @@ impl HybridLinkage {
             leftover_labels,
             metrics,
             ledger,
-        })
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -225,7 +251,8 @@ impl HybridLinkage {
             smc_invocations: smc.invocations,
             smc_budget: smc.budget,
             leftover_declared,
-            smc_abandoned: smc.degradation.pairs_abandoned,
+            smc_abandoned: smc.degradation.abandoned.retry_exhausted,
+            deadline_abandoned: smc.degradation.abandoned.deadline_expired,
         }
     }
 }
@@ -267,7 +294,7 @@ fn count_suppressed_matches(
     count
 }
 
-fn check_schemas(r: &DataSet, s: &DataSet) -> Result<(), LinkageError> {
+pub(crate) fn check_schemas(r: &DataSet, s: &DataSet) -> Result<(), LinkageError> {
     let (a, b) = (r.schema(), s.schema());
     if a.arity() != b.arity() {
         return Err(LinkageError::SchemaMismatch);

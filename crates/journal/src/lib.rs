@@ -1,0 +1,480 @@
+//! # pprl-journal — durable, append-only run journal
+//!
+//! Crash-safe progress log for long linkage jobs: the pipeline appends a
+//! frame per unit of completed work (blocking chunk tallies, per-pair SMC
+//! outcomes, periodic session checkpoints) and a killed process resumes by
+//! replaying the journal instead of re-running paid-for cryptography.
+//!
+//! ## On-disk format (version 1)
+//!
+//! ```text
+//! header:  magic "PPRLJRNL" (8) | version u16 LE (2) | fingerprint u64 LE (8)
+//! frame:   kind u8 (1) | len u32 LE (4) | payload (len) | checksum u64 LE (8)
+//! ```
+//!
+//! The checksum is FNV-1a-64 over `kind ‖ len ‖ payload`. The
+//! `fingerprint` is caller-supplied (a digest of the job configuration and
+//! inputs) and is validated on resume so a journal is never replayed
+//! against drifted inputs.
+//!
+//! ## Torn-write semantics
+//!
+//! The file is append-only and every frame is self-delimiting, so the only
+//! damage a process kill can cause is an *incomplete final frame*. Recovery
+//! parses the longest valid frame prefix and truncates the rest: a torn
+//! tail costs at most the single unit of work whose frame never became
+//! durable — it never corrupts earlier frames. Decoding is total: arbitrary
+//! bytes, truncations, and bit flips end the valid prefix, they never
+//! panic (property-tested in `tests/frame_fuzz.rs`).
+//!
+//! This crate is deliberately stdlib-only (dependency policy D001): it
+//! sits on the persistence path of a privacy protocol, next to key
+//! material.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// File magic, first 8 bytes of every journal.
+pub const MAGIC: [u8; 8] = *b"PPRLJRNL";
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Header length: magic + version + fingerprint.
+pub const HEADER_LEN: usize = 8 + 2 + 8;
+
+/// Per-frame overhead: kind + length + checksum.
+pub const FRAME_OVERHEAD: usize = 1 + 4 + 8;
+
+/// Upper bound on a single frame payload. A corrupt length field must not
+/// trigger a multi-gigabyte allocation; real payloads (session snapshots)
+/// are far below this.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// FNV-1a 64-bit hash — the workspace's standard content fingerprint
+/// (same function the analyzer baseline uses).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Streaming variant of [`fnv1a64`] for fingerprinting heterogeneous data
+/// without concatenating it first.
+#[derive(Clone, Debug)]
+pub struct Fnv1a64(u64);
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a64 {
+    /// Fresh hasher with the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the running hash.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One journal record: an opaque payload tagged with a caller-defined kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Caller-defined record kind (the journal does not interpret it).
+    pub kind: u8,
+    /// Record payload.
+    pub payload: Vec<u8>,
+}
+
+/// Errors from opening or validating a journal. Torn tails are *not*
+/// errors — they are recovered by truncation.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the journal magic.
+    BadMagic,
+    /// The file uses a format version this build cannot read.
+    BadVersion(u16),
+    /// The file ends before a complete header — the creating process died
+    /// during the very first write. Nothing is recoverable.
+    TornHeader,
+    /// The journal was written for a different job configuration or
+    /// different inputs; replaying it would silently corrupt the run.
+    FingerprintMismatch {
+        /// Fingerprint the resuming job computed from its inputs.
+        expected: u64,
+        /// Fingerprint stored in the journal header.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal io: {e}"),
+            JournalError::BadMagic => write!(f, "not a pprl journal (bad magic)"),
+            JournalError::BadVersion(v) => write!(f, "unsupported journal version {v}"),
+            JournalError::TornHeader => write!(f, "journal header incomplete (torn write)"),
+            JournalError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "journal fingerprint {found:#018x} does not match job {expected:#018x} \
+                 (configuration or inputs changed since the journal was written)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Serializes the file header.
+pub fn encode_header(fingerprint: u64) -> [u8; HEADER_LEN] {
+    let mut out = [0u8; HEADER_LEN];
+    let version = FORMAT_VERSION.to_le_bytes();
+    let fp = fingerprint.to_le_bytes();
+    let fields = MAGIC.iter().chain(&version).chain(&fp);
+    for (dst, &src) in out.iter_mut().zip(fields) {
+        *dst = src;
+    }
+    out
+}
+
+/// Parses and validates the file header, returning the job fingerprint.
+pub fn decode_header(bytes: &[u8]) -> Result<u64, JournalError> {
+    let header = bytes.get(..HEADER_LEN).ok_or(JournalError::TornHeader)?;
+    let (magic, rest) = header.split_at(8);
+    if magic != MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+    let (ver, fp) = rest.split_at(2);
+    let version =
+        u16::from_le_bytes(ver.try_into().map_err(|_| JournalError::TornHeader)?);
+    if version != FORMAT_VERSION {
+        return Err(JournalError::BadVersion(version));
+    }
+    Ok(u64::from_le_bytes(
+        fp.try_into().map_err(|_| JournalError::TornHeader)?,
+    ))
+}
+
+/// Serializes one frame: `kind | len | payload | checksum`.
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() as u64 <= MAX_FRAME_LEN as u64);
+    let len = payload.len() as u32;
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    out.push(kind);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Attempts to decode one frame from the start of `buf`. Returns the frame
+/// and the bytes it consumed, or `None` when `buf` holds no complete valid
+/// frame (truncated, over-long, or checksum mismatch) — the caller treats
+/// that boundary as the end of the journal's valid prefix.
+pub fn decode_frame(buf: &[u8]) -> Option<(Frame, usize)> {
+    let (&kind, rest) = buf.split_first()?;
+    let len = u32::from_le_bytes(rest.get(..4)?.try_into().ok()?);
+    if len > MAX_FRAME_LEN {
+        return None;
+    }
+    let total = 5usize.checked_add(len as usize)?.checked_add(8)?;
+    let frame = buf.get(..total)?;
+    let (body, checksum_bytes) = frame.split_at(total - 8);
+    let stored = u64::from_le_bytes(checksum_bytes.try_into().ok()?);
+    if fnv1a64(body) != stored {
+        return None;
+    }
+    let payload = body.get(5..)?.to_vec();
+    Some((Frame { kind, payload }, total))
+}
+
+/// Result of parsing a journal's valid prefix.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Job fingerprint from the header.
+    pub fingerprint: u64,
+    /// Every fully durable frame, in append order.
+    pub frames: Vec<Frame>,
+    /// Byte length of the valid prefix (header + whole frames).
+    pub valid_len: u64,
+    /// Bytes past the valid prefix (a torn tail, or garbage).
+    pub truncated_bytes: u64,
+}
+
+/// Parses the longest valid prefix of an in-memory journal image. Total:
+/// never panics, whatever the bytes.
+pub fn recover_bytes(bytes: &[u8]) -> Result<Recovered, JournalError> {
+    let fingerprint = decode_header(bytes)?;
+    let mut frames = Vec::new();
+    let mut pos = HEADER_LEN;
+    while let Some((frame, consumed)) = bytes.get(pos..).and_then(decode_frame) {
+        frames.push(frame);
+        pos += consumed;
+    }
+    Ok(Recovered {
+        fingerprint,
+        frames,
+        valid_len: pos as u64,
+        truncated_bytes: (bytes.len() - pos) as u64,
+    })
+}
+
+/// Reads a journal file and parses its valid prefix.
+pub fn recover(path: &Path) -> Result<Recovered, JournalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    recover_bytes(&bytes)
+}
+
+/// Append-only journal writer. Every [`append`](JournalWriter::append)
+/// hands the frame to the OS in a single write, so a killed *process*
+/// loses at most the frame being written; call
+/// [`sync`](JournalWriter::sync) at checkpoints to also survive a killed
+/// *machine*.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) a journal for a fresh run.
+    pub fn create(path: &Path, fingerprint: u64) -> Result<Self, JournalError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&encode_header(fingerprint))?;
+        file.flush()?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Reopens an existing journal for resumption: parses the valid
+    /// prefix, validates the fingerprint against the resuming job,
+    /// truncates any torn tail, and positions the writer at the end.
+    pub fn resume(path: &Path, fingerprint: u64) -> Result<(Recovered, Self), JournalError> {
+        let recovered = recover(path)?;
+        if recovered.fingerprint != fingerprint {
+            return Err(JournalError::FingerprintMismatch {
+                expected: fingerprint,
+                found: recovered.fingerprint,
+            });
+        }
+        let file = OpenOptions::new().write(true).read(true).open(path)?;
+        file.set_len(recovered.valid_len)?;
+        let mut writer = JournalWriter { file };
+        use std::io::Seek;
+        writer.file.seek(std::io::SeekFrom::End(0))?;
+        Ok((recovered, writer))
+    }
+
+    /// Appends one frame (single OS write + flush).
+    pub fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), JournalError> {
+        self.file.write_all(&encode_frame(kind, payload))?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Forces written frames to stable storage (fsync).
+    pub fn sync(&self) -> Result<(), JournalError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(fingerprint: u64, frames: &[(u8, &[u8])]) -> Vec<u8> {
+        let mut bytes = encode_header(fingerprint).to_vec();
+        for &(kind, payload) in frames {
+            bytes.extend_from_slice(&encode_frame(kind, payload));
+        }
+        bytes
+    }
+
+    #[test]
+    fn roundtrip_preserves_frames() {
+        let frames: Vec<(u8, &[u8])> = vec![
+            (1, b"config"),
+            (2, &[]),
+            (3, &[0xff; 300]),
+            (4, b"\x00\x01\x02"),
+        ];
+        let bytes = image(0xdead_beef, &frames);
+        let rec = recover_bytes(&bytes).unwrap();
+        assert_eq!(rec.fingerprint, 0xdead_beef);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(rec.valid_len, bytes.len() as u64);
+        assert_eq!(rec.frames.len(), frames.len());
+        for (got, &(kind, payload)) in rec.frames.iter().zip(&frames) {
+            assert_eq!(got.kind, kind);
+            assert_eq!(got.payload, payload);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_recovers_a_frame_prefix() {
+        let frames: Vec<(u8, &[u8])> = vec![(1, b"alpha"), (2, b"bravo-bravo"), (3, b"c")];
+        let bytes = image(7, &frames);
+        // Frame boundaries in the full image.
+        let mut boundaries = vec![HEADER_LEN];
+        for &(_, p) in &frames {
+            boundaries.push(boundaries.last().unwrap() + FRAME_OVERHEAD + p.len());
+        }
+        for cut in HEADER_LEN..=bytes.len() {
+            let rec = recover_bytes(&bytes[..cut]).unwrap();
+            // Recovered frames = number of whole frames before the cut.
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(rec.frames.len(), whole, "cut at {cut}");
+            assert_eq!(rec.valid_len as usize, boundaries[whole], "cut at {cut}");
+            assert_eq!(
+                rec.truncated_bytes as usize,
+                cut - boundaries[whole],
+                "cut at {cut}"
+            );
+            // Recovered frames are bit-identical to the originals.
+            for (got, &(kind, payload)) in rec.frames.iter().zip(&frames) {
+                assert_eq!(got.kind, kind);
+                assert_eq!(got.payload, payload);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_inside_header_is_torn_header() {
+        let bytes = image(9, &[(1, b"x")]);
+        for cut in 0..HEADER_LEN {
+            assert!(
+                matches!(recover_bytes(&bytes[..cut]), Err(JournalError::TornHeader)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_ends_the_valid_prefix() {
+        let frames: Vec<(u8, &[u8])> = vec![(1, b"first"), (2, b"second"), (3, b"third")];
+        let bytes = image(5, &frames);
+        // Flip one bit in the middle frame's payload: recovery keeps frame
+        // 1 and stops (the flipped frame fails its checksum; under an
+        // unlucky flip the length field may swallow the rest, but earlier
+        // frames always survive).
+        let mut corrupt = bytes.clone();
+        let mid = HEADER_LEN + FRAME_OVERHEAD + frames[0].1.len() + 5 + 2;
+        corrupt[mid] ^= 0x10;
+        let rec = recover_bytes(&corrupt).unwrap();
+        assert!(rec.frames.len() <= 1 + 1); // frame 1, never the corrupt one intact
+        assert_eq!(rec.frames[0].payload, b"first");
+        assert!(rec.frames.iter().all(|f| f.payload != b"second"));
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected_not_allocated() {
+        let mut bytes = image(1, &[]);
+        bytes.push(9); // kind
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+        bytes.extend_from_slice(&[0u8; 32]);
+        let rec = recover_bytes(&bytes).unwrap();
+        assert!(rec.frames.is_empty());
+        assert_eq!(rec.valid_len as usize, HEADER_LEN);
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let mut bytes = image(1, &[]);
+        bytes[0] ^= 0xff;
+        assert!(matches!(recover_bytes(&bytes), Err(JournalError::BadMagic)));
+        let mut bytes = image(1, &[]);
+        bytes[8] = 0x63;
+        assert!(matches!(
+            recover_bytes(&bytes),
+            Err(JournalError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn writer_resume_truncates_torn_tail_and_appends() {
+        let dir = std::env::temp_dir().join(format!("pprl-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.journal");
+
+        let mut w = JournalWriter::create(&path, 42).unwrap();
+        w.append(1, b"one").unwrap();
+        w.append(2, b"two").unwrap();
+        drop(w);
+
+        // Simulate a kill mid-write: append half a frame by hand.
+        {
+            use std::io::Seek;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.seek(std::io::SeekFrom::End(0)).unwrap();
+            let torn = encode_frame(3, b"three");
+            f.write_all(&torn[..torn.len() / 2]).unwrap();
+        }
+
+        let (rec, mut w) = JournalWriter::resume(&path, 42).unwrap();
+        assert_eq!(rec.frames.len(), 2);
+        assert!(rec.truncated_bytes > 0);
+        w.append(3, b"three-retry").unwrap();
+        drop(w);
+
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(rec.frames.len(), 3);
+        assert_eq!(rec.frames[2].payload, b"three-retry");
+
+        // Wrong fingerprint refuses to resume.
+        assert!(matches!(
+            JournalWriter::resume(&path, 43),
+            Err(JournalError::FingerprintMismatch {
+                expected: 43,
+                found: 42
+            })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_hasher_matches_oneshot() {
+        let mut h = Fnv1a64::new();
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finish(), fnv1a64(b"hello world"));
+        let mut h = Fnv1a64::new();
+        h.update_u64(0x0102_0304_0506_0708);
+        assert_eq!(h.finish(), fnv1a64(&0x0102_0304_0506_0708u64.to_le_bytes()));
+    }
+}

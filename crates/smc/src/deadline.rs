@@ -1,0 +1,150 @@
+//! Deadline budgeting: a wall-clock analogue of the SMC allowance.
+//!
+//! The paper's allowance (§V) caps *how many* unknown pairs the Paillier
+//! protocol is spent on; a [`DeadlineBudget`] caps *how long*. When the
+//! deadline expires mid-SMC, every remaining pair the allowance would
+//! still have covered is *abandoned* instead of compared — decided by the
+//! configured `LabelingStrategy` exactly like a retry-exhausted pair
+//! (maximize-precision ⇒ non-match, so precision stays 1.0 by
+//! construction) and tallied separately as
+//! [`AbandonReason::DeadlineExpired`](crate::AbandonReason).
+//!
+//! Two clock models:
+//! * [`DeadlineBudget::WallClockMs`] — a real deadline for production
+//!   runs. Elapsed time persists across checkpoint/resume in
+//!   `SmcSession::elapsed_ms`, so a crashed job cannot cheat its budget by
+//!   restarting.
+//! * [`DeadlineBudget::VirtualMs`] — a deterministic clock where each
+//!   performed comparison costs a fixed virtual duration. Tests and
+//!   journal replay use it so deadline behaviour is exactly reproducible.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Time budget for the SMC step.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DeadlineBudget {
+    /// No deadline: the allowance alone bounds the run.
+    None,
+    /// Real wall-clock budget in milliseconds, measured across the whole
+    /// session (resumed time counts — the budget survives crashes).
+    WallClockMs(u64),
+    /// Deterministic virtual clock: each performed comparison advances
+    /// virtual time by `cost_per_pair_ms`; the deadline expires once
+    /// virtual time reaches `budget_ms`. Bit-reproducible, so resume ≡
+    /// one-shot holds even for deadline-degraded runs.
+    VirtualMs {
+        /// Virtual budget in milliseconds.
+        budget_ms: u64,
+        /// Virtual cost charged per performed comparison.
+        cost_per_pair_ms: u64,
+    },
+}
+
+impl DeadlineBudget {
+    /// True when no deadline is configured.
+    pub fn is_none(&self) -> bool {
+        matches!(self, DeadlineBudget::None)
+    }
+}
+
+/// Internal clock that tracks spend against a [`DeadlineBudget`].
+///
+/// `base_ms` carries elapsed time restored from a checkpoint, wall time
+/// accrues from `started`, and virtual time accrues per charged pair —
+/// only the model selected by the budget contributes to expiry.
+#[derive(Debug)]
+pub(crate) struct DeadlineClock {
+    budget: DeadlineBudget,
+    base_ms: u64,
+    virtual_ms: u64,
+    started: Instant,
+}
+
+impl DeadlineClock {
+    pub(crate) fn new(budget: DeadlineBudget, base_ms: u64) -> Self {
+        DeadlineClock {
+            budget,
+            base_ms,
+            virtual_ms: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Total elapsed milliseconds under this budget's clock model,
+    /// including time restored from a checkpoint.
+    pub(crate) fn elapsed_ms(&self) -> u64 {
+        let live = match self.budget {
+            DeadlineBudget::WallClockMs(_) => self.started.elapsed().as_millis() as u64,
+            _ => 0,
+        };
+        self.base_ms
+            .saturating_add(self.virtual_ms)
+            .saturating_add(live)
+    }
+
+    /// True once the budget is spent; pairs located after this point are
+    /// abandoned, not compared.
+    pub(crate) fn expired(&self) -> bool {
+        match self.budget {
+            DeadlineBudget::None => false,
+            DeadlineBudget::WallClockMs(budget_ms) => self.elapsed_ms() >= budget_ms,
+            DeadlineBudget::VirtualMs { budget_ms, .. } => self.elapsed_ms() >= budget_ms,
+        }
+    }
+
+    /// Charges the virtual cost of one performed comparison (no-op for
+    /// the wall-clock and unbudgeted models).
+    pub(crate) fn charge_pair(&mut self) {
+        if let DeadlineBudget::VirtualMs {
+            cost_per_pair_ms, ..
+        } = self.budget
+        {
+            self.virtual_ms = self.virtual_ms.saturating_add(cost_per_pair_ms);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbudgeted_clock_never_expires() {
+        let mut c = DeadlineClock::new(DeadlineBudget::None, u64::MAX);
+        c.charge_pair();
+        assert!(!c.expired());
+    }
+
+    #[test]
+    fn virtual_clock_expires_after_exact_pair_count() {
+        let mut c = DeadlineClock::new(
+            DeadlineBudget::VirtualMs {
+                budget_ms: 10,
+                cost_per_pair_ms: 3,
+            },
+            0,
+        );
+        for expected in [false, false, false, false] {
+            assert_eq!(c.expired(), expected);
+            c.charge_pair();
+        }
+        // 4 pairs × 3 ms = 12 ms ≥ 10 ms.
+        assert!(c.expired());
+        assert_eq!(c.elapsed_ms(), 12);
+    }
+
+    #[test]
+    fn checkpointed_time_counts_against_the_budget() {
+        let c = DeadlineClock::new(
+            DeadlineBudget::VirtualMs {
+                budget_ms: 10,
+                cost_per_pair_ms: 1,
+            },
+            10,
+        );
+        assert!(c.expired(), "restored elapsed time alone expires the budget");
+        let c = DeadlineClock::new(DeadlineBudget::WallClockMs(5), 5);
+        assert!(c.expired());
+    }
+}

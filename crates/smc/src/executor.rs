@@ -24,9 +24,18 @@
 //!   state machine: [`SmcStep::start`] yields an [`SmcRunner`] that can be
 //!   stepped pair by pair, snapshotted with [`SmcRunner::checkpoint`]
 //!   (serde-serializable), and later revived with [`SmcStep::resume`]
-//!   without re-running or double-charging any record pair.
+//!   without re-running or double-charging any record pair. Each decided
+//!   pair is also available as a journalable [`PairEvent`]
+//!   ([`SmcRunner::step_pair_event`]) and can be *replayed* from a durable
+//!   journal ([`SmcRunner::replay_pair_event`]) without re-running the
+//!   protocol — the crash-recovery path of `pprl-core::run_journaled`.
+//! * **Deadline budget** ([`DeadlineBudget`]) — the wall-clock analogue of
+//!   the allowance. Once it expires, remaining in-allowance pairs are
+//!   abandoned (tallied as [`AbandonReason::DeadlineExpired`]) instead of
+//!   compared, and degrade through the same [`LabelingStrategy`] path.
 
 use crate::allowance::SmcAllowance;
+use crate::deadline::{DeadlineBudget, DeadlineClock};
 use crate::heuristics::{order_unknown, SelectionHeuristic};
 use crate::strategy::LabelingStrategy;
 use crate::SmcError;
@@ -135,6 +144,9 @@ pub struct SmcStep {
     /// Simulated network under the wire protocol; `None` keeps the
     /// historical in-process hand-off (a perfect, unmetered network).
     pub channel: Option<ChannelConfig>,
+    /// Time budget for the step; [`DeadlineBudget::None`] leaves the
+    /// allowance as the only bound.
+    pub deadline: DeadlineBudget,
 }
 
 /// A class pair the budget only partially covered (or never reached):
@@ -159,13 +171,47 @@ pub struct ExaminedStats {
     pub matched: u64,
 }
 
+/// Why a record pair was abandoned — decided by the configured
+/// [`LabelingStrategy`] instead of the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbandonReason {
+    /// The transport exhausted its retry budget on this pair's exchange.
+    RetryExhausted,
+    /// The [`DeadlineBudget`] expired before this pair could be compared.
+    DeadlineExpired,
+}
+
+/// Abandoned-pair counts, tallied by [`AbandonReason`] so the deadline
+/// path never overloads the transport-degradation counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbandonTally {
+    /// Pairs abandoned after transport retry exhaustion.
+    pub retry_exhausted: u64,
+    /// Pairs abandoned because the deadline budget expired.
+    pub deadline_expired: u64,
+}
+
+impl AbandonTally {
+    /// All abandoned pairs, regardless of reason.
+    pub fn total(&self) -> u64 {
+        self.retry_exhausted + self.deadline_expired
+    }
+
+    fn record(&mut self, reason: AbandonReason) {
+        match reason {
+            AbandonReason::RetryExhausted => self.retry_exhausted += 1,
+            AbandonReason::DeadlineExpired => self.deadline_expired += 1,
+        }
+    }
+}
+
 /// What graceful degradation cost: the toll of running over a faulty
-/// network with bounded retries.
+/// network with bounded retries and/or under an expiring deadline.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DegradationReport {
-    /// Record pairs whose exchange exhausted its retry budget; each was
-    /// labeled by the [`LabelingStrategy`] instead of the protocol.
-    pub pairs_abandoned: u64,
+    /// Record pairs the protocol never decided, tallied by reason; each
+    /// was labeled by the [`LabelingStrategy`] instead.
+    pub abandoned: AbandonTally,
     /// Abandoned pairs the strategy declared *match* (only under
     /// [`LabelingStrategy::MaximizeRecall`]; maximize-precision declares
     /// non-match, keeping precision at 1.0 by construction).
@@ -185,7 +231,12 @@ pub struct DegradationReport {
 impl DegradationReport {
     /// True when at least one pair was decided by strategy, not protocol.
     pub fn degraded(&self) -> bool {
-        self.pairs_abandoned > 0
+        self.abandoned.total() > 0
+    }
+
+    /// All abandoned pairs, regardless of reason.
+    pub fn pairs_abandoned(&self) -> u64 {
+        self.abandoned.total()
     }
 }
 
@@ -273,6 +324,10 @@ pub struct SmcSession {
     pub ledger: CostLedger,
     /// Degradation accounting so far.
     pub degradation: DegradationReport,
+    /// Elapsed time charged against the [`DeadlineBudget`] so far
+    /// (restored on resume, so a crashed job cannot reset its deadline).
+    #[serde(default)]
+    pub elapsed_ms: u64,
 }
 
 impl SmcSession {
@@ -293,8 +348,33 @@ impl SmcSession {
             suppressed_matched: 0,
             ledger: CostLedger::new(),
             degradation: DegradationReport::default(),
+            elapsed_ms: 0,
         }
     }
+}
+
+/// How one record pair was decided — the journalable unit of SMC work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairDecision {
+    /// The protocol decided *match*.
+    Matched,
+    /// The protocol decided *non-match*.
+    NonMatch,
+    /// The protocol never decided; the [`LabelingStrategy`] did.
+    Abandoned(AbandonReason),
+}
+
+/// One decided record pair: what the run journal records, and what
+/// [`SmcRunner::replay_pair_event`] re-applies on crash recovery without
+/// re-running any cryptography.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairEvent {
+    /// Row in R.
+    pub ri: u32,
+    /// Row in S.
+    pub si: u32,
+    /// How the pair was decided.
+    pub decision: PairDecision,
 }
 
 impl SmcStep {
@@ -396,6 +476,7 @@ impl SmcStep {
             rule,
             &mut session.ledger,
         )?;
+        let clock = DeadlineClock::new(self.deadline, session.elapsed_ms);
         Ok(SmcRunner {
             strategy: self.strategy,
             r_data,
@@ -406,6 +487,8 @@ impl SmcStep {
             ordered,
             layout,
             comparer,
+            clock,
+            replayed: 0,
             session,
         })
     }
@@ -476,6 +559,10 @@ pub struct SmcRunner<'a> {
     ordered: Vec<ClassPairRef>,
     layout: SuppressedLayout,
     comparer: Comparer,
+    clock: DeadlineClock,
+    /// Pairs applied via [`SmcRunner::replay_pair_event`] in this process
+    /// (crash-recovery accounting: replays never touch the comparer).
+    replayed: u64,
     session: SmcSession,
 }
 
@@ -493,14 +580,68 @@ impl<'a> SmcRunner<'a> {
     /// Decides the next record pair (or performs the pending phase
     /// transition). Returns `false` once the session is done.
     pub fn step_pair(&mut self) -> Result<bool, SmcError> {
+        Ok(self.step_pair_event()?.is_some())
+    }
+
+    /// Like [`step_pair`](Self::step_pair), but returns the decided pair
+    /// as a journalable [`PairEvent`] (`None` once the session is done).
+    pub fn step_pair_event(&mut self) -> Result<Option<PairEvent>, SmcError> {
+        let Some((ri, si)) = self.locate_next_pair()? else {
+            return Ok(None);
+        };
+        let decision = if self.clock.expired() {
+            // Deadline spent: the pair is charged against the allowance
+            // and abandoned without touching the protocol; the strategy
+            // decides its label.
+            PairDecision::Abandoned(AbandonReason::DeadlineExpired)
+        } else {
+            match self.compare_pair(ri, si)? {
+                CompareOutcome::Decided(true) => PairDecision::Matched,
+                CompareOutcome::Decided(false) => PairDecision::NonMatch,
+                CompareOutcome::Abandoned => {
+                    PairDecision::Abandoned(AbandonReason::RetryExhausted)
+                }
+            }
+        };
+        self.apply_decision(ri, si, decision)?;
+        Ok(Some(PairEvent { ri, si, decision }))
+    }
+
+    /// Re-applies a journaled [`PairEvent`] during crash recovery: the
+    /// deterministic walk is advanced to the next pair, verified against
+    /// the event, and the recorded decision is applied *without invoking
+    /// the comparer* — completed SMC work is never re-executed. Replays
+    /// are counted in [`replayed_pairs`](Self::replayed_pairs).
+    pub fn replay_pair_event(&mut self, event: &PairEvent) -> Result<(), SmcError> {
+        let Some((ri, si)) = self.locate_next_pair()? else {
+            return Err(SmcError::SessionMismatch(
+                "journal replays an event beyond the end of the pair walk".into(),
+            ));
+        };
+        if (ri, si) != (event.ri, event.si) {
+            return Err(SmcError::SessionMismatch(format!(
+                "journal replays pair ({}, {}) but the deterministic walk is at ({ri}, {si})",
+                event.ri, event.si
+            )));
+        }
+        self.apply_decision(ri, si, event.decision)?;
+        self.replayed += 1;
+        Ok(())
+    }
+
+    /// Pairs applied from a journal instead of executed in this process.
+    pub fn replayed_pairs(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Advances bookkeeping-only phase transitions (leftover pushes, empty
+    /// classes, suppressed-group switches) until the walk rests on the
+    /// next comparable pair; `None` once every reachable pair is decided.
+    fn locate_next_pair(&mut self) -> Result<Option<(u32, u32)>, SmcError> {
         loop {
             match self.session.phase {
-                SessionPhase::Done => return Ok(false),
-                SessionPhase::Ordered {
-                    cursor,
-                    skip,
-                    matched,
-                } => {
+                SessionPhase::Done => return Ok(None),
+                SessionPhase::Ordered { cursor, skip, .. } => {
                     let Some(pref) = self.ordered.get(cursor as usize).copied() else {
                         self.session.phase = SessionPhase::Suppressed {
                             group: 0,
@@ -534,72 +675,31 @@ impl<'a> SmcRunner<'a> {
                         continue;
                     }
                     let (r_view, s_view) = (self.r_view, self.s_view);
-                    let (ri, si) = {
-                        let rc = r_view
-                            .classes()
-                            .get(pref.r_class as usize)
-                            .ok_or(SmcError::Internal("R class index out of range"))?;
-                        let sc = s_view
-                            .classes()
-                            .get(pref.s_class as usize)
-                            .ok_or(SmcError::Internal("S class index out of range"))?;
-                        // pref.pairs != 0 (checked above), so both row sets
-                        // are non-empty and the division is safe.
-                        let s_len = sc.rows.len() as u64;
-                        if s_len == 0 {
-                            return Err(SmcError::Internal("empty S class with pairs > 0"));
-                        }
-                        let ri = rc
-                            .rows
-                            .get((skip / s_len) as usize)
-                            .copied()
-                            .ok_or(SmcError::Internal("R row cursor out of range"))?;
-                        let si = sc
-                            .rows
-                            .get((skip % s_len) as usize)
-                            .copied()
-                            .ok_or(SmcError::Internal("S row cursor out of range"))?;
-                        (ri, si)
-                    };
-                    let mut matched = matched;
-                    match self.compare_pair(ri, si)? {
-                        CompareOutcome::Decided(true) => {
-                            matched += 1;
-                            self.session.matched_pairs.push((ri, si));
-                        }
-                        CompareOutcome::Decided(false) => {}
-                        CompareOutcome::Abandoned => self.abandon(ri, si),
+                    let rc = r_view
+                        .classes()
+                        .get(pref.r_class as usize)
+                        .ok_or(SmcError::Internal("R class index out of range"))?;
+                    let sc = s_view
+                        .classes()
+                        .get(pref.s_class as usize)
+                        .ok_or(SmcError::Internal("S class index out of range"))?;
+                    // pref.pairs != 0 (checked above), so both row sets
+                    // are non-empty and the division is safe.
+                    let s_len = sc.rows.len() as u64;
+                    if s_len == 0 {
+                        return Err(SmcError::Internal("empty S class with pairs > 0"));
                     }
-                    let skip = skip + 1;
-                    self.session.invocations += 1;
-                    if skip == pref.pairs {
-                        // Class fully consumed.
-                        self.session.examined.push(ExaminedStats {
-                            class_pair: pref,
-                            examined: skip,
-                            matched,
-                        });
-                        self.session.phase = next_class;
-                    } else if self.session.invocations == self.session.budget {
-                        // Budget ran out mid-class: partial consumption.
-                        self.session.examined.push(ExaminedStats {
-                            class_pair: pref,
-                            examined: skip,
-                            matched,
-                        });
-                        self.session.leftovers.push(LeftoverPair {
-                            class_pair: pref,
-                            skip,
-                        });
-                        self.session.phase = next_class;
-                    } else {
-                        self.session.phase = SessionPhase::Ordered {
-                            cursor,
-                            skip,
-                            matched,
-                        };
-                    }
-                    return Ok(true);
+                    let ri = rc
+                        .rows
+                        .get((skip / s_len) as usize)
+                        .copied()
+                        .ok_or(SmcError::Internal("R row cursor out of range"))?;
+                    let si = sc
+                        .rows
+                        .get((skip % s_len) as usize)
+                        .copied()
+                        .ok_or(SmcError::Internal("S row cursor out of range"))?;
+                    return Ok(Some((ri, si)));
                 }
                 SessionPhase::Suppressed { group, offset } => {
                     let (ri, si, total) = {
@@ -637,22 +737,102 @@ impl<'a> SmcRunner<'a> {
                         self.session.phase = SessionPhase::Done;
                         continue;
                     }
-                    match self.compare_pair(ri, si)? {
-                        CompareOutcome::Decided(true) => {
-                            self.session.suppressed_matched += 1;
-                            self.session.matched_pairs.push((ri, si));
-                        }
-                        CompareOutcome::Decided(false) => {}
-                        CompareOutcome::Abandoned => self.abandon(ri, si),
-                    }
-                    self.session.invocations += 1;
-                    self.session.suppressed_examined += 1;
-                    self.session.phase = SessionPhase::Suppressed {
-                        group,
-                        offset: offset + 1,
-                    };
-                    return Ok(true);
+                    return Ok(Some((ri, si)));
                 }
+            }
+        }
+    }
+
+    /// Applies a decision to the pair the walk currently rests on (the
+    /// one [`locate_next_pair`](Self::locate_next_pair) just returned):
+    /// labels, degradation, budget charge, and the class-end / partial-
+    /// consumption bookkeeping.
+    fn apply_decision(
+        &mut self,
+        ri: u32,
+        si: u32,
+        decision: PairDecision,
+    ) -> Result<(), SmcError> {
+        // A performed comparison costs deadline budget; a deadline-
+        // abandoned pair, by definition, ran no protocol and costs none.
+        if decision != PairDecision::Abandoned(AbandonReason::DeadlineExpired) {
+            self.clock.charge_pair();
+        }
+        match self.session.phase {
+            SessionPhase::Done => {
+                Err(SmcError::Internal("decision applied to finished session"))
+            }
+            SessionPhase::Ordered {
+                cursor,
+                skip,
+                matched,
+            } => {
+                let pref = self
+                    .ordered
+                    .get(cursor as usize)
+                    .copied()
+                    .ok_or(SmcError::Internal("decision cursor out of range"))?;
+                let mut matched = matched;
+                match decision {
+                    PairDecision::Matched => {
+                        matched += 1;
+                        self.session.matched_pairs.push((ri, si));
+                    }
+                    PairDecision::NonMatch => {}
+                    PairDecision::Abandoned(reason) => self.abandon(ri, si, reason),
+                }
+                let skip = skip + 1;
+                self.session.invocations += 1;
+                let next_class = SessionPhase::Ordered {
+                    cursor: cursor + 1,
+                    skip: 0,
+                    matched: 0,
+                };
+                if skip == pref.pairs {
+                    // Class fully consumed.
+                    self.session.examined.push(ExaminedStats {
+                        class_pair: pref,
+                        examined: skip,
+                        matched,
+                    });
+                    self.session.phase = next_class;
+                } else if self.session.invocations == self.session.budget {
+                    // Budget ran out mid-class: partial consumption.
+                    self.session.examined.push(ExaminedStats {
+                        class_pair: pref,
+                        examined: skip,
+                        matched,
+                    });
+                    self.session.leftovers.push(LeftoverPair {
+                        class_pair: pref,
+                        skip,
+                    });
+                    self.session.phase = next_class;
+                } else {
+                    self.session.phase = SessionPhase::Ordered {
+                        cursor,
+                        skip,
+                        matched,
+                    };
+                }
+                Ok(())
+            }
+            SessionPhase::Suppressed { group, offset } => {
+                match decision {
+                    PairDecision::Matched => {
+                        self.session.suppressed_matched += 1;
+                        self.session.matched_pairs.push((ri, si));
+                    }
+                    PairDecision::NonMatch => {}
+                    PairDecision::Abandoned(reason) => self.abandon(ri, si, reason),
+                }
+                self.session.invocations += 1;
+                self.session.suppressed_examined += 1;
+                self.session.phase = SessionPhase::Suppressed {
+                    group,
+                    offset: offset + 1,
+                };
+                Ok(())
             }
         }
     }
@@ -676,6 +856,7 @@ impl<'a> SmcRunner<'a> {
     /// later [`SmcStep::resume`].
     pub fn checkpoint(&mut self) -> SmcSession {
         self.sync_degradation();
+        self.session.elapsed_ms = self.clock.elapsed_ms();
         self.session.clone()
     }
 
@@ -683,6 +864,7 @@ impl<'a> SmcRunner<'a> {
     /// a report taken before completion reflects the progress so far.
     pub fn finish(mut self) -> SmcReport {
         self.sync_degradation();
+        self.session.elapsed_ms = self.clock.elapsed_ms();
         let mut s = self.session;
         s.ledger.invocations = s.invocations;
         SmcReport {
@@ -699,11 +881,12 @@ impl<'a> SmcRunner<'a> {
         }
     }
 
-    /// A pair the transport gave up on: charged, never matched by the
-    /// protocol, decided by the strategy instead.
-    fn abandon(&mut self, ri: u32, si: u32) {
+    /// A pair the run gave up on (transport retries exhausted or the
+    /// deadline expired): charged, never matched by the protocol, decided
+    /// by the strategy instead. The reason is tallied for the report.
+    fn abandon(&mut self, ri: u32, si: u32, reason: AbandonReason) {
         let d = &mut self.session.degradation;
-        d.pairs_abandoned += 1;
+        d.abandoned.record(reason);
         if matches!(self.strategy, LabelingStrategy::MaximizeRecall) {
             d.declared.push((ri, si));
         }
@@ -1141,6 +1324,7 @@ mod tests {
             strategy: LabelingStrategy::MaximizePrecision,
             mode: SmcMode::Oracle,
             channel: None,
+            deadline: DeadlineBudget::None,
         }
     }
 
@@ -1331,5 +1515,115 @@ mod tests {
         let json = serde_json::to_string(&snapshot).unwrap();
         let back: SmcSession = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn virtual_deadline_abandons_remaining_pairs_without_losing_precision() {
+        let f = fixture(150);
+        let full = step(SmcAllowance::Unlimited)
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        let unknown_total: u64 = f.unknown.iter().map(|p| p.pairs).sum();
+        let compared = 7u64;
+        let mut s = step(SmcAllowance::Unlimited);
+        s.deadline = DeadlineBudget::VirtualMs {
+            budget_ms: compared,
+            cost_per_pair_ms: 1,
+        };
+        let report = s
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        // Every in-allowance pair is still walked and charged; the ones
+        // past the deadline are abandoned instead of compared.
+        assert_eq!(report.invocations, unknown_total);
+        let tally = &report.degradation.abandoned;
+        assert_eq!(tally.deadline_expired, unknown_total - compared);
+        assert_eq!(tally.retry_exhausted, 0);
+        assert_eq!(report.degradation.pairs_abandoned(), tally.total());
+        // Maximize-precision labels abandoned pairs non-match, so every
+        // declared match is one the unlimited run also found.
+        for pair in &report.matched_pairs {
+            assert!(full.matched_pairs.contains(pair));
+        }
+        // Deadline-abandoned pairs are never declared under this strategy.
+        assert!(report.degradation.declared.is_empty());
+    }
+
+    #[test]
+    fn deadline_survives_checkpoint_resume() {
+        let f = fixture(150);
+        let compared = 5u64;
+        let mut s = step(SmcAllowance::Unlimited);
+        s.deadline = DeadlineBudget::VirtualMs {
+            budget_ms: compared,
+            cost_per_pair_ms: 1,
+        };
+        let full = s
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        // Interrupt every 3 pairs: virtual elapsed time must persist in
+        // the snapshot or the resumed run would win extra comparisons.
+        let mut snapshot: Option<SmcSession> = None;
+        let resumed = loop {
+            let mut runner = match snapshot.take() {
+                None => s
+                    .start(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+                    .unwrap(),
+                Some(session) => s
+                    .resume(session, &f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+                    .unwrap(),
+            };
+            if runner.step_pairs(3).unwrap() == 0 {
+                break runner.finish();
+            }
+            snapshot = Some(runner.checkpoint());
+        };
+        assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn event_replay_reconstructs_the_live_run_without_reexecution() {
+        let f = fixture(150);
+        let s = step(SmcAllowance::Pairs(300));
+        let mut live = s
+            .start(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        let mut events = Vec::new();
+        while let Some(ev) = live.step_pair_event().unwrap() {
+            events.push(ev);
+        }
+        assert_eq!(live.replayed_pairs(), 0);
+        let live_report = live.finish();
+        assert!(!events.is_empty());
+
+        let mut replayed = s
+            .start(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        for ev in &events {
+            replayed.replay_pair_event(ev).unwrap();
+        }
+        assert_eq!(replayed.replayed_pairs(), events.len() as u64);
+        assert!(replayed.is_done());
+        assert_eq!(replayed.finish(), live_report);
+    }
+
+    #[test]
+    fn replay_rejects_a_diverged_event() {
+        let f = fixture(100);
+        let s = step(SmcAllowance::Pairs(50));
+        let mut live = s
+            .start(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        let ev = live.step_pair_event().unwrap().expect("at least one pair");
+        let mut other = s
+            .start(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        let bogus = PairEvent {
+            ri: ev.ri.wrapping_add(1),
+            si: ev.si,
+            decision: ev.decision,
+        };
+        let err = other.replay_pair_event(&bogus).unwrap_err();
+        assert!(matches!(err, SmcError::SessionMismatch(_)));
     }
 }

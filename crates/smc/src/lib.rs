@@ -29,15 +29,17 @@
 //! ```
 
 mod allowance;
+mod deadline;
 pub mod executor;
 pub mod expected;
 mod heuristics;
 mod strategy;
 
 pub use allowance::SmcAllowance;
+pub use deadline::DeadlineBudget;
 pub use executor::{
-    ChannelConfig, DegradationReport, ExaminedStats, LeftoverPair, SessionPhase, SmcMode,
-    SmcReport, SmcRunner, SmcSession, SmcStep,
+    AbandonReason, AbandonTally, ChannelConfig, DegradationReport, ExaminedStats, LeftoverPair,
+    PairDecision, PairEvent, SessionPhase, SmcMode, SmcReport, SmcRunner, SmcSession, SmcStep,
 };
 pub use heuristics::{order_unknown, SelectionHeuristic};
 pub use strategy::{label_leftovers, LabelingStrategy};

@@ -41,6 +41,7 @@
 //! | re-export | crate | contents |
 //! |---|---|---|
 //! | [`bignum`] | `pprl-bignum` | arbitrary-precision arithmetic substrate |
+//! | [`journal`] | `pprl-journal` | durable run journal (checksummed frames, torn-write recovery) |
 //! | [`crypto`] | `pprl-crypto` | Paillier cryptosystem + secure distance protocol |
 //! | [`hierarchy`] | `pprl-hierarchy` | value generalization hierarchies |
 //! | [`data`] | `pprl-data` | Adult-like data set substrate |
@@ -56,6 +57,7 @@ pub use pprl_core as core;
 pub use pprl_crypto as crypto;
 pub use pprl_data as data;
 pub use pprl_hierarchy as hierarchy;
+pub use pprl_journal as journal;
 pub use pprl_smc as smc;
 
 /// Convenience re-exports covering the common API surface.

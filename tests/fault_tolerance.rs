@@ -48,7 +48,7 @@ fn retries_absorb_moderate_fault_rates() {
     assert_eq!(faulty.metrics.precision(), 1.0);
     assert_eq!(faulty.metrics.recall(), clean.metrics.recall());
     let deg = faulty.degradation();
-    assert_eq!(deg.pairs_abandoned, 0, "all faults absorbed by retries");
+    assert_eq!(deg.pairs_abandoned(), 0, "all faults absorbed by retries");
     assert_eq!(faulty.metrics.smc_abandoned, 0);
 
     // ...but the network really was hostile, and the link really worked.
@@ -82,7 +82,7 @@ fn degraded_run(strategy: LabelingStrategy) -> pprl::core::LinkageOutcome {
                 seed,
             });
         match HybridLinkage::new(cfg).run(&d1, &d2) {
-            Ok(out) if out.degradation().pairs_abandoned > 0 => return out,
+            Ok(out) if out.degradation().pairs_abandoned() > 0 => return out,
             // Broadcast lost, or (implausibly) every pair survived:
             // try the next fault seed.
             _ => continue,
@@ -100,7 +100,7 @@ fn exhausted_retries_degrade_gracefully_under_maximize_precision() {
     // non-match: precision cannot suffer, by construction.
     assert!(deg.degraded());
     assert_eq!(out.metrics.precision(), 1.0);
-    assert_eq!(out.metrics.smc_abandoned, deg.pairs_abandoned);
+    assert_eq!(out.metrics.smc_abandoned, deg.pairs_abandoned());
     assert!(
         deg.declared.is_empty(),
         "maximize-precision never declares abandoned pairs matching"
@@ -117,7 +117,7 @@ fn exhausted_retries_declare_matches_under_maximize_recall() {
     assert!(deg.degraded());
     assert_eq!(
         deg.declared.len() as u64,
-        deg.pairs_abandoned,
+        deg.pairs_abandoned(),
         "maximize-recall declares every abandoned pair matching"
     );
     // Declared pairs enter the declared-match count (and can cost

@@ -1,0 +1,176 @@
+//! Tier-1 contract for the durable run journal: a journaled run is the
+//! plain pipeline plus a transcript, resuming from any prefix of that
+//! transcript reproduces the uninterrupted result exactly, and deadline
+//! expiry degrades to the labeling strategy without costing precision.
+
+use pprl::core::journal_run::{self, JournalOptions, K_SMC_OUTCOME};
+use pprl::journal::recover;
+use pprl::prelude::*;
+use pprl::smc::{DeadlineBudget, SmcAllowance};
+use std::path::PathBuf;
+
+fn scenario(n: usize, seed: u64) -> (DataSet, DataSet) {
+    SyntheticScenario::builder()
+        .records_per_set(n)
+        .seed(seed)
+        .build()
+        .data_sets()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pprl-journal-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn opts() -> JournalOptions {
+    JournalOptions {
+        checkpoint_every: 16,
+        ..JournalOptions::default()
+    }
+}
+
+/// Field-by-field equality of the parts of two outcomes that define the
+/// linkage result (views and ledger objects carry no decision content
+/// beyond what these cover).
+fn assert_outcomes_equal(a: &LinkageOutcome, b: &LinkageOutcome) {
+    assert_eq!(a.blocking.matched, b.blocking.matched);
+    assert_eq!(a.blocking.unknown, b.blocking.unknown);
+    assert_eq!(a.smc, b.smc);
+    assert_eq!(a.leftover_labels, b.leftover_labels);
+    assert_eq!(a.metrics, b.metrics);
+}
+
+#[test]
+fn journaled_run_equals_plain_run() {
+    let (d1, d2) = scenario(250, 131);
+    let cfg = LinkageConfig::paper_defaults().with_k(8);
+    let pipeline = HybridLinkage::new(cfg);
+    let plain = pipeline.run(&d1, &d2).unwrap();
+    let path = tmp("fresh.pprlj");
+    let journaled = journal_run::run_journaled(&pipeline, &d1, &d2, &path, &opts()).unwrap();
+    assert!(!journaled.resumed);
+    assert_eq!(journaled.replayed_pairs, 0);
+    assert_eq!(journaled.live_pairs, plain.smc.invocations);
+    assert_outcomes_equal(&journaled.outcome, &plain);
+
+    // The journal records exactly one outcome frame per comparison, with
+    // no duplicates — proof nothing was executed twice.
+    let recovered = recover(&path).unwrap();
+    let outcomes: Vec<_> = recovered
+        .frames
+        .iter()
+        .filter(|f| f.kind == K_SMC_OUTCOME)
+        .collect();
+    assert_eq!(outcomes.len() as u64, plain.smc.invocations);
+    let mut pairs: Vec<&Vec<u8>> = outcomes.iter().map(|f| &f.payload).collect();
+    pairs.sort();
+    pairs.dedup();
+    assert_eq!(pairs.len() as u64, plain.smc.invocations);
+}
+
+/// Kill the journal at every frame boundary (simulated by truncation) and
+/// resume: the final result must be identical to the uninterrupted run and
+/// the journal must never re-record a completed pair.
+#[test]
+fn resume_from_any_truncation_point_equals_one_shot() {
+    let (d1, d2) = scenario(150, 137);
+    let cfg = LinkageConfig::paper_defaults()
+        .with_k(8)
+        .with_allowance(SmcAllowance::Pairs(400));
+    let pipeline = HybridLinkage::new(cfg);
+    let path = tmp("truncate.pprlj");
+    let full = journal_run::run_journaled(&pipeline, &d1, &d2, &path, &opts()).unwrap();
+    let image = std::fs::read(&path).unwrap();
+    let total = full.outcome.smc.invocations;
+
+    // Cut at uneven byte offsets across the file, including mid-frame
+    // positions (torn tail) and the pristine end.
+    let cuts: Vec<usize> = (0..8)
+        .map(|i| 18 + (image.len() - 18) * i / 7)
+        .chain([image.len().saturating_sub(3)])
+        .collect();
+    for cut in cuts {
+        let partial = tmp("truncate-resume.pprlj");
+        std::fs::write(&partial, &image[..cut]).unwrap();
+        let resumed = journal_run::resume(&pipeline, &d1, &d2, &partial, &opts()).unwrap();
+        assert!(resumed.resumed);
+        assert_outcomes_equal(&resumed.outcome, &full.outcome);
+        assert_eq!(
+            resumed.restored_pairs + resumed.replayed_pairs + resumed.live_pairs,
+            total,
+            "every comparison is restored, replayed, or executed exactly once (cut {cut})"
+        );
+        // The re-finished journal holds one frame per comparison, unique.
+        let recovered = recover(&partial).unwrap();
+        let mut outcome_payloads: Vec<Vec<u8>> = recovered
+            .frames
+            .iter()
+            .filter(|f| f.kind == K_SMC_OUTCOME)
+            .map(|f| f.payload.clone())
+            .collect();
+        assert_eq!(outcome_payloads.len() as u64, total, "cut {cut}");
+        outcome_payloads.sort();
+        outcome_payloads.dedup();
+        assert_eq!(outcome_payloads.len() as u64, total, "cut {cut}");
+    }
+}
+
+#[test]
+fn resume_rejects_a_journal_from_a_different_job() {
+    let (d1, d2) = scenario(120, 139);
+    let pipeline = HybridLinkage::new(LinkageConfig::paper_defaults().with_k(8));
+    let path = tmp("fingerprint.pprlj");
+    journal_run::run_journaled(&pipeline, &d1, &d2, &path, &opts()).unwrap();
+    // Same journal, different k ⇒ different fingerprint ⇒ refused.
+    let other = HybridLinkage::new(LinkageConfig::paper_defaults().with_k(16));
+    let err = journal_run::resume(&other, &d1, &d2, &path, &opts()).unwrap_err();
+    assert!(
+        err.to_string().contains("fingerprint"),
+        "unexpected error: {err}"
+    );
+}
+
+/// The deadline budget degrades, never corrupts: with a virtual deadline
+/// that expires mid-SMC, the remaining in-allowance pairs are labeled by
+/// maximize-precision (non-match), so precision stays 1.0 and the report
+/// attributes the abandonment to the deadline, not the transport.
+#[test]
+fn deadline_expiry_degrades_to_strategy_without_losing_precision() {
+    let (d1, d2) = scenario(200, 149);
+    let cfg = LinkageConfig::paper_defaults()
+        .with_k(8)
+        .with_deadline(DeadlineBudget::VirtualMs {
+            budget_ms: 40,
+            cost_per_pair_ms: 1,
+        });
+    let out = HybridLinkage::new(cfg.clone()).run(&d1, &d2).unwrap();
+    assert!(
+        out.metrics.deadline_abandoned > 0,
+        "the virtual deadline must expire mid-SMC for this test to bite"
+    );
+    assert_eq!(out.metrics.smc_abandoned, 0, "no transport abandonment");
+    assert_eq!(out.metrics.precision(), 1.0);
+    let no_deadline = HybridLinkage::new(cfg.with_deadline(DeadlineBudget::None))
+        .run(&d1, &d2)
+        .unwrap();
+    assert!(out.metrics.recall() <= no_deadline.metrics.recall() + 1e-12);
+
+    // Deterministic virtual time ⇒ resume ≡ one-shot holds even for
+    // deadline-degraded journaled runs.
+    let cfg = LinkageConfig::paper_defaults()
+        .with_k(8)
+        .with_deadline(DeadlineBudget::VirtualMs {
+            budget_ms: 40,
+            cost_per_pair_ms: 1,
+        });
+    let pipeline = HybridLinkage::new(cfg);
+    let path = tmp("deadline.pprlj");
+    let full = journal_run::run_journaled(&pipeline, &d1, &d2, &path, &opts()).unwrap();
+    assert_outcomes_equal(&full.outcome, &out);
+    let image = std::fs::read(&path).unwrap();
+    let partial = tmp("deadline-resume.pprlj");
+    std::fs::write(&partial, &image[..18 + (image.len() - 18) / 2]).unwrap();
+    let resumed = journal_run::resume(&pipeline, &d1, &d2, &partial, &opts()).unwrap();
+    assert_outcomes_equal(&resumed.outcome, &out);
+}

@@ -88,7 +88,7 @@ fn pipeline_oracle_equals_batched_paillier_over_faulty_transport() {
 
     // The faults were real — the equivalence is retry-earned, not vacuous.
     assert!(crypto.degradation().injected.total() > 0);
-    assert_eq!(crypto.degradation().pairs_abandoned, 0);
+    assert_eq!(crypto.degradation().pairs_abandoned(), 0);
 }
 
 #[test]

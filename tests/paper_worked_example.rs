@@ -185,7 +185,9 @@ fn blocking_reproduces_the_papers_counts() {
 #[test]
 fn ground_truth_and_full_recall_with_unbounded_smc() {
     use pprl::core::GroundTruth;
-    use pprl::smc::{LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode, SmcStep};
+    use pprl::smc::{
+        DeadlineBudget, LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode, SmcStep,
+    };
 
     let ex = build();
     let truth = GroundTruth::compute(&ex.r, &ex.s, &[0, 1], &ex.rule);
@@ -202,6 +204,7 @@ fn ground_truth_and_full_recall_with_unbounded_smc() {
         strategy: LabelingStrategy::MaximizePrecision,
         mode: SmcMode::Oracle,
         channel: None,
+        deadline: DeadlineBudget::None,
     };
     let smc = step
         .run(
@@ -222,7 +225,9 @@ fn ground_truth_and_full_recall_with_unbounded_smc() {
 
 #[test]
 fn papers_budget_of_ten_covers_part_of_the_unknowns() {
-    use pprl::smc::{LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode, SmcStep};
+    use pprl::smc::{
+        DeadlineBudget, LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode, SmcStep,
+    };
 
     // §III: "suppose that due to high costs, the participants can endure
     // comparing at most 10 of these pairs with SMC protocols" — the other 8
@@ -237,6 +242,7 @@ fn papers_budget_of_ten_covers_part_of_the_unknowns() {
         strategy: LabelingStrategy::MaximizePrecision,
         mode: SmcMode::Oracle,
         channel: None,
+        deadline: DeadlineBudget::None,
     };
     let smc = step
         .run(

@@ -6,8 +6,8 @@
 use pprl::blocking::{BlockingEngine, ClassPairRef, MatchingRule};
 use pprl::prelude::*;
 use pprl::smc::{
-    ChannelConfig, FaultConfig, LabelingStrategy, RetryPolicy, SelectionHeuristic, SmcAllowance,
-    SmcMode, SmcSession, SmcStep,
+    ChannelConfig, DeadlineBudget, FaultConfig, LabelingStrategy, RetryPolicy,
+    SelectionHeuristic, SmcAllowance, SmcMode, SmcSession, SmcStep,
 };
 
 struct Fixture {
@@ -50,6 +50,7 @@ fn step(mode: SmcMode, channel: Option<ChannelConfig>) -> SmcStep {
         strategy: LabelingStrategy::MaximizePrecision,
         mode,
         channel,
+        deadline: DeadlineBudget::None,
     }
 }
 
