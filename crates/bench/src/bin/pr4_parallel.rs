@@ -1,0 +1,307 @@
+//! PR 4 perf baseline: parallel pipeline execution + Paillier fast paths.
+//!
+//! Emits machine-readable `BENCH_pr4.json` — pipeline phase timings, SMC
+//! pairs/sec, a worker-thread sweep (1/2/4/8), and the Paillier `encrypt`
+//! before/after (generic double exponentiation vs the `g = n+1` binomial
+//! shortcut + windowed `mod_pow` + randomizer pool). Future PRs regress
+//! against this file.
+//!
+//! ```sh
+//! cargo run --release -p pprl-bench --bin pr4_parallel -- \
+//!     --records 2500 --out BENCH_pr4.json
+//! ```
+//!
+//! Every series re-verifies determinism: a sweep point that produced a
+//! different outcome than the sequential run aborts the bench.
+
+use pprl_bench::{make_views, Env};
+use pprl_bignum::BigUint;
+use pprl_blocking::BlockingEngine;
+use pprl_core::{HybridLinkage, LinkageConfig};
+use pprl_crypto::paillier::Keypair;
+use pprl_crypto::RandomizerPool;
+use pprl_smc::{
+    DeadlineBudget, LabelingStrategy, SelectionHeuristic, SmcAllowance, SmcMode, SmcStep,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const THREADS_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |key: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let records: usize = opt("--records").map_or(2_500, |v| v.parse().expect("--records N"));
+    let bits: usize = opt("--bits").map_or(256, |v| v.parse().expect("--bits B"));
+    let smc_pairs: u64 = opt("--smc-pairs").map_or(48, |v| v.parse().expect("--smc-pairs N"));
+    let encryptions: usize = opt("--encryptions").map_or(64, |v| v.parse().expect("--encryptions N"));
+    let out = opt("--out").unwrap_or("BENCH_pr4.json").to_string();
+
+    let host_threads = pprl_runtime::resolve_threads(None);
+    eprintln!("pr4_parallel: records={records} bits={bits} host_threads={host_threads}");
+
+    let env = Env::new(records, 42);
+    let qids = Env::qids(5);
+    let rule = env.rule(&qids, 0.05);
+    let views = make_views(&env, pprl_anon::AnonymizationMethod::MaxEntropy, 8, &qids);
+
+    // ---- Blocking thread sweep -------------------------------------------
+    let engine = BlockingEngine::new(rule.clone());
+    let reference = engine.run(&views.r, &views.s).expect("views share QIDs");
+    let mut blocking_series = Vec::new();
+    let mut blocking_base_ms = 0.0;
+    for &threads in &THREADS_SWEEP {
+        let mut best = f64::INFINITY;
+        for _rep in 0..3 {
+            let t0 = Instant::now();
+            let outcome = engine
+                .run_parallel(&views.r, &views.s, threads)
+                .expect("views share QIDs");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                (outcome.matched_pairs, outcome.nonmatched_pairs, outcome.unknown_pairs),
+                (
+                    reference.matched_pairs,
+                    reference.nonmatched_pairs,
+                    reference.unknown_pairs
+                ),
+                "parallel blocking diverged at {threads} threads"
+            );
+            best = best.min(ms);
+        }
+        if threads == 1 {
+            blocking_base_ms = best;
+        }
+        blocking_series.push(format!(
+            r#"{{ "threads": {threads}, "wall_ms": {best:.3}, "speedup": {:.3} }}"#,
+            blocking_base_ms / best
+        ));
+        eprintln!("blocking  threads={threads}: {best:.2} ms");
+    }
+
+    // ---- SMC thread sweep (real Paillier) --------------------------------
+    let blocking = engine
+        .run_parallel(&views.r, &views.s, host_threads)
+        .expect("views share QIDs");
+    let step = SmcStep {
+        heuristic: SelectionHeuristic::MinAvgFirst,
+        allowance: SmcAllowance::Pairs(smc_pairs),
+        strategy: LabelingStrategy::MaximizePrecision,
+        mode: SmcMode::PaillierBatched {
+            modulus_bits: bits,
+            seed: 42,
+        },
+        channel: None,
+        deadline: DeadlineBudget::None,
+    };
+    let mut smc_series = Vec::new();
+    let mut smc_reference: Option<Vec<(u32, u32)>> = None;
+    let mut smc_base_ms = 0.0;
+    for &threads in &THREADS_SWEEP {
+        let t0 = Instant::now();
+        let mut runner = step
+            .start(
+                &env.d1,
+                &env.d2,
+                &views.r,
+                &views.s,
+                &blocking.unknown,
+                &rule,
+                blocking.total_pairs,
+            )
+            .expect("valid SMC inputs");
+        if threads > 1 {
+            runner.prefill_randomizers(
+                (smc_pairs as usize).saturating_mul(2 * qids.len()),
+                threads,
+                17,
+            );
+        }
+        runner
+            .run_to_completion_parallel(threads)
+            .expect("oracle-free run cannot fail");
+        let report = runner.finish();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        match &smc_reference {
+            None => smc_reference = Some(report.matched_pairs.clone()),
+            Some(reference) => assert_eq!(
+                reference, &report.matched_pairs,
+                "parallel SMC diverged at {threads} threads"
+            ),
+        }
+        if threads == 1 {
+            smc_base_ms = ms;
+        }
+        let pairs_per_sec = report.invocations as f64 / (ms / 1e3).max(1e-9);
+        smc_series.push(format!(
+            r#"{{ "threads": {threads}, "wall_ms": {ms:.3}, "pairs": {}, "pairs_per_sec": {pairs_per_sec:.3}, "speedup": {:.3} }}"#,
+            report.invocations,
+            smc_base_ms / ms
+        ));
+        eprintln!(
+            "smc       threads={threads}: {ms:.1} ms, {pairs_per_sec:.1} pairs/s ({} pairs)",
+            report.invocations
+        );
+    }
+
+    // ---- Paillier encrypt: before/after ----------------------------------
+    // "Before" is the seed implementation: generic square-and-multiply for
+    // both factors of c = g^m · r^n mod n². "After" is today's hot path:
+    // the g = n+1 binomial shortcut plus a pooled r^n — two modular
+    // products per encryption.
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut keys = Keypair::generate(&mut rng, bits);
+    let n = keys.public().n().clone();
+    let n2 = keys.public().n_squared().clone();
+    let g = &n + &BigUint::one();
+    // Full-width plaintexts: with tiny exponents both paths degenerate to
+    // the r^n exponentiation, hiding the g^m saving the shortcut buys.
+    let plaintexts: Vec<BigUint> = (0..encryptions)
+        .map(|_| pprl_bignum::random_below(&mut rng, &n))
+        .collect();
+
+    let t0 = Instant::now();
+    let mut naive_check = BigUint::zero();
+    for m in &plaintexts {
+        // The seed implementation: draw r and run square-and-multiply for
+        // both factors of c = g^m · r^n mod n².
+        let r = pprl_bignum::random_below(&mut rng, &n);
+        let gm = g.mod_pow(m, &n2);
+        let rn = r.mod_pow(&n, &n2);
+        naive_check = gm.mod_mul(&rn, &n2);
+    }
+    let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let naive_per_sec = encryptions as f64 / (naive_ms / 1e3).max(1e-9);
+
+    // Shortcut alone (no pool): g^m collapses to 1 + m·n, leaving one
+    // windowed exponentiation for r^n.
+    let t1 = Instant::now();
+    for m in &plaintexts {
+        keys.public().encrypt(m, &mut rng).expect("m < n");
+    }
+    let shortcut_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let shortcut_per_sec = encryptions as f64 / (shortcut_ms / 1e3).max(1e-9);
+
+    // Shortcut + pool: the parallel pipeline's hot path (prefill timed
+    // separately — it runs concurrently with other work in the pipeline).
+    let t2 = Instant::now();
+    let pool = RandomizerPool::prefill(keys.public(), encryptions, host_threads, 23);
+    let prefill_ms = t2.elapsed().as_secs_f64() * 1e3;
+    keys.attach_pool(pool).expect("pool filled for this modulus");
+    let t3 = Instant::now();
+    let mut pooled_check = BigUint::zero();
+    for m in &plaintexts {
+        pooled_check = keys
+            .public()
+            .encrypt(m, &mut rng)
+            .expect("m < n")
+            .as_biguint()
+            .clone();
+    }
+    let pooled_ms = t3.elapsed().as_secs_f64() * 1e3;
+    let pooled_per_sec = encryptions as f64 / (pooled_ms / 1e3).max(1e-9);
+    assert!(
+        naive_check < n2 && pooled_check < n2,
+        "ciphertexts must be reduced mod n²"
+    );
+    eprintln!(
+        "encrypt   before {naive_per_sec:.1}/s | shortcut {shortcut_per_sec:.1}/s | \
+         pooled {pooled_per_sec:.1}/s ({:.2}x, prefill {prefill_ms:.1} ms)",
+        pooled_per_sec / naive_per_sec
+    );
+
+    // ---- End-to-end pipeline phase timings -------------------------------
+    let t0 = Instant::now();
+    let cfg = LinkageConfig::paper_defaults()
+        .with_k(8)
+        .with_allowance(SmcAllowance::Pairs(smc_pairs));
+    let _ = make_views(&env, pprl_anon::AnonymizationMethod::MaxEntropy, 8, &qids);
+    let anonymize_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut pipeline_series = Vec::new();
+    let mut pipeline_reference: Option<String> = None;
+    for &threads in &THREADS_SWEEP {
+        let t0 = Instant::now();
+        let outcome = HybridLinkage::new(cfg.clone())
+            .with_threads(threads)
+            .run(&env.d1, &env.d2)
+            .expect("pipeline runs");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut rows: Vec<(u32, u32)> = outcome.matched_rows().collect();
+        rows.sort_unstable();
+        let mut digest = pprl_journal::Fnv1a64::new();
+        for (ri, si) in rows {
+            digest.update_u64(ri as u64);
+            digest.update_u64(si as u64);
+        }
+        let digest = format!("{:016x}", digest.finish());
+        match &pipeline_reference {
+            None => pipeline_reference = Some(digest.clone()),
+            Some(reference) => assert_eq!(
+                reference, &digest,
+                "pipeline outcome diverged at {threads} threads"
+            ),
+        }
+        pipeline_series.push(format!(
+            r#"{{ "threads": {threads}, "wall_ms": {ms:.3}, "matched_digest": "{digest}" }}"#
+        ));
+        eprintln!("pipeline  threads={threads}: {ms:.1} ms");
+    }
+
+    // The document is assembled by hand: this binary must stay buildable
+    // and meaningful without any JSON crate in the loop.
+    let doc = format!(
+        r#"{{
+  "bench": "pr4_parallel",
+  "host_threads": {host_threads},
+  "records_per_set": {records},
+  "threads_sweep": [1, 2, 4, 8],
+  "anonymize_ms": {anonymize_ms:.3},
+  "blocking": {{
+    "classes_r": {classes_r},
+    "classes_s": {classes_s},
+    "series": [
+      {blocking_series}
+    ]
+  }},
+  "smc": {{
+    "mode": "paillier_batched",
+    "modulus_bits": {bits},
+    "budget_pairs": {smc_pairs},
+    "series": [
+      {smc_series}
+    ]
+  }},
+  "paillier_encrypt": {{
+    "modulus_bits": {bits},
+    "encryptions": {encryptions},
+    "before_generic_per_sec": {naive_per_sec:.3},
+    "after_shortcut_per_sec": {shortcut_per_sec:.3},
+    "after_pooled_per_sec": {pooled_per_sec:.3},
+    "speedup_shortcut": {speedup_shortcut:.3},
+    "speedup_pooled": {speedup_pooled:.3},
+    "pool_prefill_ms": {prefill_ms:.3}
+  }},
+  "pipeline": {{
+    "series": [
+      {pipeline_series}
+    ]
+  }}
+}}
+"#,
+        classes_r = views.r.classes().len(),
+        classes_s = views.s.classes().len(),
+        blocking_series = blocking_series.join(",\n      "),
+        smc_series = smc_series.join(",\n      "),
+        speedup_shortcut = shortcut_per_sec / naive_per_sec,
+        speedup_pooled = pooled_per_sec / naive_per_sec,
+        pipeline_series = pipeline_series.join(",\n      "),
+    );
+    std::fs::write(&out, doc).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -69,6 +69,11 @@ impl MatchingRule {
 }
 
 /// Distance between two original values of one attribute.
+///
+/// A distance function paired with the wrong hierarchy kind (a
+/// mis-assembled rule) yields the worst-case distance 1.0 — the pair
+/// can only fail the threshold, never spuriously match — instead of
+/// aborting mid-protocol.
 pub fn attribute_distance(vgh: &Vgh, dist: AttrDistance, a: Value, b: Value) -> f64 {
     match dist {
         AttrDistance::Hamming => {
@@ -79,11 +84,17 @@ pub fn attribute_distance(vgh: &Vgh, dist: AttrDistance, a: Value, b: Value) -> 
             }
         }
         AttrDistance::NormalizedEuclidean => {
-            let h = vgh.as_intervals().expect("continuous attribute");
+            let Some(h) = vgh.as_intervals() else {
+                debug_assert!(false, "Euclidean paired with a categorical hierarchy");
+                return 1.0;
+            };
             (a.as_num() - b.as_num()).abs() / h.norm_factor()
         }
         AttrDistance::NormalizedEdit => {
-            let t = vgh.as_taxonomy().expect("categorical attribute");
+            let Some(t) = vgh.as_taxonomy() else {
+                debug_assert!(false, "edit distance paired with a continuous hierarchy");
+                return 1.0;
+            };
             let la = t.label(t.leaf_node(a.as_cat()));
             let lb = t.label(t.leaf_node(b.as_cat()));
             let norm = max_label_len(t) as f64;
@@ -110,11 +121,13 @@ pub fn records_match(
     r: &Record,
     s: &Record,
 ) -> bool {
-    qids.iter().enumerate().all(|(pos, &q)| {
-        let vgh = schema.attribute(q).vgh();
-        let d = attribute_distance(vgh, rule.distances[pos], r.value(q), s.value(q));
-        d <= rule.thetas[pos]
-    })
+    debug_assert_eq!(qids.len(), rule.distances.len());
+    qids.iter()
+        .zip(rule.distances.iter().zip(&rule.thetas))
+        .all(|(&q, (&dist, &theta))| {
+            let vgh = schema.attribute(q).vgh();
+            attribute_distance(vgh, dist, r.value(q), s.value(q)) <= theta
+        })
 }
 
 #[cfg(test)]

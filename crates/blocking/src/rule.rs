@@ -29,13 +29,18 @@ pub fn slack_decision(
 ) -> PairLabel {
     debug_assert_eq!(vghs.len(), a.len());
     debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(vghs.len(), rule.distances.len());
     let mut all_match = true;
-    for (pos, vgh) in vghs.iter().enumerate() {
-        let (sdl, sds) = slack_bounds(vgh, rule.distances[pos], &a[pos], &b[pos]);
-        if sdl > rule.thetas[pos] {
+    let attrs = vghs
+        .iter()
+        .zip(rule.distances.iter().zip(&rule.thetas))
+        .zip(a.iter().zip(b));
+    for ((vgh, (&dist, &theta)), (av, bv)) in attrs {
+        let (sdl, sds) = slack_bounds(vgh, dist, av, bv);
+        if sdl > theta {
             return PairLabel::NonMatch;
         }
-        if sds > rule.thetas[pos] {
+        if sds > theta {
             all_match = false;
         }
     }

@@ -9,20 +9,34 @@ use pprl_anon::GenVal;
 use pprl_hierarchy::{Taxonomy, Vgh};
 
 /// Computes `(sdl, sds)` for one attribute.
+///
+/// A distance function paired with the wrong hierarchy kind (a
+/// mis-assembled rule) degrades to the vacuous bounds `(0, 1)` — the
+/// pair stays *undecided* and falls through to the SMC step, which never
+/// mislabels — instead of aborting mid-protocol.
 pub fn slack_bounds(vgh: &Vgh, dist: AttrDistance, a: &GenVal, b: &GenVal) -> (f64, f64) {
     match dist {
         AttrDistance::Hamming => {
-            let t = vgh.as_taxonomy().expect("categorical attribute");
+            let Some(t) = vgh.as_taxonomy() else {
+                debug_assert!(false, "Hamming paired with a continuous hierarchy");
+                return (0.0, 1.0);
+            };
             hamming_bounds(t, a.as_cat(), b.as_cat())
         }
         AttrDistance::NormalizedEuclidean => {
-            let h = vgh.as_intervals().expect("continuous attribute");
+            let Some(h) = vgh.as_intervals() else {
+                debug_assert!(false, "Euclidean paired with a categorical hierarchy");
+                return (0.0, 1.0);
+            };
             let (a_lo, a_hi) = a.as_range();
             let (b_lo, b_hi) = b.as_range();
             euclidean_bounds(a_lo, a_hi, b_lo, b_hi, h.norm_factor())
         }
         AttrDistance::NormalizedEdit => {
-            let t = vgh.as_taxonomy().expect("categorical attribute");
+            let Some(t) = vgh.as_taxonomy() else {
+                debug_assert!(false, "edit distance paired with a continuous hierarchy");
+                return (0.0, 1.0);
+            };
             edit_bounds(t, a.as_cat(), b.as_cat())
         }
     }
@@ -69,27 +83,36 @@ fn edit_bounds(t: &Taxonomy, a: pprl_hierarchy::NodeId, b: pprl_hierarchy::NodeI
     (inf, sup)
 }
 
-/// Levenshtein distance (unit costs), O(|a|·|b|) with a rolling row.
+/// Levenshtein distance (unit costs), O(|a|·|b|) time with a *single*
+/// row updated in place (the previous row's cell is carried through two
+/// scalars, `diag` and `left`), and no indexed access anywhere in the
+/// hot inner loop.
 pub fn edit_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    if a.is_empty() {
-        return b.len();
+    let b_chars: Vec<char> = b.chars().collect();
+    if b_chars.is_empty() {
+        return a.chars().count();
     }
-    if b.is_empty() {
-        return a.len();
-    }
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
-            let sub = prev[j] + usize::from(ca != cb);
-            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+    // row[j] = distance(a[..i], b[..j]) for the current prefix of `a`.
+    let mut row: Vec<usize> = (0..=b_chars.len()).collect();
+    for (i, ca) in a.chars().enumerate() {
+        // Entering row i+1: row still holds row i. diag walks the old
+        // row one cell behind the in-place update; left is the freshly
+        // written cell to the west.
+        let mut diag = i;
+        let mut left = i + 1;
+        for (cell, &cb) in row.iter_mut().skip(1).zip(&b_chars) {
+            let up = *cell;
+            let sub = diag + usize::from(ca != cb);
+            let val = sub.min(up + 1).min(left + 1);
+            *cell = val;
+            diag = up;
+            left = val;
         }
-        std::mem::swap(&mut prev, &mut cur);
+        if let Some(first) = row.first_mut() {
+            *first = i + 1;
+        }
     }
-    prev[b.len()]
+    row.last().copied().unwrap_or(0)
 }
 
 #[cfg(test)]

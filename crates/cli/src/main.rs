@@ -90,6 +90,9 @@ RUN OPTIONS:
   --deadline-ms MS    wall-clock budget for the SMC step; on expiry the
                       remaining in-allowance pairs are labeled by the
                       strategy instead of compared (precision stays 100%)
+  --threads N         worker threads for blocking and SMC comparisons
+                      [all cores]; --threads 1 forces the sequential
+                      path; results are byte-identical at any N
   --journal PATH      journal progress to PATH so a killed run can resume
   --resume            resume the run recorded in --journal PATH
   --checkpoint-every N  session checkpoint cadence in SMC outcomes  [64]
@@ -233,7 +236,11 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         );
     }
 
-    let pipeline = HybridLinkage::new(config);
+    let threads: usize = get(opts, "threads", pprl_runtime::resolve_threads(None))?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    let pipeline = HybridLinkage::new(config).with_threads(threads);
     let outcome: LinkageOutcome = match opts.get("journal") {
         None => pipeline.run(&d1, &d2).map_err(|e| e.to_string())?,
         Some(path) => {

@@ -220,6 +220,101 @@ fn sigkilled_runs_resume_to_the_byte_identical_report() {
     );
 }
 
+/// Multi-threaded journaled runs must produce the same report — and the
+/// same journal bytes — as single-threaded ones, and survive a SIGKILL
+/// mid-run just like the sequential path does.
+#[test]
+fn parallel_journaled_runs_match_sequential_and_recover() {
+    let dir = std::env::temp_dir().join("pprl-crash-recovery-mt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let synth = Command::new(BIN)
+        .args([
+            "synth",
+            "--records",
+            "120",
+            "--seed",
+            "11",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("synth scenario");
+    assert!(
+        synth.status.success(),
+        "synth failed: {}",
+        String::from_utf8_lossy(&synth.stderr)
+    );
+    let with_threads = |mut args: Vec<String>, n: &str| {
+        args.extend(["--threads".to_string(), n.to_string()]);
+        args
+    };
+
+    // Sequential uninterrupted run: the reference report and journal.
+    let seq_journal = dir.join("seq.pprlj");
+    let _ = std::fs::remove_file(&seq_journal);
+    let seq = Command::new(BIN)
+        .args(with_threads(run_args(&dir, &seq_journal, 0, false), "1"))
+        .output()
+        .expect("sequential run");
+    assert!(
+        seq.status.success(),
+        "sequential run failed: {}",
+        String::from_utf8_lossy(&seq.stderr)
+    );
+    let report: serde_json::Value =
+        serde_json::from_slice(&seq.stdout).expect("sequential JSON report");
+    let invocations = report["smc_invocations"].as_u64().unwrap();
+    assert!(invocations > 0, "scenario must exercise the SMC step");
+
+    // Parallel uninterrupted run: byte-identical report AND journal.
+    let par_journal = dir.join("par.pprlj");
+    let _ = std::fs::remove_file(&par_journal);
+    let par = Command::new(BIN)
+        .args(with_threads(run_args(&dir, &par_journal, 0, false), "4"))
+        .output()
+        .expect("parallel run");
+    assert!(
+        par.status.success(),
+        "parallel run failed: {}",
+        String::from_utf8_lossy(&par.stderr)
+    );
+    assert_eq!(par.stdout, seq.stdout, "report must not depend on --threads");
+    assert_eq!(
+        std::fs::read(&par_journal).unwrap(),
+        std::fs::read(&seq_journal).unwrap(),
+        "journal must be byte-identical at any thread count"
+    );
+
+    // SIGKILL a paced parallel run mid-journal, then resume — still with
+    // four workers — to the sequential report.
+    let full_len = std::fs::metadata(&seq_journal).unwrap().len();
+    let journal = dir.join("mt-crash.pprlj");
+    let _ = std::fs::remove_file(&journal);
+    let cut = HEADER_LEN as u64 + (full_len - HEADER_LEN as u64) / 2;
+    let killed = kill_at_journal_offset(
+        &with_threads(run_args(&dir, &journal, 3, false), "4"),
+        &journal,
+        cut,
+    );
+    let out = Command::new(BIN)
+        .args(with_threads(run_args(&dir, &journal, 0, killed), "4"))
+        .output()
+        .expect("parallel resume");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "parallel resume failed: {stderr}");
+    assert_eq!(
+        out.stdout, seq.stdout,
+        "recovered parallel report must be byte-identical to sequential"
+    );
+    let (restored, replayed, live) = parse_accounting(&stderr);
+    assert_eq!(
+        restored + replayed + live,
+        invocations,
+        "every comparison restored, replayed, or run once"
+    );
+    assert_no_pair_reexecuted(&journal, invocations);
+}
+
 #[test]
 fn resume_without_journal_flag_is_refused() {
     let dir = workdir();

@@ -214,9 +214,16 @@ fn execute(
     let n_chunks = engine.chunk_count(&r_view, per);
     let progress = parse_progress(prior, n_chunks)?;
 
+    // Chunks are computed across the configured workers but verified and
+    // journaled in index order, so the frame sequence is byte-identical
+    // to a sequential run.
+    let indexes: Vec<u32> = (0..n_chunks).collect();
+    let computed = pprl_runtime::par_map(&indexes, pipeline.threads(), |_, &index| {
+        engine.run_chunk(&r_view, &s_view, index, per)
+    });
     let mut chunks: Vec<BlockingChunk> = Vec::with_capacity(n_chunks as usize);
-    for index in 0..n_chunks {
-        let chunk = engine.run_chunk(&r_view, &s_view, index, per)?;
+    for (index, result) in (0..n_chunks).zip(computed) {
+        let chunk = result?;
         match progress.chunk_tallies[index as usize] {
             Some(journaled) if journaled != chunk.tallies() => {
                 return Err(LinkageError::Journal(format!(
@@ -287,19 +294,45 @@ fn execute(
 
     let mut live = 0u64;
     let mut since_checkpoint = 0u64;
-    while let Some(event) = runner.step_pair_event()? {
-        writer.append(K_SMC_OUTCOME, &encode_outcome(&event))?;
-        live += 1;
-        since_checkpoint += 1;
-        if opts.checkpoint_every > 0 && since_checkpoint >= opts.checkpoint_every {
-            let session = runner.checkpoint();
-            let payload = serde_json::to_vec(&session)
-                .map_err(|e| LinkageError::Journal(format!("checkpoint encode: {e}")))?;
-            writer.append(K_SMC_CHECKPOINT, &payload)?;
-            since_checkpoint = 0;
+    let threads = pipeline.threads();
+    if threads > 1 && runner.parallelizable() {
+        pipeline.prefill_pool(&mut runner, &blocking);
+        // Batch size = checkpoint cadence: each batch's checkpoint then
+        // lands after exactly the same outcome count as the sequential
+        // loop's, keeping the journal byte-identical at any thread
+        // count. Tradeoff vs the sequential path: a crash re-executes at
+        // most one *batch* of comparisons instead of at most one.
+        let batch = if opts.checkpoint_every > 0 {
+            opts.checkpoint_every
+        } else {
+            256
+        };
+        loop {
+            let events = runner.step_pair_events_parallel(batch, threads)?;
+            if events.is_empty() {
+                break;
+            }
+            for event in &events {
+                journal_outcome(
+                    &mut writer,
+                    &mut runner,
+                    event,
+                    opts,
+                    &mut live,
+                    &mut since_checkpoint,
+                )?;
+            }
         }
-        if opts.pace_ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(opts.pace_ms));
+    } else {
+        while let Some(event) = runner.step_pair_event()? {
+            journal_outcome(
+                &mut writer,
+                &mut runner,
+                &event,
+                opts,
+                &mut live,
+                &mut since_checkpoint,
+            )?;
         }
     }
     let smc = runner.finish();
@@ -316,6 +349,33 @@ fn execute(
         replayed_pairs: replayed,
         live_pairs: live,
     })
+}
+
+/// Appends one SMC outcome frame plus its periodic checkpoint and test
+/// pacing — the shared per-event tail of the sequential and batched
+/// journaling loops.
+fn journal_outcome(
+    writer: &mut JournalWriter,
+    runner: &mut pprl_smc::SmcRunner<'_>,
+    event: &PairEvent,
+    opts: &JournalOptions,
+    live: &mut u64,
+    since_checkpoint: &mut u64,
+) -> Result<(), LinkageError> {
+    writer.append(K_SMC_OUTCOME, &encode_outcome(event))?;
+    *live += 1;
+    *since_checkpoint += 1;
+    if opts.checkpoint_every > 0 && *since_checkpoint >= opts.checkpoint_every {
+        let session = runner.checkpoint();
+        let payload = serde_json::to_vec(&session)
+            .map_err(|e| LinkageError::Journal(format!("checkpoint encode: {e}")))?;
+        writer.append(K_SMC_CHECKPOINT, &payload)?;
+        *since_checkpoint = 0;
+    }
+    if opts.pace_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(opts.pace_ms));
+    }
+    Ok(())
 }
 
 fn encode_chunk(chunk: &BlockingChunk) -> Vec<u8> {

@@ -16,6 +16,12 @@ use pprl_smc::{label_leftovers, SmcReport, SmcStep};
 #[derive(Clone, Debug)]
 pub struct HybridLinkage {
     config: LinkageConfig,
+    /// Worker threads for the blocking scan and the SMC pair batches.
+    /// Deliberately *not* part of [`LinkageConfig`]: results are
+    /// byte-identical at every thread count, so the journal fingerprint
+    /// (which hashes the config) must not change with it — a journal
+    /// written sequentially resumes under `--threads 8` and vice versa.
+    threads: usize,
 }
 
 /// Everything a run produces: the published views, the per-step outcomes,
@@ -64,9 +70,23 @@ impl LinkageOutcome {
 }
 
 impl HybridLinkage {
-    /// Builds the pipeline from a configuration.
+    /// Builds the pipeline from a configuration (sequential by default —
+    /// the legacy single-threaded path, bit-for-bit).
     pub fn new(config: LinkageConfig) -> Self {
-        HybridLinkage { config }
+        HybridLinkage { config, threads: 1 }
+    }
+
+    /// Sets the worker-thread count for blocking and SMC (clamped to at
+    /// least 1; `1` is the legacy sequential path). Output is identical
+    /// at every thread count — only wall-clock time changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The configuration.
@@ -87,11 +107,14 @@ impl HybridLinkage {
         let s_view =
             Anonymizer::new(cfg.method_s, cfg.k_s).anonymize(s, &cfg.qids)?;
 
-        // Step 2 — blocking on the published views.
-        let blocking = BlockingEngine::new(rule.clone()).run(&r_view, &s_view)?;
+        // Step 2 — blocking on the published views (chunked across the
+        // configured workers; byte-identical to the sequential scan).
+        let blocking =
+            BlockingEngine::new(rule.clone()).run_parallel(&r_view, &s_view, self.threads)?;
 
         // Step 3 — SMC step under the allowance.
-        let smc = self.smc_step().run(
+        let step = self.smc_step();
+        let mut runner = step.start(
             r,
             s,
             &r_view,
@@ -100,8 +123,40 @@ impl HybridLinkage {
             &rule,
             blocking.total_pairs,
         )?;
+        if self.threads > 1 {
+            self.prefill_pool(&mut runner, &blocking);
+        }
+        runner.run_to_completion_parallel(self.threads)?;
+        let smc = runner.finish();
 
         Ok(self.finalize(r, s, &rule, r_view, s_view, blocking, smc))
+    }
+
+    /// Sizes and attaches the shared Paillier randomizer pool for a
+    /// parallel run: enough `rⁿ mod n²` values for the expected
+    /// encryption demand, capped so over-provisioning never costs more
+    /// exponentiations than the run performs. A no-op in oracle mode or
+    /// under a transported channel (the runner declines the pool).
+    pub(crate) fn prefill_pool(
+        &self,
+        runner: &mut pprl_smc::SmcRunner<'_>,
+        blocking: &BlockingOutcome,
+    ) {
+        let cfg = &self.config;
+        let seed = match cfg.mode {
+            pprl_smc::SmcMode::Paillier { seed, .. }
+            | pprl_smc::SmcMode::PaillierBatched { seed, .. } => seed,
+            pprl_smc::SmcMode::Oracle => return,
+        };
+        let unknown_total: u64 = blocking.unknown.iter().map(|p| p.pairs).sum();
+        let budget = cfg
+            .allowance
+            .budget_pairs(blocking.total_pairs)
+            .min(unknown_total.saturating_add(blocking.suppressed_pairs));
+        // ~2 encryptions per attribute per pair in the batched protocol.
+        let per_pair = (cfg.qids.len() as u64).saturating_mul(2).max(1);
+        let count = budget.saturating_mul(per_pair).min(4096) as usize;
+        runner.prefill_randomizers(count, self.threads, seed ^ 0x7261_6e64_706f_6f6c);
     }
 
     /// The SMC step exactly as [`run`](Self::run) configures it (shared
@@ -412,6 +467,53 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), rows.len());
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_outcome() {
+        let (d1, d2) = scenario(200, 105);
+        let cfg = LinkageConfig::paper_defaults();
+        let base = HybridLinkage::new(cfg.clone()).run(&d1, &d2).unwrap();
+        let base_rows: Vec<(u32, u32)> = base.matched_rows().collect();
+        for threads in [2usize, 4, 8] {
+            let out = HybridLinkage::new(cfg.clone())
+                .with_threads(threads)
+                .run(&d1, &d2)
+                .unwrap();
+            assert_eq!(out.metrics, base.metrics, "threads={threads}");
+            assert_eq!(
+                out.leftover_labels, base.leftover_labels,
+                "threads={threads}"
+            );
+            let rows: Vec<(u32, u32)> = out.matched_rows().collect();
+            assert_eq!(rows, base_rows, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_paillier_pipeline_matches_sequential_ledger() {
+        // Real crypto end to end: four workers sharing a pre-filled
+        // randomizer pool must reproduce the sequential metrics, match
+        // set, AND cost ledger — the pool moves *when* exponentiations
+        // happen, never how many the protocol accounts for.
+        let (d1, d2) = scenario(80, 107);
+        let mut cfg =
+            LinkageConfig::paper_defaults().with_allowance(SmcAllowance::Pairs(40));
+        cfg.mode = pprl_smc::SmcMode::PaillierBatched {
+            modulus_bits: 256,
+            seed: 9,
+        };
+        let base = HybridLinkage::new(cfg.clone()).run(&d1, &d2).unwrap();
+        let par = HybridLinkage::new(cfg)
+            .with_threads(4)
+            .run(&d1, &d2)
+            .unwrap();
+        assert_eq!(par.metrics, base.metrics);
+        assert_eq!(par.ledger, base.ledger, "pool must stay off-ledger");
+        assert_eq!(
+            par.matched_rows().collect::<Vec<_>>(),
+            base.matched_rows().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -79,54 +79,39 @@ impl GroundTruth {
             }
         }
 
-        // Count in parallel over R.
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(r.len().max(1));
+        // Count in parallel over R (pprl-runtime's scoped work queue —
+        // the sum is order-independent, so any thread count agrees with
+        // the brute-force specification).
+        let threads = pprl_runtime::resolve_threads(None).min(r.len().max(1));
         let chunk = r.len().div_ceil(threads.max(1)).max(1);
-        let total: u64 = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            let key_of = &key_of;
-            for records in r.records().chunks(chunk) {
-                let buckets = &buckets;
-                let sorted_vals = &sorted_vals;
-                let residual = &residual;
-                handles.push(scope.spawn(move |_| {
-                    let mut count = 0u64;
-                    for rec in records {
-                        let key = key_of(rec);
-                        let Some(rows) = buckets.get(&key) else {
-                            continue;
-                        };
-                        if fast {
-                            let vals = &sorted_vals[key.as_slice()];
-                            let v = rec.value(qids[residual[0]]).as_num();
-                            let lo = vals.partition_point(|&x| x < v - window);
-                            let hi = vals.partition_point(|&x| x <= v + window);
-                            count += (hi - lo) as u64;
-                        } else if residual.is_empty() {
-                            count += rows.len() as u64;
-                        } else {
-                            for &si in rows {
-                                if records_match(
-                                    schema,
-                                    qids,
-                                    rule,
-                                    rec,
-                                    &s.records()[si as usize],
-                                ) {
-                                    count += 1;
-                                }
-                            }
+        let record_chunks: Vec<&[Record]> = r.records().chunks(chunk).collect();
+        let total: u64 = pprl_runtime::par_map(&record_chunks, threads, |_, records| {
+            let mut count = 0u64;
+            for rec in *records {
+                let key = key_of(rec);
+                let Some(rows) = buckets.get(&key) else {
+                    continue;
+                };
+                if fast {
+                    let vals = &sorted_vals[key.as_slice()];
+                    let v = rec.value(qids[residual[0]]).as_num();
+                    let lo = vals.partition_point(|&x| x < v - window);
+                    let hi = vals.partition_point(|&x| x <= v + window);
+                    count += (hi - lo) as u64;
+                } else if residual.is_empty() {
+                    count += rows.len() as u64;
+                } else {
+                    for &si in rows {
+                        if records_match(schema, qids, rule, rec, &s.records()[si as usize]) {
+                            count += 1;
                         }
                     }
-                    count
-                }));
+                }
             }
-            handles.into_iter().map(|h| h.join().expect("no panics")).sum()
+            count
         })
-        .expect("scope completes");
+        .into_iter()
+        .sum();
 
         GroundTruth {
             total_matches: total,

@@ -41,11 +41,13 @@
 
 pub mod commutative;
 pub mod paillier;
+pub mod pool;
 pub mod protocol;
 pub mod sha256;
 
 pub use commutative::{CommutativeGroup, CommutativeKey};
 pub use paillier::{Ciphertext, Keypair, PrivateKey, PublicKey};
+pub use pool::RandomizerPool;
 pub use protocol::cost::CostLedger;
 pub use sha256::sha256;
 

@@ -40,6 +40,10 @@ pub struct PublicKey {
     /// Montgomery context for `n²` — reused by every encryption and
     /// homomorphic scalar multiplication.
     mont_n2: Montgomery,
+    /// Optional pre-filled stock of `rⁿ mod n²` randomizers. Shared by
+    /// reference: clones of this key (one per SMC worker) draw from the
+    /// same pool. `None` keeps the legacy compute-inline path.
+    pool: Option<std::sync::Arc<crate::pool::RandomizerPool>>,
 }
 
 impl PublicKey {
@@ -56,6 +60,7 @@ impl PublicKey {
             n2,
             half_n,
             mont_n2,
+            pool: None,
         })
     }
 
@@ -76,6 +81,15 @@ impl PublicKey {
         &self.n2
     }
 
+    /// Byte width of the fixed-width ciphertext wire encoding (the byte
+    /// length of `n²`). Padding every ciphertext to this width keeps
+    /// message sizes independent of the randomizer: no ciphertext-length
+    /// side channel, and byte accounting that is reproducible run to run
+    /// (randomizers from a pool encode to the same size as inline ones).
+    pub fn ciphertext_width(&self) -> usize {
+        self.n2.to_bytes_be().len()
+    }
+
     /// Bit length of the modulus (the "key size" in the paper's terms).
     pub fn key_bits(&self) -> usize {
         self.n.bits()
@@ -88,7 +102,11 @@ impl PublicKey {
 
     /// Encrypts a reduced plaintext `m ∈ Z_n`.
     ///
-    /// With `g = n + 1`: `c = (1 + m·n) · rⁿ mod n²`.
+    /// With `g = n + 1`: `c = (1 + m·n) · rⁿ mod n²`. The `rⁿ` factor
+    /// comes from the attached [`crate::RandomizerPool`] when one is
+    /// present and non-empty (two modular products total); otherwise it
+    /// is computed inline from `rng` (one exponentiation), exactly as
+    /// before pooling existed.
     pub fn encrypt<R: RngCore + ?Sized>(
         &self,
         m: &BigUint,
@@ -97,12 +115,46 @@ impl PublicKey {
         if m >= &self.n {
             return Err(CryptoError::PlaintextTooLarge);
         }
-        let r = self.sample_unit(rng);
-        let rn = self.mont_n2.pow(&r, &self.n);
+        let rn = self.next_rn(rng);
         // (1 + m·n) mod n² — no reduction dance needed since m < n.
         let gm = &(m.mul(&self.n)) + &BigUint::one();
         let c = gm.mod_mul(&rn, &self.n2);
         Ok(Ciphertext(c))
+    }
+
+    /// Attaches a pre-filled randomizer pool. Fails if the pool was
+    /// filled for a different modulus (its `rⁿ` values would be garbage
+    /// here). Clones made *after* attachment share the pool.
+    pub fn attach_pool(
+        &mut self,
+        pool: std::sync::Arc<crate::pool::RandomizerPool>,
+    ) -> Result<(), CryptoError> {
+        if pool.modulus() != &self.n {
+            return Err(CryptoError::InvalidKey(
+                "randomizer pool was filled for a different modulus".into(),
+            ));
+        }
+        self.pool = Some(pool);
+        Ok(())
+    }
+
+    /// The attached randomizer pool, if any.
+    pub fn pool(&self) -> Option<&std::sync::Arc<crate::pool::RandomizerPool>> {
+        self.pool.as_ref()
+    }
+
+    /// A fresh randomizer factor `rⁿ mod n²` computed inline.
+    pub(crate) fn fresh_rn<R: RngCore + ?Sized>(&self, rng: &mut R) -> BigUint {
+        let r = self.sample_unit(rng);
+        self.mont_n2.pow(&r, &self.n)
+    }
+
+    /// Next randomizer factor: pooled when available, inline otherwise.
+    fn next_rn<R: RngCore + ?Sized>(&self, rng: &mut R) -> BigUint {
+        match self.pool.as_ref().and_then(|p| p.take()) {
+            Some(rn) => rn,
+            None => self.fresh_rn(rng),
+        }
     }
 
     /// Encrypts a `u64` plaintext. Fails only if the plaintext does not
@@ -187,8 +239,7 @@ impl PublicKey {
     /// plaintext. Bob applies this before forwarding `Enc((r−s)²)` so the
     /// querying party cannot correlate it with Alice's original ciphertexts.
     pub fn rerandomize<R: RngCore + ?Sized>(&self, c: &Ciphertext, rng: &mut R) -> Ciphertext {
-        let r = self.sample_unit(rng);
-        let rn = self.mont_n2.pow(&r, &self.n);
+        let rn = self.next_rn(rng);
         Ciphertext(c.0.mod_mul(&rn, &self.n2))
     }
 
@@ -395,6 +446,15 @@ impl Keypair {
         (self.private.public.clone(), self.private)
     }
 
+    /// Attaches a randomizer pool to this keypair's public half (see
+    /// [`PublicKey::attach_pool`]).
+    pub fn attach_pool(
+        &mut self,
+        pool: std::sync::Arc<crate::pool::RandomizerPool>,
+    ) -> Result<(), CryptoError> {
+        self.private.public.attach_pool(pool)
+    }
+
     /// Borrow the public key.
     pub fn public(&self) -> &PublicKey {
         &self.private.public
@@ -530,6 +590,39 @@ mod tests {
         let p = BigUint::from_u64(0xFFFF_FFFF_FFFF_FFC5);
         assert!(Keypair::from_primes(p.clone(), p.clone()).is_err());
         assert!(Keypair::from_primes(BigUint::from_u64(4), p).is_err());
+    }
+
+    #[test]
+    fn pooled_encrypt_roundtrips_and_rerandomizes() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut keys = Keypair::generate(&mut rng, 256);
+        let pool = crate::pool::RandomizerPool::prefill(keys.public(), 6, 2, 99);
+        keys.attach_pool(pool.clone()).unwrap();
+        let (pk, sk) = keys.split();
+        // 6 pooled draws serve the first six operations…
+        for m in [0u64, 7, 1000] {
+            let c = pk.encrypt_u64(m, &mut rng).unwrap();
+            assert_eq!(sk.decrypt_u64(&c).unwrap(), m);
+        }
+        let c = pk.encrypt_u64(5, &mut rng).unwrap();
+        let c2 = pk.rerandomize(&c, &mut rng);
+        assert_ne!(c, c2);
+        assert_eq!(sk.decrypt_u64(&c2).unwrap(), 5);
+        assert_eq!(pool.hits(), 5);
+        // …and an exhausted pool degrades to the inline path.
+        let c = pk.encrypt_u64(41, &mut rng).unwrap();
+        let c3 = pk.encrypt_u64(41, &mut rng).unwrap();
+        assert_ne!(c, c3, "inline fallback still randomizes");
+        assert_eq!(sk.decrypt_u64(&c3).unwrap(), 41);
+        assert!(pool.misses() >= 1);
+    }
+
+    #[test]
+    fn pool_for_wrong_modulus_is_rejected() {
+        let (mut pk1, _) = test_keys(26);
+        let (pk2, _) = test_keys(27);
+        let pool = crate::pool::RandomizerPool::prefill(&pk2, 1, 1, 3);
+        assert!(pk1.attach_pool(pool).is_err());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Pre-filled randomizer pool for Paillier encryption.
+//!
+//! With `g = n + 1`, encrypting costs one cheap product `(1 + m·n)` plus
+//! one expensive exponentiation `rⁿ mod n²`. The exponentiation does not
+//! depend on the plaintext, so it can be hoisted off the hot path
+//! entirely: fill a pool of `rⁿ` values concurrently up front, and a
+//! hot-path [`crate::PublicKey::encrypt`] becomes two modular products.
+//!
+//! Pool entries are *secret until consumed*: revealing the `rⁿ` used for
+//! a ciphertext `c = (1 + m·n)·rⁿ` reveals the plaintext. The pool
+//! therefore never derives `Debug`/`Serialize`, redacts its manual
+//! `Debug`, and zeroizes unconsumed entries on drop.
+
+use crate::paillier::PublicKey;
+use pprl_bignum::BigUint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A stock of precomputed Paillier randomizer factors `rⁿ mod n²`,
+/// bound to the modulus they were generated for.
+// pprl:secret
+pub struct RandomizerPool {
+    /// The public modulus `n` the entries belong to (attachment check).
+    n: BigUint,
+    entries: Mutex<Vec<BigUint>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+// pprl:allow(secret-leak): redacting impl — reveals only pool accounting
+impl std::fmt::Debug for RandomizerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RandomizerPool")
+            .field("remaining", &self.remaining())
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for RandomizerPool {
+    fn drop(&mut self) {
+        let entries = match self.entries.get_mut() {
+            Ok(e) => e,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for e in entries.iter_mut() {
+            e.zeroize();
+        }
+        entries.clear();
+    }
+}
+
+impl RandomizerPool {
+    /// Fills a pool with `count` fresh `rⁿ mod n²` values, computed on up
+    /// to `threads` workers. Each worker derives its own RNG stream from
+    /// `seed`; pooled randomizers never influence protocol *decisions*,
+    /// only ciphertext bytes, so the stream split is free to vary with
+    /// the worker count.
+    pub fn prefill(pk: &PublicKey, count: usize, threads: usize, seed: u64) -> Arc<Self> {
+        let slots: Vec<u64> = (0..count as u64).collect();
+        let entries = pprl_runtime::par_map_init(
+            &slots,
+            threads,
+            |worker| StdRng::seed_from_u64(splitmix64(seed ^ (worker as u64).wrapping_mul(0xA5A5_5A5A_F00D_CAFE))),
+            |rng, _, _| pk.fresh_rn(rng),
+        );
+        Arc::new(RandomizerPool {
+            n: pk.n().clone(),
+            entries: Mutex::new(entries),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Pops one precomputed randomizer, or records a miss (caller falls
+    /// back to computing `rⁿ` inline).
+    pub(crate) fn take(&self) -> Option<BigUint> {
+        let mut entries = self.lock_entries();
+        match entries.pop() {
+            Some(rn) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(rn)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The modulus the pool was filled for.
+    pub(crate) fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Entries still available.
+    pub fn remaining(&self) -> usize {
+        self.lock_entries().len()
+    }
+
+    /// Encryptions served from the pool so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Encryptions that found the pool empty and fell back inline.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Locks the entry stock, recovering from a poisoned lock (a worker
+    /// that panicked mid-`take` leaves a usable, merely shorter, pool).
+    fn lock_entries(&self) -> MutexGuard<'_, Vec<BigUint>> {
+        match self.entries.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// splitmix64 finalizer — decorrelates per-worker RNG seeds.
+fn splitmix64(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Keypair;
+
+    fn test_pk(seed: u64) -> PublicKey {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Keypair::generate(&mut rng, 256).split().0
+    }
+
+    #[test]
+    fn prefill_produces_valid_randomizers() {
+        let pk = test_pk(31);
+        let pool = RandomizerPool::prefill(&pk, 8, 4, 77);
+        assert_eq!(pool.remaining(), 8);
+        // Every entry must be a unit mod n² (gcd with n is 1).
+        for _ in 0..8 {
+            let rn = pool.take().expect("pool should have an entry left");
+            assert!(rn.gcd(pk.n()).is_one());
+            assert!(&rn < pk.n_squared());
+        }
+        assert_eq!(pool.hits(), 8);
+        assert_eq!(pool.misses(), 0);
+        assert!(pool.take().is_none());
+        assert_eq!(pool.misses(), 1);
+    }
+
+    #[test]
+    fn pool_size_is_exact_at_any_thread_count() {
+        let pk = test_pk(33);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = RandomizerPool::prefill(&pk, 5, threads, 9);
+            assert_eq!(pool.remaining(), 5, "threads={threads}");
+        }
+    }
+}

@@ -43,7 +43,7 @@ pub fn bob_combine_masked<R: RngCore + ?Sized>(
     } else {
         pk.n()
             .checked_sub(&BigUint::from_u64(threshold))
-            .ok_or(CryptoError::PlaintextTooLarge)?
+            .map_err(|_| CryptoError::PlaintextTooLarge)?
     };
     let shifted = pk.add_plain(&enc_d2, &minus_t);
     // Multiply by a random positive mask.

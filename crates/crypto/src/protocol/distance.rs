@@ -38,7 +38,7 @@ pub fn alice_prepare<R: RngCore + ?Sized>(
         let two_a = pprl_bignum::BigUint::from_u128(2 * a as u128);
         pk.n()
             .checked_sub(&two_a)
-            .ok_or(CryptoError::PlaintextTooLarge)?
+            .map_err(|_| CryptoError::PlaintextTooLarge)?
     };
     let enc_minus_2a = pk.encrypt(&minus_2a, rng)?;
     ledger.encryptions += 2;

@@ -41,14 +41,16 @@ const TAG_RECORD_SHARE: u8 = 16;
 const TAG_RECORD_RESULT: u8 = 17;
 
 impl RecordShareMessage {
-    /// Encodes to the wire format.
-    pub fn encode(&self) -> Bytes {
+    /// Encodes to the wire format. Every ciphertext is padded to `width`
+    /// bytes ([`PublicKey::ciphertext_width`]) so message sizes depend
+    /// only on the arity, never on randomizer values.
+    pub fn encode(&self, width: usize) -> Bytes {
         let mut buf = BytesMut::new();
         buf.put_u8(TAG_RECORD_SHARE);
         buf.put_u16(self.shares.len() as u16);
         for (a2, m2a) in &self.shares {
-            put_biguint(&mut buf, a2.as_biguint());
-            put_biguint(&mut buf, m2a.as_biguint());
+            put_ciphertext(&mut buf, a2.as_biguint(), width);
+            put_ciphertext(&mut buf, m2a.as_biguint(), width);
         }
         buf.freeze()
     }
@@ -69,13 +71,14 @@ impl RecordShareMessage {
 }
 
 impl RecordResultMessage {
-    /// Encodes to the wire format.
-    pub fn encode(&self) -> Bytes {
+    /// Encodes to the wire format, padding each ciphertext to `width`
+    /// bytes (see [`RecordShareMessage::encode`]).
+    pub fn encode(&self, width: usize) -> Bytes {
         let mut buf = BytesMut::new();
         buf.put_u8(TAG_RECORD_RESULT);
         buf.put_u16(self.masked.len() as u16);
         for c in &self.masked {
-            put_biguint(&mut buf, c.as_biguint());
+            put_ciphertext(&mut buf, c.as_biguint(), width);
         }
         buf.freeze()
     }
@@ -105,7 +108,7 @@ pub fn alice_record_message<R: RngCore + ?Sized>(
         let share = alice_prepare(pk, a, rng, ledger)?;
         shares.push((share.enc_a_squared, share.enc_minus_2a));
     }
-    let msg = RecordShareMessage { shares }.encode();
+    let msg = RecordShareMessage { shares }.encode(pk.ciphertext_width());
     ledger.record_message(msg.len());
     Ok(msg.to_vec())
 }
@@ -139,7 +142,7 @@ pub fn bob_record_message<R: RngCore + ?Sized>(
         };
         masked.push(bob_combine_masked(pk, &share, b, t, rng, ledger)?);
     }
-    let msg = RecordResultMessage { masked }.encode();
+    let msg = RecordResultMessage { masked }.encode(pk.ciphertext_width());
     ledger.record_message(msg.len());
     Ok(msg.to_vec())
 }
@@ -163,8 +166,8 @@ pub fn querier_reveal_record(
     Ok(all)
 }
 
-fn put_biguint(buf: &mut BytesMut, v: &BigUint) {
-    let bytes = v.to_bytes_be();
+fn put_ciphertext(buf: &mut BytesMut, v: &BigUint, width: usize) {
+    let bytes = v.to_bytes_be_padded(width);
     buf.put_u32(bytes.len() as u32);
     buf.put_slice(&bytes);
 }
@@ -271,7 +274,13 @@ mod tests {
         let m = alice_record_message(&pk, &[3, 4, 5], &mut rng, &mut ledger).unwrap();
         let decoded = RecordShareMessage::decode(&m).unwrap();
         assert_eq!(decoded.shares.len(), 3);
-        assert_eq!(RecordShareMessage::decode(&m).unwrap().encode().to_vec(), m);
+        assert_eq!(
+            RecordShareMessage::decode(&m)
+                .unwrap()
+                .encode(pk.ciphertext_width())
+                .to_vec(),
+            m
+        );
         // Wrong tag, truncation, trailing bytes.
         assert!(RecordResultMessage::decode(&m).is_err());
         assert!(RecordShareMessage::decode(&m[..m.len() - 3]).is_err());
@@ -291,7 +300,7 @@ mod tests {
                 Ciphertext::from_biguint(BigUint::from_u64(7)),
             )],
         }
-        .encode();
+        .encode(pk.ciphertext_width());
         assert!(bob_record_message(&pk, &forged, &[1], &[0], &mut rng, &mut ledger).is_err());
     }
 }

@@ -1,0 +1,192 @@
+//! # pprl-runtime — stdlib-only scoped parallelism
+//!
+//! A minimal work-queue executor on `std::thread::scope`. The dependency
+//! policy (D001) keeps external executors such as rayon out of the
+//! math/crypto crates, so the pipeline's parallel paths share this one
+//! primitive instead.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism of results.** [`par_map`] returns results in *item
+//!    order*, independent of how the work-queue interleaved them across
+//!    workers. Callers that fold results in order therefore produce
+//!    byte-identical output to a sequential loop over the same items.
+//! 2. **No silent loss.** A panicking work item propagates out of the
+//!    call (via the scope join), exactly as it would from a sequential
+//!    loop — results are never partially dropped.
+//! 3. **Cheap dispatch.** Work items are claimed with a single
+//!    `fetch_add` on a shared atomic index; there is no channel, no
+//!    per-item allocation, and no locking on the hot path.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested worker count: `None` means "use the machine",
+/// an explicit request is clamped to at least one worker.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` workers, returning results
+/// in item order. With `threads <= 1` (or fewer than two items) this is
+/// a plain sequential loop — the legacy path, bit-for-bit.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_init(items, threads, |_worker| (), move |(), i, item| f(i, item))
+}
+
+/// [`par_map`] with per-worker state: `init(worker_index)` runs once on
+/// each worker before it claims items, and the state is threaded through
+/// every item that worker processes. Use this when each worker needs its
+/// own session, RNG, or scratch buffers.
+pub fn par_map_init<T, U, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
+    let workers = threads.min(items.len()).max(1);
+    if workers <= 1 {
+        let mut state = init(0);
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let next = &next;
+            let init = &init;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut state = init(w);
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else {
+                        break;
+                    };
+                    local.push((i, f(&mut state, i, item)));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => collected.extend(local),
+                // A worker panicked: re-raise on the caller, exactly as a
+                // sequential loop would have.
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    collected.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(collected.len(), items.len());
+    collected.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_keep_item_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1usize, 2, 3, 4, 8, 64, 1000] {
+            let got = par_map(&items, threads, |_, &x| x * x);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let got: Vec<u32> = par_map(&[] as &[u32], 8, |_, &x| x);
+        assert!(got.is_empty());
+        assert_eq!(par_map(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn every_item_is_claimed_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..500).collect();
+        let got = par_map(&items, 7, |i, &x| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            x
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+        assert_eq!(got.len(), 500);
+    }
+
+    #[test]
+    fn per_worker_state_is_initialized_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        let got = par_map_init(
+            &items,
+            4,
+            |w| {
+                inits.fetch_add(1, Ordering::Relaxed);
+                w
+            },
+            |state, _, &x| (*state, x),
+        );
+        let n = inits.load(Ordering::Relaxed);
+        assert!(n >= 1 && n <= 4, "one init per spawned worker, got {n}");
+        // Values survive in order regardless of which worker ran them.
+        let vals: Vec<u32> = got.iter().map(|&(_, x)| x).collect();
+        assert_eq!(vals, items);
+    }
+
+    #[test]
+    fn sequential_fallback_uses_one_state() {
+        let items = [1u32, 2, 3];
+        let got = par_map_init(
+            &items,
+            1,
+            |_| 0u32,
+            |acc, _, &x| {
+                *acc += x;
+                *acc
+            },
+        );
+        assert_eq!(got, vec![1, 3, 6], "single running state in order");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..32).collect();
+        par_map(&items, 4, |_, &x| {
+            if x == 17 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn resolve_threads_defaults_and_clamps() {
+        assert!(resolve_threads(None) >= 1);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert_eq!(resolve_threads(Some(6)), 6);
+    }
+}

@@ -93,6 +93,13 @@ impl DeadlineClock {
         }
     }
 
+    /// True when no deadline is configured — the precondition for the
+    /// parallel pair walk (deadline expiry is checked between pairs, a
+    /// sequential notion that batched execution cannot honor mid-batch).
+    pub(crate) fn is_unbounded(&self) -> bool {
+        self.budget.is_none()
+    }
+
     /// Charges the virtual cost of one performed comparison (no-op for
     /// the wall-clock and unbudgeted models).
     pub(crate) fn charge_pair(&mut self) {

@@ -51,7 +51,7 @@ use pprl_crypto::protocol::{secure_threshold_match, DataHolder};
 use pprl_crypto::CostLedger;
 use pprl_data::{DataSet, Value};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Fixed-point scale for continuous values entering the integer-only
@@ -638,109 +638,13 @@ impl<'a> SmcRunner<'a> {
     /// classes, suppressed-group switches) until the walk rests on the
     /// next comparable pair; `None` once every reachable pair is decided.
     fn locate_next_pair(&mut self) -> Result<Option<(u32, u32)>, SmcError> {
-        loop {
-            match self.session.phase {
-                SessionPhase::Done => return Ok(None),
-                SessionPhase::Ordered { cursor, skip, .. } => {
-                    let Some(pref) = self.ordered.get(cursor as usize).copied() else {
-                        self.session.phase = SessionPhase::Suppressed {
-                            group: 0,
-                            offset: 0,
-                        };
-                        continue;
-                    };
-                    let next_class = SessionPhase::Ordered {
-                        cursor: cursor + 1,
-                        skip: 0,
-                        matched: 0,
-                    };
-                    // Entering a class with nothing left to spend: the
-                    // whole class is leftover (untouched, no stats row).
-                    if skip == 0 && self.session.invocations == self.session.budget {
-                        self.session.leftovers.push(LeftoverPair {
-                            class_pair: pref,
-                            skip: 0,
-                        });
-                        self.session.phase = next_class;
-                        continue;
-                    }
-                    // Degenerate empty class entered with budget in hand.
-                    if pref.pairs == 0 {
-                        self.session.examined.push(ExaminedStats {
-                            class_pair: pref,
-                            examined: 0,
-                            matched: 0,
-                        });
-                        self.session.phase = next_class;
-                        continue;
-                    }
-                    let (r_view, s_view) = (self.r_view, self.s_view);
-                    let rc = r_view
-                        .classes()
-                        .get(pref.r_class as usize)
-                        .ok_or(SmcError::Internal("R class index out of range"))?;
-                    let sc = s_view
-                        .classes()
-                        .get(pref.s_class as usize)
-                        .ok_or(SmcError::Internal("S class index out of range"))?;
-                    // pref.pairs != 0 (checked above), so both row sets
-                    // are non-empty and the division is safe.
-                    let s_len = sc.rows.len() as u64;
-                    if s_len == 0 {
-                        return Err(SmcError::Internal("empty S class with pairs > 0"));
-                    }
-                    let ri = rc
-                        .rows
-                        .get((skip / s_len) as usize)
-                        .copied()
-                        .ok_or(SmcError::Internal("R row cursor out of range"))?;
-                    let si = sc
-                        .rows
-                        .get((skip % s_len) as usize)
-                        .copied()
-                        .ok_or(SmcError::Internal("S row cursor out of range"))?;
-                    return Ok(Some((ri, si)));
-                }
-                SessionPhase::Suppressed { group, offset } => {
-                    let (ri, si, total) = {
-                        let (r_rows, s_rows) = self.layout.group(group);
-                        let total = r_rows.len() as u64 * s_rows.len() as u64;
-                        if offset >= total {
-                            (0, 0, total)
-                        } else {
-                            // offset < total implies both row sets are
-                            // non-empty, so s_len > 0 and both lookups hit.
-                            let s_len = s_rows.len() as u64;
-                            let ri = r_rows
-                                .get((offset / s_len) as usize)
-                                .copied()
-                                .ok_or(SmcError::Internal("suppressed R cursor out of range"))?;
-                            let si = s_rows
-                                .get((offset % s_len) as usize)
-                                .copied()
-                                .ok_or(SmcError::Internal("suppressed S cursor out of range"))?;
-                            (ri, si, total)
-                        }
-                    };
-                    if offset >= total {
-                        self.session.phase = if group == 0 {
-                            SessionPhase::Suppressed {
-                                group: 1,
-                                offset: 0,
-                            }
-                        } else {
-                            SessionPhase::Done
-                        };
-                        continue;
-                    }
-                    if self.session.invocations == self.session.budget {
-                        self.session.phase = SessionPhase::Done;
-                        continue;
-                    }
-                    return Ok(Some((ri, si)));
-                }
-            }
-        }
+        walk_locate(
+            &mut self.session,
+            &self.ordered,
+            &self.layout,
+            self.r_view,
+            self.s_view,
+        )
     }
 
     /// Applies a decision to the pair the walk currently rests on (the
@@ -758,83 +662,13 @@ impl<'a> SmcRunner<'a> {
         if decision != PairDecision::Abandoned(AbandonReason::DeadlineExpired) {
             self.clock.charge_pair();
         }
-        match self.session.phase {
-            SessionPhase::Done => {
-                Err(SmcError::Internal("decision applied to finished session"))
-            }
-            SessionPhase::Ordered {
-                cursor,
-                skip,
-                matched,
-            } => {
-                let pref = self
-                    .ordered
-                    .get(cursor as usize)
-                    .copied()
-                    .ok_or(SmcError::Internal("decision cursor out of range"))?;
-                let mut matched = matched;
-                match decision {
-                    PairDecision::Matched => {
-                        matched += 1;
-                        self.session.matched_pairs.push((ri, si));
-                    }
-                    PairDecision::NonMatch => {}
-                    PairDecision::Abandoned(reason) => self.abandon(ri, si, reason),
-                }
-                let skip = skip + 1;
-                self.session.invocations += 1;
-                let next_class = SessionPhase::Ordered {
-                    cursor: cursor + 1,
-                    skip: 0,
-                    matched: 0,
-                };
-                if skip == pref.pairs {
-                    // Class fully consumed.
-                    self.session.examined.push(ExaminedStats {
-                        class_pair: pref,
-                        examined: skip,
-                        matched,
-                    });
-                    self.session.phase = next_class;
-                } else if self.session.invocations == self.session.budget {
-                    // Budget ran out mid-class: partial consumption.
-                    self.session.examined.push(ExaminedStats {
-                        class_pair: pref,
-                        examined: skip,
-                        matched,
-                    });
-                    self.session.leftovers.push(LeftoverPair {
-                        class_pair: pref,
-                        skip,
-                    });
-                    self.session.phase = next_class;
-                } else {
-                    self.session.phase = SessionPhase::Ordered {
-                        cursor,
-                        skip,
-                        matched,
-                    };
-                }
-                Ok(())
-            }
-            SessionPhase::Suppressed { group, offset } => {
-                match decision {
-                    PairDecision::Matched => {
-                        self.session.suppressed_matched += 1;
-                        self.session.matched_pairs.push((ri, si));
-                    }
-                    PairDecision::NonMatch => {}
-                    PairDecision::Abandoned(reason) => self.abandon(ri, si, reason),
-                }
-                self.session.invocations += 1;
-                self.session.suppressed_examined += 1;
-                self.session.phase = SessionPhase::Suppressed {
-                    group,
-                    offset: offset + 1,
-                };
-                Ok(())
-            }
-        }
+        walk_apply(&mut self.session, &self.ordered, self.strategy, ri, si, decision)?;
+        // Settle bookkeeping-only transitions immediately: between steps
+        // the session always rests on the next comparable pair or on
+        // `Done`, so replaying the journal of a completed run reports
+        // `is_done()` without one extra probing step.
+        self.locate_next_pair()?;
+        Ok(())
     }
 
     /// Steps at most `n` pairs; returns how many were actually decided.
@@ -850,6 +684,172 @@ impl<'a> SmcRunner<'a> {
     pub fn run_to_completion(&mut self) -> Result<(), SmcError> {
         while self.step_pair()? {}
         Ok(())
+    }
+
+    /// True when the pair walk may be executed in concurrent batches:
+    /// per-worker comparer duplication must be possible (not the
+    /// transported backend, whose reliable link sequences frames
+    /// serially) and no deadline may be armed (expiry is checked
+    /// *between* pairs — a sequential notion a batch cannot honor
+    /// mid-flight without changing which pairs get abandoned).
+    pub fn parallelizable(&self) -> bool {
+        self.clock.is_unbounded() && !matches!(self.comparer.backend, Backend::Transported(_))
+    }
+
+    /// Enumerates the next (up to) `max` comparable pairs without
+    /// advancing the live walk. The probe runs on a *cloned* session:
+    /// [`walk_apply`] moves the cursor identically whatever the decision
+    /// was, so feeding it placeholder non-matches enumerates exactly the
+    /// pairs the live walk will visit.
+    fn upcoming_pairs(&self, max: usize) -> Result<Vec<(u32, u32)>, SmcError> {
+        let mut probe = self.session.clone();
+        let mut pairs = Vec::new();
+        while pairs.len() < max {
+            let Some((ri, si)) = walk_locate(
+                &mut probe,
+                &self.ordered,
+                &self.layout,
+                self.r_view,
+                self.s_view,
+            )?
+            else {
+                break;
+            };
+            pairs.push((ri, si));
+            walk_apply(
+                &mut probe,
+                &self.ordered,
+                self.strategy,
+                ri,
+                si,
+                PairDecision::NonMatch,
+            )?;
+        }
+        Ok(pairs)
+    }
+
+    /// Decides up to `n` pairs, comparing them concurrently on up to
+    /// `threads` workers; returns how many were decided. Results are
+    /// identical to [`step_pairs`](Self::step_pairs). Falls back to the
+    /// sequential loop when `threads <= 1` or the session is not
+    /// [`parallelizable`](Self::parallelizable).
+    pub fn step_pairs_parallel(&mut self, n: u64, threads: usize) -> Result<u64, SmcError> {
+        Ok(self.step_pair_events_parallel(n, threads)?.len() as u64)
+    }
+
+    /// Like [`step_pairs_parallel`](Self::step_pairs_parallel), but
+    /// returns the decided pairs as journalable [`PairEvent`]s in walk
+    /// order — what the journaled runner appends as outcome frames.
+    /// Results are identical to repeated
+    /// [`step_pair_event`](Self::step_pair_event) calls: the batch is
+    /// enumerated by probing the deterministic walk, each worker runs an
+    /// independent comparer (decisions are randomness-independent), and
+    /// the decisions are applied *in walk order* with per-pair ledgers
+    /// merged into the session ledger (merging is commutative, and each
+    /// pair's cost is a function of the pair alone).
+    pub fn step_pair_events_parallel(
+        &mut self,
+        n: u64,
+        threads: usize,
+    ) -> Result<Vec<PairEvent>, SmcError> {
+        if threads <= 1 || !self.parallelizable() {
+            let mut events = Vec::new();
+            while (events.len() as u64) < n {
+                let Some(event) = self.step_pair_event()? else {
+                    break;
+                };
+                events.push(event);
+            }
+            return Ok(events);
+        }
+        let max = usize::try_from(n).unwrap_or(usize::MAX);
+        let pairs = self.upcoming_pairs(max)?;
+        if pairs.is_empty() {
+            // Only bookkeeping transitions remain; drain them on the
+            // live walk (this is where the session reaches `Done`).
+            self.step_pairs(n)?;
+            return Ok(Vec::new());
+        }
+        let (r_data, s_data) = (self.r_data, self.s_data);
+        let (qids, comparer) = (&self.qids, &self.comparer);
+        let outcomes = pprl_runtime::par_map_init(
+            &pairs,
+            threads,
+            |worker| comparer.duplicate(worker as u64),
+            |dup, _i, &(ri, si)| -> Result<(PairDecision, CostLedger), SmcError> {
+                let c = dup
+                    .as_mut()
+                    .ok_or(SmcError::Internal("non-duplicable backend in parallel step"))?;
+                let r = r_data
+                    .records()
+                    .get(ri as usize)
+                    .ok_or(SmcError::Internal("R record index out of range"))?;
+                let s = s_data
+                    .records()
+                    .get(si as usize)
+                    .ok_or(SmcError::Internal("S record index out of range"))?;
+                let mut ledger = CostLedger::new();
+                let decision = match c.compare(qids, r, s, &mut ledger)? {
+                    CompareOutcome::Decided(true) => PairDecision::Matched,
+                    CompareOutcome::Decided(false) => PairDecision::NonMatch,
+                    CompareOutcome::Abandoned => {
+                        PairDecision::Abandoned(AbandonReason::RetryExhausted)
+                    }
+                };
+                Ok((decision, ledger))
+            },
+        );
+        let mut events = Vec::with_capacity(pairs.len());
+        for (&(ri, si), outcome) in pairs.iter().zip(outcomes) {
+            let (decision, ledger) = outcome?;
+            let Some(located) = self.locate_next_pair()? else {
+                return Err(SmcError::Internal("parallel walk ended before its batch"));
+            };
+            if located != (ri, si) {
+                return Err(SmcError::Internal("parallel walk diverged from its probe"));
+            }
+            self.session.ledger.merge(&ledger);
+            self.apply_decision(ri, si, decision)?;
+            events.push(PairEvent { ri, si, decision });
+        }
+        Ok(events)
+    }
+
+    /// Runs until every reachable pair is decided, batching comparisons
+    /// across up to `threads` workers. Output (labels, stats, ledger,
+    /// checkpoints) is identical to [`run_to_completion`]
+    /// (Self::run_to_completion); non-parallelizable sessions fall back
+    /// to it outright.
+    pub fn run_to_completion_parallel(&mut self, threads: usize) -> Result<(), SmcError> {
+        if threads <= 1 || !self.parallelizable() {
+            return self.run_to_completion();
+        }
+        // Batches large enough to amortize the probe and fan-out, small
+        // enough to bound peak memory (one ledger per in-flight pair).
+        let batch = (threads as u64).saturating_mul(64).max(256);
+        while self.step_pairs_parallel(batch, threads)? > 0 {}
+        Ok(())
+    }
+
+    /// Pre-fills a shared randomizer pool (`rⁿ mod n²`, the expensive
+    /// factor of every Paillier encryption) on the backend key pair,
+    /// computed across `threads` workers, so subsequent encryptions cost
+    /// two modular multiplications each. Returns `false` when there is
+    /// nothing to pool for (oracle mode, transported sessions). Ledger
+    /// accounting is unchanged either way — the pool moves *when* the
+    /// exponentiations happen, not how many the protocol performs.
+    pub fn prefill_randomizers(&mut self, count: usize, threads: usize, seed: u64) -> bool {
+        if count == 0 || !self.parallelizable() {
+            return false;
+        }
+        match &mut self.comparer.backend {
+            Backend::Paillier(b) | Backend::PaillierBatched(b) => {
+                let pool =
+                    pprl_crypto::RandomizerPool::prefill(b.keys.public(), count, threads, seed);
+                b.keys.attach_pool(pool).is_ok()
+            }
+            _ => false,
+        }
     }
 
     /// Snapshot of the current state, suitable for serialization and a
@@ -881,17 +881,6 @@ impl<'a> SmcRunner<'a> {
         }
     }
 
-    /// A pair the run gave up on (transport retries exhausted or the
-    /// deadline expired): charged, never matched by the protocol, decided
-    /// by the strategy instead. The reason is tallied for the report.
-    fn abandon(&mut self, ri: u32, si: u32, reason: AbandonReason) {
-        let d = &mut self.session.degradation;
-        d.abandoned.record(reason);
-        if matches!(self.strategy, LabelingStrategy::MaximizeRecall) {
-            d.declared.push((ri, si));
-        }
-    }
-
     /// Folds transport telemetry (fault stats, virtual backoff, ledger
     /// tallies) into the degradation report.
     fn sync_degradation(&mut self) {
@@ -916,6 +905,230 @@ impl<'a> SmcRunner<'a> {
             .ok_or(SmcError::Internal("S record index out of range"))?;
         self.comparer
             .compare(&self.qids, r, s, &mut self.session.ledger)
+    }
+}
+
+/// Advances bookkeeping-only phase transitions (leftover pushes, empty
+/// classes, suppressed-group switches) until the walk rests on the next
+/// comparable pair; `None` once every reachable pair is decided.
+///
+/// A free function over the session so the parallel driver can *probe*
+/// the walk on a cloned session without touching the live runner.
+fn walk_locate(
+    session: &mut SmcSession,
+    ordered: &[ClassPairRef],
+    layout: &SuppressedLayout,
+    r_view: &AnonymizedView,
+    s_view: &AnonymizedView,
+) -> Result<Option<(u32, u32)>, SmcError> {
+    loop {
+        match session.phase {
+            SessionPhase::Done => return Ok(None),
+            SessionPhase::Ordered { cursor, skip, .. } => {
+                let Some(pref) = ordered.get(cursor as usize).copied() else {
+                    session.phase = SessionPhase::Suppressed {
+                        group: 0,
+                        offset: 0,
+                    };
+                    continue;
+                };
+                let next_class = SessionPhase::Ordered {
+                    cursor: cursor + 1,
+                    skip: 0,
+                    matched: 0,
+                };
+                // Entering a class with nothing left to spend: the
+                // whole class is leftover (untouched, no stats row).
+                if skip == 0 && session.invocations == session.budget {
+                    session.leftovers.push(LeftoverPair {
+                        class_pair: pref,
+                        skip: 0,
+                    });
+                    session.phase = next_class;
+                    continue;
+                }
+                // Degenerate empty class entered with budget in hand.
+                if pref.pairs == 0 {
+                    session.examined.push(ExaminedStats {
+                        class_pair: pref,
+                        examined: 0,
+                        matched: 0,
+                    });
+                    session.phase = next_class;
+                    continue;
+                }
+                let rc = r_view
+                    .classes()
+                    .get(pref.r_class as usize)
+                    .ok_or(SmcError::Internal("R class index out of range"))?;
+                let sc = s_view
+                    .classes()
+                    .get(pref.s_class as usize)
+                    .ok_or(SmcError::Internal("S class index out of range"))?;
+                // pref.pairs != 0 (checked above), so both row sets
+                // are non-empty and the division is safe.
+                let s_len = sc.rows.len() as u64;
+                if s_len == 0 {
+                    return Err(SmcError::Internal("empty S class with pairs > 0"));
+                }
+                let ri = rc
+                    .rows
+                    .get((skip / s_len) as usize)
+                    .copied()
+                    .ok_or(SmcError::Internal("R row cursor out of range"))?;
+                let si = sc
+                    .rows
+                    .get((skip % s_len) as usize)
+                    .copied()
+                    .ok_or(SmcError::Internal("S row cursor out of range"))?;
+                return Ok(Some((ri, si)));
+            }
+            SessionPhase::Suppressed { group, offset } => {
+                let (ri, si, total) = {
+                    let (r_rows, s_rows) = layout.group(group);
+                    let total = r_rows.len() as u64 * s_rows.len() as u64;
+                    if offset >= total {
+                        (0, 0, total)
+                    } else {
+                        // offset < total implies both row sets are
+                        // non-empty, so s_len > 0 and both lookups hit.
+                        let s_len = s_rows.len() as u64;
+                        let ri = r_rows
+                            .get((offset / s_len) as usize)
+                            .copied()
+                            .ok_or(SmcError::Internal("suppressed R cursor out of range"))?;
+                        let si = s_rows
+                            .get((offset % s_len) as usize)
+                            .copied()
+                            .ok_or(SmcError::Internal("suppressed S cursor out of range"))?;
+                        (ri, si, total)
+                    }
+                };
+                if offset >= total {
+                    session.phase = if group == 0 {
+                        SessionPhase::Suppressed {
+                            group: 1,
+                            offset: 0,
+                        }
+                    } else {
+                        SessionPhase::Done
+                    };
+                    continue;
+                }
+                if session.invocations == session.budget {
+                    session.phase = SessionPhase::Done;
+                    continue;
+                }
+                return Ok(Some((ri, si)));
+            }
+        }
+    }
+}
+
+/// Applies a decision to the pair the walk currently rests on: labels,
+/// degradation, budget charge, and the class-end / partial-consumption
+/// bookkeeping. The deadline clock is charged by the caller ([`SmcRunner`]
+/// owns it); everything here is pure session state, which is what makes
+/// the walk *probe-able*: which pair comes next never depends on how the
+/// previous pair was decided.
+fn walk_apply(
+    session: &mut SmcSession,
+    ordered: &[ClassPairRef],
+    strategy: LabelingStrategy,
+    ri: u32,
+    si: u32,
+    decision: PairDecision,
+) -> Result<(), SmcError> {
+    match session.phase {
+        SessionPhase::Done => Err(SmcError::Internal("decision applied to finished session")),
+        SessionPhase::Ordered {
+            cursor,
+            skip,
+            matched,
+        } => {
+            let pref = ordered
+                .get(cursor as usize)
+                .copied()
+                .ok_or(SmcError::Internal("decision cursor out of range"))?;
+            let mut matched = matched;
+            match decision {
+                PairDecision::Matched => {
+                    matched += 1;
+                    session.matched_pairs.push((ri, si));
+                }
+                PairDecision::NonMatch => {}
+                PairDecision::Abandoned(reason) => walk_abandon(session, strategy, ri, si, reason),
+            }
+            let skip = skip + 1;
+            session.invocations += 1;
+            let next_class = SessionPhase::Ordered {
+                cursor: cursor + 1,
+                skip: 0,
+                matched: 0,
+            };
+            if skip == pref.pairs {
+                // Class fully consumed.
+                session.examined.push(ExaminedStats {
+                    class_pair: pref,
+                    examined: skip,
+                    matched,
+                });
+                session.phase = next_class;
+            } else if session.invocations == session.budget {
+                // Budget ran out mid-class: partial consumption.
+                session.examined.push(ExaminedStats {
+                    class_pair: pref,
+                    examined: skip,
+                    matched,
+                });
+                session.leftovers.push(LeftoverPair {
+                    class_pair: pref,
+                    skip,
+                });
+                session.phase = next_class;
+            } else {
+                session.phase = SessionPhase::Ordered {
+                    cursor,
+                    skip,
+                    matched,
+                };
+            }
+            Ok(())
+        }
+        SessionPhase::Suppressed { group, offset } => {
+            match decision {
+                PairDecision::Matched => {
+                    session.suppressed_matched += 1;
+                    session.matched_pairs.push((ri, si));
+                }
+                PairDecision::NonMatch => {}
+                PairDecision::Abandoned(reason) => walk_abandon(session, strategy, ri, si, reason),
+            }
+            session.invocations += 1;
+            session.suppressed_examined += 1;
+            session.phase = SessionPhase::Suppressed {
+                group,
+                offset: offset + 1,
+            };
+            Ok(())
+        }
+    }
+}
+
+/// A pair the run gave up on (transport retries exhausted or the
+/// deadline expired): charged, never matched by the protocol, decided
+/// by the strategy instead. The reason is tallied for the report.
+fn walk_abandon(
+    session: &mut SmcSession,
+    strategy: LabelingStrategy,
+    ri: u32,
+    si: u32,
+    reason: AbandonReason,
+) {
+    let d = &mut session.degradation;
+    d.abandoned.record(reason);
+    if matches!(strategy, LabelingStrategy::MaximizeRecall) {
+        d.declared.push((ri, si));
     }
 }
 
@@ -985,7 +1198,7 @@ impl TransportedBackend {
         }
         .encode()
         .to_vec();
-        let mut broadcast = |link: &mut ReliableLink<FaultyTransport<LocalTransport>>,
+        let broadcast = |link: &mut ReliableLink<FaultyTransport<LocalTransport>>,
                              ledger: &mut CostLedger,
                              party: PartyId|
          -> Result<DataHolder, SmcError> {
@@ -1064,6 +1277,38 @@ impl Comparer {
             schema: std::sync::Arc::clone(data.schema()),
             rule: rule.clone(),
             norms,
+            backend,
+        })
+    }
+
+    /// An independent clone for a parallel worker. Key material and rule
+    /// tables are cloned (any attached randomizer pool is shared through
+    /// its `Arc`); the worker's RNG stream is re-derived from the
+    /// original's state mixed with the worker index, so workers draw
+    /// distinct encryption randomness. Protocol *decisions* are
+    /// randomness-independent, so the labels still equal the sequential
+    /// run's. `None` for the transported backend: a reliable link's
+    /// frame sequencing is inherently serial.
+    fn duplicate(&self, worker: u64) -> Option<Comparer> {
+        let fork = |b: &PaillierBackend| {
+            let mut probe = b.rng.clone();
+            let base = probe.next_u64();
+            let mix = worker.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+            Box::new(PaillierBackend {
+                keys: b.keys.clone(),
+                rng: StdRng::seed_from_u64(base ^ mix),
+            })
+        };
+        let backend = match &self.backend {
+            Backend::Oracle => Backend::Oracle,
+            Backend::Paillier(b) => Backend::Paillier(fork(b)),
+            Backend::PaillierBatched(b) => Backend::PaillierBatched(fork(b)),
+            Backend::Transported(_) => return None,
+        };
+        Some(Comparer {
+            schema: std::sync::Arc::clone(&self.schema),
+            rule: self.rule.clone(),
+            norms: self.norms.clone(),
             backend,
         })
     }
@@ -1497,9 +1742,13 @@ mod tests {
         runner.step_pairs(5).unwrap();
         let snapshot = runner.checkpoint();
         let other = step(SmcAllowance::Pairs(60));
-        let err = other
-            .resume(snapshot, &f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
-            .unwrap_err();
+        // `unwrap_err` would require `SmcRunner: Debug`, which the runner
+        // deliberately does not implement (it holds key material).
+        let err = match other.resume(snapshot, &f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+        {
+            Err(e) => e,
+            Ok(_) => panic!("resume with a mismatched budget must fail"),
+        };
         assert!(matches!(err, SmcError::SessionMismatch(_)));
     }
 
@@ -1625,5 +1874,90 @@ mod tests {
         };
         let err = other.replay_pair_event(&bogus).unwrap_err();
         assert!(matches!(err, SmcError::SessionMismatch(_)));
+    }
+
+    #[test]
+    fn parallel_run_equals_sequential_at_any_thread_count() {
+        let f = fixture(150);
+        let s = step(SmcAllowance::Pairs(400));
+        let full = s
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        for threads in [2usize, 3, 4, 8] {
+            let mut runner = s
+                .start(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+                .unwrap();
+            assert!(runner.parallelizable());
+            runner.run_to_completion_parallel(threads).unwrap();
+            assert!(runner.is_done());
+            assert_eq!(runner.finish(), full, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_paillier_with_pool_equals_sequential_report() {
+        let f = fixture(80);
+        let mut s = step(SmcAllowance::Pairs(30));
+        s.mode = SmcMode::PaillierBatched {
+            modulus_bits: 256,
+            seed: 5,
+        };
+        let full = s
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        let mut runner = s
+            .start(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        assert!(runner.prefill_randomizers(64, 4, 17), "pool engages");
+        runner.run_to_completion_parallel(4).unwrap();
+        // Labels AND the cost ledger are identical: pooling moves when
+        // the exponentiations happen, not how many the protocol counts.
+        assert_eq!(runner.finish(), full);
+    }
+
+    #[test]
+    fn armed_deadline_disables_parallelism_but_stays_correct() {
+        let f = fixture(120);
+        let mut s = step(SmcAllowance::Unlimited);
+        s.deadline = DeadlineBudget::VirtualMs {
+            budget_ms: 9,
+            cost_per_pair_ms: 1,
+        };
+        let full = s
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        let mut runner = s
+            .start(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        assert!(!runner.parallelizable(), "deadline forces the serial path");
+        runner.run_to_completion_parallel(8).unwrap();
+        assert_eq!(runner.finish(), full);
+    }
+
+    #[test]
+    fn parallel_batches_interleave_with_checkpoints() {
+        let f = fixture(150);
+        let s = step(SmcAllowance::Pairs(300));
+        let full = s
+            .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+            .unwrap();
+        // Decide 13 pairs per parallel batch, checkpoint + resume between
+        // batches: the snapshot protocol is batch-size agnostic.
+        let mut snapshot: Option<SmcSession> = None;
+        let resumed = loop {
+            let mut runner = match snapshot.take() {
+                None => s
+                    .start(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+                    .unwrap(),
+                Some(session) => s
+                    .resume(session, &f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
+                    .unwrap(),
+            };
+            if runner.step_pairs_parallel(13, 4).unwrap() == 0 {
+                break runner.finish();
+            }
+            snapshot = Some(runner.checkpoint());
+        };
+        assert_eq!(resumed, full);
     }
 }

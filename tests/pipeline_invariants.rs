@@ -79,6 +79,62 @@ proptest! {
         prop_assert!(out.metrics.true_matches >= out.metrics.blocking_matched);
     }
 
+    /// The worker-thread count is unobservable in the output: metrics,
+    /// leftover labels, the match set, and even the run journal's bytes
+    /// are identical to the sequential run at any thread count.
+    #[test]
+    fn thread_count_is_unobservable(
+        seed in 0u64..500,
+        k in 2usize..24,
+        threads in 2usize..9,
+        budget in 0u64..3_000,
+        method in any_method(),
+    ) {
+        use pprl::core::journal_run::{run_journaled, JournalOptions};
+
+        let (d1, d2) = SyntheticScenario::builder()
+            .records_per_set(90)
+            .seed(seed)
+            .build()
+            .data_sets();
+        let mut cfg = LinkageConfig::paper_defaults()
+            .with_k(k)
+            .with_allowance(SmcAllowance::Pairs(budget));
+        cfg.method_r = method;
+        cfg.method_s = method;
+        let seq = HybridLinkage::new(cfg.clone()).run(&d1, &d2).unwrap();
+        let par = HybridLinkage::new(cfg.clone())
+            .with_threads(threads)
+            .run(&d1, &d2)
+            .unwrap();
+        prop_assert_eq!(&par.metrics, &seq.metrics);
+        prop_assert_eq!(&par.leftover_labels, &seq.leftover_labels);
+        prop_assert_eq!(
+            par.matched_rows().collect::<Vec<_>>(),
+            seq.matched_rows().collect::<Vec<_>>()
+        );
+
+        // Journaled variant: frame-for-frame byte identity.
+        let dir = std::env::temp_dir().join("pprl-thread-equiv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p_seq = dir.join(format!("{seed}-{k}-{budget}-{threads}-seq.pprlj"));
+        let p_par = dir.join(format!("{seed}-{k}-{budget}-{threads}-par.pprlj"));
+        let jopts = JournalOptions::default();
+        run_journaled(&HybridLinkage::new(cfg.clone()), &d1, &d2, &p_seq, &jopts).unwrap();
+        run_journaled(
+            &HybridLinkage::new(cfg).with_threads(threads),
+            &d1,
+            &d2,
+            &p_par,
+            &jopts,
+        )
+        .unwrap();
+        let (a, b) = (std::fs::read(&p_seq).unwrap(), std::fs::read(&p_par).unwrap());
+        let _ = std::fs::remove_file(&p_seq);
+        let _ = std::fs::remove_file(&p_par);
+        prop_assert_eq!(a, b, "journal bytes must not depend on thread count");
+    }
+
     /// Unlimited budget ⇒ recall 1 (the blocking N-labels are sound, so no
     /// true match can be lost outside the SMC-covered region).
     #[test]
