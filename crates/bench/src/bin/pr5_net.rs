@@ -1,0 +1,204 @@
+//! PR 5 net baseline: the SMC wire protocol over real loopback TCP.
+//!
+//! Extends the `BENCH_pr4.json` trajectory with the networking layer.
+//! Runs the per-pair protocol exchange (Alice → Bob record shares,
+//! Bob → Querier masked differences) through [`ReliableLink`] over two
+//! transports — the perfect in-memory [`LocalTransport`] and
+//! [`TcpTransport`] on a real loopback socket mesh — and records, per
+//! pair, the wire round-trip time plus the byte overhead TCP framing adds
+//! on top of the protocol ledger's own accounting.
+//!
+//! ```sh
+//! cargo run --release -p pprl-bench --bin pr5_net -- \
+//!     --pairs 96 --out BENCH_pr5.json
+//! ```
+//!
+//! The ledger is asserted identical across both transports: moving frames
+//! through the kernel must not change a single protocol byte, only the
+//! wire totals beneath it.
+
+use pprl_crypto::paillier::Keypair;
+use pprl_crypto::protocol::transport::{LocalTransport, PartyId};
+use pprl_crypto::protocol::{
+    alice_record_message, bob_record_message, querier_reveal_record, ReliableLink, RetryPolicy,
+    Transport,
+};
+use pprl_crypto::CostLedger;
+use pprl_net::{NetStats, TcpTransport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// One transport's sweep results.
+struct Series {
+    name: &'static str,
+    per_pair_us: Vec<f64>,
+    ledger: CostLedger,
+    wire: Option<NetStats>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives `pairs` full protocol exchanges over `link`, timing only the
+/// `deliver` calls (the crypto between them is identical per transport
+/// and benchmarked by `pr4_parallel`).
+fn run_series<T: Transport>(
+    name: &'static str,
+    mut link: ReliableLink<T>,
+    keys: &Keypair,
+    pairs: u64,
+    qids: usize,
+    seed: u64,
+) -> (Series, ReliableLink<T>) {
+    let pk = keys.public().clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let thresholds: Vec<u64> = vec![2; qids];
+    let mut ledger = CostLedger::new();
+    let mut per_pair_us = Vec::with_capacity(pairs as usize);
+    for pair in 1..=pairs {
+        let alice_values: Vec<u64> = (0..qids).map(|_| rng.gen_range(0..32u64)).collect();
+        let bob_values: Vec<u64> = (0..qids).map(|_| rng.gen_range(0..32u64)).collect();
+        let m_alice =
+            alice_record_message(&pk, &alice_values, &mut rng, &mut ledger).expect("small values");
+
+        let t0 = Instant::now();
+        let delivered = link
+            .deliver(PartyId::Alice, PartyId::Bob, pair, m_alice, &mut ledger)
+            .expect("perfect line");
+        let leg1 = t0.elapsed();
+
+        let m_bob = bob_record_message(
+            &pk,
+            &delivered,
+            &bob_values,
+            &thresholds,
+            &mut rng,
+            &mut ledger,
+        )
+        .expect("decodable shares");
+
+        let t1 = Instant::now();
+        let delivered = link
+            .deliver(PartyId::Bob, PartyId::Querier, pair, m_bob, &mut ledger)
+            .expect("perfect line");
+        let leg2 = t1.elapsed();
+
+        querier_reveal_record(keys.private(), &delivered, &mut ledger).expect("decodable result");
+        per_pair_us.push((leg1 + leg2).as_secs_f64() * 1e6);
+    }
+    eprintln!(
+        "{name:<6} {pairs} pairs: {:.1} us/pair mean, ledger {} msgs / {} bytes",
+        per_pair_us.iter().sum::<f64>() / per_pair_us.len() as f64,
+        ledger.messages,
+        ledger.bytes,
+    );
+    (
+        Series {
+            name,
+            per_pair_us,
+            ledger,
+            wire: None,
+        },
+        link,
+    )
+}
+
+fn series_json(s: &Series) -> String {
+    let mut sorted = s.per_pair_us.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mean = sorted.iter().sum::<f64>() / sorted.len().max(1) as f64;
+    let wire = match &s.wire {
+        Some(w) => format!(
+            concat!(
+                "{{ \"frames_sent\": {}, \"frames_received\": {}, ",
+                "\"bytes_sent\": {}, \"bytes_received\": {}, \"retransmits\": {} }}"
+            ),
+            w.frames_sent, w.frames_received, w.bytes_sent, w.bytes_received, w.retransmits
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        r#"{{
+      "transport": "{}",
+      "round_trip_us": {{ "mean": {mean:.3}, "p50": {:.3}, "p95": {:.3}, "max": {:.3} }},
+      "ledger": {{ "messages": {}, "message_bytes": {}, "retries": {} }},
+      "wire": {wire}
+    }}"#,
+        s.name,
+        percentile(&sorted, 0.50),
+        percentile(&sorted, 0.95),
+        percentile(&sorted, 1.0),
+        s.ledger.messages,
+        s.ledger.bytes,
+        s.ledger.retries,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |key: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let pairs: u64 = opt("--pairs").map_or(96, |v| v.parse().expect("--pairs N"));
+    let bits: usize = opt("--bits").map_or(256, |v| v.parse().expect("--bits B"));
+    let qids: usize = opt("--qids").map_or(5, |v| v.parse().expect("--qids N"));
+    let out = opt("--out").unwrap_or("BENCH_pr5.json").to_string();
+
+    eprintln!("pr5_net: pairs={pairs} bits={bits} qids={qids}");
+    let mut rng = StdRng::seed_from_u64(42);
+    let keys = Keypair::generate(&mut rng, bits);
+
+    // In-memory reference: the PR 1 simulated channel at zero faults.
+    let local = ReliableLink::new(LocalTransport::new(), RetryPolicy::default(), 7);
+    let (local_series, _) = run_series("local", local, &keys, pairs, qids, 11);
+
+    // Real sockets: same link layer, frames cross the kernel's TCP stack.
+    let mesh = TcpTransport::loopback_mesh(Duration::from_millis(500)).expect("loopback binds");
+    let tcp = ReliableLink::new(mesh, RetryPolicy::default(), 7);
+    let (mut tcp_series, mut tcp_link) = run_series("tcp", tcp, &keys, pairs, qids, 11);
+    tcp_series.wire = Some(tcp_link.transport_mut().stats.clone());
+
+    // The protocol layer must be bit-for-bit oblivious to the transport.
+    assert_eq!(
+        (local_series.ledger.messages, local_series.ledger.bytes),
+        (tcp_series.ledger.messages, tcp_series.ledger.bytes),
+        "TCP framing leaked into the protocol ledger"
+    );
+    let wire = tcp_series.wire.as_ref().expect("just set");
+    let framing_overhead =
+        wire.bytes_sent as f64 / tcp_series.ledger.bytes.max(1) as f64;
+    eprintln!(
+        "tcp framing: {} wire bytes over {} protocol bytes ({framing_overhead:.3}x)",
+        wire.bytes_sent, tcp_series.ledger.bytes
+    );
+
+    // Assembled by hand, like pr4_parallel: this binary must stay
+    // meaningful without any JSON crate in the loop.
+    let doc = format!(
+        r#"{{
+  "bench": "pr5_net",
+  "pairs": {pairs},
+  "modulus_bits": {bits},
+  "qids_per_record": {qids},
+  "series": [
+    {local},
+    {tcp}
+  ],
+  "tcp_framing_overhead": {framing_overhead:.4}
+}}
+"#,
+        local = series_json(&local_series),
+        tcp = series_json(&tcp_series),
+    );
+    std::fs::write(&out, doc).expect("write bench output");
+    println!("wrote {out}");
+}

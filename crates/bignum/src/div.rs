@@ -42,6 +42,7 @@ impl BigUint {
 
     /// `self % modulus`, panicking on a zero modulus.
     pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        // pprl:allow(panic-path): documented contract panic; checked_/div_rem alternatives exist for fallible callers
         self.div_rem(modulus).expect("modulus must be non-zero").1
     }
 }
@@ -49,6 +50,7 @@ impl BigUint {
 impl std::ops::Div for &BigUint {
     type Output = BigUint;
     fn div(self, rhs: &BigUint) -> BigUint {
+        // pprl:allow(panic-path): documented contract panic; checked_/div_rem alternatives exist for fallible callers
         self.div_rem(rhs).expect("division by zero").0
     }
 }

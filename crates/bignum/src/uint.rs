@@ -249,6 +249,7 @@ impl std::ops::Sub for &BigUint {
     /// Panics on underflow; use [`BigUint::checked_sub`] to handle it.
     fn sub(self, rhs: &BigUint) -> BigUint {
         self.checked_sub(rhs)
+            // pprl:allow(panic-path): documented contract panic; checked_sub exists for fallible callers
             .expect("BigUint subtraction underflow")
     }
 }

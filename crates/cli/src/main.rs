@@ -41,6 +41,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "synth" => cmd_synth(&opts),
         "run" => cmd_run(&opts),
+        "party" => cmd_party(&opts),
         "anonymize" => cmd_anonymize(&opts),
         "block" => cmd_block(&opts),
         "--help" | "-h" | "help" => {
@@ -64,6 +65,7 @@ pprl-link — hybrid private record linkage (ICDE 2008 reproduction)
 USAGE:
   pprl-link synth     --out DIR [--records N] [--seed S]
   pprl-link run       --left FILE --right FILE [options]
+  pprl-link party     --role R --left FILE --right FILE [options]
   pprl-link anonymize --input FILE [--k K] [--method M] [--qids Q] [--publish FILE]
   pprl-link block     --left-view FILE --right-view FILE [--theta T]
 
@@ -106,6 +108,29 @@ Example — 5 % fault injection, 4 retries, degradation report:
 Example — crash-safe run, then recovery after a kill:
   pprl-link run --left d1.csv --right d2.csv --journal /tmp/job.pprlj
   pprl-link run --left d1.csv --right d2.csv --journal /tmp/job.pprlj --resume
+
+PARTY OPTIONS (three-process deployment over TCP; every party loads the
+same two files and the same RUN OPTIONS — the handshake rejects drift):
+  --role R            query | alice | bob
+  --listen ADDR       listener bind address (query: for both holders;
+                      alice: for bob) [127.0.0.1:0]; the bound address is
+                      announced on stderr as
+                      `pprl-net: <role> listening on <addr>`
+  --connect-querier ADDR  the querier's announced address (alice, bob)
+  --connect-alice ADDR    alice's announced address (bob)
+  --journal PATH      durable per-party journal; with --resume a killed
+                      party rejoins the session at its watermark
+  --net-timeout-ms MS     socket poll timeout           [1000]
+  --net-deadline-ms MS    per-operation reconnect deadline [30000]
+  Paillier is always batched in party mode ('--paillier BITS' sets the key
+  size, default 256); --fault-rate/--deadline-ms are rejected.
+
+Example — full linkage across three terminals on loopback:
+  pprl-link party --role query --left d1.csv --right d2.csv --json
+  pprl-link party --role alice --left d1.csv --right d2.csv \\
+      --connect-querier 127.0.0.1:PORT
+  pprl-link party --role bob   --left d1.csv --right d2.csv \\
+      --connect-querier 127.0.0.1:PORT --connect-alice 127.0.0.1:PORT2
 ";
 
 type Opts = HashMap<String, String>;
@@ -169,15 +194,17 @@ fn cmd_synth(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(opts: &Opts) -> Result<(), String> {
-    if opts.contains_key("resume") && !opts.contains_key("journal") {
-        return Err("--resume requires --journal PATH".to_string());
-    }
+/// Loads `--left`/`--right` (every party subcommand needs both).
+fn load_inputs(opts: &Opts) -> Result<(pprl_data::DataSet, pprl_data::DataSet), String> {
     let left = opts.get("left").ok_or("--left FILE is required")?;
     let right = opts.get("right").ok_or("--right FILE is required")?;
     let d1 = load_adult(left).map_err(|e| format!("{left}: {e}"))?;
     let d2 = load_adult(right).map_err(|e| format!("{right}: {e}"))?;
+    Ok((d1, d2))
+}
 
+/// Builds the [`LinkageConfig`] from the shared RUN OPTIONS.
+fn build_config(opts: &Opts) -> Result<LinkageConfig, String> {
     let k: usize = get(opts, "k", 32)?;
     let mut config = LinkageConfig::paper_defaults()
         .with_k(k)
@@ -235,7 +262,15 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             ms.parse().map_err(|_| "--deadline-ms: cannot parse MS")?,
         );
     }
+    Ok(config)
+}
 
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    if opts.contains_key("resume") && !opts.contains_key("journal") {
+        return Err("--resume requires --journal PATH".to_string());
+    }
+    let (d1, d2) = load_inputs(opts)?;
+    let config = build_config(opts)?;
     let threads: usize = get(opts, "threads", pprl_runtime::resolve_threads(None))?;
     if threads == 0 {
         return Err("--threads must be at least 1".to_string());
@@ -268,6 +303,78 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             journaled.outcome
         }
     };
+    print_report(&outcome, opts);
+    Ok(())
+}
+
+/// Runs one party of the three-process networked deployment.
+fn cmd_party(opts: &Opts) -> Result<(), String> {
+    if opts.contains_key("resume") && !opts.contains_key("journal") {
+        return Err("--resume requires --journal PATH".to_string());
+    }
+    if opts.contains_key("fault-rate") || opts.contains_key("deadline-ms") {
+        return Err(
+            "party mode runs over a real network: --fault-rate and --deadline-ms are rejected"
+                .to_string(),
+        );
+    }
+    let role = match opts.get("role").map(String::as_str) {
+        Some("query") => pprl_core::Role::Query,
+        Some("alice") => pprl_core::Role::Alice,
+        Some("bob") => pprl_core::Role::Bob,
+        Some(other) => return Err(format!("unknown role {other:?}")),
+        None => return Err("--role query|alice|bob is required".to_string()),
+    };
+    let (d1, d2) = load_inputs(opts)?;
+    let mut config = build_config(opts)?;
+    // Party mode always speaks the batched wire protocol over the real
+    // network; the simulated channel and wall-clock deadline stay off.
+    config.mode = SmcMode::PaillierBatched {
+        modulus_bits: get(opts, "paillier", 256)?,
+        seed: get(opts, "seed", 42)?,
+    };
+    config.channel = None;
+    config.deadline = DeadlineBudget::None;
+
+    let parse_addr = |key: &str| -> Result<Option<std::net::SocketAddr>, String> {
+        opts.get(key)
+            .map(|raw| raw.parse().map_err(|_| format!("--{key}: bad address {raw:?}")))
+            .transpose()
+    };
+    let mut popts = pprl_core::PartyOptions::new(role);
+    popts.listen = opts.get("listen").cloned();
+    popts.querier_addr = parse_addr("connect-querier")?;
+    popts.alice_addr = parse_addr("connect-alice")?;
+    popts.journal = opts.get("journal").map(std::path::PathBuf::from);
+    popts.resume = opts.contains_key("resume");
+    popts.timeout = std::time::Duration::from_millis(get(opts, "net-timeout-ms", 1_000)?);
+    popts.deadline = std::time::Duration::from_millis(get(opts, "net-deadline-ms", 30_000)?);
+
+    let threads: usize = get(opts, "threads", pprl_runtime::resolve_threads(None))?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    let pipeline = HybridLinkage::new(config).with_threads(threads);
+    let party = pprl_core::run_party(&pipeline, &d1, &d2, &popts).map_err(|e| e.to_string())?;
+
+    // Deployment accounting goes to stderr: stdout stays byte-identical
+    // to the single-process report (querier) or empty (holders).
+    eprintln!(
+        "party: role={role} resumed={} replayed={} live={} net[{}]",
+        party.resumed, party.replayed_pairs, party.live_pairs, party.net,
+    );
+    match &party.outcome {
+        Some(outcome) => print_report(outcome, opts),
+        None => eprintln!(
+            "holder ledger: {} messages, {} bytes, {} encryptions shipped to the querier",
+            party.ledger.messages, party.ledger.bytes, party.ledger.encryptions
+        ),
+    }
+    Ok(())
+}
+
+/// Prints the final report (text or `--json`) for a completed linkage.
+fn print_report(outcome: &LinkageOutcome, opts: &Opts) {
     let m = &outcome.metrics;
 
     // Order-independent digest of the declared match set, for comparing
@@ -337,6 +444,13 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         println!("precision           : {:.2}%", 100.0 * m.precision());
         println!("recall              : {:.2}%", 100.0 * m.recall());
         println!("matched digest      : {matched_digest}");
+        let led = &outcome.ledger;
+        if led.messages > 0 {
+            println!(
+                "crypto cost         : {} messages, {} bytes, {} enc, {} dec, {} scalar muls",
+                led.messages, led.bytes, led.encryptions, led.decryptions, led.scalar_muls
+            );
+        }
         let deg = outcome.degradation();
         if deg.injected.total() > 0 || deg.degraded() {
             println!(
@@ -355,7 +469,6 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             );
         }
     }
-    Ok(())
 }
 
 fn cmd_anonymize(opts: &Opts) -> Result<(), String> {

@@ -1,0 +1,212 @@
+//! Three-process loopback deployment harness.
+//!
+//! Spawns the querier, Alice, and Bob as real OS processes wired over
+//! 127.0.0.1 and asserts the acceptance bar for the networked mode: the
+//! querier's report — matched-pair digest *and* cost-ledger byte counts —
+//! is byte-identical to the single-process `--threads 1` run, both for a
+//! healthy session and after SIGKILLing Bob mid-session and resuming him
+//! from his journal.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pprl-link")
+}
+
+fn work_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pprl-net-loopback-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn synth(dir: &Path) {
+    let status = Command::new(bin())
+        .args(["synth", "--records", "120", "--seed", "7", "--out"])
+        .arg(dir)
+        .status()
+        .unwrap();
+    assert!(status.success(), "synth failed");
+}
+
+/// The shared RUN OPTIONS every process (and the reference) uses.
+fn common_args(dir: &Path) -> Vec<String> {
+    vec![
+        "--left".into(),
+        dir.join("d1.csv").display().to_string(),
+        "--right".into(),
+        dir.join("d2.csv").display().to_string(),
+        "--allowance-pct".into(),
+        "2.0".into(),
+        "--paillier".into(),
+        "256".into(),
+        "--threads".into(),
+        "1".into(),
+    ]
+}
+
+/// The single-process reference: the batched wire protocol over the
+/// simulated perfect channel (`--fault-rate 0`), sequential.
+fn reference_report(dir: &Path) -> String {
+    let out = Command::new(bin())
+        .arg("run")
+        .args(common_args(dir))
+        .args(["--fault-rate", "0"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// A spawned party with its stderr drained on a thread (so the child
+/// never blocks on a full pipe) and scanned for the listener line.
+struct Party {
+    child: Child,
+    stderr: std::sync::mpsc::Receiver<String>,
+}
+
+fn spawn_party(dir: &Path, role: &str, extra: &[String]) -> Party {
+    let mut child = Command::new(bin())
+        .arg("party")
+        .args(["--role", role])
+        .args(common_args(dir))
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let pipe = child.stderr.take().unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(pipe).lines().map_while(Result::ok) {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    Party { child, stderr: rx }
+}
+
+impl Party {
+    /// Blocks until the party announces its listener address.
+    fn listen_addr(&mut self) -> String {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while Instant::now() < deadline {
+            match self.stderr.recv_timeout(Duration::from_millis(200)) {
+                Ok(line) => {
+                    if let Some(addr) = line.strip_prefix("pprl-net: ").and_then(|rest| {
+                        rest.split(" listening on ").nth(1).map(str::to_string)
+                    }) {
+                        return addr;
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                Err(_) => break,
+            }
+        }
+        panic!("party never announced a listener");
+    }
+
+    fn finish(mut self) -> (bool, String) {
+        let status = self.child.wait().unwrap();
+        let mut stdout = String::new();
+        if let Some(mut pipe) = self.child.stdout.take() {
+            use std::io::Read;
+            pipe.read_to_string(&mut stdout).unwrap();
+        }
+        // Drain whatever stderr remains, for failure diagnostics.
+        let stderr: Vec<String> = self.stderr.try_iter().collect();
+        if !status.success() {
+            panic!("party exited with {status}: {}", stderr.join("\n"));
+        }
+        (status.success(), stdout)
+    }
+}
+
+#[test]
+fn three_processes_on_loopback_match_the_single_process_run() {
+    let dir = work_dir("healthy");
+    synth(&dir);
+    let reference = reference_report(&dir);
+
+    let mut query = spawn_party(&dir, "query", &[]);
+    let qaddr = query.listen_addr();
+    let mut alice = spawn_party(&dir, "alice", &["--connect-querier".into(), qaddr.clone()]);
+    let aaddr = alice.listen_addr();
+    let bob = spawn_party(
+        &dir,
+        "bob",
+        &[
+            "--connect-querier".into(),
+            qaddr,
+            "--connect-alice".into(),
+            aaddr,
+        ],
+    );
+
+    let (_, report) = query.finish();
+    alice.finish();
+    bob.finish();
+    assert_eq!(
+        report, reference,
+        "the distributed report (digest and ledger included) must be \
+         byte-identical to the single-process run"
+    );
+}
+
+#[test]
+fn bob_killed_mid_session_resumes_from_his_journal() {
+    let dir = work_dir("kill");
+    synth(&dir);
+    let reference = reference_report(&dir);
+    let journal = dir.join("bob.pprlj");
+    let journal_arg = journal.display().to_string();
+
+    let mut query = spawn_party(&dir, "query", &[]);
+    let qaddr = query.listen_addr();
+    let mut alice = spawn_party(&dir, "alice", &["--connect-querier".into(), qaddr.clone()]);
+    let aaddr = alice.listen_addr();
+    let bob_args = vec![
+        "--connect-querier".to_string(),
+        qaddr,
+        "--connect-alice".to_string(),
+        aaddr,
+        "--journal".to_string(),
+        journal_arg,
+    ];
+    let mut bob = spawn_party(&dir, "bob", &bob_args);
+
+    // SIGKILL Bob once his journal shows real committed progress.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let size = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+        if size > 8_192 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "bob never made journal progress");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    bob.child.kill().unwrap();
+    let _ = bob.child.wait();
+
+    // Resume him; the querier and Alice are stalled inside their
+    // reconnect deadlines and pick the session back up.
+    let mut resume_args = bob_args;
+    resume_args.push("--resume".to_string());
+    let bob2 = spawn_party(&dir, "bob", &resume_args);
+
+    let (_, report) = query.finish();
+    alice.finish();
+    bob2.finish();
+    assert_eq!(
+        report, reference,
+        "a SIGKILL plus journal resume must not change a byte of the report"
+    );
+}

@@ -37,7 +37,8 @@ pub const K_BLOCKING_CHUNK: u8 = 2;
 pub const K_BLOCKING_DONE: u8 = 3;
 /// Frame kind: one per-pair SMC outcome (`ri`, `si`, decision code).
 pub const K_SMC_OUTCOME: u8 = 4;
-/// Frame kind: a serialized [`SmcSession`] checkpoint (JSON payload).
+/// Frame kind: a serialized [`SmcSession`] checkpoint
+/// (`pprl_smc::codec` binary payload).
 pub const K_SMC_CHECKPOINT: u8 = 5;
 /// Frame kind: the run completed; the journal is a full transcript.
 pub const K_DONE: u8 = 6;
@@ -176,7 +177,7 @@ fn parse_progress(frames: &[Frame], n_chunks: u32) -> Result<Progress, LinkageEr
             }
             K_SMC_OUTCOME => progress.outcomes.push(decode_outcome(&frame.payload)?),
             K_SMC_CHECKPOINT => {
-                let session: SmcSession = serde_json::from_slice(&frame.payload)
+                let session: SmcSession = pprl_smc::decode_session(&frame.payload)
                     .map_err(|e| LinkageError::Journal(format!("bad checkpoint frame: {e}")))?;
                 progress.checkpoint = Some(session);
             }
@@ -367,9 +368,7 @@ fn journal_outcome(
     *since_checkpoint += 1;
     if opts.checkpoint_every > 0 && *since_checkpoint >= opts.checkpoint_every {
         let session = runner.checkpoint();
-        let payload = serde_json::to_vec(&session)
-            .map_err(|e| LinkageError::Journal(format!("checkpoint encode: {e}")))?;
-        writer.append(K_SMC_CHECKPOINT, &payload)?;
+        writer.append(K_SMC_CHECKPOINT, &pprl_smc::encode_session(&session))?;
         *since_checkpoint = 0;
     }
     if opts.pace_ms > 0 {
@@ -388,7 +387,8 @@ fn encode_chunk(chunk: &BlockingChunk) -> Vec<u8> {
     payload
 }
 
-fn encode_outcome(event: &PairEvent) -> Vec<u8> {
+/// Encodes one pair outcome (shared with the party journals).
+pub(crate) fn encode_outcome(event: &PairEvent) -> Vec<u8> {
     let code: u8 = match event.decision {
         PairDecision::NonMatch => 0,
         PairDecision::Matched => 1,
@@ -402,7 +402,8 @@ fn encode_outcome(event: &PairEvent) -> Vec<u8> {
     payload
 }
 
-fn decode_outcome(payload: &[u8]) -> Result<PairEvent, LinkageError> {
+/// Decodes one pair outcome (shared with the party journals).
+pub(crate) fn decode_outcome(payload: &[u8]) -> Result<PairEvent, LinkageError> {
     if payload.len() != 9 {
         return Err(LinkageError::Journal(format!(
             "outcome frame has {} bytes, expected 9",
@@ -430,8 +431,10 @@ fn decode_outcome(payload: &[u8]) -> Result<PairEvent, LinkageError> {
 /// Job fingerprint: configuration (via its `Debug` form — stable within a
 /// build, which is the resumption boundary that matters), the chunk plan
 /// width, and the full content of both datasets. A journal resumes only
-/// against the byte-identical job that wrote it.
-fn fingerprint(
+/// against the byte-identical job that wrote it. Networked parties
+/// exchange the same fingerprint in their handshake (`party_run`), so a
+/// shared-scenario deployment fails fast if one party's inputs drifted.
+pub(crate) fn fingerprint(
     pipeline: &HybridLinkage,
     r: &DataSet,
     s: &DataSet,

@@ -23,6 +23,7 @@ pub mod baselines;
 mod config;
 pub mod journal_run;
 mod metrics;
+pub mod party_run;
 mod pipeline;
 mod scenario;
 mod truth;
@@ -30,9 +31,11 @@ mod truth;
 pub use config::LinkageConfig;
 pub use journal_run::{JournalOptions, JournaledOutcome};
 pub use metrics::LinkageMetrics;
+pub use party_run::{run_party, PartyOptions, PartyOutcome};
 pub use pipeline::{HybridLinkage, LinkageOutcome};
 pub use scenario::{SyntheticScenario, SyntheticScenarioBuilder};
 pub use truth::{count_matches_in_class_pair, GroundTruth};
+pub use pprl_net::{NetStats, Role};
 
 /// Errors from the pipeline.
 #[derive(Debug)]
@@ -48,6 +51,9 @@ pub enum LinkageError {
     /// The run journal is unreadable, belongs to a different job, or
     /// disagrees with the recomputed work it claims to record.
     Journal(String),
+    /// A networked party run was misconfigured or lost a peer it could
+    /// not degrade around (see [`party_run`]).
+    Net(String),
 }
 
 impl std::fmt::Display for LinkageError {
@@ -58,6 +64,7 @@ impl std::fmt::Display for LinkageError {
             LinkageError::Blocking(e) => write!(f, "blocking: {e}"),
             LinkageError::Smc(e) => write!(f, "smc: {e}"),
             LinkageError::Journal(why) => write!(f, "journal: {why}"),
+            LinkageError::Net(why) => write!(f, "net: {why}"),
         }
     }
 }

@@ -1,0 +1,753 @@
+//! One party of a genuinely distributed three-process linkage run.
+//!
+//! [`run_party`] is the networked counterpart of
+//! [`journal_run::run_journaled`]: the querying party and the two data
+//! holders each run this function in their own OS process, connected over
+//! TCP by `pprl-net`. The deployment is *shared-scenario*: every party
+//! loads the identical inputs and configuration, recomputes the cheap
+//! deterministic phases (anonymization, blocking, the pair walk) locally,
+//! and only the protocol's ciphertext messages cross a process boundary —
+//! Alice's batched shares to Bob, Bob's masked results to the querier, the
+//! querier's public key to both. The handshake exchanges the same job
+//! fingerprint the run journal uses, so a party whose inputs drifted is
+//! rejected before any ciphertext moves.
+//!
+//! ## Ledger parity
+//!
+//! The acceptance bar for this mode is byte-for-byte cost parity: the
+//! querier's final report (its own ledger merged with the two holder
+//! ledgers shipped home at session end) must equal the single-process
+//! `--threads 1` run's. Each data message is recorded once by its creator,
+//! each ack once by its receiver; retransmissions, reconnects, and
+//! duplicate re-acks are deployment noise kept in
+//! [`NetStats`](pprl_net::NetStats), never in the
+//! [`CostLedger`](pprl_crypto::CostLedger).
+//!
+//! ## Crash–resume
+//!
+//! Each party journals its durable per-pair state — the ledger *delta* and
+//! its link watermark — before releasing its upstream sender (the
+//! journal-then-ack ordering of [`PeerChannel::commit_ack`]). A party
+//! killed mid-session restarts with `--resume`, replays its journal, and
+//! rejoins at its watermark; peers recover the lost acks from the resumed
+//! hello or by retransmitting into the dedup screen. The merged ledgers
+//! still reconcile to exactly one recording per message.
+//!
+//! [`PeerChannel::commit_ack`]: pprl_net::PeerChannel::commit_ack
+
+use crate::journal_run::{self, JournalOptions};
+use crate::pipeline::check_schemas;
+use crate::{HybridLinkage, LinkageError, LinkageOutcome};
+use pprl_anon::Anonymizer;
+use pprl_blocking::BlockingEngine;
+use pprl_crypto::paillier::PublicKey;
+use pprl_crypto::protocol::message::ProtocolMessage;
+use pprl_crypto::protocol::transport::ENVELOPE_OVERHEAD;
+use pprl_crypto::protocol::{alice_record_message, bob_record_message};
+use pprl_crypto::CostLedger;
+use pprl_data::DataSet;
+use pprl_journal::{Frame, JournalWriter};
+use pprl_net::{Hello, NetError, NetStats, PeerChannel, ReconnectPolicy, Role, SessionMux};
+use pprl_smc::{DeadlineBudget, PairEvent, RemoteParty, SmcError, SmcMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Frame kind: the public-key broadcast committed — ledger delta (96
+/// bytes) followed by the raw key message (empty on the querier, which
+/// derives the key from the seed).
+pub const K_PARTY_KEY: u8 = 20;
+/// Frame kind: one committed pair — link watermark `u64`, `ri`/`si`
+/// `u32`, decision code `u8` (as in `journal_run`), ledger delta (96
+/// bytes).
+pub const K_PARTY_PAIR: u8 = 21;
+
+const PAIR_FRAME_LEN: usize = 8 + 4 + 4 + 1 + CostLedger::WIRE_LEN;
+
+/// How one party process joins the session.
+#[derive(Clone, Debug)]
+pub struct PartyOptions {
+    /// Which of the three protocol roles this process plays.
+    pub role: Role,
+    /// Listen address (querier: for both holders; Alice: for Bob).
+    /// Use port `0` for an ephemeral port; the bound address is
+    /// announced on stderr as `pprl-net: <role> listening on <addr>`.
+    pub listen: Option<String>,
+    /// The querier's address (required for Alice and Bob).
+    pub querier_addr: Option<SocketAddr>,
+    /// Alice's address (required for Bob).
+    pub alice_addr: Option<SocketAddr>,
+    /// Durable per-party journal; `None` runs without crash recovery.
+    pub journal: Option<PathBuf>,
+    /// Resume from the journal instead of truncating it.
+    pub resume: bool,
+    /// Socket read/write timeout (one poll slice, not the give-up bound).
+    pub timeout: Duration,
+    /// Total time one operation may wait on a peer (reconnects included)
+    /// before the session degrades or fails.
+    pub deadline: Duration,
+}
+
+impl PartyOptions {
+    /// Defaults for `role`: ephemeral listener, 1 s polls, 30 s deadline.
+    pub fn new(role: Role) -> Self {
+        PartyOptions {
+            role,
+            listen: None,
+            querier_addr: None,
+            alice_addr: None,
+            journal: None,
+            resume: false,
+            timeout: Duration::from_secs(1),
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What one party process knows when its session ends.
+#[derive(Debug)]
+pub struct PartyOutcome {
+    /// The full linkage outcome — querier only; the holders never learn
+    /// the decisions (that is the protocol's point).
+    pub outcome: Option<LinkageOutcome>,
+    /// This party's own protocol ledger. On the querier this is already
+    /// merged into `outcome.ledger` along with both holders' ledgers.
+    pub ledger: CostLedger,
+    /// Wire accounting across this party's channels (off-ledger).
+    pub net: NetStats,
+    /// Whether this process resumed an existing journal.
+    pub resumed: bool,
+    /// Pairs restored from the journal without re-executing crypto.
+    pub replayed_pairs: u64,
+    /// Pairs this process actually worked.
+    pub live_pairs: u64,
+}
+
+/// Runs one party of the distributed session to completion.
+pub fn run_party(
+    pipeline: &HybridLinkage,
+    r: &DataSet,
+    s: &DataSet,
+    opts: &PartyOptions,
+) -> Result<PartyOutcome, LinkageError> {
+    let cfg = pipeline.config();
+    let SmcMode::PaillierBatched { seed, .. } = cfg.mode else {
+        return Err(LinkageError::Net(
+            "party mode requires the batched Paillier wire protocol".into(),
+        ));
+    };
+    if cfg.channel.is_some() {
+        return Err(LinkageError::Net(
+            "party mode uses a real network; drop the simulated channel".into(),
+        ));
+    }
+    if !matches!(cfg.deadline, DeadlineBudget::None) {
+        return Err(LinkageError::Net(
+            "party mode forbids a wall-clock deadline: three clocks drift three ways".into(),
+        ));
+    }
+    check_schemas(r, s)?;
+    let rule = cfg.rule(r.schema());
+    let fp = journal_run::fingerprint(pipeline, r, s, &JournalOptions::default());
+
+    // Journal first: the hello must announce the restored watermark.
+    let (progress, writer) = match &opts.journal {
+        None => (PartyProgress::default(), None),
+        Some(path) if opts.resume => {
+            let (recovered, writer) = JournalWriter::resume(path, fp)?;
+            (parse_party_frames(&recovered.frames)?, Some(writer))
+        }
+        Some(path) => (
+            PartyProgress::default(),
+            Some(JournalWriter::create(path, fp)?),
+        ),
+    };
+    let resumed = opts.resume;
+
+    // Steps 1–2, replicated deterministically by every party.
+    let r_view = Anonymizer::new(cfg.method_r, cfg.k_r).anonymize(r, &cfg.qids)?;
+    let s_view = Anonymizer::new(cfg.method_s, cfg.k_s).anonymize(s, &cfg.qids)?;
+    let blocking =
+        BlockingEngine::new(rule.clone()).run_parallel(&r_view, &s_view, pipeline.threads())?;
+
+    let session = Session {
+        fp,
+        seed,
+        timeout: Some(opts.timeout),
+        policy: ReconnectPolicy {
+            attempt_delay: Duration::from_millis(100),
+            deadline: opts.deadline,
+        },
+    };
+    let step = pipeline.smc_step();
+
+    match opts.role {
+        Role::Query => {
+            let (outcome, stats, replayed, live) = run_querier(
+                pipeline, r, s, &rule, r_view, s_view, blocking, step, &session, opts, progress,
+                writer,
+            )?;
+            let ledger = outcome.ledger.clone();
+            Ok(PartyOutcome {
+                outcome: Some(outcome),
+                ledger,
+                net: stats,
+                resumed,
+                replayed_pairs: replayed,
+                live_pairs: live,
+            })
+        }
+        Role::Alice | Role::Bob => {
+            let runner = step.start(
+                r,
+                s,
+                &r_view,
+                &s_view,
+                &blocking.unknown,
+                &rule,
+                blocking.total_pairs,
+            )?;
+            let (ledger, stats, replayed, live) =
+                run_holder(runner, &session, opts, progress, writer)?;
+            Ok(PartyOutcome {
+                outcome: None,
+                ledger,
+                net: stats,
+                resumed,
+                replayed_pairs: replayed,
+                live_pairs: live,
+            })
+        }
+    }
+}
+
+/// Connection parameters shared by every channel this party opens.
+struct Session {
+    fp: u64,
+    seed: u64,
+    timeout: Option<Duration>,
+    policy: ReconnectPolicy,
+}
+
+impl Session {
+    fn hello(&self, role: Role, progress: &PartyProgress) -> Hello {
+        let mut hello = Hello::new(role, self.fp);
+        hello.watermark = progress.watermark();
+        hello.have_key = progress.key.is_some();
+        hello
+    }
+}
+
+/// Recovered party-journal state.
+#[derive(Default)]
+struct PartyProgress {
+    /// Key-broadcast frame: the ledger delta and the raw key message.
+    key: Option<(CostLedger, Vec<u8>)>,
+    /// Committed pairs in append order: watermark, event, ledger delta.
+    pairs: Vec<(u64, PairEvent, CostLedger)>,
+}
+
+impl PartyProgress {
+    fn watermark(&self) -> u64 {
+        self.pairs.last().map_or(0, |(wm, _, _)| *wm)
+    }
+
+    /// The restored ledger: every journaled delta, in order.
+    fn restored_ledger(&self) -> CostLedger {
+        let mut ledger = CostLedger::new();
+        if let Some((delta, _)) = &self.key {
+            ledger.merge(delta);
+        }
+        for (_, _, delta) in &self.pairs {
+            ledger.merge(delta);
+        }
+        ledger
+    }
+}
+
+fn parse_party_frames(frames: &[Frame]) -> Result<PartyProgress, LinkageError> {
+    let mut progress = PartyProgress::default();
+    for frame in frames {
+        match frame.kind {
+            K_PARTY_KEY => {
+                let p = &frame.payload;
+                if p.len() < CostLedger::WIRE_LEN {
+                    return Err(LinkageError::Journal(format!(
+                        "key frame has {} bytes, expected at least {}",
+                        p.len(),
+                        CostLedger::WIRE_LEN
+                    )));
+                }
+                let delta = CostLedger::decode(&p[..CostLedger::WIRE_LEN])
+                    .ok_or_else(|| LinkageError::Journal("bad key-frame ledger".into()))?;
+                progress.key = Some((delta, p[CostLedger::WIRE_LEN..].to_vec()));
+            }
+            K_PARTY_PAIR => {
+                let p = &frame.payload;
+                if p.len() != PAIR_FRAME_LEN {
+                    return Err(LinkageError::Journal(format!(
+                        "pair frame has {} bytes, expected {PAIR_FRAME_LEN}",
+                        p.len()
+                    )));
+                }
+                let watermark = u64::from_le_bytes(p[0..8].try_into().unwrap());
+                let event = journal_run::decode_outcome(&p[8..17])?;
+                let delta = CostLedger::decode(&p[17..])
+                    .ok_or_else(|| LinkageError::Journal("bad pair-frame ledger".into()))?;
+                progress.pairs.push((watermark, event, delta));
+            }
+            other => {
+                return Err(LinkageError::Journal(format!(
+                    "unknown party-journal frame kind {other}"
+                )))
+            }
+        }
+    }
+    Ok(progress)
+}
+
+fn encode_pair_frame(watermark: u64, event: &PairEvent, delta: &CostLedger) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(PAIR_FRAME_LEN);
+    payload.extend_from_slice(&watermark.to_le_bytes());
+    payload.extend_from_slice(&journal_run::encode_outcome(event));
+    payload.extend_from_slice(&delta.encode());
+    payload
+}
+
+fn append(
+    writer: &mut Option<JournalWriter>,
+    kind: u8,
+    payload: &[u8],
+) -> Result<(), LinkageError> {
+    if let Some(w) = writer.as_mut() {
+        w.append(kind, payload)?;
+    }
+    Ok(())
+}
+
+fn net_err(e: NetError) -> LinkageError {
+    LinkageError::Net(e.to_string())
+}
+
+fn delta_of(now: &CostLedger, before: &CostLedger) -> Result<CostLedger, LinkageError> {
+    now.delta_since(before)
+        .ok_or_else(|| LinkageError::Net("cost ledger moved backwards".into()))
+}
+
+fn announce(mux: &SessionMux, role: Role) {
+    // Test drivers parse this line to learn the ephemeral port.
+    eprintln!("pprl-net: {role} listening on {}", mux.local_addr());
+}
+
+// ---------------------------------------------------------------------------
+// Querier
+// ---------------------------------------------------------------------------
+
+/// The querier's live connections plus the one-pair commit buffer: the
+/// accepted-but-unacked envelope whose ack is released only after the
+/// pair is journaled.
+struct QuerierNet {
+    alice: PeerChannel,
+    bob: PeerChannel,
+    /// `true` when the key broadcast was restored from the journal (its
+    /// cost is already in the restored ledger and must not re-record).
+    restored_broadcast: bool,
+    pending: Option<pprl_net::IncomingData>,
+}
+
+impl QuerierNet {
+    /// Releases the buffered ack (the pair is now durable).
+    fn commit(&mut self) {
+        if let Some(incoming) = self.pending.take() {
+            self.bob.commit_ack(&incoming);
+        }
+    }
+}
+
+/// [`RemoteParty`] over shared querier state, so `run_querier` keeps a
+/// handle for journal-ordered ack commits and the end-of-session ledger
+/// exchange after the runner takes ownership of the backend.
+struct SharedParty(Arc<Mutex<QuerierNet>>);
+
+impl SharedParty {
+    fn lock(&self) -> Result<std::sync::MutexGuard<'_, QuerierNet>, SmcError> {
+        self.0
+            .lock()
+            .map_err(|_| SmcError::Internal("querier net state poisoned"))
+    }
+}
+
+fn smc_net_err(e: NetError) -> SmcError {
+    SmcError::SessionMismatch(format!("remote party unreachable: {e}"))
+}
+
+impl RemoteParty for SharedParty {
+    fn broadcast_key(
+        &mut self,
+        key_message: &[u8],
+        ledger: &mut CostLedger,
+    ) -> Result<(), SmcError> {
+        let mut guard = self.lock()?;
+        let net = &mut *guard;
+        let restored = net.restored_broadcast;
+        for holder in [&mut net.alice, &mut net.bob] {
+            // One key message per holder, recorded exactly once across
+            // crashes: a fresh broadcast records; a restored one already
+            // lives in the journaled delta. Delivery is independently
+            // idempotent — a holder whose hello shows the key is skipped.
+            if !restored {
+                ledger.record_message(key_message.len());
+            }
+            let have_key = holder.peer_hello().is_some_and(|h| h.have_key);
+            if !have_key {
+                holder.send_data(0, key_message).map_err(smc_net_err)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn bob_message(
+        &mut self,
+        pair_id: u64,
+        ledger: &mut CostLedger,
+    ) -> Result<Option<Vec<u8>>, SmcError> {
+        let mut net = self.lock()?;
+        net.commit(); // safety: never hold two unacked pairs
+        match net.bob.recv_data() {
+            Ok(incoming) => {
+                if incoming.pair_id != pair_id {
+                    return Err(SmcError::SessionMismatch(format!(
+                        "Bob sent pair {} while the querier expected {pair_id}: \
+                         the deterministic walks diverged",
+                        incoming.pair_id
+                    )));
+                }
+                // Record the ack now (inside this pair's ledger delta);
+                // the wire ack leaves in `commit` once the pair is
+                // journaled.
+                ledger.record_message(ENVELOPE_OVERHEAD);
+                let payload = incoming.payload.clone();
+                net.pending = Some(incoming);
+                Ok(Some(payload))
+            }
+            // A peer that stays gone degrades this pair like a
+            // retry-exhausted exchange; the session continues.
+            Err(NetError::PeerGone(_)) => Ok(None),
+            Err(e) => Err(smc_net_err(e)),
+        }
+    }
+
+    fn resume_pair_watermark(&self) -> u64 {
+        self.lock().map(|net| net.bob.watermark()).unwrap_or(0)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_querier(
+    pipeline: &HybridLinkage,
+    r: &DataSet,
+    s: &DataSet,
+    rule: &pprl_blocking::MatchingRule,
+    r_view: pprl_anon::AnonymizedView,
+    s_view: pprl_anon::AnonymizedView,
+    blocking: pprl_blocking::BlockingOutcome,
+    step: pprl_smc::SmcStep,
+    session: &Session,
+    opts: &PartyOptions,
+    progress: PartyProgress,
+    mut writer: Option<JournalWriter>,
+) -> Result<(LinkageOutcome, NetStats, u64, u64), LinkageError> {
+    let mut runner = step.start(
+        r,
+        s,
+        &r_view,
+        &s_view,
+        &blocking.unknown,
+        rule,
+        blocking.total_pairs,
+    )?;
+    let listen = opts.listen.as_deref().unwrap_or("127.0.0.1:0");
+    let mux = Arc::new(SessionMux::bind(listen, session.timeout).map_err(net_err)?);
+    announce(&mux, Role::Query);
+    let hello = session.hello(Role::Query, &progress);
+    let alice = PeerChannel::accept(
+        Arc::clone(&mux),
+        hello,
+        Role::Alice,
+        session.timeout,
+        session.policy,
+    )
+    .map_err(net_err)?;
+    let bob = PeerChannel::accept(
+        Arc::clone(&mux),
+        hello,
+        Role::Bob,
+        session.timeout,
+        session.policy,
+    )
+    .map_err(net_err)?;
+
+    // Replay the journal: decisions re-applied, per-pair cost deltas
+    // merged, no crypto re-executed.
+    for (_, event, delta) in &progress.pairs {
+        runner.replay_pair_event_with_costs(event, delta)?;
+    }
+    if let Some((delta, _)) = &progress.key {
+        runner.absorb_remote_costs(delta);
+    }
+    let replayed = runner.replayed_pairs();
+    let mut watermark = progress.watermark();
+
+    let net = Arc::new(Mutex::new(QuerierNet {
+        alice,
+        bob,
+        restored_broadcast: progress.key.is_some(),
+        pending: None,
+    }));
+    let before_key = runner.ledger().clone();
+    runner.connect_remote(Box::new(SharedParty(Arc::clone(&net))))?;
+    if progress.key.is_none() {
+        let delta = delta_of(runner.ledger(), &before_key)?;
+        append(&mut writer, K_PARTY_KEY, &delta.encode())?;
+    }
+
+    let mut live = 0u64;
+    loop {
+        let before = runner.ledger().clone();
+        let Some(event) = runner.step_pair_event()? else {
+            break;
+        };
+        live += 1;
+        let delta = delta_of(runner.ledger(), &before)?;
+        let guard = net
+            .lock()
+            .map_err(|_| LinkageError::Net("querier net state poisoned".into()))?;
+        if let Some(pending) = &guard.pending {
+            watermark = pending.pair_id;
+        }
+        drop(guard);
+        // Journal, then release Bob's ack: a crash between the two is
+        // healed by Bob retransmitting into the restored dedup screen.
+        append(
+            &mut writer,
+            K_PARTY_PAIR,
+            &encode_pair_frame(watermark, &event, &delta),
+        )?;
+        net.lock()
+            .map_err(|_| LinkageError::Net("querier net state poisoned".into()))?
+            .commit();
+    }
+    if let Some(w) = writer.as_mut() {
+        w.sync()?;
+    }
+
+    // Session end: both holders ship their ledgers home; merged, the
+    // report must equal the single-process run's.
+    let mut guard = net
+        .lock()
+        .map_err(|_| LinkageError::Net("querier net state poisoned".into()))?;
+    guard.commit();
+    let alice_ledger = guard.alice.recv_ledger().map_err(net_err)?;
+    let bob_ledger = guard.bob.recv_ledger().map_err(net_err)?;
+    let mut stats = guard.alice.stats;
+    stats.merge(&guard.bob.stats);
+    drop(guard);
+    stats.merge(&mux.stats());
+    runner.absorb_remote_costs(&alice_ledger);
+    runner.absorb_remote_costs(&bob_ledger);
+
+    let smc = runner.finish();
+    let outcome = pipeline.finalize(r, s, rule, r_view, s_view, blocking, smc);
+    Ok((outcome, stats, replayed, live))
+}
+
+// ---------------------------------------------------------------------------
+// Data holders
+// ---------------------------------------------------------------------------
+
+fn run_holder(
+    mut runner: pprl_smc::SmcRunner<'_>,
+    session: &Session,
+    opts: &PartyOptions,
+    progress: PartyProgress,
+    mut writer: Option<JournalWriter>,
+) -> Result<(CostLedger, NetStats, u64, u64), LinkageError> {
+    let role = opts.role;
+    let querier_addr = opts
+        .querier_addr
+        .ok_or_else(|| LinkageError::Net(format!("{role} needs the querier's address")))?;
+    let hello = session.hello(role, &progress);
+
+    // Topology: the querier listens for both holders; Alice listens for
+    // Bob, so the share messages never transit the querier.
+    let (mut querier, mut data, mux) = match role {
+        Role::Alice => {
+            let listen = opts.listen.as_deref().unwrap_or("127.0.0.1:0");
+            let mux = Arc::new(SessionMux::bind(listen, session.timeout).map_err(net_err)?);
+            announce(&mux, role);
+            let querier = PeerChannel::connect(
+                querier_addr,
+                hello,
+                Role::Query,
+                session.timeout,
+                session.policy,
+            )
+            .map_err(net_err)?;
+            let bob = PeerChannel::accept(
+                Arc::clone(&mux),
+                hello,
+                Role::Bob,
+                session.timeout,
+                session.policy,
+            )
+            .map_err(net_err)?;
+            (querier, bob, Some(mux))
+        }
+        Role::Bob => {
+            let alice_addr = opts
+                .alice_addr
+                .ok_or_else(|| LinkageError::Net("Bob needs Alice's address".into()))?;
+            let querier = PeerChannel::connect(
+                querier_addr,
+                hello,
+                Role::Query,
+                session.timeout,
+                session.policy,
+            )
+            .map_err(net_err)?;
+            let alice = PeerChannel::connect(
+                alice_addr,
+                hello,
+                Role::Alice,
+                session.timeout,
+                session.policy,
+            )
+            .map_err(net_err)?;
+            (querier, alice, None)
+        }
+        Role::Query => unreachable!("querier handled by run_querier"),
+    };
+
+    let mut ledger = progress.restored_ledger();
+    let restored_watermark = progress.watermark();
+    let replayed = progress.pairs.len() as u64;
+
+    // The public key: from the journal on resume, else from the wire.
+    let key_bytes = match &progress.key {
+        Some((_, bytes)) => bytes.clone(),
+        None => {
+            let before = ledger.clone();
+            let incoming = querier.recv_data().map_err(net_err)?;
+            if incoming.pair_id != 0 {
+                return Err(LinkageError::Net(format!(
+                    "expected the key broadcast, got pair {}",
+                    incoming.pair_id
+                )));
+            }
+            ledger.record_message(ENVELOPE_OVERHEAD);
+            let delta = delta_of(&ledger, &before)?;
+            let mut payload = delta.encode().to_vec();
+            payload.extend_from_slice(&incoming.payload);
+            append(&mut writer, K_PARTY_KEY, &payload)?;
+            querier.commit_ack(&incoming);
+            incoming.payload
+        }
+    };
+    let pk = decode_public_key(&key_bytes)?;
+
+    // Per-party encryption randomness: ciphertext bytes legitimately
+    // differ from the single-process run, sizes and counts cannot.
+    let mut rng = StdRng::seed_from_u64(session.seed ^ (0x9e37_79b9 + role as u64));
+
+    let mut live = 0u64;
+    let mut ordinal = 0u64;
+    while let Some(walked) = runner.walk_next_encoded()? {
+        let Some(encoded) = walked.encoded else {
+            continue; // trivial match: decided locally, no messages
+        };
+        ordinal += 1;
+        if ordinal <= restored_watermark {
+            continue; // journaled before the crash; costs already restored
+        }
+        let before = ledger.clone();
+        let event = PairEvent {
+            ri: walked.ri,
+            si: walked.si,
+            decision: pprl_smc::PairDecision::NonMatch, // placeholder: holders never learn
+        };
+        match role {
+            Role::Alice => {
+                let message = alice_record_message(&pk, &encoded.a_vals, &mut rng, &mut ledger)
+                    .map_err(|e| LinkageError::Smc(SmcError::Crypto(e)))?;
+                // Lockstep: Bob acks only after the querier committed the
+                // pair, so one in-flight message is the whole send window.
+                data.send_data(ordinal, &message).map_err(net_err)?;
+                let delta = delta_of(&ledger, &before)?;
+                append(
+                    &mut writer,
+                    K_PARTY_PAIR,
+                    &encode_pair_frame(ordinal, &event, &delta),
+                )?;
+            }
+            Role::Bob => {
+                let incoming = data.recv_data().map_err(net_err)?;
+                if incoming.pair_id != ordinal {
+                    return Err(LinkageError::Net(format!(
+                        "Alice sent pair {} while Bob expected {ordinal}: \
+                         the deterministic walks diverged",
+                        incoming.pair_id
+                    )));
+                }
+                let message = bob_record_message(
+                    &pk,
+                    &incoming.payload,
+                    &encoded.b_vals,
+                    &encoded.thresholds,
+                    &mut rng,
+                    &mut ledger,
+                )
+                .map_err(|e| LinkageError::Smc(SmcError::Crypto(e)))?;
+                querier.send_data(ordinal, &message).map_err(net_err)?;
+                // Record Alice's ack inside this pair's delta, journal,
+                // then release it — the two-phase commit_ack ordering.
+                ledger.record_message(ENVELOPE_OVERHEAD);
+                let delta = delta_of(&ledger, &before)?;
+                append(
+                    &mut writer,
+                    K_PARTY_PAIR,
+                    &encode_pair_frame(ordinal, &event, &delta),
+                )?;
+                data.commit_ack(&incoming);
+            }
+            Role::Query => unreachable!(),
+        }
+        live += 1;
+    }
+    if let Some(w) = writer.as_mut() {
+        w.sync()?;
+    }
+
+    // Ship the ledger home so the querier's report reaches cost parity.
+    querier.send_ledger(&ledger).map_err(net_err)?;
+
+    let mut stats = querier.stats;
+    stats.merge(&data.stats);
+    if let Some(mux) = &mux {
+        stats.merge(&mux.stats());
+    }
+    Ok((ledger, stats, replayed, live))
+}
+
+fn decode_public_key(bytes: &[u8]) -> Result<PublicKey, LinkageError> {
+    match ProtocolMessage::decode(bytes) {
+        Ok(ProtocolMessage::PublicKey { n }) => PublicKey::from_modulus(n)
+            .map_err(|e| LinkageError::Net(format!("broadcast key rejected: {e}"))),
+        Ok(_) => Err(LinkageError::Net(
+            "key broadcast carried a non-key message".into(),
+        )),
+        Err(e) => Err(LinkageError::Net(format!("bad key broadcast: {e}"))),
+    }
+}

@@ -71,6 +71,90 @@ impl CostLedger {
     pub fn exponentiations(&self) -> u64 {
         self.encryptions + self.scalar_muls + self.rerandomizations
     }
+
+    /// Field order of the fixed-width wire codec (and of [`merge`]).
+    const FIELDS: usize = 12;
+
+    /// Encoded size of [`encode`](Self::encode): twelve `u64` counters.
+    pub const WIRE_LEN: usize = Self::FIELDS * 8;
+
+    /// Serializes the ledger as twelve little-endian `u64`s — the
+    /// serde-free codec used by journal frames and the networked parties'
+    /// end-of-session cost summaries.
+    pub fn encode(&self) -> [u8; Self::WIRE_LEN] {
+        let fields = [
+            self.encryptions,
+            self.decryptions,
+            self.homomorphic_adds,
+            self.scalar_muls,
+            self.rerandomizations,
+            self.messages,
+            self.bytes,
+            self.invocations,
+            self.retries,
+            self.corrupt_dropped,
+            self.duplicates_discarded,
+            self.bytes_retransmitted,
+        ];
+        let mut out = [0u8; Self::WIRE_LEN];
+        for (chunk, field) in out.chunks_exact_mut(8).zip(fields) {
+            chunk.copy_from_slice(&field.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a ledger serialized by [`encode`](Self::encode); `None` on
+    /// any length mismatch.
+    pub fn decode(data: &[u8]) -> Option<Self> {
+        if data.len() != Self::WIRE_LEN {
+            return None;
+        }
+        let mut fields = [0u64; Self::FIELDS];
+        for (field, chunk) in fields.iter_mut().zip(data.chunks_exact(8)) {
+            *field = u64::from_le_bytes(chunk.try_into().ok()?);
+        }
+        let [encryptions, decryptions, homomorphic_adds, scalar_muls, rerandomizations, messages, bytes, invocations, retries, corrupt_dropped, duplicates_discarded, bytes_retransmitted] =
+            fields;
+        Some(CostLedger {
+            encryptions,
+            decryptions,
+            homomorphic_adds,
+            scalar_muls,
+            rerandomizations,
+            messages,
+            bytes,
+            invocations,
+            retries,
+            corrupt_dropped,
+            duplicates_discarded,
+            bytes_retransmitted,
+        })
+    }
+
+    /// Field-wise difference `self − earlier` — the cost charged since the
+    /// `earlier` snapshot was taken. Counters are monotone, so a snapshot
+    /// taken before some work is always ≤ one taken after; `None` when
+    /// that invariant is violated (the snapshots are unrelated).
+    pub fn delta_since(&self, earlier: &CostLedger) -> Option<CostLedger> {
+        Some(CostLedger {
+            encryptions: self.encryptions.checked_sub(earlier.encryptions)?,
+            decryptions: self.decryptions.checked_sub(earlier.decryptions)?,
+            homomorphic_adds: self.homomorphic_adds.checked_sub(earlier.homomorphic_adds)?,
+            scalar_muls: self.scalar_muls.checked_sub(earlier.scalar_muls)?,
+            rerandomizations: self.rerandomizations.checked_sub(earlier.rerandomizations)?,
+            messages: self.messages.checked_sub(earlier.messages)?,
+            bytes: self.bytes.checked_sub(earlier.bytes)?,
+            invocations: self.invocations.checked_sub(earlier.invocations)?,
+            retries: self.retries.checked_sub(earlier.retries)?,
+            corrupt_dropped: self.corrupt_dropped.checked_sub(earlier.corrupt_dropped)?,
+            duplicates_discarded: self
+                .duplicates_discarded
+                .checked_sub(earlier.duplicates_discarded)?,
+            bytes_retransmitted: self
+                .bytes_retransmitted
+                .checked_sub(earlier.bytes_retransmitted)?,
+        })
+    }
 }
 
 impl std::fmt::Display for CostLedger {
@@ -150,5 +234,48 @@ mod tests {
         ledger.record_message(28);
         assert_eq!(ledger.messages, 2);
         assert_eq!(ledger.bytes, 128);
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_every_field() {
+        let ledger = CostLedger {
+            encryptions: 1,
+            decryptions: 2,
+            homomorphic_adds: 3,
+            scalar_muls: 4,
+            rerandomizations: 5,
+            messages: 6,
+            bytes: u64::MAX,
+            invocations: 8,
+            retries: 9,
+            corrupt_dropped: 10,
+            duplicates_discarded: 11,
+            bytes_retransmitted: 12,
+        };
+        let encoded = ledger.encode();
+        assert_eq!(encoded.len(), CostLedger::WIRE_LEN);
+        assert_eq!(CostLedger::decode(&encoded), Some(ledger));
+        assert_eq!(CostLedger::decode(&encoded[..95]), None);
+        assert_eq!(CostLedger::decode(&[]), None);
+    }
+
+    #[test]
+    fn delta_recovers_incremental_cost() {
+        let mut before = CostLedger::new();
+        before.record_message(10);
+        before.encryptions = 4;
+        let mut after = before.clone();
+        after.record_message(30);
+        after.encryptions = 7;
+        let delta = after.delta_since(&before).unwrap();
+        assert_eq!(delta.messages, 1);
+        assert_eq!(delta.bytes, 30);
+        assert_eq!(delta.encryptions, 3);
+        // Merging the delta back reproduces the later snapshot.
+        let mut rebuilt = before.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, after);
+        // Unrelated snapshots (later < earlier) are rejected.
+        assert_eq!(before.delta_since(&after), None);
     }
 }

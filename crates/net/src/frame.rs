@@ -1,0 +1,195 @@
+//! The TCP frame codec: `kind | len | payload | checksum`.
+//!
+//! TCP is a byte stream, so the socket layer needs its own framing before
+//! the PR 1 [`Envelope`] reliability layer can see whole messages. Every
+//! frame is `kind (u8) | len (u32 LE) | payload | FNV-1a-64 checksum`
+//! (the same trailer discipline as the run journal): torn writes and
+//! bit-flips are rejected here, before anything is parsed, and an
+//! absurd length field is rejected *before* any allocation.
+//!
+//! Payload sizes are deterministic: data frames carry envelopes around the
+//! fixed-width ciphertext encoding from PR 4 (`PublicKey::ciphertext_width`),
+//! so frame lengths leak nothing about plaintexts or randomizers.
+//!
+//! [`Envelope`]: pprl_crypto::protocol::transport::Envelope
+
+use crate::NetError;
+use pprl_journal::Fnv1a64;
+
+/// Handshake frame: a [`Hello`](crate::hello::Hello) payload.
+pub const K_HELLO: u8 = 1;
+/// Protocol data frame: a PR 1 `Envelope` (data or ack) as payload.
+pub const K_DATA: u8 = 2;
+/// End-of-session cost summary: a 96-byte `CostLedger` encoding.
+pub const K_LEDGER: u8 = 3;
+/// Orderly end of stream; nothing follows.
+pub const K_GOODBYE: u8 = 4;
+
+/// Fixed bytes around every payload: kind, length, checksum.
+pub const FRAME_OVERHEAD: usize = 1 + 4 + 8;
+
+/// Hard ceiling on a frame payload. Generous for any ciphertext batch
+/// (a 4096-bit key's record message is a few KiB), tiny next to what a
+/// hostile or corrupt length field could demand.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Encodes one frame ready for a single `write`.
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    buf.push(kind);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let mut h = Fnv1a64::new();
+    h.update(&buf);
+    buf.extend_from_slice(&h.finish().to_le_bytes());
+    buf
+}
+
+/// Incremental frame parser: feed it raw socket bytes, take whole frames
+/// out. Keeping the parser separate from the socket makes the torn-frame
+/// and corruption behavior directly testable (see `tests/frame_fuzz.rs`).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as a whole frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes the next complete frame, if one is buffered.
+    ///
+    /// `Ok(None)` means "incomplete — read more"; errors mean the stream
+    /// is unrecoverable (a frame boundary was lost), so the caller must
+    /// drop the connection and reconnect.
+    pub fn next(&mut self) -> Result<Option<(u8, Vec<u8>)>, NetError> {
+        let &[kind, l0, l1, l2, l3, ..] = self.buf.as_slice() else {
+            return Ok(None);
+        };
+        let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(NetError::Frame(format!(
+                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+            )));
+        }
+        let total = FRAME_OVERHEAD + len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body_end = 5 + len;
+        let boundary = || NetError::Frame("frame boundary lost".into());
+        let mut h = Fnv1a64::new();
+        h.update(self.buf.get(..body_end).ok_or_else(boundary)?);
+        let stored = u64::from_le_bytes(
+            self.buf
+                .get(body_end..total)
+                .ok_or_else(boundary)?
+                .try_into()
+                .map_err(|_| NetError::Frame("checksum slice".into()))?,
+        );
+        if h.finish() != stored {
+            return Err(NetError::Frame("frame checksum mismatch".into()));
+        }
+        let payload = self.buf.get(5..body_end).ok_or_else(boundary)?.to_vec();
+        self.buf.drain(..total);
+        Ok(Some((kind, payload)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut dec = FrameDecoder::new();
+        for (kind, payload) in [
+            (K_HELLO, vec![]),
+            (K_DATA, vec![0xAA; 300]),
+            (K_LEDGER, (0u8..96).collect()),
+            (K_GOODBYE, vec![1]),
+        ] {
+            dec.push(&encode_frame(kind, &payload));
+            assert_eq!(dec.next().unwrap(), Some((kind, payload)));
+        }
+        assert_eq!(dec.next().unwrap(), None);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn torn_frames_wait_for_more_bytes() {
+        let frame = encode_frame(K_DATA, &[7; 64]);
+        let mut dec = FrameDecoder::new();
+        for cut in 0..frame.len() {
+            dec.push(&frame[cut..cut + 1]);
+            if cut + 1 < frame.len() {
+                assert_eq!(dec.next().unwrap(), None, "cut at {cut}");
+            }
+        }
+        assert_eq!(dec.next().unwrap(), Some((K_DATA, vec![7; 64])));
+    }
+
+    #[test]
+    fn corrupted_bytes_fail_the_checksum() {
+        let frame = encode_frame(K_DATA, &[3; 32]);
+        // Flip the first payload byte: length still parses, checksum must not.
+        let mut bad = frame.clone();
+        bad[5] ^= 0x40;
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad);
+        assert!(dec.next().is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocating() {
+        let mut bad = vec![K_DATA];
+        bad.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad);
+        assert!(dec.next().is_err());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        // Deterministic sweep of the proptest property in
+        // `tests/frame_fuzz.rs`: no flipped frame may ever decode. A flip
+        // in the length field may legitimately leave the decoder waiting
+        // (`Ok(None)`); it must never deliver.
+        let frame = encode_frame(K_DATA, &[0x5A; 48]);
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                let mut dec = FrameDecoder::new();
+                dec.push(&bad);
+                match dec.next() {
+                    Ok(Some(_)) => panic!("flip at byte {byte} bit {bit} delivered a frame"),
+                    Ok(None) | Err(_) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_in_one_push() {
+        let mut wire = encode_frame(K_DATA, &[1]);
+        wire.extend_from_slice(&encode_frame(K_GOODBYE, &[]));
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert_eq!(dec.next().unwrap(), Some((K_DATA, vec![1])));
+        assert_eq!(dec.next().unwrap(), Some((K_GOODBYE, vec![])));
+        assert_eq!(dec.next().unwrap(), None);
+    }
+}

@@ -1,0 +1,207 @@
+//! The connect/accept handshake.
+//!
+//! The first frame on every connection — including every *re*connection —
+//! is a `Hello`. It binds the link to a protocol version, a party role, and
+//! the job fingerprint (the same FNV-1a-64 the run journal header uses), so
+//! a party whose inputs or configuration drifted is refused before any
+//! ciphertext moves. The resume fields make reconnection idempotent: the
+//! peer learns exactly how far this side's durable state reaches and
+//! retransmits only what lies beyond it.
+
+use crate::NetError;
+
+/// Wire magic opening every `Hello` payload.
+pub const HELLO_MAGIC: &[u8; 4] = b"PNET";
+
+/// Protocol version; bumped on any incompatible frame/handshake change.
+pub const NET_VERSION: u16 = 1;
+
+/// Fixed `Hello` payload size.
+pub const HELLO_LEN: usize = 4 + 2 + 1 + 8 + 8 + 1;
+
+/// Which of the paper's three parties a peer claims to be.
+/// (Numeric values are wire format — do not reorder.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Data holder R (sends `m_alice` to Bob).
+    Alice = 0,
+    /// Data holder S (masks and forwards to the querier).
+    Bob = 1,
+    /// Querying party (holds the Paillier private key, decides matches).
+    Query = 2,
+}
+
+impl Role {
+    /// Parses a CLI role name.
+    pub fn parse(name: &str) -> Option<Role> {
+        match name {
+            "alice" => Some(Role::Alice),
+            "bob" => Some(Role::Bob),
+            "query" | "querier" => Some(Role::Query),
+            _ => None,
+        }
+    }
+
+    fn from_wire(byte: u8) -> Option<Role> {
+        match byte {
+            0 => Some(Role::Alice),
+            1 => Some(Role::Bob),
+            2 => Some(Role::Query),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Role::Alice => "alice",
+            Role::Bob => "bob",
+            Role::Query => "query",
+        })
+    }
+}
+
+/// Handshake announcement: who is connecting, for which job, and how far
+/// the announcer's durable state already reaches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Announcer's protocol version.
+    pub version: u16,
+    /// Announcer's party role.
+    pub role: Role,
+    /// Job fingerprint (config + datasets), as in the journal header.
+    pub fingerprint: u64,
+    /// Highest data `pair_id` the announcer has durably completed on this
+    /// link (`0` = none; real pair ids start at 1).
+    pub watermark: u64,
+    /// Whether the announcer already holds the session public key
+    /// (`true` on resume, telling the querier not to re-broadcast).
+    pub have_key: bool,
+}
+
+impl Hello {
+    /// A fresh session's announcement.
+    pub fn new(role: Role, fingerprint: u64) -> Self {
+        Hello {
+            version: NET_VERSION,
+            role,
+            fingerprint,
+            watermark: 0,
+            have_key: false,
+        }
+    }
+
+    /// Serializes to the fixed-width payload of a `K_HELLO` frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HELLO_LEN);
+        buf.extend_from_slice(HELLO_MAGIC);
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        buf.push(self.role as u8);
+        buf.extend_from_slice(&self.fingerprint.to_le_bytes());
+        buf.extend_from_slice(&self.watermark.to_le_bytes());
+        buf.push(self.have_key as u8);
+        buf
+    }
+
+    /// Parses a `K_HELLO` payload.
+    pub fn decode(payload: &[u8]) -> Result<Hello, NetError> {
+        // One slice pattern covers every field and the length check at
+        // once, with no indexing to go out of range.
+        let &[m0, m1, m2, m3, v0, v1, role_byte, f0, f1, f2, f3, f4, f5, f6, f7, w0, w1, w2, w3, w4, w5, w6, w7, key_byte] =
+            payload
+        else {
+            return Err(NetError::Handshake(format!(
+                "hello payload has {} bytes, expected {HELLO_LEN}",
+                payload.len()
+            )));
+        };
+        if [m0, m1, m2, m3] != *HELLO_MAGIC {
+            return Err(NetError::Handshake("bad hello magic".into()));
+        }
+        let version = u16::from_le_bytes([v0, v1]);
+        let role = Role::from_wire(role_byte)
+            .ok_or_else(|| NetError::Handshake(format!("unknown role byte {role_byte}")))?;
+        let fingerprint = u64::from_le_bytes([f0, f1, f2, f3, f4, f5, f6, f7]);
+        let watermark = u64::from_le_bytes([w0, w1, w2, w3, w4, w5, w6, w7]);
+        let have_key = match key_byte {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(NetError::Handshake(format!("bad have_key byte {other}")));
+            }
+        };
+        Ok(Hello {
+            version,
+            role,
+            fingerprint,
+            watermark,
+            have_key,
+        })
+    }
+
+    /// Checks a peer's hello against what this side expects.
+    pub fn verify(&self, expect_role: Role, fingerprint: u64) -> Result<(), NetError> {
+        if self.version != NET_VERSION {
+            return Err(NetError::Handshake(format!(
+                "peer speaks net protocol v{}, this build speaks v{NET_VERSION}",
+                self.version
+            )));
+        }
+        if self.role != expect_role {
+            return Err(NetError::Handshake(format!(
+                "expected the {expect_role} party, peer claims {}",
+                self.role
+            )));
+        }
+        if self.fingerprint != fingerprint {
+            return Err(NetError::Handshake(format!(
+                "job fingerprint mismatch (ours {fingerprint:016x}, peer {:016x}): \
+                 the parties do not share identical inputs and configuration",
+                self.fingerprint
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrips() {
+        let mut h = Hello::new(Role::Bob, 0xDEAD_BEEF_0BAD_F00D);
+        h.watermark = 41;
+        h.have_key = true;
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), HELLO_LEN);
+        assert_eq!(Hello::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn verify_rejects_drift() {
+        let h = Hello::new(Role::Alice, 7);
+        assert!(h.verify(Role::Alice, 7).is_ok());
+        assert!(h.verify(Role::Bob, 7).is_err());
+        assert!(h.verify(Role::Alice, 8).is_err());
+        let mut stale = h;
+        stale.version = 0;
+        assert!(stale.verify(Role::Alice, 7).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        let good = Hello::new(Role::Query, 1).encode();
+        assert!(Hello::decode(&good[..HELLO_LEN - 1]).is_err());
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(Hello::decode(&bad_magic).is_err());
+        let mut bad_role = good.clone();
+        bad_role[6] = 9;
+        assert!(Hello::decode(&bad_role).is_err());
+        let mut bad_flag = good;
+        bad_flag[23] = 2;
+        assert!(Hello::decode(&bad_flag).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! One listener, many sessions.
+//!
+//! A daemonized party binds a single `TcpListener` and may serve several
+//! SMC sessions (and several reconnections per session) concurrently. The
+//! mux owns the accept loop on a background thread: it reads each new
+//! connection's `Hello`, then routes the handshaken stream into a mailbox
+//! keyed by `(job fingerprint, peer role)`. Session workers — e.g. spawned
+//! over `pprl-runtime` threads — block on [`SessionMux::wait_conn`] for
+//! their own key, so concurrent sessions resolve deterministically no
+//! matter the order connections arrive in.
+
+use crate::frame::K_HELLO;
+use crate::hello::{Hello, Role};
+use crate::stream::FramedStream;
+use crate::{NetError, NetStats};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the accept loop waits for a new connection's `Hello` before
+/// dropping it (an unresponsive dialer must not stall other sessions).
+const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+
+struct MuxShared {
+    shutdown: AtomicBool,
+    mailboxes: Mutex<HashMap<(u64, Role), Vec<(FramedStream, Hello)>>>,
+    arrived: Condvar,
+    stats: Mutex<NetStats>,
+    /// Read/write timeout applied to streams after their hello clears.
+    stream_timeout: Option<Duration>,
+}
+
+/// A shared listener routing handshaken connections to session workers.
+pub struct SessionMux {
+    local_addr: SocketAddr,
+    shared: Arc<MuxShared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SessionMux {
+    /// Binds `addr` (use port `0` for an ephemeral port) and starts the
+    /// accept loop. `stream_timeout` is inherited by every accepted
+    /// stream as its read/write timeout.
+    pub fn bind(addr: &str, stream_timeout: Option<Duration>) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(MuxShared {
+            shutdown: AtomicBool::new(false),
+            mailboxes: Mutex::new(HashMap::new()),
+            arrived: Condvar::new(),
+            stats: Mutex::new(NetStats::default()),
+            stream_timeout,
+        });
+        let worker = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("pprl-net-accept".into())
+            .spawn(move || accept_loop(listener, worker))?;
+        Ok(SessionMux {
+            local_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the kernel-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Wire accounting for the handshakes the accept loop performed.
+    pub fn stats(&self) -> NetStats {
+        self.shared
+            .stats
+            .lock()
+            .map(|s| *s)
+            .unwrap_or_default()
+    }
+
+    /// Blocks until a connection whose `Hello` matches `(fingerprint,
+    /// role)` arrives, up to `deadline`. Returns the handshaken stream and
+    /// the peer's announcement; the caller still owes the reply `Hello`.
+    pub fn wait_conn(
+        &self,
+        fingerprint: u64,
+        role: Role,
+        deadline: Duration,
+    ) -> Result<(FramedStream, Hello), NetError> {
+        let start = Instant::now();
+        let mut boxes = self
+            .shared
+            .mailboxes
+            .lock()
+            .map_err(|_| NetError::Protocol("mux mailbox lock poisoned".into()))?;
+        loop {
+            if let Some(queue) = boxes.get_mut(&(fingerprint, role)) {
+                if !queue.is_empty() {
+                    let (stream, hello) = queue.remove(0);
+                    return Ok((stream, hello));
+                }
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                return Err(NetError::PeerGone(format!(
+                    "no {role} connection for job {fingerprint:016x} within {deadline:?}"
+                )));
+            }
+            let (next, timeout) = self
+                .shared
+                .arrived
+                .wait_timeout(boxes, deadline - elapsed)
+                .map_err(|_| NetError::Protocol("mux mailbox lock poisoned".into()))?;
+            boxes = next;
+            if timeout.timed_out() {
+                return Err(NetError::PeerGone(format!(
+                    "no {role} connection for job {fingerprint:016x} within {deadline:?}"
+                )));
+            }
+        }
+    }
+}
+
+impl Drop for SessionMux {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<MuxShared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((socket, _)) => {
+                // Read the dialer's hello with a short dedicated timeout,
+                // then hand the stream over at the session's own timeout.
+                let hello = FramedStream::new(socket, Some(HELLO_TIMEOUT))
+                    .and_then(|mut stream| {
+                        let mut stats = NetStats::default();
+                        let (kind, payload) = stream.recv(&mut stats)?;
+                        if let Ok(mut total) = shared.stats.lock() {
+                            total.merge(&stats);
+                        }
+                        if kind != K_HELLO {
+                            return Err(NetError::Handshake(format!(
+                                "first frame was kind {kind}, expected hello"
+                            )));
+                        }
+                        stream.set_read_timeout(shared.stream_timeout)?;
+                        Ok((stream, Hello::decode(&payload)?))
+                    });
+                match hello {
+                    Ok((stream, hello)) => {
+                        if let Ok(mut boxes) = shared.mailboxes.lock() {
+                            boxes
+                                .entry((hello.fingerprint, hello.role))
+                                .or_default()
+                                .push((stream, hello));
+                        }
+                        shared.arrived.notify_all();
+                    }
+                    // A connection that never identified itself is simply
+                    // dropped; legitimate peers re-dial and try again.
+                    Err(_) => {}
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::K_DATA;
+    use std::net::TcpStream;
+
+    fn dial_with_hello(addr: SocketAddr, hello: Hello) -> FramedStream {
+        let socket = TcpStream::connect(addr).unwrap();
+        let mut stream = FramedStream::new(socket, Some(Duration::from_secs(5))).unwrap();
+        let mut stats = NetStats::default();
+        stream.send(K_HELLO, &hello.encode(), &mut stats).unwrap();
+        stream
+    }
+
+    #[test]
+    fn routes_by_fingerprint_and_role() {
+        let mux = SessionMux::bind("127.0.0.1:0", Some(Duration::from_secs(5))).unwrap();
+        let addr = mux.local_addr();
+        let mut a = dial_with_hello(addr, Hello::new(Role::Alice, 10));
+        let mut b = dial_with_hello(addr, Hello::new(Role::Bob, 10));
+        // Ask for Bob first even though Alice dialed first.
+        let (_, hb) = mux
+            .wait_conn(10, Role::Bob, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(hb.role, Role::Bob);
+        let (_, ha) = mux
+            .wait_conn(10, Role::Alice, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(ha.role, Role::Alice);
+        let mut stats = NetStats::default();
+        a.send(K_DATA, &[1], &mut stats).unwrap();
+        b.send(K_DATA, &[2], &mut stats).unwrap();
+    }
+
+    #[test]
+    fn concurrent_sessions_resolve_deterministically() {
+        let mux = std::sync::Arc::new(
+            SessionMux::bind("127.0.0.1:0", Some(Duration::from_secs(5))).unwrap(),
+        );
+        let addr = mux.local_addr();
+        let fingerprints: Vec<u64> = (100..108).collect();
+        // Dial all sessions before any worker claims one.
+        let _dialers: Vec<FramedStream> = fingerprints
+            .iter()
+            .map(|&fp| dial_with_hello(addr, Hello::new(Role::Alice, fp)))
+            .collect();
+        // Workers on pprl-runtime threads each wait for their own session.
+        let got = pprl_runtime::par_map(&fingerprints, 4, |_, &fp| {
+            let (_, hello) = mux
+                .wait_conn(fp, Role::Alice, Duration::from_secs(5))
+                .unwrap();
+            hello.fingerprint
+        });
+        assert_eq!(got, fingerprints);
+    }
+
+    #[test]
+    fn wait_conn_times_out_when_nobody_dials() {
+        let mux = SessionMux::bind("127.0.0.1:0", Some(Duration::from_secs(1))).unwrap();
+        let err = mux
+            .wait_conn(1, Role::Bob, Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, NetError::PeerGone(_)));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the TCP frame codec: the decoder is *total* and
+//! *incremental* — arbitrary bytes, torn frames, bit-flips, and hostile
+//! length fields must produce `Ok(None)` (wait for more) or `Err` (drop
+//! the connection), never a panic, never a bogus frame, and never an
+//! attacker-sized allocation. Mirrors `crates/crypto/tests/message_fuzz.rs`
+//! one layer down the stack.
+
+use pprl_net::frame::{encode_frame, FrameDecoder, FRAME_OVERHEAD, MAX_FRAME_LEN};
+use pprl_net::hello::Hello;
+use proptest::prelude::*;
+
+/// A valid frame: any kind byte, payload up to a few KiB.
+fn encoded_frame() -> impl Strategy<Value = (u8, Vec<u8>)> {
+    (any::<u8>(), prop::collection::vec(any::<u8>(), 0..2048))
+}
+
+proptest! {
+    /// Feeding arbitrary bytes never panics, whatever chunking.
+    #[test]
+    fn decode_is_total_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+        chunk in 1usize..64,
+    ) {
+        let mut dec = FrameDecoder::new();
+        for piece in bytes.chunks(chunk) {
+            dec.push(piece);
+            loop {
+                match dec.next() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+    }
+
+    /// A frame split at every possible point reassembles exactly once,
+    /// and every strict prefix yields `Ok(None)` — torn writes wait,
+    /// they never error or mis-frame.
+    #[test]
+    fn torn_frames_reassemble((kind, payload) in encoded_frame()) {
+        let wire = encode_frame(kind, &payload);
+        for cut in 0..wire.len() {
+            let mut dec = FrameDecoder::new();
+            dec.push(&wire[..cut]);
+            prop_assert_eq!(dec.next().unwrap(), None, "prefix {} framed", cut);
+            dec.push(&wire[cut..]);
+            prop_assert_eq!(dec.next().unwrap(), Some((kind, payload.clone())));
+            prop_assert_eq!(dec.next().unwrap(), None);
+            prop_assert_eq!(dec.pending(), 0);
+        }
+    }
+
+    /// Every single-bit flip in a frame is caught: either the checksum
+    /// fails, or the length field changed and the frame (now shorter or
+    /// longer) can no longer both complete and verify. No flip may ever
+    /// deliver a different (kind, payload) as valid.
+    #[test]
+    fn bit_flips_never_deliver_garbage((kind, payload) in encoded_frame(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let wire = encode_frame(kind, &payload);
+        let mut bad = wire.clone();
+        let byte = pos.index(bad.len());
+        bad[byte] ^= 1u8 << bit;
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad);
+        match dec.next() {
+            Ok(Some((k, p))) => {
+                // Every bit of kind, length, and payload is covered by the
+                // checksum, and a flipped checksum no longer matches the
+                // body — so nothing may ever come out of a flipped frame.
+                prop_assert!(false, "corrupted frame delivered kind {k} ({} bytes)", p.len());
+            }
+            Ok(None) | Err(_) => {}
+        }
+    }
+
+    /// Length fields beyond the cap are rejected before any allocation,
+    /// whatever the rest of the bytes claim.
+    #[test]
+    fn oversized_lengths_rejected(kind in any::<u8>(), len in (MAX_FRAME_LEN as u32 + 1)..=u32::MAX, tail in prop::collection::vec(any::<u8>(), 0..32)) {
+        let mut wire = vec![kind];
+        wire.extend_from_slice(&len.to_le_bytes());
+        wire.extend_from_slice(&tail);
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        prop_assert!(dec.next().is_err());
+    }
+
+    /// Back-to-back frames split at arbitrary chunk sizes all come out, in
+    /// order, byte-exact.
+    #[test]
+    fn streams_of_frames_reassemble(
+        frames in prop::collection::vec(encoded_frame(), 1..8),
+        chunk in 1usize..97,
+    ) {
+        let mut wire = Vec::new();
+        for (kind, payload) in &frames {
+            wire.extend_from_slice(&encode_frame(*kind, payload));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in wire.chunks(chunk) {
+            dec.push(piece);
+            while let Some(frame) = dec.next().unwrap() {
+                out.push(frame);
+            }
+        }
+        prop_assert_eq!(out, frames);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// Hello decoding is total on arbitrary bytes.
+    #[test]
+    fn hello_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Hello::decode(&bytes);
+    }
+
+    /// The frame overhead constant is exact for every payload size tried.
+    #[test]
+    fn frame_overhead_is_exact((kind, payload) in encoded_frame()) {
+        prop_assert_eq!(encode_frame(kind, &payload).len(), FRAME_OVERHEAD + payload.len());
+    }
+}

@@ -1,0 +1,404 @@
+//! Serde-free binary codec for [`SmcSession`] snapshots.
+//!
+//! Checkpoints ride inside journal frames (already length-prefixed and
+//! checksummed by `pprl-journal`) and inside `pprl-net` resume exchanges,
+//! so the codec is a plain field-ordered little-endian layout with a
+//! leading version byte — no self-description, no external dependencies.
+//! The previous serde_json checkpoint payload tied crash recovery to a
+//! JSON round-trip; this codec is the canonical format now, and the serde
+//! derives on [`SmcSession`] remain only for human-readable debugging
+//! exports.
+//!
+//! Layout (version 1, all integers little-endian):
+//!
+//! ```text
+//! u8  version
+//! u64 budget
+//! u8  phase tag (0 ordered, 1 suppressed, 2 done) + phase fields
+//! u64 invocations
+//! u32 matched count, then (u32 ri, u32 si) each
+//! u32 leftover count, then (u32 r_class, u32 s_class, u64 pairs, u64 skip)
+//! u32 examined count, then (u32 r_class, u32 s_class, u64 pairs,
+//!                           u64 examined, u64 matched)
+//! u64 suppressed_total, u64 suppressed_examined, u64 suppressed_matched
+//! 96B CostLedger (CostLedger::encode)
+//! degradation: AbandonTally (2×u64), u32 declared count + pairs,
+//!              retries_spent, faults_survived, FaultStats (6×u64),
+//!              virtual_backoff_ms
+//! u64 elapsed_ms
+//! ```
+
+use crate::executor::{
+    AbandonTally, DegradationReport, ExaminedStats, LeftoverPair, SessionPhase, SmcSession,
+};
+use crate::SmcError;
+use pprl_blocking::ClassPairRef;
+use pprl_crypto::protocol::transport::FaultStats;
+use pprl_crypto::CostLedger;
+
+/// Codec version written by [`encode_session`].
+pub const SESSION_CODEC_VERSION: u8 = 1;
+
+const PHASE_ORDERED: u8 = 0;
+const PHASE_SUPPRESSED: u8 = 1;
+const PHASE_DONE: u8 = 2;
+
+/// Serializes a session snapshot with the versioned binary layout.
+pub fn encode_session(session: &SmcSession) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        64 + CostLedger::WIRE_LEN
+            + session.matched_pairs.len() * 8
+            + session.leftovers.len() * 24
+            + session.examined.len() * 32
+            + session.degradation.declared.len() * 8,
+    );
+    out.push(SESSION_CODEC_VERSION);
+    put_u64(&mut out, session.budget);
+    match session.phase {
+        SessionPhase::Ordered {
+            cursor,
+            skip,
+            matched,
+        } => {
+            out.push(PHASE_ORDERED);
+            put_u32(&mut out, cursor);
+            put_u64(&mut out, skip);
+            put_u64(&mut out, matched);
+        }
+        SessionPhase::Suppressed { group, offset } => {
+            out.push(PHASE_SUPPRESSED);
+            out.push(group);
+            put_u64(&mut out, offset);
+        }
+        SessionPhase::Done => out.push(PHASE_DONE),
+    }
+    put_u64(&mut out, session.invocations);
+    put_u32(&mut out, session.matched_pairs.len() as u32);
+    for &(ri, si) in &session.matched_pairs {
+        put_u32(&mut out, ri);
+        put_u32(&mut out, si);
+    }
+    put_u32(&mut out, session.leftovers.len() as u32);
+    for l in &session.leftovers {
+        put_class_pair(&mut out, &l.class_pair);
+        put_u64(&mut out, l.skip);
+    }
+    put_u32(&mut out, session.examined.len() as u32);
+    for e in &session.examined {
+        put_class_pair(&mut out, &e.class_pair);
+        put_u64(&mut out, e.examined);
+        put_u64(&mut out, e.matched);
+    }
+    put_u64(&mut out, session.suppressed_total);
+    put_u64(&mut out, session.suppressed_examined);
+    put_u64(&mut out, session.suppressed_matched);
+    out.extend_from_slice(&session.ledger.encode());
+    let d = &session.degradation;
+    put_u64(&mut out, d.abandoned.retry_exhausted);
+    put_u64(&mut out, d.abandoned.deadline_expired);
+    put_u32(&mut out, d.declared.len() as u32);
+    for &(ri, si) in &d.declared {
+        put_u32(&mut out, ri);
+        put_u32(&mut out, si);
+    }
+    put_u64(&mut out, d.retries_spent);
+    put_u64(&mut out, d.faults_survived);
+    for f in [
+        d.injected.dropped,
+        d.injected.truncated,
+        d.injected.bit_flipped,
+        d.injected.duplicated,
+        d.injected.reordered,
+        d.injected.delayed,
+    ] {
+        put_u64(&mut out, f);
+    }
+    put_u64(&mut out, d.virtual_backoff_ms);
+    put_u64(&mut out, session.elapsed_ms);
+    out
+}
+
+/// Decodes a snapshot serialized by [`encode_session`]. Every length and
+/// tag is validated; trailing bytes are rejected (a truncated or padded
+/// checkpoint means the journal frame lied about its payload).
+pub fn decode_session(data: &[u8]) -> Result<SmcSession, SmcError> {
+    let mut r = Reader { data, pos: 0 };
+    let version = r.u8()?;
+    if version != SESSION_CODEC_VERSION {
+        return Err(SmcError::SessionMismatch(format!(
+            "session codec version {version}, expected {SESSION_CODEC_VERSION}"
+        )));
+    }
+    let budget = r.u64()?;
+    let phase = match r.u8()? {
+        PHASE_ORDERED => SessionPhase::Ordered {
+            cursor: r.u32()?,
+            skip: r.u64()?,
+            matched: r.u64()?,
+        },
+        PHASE_SUPPRESSED => SessionPhase::Suppressed {
+            group: r.u8()?,
+            offset: r.u64()?,
+        },
+        PHASE_DONE => SessionPhase::Done,
+        tag => {
+            return Err(SmcError::SessionMismatch(format!(
+                "session codec: unknown phase tag {tag}"
+            )))
+        }
+    };
+    let invocations = r.u64()?;
+    let matched_pairs = r.vec(|r| Ok((r.u32()?, r.u32()?)))?;
+    let leftovers = r.vec(|r| {
+        Ok(LeftoverPair {
+            class_pair: r.class_pair()?,
+            skip: r.u64()?,
+        })
+    })?;
+    let examined = r.vec(|r| {
+        Ok(ExaminedStats {
+            class_pair: r.class_pair()?,
+            examined: r.u64()?,
+            matched: r.u64()?,
+        })
+    })?;
+    let suppressed_total = r.u64()?;
+    let suppressed_examined = r.u64()?;
+    let suppressed_matched = r.u64()?;
+    let ledger_bytes = r.take(CostLedger::WIRE_LEN)?;
+    let ledger = CostLedger::decode(ledger_bytes)
+        .ok_or_else(|| SmcError::SessionMismatch("session codec: bad ledger block".into()))?;
+    let abandoned = AbandonTally {
+        retry_exhausted: r.u64()?,
+        deadline_expired: r.u64()?,
+    };
+    let declared = r.vec(|r| Ok((r.u32()?, r.u32()?)))?;
+    let retries_spent = r.u64()?;
+    let faults_survived = r.u64()?;
+    let injected = FaultStats {
+        dropped: r.u64()?,
+        truncated: r.u64()?,
+        bit_flipped: r.u64()?,
+        duplicated: r.u64()?,
+        reordered: r.u64()?,
+        delayed: r.u64()?,
+    };
+    let virtual_backoff_ms = r.u64()?;
+    let elapsed_ms = r.u64()?;
+    if r.pos != r.data.len() {
+        return Err(SmcError::SessionMismatch(format!(
+            "session codec: {} trailing bytes",
+            r.data.len() - r.pos
+        )));
+    }
+    Ok(SmcSession {
+        budget,
+        phase,
+        invocations,
+        matched_pairs,
+        leftovers,
+        examined,
+        suppressed_total,
+        suppressed_examined,
+        suppressed_matched,
+        ledger,
+        degradation: DegradationReport {
+            abandoned,
+            declared,
+            retries_spent,
+            faults_survived,
+            injected,
+            virtual_backoff_ms,
+        },
+        elapsed_ms,
+    })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_class_pair(out: &mut Vec<u8>, cp: &ClassPairRef) {
+    put_u32(out, cp.r_class);
+    put_u32(out, cp.s_class);
+    put_u64(out, cp.pairs);
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SmcError> {
+        let truncated = || SmcError::SessionMismatch("session codec: truncated".into());
+        let end = self.pos.checked_add(n).ok_or_else(truncated)?;
+        let slice = self.data.get(self.pos..end).ok_or_else(truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SmcError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SmcError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().map_err(|_| {
+            SmcError::SessionMismatch("session codec: truncated u32".into())
+        })?))
+    }
+
+    fn u64(&mut self) -> Result<u64, SmcError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().map_err(|_| {
+            SmcError::SessionMismatch("session codec: truncated u64".into())
+        })?))
+    }
+
+    fn class_pair(&mut self) -> Result<ClassPairRef, SmcError> {
+        Ok(ClassPairRef {
+            r_class: self.u32()?,
+            s_class: self.u32()?,
+            pairs: self.u64()?,
+        })
+    }
+
+    /// Length-prefixed vector; the count is sanity-capped by the bytes
+    /// actually remaining so a corrupt count cannot over-allocate.
+    fn vec<T>(
+        &mut self,
+        mut item: impl FnMut(&mut Self) -> Result<T, SmcError>,
+    ) -> Result<Vec<T>, SmcError> {
+        let count = self.u32()? as usize;
+        if count > self.data.len().saturating_sub(self.pos) {
+            return Err(SmcError::SessionMismatch(
+                "session codec: count exceeds payload".into(),
+            ));
+        }
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            items.push(item(self)?);
+        }
+        Ok(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SmcSession {
+        SmcSession {
+            budget: 120,
+            phase: SessionPhase::Suppressed { group: 1, offset: 9 },
+            invocations: 41,
+            matched_pairs: vec![(3, 7), (11, 2)],
+            leftovers: vec![LeftoverPair {
+                class_pair: ClassPairRef {
+                    r_class: 4,
+                    s_class: 5,
+                    pairs: 20,
+                },
+                skip: 6,
+            }],
+            examined: vec![ExaminedStats {
+                class_pair: ClassPairRef {
+                    r_class: 1,
+                    s_class: 2,
+                    pairs: 12,
+                },
+                examined: 12,
+                matched: 3,
+            }],
+            suppressed_total: 30,
+            suppressed_examined: 10,
+            suppressed_matched: 2,
+            ledger: {
+                let mut l = CostLedger::new();
+                l.encryptions = 99;
+                l.record_message(1234);
+                l
+            },
+            degradation: DegradationReport {
+                abandoned: AbandonTally {
+                    retry_exhausted: 2,
+                    deadline_expired: 1,
+                },
+                declared: vec![(8, 8)],
+                retries_spent: 5,
+                faults_survived: 4,
+                injected: FaultStats {
+                    dropped: 1,
+                    truncated: 2,
+                    bit_flipped: 3,
+                    duplicated: 4,
+                    reordered: 5,
+                    delayed: 6,
+                },
+                virtual_backoff_ms: 77,
+            },
+            elapsed_ms: 1234,
+        }
+    }
+
+    #[test]
+    fn roundtrips_a_populated_session() {
+        let session = sample();
+        let bytes = encode_session(&session);
+        assert_eq!(decode_session(&bytes).unwrap(), session);
+    }
+
+    #[test]
+    fn roundtrips_every_phase() {
+        let mut session = sample();
+        for phase in [
+            SessionPhase::Ordered {
+                cursor: 3,
+                skip: 14,
+                matched: 2,
+            },
+            SessionPhase::Suppressed { group: 0, offset: 0 },
+            SessionPhase::Done,
+        ] {
+            session.phase = phase;
+            let bytes = encode_session(&session);
+            assert_eq!(decode_session(&bytes).unwrap(), session);
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let bytes = encode_session(&sample());
+        // Truncation at every boundary short of the full payload.
+        for cut in 0..bytes.len() {
+            assert!(decode_session(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_session(&padded).is_err());
+        // Wrong version byte.
+        let mut wrong = bytes.clone();
+        wrong[0] = SESSION_CODEC_VERSION + 1;
+        assert!(decode_session(&wrong).is_err());
+        // Unknown phase tag.
+        let mut bad_phase = bytes;
+        bad_phase[9] = 9;
+        assert!(decode_session(&bad_phase).is_err());
+    }
+
+    #[test]
+    fn oversized_count_is_rejected_without_allocating() {
+        let mut bytes = encode_session(&sample());
+        // matched_pairs count lives right after version(1) + budget(8) +
+        // phase(1+1+8) + invocations(8) = offset 27 for the suppressed
+        // sample phase.
+        bytes[27..31].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_session(&bytes).is_err());
+    }
+}

@@ -377,6 +377,71 @@ pub struct PairEvent {
     pub decision: PairDecision,
 }
 
+/// The batched integer encoding of one non-trivial record pair: Alice's
+/// values, Bob's values, and the squared thresholds, one entry per
+/// decidable attribute. What each side of the wire protocol feeds into
+/// [`pprl_crypto::protocol::record`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodedPair {
+    /// Alice's encoded attribute values.
+    pub a_vals: Vec<u64>,
+    /// Bob's encoded attribute values.
+    pub b_vals: Vec<u64>,
+    /// Squared thresholds, aligned with the values.
+    pub thresholds: Vec<u64>,
+}
+
+/// One step of the deterministic pair walk as seen by a data-holder
+/// process: the pair, and its batched encoding (`None` when the pair is
+/// trivially matched — no attribute can fail — and exchanges no messages).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalkedPair {
+    /// Row in R.
+    pub ri: u32,
+    /// Row in S.
+    pub si: u32,
+    /// Batched encoding; `None` for a trivial match.
+    pub encoded: Option<EncodedPair>,
+}
+
+/// The querying party's hook into a genuinely distributed deployment:
+/// Alice and Bob run in their own processes and only ciphertext messages
+/// cross the boundary (`pprl-net` implements this over TCP).
+///
+/// Cost-accounting contract (mirrors the in-process
+/// [`TransportedBackend`] so a networked run's merged ledger equals the
+/// single-process run's): implementations record *querier-side* costs
+/// into the passed ledger — one key message per holder at broadcast, one
+/// ack frame per received pair message — and nothing else; the holders
+/// meter their own ledgers and ship them home at session end.
+pub trait RemoteParty: Send + Sync {
+    /// Delivers the public-key broadcast to both data holders. Called
+    /// once per [`SmcRunner::connect_remote`]; resumed sessions make this
+    /// idempotent (a holder that already holds the key is not re-charged).
+    fn broadcast_key(
+        &mut self,
+        key_message: &[u8],
+        ledger: &mut CostLedger,
+    ) -> Result<(), SmcError>;
+
+    /// Returns Bob's batched reply for non-trivial pair `pair_id`.
+    /// `Ok(None)` means the exchange was abandoned after exhausting the
+    /// link's recovery budget — the pair degrades exactly like a
+    /// retry-exhausted pair on the simulated channel.
+    fn bob_message(
+        &mut self,
+        pair_id: u64,
+        ledger: &mut CostLedger,
+    ) -> Result<Option<Vec<u8>>, SmcError>;
+
+    /// Non-trivial pairs already exchanged by a previous incarnation of
+    /// this session (crash recovery); the pair-id counter resumes after
+    /// it so retransmitted and fresh pairs cannot collide.
+    fn resume_pair_watermark(&self) -> u64 {
+        0
+    }
+}
+
 impl SmcStep {
     /// Runs the SMC step over the blocking outcome's unknown class pairs,
     /// start to finish.
@@ -634,6 +699,97 @@ impl<'a> SmcRunner<'a> {
         self.replayed
     }
 
+    /// [`replay_pair_event`](Self::replay_pair_event) plus ledger
+    /// restoration: merges the journaled per-pair cost delta, so a
+    /// crash-recovered session's ledger is identical to the uninterrupted
+    /// run's at every pair boundary — in any mode, not just oracle.
+    pub fn replay_pair_event_with_costs(
+        &mut self,
+        event: &PairEvent,
+        costs: &CostLedger,
+    ) -> Result<(), SmcError> {
+        self.replay_pair_event(event)?;
+        self.session.ledger.merge(costs);
+        Ok(())
+    }
+
+    /// The session's cost ledger so far (what a journaling driver diffs
+    /// around each pair to produce durable cost deltas).
+    pub fn ledger(&self) -> &CostLedger {
+        &self.session.ledger
+    }
+
+    /// Folds a remote data holder's end-of-session cost summary into the
+    /// session ledger (holders meter their own encryptions and messages;
+    /// the querier merges them before reporting).
+    pub fn absorb_remote_costs(&mut self, costs: &CostLedger) {
+        self.session.ledger.merge(costs);
+    }
+
+    /// Converts a batched-Paillier session into a *networked* one: the
+    /// key pair stays querier-side (generated from the mode seed exactly
+    /// as the in-process backends generate it), the data holders live
+    /// behind the [`RemoteParty`] hook, and the public-key broadcast is
+    /// delivered through that hook before the first pair. Requires
+    /// [`SmcMode::PaillierBatched`] with no simulated channel — the
+    /// socket *is* the channel.
+    pub fn connect_remote(&mut self, party: Box<dyn RemoteParty>) -> Result<(), SmcError> {
+        let keys = match &self.comparer.backend {
+            Backend::PaillierBatched(b) => b.keys.clone(),
+            _ => {
+                return Err(SmcError::Internal(
+                    "remote sessions require batched Paillier mode without a simulated channel",
+                ))
+            }
+        };
+        let key_msg = ProtocolMessage::PublicKey {
+            n: keys.public().n().clone(),
+        }
+        .encode()
+        .to_vec();
+        let mut party = party;
+        let next_pair_id = party.resume_pair_watermark();
+        party.broadcast_key(&key_msg, &mut self.session.ledger)?;
+        self.comparer.backend = Backend::Remote(Box::new(RemoteBackend {
+            keys,
+            party,
+            next_pair_id,
+        }));
+        Ok(())
+    }
+
+    /// Advances the deterministic pair walk one step *without running any
+    /// protocol*, returning the pair and its batched encoding. This is
+    /// the data-holder side of a networked session: Alice and Bob each
+    /// replicate the walk locally (it is decision-independent — see
+    /// [`upcoming_pairs`](Self::upcoming_pairs) — so a placeholder
+    /// non-match advances it exactly as the querier's real decision
+    /// will), producing or consuming one wire message per non-trivial
+    /// pair. `None` once the walk is complete.
+    pub fn walk_next_encoded(&mut self) -> Result<Option<WalkedPair>, SmcError> {
+        let Some((ri, si)) = self.locate_next_pair()? else {
+            return Ok(None);
+        };
+        let r = self
+            .r_data
+            .records()
+            .get(ri as usize)
+            .ok_or(SmcError::Internal("R record index out of range"))?;
+        let s = self
+            .s_data
+            .records()
+            .get(si as usize)
+            .ok_or(SmcError::Internal("S record index out of range"))?;
+        let encoded = batch_encode(&self.comparer.rule, &self.qids, r, s, &self.comparer.norms)?
+            .map(|(a_vals, b_vals, thresholds)| EncodedPair {
+                a_vals,
+                b_vals,
+                thresholds,
+            });
+        self.apply_decision(ri, si, PairDecision::NonMatch)?;
+        Ok(Some(WalkedPair { ri, si, encoded }))
+    }
+
     /// Advances bookkeeping-only phase transitions (leftover pushes, empty
     /// classes, suppressed-group switches) until the walk rests on the
     /// next comparable pair; `None` once every reachable pair is decided.
@@ -693,7 +849,11 @@ impl<'a> SmcRunner<'a> {
     /// *between* pairs — a sequential notion a batch cannot honor
     /// mid-flight without changing which pairs get abandoned).
     pub fn parallelizable(&self) -> bool {
-        self.clock.is_unbounded() && !matches!(self.comparer.backend, Backend::Transported(_))
+        self.clock.is_unbounded()
+            && !matches!(
+                self.comparer.backend,
+                Backend::Transported(_) | Backend::Remote(_)
+            )
     }
 
     /// Enumerates the next (up to) `max` comparable pairs without
@@ -1155,6 +1315,19 @@ enum Backend {
     PaillierBatched(Box<PaillierBackend>),
     /// Batched protocol over a (possibly faulty) transport with retries.
     Transported(Box<TransportedBackend>),
+    /// Batched protocol against *out-of-process* data holders: the
+    /// querier decrypts locally, everything else arrives via the
+    /// [`RemoteParty`] hook (real sockets in `pprl-net`).
+    Remote(Box<RemoteBackend>),
+}
+
+/// Querier-side state of a networked session: only the key pair and the
+/// non-trivial-pair counter live here — ciphertext production happens in
+/// the remote holder processes.
+struct RemoteBackend {
+    keys: Keypair,
+    party: Box<dyn RemoteParty>,
+    next_pair_id: u64,
 }
 
 struct PaillierBackend {
@@ -1303,7 +1476,7 @@ impl Comparer {
             Backend::Oracle => Backend::Oracle,
             Backend::Paillier(b) => Backend::Paillier(fork(b)),
             Backend::PaillierBatched(b) => Backend::PaillierBatched(fork(b)),
-            Backend::Transported(_) => return None,
+            Backend::Transported(_) | Backend::Remote(_) => return None,
         };
         Some(Comparer {
             schema: std::sync::Arc::clone(&self.schema),
@@ -1441,6 +1614,26 @@ impl Comparer {
                     &delivered,
                     ledger,
                 )?))
+            }
+            Backend::Remote(backend) => {
+                let b = backend.as_mut();
+                // The holders replicate this same deterministic walk and
+                // encoding; a trivial pair is decided locally on every
+                // side without a single byte crossing the wire.
+                if batch_encode(&self.rule, qids, r, s, &self.norms)?.is_none() {
+                    return Ok(CompareOutcome::Decided(true));
+                }
+                use pprl_crypto::protocol::record::querier_reveal_record;
+                b.next_pair_id += 1;
+                let pair_id = b.next_pair_id;
+                match b.party.bob_message(pair_id, ledger)? {
+                    None => Ok(CompareOutcome::Abandoned),
+                    Some(m_bob) => Ok(CompareOutcome::Decided(querier_reveal_record(
+                        b.keys.private(),
+                        &m_bob,
+                        ledger,
+                    )?)),
+                }
             }
         }
     }
@@ -1753,7 +1946,7 @@ mod tests {
     }
 
     #[test]
-    fn session_snapshot_roundtrips_through_serde() {
+    fn session_snapshot_roundtrips_through_the_wire_codec() {
         let f = fixture(100);
         let s = step(SmcAllowance::Pairs(120));
         let mut runner = s
@@ -1761,8 +1954,8 @@ mod tests {
             .unwrap();
         runner.step_pairs(37).unwrap();
         let snapshot = runner.checkpoint();
-        let json = serde_json::to_string(&snapshot).unwrap();
-        let back: SmcSession = serde_json::from_str(&json).unwrap();
+        let bytes = crate::codec::encode_session(&snapshot);
+        let back: SmcSession = crate::codec::decode_session(&bytes).unwrap();
         assert_eq!(back, snapshot);
     }
 

@@ -29,6 +29,7 @@
 //! ```
 
 mod allowance;
+pub mod codec;
 mod deadline;
 pub mod executor;
 pub mod expected;
@@ -36,10 +37,12 @@ mod heuristics;
 mod strategy;
 
 pub use allowance::SmcAllowance;
+pub use codec::{decode_session, encode_session};
 pub use deadline::DeadlineBudget;
 pub use executor::{
-    AbandonReason, AbandonTally, ChannelConfig, DegradationReport, ExaminedStats, LeftoverPair,
-    PairDecision, PairEvent, SessionPhase, SmcMode, SmcReport, SmcRunner, SmcSession, SmcStep,
+    AbandonReason, AbandonTally, ChannelConfig, DegradationReport, EncodedPair, ExaminedStats,
+    LeftoverPair, PairDecision, PairEvent, RemoteParty, SessionPhase, SmcMode, SmcReport,
+    SmcRunner, SmcSession, SmcStep, WalkedPair,
 };
 pub use heuristics::{order_unknown, SelectionHeuristic};
 pub use strategy::{label_leftovers, LabelingStrategy};
