@@ -91,30 +91,44 @@ const BASE: u64 = 1 << 32;
 
 /// Knuth TAOCP vol. 2, Algorithm 4.3.1 D. Requires `u >= v`, `v.len() >= 2`,
 /// digits normalized (no leading zeros). Returns `(quotient, remainder)`.
+///
+/// Digit access is iterator-shaped (`iter().skip(..)` windows and `zip`ped
+/// carry loops) rather than indexed, so the whole routine is free of
+/// panicking `x[i]` sites (panic-path P004).
 fn knuth_d(u: &[u32], v: &[u32]) -> (Vec<u32>, Vec<u32>) {
     let n = v.len();
     let m = u.len() - n;
     debug_assert!(n >= 2);
 
     // D1: normalize so the top divisor digit has its high bit set.
-    let shift = v[n - 1].leading_zeros();
+    let shift = v.last().map_or(0, |d| d.leading_zeros());
     let vn = shl_digits(v, shift);
     let mut un = shl_digits(u, shift);
     un.resize(u.len() + 1, 0); // extra high digit for the first iteration
 
-    let mut q = vec![0u32; m + 1];
+    // The top two divisor digits drive every D3 estimate.
+    let mut vtop = vn.iter().rev().copied();
+    let v1 = vtop.next().unwrap_or(0) as u64;
+    let v2 = vtop.next().unwrap_or(0) as u64;
+
+    // Quotient digits are produced most significant first; collect and
+    // reverse instead of assigning through q[j].
+    let mut q = Vec::with_capacity(m + 1);
 
     // D2-D7: compute one quotient digit per iteration, most significant first.
     for j in (0..=m).rev() {
-        // D3: estimate qhat from the top two dividend digits.
-        let top = (un[j + n] as u64) * BASE + un[j + n - 1] as u64;
-        let mut qhat = top / vn[n - 1] as u64;
-        let mut rhat = top % vn[n - 1] as u64;
-        while qhat >= BASE
-            || qhat * vn[n - 2] as u64 > rhat * BASE + un[j + n - 2] as u64
-        {
+        // D3: estimate qhat from the top two dividend digits of the
+        // window un[j ..= j+n] (read u_{j+n-2}, u_{j+n-1}, u_{j+n}).
+        let mut utop = un.iter().skip(j + n - 2).copied();
+        let u2 = utop.next().unwrap_or(0) as u64;
+        let u1 = utop.next().unwrap_or(0) as u64;
+        let u0 = utop.next().unwrap_or(0) as u64;
+        let top = u0 * BASE + u1;
+        let mut qhat = top / v1;
+        let mut rhat = top % v1;
+        while qhat >= BASE || qhat * v2 > rhat * BASE + u2 {
             qhat -= 1;
-            rhat += vn[n - 1] as u64;
+            rhat += v1;
             if rhat >= BASE {
                 break;
             }
@@ -125,36 +139,44 @@ fn knuth_d(u: &[u32], v: &[u32]) -> (Vec<u32>, Vec<u32>) {
         // add-back in D6 repairs the off-by-one) so D4 cannot overflow u64.
         qhat = qhat.min(BASE - 1);
 
-        // D4: multiply and subtract un[j..j+n+1] -= qhat * vn.
+        // D4: multiply and subtract un[j..j+n] -= qhat * vn over the
+        // zipped window, then fold borrow and carry into the top digit.
         let mut borrow = 0i64;
         let mut carry = 0u64;
-        for i in 0..n {
-            let p = qhat * vn[i] as u64 + carry;
+        for (ud, &vd) in un.iter_mut().skip(j).zip(vn.iter()) {
+            let p = qhat * vd as u64 + carry;
             carry = p >> 32;
-            let t = un[i + j] as i64 - borrow - (p as u32) as i64;
-            un[i + j] = t as u32;
+            let t = *ud as i64 - borrow - (p as u32) as i64;
+            *ud = t as u32;
             borrow = if t < 0 { 1 } else { 0 };
         }
-        let t = un[j + n] as i64 - borrow - carry as i64;
-        un[j + n] = t as u32;
+        let mut t = 0i64;
+        if let Some(ud) = un.get_mut(j + n) {
+            t = *ud as i64 - borrow - carry as i64;
+            *ud = t as u32;
+        }
 
         // D5/D6: if we subtracted too much, add one divisor back.
         if t < 0 {
             qhat -= 1;
             let mut carry = 0u64;
-            for i in 0..n {
-                let s = un[i + j] as u64 + vn[i] as u64 + carry;
-                un[i + j] = s as u32;
+            for (ud, &vd) in un.iter_mut().skip(j).zip(vn.iter()) {
+                let s = *ud as u64 + vd as u64 + carry;
+                *ud = s as u32;
                 carry = s >> 32;
             }
-            un[j + n] = (un[j + n] as u64).wrapping_add(carry) as u32;
+            if let Some(ud) = un.get_mut(j + n) {
+                *ud = (*ud as u64).wrapping_add(carry) as u32;
+            }
         }
 
-        q[j] = qhat as u32;
+        q.push(qhat as u32);
     }
+    q.reverse();
 
-    // D8: denormalize the remainder.
-    let rem = shr_digits(&un[..n], shift);
+    // D8: denormalize the remainder (the low n digits of un).
+    un.truncate(n);
+    let rem = shr_digits(&un, shift);
     while q.last() == Some(&0) {
         q.pop();
     }

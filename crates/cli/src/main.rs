@@ -31,6 +31,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    // `party serve` is the daemon spelling of the top-level `serve`.
+    let (cmd, rest) = if cmd == "party" && rest.first().map(String::as_str) == Some("serve") {
+        ("serve", &rest[1..])
+    } else {
+        (cmd.as_str(), rest)
+    };
     let opts = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -38,10 +44,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let result = match cmd.as_str() {
+    let result = match cmd {
         "synth" => cmd_synth(&opts),
         "run" => cmd_run(&opts),
         "party" => cmd_party(&opts),
+        "serve" => cmd_serve(&opts),
         "anonymize" => cmd_anonymize(&opts),
         "block" => cmd_block(&opts),
         "--help" | "-h" | "help" => {
@@ -66,6 +73,7 @@ USAGE:
   pprl-link synth     --out DIR [--records N] [--seed S]
   pprl-link run       --left FILE --right FILE [options]
   pprl-link party     --role R --left FILE --right FILE [options]
+  pprl-link party serve --job NAME=LEFT,RIGHT [--job ...] --journal-dir DIR [options]
   pprl-link anonymize --input FILE [--k K] [--method M] [--qids Q] [--publish FILE]
   pprl-link block     --left-view FILE --right-view FILE [--theta T]
 
@@ -122,8 +130,12 @@ same two files and the same RUN OPTIONS — the handshake rejects drift):
                       party rejoins the session at its watermark
   --net-timeout-ms MS     socket poll timeout           [1000]
   --net-deadline-ms MS    per-operation reconnect deadline [30000]
+  --no-fsync          skip journal/report fsyncs (kill-only test runs)
   Paillier is always batched in party mode ('--paillier BITS' sets the key
-  size, default 256); --fault-rate/--deadline-ms are rejected.
+  size, default 256); --fault-rate is rejected. --deadline-ms is allowed
+  but must be identical on every party (it is part of the handshake
+  fingerprint); only the querier's clock is consulted — on expiry it
+  abandons its remaining pairs and drains the oblivious holders.
 
 Example — full linkage across three terminals on loopback:
   pprl-link party --role query --left d1.csv --right d2.csv --json
@@ -131,6 +143,30 @@ Example — full linkage across three terminals on loopback:
       --connect-querier 127.0.0.1:PORT
   pprl-link party --role bob   --left d1.csv --right d2.csv \\
       --connect-querier 127.0.0.1:PORT --connect-alice 127.0.0.1:PORT2
+
+SERVE OPTIONS (`party serve`: a long-lived querier daemon serving many
+jobs over one listener; holders join each job with `party --role alice|bob`
+against the announced address, configured identically to that job):
+  --job NAME=LEFT,RIGHT  one linkage job (repeatable); NAME keys the
+                      job's journal (`NAME.pprlj`) and report
+                      (`NAME.report`) under --journal-dir
+  --journal-dir DIR   per-job journals and reports; a restarted daemon
+                      resumes unfinished jobs and re-serves finished ones
+                      from disk without re-executing a pair
+  --max-jobs N        concurrent session bound [2]; excess holders get a
+                      typed Busy frame and redial after --retry-after-ms
+  --retry-after-ms MS pause hinted inside a Busy answer       [200]
+  --max-crashes N     worker attempts before a job is quarantined [3]
+  --pool-prefill N    pre-fill N Paillier randomizers into the shared
+                      warm-keypair pool                        [0]
+  --listen/--net-timeout-ms/--net-deadline-ms/--no-fsync as in party mode;
+  RUN OPTIONS (including --deadline-ms) apply to every job alike.
+  SIGTERM drains gracefully: stop admitting, finish in-flight jobs, exit 0.
+
+Example — serve three jobs, at most two concurrent:
+  pprl-link party serve --journal-dir /var/lib/pprl \\
+      --job ab=a.csv,b.csv --job cd=c.csv,d.csv --job ef=e.csv,f.csv \\
+      --max-jobs 2 --listen 127.0.0.1:7001
 ";
 
 type Opts = HashMap<String, String>;
@@ -142,14 +178,25 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?;
-        if key == "json" || key == "resume" {
+        if key == "json" || key == "resume" || key == "no-fsync" {
             opts.insert(key.to_string(), "true".to_string());
             i += 1;
         } else {
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| format!("--{key} needs a value"))?;
-            opts.insert(key.to_string(), value.clone());
+            if key == "job" {
+                // `--job` repeats; accumulate newline-separated so the
+                // flat map keeps one entry per option name.
+                opts.entry(key.to_string())
+                    .and_modify(|v| {
+                        v.push('\n');
+                        v.push_str(value);
+                    })
+                    .or_insert_with(|| value.clone());
+            } else {
+                opts.insert(key.to_string(), value.clone());
+            }
             i += 2;
         }
     }
@@ -312,10 +359,9 @@ fn cmd_party(opts: &Opts) -> Result<(), String> {
     if opts.contains_key("resume") && !opts.contains_key("journal") {
         return Err("--resume requires --journal PATH".to_string());
     }
-    if opts.contains_key("fault-rate") || opts.contains_key("deadline-ms") {
+    if opts.contains_key("fault-rate") {
         return Err(
-            "party mode runs over a real network: --fault-rate and --deadline-ms are rejected"
-                .to_string(),
+            "party mode runs over a real network: --fault-rate is rejected".to_string(),
         );
     }
     let role = match opts.get("role").map(String::as_str) {
@@ -328,13 +374,15 @@ fn cmd_party(opts: &Opts) -> Result<(), String> {
     let (d1, d2) = load_inputs(opts)?;
     let mut config = build_config(opts)?;
     // Party mode always speaks the batched wire protocol over the real
-    // network; the simulated channel and wall-clock deadline stay off.
+    // network; the simulated channel stays off. `--deadline-ms` is
+    // allowed and must be identical on every party (it is fingerprinted);
+    // only the querier's clock is consulted — expiry abandons its
+    // remaining pairs and drains the oblivious holders.
     config.mode = SmcMode::PaillierBatched {
         modulus_bits: get(opts, "paillier", 256)?,
         seed: get(opts, "seed", 42)?,
     };
     config.channel = None;
-    config.deadline = DeadlineBudget::None;
 
     let parse_addr = |key: &str| -> Result<Option<std::net::SocketAddr>, String> {
         opts.get(key)
@@ -349,6 +397,7 @@ fn cmd_party(opts: &Opts) -> Result<(), String> {
     popts.resume = opts.contains_key("resume");
     popts.timeout = std::time::Duration::from_millis(get(opts, "net-timeout-ms", 1_000)?);
     popts.deadline = std::time::Duration::from_millis(get(opts, "net-deadline-ms", 30_000)?);
+    popts.durable = !opts.contains_key("no-fsync");
 
     let threads: usize = get(opts, "threads", pprl_runtime::resolve_threads(None))?;
     if threads == 0 {
@@ -373,9 +422,151 @@ fn cmd_party(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// SIGTERM flips this flag; the serve loop reads it as its drain signal.
+/// Declared straight against the platform libc the binary already links —
+/// no new dependency. The handler body is async-signal-safe (one atomic
+/// store).
+#[cfg(unix)]
+fn drain_flag() -> &'static std::sync::atomic::AtomicBool {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static DRAIN: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_sigterm(_sig: i32) {
+        DRAIN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe { signal(SIGTERM, on_sigterm) };
+    &DRAIN
+}
+
+#[cfg(not(unix))]
+fn drain_flag() -> &'static std::sync::atomic::AtomicBool {
+    static DRAIN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    &DRAIN
+}
+
+/// The linkage daemon: one querier process serving every `--job` over a
+/// single listener, with bounded admission and per-job crash recovery.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use pprl_core::JobStatus;
+
+    let jobs_raw = opts
+        .get("job")
+        .ok_or("at least one --job NAME=LEFT,RIGHT is required")?;
+    let journal_dir = opts.get("journal-dir").ok_or("--journal-dir DIR is required")?;
+    if opts.contains_key("fault-rate") {
+        return Err("serve runs over a real network: --fault-rate is rejected".to_string());
+    }
+    let mut config = build_config(opts)?;
+    config.mode = SmcMode::PaillierBatched {
+        modulus_bits: get(opts, "paillier", 256)?,
+        seed: get(opts, "seed", 42)?,
+    };
+    config.channel = None;
+    let threads: usize = get(opts, "threads", pprl_runtime::resolve_threads(None))?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+
+    let mut jobs = Vec::new();
+    for spec in jobs_raw.split('\n') {
+        let err = || format!("--job {spec:?}: expected NAME=LEFT,RIGHT");
+        let (name, files) = spec.split_once('=').ok_or_else(err)?;
+        let (left, right) = files.split_once(',').ok_or_else(err)?;
+        let d1 = load_adult(left).map_err(|e| format!("{left}: {e}"))?;
+        let d2 = load_adult(right).map_err(|e| format!("{right}: {e}"))?;
+        jobs.push(pprl_core::ServeJob {
+            name: name.to_string(),
+            pipeline: pprl_core::HybridLinkage::new(config.clone()).with_threads(threads),
+            left: d1,
+            right: d2,
+        });
+    }
+
+    let ms = |v: u64| std::time::Duration::from_millis(v);
+    let sopts = pprl_core::ServeOptions {
+        listen: opts
+            .get("listen")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        journal_dir: std::path::PathBuf::from(journal_dir),
+        max_jobs: get(opts, "max-jobs", 2)?,
+        retry_after: ms(get(opts, "retry-after-ms", 200)?),
+        max_crashes: get(opts, "max-crashes", 3)?,
+        timeout: ms(get(opts, "net-timeout-ms", 1_000)?),
+        net_deadline: ms(get(opts, "net-deadline-ms", 30_000)?),
+        durable: !opts.contains_key("no-fsync"),
+        pool_prefill: get(opts, "pool-prefill", 0)?,
+        pool_threads: threads,
+    };
+
+    let json = opts.contains_key("json");
+    let summary = pprl_core::serve::serve(&jobs, &sopts, drain_flag(), &|_job, outcome| {
+        render_report(
+            outcome.outcome.as_ref().expect("querier outcome present"),
+            json,
+        )
+    })
+    .map_err(|e| e.to_string())?;
+
+    // Per-job accounting to stderr, reports to stdout (the persisted
+    // `<name>.report` files carry the byte-exact standalone bytes).
+    let mut quarantined: Option<String> = None;
+    for job in &summary.jobs {
+        match &job.status {
+            JobStatus::Finished(party) => {
+                eprintln!(
+                    "serve: job {} finished resumed={} replayed={} live={} net[{}]",
+                    job.name, party.resumed, party.replayed_pairs, party.live_pairs, party.net,
+                );
+            }
+            JobStatus::AlreadyDone => {
+                eprintln!("serve: job {} already done; report re-served from disk", job.name);
+            }
+            JobStatus::Quarantined { crashes, last_error } => {
+                let why = pprl_core::LinkageError::Quarantined {
+                    job: job.name.clone(),
+                    crashes: *crashes,
+                    last_error: last_error.clone(),
+                }
+                .to_string();
+                eprintln!("serve: {why}");
+                quarantined.get_or_insert(why);
+            }
+            JobStatus::Drained => {
+                eprintln!(
+                    "serve: job {} drained before starting; it resumes on the next start",
+                    job.name
+                );
+            }
+        }
+        if let Some(text) = &job.report {
+            println!("=== {} ===", job.name);
+            print!("{text}");
+        }
+    }
+    eprintln!("serve: drained={} net[{}]", summary.drained, summary.net);
+    match quarantined {
+        Some(why) => Err(why),
+        None => Ok(()),
+    }
+}
+
 /// Prints the final report (text or `--json`) for a completed linkage.
 fn print_report(outcome: &LinkageOutcome, opts: &Opts) {
+    print!("{}", render_report(outcome, opts.contains_key("json")));
+}
+
+/// Renders the final report (text or JSON) — the exact bytes `run` and
+/// `party` print, and the bytes `serve` persists beside each job's
+/// journal and re-serves verbatim after a daemon restart.
+fn render_report(outcome: &LinkageOutcome, json: bool) -> String {
+    use std::fmt::Write;
+
     let m = &outcome.metrics;
+    let mut out = String::new();
 
     // Order-independent digest of the declared match set, for comparing
     // runs (e.g. a recovered run against an uninterrupted one).
@@ -389,8 +580,9 @@ fn print_report(outcome: &LinkageOutcome, opts: &Opts) {
     }
     let matched_digest = format!("{:016x}", digest.finish());
 
-    if opts.contains_key("json") {
-        println!(
+    if json {
+        let _ = writeln!(
+            out,
             "{}",
             serde_json::json!({
                 "total_pairs": m.total_pairs,
@@ -428,39 +620,44 @@ fn print_report(outcome: &LinkageOutcome, opts: &Opts) {
             })
         );
     } else {
-        println!("pairs               : {}", m.total_pairs);
-        println!(
+        let _ = writeln!(out, "pairs               : {}", m.total_pairs);
+        let _ = writeln!(
+            out,
             "blocking efficiency : {:.2}%  ({} matched, {} pairs undecided)",
             100.0 * m.blocking_efficiency,
             m.blocking_matched,
             m.total_pairs - (m.blocking_efficiency * m.total_pairs as f64) as u64
         );
-        println!(
+        let _ = writeln!(
+            out,
             "SMC                 : {} / {} comparisons, {} matches",
             m.smc_invocations, m.smc_budget, m.smc_matched
         );
-        println!("true matches        : {}", m.true_matches);
-        println!("declared matches    : {}", m.declared_matches);
-        println!("precision           : {:.2}%", 100.0 * m.precision());
-        println!("recall              : {:.2}%", 100.0 * m.recall());
-        println!("matched digest      : {matched_digest}");
+        let _ = writeln!(out, "true matches        : {}", m.true_matches);
+        let _ = writeln!(out, "declared matches    : {}", m.declared_matches);
+        let _ = writeln!(out, "precision           : {:.2}%", 100.0 * m.precision());
+        let _ = writeln!(out, "recall              : {:.2}%", 100.0 * m.recall());
+        let _ = writeln!(out, "matched digest      : {matched_digest}");
         let led = &outcome.ledger;
         if led.messages > 0 {
-            println!(
+            let _ = writeln!(
+                out,
                 "crypto cost         : {} messages, {} bytes, {} enc, {} dec, {} scalar muls",
                 led.messages, led.bytes, led.encryptions, led.decryptions, led.scalar_muls
             );
         }
         let deg = outcome.degradation();
         if deg.injected.total() > 0 || deg.degraded() {
-            println!(
+            let _ = writeln!(
+                out,
                 "transport           : {} faults injected, {} survived, {} retransmissions ({} virtual backoff ms)",
                 deg.injected.total(),
                 deg.faults_survived,
                 deg.retries_spent,
                 deg.virtual_backoff_ms
             );
-            println!(
+            let _ = writeln!(
+                out,
                 "degraded pairs      : {} abandoned ({} retry exhaustion, {} deadline expiry; {} declared match by strategy)",
                 deg.pairs_abandoned(),
                 deg.abandoned.retry_exhausted,
@@ -469,6 +666,7 @@ fn print_report(outcome: &LinkageOutcome, opts: &Opts) {
             );
         }
     }
+    out
 }
 
 fn cmd_anonymize(opts: &Opts) -> Result<(), String> {

@@ -1,0 +1,449 @@
+//! Chaos soak for the linkage daemon (`pprl-link party serve`).
+//!
+//! Real OS processes on loopback: one daemon querier serving several
+//! concurrent jobs, each job's holders spawned as standalone `party`
+//! processes. The acceptance bar:
+//!
+//! - three jobs through a `--max-jobs 2` daemon: every persisted
+//!   `<name>.report` is byte-identical to that job's standalone
+//!   single-process run, and the over-admitted job's holders absorbed at
+//!   least one typed `Busy` answer before succeeding on retry;
+//! - SIGKILL the daemon mid-job and restart it on the same port: the
+//!   finished job is re-served from disk with its journal untouched, only
+//!   the unfinished job resumes, its report is unchanged, and no
+//!   journaled pair appears twice;
+//! - SIGTERM drains gracefully: in-flight jobs finish, queued jobs are
+//!   left for the next start, exit status 0.
+
+#![cfg(unix)]
+
+use pprl_core::party_run::{K_PARTY_DONE, K_PARTY_KEY, K_PARTY_PAIR};
+use pprl_journal::recover;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pprl-link")
+}
+
+fn work_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pprl-daemon-soak-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Synthesizes one job's dataset pair under `dir/<name>/`.
+fn synth_job(dir: &Path, name: &str, records: u32, seed: u64) -> PathBuf {
+    let job_dir = dir.join(name);
+    std::fs::create_dir_all(&job_dir).unwrap();
+    let status = Command::new(bin())
+        .args(["synth", "--records", &records.to_string(), "--seed", &seed.to_string(), "--out"])
+        .arg(&job_dir)
+        .status()
+        .unwrap();
+    assert!(status.success(), "synth {name} failed");
+    job_dir
+}
+
+/// The RUN OPTIONS every process of every job shares (the fingerprint
+/// handshake rejects drift).
+fn common_args() -> Vec<String> {
+    ["--allowance-pct", "2.0", "--paillier", "256", "--threads", "1"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// The standalone single-process reference report for one job.
+fn reference_report(job_dir: &Path) -> String {
+    let out = Command::new(bin())
+        .arg("run")
+        .args(["--left"])
+        .arg(job_dir.join("d1.csv"))
+        .args(["--right"])
+        .arg(job_dir.join("d2.csv"))
+        .args(common_args())
+        .args(["--fault-rate", "0"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// A spawned process with stderr drained on a thread and scanned for the
+/// daemon's listener announcement.
+struct Proc {
+    child: Child,
+    stderr: std::sync::mpsc::Receiver<String>,
+    collected: Vec<String>,
+}
+
+fn spawn(args: Vec<String>) -> Proc {
+    let mut child = Command::new(bin())
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let pipe = child.stderr.take().unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(pipe).lines().map_while(Result::ok) {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    Proc {
+        child,
+        stderr: rx,
+        collected: Vec::new(),
+    }
+}
+
+impl Proc {
+    /// Blocks until the process announces its listener address.
+    fn listen_addr(&mut self) -> String {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while Instant::now() < deadline {
+            match self.stderr.recv_timeout(Duration::from_millis(200)) {
+                Ok(line) => {
+                    let addr = line.strip_prefix("pprl-net: ").and_then(|rest| {
+                        rest.split(" listening on ").nth(1).map(str::to_string)
+                    });
+                    self.collected.push(line);
+                    if let Some(addr) = addr {
+                        return addr;
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                Err(_) => break,
+            }
+        }
+        panic!("process never announced a listener; stderr: {:?}", self.collected);
+    }
+
+    /// Waits for exit, panicking (with stderr) on failure. Returns
+    /// `(stdout, stderr lines)`.
+    fn finish(mut self) -> (String, Vec<String>) {
+        let status = self.child.wait().unwrap();
+        let mut stdout = String::new();
+        if let Some(mut pipe) = self.child.stdout.take() {
+            use std::io::Read;
+            pipe.read_to_string(&mut stdout).unwrap();
+        }
+        self.collected.extend(self.stderr.try_iter());
+        if !status.success() {
+            panic!("process exited with {status}: {}", self.collected.join("\n"));
+        }
+        (stdout, self.collected)
+    }
+}
+
+/// Spawns one job's two holders against the daemon's address.
+fn spawn_holders(job_dir: &Path, daemon_addr: &str, extra: &[String]) -> (Proc, Proc) {
+    let holder = |role: &str, connect: Vec<String>| {
+        let mut args = vec![
+            "party".to_string(),
+            "--role".to_string(),
+            role.to_string(),
+            "--left".to_string(),
+            job_dir.join("d1.csv").display().to_string(),
+            "--right".to_string(),
+            job_dir.join("d2.csv").display().to_string(),
+        ];
+        args.extend(common_args());
+        args.extend(connect);
+        args.extend(extra.to_vec());
+        spawn(args)
+    };
+    let mut alice = holder(
+        "alice",
+        vec!["--connect-querier".to_string(), daemon_addr.to_string()],
+    );
+    let alice_addr = alice.listen_addr();
+    let bob = holder(
+        "bob",
+        vec![
+            "--connect-querier".to_string(),
+            daemon_addr.to_string(),
+            "--connect-alice".to_string(),
+            alice_addr,
+        ],
+    );
+    (alice, bob)
+}
+
+fn serve_args(dir: &Path, jobs: &[(&str, &Path)], extra: &[&str]) -> Vec<String> {
+    let mut args = vec![
+        "party".to_string(),
+        "serve".to_string(),
+        "--journal-dir".to_string(),
+        dir.join("journals").display().to_string(),
+    ];
+    for (name, job_dir) in jobs {
+        args.push("--job".to_string());
+        args.push(format!(
+            "{name}={},{}",
+            job_dir.join("d1.csv").display(),
+            job_dir.join("d2.csv").display()
+        ));
+    }
+    args.extend(common_args());
+    args.extend(extra.iter().map(|s| s.to_string()));
+    args
+}
+
+fn report_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join("journals").join(format!("{name}.report"))
+}
+
+fn journal_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join("journals").join(format!("{name}.pprlj"))
+}
+
+/// Parses `... net[... N busy, ...]` accounting from a stderr line.
+fn busy_count(lines: &[String]) -> u64 {
+    lines
+        .iter()
+        .filter_map(|line| {
+            let (head, _) = line.split_once(" busy,")?;
+            head.rsplit(' ').next()?.parse::<u64>().ok()
+        })
+        .sum()
+}
+
+#[test]
+fn daemon_serves_three_concurrent_jobs_with_busy_admission() {
+    let dir = work_dir("concurrent");
+    let jobs: Vec<(String, PathBuf)> = [("j1", 11u64), ("j2", 12), ("j3", 13)]
+        .iter()
+        .map(|(name, seed)| (name.to_string(), synth_job(&dir, name, 110, *seed)))
+        .collect();
+    let references: Vec<String> = jobs.iter().map(|(_, d)| reference_report(d)).collect();
+
+    let job_refs: Vec<(&str, &Path)> = jobs
+        .iter()
+        .map(|(n, d)| (n.as_str(), d.as_path()))
+        .collect();
+    let mut daemon = spawn(serve_args(
+        &dir,
+        &job_refs,
+        &["--max-jobs", "2", "--retry-after-ms", "100", "--no-fsync"],
+    ));
+    let daemon_addr = daemon.listen_addr();
+
+    // All three jobs' holders dial at once; one job is over the
+    // admission bound and must ride out Busy answers.
+    let holders: Vec<(Proc, Proc)> = jobs
+        .iter()
+        .map(|(_, job_dir)| spawn_holders(job_dir, &daemon_addr, &[]))
+        .collect();
+
+    let (_, daemon_err) = daemon.finish();
+    let mut holder_busy = 0;
+    for (alice, bob) in holders {
+        let (_, a_err) = alice.finish();
+        let (_, b_err) = bob.finish();
+        holder_busy += busy_count(&a_err) + busy_count(&b_err);
+    }
+
+    for ((name, _), reference) in jobs.iter().zip(&references) {
+        let report = std::fs::read_to_string(report_path(&dir, name)).unwrap();
+        assert_eq!(
+            &report, reference,
+            "job {name}: daemon report must be byte-identical to the standalone run"
+        );
+    }
+    assert!(
+        busy_count(&daemon_err) >= 1,
+        "with 3 jobs and --max-jobs 2 the daemon must answer Busy at least once: {daemon_err:?}"
+    );
+    assert!(
+        holder_busy >= 1,
+        "some holder must have absorbed a Busy answer and retried"
+    );
+}
+
+#[test]
+fn daemon_sigkilled_mid_job_resumes_only_the_unfinished_job() {
+    let dir = work_dir("sigkill");
+    let j1 = synth_job(&dir, "j1", 90, 21);
+    let j2 = synth_job(&dir, "j2", 130, 22);
+    let ref1 = reference_report(&j1);
+    let ref2 = reference_report(&j2);
+
+    // Fixed port so the restarted daemon is reachable by the surviving
+    // holders; picked by the kernel, then released.
+    let port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+    };
+    let listen = format!("127.0.0.1:{port}");
+    // Serial admission (--max-jobs 1) makes the schedule deterministic:
+    // j1 finishes first, then j2 starts and is the one mid-flight.
+    let args = serve_args(
+        &dir,
+        &[("j1", &j1), ("j2", &j2)],
+        &[
+            "--max-jobs",
+            "1",
+            "--retry-after-ms",
+            "100",
+            "--no-fsync",
+            "--listen",
+            &listen,
+            "--net-deadline-ms",
+            "120000",
+        ],
+    );
+    let mut daemon = spawn(args.clone());
+    let daemon_addr = daemon.listen_addr();
+
+    let long_deadline = ["--net-deadline-ms".to_string(), "120000".to_string()];
+    let h1 = spawn_holders(&j1, &daemon_addr, &long_deadline);
+    let h2 = spawn_holders(&j2, &daemon_addr, &long_deadline);
+
+    // SIGKILL the daemon once j1 is sealed and j2 shows real progress.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let j1_done = report_path(&dir, "j1").exists();
+        let j2_bytes = std::fs::metadata(journal_path(&dir, "j2"))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        if j1_done && j2_bytes > 8_192 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never reached the kill point (j1 done: {j1_done}, j2 journal: {j2_bytes}B)"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon.child.kill().unwrap();
+    let _ = daemon.child.wait();
+    let j1_journal_before = std::fs::read(journal_path(&dir, "j1")).unwrap();
+
+    // Restart on the same port; j1's holders are gone (their session
+    // finished), j2's holders are stalled inside their reconnect
+    // deadlines and pick the session back up.
+    let daemon2 = spawn(args);
+    let (_, daemon_err) = daemon2.finish();
+    h1.0.finish();
+    h1.1.finish();
+    h2.0.finish();
+    h2.1.finish();
+
+    assert_eq!(
+        std::fs::read_to_string(report_path(&dir, "j1")).unwrap(),
+        ref1,
+        "finished job's report must survive the restart unchanged"
+    );
+    assert_eq!(
+        std::fs::read_to_string(report_path(&dir, "j2")).unwrap(),
+        ref2,
+        "resumed job's report must be byte-identical to the standalone run"
+    );
+    assert_eq!(
+        std::fs::read(journal_path(&dir, "j1")).unwrap(),
+        j1_journal_before,
+        "a sealed job must not be re-executed (its journal must not grow)"
+    );
+    assert!(
+        daemon_err.iter().any(|l| l.contains("job j1 already done")),
+        "restarted daemon must re-serve j1 from disk: {daemon_err:?}"
+    );
+    assert!(
+        daemon_err
+            .iter()
+            .any(|l| l.contains("job j2 finished") && l.contains("resumed=true")),
+        "restarted daemon must resume j2 from its journal: {daemon_err:?}"
+    );
+
+    // Journal-level proof that no pair ran twice across the crash: every
+    // committed (ri, si) appears exactly once, and the done marker seals
+    // the file.
+    let recovered = recover(&journal_path(&dir, "j2")).unwrap();
+    let mut seen = std::collections::HashSet::new();
+    let mut done = 0;
+    for frame in &recovered.frames {
+        match frame.kind {
+            K_PARTY_PAIR => {
+                let ri = u32::from_le_bytes(frame.payload[8..12].try_into().unwrap());
+                let si = u32::from_le_bytes(frame.payload[12..16].try_into().unwrap());
+                assert!(
+                    seen.insert((ri, si)),
+                    "pair ({ri}, {si}) was journaled twice across the crash"
+                );
+            }
+            K_PARTY_DONE => done += 1,
+            K_PARTY_KEY => {}
+            other => panic!("unexpected frame kind {other}"),
+        }
+    }
+    assert_eq!(done, 1, "exactly one done marker seals the journal");
+}
+
+#[test]
+fn sigterm_drains_in_flight_jobs_and_parks_queued_ones() {
+    let dir = work_dir("drain");
+    let j1 = synth_job(&dir, "j1", 110, 31);
+    let j2 = synth_job(&dir, "j2", 90, 32);
+    let ref1 = reference_report(&j1);
+
+    let args = serve_args(
+        &dir,
+        &[("j1", &j1), ("j2", &j2)],
+        &["--max-jobs", "1", "--retry-after-ms", "100", "--no-fsync"],
+    );
+    let mut daemon = spawn(args);
+    let daemon_addr = daemon.listen_addr();
+    // Only j1's holders show up; j2 stays queued behind --max-jobs 1.
+    let (alice, bob) = spawn_holders(&j1, &daemon_addr, &[]);
+
+    // SIGTERM once j1 is demonstrably in flight.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while std::fs::metadata(journal_path(&dir, "j1"))
+        .map(|m| m.len())
+        .unwrap_or(0)
+        <= 4_096
+    {
+        assert!(Instant::now() < deadline, "j1 never made journal progress");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let term = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(term.success(), "kill -TERM failed");
+
+    // Graceful drain: the daemon finishes j1, never starts j2, exits 0.
+    let (_, daemon_err) = daemon.finish();
+    alice.finish();
+    bob.finish();
+
+    assert_eq!(
+        std::fs::read_to_string(report_path(&dir, "j1")).unwrap(),
+        ref1,
+        "the in-flight job must finish cleanly through the drain"
+    );
+    assert!(
+        !report_path(&dir, "j2").exists() && !journal_path(&dir, "j2").exists(),
+        "the queued job must not have started"
+    );
+    assert!(
+        daemon_err.iter().any(|l| l.contains("job j2 drained")),
+        "daemon must report the parked job: {daemon_err:?}"
+    );
+    assert!(
+        daemon_err.iter().any(|l| l.contains("drained=true")),
+        "daemon must report a drained exit: {daemon_err:?}"
+    );
+}

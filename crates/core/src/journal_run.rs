@@ -55,6 +55,12 @@ pub struct JournalOptions {
     /// R classes per blocking chunk (fingerprinted: a journal written
     /// with one chunk width cannot be resumed with another).
     pub chunk_r_classes: usize,
+    /// Fsync the journal on creation (file + parent directory) and at
+    /// every checkpoint frame, surviving machine crashes, not just
+    /// process kills. `false` keeps kill-only tests and benchmarks fast.
+    /// Not fingerprinted: durability is a deployment choice, not a
+    /// protocol one.
+    pub durable: bool,
 }
 
 impl Default for JournalOptions {
@@ -63,6 +69,7 @@ impl Default for JournalOptions {
             checkpoint_every: 64,
             pace_ms: 0,
             chunk_r_classes: 8,
+            durable: true,
         }
     }
 }
@@ -93,7 +100,7 @@ pub fn run_journaled(
     opts: &JournalOptions,
 ) -> Result<JournaledOutcome, LinkageError> {
     let fp = fingerprint(pipeline, r, s, opts);
-    let mut writer = JournalWriter::create(path, fp)?;
+    let mut writer = JournalWriter::create_with(path, fp, opts.durable)?;
     let cfg_text = format!("{:?}", pipeline.config());
     writer.append(K_CONFIG, cfg_text.as_bytes())?;
     execute(pipeline, r, s, writer, &[], false, opts)
@@ -109,7 +116,7 @@ pub fn resume(
     opts: &JournalOptions,
 ) -> Result<JournaledOutcome, LinkageError> {
     let fp = fingerprint(pipeline, r, s, opts);
-    let (recovered, writer) = JournalWriter::resume(path, fp)?;
+    let (recovered, writer) = JournalWriter::resume_with(path, fp, opts.durable)?;
     execute(pipeline, r, s, writer, &recovered.frames, true, opts)
 }
 
@@ -369,6 +376,8 @@ fn journal_outcome(
     if opts.checkpoint_every > 0 && *since_checkpoint >= opts.checkpoint_every {
         let session = runner.checkpoint();
         writer.append(K_SMC_CHECKPOINT, &pprl_smc::encode_session(&session))?;
+        // A checkpoint that is not on stable storage is not a checkpoint.
+        writer.sync()?;
         *since_checkpoint = 0;
     }
     if opts.pace_ms > 0 {

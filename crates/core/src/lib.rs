@@ -26,6 +26,7 @@ mod metrics;
 pub mod party_run;
 mod pipeline;
 mod scenario;
+pub mod serve;
 mod truth;
 
 pub use config::LinkageConfig;
@@ -33,6 +34,7 @@ pub use journal_run::{JournalOptions, JournaledOutcome};
 pub use metrics::LinkageMetrics;
 pub use party_run::{run_party, PartyOptions, PartyOutcome};
 pub use pipeline::{HybridLinkage, LinkageOutcome};
+pub use serve::{JobReport, JobStatus, ServeJob, ServeOptions, ServeSummary};
 pub use scenario::{SyntheticScenario, SyntheticScenarioBuilder};
 pub use truth::{count_matches_in_class_pair, GroundTruth};
 pub use pprl_net::{NetStats, Role};
@@ -54,6 +56,16 @@ pub enum LinkageError {
     /// A networked party run was misconfigured or lost a peer it could
     /// not degrade around (see [`party_run`]).
     Net(String),
+    /// A daemon job crashed repeatedly and was benched while the rest of
+    /// the fleet kept running (see [`serve`]).
+    Quarantined {
+        /// The quarantined job's name.
+        job: String,
+        /// Worker attempts consumed before the bench.
+        crashes: u32,
+        /// The last crash or error, rendered.
+        last_error: String,
+    },
 }
 
 impl std::fmt::Display for LinkageError {
@@ -65,6 +77,14 @@ impl std::fmt::Display for LinkageError {
             LinkageError::Smc(e) => write!(f, "smc: {e}"),
             LinkageError::Journal(why) => write!(f, "journal: {why}"),
             LinkageError::Net(why) => write!(f, "net: {why}"),
+            LinkageError::Quarantined {
+                job,
+                crashes,
+                last_error,
+            } => write!(
+                f,
+                "job {job:?} quarantined after {crashes} failed attempts: {last_error}"
+            ),
         }
     }
 }

@@ -64,6 +64,11 @@ pub const K_PARTY_KEY: u8 = 20;
 /// `u32`, decision code `u8` (as in `journal_run`), ledger delta (96
 /// bytes).
 pub const K_PARTY_PAIR: u8 = 21;
+/// Frame kind: the job finished and its report was emitted (empty
+/// payload). Written by the serve daemon *after* the report file is
+/// durable, so a restarted daemon re-serves finished jobs from disk
+/// instead of re-executing them.
+pub const K_PARTY_DONE: u8 = 22;
 
 const PAIR_FRAME_LEN: usize = 8 + 4 + 4 + 1 + CostLedger::WIRE_LEN;
 
@@ -89,6 +94,10 @@ pub struct PartyOptions {
     /// Total time one operation may wait on a peer (reconnects included)
     /// before the session degrades or fails.
     pub deadline: Duration,
+    /// Journal durability: fsync on create and at commit points (see
+    /// [`pprl_journal::JournalWriter`]). `false` keeps kill-only tests
+    /// fast.
+    pub durable: bool,
 }
 
 impl PartyOptions {
@@ -103,6 +112,7 @@ impl PartyOptions {
             resume: false,
             timeout: Duration::from_secs(1),
             deadline: Duration::from_secs(30),
+            durable: true,
         }
     }
 }
@@ -126,13 +136,16 @@ pub struct PartyOutcome {
     pub live_pairs: u64,
 }
 
-/// Runs one party of the distributed session to completion.
-pub fn run_party(
-    pipeline: &HybridLinkage,
-    r: &DataSet,
-    s: &DataSet,
-    opts: &PartyOptions,
-) -> Result<PartyOutcome, LinkageError> {
+/// Validates the pipeline configuration for networked deployment and
+/// returns the batched-Paillier mode seed.
+///
+/// A wall-clock [`DeadlineBudget`] *is* allowed (unlike earlier
+/// revisions): only the querier's clock is consulted, and once it expires
+/// the querier abandons its remaining pairs locally while *draining* the
+/// oblivious holders — acking their stragglers off-ledger so they finish
+/// their deterministic walks and ship their ledgers home (see
+/// [`PeerChannel::drain_stragglers`]). One clock decides; nobody drifts.
+pub(crate) fn batched_seed(pipeline: &HybridLinkage) -> Result<u64, LinkageError> {
     let cfg = pipeline.config();
     let SmcMode::PaillierBatched { seed, .. } = cfg.mode else {
         return Err(LinkageError::Net(
@@ -144,64 +157,67 @@ pub fn run_party(
             "party mode uses a real network; drop the simulated channel".into(),
         ));
     }
-    if !matches!(cfg.deadline, DeadlineBudget::None) {
-        return Err(LinkageError::Net(
-            "party mode forbids a wall-clock deadline: three clocks drift three ways".into(),
-        ));
-    }
-    check_schemas(r, s)?;
-    let rule = cfg.rule(r.schema());
-    let fp = journal_run::fingerprint(pipeline, r, s, &JournalOptions::default());
+    Ok(seed)
+}
 
-    // Journal first: the hello must announce the restored watermark.
-    let (progress, writer) = match &opts.journal {
-        None => (PartyProgress::default(), None),
-        Some(path) if opts.resume => {
-            let (recovered, writer) = JournalWriter::resume(path, fp)?;
-            (parse_party_frames(&recovered.frames)?, Some(writer))
+/// Opens (or resumes) a per-party journal; the hello must announce the
+/// restored watermark, so this happens before any connection.
+pub(crate) fn open_party_journal(
+    journal: Option<&PathBuf>,
+    resume: bool,
+    fp: u64,
+    durable: bool,
+) -> Result<(PartyProgress, Option<JournalWriter>), LinkageError> {
+    match journal {
+        None => Ok((PartyProgress::default(), None)),
+        Some(path) if resume => {
+            let (recovered, writer) = JournalWriter::resume_with(path, fp, durable)?;
+            Ok((parse_party_frames(&recovered.frames)?, Some(writer)))
         }
-        Some(path) => (
+        Some(path) => Ok((
             PartyProgress::default(),
-            Some(JournalWriter::create(path, fp)?),
-        ),
-    };
-    let resumed = opts.resume;
+            Some(JournalWriter::create_with(path, fp, durable)?),
+        )),
+    }
+}
 
-    // Steps 1–2, replicated deterministically by every party.
-    let r_view = Anonymizer::new(cfg.method_r, cfg.k_r).anonymize(r, &cfg.qids)?;
-    let s_view = Anonymizer::new(cfg.method_s, cfg.k_s).anonymize(s, &cfg.qids)?;
-    let blocking =
-        BlockingEngine::new(rule.clone()).run_parallel(&r_view, &s_view, pipeline.threads())?;
-
-    let session = Session {
-        fp,
-        seed,
-        timeout: Some(opts.timeout),
-        policy: ReconnectPolicy {
-            attempt_delay: Duration::from_millis(100),
-            deadline: opts.deadline,
-        },
-    };
-    let step = pipeline.smc_step();
-
+/// Runs one party of the distributed session to completion.
+pub fn run_party(
+    pipeline: &HybridLinkage,
+    r: &DataSet,
+    s: &DataSet,
+    opts: &PartyOptions,
+) -> Result<PartyOutcome, LinkageError> {
     match opts.role {
         Role::Query => {
-            let (outcome, stats, replayed, live) = run_querier(
-                pipeline, r, s, &rule, r_view, s_view, blocking, step, &session, opts, progress,
-                writer,
-            )?;
-            let ledger = outcome.ledger.clone();
-            Ok(PartyOutcome {
-                outcome: Some(outcome),
-                ledger,
-                net: stats,
-                resumed,
-                replayed_pairs: replayed,
-                live_pairs: live,
-            })
+            let listen = opts.listen.as_deref().unwrap_or("127.0.0.1:0");
+            let mux =
+                Arc::new(SessionMux::bind(listen, Some(opts.timeout)).map_err(net_err)?);
+            announce(&mux, Role::Query);
+            let (mut outcome, _writer) = querier_job(pipeline, r, s, opts, mux.clone(), None)?;
+            outcome.net.merge(&mux.stats());
+            Ok(outcome)
         }
         Role::Alice | Role::Bob => {
-            let runner = step.start(
+            let seed = batched_seed(pipeline)?;
+            let cfg = pipeline.config();
+            check_schemas(r, s)?;
+            let rule = cfg.rule(r.schema());
+            let fp = journal_run::fingerprint(pipeline, r, s, &JournalOptions::default());
+            let (progress, writer) =
+                open_party_journal(opts.journal.as_ref(), opts.resume, fp, opts.durable)?;
+            let resumed = opts.resume;
+
+            // Steps 1–2, replicated deterministically by every party.
+            let r_view = Anonymizer::new(cfg.method_r, cfg.k_r).anonymize(r, &cfg.qids)?;
+            let s_view = Anonymizer::new(cfg.method_s, cfg.k_s).anonymize(s, &cfg.qids)?;
+            let blocking = BlockingEngine::new(rule.clone()).run_parallel(
+                &r_view,
+                &s_view,
+                pipeline.threads(),
+            )?;
+            let session = Session::new(fp, seed, opts);
+            let runner = pipeline.smc_step().start(
                 r,
                 s,
                 &r_view,
@@ -224,6 +240,56 @@ pub fn run_party(
     }
 }
 
+/// The querier's whole job against a caller-supplied listener: journal
+/// open/replay, deterministic phases, the networked session, the merged
+/// report. This is the unit a [`serve`](crate::serve) daemon runs per
+/// admitted job (sharing one gated mux and a warm keypair across jobs);
+/// [`run_party`] wraps it for the one-shot CLI. Returns the journal
+/// writer so the daemon can append its done-marker after the report is
+/// durable. The mux's own stats are *not* merged here — a daemon shares
+/// the mux across jobs; one-shot callers merge it themselves.
+pub(crate) fn querier_job(
+    pipeline: &HybridLinkage,
+    r: &DataSet,
+    s: &DataSet,
+    opts: &PartyOptions,
+    mux: Arc<SessionMux>,
+    warm: Option<&pprl_crypto::Keypair>,
+) -> Result<(PartyOutcome, Option<JournalWriter>), LinkageError> {
+    let seed = batched_seed(pipeline)?;
+    let cfg = pipeline.config();
+    check_schemas(r, s)?;
+    let rule = cfg.rule(r.schema());
+    let fp = journal_run::fingerprint(pipeline, r, s, &JournalOptions::default());
+    let (progress, writer) =
+        open_party_journal(opts.journal.as_ref(), opts.resume, fp, opts.durable)?;
+    let resumed = opts.resume;
+
+    let r_view = Anonymizer::new(cfg.method_r, cfg.k_r).anonymize(r, &cfg.qids)?;
+    let s_view = Anonymizer::new(cfg.method_s, cfg.k_s).anonymize(s, &cfg.qids)?;
+    let blocking =
+        BlockingEngine::new(rule.clone()).run_parallel(&r_view, &s_view, pipeline.threads())?;
+    let session = Session::new(fp, seed, opts);
+    let step = pipeline.smc_step();
+
+    let (outcome, stats, replayed, live, writer) = run_querier(
+        pipeline, r, s, &rule, r_view, s_view, blocking, step, &session, progress, writer, mux,
+        warm,
+    )?;
+    let ledger = outcome.ledger.clone();
+    Ok((
+        PartyOutcome {
+            outcome: Some(outcome),
+            ledger,
+            net: stats,
+            resumed,
+            replayed_pairs: replayed,
+            live_pairs: live,
+        },
+        writer,
+    ))
+}
+
 /// Connection parameters shared by every channel this party opens.
 struct Session {
     fp: u64,
@@ -233,6 +299,18 @@ struct Session {
 }
 
 impl Session {
+    fn new(fp: u64, seed: u64, opts: &PartyOptions) -> Self {
+        Session {
+            fp,
+            seed,
+            timeout: Some(opts.timeout),
+            policy: ReconnectPolicy {
+                retry: pprl_crypto::protocol::RetryPolicy::default(),
+                deadline: opts.deadline,
+            },
+        }
+    }
+
     fn hello(&self, role: Role, progress: &PartyProgress) -> Hello {
         let mut hello = Hello::new(role, self.fp);
         hello.watermark = progress.watermark();
@@ -243,11 +321,14 @@ impl Session {
 
 /// Recovered party-journal state.
 #[derive(Default)]
-struct PartyProgress {
+pub(crate) struct PartyProgress {
     /// Key-broadcast frame: the ledger delta and the raw key message.
     key: Option<(CostLedger, Vec<u8>)>,
     /// Committed pairs in append order: watermark, event, ledger delta.
     pairs: Vec<(u64, PairEvent, CostLedger)>,
+    /// Whether a [`K_PARTY_DONE`] marker closed the journal: the job
+    /// finished and its report file is durable on disk.
+    pub(crate) done: bool,
 }
 
 impl PartyProgress {
@@ -268,10 +349,11 @@ impl PartyProgress {
     }
 }
 
-fn parse_party_frames(frames: &[Frame]) -> Result<PartyProgress, LinkageError> {
+pub(crate) fn parse_party_frames(frames: &[Frame]) -> Result<PartyProgress, LinkageError> {
     let mut progress = PartyProgress::default();
     for frame in frames {
         match frame.kind {
+            K_PARTY_DONE => progress.done = true,
             K_PARTY_KEY => {
                 let p = &frame.payload;
                 if p.len() < CostLedger::WIRE_LEN {
@@ -337,7 +419,7 @@ fn delta_of(now: &CostLedger, before: &CostLedger) -> Result<CostLedger, Linkage
         .ok_or_else(|| LinkageError::Net("cost ledger moved backwards".into()))
 }
 
-fn announce(mux: &SessionMux, role: Role) {
+pub(crate) fn announce(mux: &SessionMux, role: Role) {
     // Test drivers parse this line to learn the ephemeral port.
     eprintln!("pprl-net: {role} listening on {}", mux.local_addr());
 }
@@ -392,19 +474,22 @@ impl RemoteParty for SharedParty {
     ) -> Result<(), SmcError> {
         let mut guard = self.lock()?;
         let net = &mut *guard;
-        let restored = net.restored_broadcast;
+        if net.restored_broadcast {
+            // The journaled key frame is only ever written after both
+            // holders acked the broadcast — and each holder journals the
+            // key *before* acking — so a restored session has nothing to
+            // send and its cost already lives in the journaled delta.
+            // Reaching for the holders here would also deadlock a resumed
+            // daemon: a mid-pipeline holder has no reason to re-dial the
+            // querier until its own next operation touches this link.
+            return Ok(());
+        }
         for holder in [&mut net.alice, &mut net.bob] {
-            // One key message per holder, recorded exactly once across
-            // crashes: a fresh broadcast records; a restored one already
-            // lives in the journaled delta. Delivery is independently
-            // idempotent — a holder whose hello shows the key is skipped.
-            if !restored {
-                ledger.record_message(key_message.len());
-            }
-            let have_key = holder.peer_hello().is_some_and(|h| h.have_key);
-            if !have_key {
-                holder.send_data(0, key_message).map_err(smc_net_err)?;
-            }
+            // One key message per holder, recorded exactly once. Delivery
+            // is independently idempotent — send_data skips the wire when
+            // the holder's (re)connect hello already shows the key.
+            ledger.record_message(key_message.len());
+            holder.send_data(0, key_message).map_err(smc_net_err)?;
         }
         Ok(())
     }
@@ -456,11 +541,15 @@ fn run_querier(
     blocking: pprl_blocking::BlockingOutcome,
     step: pprl_smc::SmcStep,
     session: &Session,
-    opts: &PartyOptions,
     progress: PartyProgress,
     mut writer: Option<JournalWriter>,
-) -> Result<(LinkageOutcome, NetStats, u64, u64), LinkageError> {
-    let mut runner = step.start(
+    mux: Arc<SessionMux>,
+    warm: Option<&pprl_crypto::Keypair>,
+) -> Result<(LinkageOutcome, NetStats, u64, u64, Option<JournalWriter>), LinkageError> {
+    // Warm-state reuse across daemon jobs: a cached keypair (keyed by the
+    // mode's Paillier parameters) skips the prime search — the expensive
+    // part of session setup.
+    let mut runner = step.start_warm(
         r,
         s,
         &r_view,
@@ -468,27 +557,29 @@ fn run_querier(
         &blocking.unknown,
         rule,
         blocking.total_pairs,
+        warm,
     )?;
-    let listen = opts.listen.as_deref().unwrap_or("127.0.0.1:0");
-    let mux = Arc::new(SessionMux::bind(listen, session.timeout).map_err(net_err)?);
-    announce(&mux, Role::Query);
+    // Lazy accepts: the querier must not block on either holder before it
+    // knows which one will speak first. A fresh session connects both at
+    // the key broadcast anyway; a *resumed* session may find Alice
+    // mid-pipeline with no reason to re-dial until her ledger send (she
+    // blocks on Bob, who blocks on us), so each channel claims its
+    // holder's dial only when an operation actually needs the link.
     let hello = session.hello(Role::Query, &progress);
-    let alice = PeerChannel::accept(
+    let alice = PeerChannel::accept_lazy(
         Arc::clone(&mux),
         hello,
         Role::Alice,
         session.timeout,
         session.policy,
-    )
-    .map_err(net_err)?;
-    let bob = PeerChannel::accept(
+    );
+    let bob = PeerChannel::accept_lazy(
         Arc::clone(&mux),
         hello,
         Role::Bob,
         session.timeout,
         session.policy,
-    )
-    .map_err(net_err)?;
+    );
 
     // Replay the journal: decisions re-applied, per-pair cost deltas
     // merged, no crypto re-executed.
@@ -512,6 +603,11 @@ fn run_querier(
     if progress.key.is_none() {
         let delta = delta_of(runner.ledger(), &before_key)?;
         append(&mut writer, K_PARTY_KEY, &delta.encode())?;
+        // The broadcast is on the wire; a crash before this frame is
+        // durable would re-record its cost on resume.
+        if let Some(w) = writer.as_mut() {
+            w.sync()?;
+        }
     }
 
     let mut live = 0u64;
@@ -550,18 +646,25 @@ fn run_querier(
         .lock()
         .map_err(|_| LinkageError::Net("querier net state poisoned".into()))?;
     guard.commit();
+    if !matches!(pipeline.config().deadline, DeadlineBudget::None) {
+        // A deadline is the querier's alone: the holders walk their full
+        // deterministic pair sequence regardless. Drain their stragglers
+        // off-ledger so they reach their own send_ledger instead of
+        // retransmitting forever at a silent peer.
+        guard.alice.drain_stragglers();
+        guard.bob.drain_stragglers();
+    }
     let alice_ledger = guard.alice.recv_ledger().map_err(net_err)?;
     let bob_ledger = guard.bob.recv_ledger().map_err(net_err)?;
     let mut stats = guard.alice.stats;
     stats.merge(&guard.bob.stats);
     drop(guard);
-    stats.merge(&mux.stats());
     runner.absorb_remote_costs(&alice_ledger);
     runner.absorb_remote_costs(&bob_ledger);
 
     let smc = runner.finish();
     let outcome = pipeline.finalize(r, s, rule, r_view, s_view, blocking, smc);
-    Ok((outcome, stats, replayed, live))
+    Ok((outcome, stats, replayed, live, writer))
 }
 
 // ---------------------------------------------------------------------------
@@ -596,14 +699,18 @@ fn run_holder(
                 session.policy,
             )
             .map_err(net_err)?;
-            let bob = PeerChannel::accept(
+            // Lazy: Bob only dials Alice after his own querier handshake
+            // completes, and the (equally lazy) querier only claims Bob's
+            // dial after Alice acked the key broadcast — so Alice must get
+            // to that ack without blocking on Bob here. Her first pair
+            // send claims Bob's connection when it arrives.
+            let bob = PeerChannel::accept_lazy(
                 Arc::clone(&mux),
                 hello,
                 Role::Bob,
                 session.timeout,
                 session.policy,
-            )
-            .map_err(net_err)?;
+            );
             (querier, bob, Some(mux))
         }
         Role::Bob => {

@@ -1,0 +1,494 @@
+//! Linkage-as-a-service: a long-lived querier daemon that serves many
+//! linkage jobs over one listener.
+//!
+//! [`serve`] promotes the one-shot [`run_party`](crate::run_party)
+//! querier into a multi-job server. One [`SessionMux`] accepts every
+//! holder connection; an admission gate routes each `Hello` by its job
+//! fingerprint:
+//!
+//! - **running job** → accepted into the job's session mailboxes;
+//! - **queued job** (the daemon is at `--max-jobs` concurrency) → answered
+//!   with a typed `Busy { retry_after }` frame; the holder's reconnect
+//!   loop absorbs it and redials after the hinted pause;
+//! - **unknown, finished, or quarantined job** → refused.
+//!
+//! ## Per-job crash containment
+//!
+//! Every job runs on its own worker thread under `catch_unwind`, with its
+//! own journal under the daemon's `journal_dir`. A worker that panics or
+//! errors is restarted from its journal up to `max_crashes` attempts; a
+//! job that keeps crashing is *quarantined* — reported as
+//! [`LinkageError::Quarantined`] — while every other job keeps running.
+//! One poisoned job cannot corrupt another: journals are per-job files,
+//! and the shared mux only ever hands a connection to the session whose
+//! fingerprint it carries.
+//!
+//! ## Restart and replay
+//!
+//! A finished job's report is written to `journal_dir/<name>.report`
+//! (fsynced when durable) *before* a [`K_PARTY_DONE`] marker seals its
+//! journal. A restarted daemon therefore re-serves finished jobs from
+//! disk byte-identically without re-executing a single pair, and resumes
+//! only unfinished journals at their watermarks.
+//!
+//! ## Warm state
+//!
+//! Paillier prime generation — the expensive part of session setup — runs
+//! once per distinct `(modulus_bits, seed)` and is reused by every job
+//! with those parameters ([`SmcStep::start_warm`]); the cached keypair
+//! carries an optional pre-filled [`RandomizerPool`] shared by all its
+//! clones.
+//!
+//! ## Graceful drain
+//!
+//! When the caller's `drain` flag flips (the CLI wires it to `SIGTERM`),
+//! the daemon stops starting queued jobs, lets in-flight jobs finish and
+//! seal their journals, and returns; still-queued jobs come back as
+//! [`JobStatus::Drained`] and resume on the next start.
+//!
+//! [`K_PARTY_DONE`]: crate::party_run::K_PARTY_DONE
+//! [`SmcStep::start_warm`]: pprl_smc::SmcStep::start_warm
+//! [`RandomizerPool`]: pprl_crypto::RandomizerPool
+
+use crate::journal_run::{self, JournalOptions};
+use crate::party_run::{
+    announce, batched_seed, parse_party_frames, querier_job, PartyOptions, PartyOutcome,
+    K_PARTY_DONE,
+};
+use crate::{HybridLinkage, LinkageError};
+use pprl_crypto::Keypair;
+use pprl_data::DataSet;
+use pprl_net::{Admission, AdmissionGate, NetStats, Role, SessionMux};
+use pprl_smc::SmcMode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+use std::fs::File;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// One linkage job the daemon should serve: a named pipeline over its two
+/// input sets. Every party of the job must be configured identically —
+/// the shared-scenario fingerprint in the handshake enforces it.
+pub struct ServeJob {
+    /// Stable name; also the stem of the job's journal and report files.
+    pub name: String,
+    /// The configured pipeline (batched Paillier, no simulated channel).
+    pub pipeline: HybridLinkage,
+    /// Left input.
+    pub left: DataSet,
+    /// Right input.
+    pub right: DataSet,
+}
+
+/// Daemon knobs.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Listener bind address for every job's holders.
+    pub listen: String,
+    /// Directory for per-job journals (`<name>.pprlj`) and finished
+    /// reports (`<name>.report`).
+    pub journal_dir: PathBuf,
+    /// Concurrent session bound; excess holders get `Busy`.
+    pub max_jobs: usize,
+    /// The pause hinted inside a `Busy` answer.
+    pub retry_after: Duration,
+    /// Worker attempts (crash or error) before a job is quarantined.
+    pub max_crashes: u32,
+    /// Socket poll timeout (one slice, not the give-up bound).
+    pub timeout: Duration,
+    /// Per-operation reconnect deadline inside each session.
+    pub net_deadline: Duration,
+    /// Fsync journals and reports at commit points; `false` keeps
+    /// kill-only tests fast.
+    pub durable: bool,
+    /// Pre-fill this many Paillier randomizers into each cached keypair's
+    /// shared pool (`0` skips the pool).
+    pub pool_prefill: usize,
+    /// Threads for the pool pre-fill.
+    pub pool_threads: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            listen: "127.0.0.1:0".to_string(),
+            journal_dir: PathBuf::from("."),
+            max_jobs: 2,
+            retry_after: Duration::from_millis(200),
+            max_crashes: 3,
+            timeout: Duration::from_secs(1),
+            net_deadline: Duration::from_secs(30),
+            durable: true,
+            pool_prefill: 0,
+            pool_threads: 1,
+        }
+    }
+}
+
+/// How one job ended, inside a [`ServeSummary`].
+#[derive(Debug)]
+pub enum JobStatus {
+    /// Ran (or resumed) to completion in this daemon process. Boxed:
+    /// an outcome is ~1 KiB and the other variants are a few words.
+    Finished(Box<PartyOutcome>),
+    /// Sealed by a previous daemon process; its report was re-served
+    /// from disk without re-executing any pair.
+    AlreadyDone,
+    /// Crashed `crashes` times and was benched; the rest of the fleet
+    /// kept running. See [`LinkageError::Quarantined`].
+    Quarantined {
+        /// Worker attempts consumed.
+        crashes: u32,
+        /// The last crash or error, rendered.
+        last_error: String,
+    },
+    /// Never started: the daemon drained first. Resumes next start.
+    Drained,
+}
+
+/// One job's slice of the daemon's final accounting.
+#[derive(Debug)]
+pub struct JobReport {
+    /// The job's name.
+    pub name: String,
+    /// Its shared-scenario fingerprint.
+    pub fingerprint: u64,
+    /// The rendered report text (fresh or re-served), when finished.
+    pub report: Option<String>,
+    /// How the job ended.
+    pub status: JobStatus,
+}
+
+/// Everything a drained or completed daemon knows.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// Per-job outcomes, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// The shared listener's wire accounting (handshakes, busys).
+    pub net: NetStats,
+    /// Whether the daemon exited because its drain flag flipped.
+    pub drained: bool,
+}
+
+/// What the admission gate knows about a fingerprint.
+#[derive(Clone, Copy, PartialEq)]
+enum GateState {
+    /// Known job waiting for a worker slot: answer `Busy`.
+    Queued,
+    /// Worker live: route to its mailboxes.
+    Running,
+    /// Finished or quarantined: refuse.
+    Closed,
+}
+
+/// Per-job bookkeeping the supervisor loop owns.
+struct JobSlot {
+    fingerprint: u64,
+    journal: PathBuf,
+    report: PathBuf,
+    crashes: u32,
+    status: Option<JobStatus>,
+    report_text: Option<String>,
+}
+
+fn check_name(name: &str) -> Result<(), LinkageError> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if ok {
+        Ok(())
+    } else {
+        Err(LinkageError::Net(format!(
+            "job name {name:?} is not filesystem-safe (use [A-Za-z0-9._-])"
+        )))
+    }
+}
+
+/// Writes a finished job's report with the same durability contract as
+/// its journal: contents fsynced, then the directory entry.
+fn write_report(path: &Path, text: &str, durable: bool) -> Result<(), LinkageError> {
+    let io = |e: std::io::Error| LinkageError::Journal(format!("{}: {e}", path.display()));
+    let mut file = File::create(path).map_err(io)?;
+    file.write_all(text.as_bytes()).map_err(io)?;
+    if durable {
+        file.sync_data().map_err(io)?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            File::open(parent).and_then(|d| d.sync_all()).map_err(io)?;
+        }
+    }
+    Ok(())
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// Runs the multi-job party server until every job is finished,
+/// quarantined, or the `drain` flag flips. `render` turns a finished
+/// querier outcome into the report text persisted beside the journal and
+/// re-served verbatim after a restart.
+pub fn serve(
+    jobs: &[ServeJob],
+    opts: &ServeOptions,
+    drain: &AtomicBool,
+    render: &(dyn Fn(&ServeJob, &PartyOutcome) -> String + Sync),
+) -> Result<ServeSummary, LinkageError> {
+    if opts.max_jobs == 0 {
+        return Err(LinkageError::Net("--max-jobs must be at least 1".into()));
+    }
+    if jobs.is_empty() {
+        return Err(LinkageError::Net("serve needs at least one job".into()));
+    }
+    std::fs::create_dir_all(&opts.journal_dir)
+        .map_err(|e| LinkageError::Journal(format!("{}: {e}", opts.journal_dir.display())))?;
+
+    // Admit-table setup: fingerprint each job, detect journals sealed by
+    // a previous daemon process, and queue the rest. No worker threads
+    // exist yet, so the table is built bare and locked only afterwards.
+    let mut slots = Vec::with_capacity(jobs.len());
+    let mut params = Vec::with_capacity(jobs.len());
+    let mut gate_states: HashMap<u64, GateState> = HashMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (i, job) in jobs.iter().enumerate() {
+        check_name(&job.name)?;
+        batched_seed(&job.pipeline)?; // fail fast on a misconfigured job
+        let SmcMode::PaillierBatched { modulus_bits, seed } = job.pipeline.config().mode else {
+            // batched_seed just admitted the mode; keep the path typed anyway.
+            return Err(LinkageError::Net(format!(
+                "job {:?}: daemon jobs require SmcMode::PaillierBatched",
+                job.name
+            )));
+        };
+        params.push((modulus_bits, seed));
+        let fp = journal_run::fingerprint(
+            &job.pipeline,
+            &job.left,
+            &job.right,
+            &JournalOptions::default(),
+        );
+        let mut slot = JobSlot {
+            fingerprint: fp,
+            journal: opts.journal_dir.join(format!("{}.pprlj", job.name)),
+            report: opts.journal_dir.join(format!("{}.report", job.name)),
+            crashes: 0,
+            status: None,
+            report_text: None,
+        };
+        if slot.journal.exists() {
+            let recovered = pprl_journal::recover(&slot.journal)?;
+            if recovered.fingerprint != fp {
+                return Err(LinkageError::Journal(format!(
+                    "journal {} belongs to a different job (fingerprint {:016x}, \
+                     job {:?} has {fp:016x})",
+                    slot.journal.display(),
+                    recovered.fingerprint,
+                    job.name
+                )));
+            }
+            if parse_party_frames(&recovered.frames)?.done {
+                // Sealed: the done marker is only ever written after the
+                // report file is durable, so this read cannot miss.
+                let text = std::fs::read_to_string(&slot.report).map_err(|e| {
+                    LinkageError::Journal(format!("{}: {e}", slot.report.display()))
+                })?;
+                slot.report_text = Some(text);
+                slot.status = Some(JobStatus::AlreadyDone);
+            }
+        }
+        let state = gate_states.insert(
+            fp,
+            if slot.status.is_some() {
+                GateState::Closed
+            } else {
+                GateState::Queued
+            },
+        );
+        if state.is_some() {
+            return Err(LinkageError::Net(format!(
+                "jobs {:?} and an earlier job share fingerprint {fp:016x}: \
+                 identical inputs and config are one job, not two",
+                job.name
+            )));
+        }
+        if slot.status.is_none() {
+            queue.push_back(i);
+        }
+        slots.push(slot);
+    }
+    let table = Arc::new(Mutex::new(gate_states));
+
+    let gate: AdmissionGate = {
+        let table = Arc::clone(&table);
+        let retry_after = opts.retry_after;
+        Arc::new(move |hello| {
+            let state = table
+                .lock()
+                .ok()
+                .and_then(|t| t.get(&hello.fingerprint).copied());
+            match state {
+                Some(GateState::Running) => Admission::Accept,
+                Some(GateState::Queued) => Admission::Busy { retry_after },
+                Some(GateState::Closed) | None => Admission::Refuse,
+            }
+        })
+    };
+    let mux = Arc::new(
+        SessionMux::bind_gated(&opts.listen, Some(opts.timeout), Some(gate))
+            .map_err(|e| LinkageError::Net(e.to_string()))?,
+    );
+    announce(&mux, Role::Query);
+
+    let set_state = |fp: u64, state: GateState| {
+        if let Ok(mut t) = table.lock() {
+            t.insert(fp, state);
+        }
+    };
+
+    // Warm keypairs: prime generation once per distinct Paillier
+    // parameters, pool attached before the first clone so every job
+    // shares it.
+    let mut warm: HashMap<(usize, u64), Arc<Keypair>> = HashMap::new();
+    let mut warm_keys = |bits: usize, seed: u64| -> Arc<Keypair> {
+        Arc::clone(warm.entry((bits, seed)).or_insert_with(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut keys = Keypair::generate(&mut rng, bits);
+            if opts.pool_prefill > 0 {
+                let pool = pprl_crypto::RandomizerPool::prefill(
+                    keys.public(),
+                    opts.pool_prefill,
+                    opts.pool_threads.max(1),
+                    seed,
+                );
+                let _ = keys.attach_pool(pool);
+            }
+            Arc::new(keys)
+        }))
+    };
+
+    let (tx, rx) = mpsc::channel::<(usize, Result<PartyOutcome, String>)>();
+    std::thread::scope(|scope| -> Result<(), LinkageError> {
+        let mut active = 0usize;
+        loop {
+            while active < opts.max_jobs && !drain.load(Ordering::SeqCst) {
+                let Some(i) = queue.pop_front() else { break };
+                let (Some(job), Some(slot), Some(&(bits, seed))) =
+                    (jobs.get(i), slots.get(i), params.get(i))
+                else {
+                    break; // the queue only ever holds indices it was built from
+                };
+                let keys = warm_keys(bits, seed);
+                let mut popts = PartyOptions::new(Role::Query);
+                popts.journal = Some(slot.journal.clone());
+                popts.resume = slot.journal.exists();
+                popts.timeout = opts.timeout;
+                popts.deadline = opts.net_deadline;
+                popts.durable = opts.durable;
+                set_state(slot.fingerprint, GateState::Running);
+                let tx = tx.clone();
+                let mux = Arc::clone(&mux);
+                let report_path = slot.report.clone();
+                let durable = opts.durable;
+                active += 1;
+                scope.spawn(move || {
+                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                        querier_job(
+                            &job.pipeline,
+                            &job.left,
+                            &job.right,
+                            &popts,
+                            mux,
+                            Some(&keys),
+                        )
+                    }));
+                    let sealed = match attempt {
+                        Ok(Ok((outcome, writer))) => {
+                            // Two-phase finish: report durable first, then
+                            // the done marker. A crash between the two
+                            // re-runs the (fully journaled) job, which
+                            // replays instantly and rewrites the same
+                            // bytes.
+                            let text = render(job, &outcome);
+                            write_report(&report_path, &text, durable)
+                                .and_then(|()| {
+                                    if let Some(mut w) = writer {
+                                        w.append(K_PARTY_DONE, &[])?;
+                                        w.sync()?;
+                                    }
+                                    Ok(())
+                                })
+                                .map(|()| outcome)
+                                .map_err(|e| e.to_string())
+                        }
+                        Ok(Err(e)) => Err(e.to_string()),
+                        Err(payload) => Err(panic_text(payload)),
+                    };
+                    let _ = tx.send((i, sealed));
+                });
+            }
+            if active == 0 {
+                break;
+            }
+            // recv can only fail once every sender is gone, and the
+            // original `tx` outlives the loop — but stay panic-free.
+            let Ok((i, sealed)) = rx.recv() else { break };
+            active -= 1;
+            let (Some(slot), Some(job)) = (slots.get_mut(i), jobs.get(i)) else {
+                continue; // workers only ever report indices they were given
+            };
+            match sealed {
+                Ok(outcome) => {
+                    set_state(slot.fingerprint, GateState::Closed);
+                    slot.report_text = Some(render(job, &outcome));
+                    slot.status = Some(JobStatus::Finished(Box::new(outcome)));
+                }
+                Err(why) => {
+                    slot.crashes += 1;
+                    eprintln!(
+                        "pprl-serve: job {:?} attempt {} failed: {why}",
+                        job.name, slot.crashes
+                    );
+                    if slot.crashes >= opts.max_crashes {
+                        set_state(slot.fingerprint, GateState::Closed);
+                        slot.status = Some(JobStatus::Quarantined {
+                            crashes: slot.crashes,
+                            last_error: why,
+                        });
+                    } else {
+                        set_state(slot.fingerprint, GateState::Queued);
+                        queue.push_back(i);
+                    }
+                }
+            }
+        }
+        Ok(())
+    })?;
+
+    let drained = drain.load(Ordering::SeqCst);
+    let reports = slots
+        .into_iter()
+        .zip(jobs)
+        .map(|(slot, job)| JobReport {
+            name: job.name.clone(),
+            fingerprint: slot.fingerprint,
+            report: slot.report_text,
+            status: slot.status.unwrap_or(JobStatus::Drained),
+        })
+        .collect();
+    Ok(ServeSummary {
+        jobs: reports,
+        net: mux.stats(),
+        drained,
+    })
+}

@@ -71,6 +71,27 @@ impl RetryPolicy {
         let jitter = (base as f64 * self.jitter.clamp(0.0, 1.0) * rng.gen::<f64>()) as u64;
         (base + jitter).min(self.max_delay_ms)
     }
+
+    /// [`backoff_ms`](Self::backoff_ms) for callers without a `rand`
+    /// dependency (the stdlib-only socket layer): the jitter fraction is
+    /// drawn from a caller-threaded splitmix64 state instead of an RNG.
+    /// Same shape, same bounds, equally deterministic for a given state.
+    pub fn backoff_ms_seeded(&self, attempt: u32, state: &mut u64) -> u64 {
+        let shift = attempt.saturating_sub(1).min(16);
+        let base = self
+            .base_delay_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_delay_ms);
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // 53 uniform bits → a fraction in [0, 1), as `gen::<f64>()` does.
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let jitter = (base as f64 * self.jitter.clamp(0.0, 1.0) * unit) as u64;
+        (base + jitter).min(self.max_delay_ms)
+    }
 }
 
 /// Per-receiver duplicate-detection state plus the sender-side retry loop.

@@ -262,14 +262,44 @@ pub fn recover(path: &Path) -> Result<Recovered, JournalError> {
 /// loses at most the frame being written; call
 /// [`sync`](JournalWriter::sync) at checkpoints to also survive a killed
 /// *machine*.
+///
+/// ## Durability
+///
+/// By default the writer is *durable*: creation fsyncs both the new file
+/// and its parent directory (a crash cannot resurrect a journal whose
+/// directory entry never reached disk), and [`sync`](JournalWriter::sync)
+/// fsyncs at checkpoints. [`create_with`](JournalWriter::create_with) /
+/// [`resume_with`](JournalWriter::resume_with) with `durable = false`
+/// turn every fsync into a no-op — for tests and benchmarks that only
+/// model process crashes, where the page cache is already safe.
 #[derive(Debug)]
 pub struct JournalWriter {
     file: File,
+    durable: bool,
+}
+
+/// Fsyncs a file's parent directory so the directory entry itself is
+/// durable (file fsync alone does not cover the name → inode link).
+fn sync_parent_dir(path: &Path) -> Result<(), JournalError> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        File::open(parent)?.sync_all()?;
+    }
+    Ok(())
 }
 
 impl JournalWriter {
-    /// Creates (or truncates) a journal for a fresh run.
+    /// Creates (or truncates) a journal for a fresh run, with full
+    /// durability (see the type docs).
     pub fn create(path: &Path, fingerprint: u64) -> Result<Self, JournalError> {
+        Self::create_with(path, fingerprint, true)
+    }
+
+    /// [`create`](Self::create) with explicit durability.
+    pub fn create_with(
+        path: &Path,
+        fingerprint: u64,
+        durable: bool,
+    ) -> Result<Self, JournalError> {
         let mut file = OpenOptions::new()
             .write(true)
             .create(true)
@@ -277,13 +307,27 @@ impl JournalWriter {
             .open(path)?;
         file.write_all(&encode_header(fingerprint))?;
         file.flush()?;
-        Ok(JournalWriter { file })
+        if durable {
+            file.sync_data()?;
+            sync_parent_dir(path)?;
+        }
+        Ok(JournalWriter { file, durable })
     }
 
     /// Reopens an existing journal for resumption: parses the valid
     /// prefix, validates the fingerprint against the resuming job,
     /// truncates any torn tail, and positions the writer at the end.
+    /// Durable (see the type docs).
     pub fn resume(path: &Path, fingerprint: u64) -> Result<(Recovered, Self), JournalError> {
+        Self::resume_with(path, fingerprint, true)
+    }
+
+    /// [`resume`](Self::resume) with explicit durability.
+    pub fn resume_with(
+        path: &Path,
+        fingerprint: u64,
+        durable: bool,
+    ) -> Result<(Recovered, Self), JournalError> {
         let recovered = recover(path)?;
         if recovered.fingerprint != fingerprint {
             return Err(JournalError::FingerprintMismatch {
@@ -293,9 +337,13 @@ impl JournalWriter {
         }
         let file = OpenOptions::new().write(true).read(true).open(path)?;
         file.set_len(recovered.valid_len)?;
-        let mut writer = JournalWriter { file };
+        let mut writer = JournalWriter { file, durable };
         use std::io::Seek;
         writer.file.seek(std::io::SeekFrom::End(0))?;
+        if durable {
+            // The truncation of a torn tail must not itself be torn.
+            writer.file.sync_data()?;
+        }
         Ok((recovered, writer))
     }
 
@@ -306,9 +354,12 @@ impl JournalWriter {
         Ok(())
     }
 
-    /// Forces written frames to stable storage (fsync).
+    /// Forces written frames to stable storage (fsync). A no-op for a
+    /// writer opened with `durable = false`.
     pub fn sync(&self) -> Result<(), JournalError> {
-        self.file.sync_data()?;
+        if self.durable {
+            self.file.sync_data()?;
+        }
         Ok(())
     }
 }

@@ -24,6 +24,10 @@ pub const K_DATA: u8 = 2;
 pub const K_LEDGER: u8 = 3;
 /// Orderly end of stream; nothing follows.
 pub const K_GOODBYE: u8 = 4;
+/// Admission refused for now: a [`Busy`](crate::hello::Busy) payload
+/// telling the dialer when to retry. Sent by a gated
+/// [`SessionMux`](crate::mux::SessionMux) in place of the hello reply.
+pub const K_BUSY: u8 = 5;
 
 /// Fixed bytes around every payload: kind, length, checksum.
 pub const FRAME_OVERHEAD: usize = 1 + 4 + 8;

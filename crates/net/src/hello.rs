@@ -165,9 +165,66 @@ impl Hello {
     }
 }
 
+/// Wire magic opening every `Busy` payload.
+pub const BUSY_MAGIC: &[u8; 4] = b"PBSY";
+
+/// Fixed `Busy` payload size.
+pub const BUSY_LEN: usize = 4 + 8;
+
+/// Bounded-admission pushback: the reply a gated listener sends in place
+/// of a hello when the job is known but cannot start yet (the daemon is
+/// at its concurrency cap, or draining). The dialer holds its state,
+/// sleeps `retry_after_ms` off-ledger, and re-dials; nothing about the
+/// session is lost or duplicated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Busy {
+    /// Suggested pause before the dialer's next attempt.
+    pub retry_after_ms: u64,
+}
+
+impl Busy {
+    /// Serializes to the fixed-width payload of a `K_BUSY` frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(BUSY_LEN);
+        buf.extend_from_slice(BUSY_MAGIC);
+        buf.extend_from_slice(&self.retry_after_ms.to_le_bytes());
+        buf
+    }
+
+    /// Parses a `K_BUSY` payload.
+    pub fn decode(payload: &[u8]) -> Result<Busy, NetError> {
+        let &[m0, m1, m2, m3, r0, r1, r2, r3, r4, r5, r6, r7] = payload else {
+            return Err(NetError::Handshake(format!(
+                "busy payload has {} bytes, expected {BUSY_LEN}",
+                payload.len()
+            )));
+        };
+        if [m0, m1, m2, m3] != *BUSY_MAGIC {
+            return Err(NetError::Handshake("bad busy magic".into()));
+        }
+        Ok(Busy {
+            retry_after_ms: u64::from_le_bytes([r0, r1, r2, r3, r4, r5, r6, r7]),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn busy_roundtrips() {
+        let b = Busy {
+            retry_after_ms: 1_234,
+        };
+        let bytes = b.encode();
+        assert_eq!(bytes.len(), BUSY_LEN);
+        assert_eq!(Busy::decode(&bytes).unwrap(), b);
+        assert!(Busy::decode(&bytes[..BUSY_LEN - 1]).is_err());
+        let mut bad = bytes;
+        bad[0] = b'X';
+        assert!(Busy::decode(&bad).is_err());
+    }
 
     #[test]
     fn hello_roundtrips() {

@@ -30,11 +30,12 @@ pub mod hello;
 pub mod mux;
 pub mod peer;
 pub mod stream;
+pub(crate) mod trace;
 pub mod transport;
 
 pub use frame::{encode_frame, FrameDecoder, FRAME_OVERHEAD, MAX_FRAME_LEN};
-pub use hello::{Hello, Role, NET_VERSION};
-pub use mux::SessionMux;
+pub use hello::{Busy, Hello, Role, NET_VERSION};
+pub use mux::{Admission, AdmissionGate, SessionMux};
 pub use peer::{IncomingData, PeerChannel, ReconnectPolicy};
 pub use stream::FramedStream;
 pub use transport::TcpTransport;
@@ -55,6 +56,10 @@ pub enum NetError {
     Handshake(String),
     /// The peer stayed unreachable past the reconnect policy's deadline.
     PeerGone(String),
+    /// The listener knows the job but cannot admit it yet (concurrency
+    /// cap or drain); the payload is the suggested retry pause in ms.
+    /// Transient: the dialer's reconnect loop absorbs it.
+    Busy(u64),
     /// The peer sent something protocol-incoherent (wrong frame kind,
     /// wrong pair id) that dedup/reconnect cannot explain.
     Protocol(String),
@@ -69,6 +74,7 @@ impl std::fmt::Display for NetError {
             NetError::Frame(why) => write!(f, "frame error: {why}"),
             NetError::Handshake(why) => write!(f, "handshake refused: {why}"),
             NetError::PeerGone(why) => write!(f, "peer unreachable: {why}"),
+            NetError::Busy(ms) => write!(f, "peer busy, retry in {ms} ms"),
             NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
         }
     }
@@ -103,6 +109,16 @@ pub struct NetStats {
     pub duplicates: u64,
     /// Connections (re-)established after the initial handshake.
     pub reconnects: u64,
+    /// `Busy` pushbacks: received and honored (dialer side), or sent in
+    /// place of admission (gated listener side).
+    pub busy: u64,
+    /// Total time slept in reconnect backoff and busy pauses. Off-ledger
+    /// by construction: deployment patience, not protocol cost.
+    pub backoff_ms: u64,
+    /// Fresh data envelopes acked-and-discarded while draining a channel
+    /// that stopped consuming (deadline expiry): the peer completes its
+    /// walk, this side no longer processes the payloads.
+    pub drained: u64,
 }
 
 impl NetStats {
@@ -115,6 +131,9 @@ impl NetStats {
         self.retransmits += other.retransmits;
         self.duplicates += other.duplicates;
         self.reconnects += other.reconnects;
+        self.busy += other.busy;
+        self.backoff_ms += other.backoff_ms;
+        self.drained += other.drained;
     }
 }
 
@@ -122,14 +141,18 @@ impl std::fmt::Display for NetStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} frames out / {} in, {} bytes out / {} in, {} retransmits, {} dups, {} reconnects",
+            "{} frames out / {} in, {} bytes out / {} in, {} retransmits, {} dups, \
+             {} reconnects, {} busy, {} ms backoff, {} drained",
             self.frames_sent,
             self.frames_received,
             self.bytes_sent,
             self.bytes_received,
             self.retransmits,
             self.duplicates,
-            self.reconnects
+            self.reconnects,
+            self.busy,
+            self.backoff_ms,
+            self.drained
         )
     }
 }

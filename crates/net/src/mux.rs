@@ -9,9 +9,10 @@
 //! their own key, so concurrent sessions resolve deterministically no
 //! matter the order connections arrive in.
 
-use crate::frame::K_HELLO;
-use crate::hello::{Hello, Role};
+use crate::frame::{K_BUSY, K_HELLO};
+use crate::hello::{Busy, Hello, Role};
 use crate::stream::FramedStream;
+use crate::trace::net_trace;
 use crate::{NetError, NetStats};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
@@ -23,6 +24,117 @@ use std::time::{Duration, Instant};
 /// dropping it (an unresponsive dialer must not stall other sessions).
 const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Binds the listener — with `SO_REUSEADDR` on Linux, so a restarted
+/// daemon can rebind its announced port while the dead process's
+/// connections still linger in `TIME_WAIT`/`FIN_WAIT`. `std` offers no
+/// pre-bind socket options, so the Linux path drives the platform libc
+/// (already linked) directly; everywhere else this is a plain
+/// `TcpListener::bind`, and a quick restart may have to wait the port
+/// out.
+fn bind_listener(addr: &str) -> std::io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    {
+        use std::net::ToSocketAddrs;
+        let mut last: Option<std::io::Error> = None;
+        for candidate in addr.to_socket_addrs()? {
+            let bound = match candidate {
+                SocketAddr::V4(v4) => bind_reuseaddr_v4(v4),
+                other => TcpListener::bind(other),
+            };
+            match bound {
+                Ok(listener) => return Ok(listener),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+    #[cfg(not(target_os = "linux"))]
+    TcpListener::bind(addr)
+}
+
+/// `socket` + `SO_REUSEADDR` + `bind` + `listen`, handed back to `std` as
+/// a regular `TcpListener`. IPv4 only; v6 candidates take the plain path.
+#[cfg(target_os = "linux")]
+fn bind_reuseaddr_v4(addr: std::net::SocketAddrV4) -> std::io::Result<TcpListener> {
+    use std::os::fd::FromRawFd;
+
+    // struct sockaddr_in, fixed 16-byte layout; port and address are
+    // already big-endian on the wire side.
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port: [u8; 2],
+        addr: [u8; 4],
+        zero: [u8; 8],
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        // From here every failure path must release the raw fd.
+        let fail = |fd: i32| {
+            let e = std::io::Error::last_os_error();
+            close(fd);
+            Err(e)
+        };
+        let one: i32 = 1;
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) < 0 {
+            return fail(fd);
+        }
+        let sa = SockaddrIn {
+            family: AF_INET as u16,
+            port: addr.port().to_be_bytes(),
+            addr: addr.ip().octets(),
+            zero: [0; 8],
+        };
+        if bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) < 0 {
+            return fail(fd);
+        }
+        if listen(fd, 128) < 0 {
+            return fail(fd);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+/// What a gated listener does with an identified connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Route the stream to its session mailbox as usual.
+    Accept,
+    /// Known job, no capacity: answer with a typed [`Busy`] frame telling
+    /// the dialer when to come back, then close. Bounded memory — the
+    /// stream is never queued.
+    Busy {
+        /// Suggested pause before the dialer's next attempt.
+        retry_after: Duration,
+    },
+    /// Unknown or terminal job: close without a reply. Legitimate peers
+    /// of live jobs never see this; a drifted or stale dialer gives up at
+    /// its own reconnect deadline.
+    Refuse,
+}
+
+/// Admission policy consulted by the accept loop for every identified
+/// connection, *including reconnections* — gates must admit peers of
+/// jobs already in flight or crash recovery deadlocks.
+pub type AdmissionGate = Arc<dyn Fn(&Hello) -> Admission + Send + Sync>;
+
 struct MuxShared {
     shutdown: AtomicBool,
     mailboxes: Mutex<HashMap<(u64, Role), Vec<(FramedStream, Hello)>>>,
@@ -30,6 +142,8 @@ struct MuxShared {
     stats: Mutex<NetStats>,
     /// Read/write timeout applied to streams after their hello clears.
     stream_timeout: Option<Duration>,
+    /// Admission policy; `None` admits everything (one-shot party mode).
+    gate: Option<AdmissionGate>,
 }
 
 /// A shared listener routing handshaken connections to session workers.
@@ -44,7 +158,19 @@ impl SessionMux {
     /// accept loop. `stream_timeout` is inherited by every accepted
     /// stream as its read/write timeout.
     pub fn bind(addr: &str, stream_timeout: Option<Duration>) -> Result<Self, NetError> {
-        let listener = TcpListener::bind(addr)?;
+        Self::bind_gated(addr, stream_timeout, None)
+    }
+
+    /// [`bind`](Self::bind) with an admission gate: every identified
+    /// connection is offered to `gate` before it reaches a mailbox, so a
+    /// daemon can bound concurrent sessions ([`Admission::Busy`]) and
+    /// refuse unknown or finished jobs ([`Admission::Refuse`]).
+    pub fn bind_gated(
+        addr: &str,
+        stream_timeout: Option<Duration>,
+        gate: Option<AdmissionGate>,
+    ) -> Result<Self, NetError> {
+        let listener = bind_listener(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shared = Arc::new(MuxShared {
@@ -53,6 +179,7 @@ impl SessionMux {
             arrived: Condvar::new(),
             stats: Mutex::new(NetStats::default()),
             stream_timeout,
+            gate,
         });
         let worker = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -98,6 +225,7 @@ impl SessionMux {
             if let Some(queue) = boxes.get_mut(&(fingerprint, role)) {
                 if !queue.is_empty() {
                     let (stream, hello) = queue.remove(0);
+                    net_trace!("mux claim {role} for {fingerprint:016x}");
                     return Ok((stream, hello));
                 }
             }
@@ -153,14 +281,58 @@ fn accept_loop(listener: TcpListener, shared: Arc<MuxShared>) {
                         Ok((stream, Hello::decode(&payload)?))
                     });
                 match hello {
-                    Ok((stream, hello)) => {
-                        if let Ok(mut boxes) = shared.mailboxes.lock() {
-                            boxes
-                                .entry((hello.fingerprint, hello.role))
-                                .or_default()
-                                .push((stream, hello));
+                    Ok((mut stream, hello)) => {
+                        let verdict = match &shared.gate {
+                            Some(gate) => gate(&hello),
+                            None => Admission::Accept,
+                        };
+                        match verdict {
+                            Admission::Accept => {
+                                net_trace!(
+                                    "mux park {} for {:016x} (wm={} key={})",
+                                    hello.role, hello.fingerprint, hello.watermark, hello.have_key
+                                );
+                                if let Ok(mut boxes) = shared.mailboxes.lock() {
+                                    // A dialer keeps exactly one connection
+                                    // in flight per (job, role): a fresh dial
+                                    // means any parked stream in the same
+                                    // mailbox was already abandoned at the
+                                    // dialer's own timeout. Replace instead
+                                    // of queueing — otherwise a session that
+                                    // sat behind the admission gate for a
+                                    // while hands its worker a backlog of
+                                    // dead sockets, and the worker burns a
+                                    // full handshake timeout on each one
+                                    // while live dials pile up behind them.
+                                    // Also bounds parked memory to one
+                                    // stream per mailbox.
+                                    let slot = boxes
+                                        .entry((hello.fingerprint, hello.role))
+                                        .or_default();
+                                    slot.clear();
+                                    slot.push((stream, hello));
+                                }
+                                shared.arrived.notify_all();
+                            }
+                            Admission::Busy { retry_after } => {
+                                net_trace!(
+                                    "mux busy {} for {:016x} ({retry_after:?})",
+                                    hello.role, hello.fingerprint
+                                );
+                                let busy = Busy {
+                                    retry_after_ms: retry_after.as_millis() as u64,
+                                };
+                                let mut stats = NetStats::default();
+                                stats.busy += 1;
+                                // Best-effort: a dialer that misses the
+                                // frame falls back to its own backoff.
+                                let _ = stream.send(K_BUSY, &busy.encode(), &mut stats);
+                                if let Ok(mut total) = shared.stats.lock() {
+                                    total.merge(&stats);
+                                }
+                            }
+                            Admission::Refuse => {}
                         }
-                        shared.arrived.notify_all();
                     }
                     // A connection that never identified itself is simply
                     // dropped; legitimate peers re-dial and try again.
@@ -210,6 +382,30 @@ mod tests {
     }
 
     #[test]
+    fn redial_replaces_parked_stream() {
+        let mux = SessionMux::bind("127.0.0.1:0", Some(Duration::from_secs(5))).unwrap();
+        let addr = mux.local_addr();
+        // The dialer gives up on its first attempt (no reply in time) and
+        // redials; the mailbox must hold only the fresh stream, not a
+        // growing backlog of abandoned ones.
+        let _stale = dial_with_hello(addr, Hello::new(Role::Alice, 7));
+        let mut fresh = dial_with_hello(addr, Hello::new(Role::Alice, 7));
+        let mut stats = NetStats::default();
+        fresh.send(K_DATA, b"fresh", &mut stats).unwrap();
+        // Let the accept loop route both dials before claiming.
+        std::thread::sleep(Duration::from_millis(300));
+        let (mut stream, hello) = mux.wait_conn(7, Role::Alice, Duration::from_secs(5)).unwrap();
+        assert_eq!(hello.role, Role::Alice);
+        let (kind, payload) = stream.recv(&mut stats).unwrap();
+        assert_eq!(kind, K_DATA);
+        assert_eq!(payload, b"fresh");
+        // And nothing else is parked: a second claim times out.
+        assert!(mux
+            .wait_conn(7, Role::Alice, Duration::from_millis(50))
+            .is_err());
+    }
+
+    #[test]
     fn concurrent_sessions_resolve_deterministically() {
         let mux = std::sync::Arc::new(
             SessionMux::bind("127.0.0.1:0", Some(Duration::from_secs(5))).unwrap(),
@@ -229,6 +425,72 @@ mod tests {
             hello.fingerprint
         });
         assert_eq!(got, fingerprints);
+    }
+
+    #[test]
+    fn gated_busy_is_absorbed_by_the_dialers_reconnect_loop() {
+        use crate::peer::{PeerChannel, ReconnectPolicy};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let calls = Arc::new(AtomicUsize::new(0));
+        let gate_calls = Arc::clone(&calls);
+        let gate: AdmissionGate = Arc::new(move |_h: &Hello| {
+            if gate_calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                Admission::Busy {
+                    retry_after: Duration::from_millis(20),
+                }
+            } else {
+                Admission::Accept
+            }
+        });
+        let timeout = Some(Duration::from_millis(500));
+        let mux = Arc::new(SessionMux::bind_gated("127.0.0.1:0", timeout, Some(gate)).unwrap());
+        let addr = mux.local_addr();
+        let policy = ReconnectPolicy {
+            deadline: Duration::from_secs(10),
+            ..ReconnectPolicy::default()
+        };
+        let mux2 = Arc::clone(&mux);
+        let acceptor = std::thread::spawn(move || {
+            PeerChannel::accept(mux2, Hello::new(Role::Bob, 5), Role::Alice, timeout, policy)
+                .unwrap()
+        });
+        let dialer = PeerChannel::connect(
+            addr,
+            Hello::new(Role::Alice, 5),
+            Role::Bob,
+            timeout,
+            policy,
+        )
+        .unwrap();
+        acceptor.join().unwrap();
+        assert_eq!(dialer.stats.busy, 2, "both pushbacks were honored");
+        assert!(dialer.stats.backoff_ms >= 40, "busy pauses were slept");
+        assert!(mux.stats().busy >= 2, "the gate counted its pushbacks");
+    }
+
+    #[test]
+    fn gated_refusal_surfaces_as_peer_gone() {
+        use crate::peer::{PeerChannel, ReconnectPolicy};
+
+        let gate: AdmissionGate = Arc::new(|_h: &Hello| Admission::Refuse);
+        let timeout = Some(Duration::from_millis(100));
+        let mux = SessionMux::bind_gated("127.0.0.1:0", timeout, Some(gate)).unwrap();
+        let policy = ReconnectPolicy {
+            deadline: Duration::from_millis(400),
+            ..ReconnectPolicy::default()
+        };
+        let err = match PeerChannel::connect(
+            mux.local_addr(),
+            Hello::new(Role::Alice, 9),
+            Role::Bob,
+            timeout,
+            policy,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("a refused dialer connected anyway"),
+        };
+        assert!(matches!(err, NetError::PeerGone(_)));
     }
 
     #[test]

@@ -34,12 +34,14 @@
 //! [`ReliableLink`]: pprl_crypto::protocol::ReliableLink
 //! [`CostLedger`]: pprl_crypto::CostLedger
 
-use crate::frame::{K_DATA, K_GOODBYE, K_HELLO, K_LEDGER};
-use crate::hello::{Hello, Role};
+use crate::frame::{K_BUSY, K_DATA, K_GOODBYE, K_HELLO, K_LEDGER};
+use crate::hello::{Busy, Hello, Role};
 use crate::mux::SessionMux;
+use crate::trace::net_trace;
 use crate::stream::FramedStream;
 use crate::{NetError, NetStats};
 use pprl_crypto::protocol::transport::{Envelope, FrameKind, ENVELOPE_OVERHEAD};
+use pprl_crypto::protocol::RetryPolicy;
 use pprl_crypto::CostLedger;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -48,8 +50,11 @@ use std::time::{Duration, Instant};
 /// Reconnection behavior when a connection drops mid-session.
 #[derive(Clone, Copy, Debug)]
 pub struct ReconnectPolicy {
-    /// Pause between dial attempts.
-    pub attempt_delay: Duration,
+    /// Backoff between dial attempts: the protocol layer's
+    /// [`RetryPolicy`] exponential-with-jitter schedule (`max_retries` is
+    /// ignored here — `deadline` bounds the loop instead). A `Busy`
+    /// pushback overrides the schedule with the listener's own hint.
+    pub retry: RetryPolicy,
     /// Total time one operation may spend waiting for the peer (including
     /// reconnects and retransmissions) before reporting `PeerGone`.
     pub deadline: Duration,
@@ -58,7 +63,7 @@ pub struct ReconnectPolicy {
 impl Default for ReconnectPolicy {
     fn default() -> Self {
         ReconnectPolicy {
-            attempt_delay: Duration::from_millis(100),
+            retry: RetryPolicy::default(),
             deadline: Duration::from_secs(30),
         }
     }
@@ -99,6 +104,16 @@ pub struct PeerChannel {
     pending_ledger: Option<Vec<u8>>,
     timeout: Option<Duration>,
     policy: ReconnectPolicy,
+    /// Consecutive failed (re)connect attempts, for the backoff schedule;
+    /// reset by every successful handshake.
+    attempt: u32,
+    /// Jitter state for the rand-free backoff (seeded per channel so
+    /// parallel sessions don't thunder in phase).
+    jitter: u64,
+    /// Drain mode: this side stopped consuming data (deadline expiry) but
+    /// keeps acking fresh envelopes off-ledger during the ledger wait, so
+    /// the peer can finish its walk instead of stalling into `PeerGone`.
+    drain: bool,
     /// Wire accounting (see crate docs: never part of the cost ledger).
     pub stats: NetStats,
 }
@@ -123,9 +138,15 @@ impl PeerChannel {
             pending_ledger: None,
             timeout,
             policy,
+            attempt: 0,
+            jitter: local.fingerprint ^ ((local.role as u64) << 8) ^ expect_role as u64,
+            drain: false,
             stats: NetStats::default(),
         };
-        channel.establish(Instant::now())?;
+        // The loop, not a single attempt: the listener may answer `Busy`
+        // (admission cap) or not be up yet; both resolve under the policy
+        // deadline.
+        channel.regain(Instant::now())?;
         Ok(channel)
     }
 
@@ -138,7 +159,30 @@ impl PeerChannel {
         timeout: Option<Duration>,
         policy: ReconnectPolicy,
     ) -> Result<Self, NetError> {
-        let mut channel = PeerChannel {
+        let mut channel = Self::accept_lazy(mux, local, expect_role, timeout, policy);
+        channel.regain(Instant::now())?;
+        Ok(channel)
+    }
+
+    /// Like [`accept`](Self::accept), but defers claiming a connection
+    /// until the first operation needs one.
+    ///
+    /// A session that owns channels to several peers must not block on any
+    /// one of them at setup: mid-run peers only re-dial when their own next
+    /// operation touches this link, so an eager accept here can deadlock
+    /// against a peer that is itself blocked on a third party (the resumed
+    /// daemon querier waiting for Alice while Alice waits for Bob and Bob
+    /// waits for the querier). Each operation already reconnects on demand
+    /// under its own deadline, which claims the peer's dial whenever it
+    /// arrives.
+    pub fn accept_lazy(
+        mux: Arc<SessionMux>,
+        local: Hello,
+        expect_role: Role,
+        timeout: Option<Duration>,
+        policy: ReconnectPolicy,
+    ) -> Self {
+        PeerChannel {
             endpoint: Endpoint::Accept(mux),
             local,
             expect_role,
@@ -149,10 +193,11 @@ impl PeerChannel {
             pending_ledger: None,
             timeout,
             policy,
+            attempt: 0,
+            jitter: local.fingerprint ^ ((local.role as u64) << 8) ^ expect_role as u64,
+            drain: false,
             stats: NetStats::default(),
-        };
-        channel.establish(Instant::now())?;
-        Ok(channel)
+        }
     }
 
     /// The peer's most recent announcement.
@@ -172,6 +217,7 @@ impl PeerChannel {
         let reconnecting = self.peer_hello.is_some();
         match &self.endpoint {
             Endpoint::Dial(addr) => {
+                net_trace!("{} dial {} ({addr})", self.local.role, self.expect_role);
                 let socket = TcpStream::connect_timeout(
                     addr,
                     self.timeout.unwrap_or(Duration::from_secs(10)),
@@ -179,6 +225,11 @@ impl PeerChannel {
                 let mut stream = FramedStream::new(socket, self.timeout)?;
                 stream.send(K_HELLO, &self.local.encode(), &mut self.stats)?;
                 let (kind, payload) = stream.recv(&mut self.stats)?;
+                if kind == K_BUSY {
+                    let busy = Busy::decode(&payload)?;
+                    net_trace!("{} dial {}: busy {}ms", self.local.role, self.expect_role, busy.retry_after_ms);
+                    return Err(NetError::Busy(busy.retry_after_ms));
+                }
                 if kind != K_HELLO {
                     return Err(NetError::Handshake(format!(
                         "expected hello reply, got frame kind {kind}"
@@ -186,10 +237,15 @@ impl PeerChannel {
                 }
                 let hello = Hello::decode(&payload)?;
                 hello.verify(self.expect_role, self.local.fingerprint)?;
+                net_trace!(
+                    "{} dial {}: handshake done (peer wm={} key={})",
+                    self.local.role, self.expect_role, hello.watermark, hello.have_key
+                );
                 self.conn = Some(stream);
                 self.peer_hello = Some(hello);
             }
             Endpoint::Accept(mux) => {
+                net_trace!("{} accept-wait {}", self.local.role, self.expect_role);
                 let (mut stream, hello) = mux.wait_conn(
                     self.local.fingerprint,
                     self.expect_role,
@@ -197,6 +253,10 @@ impl PeerChannel {
                 )?;
                 hello.verify(self.expect_role, self.local.fingerprint)?;
                 stream.send(K_HELLO, &self.local.encode(), &mut self.stats)?;
+                net_trace!(
+                    "{} accept {}: claimed + replied (peer wm={} key={})",
+                    self.local.role, self.expect_role, hello.watermark, hello.have_key
+                );
                 self.conn = Some(stream);
                 self.peer_hello = Some(hello);
             }
@@ -204,11 +264,16 @@ impl PeerChannel {
         if reconnecting {
             self.stats.reconnects += 1;
         }
+        self.attempt = 0;
         Ok(())
     }
 
     /// Drops a dead connection and blocks until a new one is handshaken,
-    /// bounded by the operation deadline that started at `start`.
+    /// bounded by the operation deadline that started at `start`. Failed
+    /// attempts back off on the policy's exponential-with-jitter schedule;
+    /// a `Busy` pushback sleeps the listener's own hint instead. Every
+    /// pause is off-ledger deployment patience, metered in
+    /// [`NetStats::backoff_ms`].
     fn regain(&mut self, start: Instant) -> Result<(), NetError> {
         self.conn = None;
         loop {
@@ -218,11 +283,23 @@ impl PeerChannel {
                     self.expect_role, self.policy.deadline
                 )));
             }
-            match self.establish(start) {
+            let pause_ms = match self.establish(start) {
                 Ok(()) => return Ok(()),
                 Err(NetError::PeerGone(why)) => return Err(NetError::PeerGone(why)),
-                Err(_) => std::thread::sleep(self.policy.attempt_delay),
-            }
+                Err(NetError::Busy(retry_after_ms)) => {
+                    self.stats.busy += 1;
+                    retry_after_ms
+                }
+                Err(e) => {
+                    net_trace!("{} regain {}: attempt failed: {e}", self.local.role, self.expect_role);
+                    self.attempt = self.attempt.saturating_add(1);
+                    self.policy.retry.backoff_ms_seeded(self.attempt, &mut self.jitter)
+                }
+            };
+            let remaining = self.policy.deadline.saturating_sub(start.elapsed());
+            let pause = Duration::from_millis(pause_ms).min(remaining);
+            self.stats.backoff_ms += pause.as_millis() as u64;
+            std::thread::sleep(pause);
         }
     }
 
@@ -279,6 +356,10 @@ impl PeerChannel {
                 self.regain(start)?;
                 // The fresh hello may already prove delivery.
                 if self.peer_committed(pair_id) {
+                    net_trace!(
+                        "{} send pair {pair_id} -> {}: proven by hello",
+                        self.local.role, self.expect_role
+                    );
                     return Ok(());
                 }
             }
@@ -293,10 +374,18 @@ impl PeerChannel {
                 Ok(()) => {
                     if sent_once {
                         self.stats.retransmits += 1;
+                        net_trace!(
+                            "{} send pair {pair_id} -> {}: retransmit",
+                            self.local.role, self.expect_role
+                        );
                     }
                     sent_once = true;
                 }
                 Err(_) => {
+                    net_trace!(
+                        "{} send pair {pair_id} -> {}: conn dropped on write",
+                        self.local.role, self.expect_role
+                    );
                     self.conn = None;
                     continue;
                 }
@@ -343,6 +432,10 @@ impl PeerChannel {
                 Ok((K_DATA, payload)) => match Envelope::decode(&payload) {
                     Ok(env) if env.kind == FrameKind::Ack => {
                         if env.pair_id == pair_id && env.seq == seq {
+                            net_trace!(
+                                "{} send pair {pair_id} -> {}: acked",
+                                self.local.role, self.expect_role
+                            );
                             return Ok(true);
                         }
                         // Stale ack from before a reconnect: ignore.
@@ -359,8 +452,18 @@ impl PeerChannel {
                 Ok((K_GOODBYE, _)) => {}
                 Ok((K_HELLO, _)) => {}
                 Ok((_, _)) => {}
-                Err(NetError::Timeout) => return Ok(false),
-                Err(_) => {
+                Err(NetError::Timeout) => {
+                    net_trace!(
+                        "{} send pair {pair_id} -> {}: ack window timed out",
+                        self.local.role, self.expect_role
+                    );
+                    return Ok(false);
+                }
+                Err(e) => {
+                    net_trace!(
+                        "{} send pair {pair_id} -> {}: conn died awaiting ack: {e}",
+                        self.local.role, self.expect_role
+                    );
                     self.conn = None;
                     return Ok(false);
                 }
@@ -397,6 +500,10 @@ impl PeerChannel {
                 Ok((K_DATA, payload)) => match Envelope::decode(&payload) {
                     Ok(env) if env.kind == FrameKind::Data => {
                         if let Some(incoming) = self.screen(env) {
+                            net_trace!(
+                                "{} recv pair {} from {}",
+                                self.local.role, incoming.pair_id, self.expect_role
+                            );
                             return Ok(incoming);
                         }
                     }
@@ -456,6 +563,17 @@ impl PeerChannel {
         self.ack_off_ledger(incoming.pair_id, incoming.seq);
     }
 
+    /// Switches this receiver into drain mode: it no longer consumes data
+    /// envelopes (the session's deadline expired and remaining pairs were
+    /// abandoned locally), but during [`recv_ledger`](Self::recv_ledger)
+    /// it still acks fresh envelopes off-ledger so the oblivious peer can
+    /// complete its deterministic walk and ship its cost summary instead
+    /// of stalling into `PeerGone`. Drained pairs are never committed to
+    /// the dedup watermark — they were abandoned, not processed.
+    pub fn drain_stragglers(&mut self) {
+        self.drain = true;
+    }
+
     /// Sends the end-of-session cost summary followed by a goodbye.
     pub fn send_ledger(&mut self, ledger: &CostLedger) -> Result<(), NetError> {
         let start = Instant::now();
@@ -486,8 +604,13 @@ impl PeerChannel {
     }
 
     /// Blocks for the peer's end-of-session cost summary.
+    ///
+    /// The deadline here is a *liveness* bound — it restarts whenever a
+    /// frame arrives — because a draining peer may legitimately stream a
+    /// long tail of pairs (see [`drain_stragglers`](Self::drain_stragglers))
+    /// before its summary; only silence counts against it.
     pub fn recv_ledger(&mut self) -> Result<CostLedger, NetError> {
-        let start = Instant::now();
+        let mut start = Instant::now();
         loop {
             if let Some(payload) = self.pending_ledger.take() {
                 return CostLedger::decode(&payload).ok_or_else(|| {
@@ -515,15 +638,26 @@ impl PeerChannel {
             match received {
                 Ok((K_LEDGER, payload)) => self.pending_ledger = Some(payload),
                 Ok((K_DATA, payload)) => {
-                    // A late retransmission: keep the dedup contract alive.
+                    start = Instant::now();
                     if let Ok(env) = Envelope::decode(&payload) {
-                        if env.kind == FrameKind::Data && self.is_duplicate(&env) {
+                        if env.kind != FrameKind::Data {
+                            continue;
+                        }
+                        if self.is_duplicate(&env) {
+                            // A late retransmission: keep the dedup
+                            // contract alive.
                             self.stats.duplicates += 1;
+                            self.ack_off_ledger(env.pair_id, env.seq);
+                        } else if self.drain {
+                            // Deadline drain: ack-and-discard so the
+                            // oblivious sender keeps walking. Off-ledger
+                            // and uncommitted — the pair was abandoned.
+                            self.stats.drained += 1;
                             self.ack_off_ledger(env.pair_id, env.seq);
                         }
                     }
                 }
-                Ok((_, _)) => {}
+                Ok((_, _)) => start = Instant::now(),
                 Err(NetError::Timeout) => {}
                 Err(_) => self.conn = None,
             }
@@ -541,7 +675,11 @@ mod tests {
     ) -> (PeerChannel, PeerChannel, Arc<SessionMux>) {
         let timeout = Some(Duration::from_millis(timeout_ms));
         let policy = ReconnectPolicy {
-            attempt_delay: Duration::from_millis(10),
+            retry: RetryPolicy {
+                base_delay_ms: 5,
+                max_delay_ms: 50,
+                ..RetryPolicy::default()
+            },
             deadline: Duration::from_millis(deadline_ms),
         };
         let mux = Arc::new(SessionMux::bind("127.0.0.1:0", timeout).unwrap());
@@ -611,7 +749,11 @@ mod tests {
     fn sender_survives_a_receiver_restart() {
         let timeout = Some(Duration::from_millis(150));
         let policy = ReconnectPolicy {
-            attempt_delay: Duration::from_millis(10),
+            retry: RetryPolicy {
+                base_delay_ms: 5,
+                max_delay_ms: 50,
+                ..RetryPolicy::default()
+            },
             deadline: Duration::from_secs(10),
         };
         let mux = Arc::new(SessionMux::bind("127.0.0.1:0", timeout).unwrap());

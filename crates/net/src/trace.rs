@@ -1,0 +1,34 @@
+//! Opt-in wire tracing for live diagnosis of handshake and reconnect
+//! behavior: set `PPRL_NET_TRACE=1` and every channel/mux event prints a
+//! timestamped line to stderr. Off (one relaxed atomic load) otherwise —
+//! never enabled in tests or benchmarks, never on the ledger.
+
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+fn enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("PPRL_NET_TRACE").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+    })
+}
+
+/// Prints one trace line (pid, millisecond timestamp, event) when
+/// `PPRL_NET_TRACE` is set.
+pub(crate) fn trace(args: std::fmt::Arguments<'_>) {
+    if !enabled() {
+        return;
+    }
+    let ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() % 100_000_000)
+        .unwrap_or(0);
+    eprintln!("pprl-net-trace[{} {ms}] {args}", std::process::id());
+}
+
+macro_rules! net_trace {
+    ($($arg:tt)*) => {
+        crate::trace::trace(format_args!($($arg)*))
+    };
+}
+pub(crate) use net_trace;

@@ -473,10 +473,34 @@ impl SmcStep {
         rule: &MatchingRule,
         total_pairs: u64,
     ) -> Result<SmcRunner<'a>, SmcError> {
+        self.start_warm(r_data, s_data, r_view, s_view, unknown, rule, total_pairs, None)
+    }
+
+    /// [`start`](Self::start) with a pre-generated key pair — the
+    /// warm-keypair path of a multi-job daemon, where prime generation
+    /// (the expensive part of session setup) happens once and every job
+    /// with the same Paillier parameters reuses the result. The caller
+    /// must supply a keypair of this mode's `modulus_bits`; a daemon that
+    /// caches by the mode seed gets exactly the pair a cold start would
+    /// have generated. Ignored by the oracle and transported backends.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_warm<'a>(
+        &self,
+        r_data: &'a DataSet,
+        s_data: &'a DataSet,
+        r_view: &'a AnonymizedView,
+        s_view: &'a AnonymizedView,
+        unknown: &[ClassPairRef],
+        rule: &MatchingRule,
+        total_pairs: u64,
+        warm: Option<&Keypair>,
+    ) -> Result<SmcRunner<'a>, SmcError> {
         let budget = self.allowance.budget_pairs(total_pairs);
         let layout = SuppressedLayout::compute(r_data, s_data, r_view, s_view);
         let session = SmcSession::fresh(budget, layout.total);
-        self.attach(session, layout, r_data, s_data, r_view, s_view, unknown, rule)
+        self.attach(
+            session, layout, r_data, s_data, r_view, s_view, unknown, rule, warm,
+        )
     }
 
     /// Revives a checkpointed session: the class-pair ordering is
@@ -509,7 +533,9 @@ impl SmcStep {
                 session.suppressed_total, layout.total
             )));
         }
-        self.attach(session, layout, r_data, s_data, r_view, s_view, unknown, rule)
+        self.attach(
+            session, layout, r_data, s_data, r_view, s_view, unknown, rule, None,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -523,6 +549,7 @@ impl SmcStep {
         s_view: &'a AnonymizedView,
         unknown: &[ClassPairRef],
         rule: &MatchingRule,
+        warm: Option<&Keypair>,
     ) -> Result<SmcRunner<'a>, SmcError> {
         let ordered = order_unknown(r_view, s_view, unknown, rule, self.heuristic);
         if let SessionPhase::Ordered { cursor, .. } = session.phase {
@@ -540,6 +567,7 @@ impl SmcStep {
             r_view.qids(),
             rule,
             &mut session.ledger,
+            warm,
         )?;
         let clock = DeadlineClock::new(self.deadline, session.elapsed_ms);
         Ok(SmcRunner {
@@ -1409,7 +1437,20 @@ impl Comparer {
         qids: &[usize],
         rule: &MatchingRule,
         ledger: &mut CostLedger,
+        warm: Option<&Keypair>,
     ) -> Result<Self, SmcError> {
+        // A warm keypair skips the prime search but leaves the backend
+        // RNG freshly seeded instead of post-generation, so encryption
+        // randomness differs from a cold start. Decisions, message sizes,
+        // and therefore the cost ledger are randomness-independent.
+        let fresh = |warm: Option<&Keypair>, modulus_bits: usize, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let keys = match warm {
+                Some(k) => k.clone(),
+                None => Keypair::generate(&mut rng, modulus_bits),
+            };
+            Box::new(PaillierBackend { keys, rng })
+        };
         let backend = match mode {
             SmcMode::Oracle => Backend::Oracle,
             SmcMode::Paillier { modulus_bits, seed }
@@ -1423,15 +1464,9 @@ impl Comparer {
                         Box::new(TransportedBackend::connect(modulus_bits, seed, ch, ledger)?),
                     ),
                     (SmcMode::PaillierBatched { .. }, None) => {
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        let keys = Keypair::generate(&mut rng, modulus_bits);
-                        Backend::PaillierBatched(Box::new(PaillierBackend { keys, rng }))
+                        Backend::PaillierBatched(fresh(warm, modulus_bits, seed))
                     }
-                    _ => {
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        let keys = Keypair::generate(&mut rng, modulus_bits);
-                        Backend::Paillier(Box::new(PaillierBackend { keys, rng }))
-                    }
+                    _ => Backend::Paillier(fresh(warm, modulus_bits, seed)),
                 }
             }
         };

@@ -1,5 +1,6 @@
 //! Resumable SMC sessions: interrupting a run at a checkpoint — including
-//! a full serialize-to-JSON / deserialize crash simulation — and resuming
+//! a full encode-to-bytes / decode crash simulation through the canonical
+//! binary session codec — and resuming
 //! must yield exactly the labels and allowance spend of an uninterrupted
 //! run, without re-running or double-charging any record pair.
 
@@ -62,16 +63,16 @@ fn oracle_interrupt_at_every_checkpoint_equals_one_shot() {
         .run(&f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
         .unwrap();
 
-    // Crash after every single pair: checkpoint, serialize to JSON, drop
-    // the runner, deserialize, resume.
-    let mut snapshot: Option<String> = None;
+    // Crash after every single pair: checkpoint, encode with the canonical
+    // binary codec, drop the runner, decode, resume.
+    let mut snapshot: Option<Vec<u8>> = None;
     let resumed = loop {
         let mut runner = match snapshot.take() {
             None => s
                 .start(&f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
                 .unwrap(),
-            Some(json) => {
-                let session: SmcSession = serde_json::from_str(&json).unwrap();
+            Some(bytes) => {
+                let session: SmcSession = pprl::smc::decode_session(&bytes).unwrap();
                 s.resume(session, &f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
                     .unwrap()
             }
@@ -79,7 +80,7 @@ fn oracle_interrupt_at_every_checkpoint_equals_one_shot() {
         if runner.step_pairs(1).unwrap() == 0 {
             break runner.finish();
         }
-        snapshot = Some(serde_json::to_string(&runner.checkpoint()).unwrap());
+        snapshot = Some(pprl::smc::encode_session(&runner.checkpoint()));
     };
 
     // Bit-identical outcome: labels, stats, leftovers, budget accounting.
@@ -108,14 +109,14 @@ fn crypto_over_faulty_transport_resumes_without_double_charging() {
     // Interrupt every 7 pairs. Each resume re-broadcasts the public key
     // (honest session setup cost), so wire-byte totals differ — but the
     // labels and the allowance spend must be identical.
-    let mut snapshot: Option<String> = None;
+    let mut snapshot: Option<Vec<u8>> = None;
     let resumed = loop {
         let mut runner = match snapshot.take() {
             None => s
                 .start(&f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
                 .unwrap(),
-            Some(json) => {
-                let session: SmcSession = serde_json::from_str(&json).unwrap();
+            Some(bytes) => {
+                let session: SmcSession = pprl::smc::decode_session(&bytes).unwrap();
                 s.resume(session, &f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
                     .unwrap()
             }
@@ -123,7 +124,7 @@ fn crypto_over_faulty_transport_resumes_without_double_charging() {
         if runner.step_pairs(7).unwrap() == 0 {
             break runner.finish();
         }
-        snapshot = Some(serde_json::to_string(&runner.checkpoint()).unwrap());
+        snapshot = Some(pprl::smc::encode_session(&runner.checkpoint()));
     };
 
     assert_eq!(resumed.matched_pairs, full.matched_pairs);
@@ -149,8 +150,10 @@ fn resume_against_changed_configuration_is_rejected() {
 
     let mut other = s;
     other.allowance = SmcAllowance::Pairs(999);
-    let err = other
-        .resume(session, &f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
-        .unwrap_err();
+    let err = match other.resume(session, &f.d1, &f.d2, &f.v1, &f.v2, &f.unknown, &f.rule, f.total)
+    {
+        Err(e) => e,
+        Ok(_) => panic!("resume with a changed configuration succeeded"),
+    };
     assert!(matches!(err, pprl::smc::SmcError::SessionMismatch(_)));
 }
