@@ -100,10 +100,8 @@ impl Config {
             let err = |what: &str| format!("line {}: {}", lineno + 1, what);
 
             match section.as_str() {
-                "scan" => {
-                    if key == "roots" {
-                        cfg.roots = parse_list(value).ok_or_else(|| err("bad roots list"))?;
-                    }
+                "scan" if key == "roots" => {
+                    cfg.roots = parse_list(value).ok_or_else(|| err("bad roots list"))?;
                 }
                 "secret" => match key.as_str() {
                     "types" => {
@@ -116,10 +114,8 @@ impl Config {
                     }
                     _ => {}
                 },
-                "panic" => {
-                    if key == "paths" {
-                        cfg.panic_paths = parse_list(value).ok_or_else(|| err("bad paths list"))?;
-                    }
+                "panic" if key == "paths" => {
+                    cfg.panic_paths = parse_list(value).ok_or_else(|| err("bad paths list"))?;
                 }
                 "[[ct]]" => {
                     let target = cfg

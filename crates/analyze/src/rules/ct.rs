@@ -184,11 +184,11 @@ fn check_body(
 
 /// Tokens within a short window either side of `i` (same expression,
 /// approximately) — enough to tell `x == secret` from unrelated ops.
-fn neighbors<'a>(
-    toks: &'a [crate::lexer::Token],
+fn neighbors(
+    toks: &[crate::lexer::Token],
     i: usize,
     to: usize,
-) -> impl Iterator<Item = &'a crate::lexer::Token> {
+) -> impl Iterator<Item = &crate::lexer::Token> {
     let lo = i.saturating_sub(3);
     let hi = (i + 4).min(to);
     toks[lo..hi].iter()

@@ -123,9 +123,9 @@ pub fn check(
                             break;
                         }
                         type_name = Some(u.text.clone());
-                    } else if u.kind == TokKind::Open && u.text == "{" {
-                        break;
-                    } else if u.kind == TokKind::Punct && u.text != "::" {
+                    } else if (u.kind == TokKind::Open && u.text == "{")
+                        || (u.kind == TokKind::Punct && u.text != "::")
+                    {
                         break;
                     }
                     k += 1;

@@ -104,7 +104,7 @@ fn fig2(env: &Env) {
         ("DataFly", AnonymizationMethod::Datafly),
     ];
     let mut rows = Vec::new();
-    for &k in &K_SWEEP {
+    for k in feasible_k(env.source.len()) {
         let mut vals = Vec::new();
         for (_, method) in &methods {
             let view = Anonymizer::new(*method, KAnonymityRequirement(k))
@@ -127,7 +127,7 @@ fn fig3(env: &Env) {
     let qids = Env::qids(DEFAULT_QIDS);
     let rule = env.rule(&qids, DEFAULT_THETA);
     let mut rows = Vec::new();
-    for &k in &K_SWEEP {
+    for k in feasible_k(env.d1.len().min(env.d2.len())) {
         let views = make_views(env, AnonymizationMethod::MaxEntropy, k, &qids);
         let blocking = run_blocking(&views, &rule);
         rows.push((k.to_string(), vec![100.0 * blocking.efficiency()]));
@@ -146,7 +146,7 @@ fn fig4(env: &Env) {
     let rule = env.rule(&qids, DEFAULT_THETA);
     let truth = GroundTruth::compute(&env.d1, &env.d2, &qids, &rule);
     let mut rows = Vec::new();
-    for &k in &K_SWEEP {
+    for k in feasible_k(env.d1.len().min(env.d2.len())) {
         let views = make_views(env, AnonymizationMethod::MaxEntropy, k, &qids);
         let blocking = run_blocking(&views, &rule);
         let vals = HEURISTICS

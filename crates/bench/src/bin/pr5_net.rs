@@ -165,7 +165,7 @@ fn main() {
     let mesh = TcpTransport::loopback_mesh(Duration::from_millis(500)).expect("loopback binds");
     let tcp = ReliableLink::new(mesh, RetryPolicy::default(), 7);
     let (mut tcp_series, mut tcp_link) = run_series("tcp", tcp, &keys, pairs, qids, 11);
-    tcp_series.wire = Some(tcp_link.transport_mut().stats.clone());
+    tcp_series.wire = Some(tcp_link.transport_mut().stats);
 
     // The protocol layer must be bit-for-bit oblivious to the transport.
     assert_eq!(

@@ -18,6 +18,19 @@ use serde::Serialize;
 
 /// The paper's k sweep (Figs. 2–4).
 pub const K_SWEEP: [usize; 10] = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// The prefix of [`K_SWEEP`] feasible over `records` input rows. A
+/// k-anonymity requirement larger than the input cannot be satisfied,
+/// so small-scale runs (`--records 1000`) skip the tail of the sweep
+/// instead of aborting mid-figure; the skip is reported on stderr.
+pub fn feasible_k(records: usize) -> Vec<usize> {
+    let (ok, skipped): (Vec<usize>, Vec<usize>) =
+        K_SWEEP.into_iter().partition(|&k| k <= records);
+    if !skipped.is_empty() {
+        eprintln!("# skipping infeasible k over {records} records: {skipped:?}");
+    }
+    ok
+}
 /// The paper's θ sweep (Fig. 5).
 pub const THETA_SWEEP: [f64; 10] = [0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.1];
 /// The paper's |QID| sweep (Figs. 6–7).

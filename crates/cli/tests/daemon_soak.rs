@@ -139,7 +139,10 @@ impl Proc {
             use std::io::Read;
             pipe.read_to_string(&mut stdout).unwrap();
         }
-        self.collected.extend(self.stderr.try_iter());
+        // Block until the reader thread hits pipe EOF and drops its sender:
+        // the accounting lines a process writes just before exiting may not
+        // be in the channel yet when `wait()` returns.
+        self.collected.extend(self.stderr.iter());
         if !status.success() {
             panic!("process exited with {status}: {}", self.collected.join("\n"));
         }

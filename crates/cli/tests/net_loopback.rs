@@ -121,8 +121,9 @@ impl Party {
             use std::io::Read;
             pipe.read_to_string(&mut stdout).unwrap();
         }
-        // Drain whatever stderr remains, for failure diagnostics.
-        let stderr: Vec<String> = self.stderr.try_iter().collect();
+        // Drain stderr to reader-thread EOF, for failure diagnostics —
+        // `try_iter` could miss lines written just before exit.
+        let stderr: Vec<String> = self.stderr.iter().collect();
         if !status.success() {
             panic!("party exited with {status}: {}", stderr.join("\n"));
         }

@@ -19,7 +19,7 @@
 //! are identical to an uninterrupted run (asserted by the kill-recovery
 //! harness in `crates/cli/tests/crash_recovery.rs`).
 
-use crate::pipeline::check_schemas;
+use crate::pipeline::{check_schemas, StagedArtifacts};
 use crate::{HybridLinkage, LinkageError, LinkageOutcome};
 use pprl_anon::Anonymizer;
 use pprl_blocking::{BlockingChunk, BlockingEngine};
@@ -349,7 +349,8 @@ fn execute(
     }
     writer.sync()?;
 
-    let outcome = pipeline.finalize(r, s, &rule, r_view, s_view, blocking, smc);
+    let outcome =
+        pipeline.finalize(r, s, &rule, StagedArtifacts { r_view, s_view, blocking, smc });
     Ok(JournaledOutcome {
         outcome,
         resumed,

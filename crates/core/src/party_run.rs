@@ -36,7 +36,7 @@
 //! [`PeerChannel::commit_ack`]: pprl_net::PeerChannel::commit_ack
 
 use crate::journal_run::{self, JournalOptions};
-use crate::pipeline::check_schemas;
+use crate::pipeline::{check_schemas, StagedArtifacts};
 use crate::{HybridLinkage, LinkageError, LinkageOutcome};
 use pprl_anon::Anonymizer;
 use pprl_blocking::BlockingEngine;
@@ -663,7 +663,7 @@ fn run_querier(
     runner.absorb_remote_costs(&bob_ledger);
 
     let smc = runner.finish();
-    let outcome = pipeline.finalize(r, s, rule, r_view, s_view, blocking, smc);
+    let outcome = pipeline.finalize(r, s, rule, StagedArtifacts { r_view, s_view, blocking, smc });
     Ok((outcome, stats, replayed, live, writer))
 }
 

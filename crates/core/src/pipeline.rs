@@ -69,6 +69,15 @@ impl LinkageOutcome {
     }
 }
 
+/// The mid-pipeline products of steps 1–3 (anonymization, blocking, SMC)
+/// that [`HybridLinkage::finalize`] scores and assembles into an outcome.
+pub(crate) struct StagedArtifacts {
+    pub(crate) r_view: AnonymizedView,
+    pub(crate) s_view: AnonymizedView,
+    pub(crate) blocking: BlockingOutcome,
+    pub(crate) smc: SmcReport,
+}
+
 impl HybridLinkage {
     /// Builds the pipeline from a configuration (sequential by default —
     /// the legacy single-threaded path, bit-for-bit).
@@ -129,7 +138,7 @@ impl HybridLinkage {
         runner.run_to_completion_parallel(self.threads)?;
         let smc = runner.finish();
 
-        Ok(self.finalize(r, s, &rule, r_view, s_view, blocking, smc))
+        Ok(self.finalize(r, s, &rule, StagedArtifacts { r_view, s_view, blocking, smc }))
     }
 
     /// Sizes and attaches the shared Paillier randomizer pool for a
@@ -181,11 +190,9 @@ impl HybridLinkage {
         r: &DataSet,
         s: &DataSet,
         rule: &MatchingRule,
-        r_view: AnonymizedView,
-        s_view: AnonymizedView,
-        blocking: BlockingOutcome,
-        smc: SmcReport,
+        staged: StagedArtifacts,
     ) -> LinkageOutcome {
+        let StagedArtifacts { r_view, s_view, blocking, smc } = staged;
         let cfg = &self.config;
         let schema = r.schema();
 

@@ -78,7 +78,7 @@ impl FrameDecoder {
     /// `Ok(None)` means "incomplete — read more"; errors mean the stream
     /// is unrecoverable (a frame boundary was lost), so the caller must
     /// drop the connection and reconnect.
-    pub fn next(&mut self) -> Result<Option<(u8, Vec<u8>)>, NetError> {
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, NetError> {
         let &[kind, l0, l1, l2, l3, ..] = self.buf.as_slice() else {
             return Ok(None);
         };
@@ -126,9 +126,9 @@ mod tests {
             (K_GOODBYE, vec![1]),
         ] {
             dec.push(&encode_frame(kind, &payload));
-            assert_eq!(dec.next().unwrap(), Some((kind, payload)));
+            assert_eq!(dec.next_frame().unwrap(), Some((kind, payload)));
         }
-        assert_eq!(dec.next().unwrap(), None);
+        assert_eq!(dec.next_frame().unwrap(), None);
         assert_eq!(dec.pending(), 0);
     }
 
@@ -139,10 +139,10 @@ mod tests {
         for cut in 0..frame.len() {
             dec.push(&frame[cut..cut + 1]);
             if cut + 1 < frame.len() {
-                assert_eq!(dec.next().unwrap(), None, "cut at {cut}");
+                assert_eq!(dec.next_frame().unwrap(), None, "cut at {cut}");
             }
         }
-        assert_eq!(dec.next().unwrap(), Some((K_DATA, vec![7; 64])));
+        assert_eq!(dec.next_frame().unwrap(), Some((K_DATA, vec![7; 64])));
     }
 
     #[test]
@@ -153,7 +153,7 @@ mod tests {
         bad[5] ^= 0x40;
         let mut dec = FrameDecoder::new();
         dec.push(&bad);
-        assert!(dec.next().is_err());
+        assert!(dec.next_frame().is_err());
     }
 
     #[test]
@@ -162,7 +162,7 @@ mod tests {
         bad.extend_from_slice(&(u32::MAX).to_le_bytes());
         let mut dec = FrameDecoder::new();
         dec.push(&bad);
-        assert!(dec.next().is_err());
+        assert!(dec.next_frame().is_err());
     }
 
     #[test]
@@ -178,7 +178,7 @@ mod tests {
                 bad[byte] ^= 1 << bit;
                 let mut dec = FrameDecoder::new();
                 dec.push(&bad);
-                match dec.next() {
+                match dec.next_frame() {
                     Ok(Some(_)) => panic!("flip at byte {byte} bit {bit} delivered a frame"),
                     Ok(None) | Err(_) => {}
                 }
@@ -192,8 +192,8 @@ mod tests {
         wire.extend_from_slice(&encode_frame(K_GOODBYE, &[]));
         let mut dec = FrameDecoder::new();
         dec.push(&wire);
-        assert_eq!(dec.next().unwrap(), Some((K_DATA, vec![1])));
-        assert_eq!(dec.next().unwrap(), Some((K_GOODBYE, vec![])));
-        assert_eq!(dec.next().unwrap(), None);
+        assert_eq!(dec.next_frame().unwrap(), Some((K_DATA, vec![1])));
+        assert_eq!(dec.next_frame().unwrap(), Some((K_GOODBYE, vec![])));
+        assert_eq!(dec.next_frame().unwrap(), None);
     }
 }

@@ -135,9 +135,13 @@ pub enum Admission {
 /// jobs already in flight or crash recovery deadlocks.
 pub type AdmissionGate = Arc<dyn Fn(&Hello) -> Admission + Send + Sync>;
 
+/// A handshaken connection parked until its session worker claims it,
+/// keyed in the mailbox map by (job fingerprint, peer role).
+type Mailboxes = HashMap<(u64, Role), Vec<(FramedStream, Hello)>>;
+
 struct MuxShared {
     shutdown: AtomicBool,
-    mailboxes: Mutex<HashMap<(u64, Role), Vec<(FramedStream, Hello)>>>,
+    mailboxes: Mutex<Mailboxes>,
     arrived: Condvar,
     stats: Mutex<NetStats>,
     /// Read/write timeout applied to streams after their hello clears.
@@ -280,63 +284,60 @@ fn accept_loop(listener: TcpListener, shared: Arc<MuxShared>) {
                         stream.set_read_timeout(shared.stream_timeout)?;
                         Ok((stream, Hello::decode(&payload)?))
                     });
-                match hello {
-                    Ok((mut stream, hello)) => {
-                        let verdict = match &shared.gate {
-                            Some(gate) => gate(&hello),
-                            None => Admission::Accept,
-                        };
-                        match verdict {
-                            Admission::Accept => {
-                                net_trace!(
-                                    "mux park {} for {:016x} (wm={} key={})",
-                                    hello.role, hello.fingerprint, hello.watermark, hello.have_key
-                                );
-                                if let Ok(mut boxes) = shared.mailboxes.lock() {
-                                    // A dialer keeps exactly one connection
-                                    // in flight per (job, role): a fresh dial
-                                    // means any parked stream in the same
-                                    // mailbox was already abandoned at the
-                                    // dialer's own timeout. Replace instead
-                                    // of queueing — otherwise a session that
-                                    // sat behind the admission gate for a
-                                    // while hands its worker a backlog of
-                                    // dead sockets, and the worker burns a
-                                    // full handshake timeout on each one
-                                    // while live dials pile up behind them.
-                                    // Also bounds parked memory to one
-                                    // stream per mailbox.
-                                    let slot = boxes
-                                        .entry((hello.fingerprint, hello.role))
-                                        .or_default();
-                                    slot.clear();
-                                    slot.push((stream, hello));
-                                }
-                                shared.arrived.notify_all();
+                // A connection that never identified itself is simply
+                // dropped; legitimate peers re-dial and try again.
+                if let Ok((mut stream, hello)) = hello {
+                    let verdict = match &shared.gate {
+                        Some(gate) => gate(&hello),
+                        None => Admission::Accept,
+                    };
+                    match verdict {
+                        Admission::Accept => {
+                            net_trace!(
+                                "mux park {} for {:016x} (wm={} key={})",
+                                hello.role, hello.fingerprint, hello.watermark, hello.have_key
+                            );
+                            if let Ok(mut boxes) = shared.mailboxes.lock() {
+                                // A dialer keeps exactly one connection
+                                // in flight per (job, role): a fresh dial
+                                // means any parked stream in the same
+                                // mailbox was already abandoned at the
+                                // dialer's own timeout. Replace instead
+                                // of queueing — otherwise a session that
+                                // sat behind the admission gate for a
+                                // while hands its worker a backlog of
+                                // dead sockets, and the worker burns a
+                                // full handshake timeout on each one
+                                // while live dials pile up behind them.
+                                // Also bounds parked memory to one
+                                // stream per mailbox.
+                                let slot = boxes
+                                    .entry((hello.fingerprint, hello.role))
+                                    .or_default();
+                                slot.clear();
+                                slot.push((stream, hello));
                             }
-                            Admission::Busy { retry_after } => {
-                                net_trace!(
-                                    "mux busy {} for {:016x} ({retry_after:?})",
-                                    hello.role, hello.fingerprint
-                                );
-                                let busy = Busy {
-                                    retry_after_ms: retry_after.as_millis() as u64,
-                                };
-                                let mut stats = NetStats::default();
-                                stats.busy += 1;
-                                // Best-effort: a dialer that misses the
-                                // frame falls back to its own backoff.
-                                let _ = stream.send(K_BUSY, &busy.encode(), &mut stats);
-                                if let Ok(mut total) = shared.stats.lock() {
-                                    total.merge(&stats);
-                                }
-                            }
-                            Admission::Refuse => {}
+                            shared.arrived.notify_all();
                         }
+                        Admission::Busy { retry_after } => {
+                            net_trace!(
+                                "mux busy {} for {:016x} ({retry_after:?})",
+                                hello.role, hello.fingerprint
+                            );
+                            let busy = Busy {
+                                retry_after_ms: retry_after.as_millis() as u64,
+                            };
+                            let mut stats = NetStats::default();
+                            stats.busy += 1;
+                            // Best-effort: a dialer that misses the
+                            // frame falls back to its own backoff.
+                            let _ = stream.send(K_BUSY, &busy.encode(), &mut stats);
+                            if let Ok(mut total) = shared.stats.lock() {
+                                total.merge(&stats);
+                            }
+                        }
+                        Admission::Refuse => {}
                     }
-                    // A connection that never identified itself is simply
-                    // dropped; legitimate peers re-dial and try again.
-                    Err(_) => {}
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {

@@ -81,7 +81,7 @@ impl FramedStream {
     pub fn recv(&mut self, stats: &mut NetStats) -> Result<(u8, Vec<u8>), NetError> {
         let mut chunk = [0u8; 64 * 1024];
         loop {
-            if let Some((kind, payload)) = self.decoder.next()? {
+            if let Some((kind, payload)) = self.decoder.next_frame()? {
                 stats.frames_received += 1;
                 stats.bytes_received += (FRAME_OVERHEAD + payload.len()) as u64;
                 return Ok((kind, payload));

@@ -25,7 +25,7 @@ proptest! {
         for piece in bytes.chunks(chunk) {
             dec.push(piece);
             loop {
-                match dec.next() {
+                match dec.next_frame() {
                     Ok(Some(_)) => continue,
                     Ok(None) | Err(_) => break,
                 }
@@ -42,10 +42,10 @@ proptest! {
         for cut in 0..wire.len() {
             let mut dec = FrameDecoder::new();
             dec.push(&wire[..cut]);
-            prop_assert_eq!(dec.next().unwrap(), None, "prefix {} framed", cut);
+            prop_assert_eq!(dec.next_frame().unwrap(), None, "prefix {} framed", cut);
             dec.push(&wire[cut..]);
-            prop_assert_eq!(dec.next().unwrap(), Some((kind, payload.clone())));
-            prop_assert_eq!(dec.next().unwrap(), None);
+            prop_assert_eq!(dec.next_frame().unwrap(), Some((kind, payload.clone())));
+            prop_assert_eq!(dec.next_frame().unwrap(), None);
             prop_assert_eq!(dec.pending(), 0);
         }
     }
@@ -62,7 +62,7 @@ proptest! {
         bad[byte] ^= 1u8 << bit;
         let mut dec = FrameDecoder::new();
         dec.push(&bad);
-        match dec.next() {
+        match dec.next_frame() {
             Ok(Some((k, p))) => {
                 // Every bit of kind, length, and payload is covered by the
                 // checksum, and a flipped checksum no longer matches the
@@ -82,7 +82,7 @@ proptest! {
         wire.extend_from_slice(&tail);
         let mut dec = FrameDecoder::new();
         dec.push(&wire);
-        prop_assert!(dec.next().is_err());
+        prop_assert!(dec.next_frame().is_err());
     }
 
     /// Back-to-back frames split at arbitrary chunk sizes all come out, in
@@ -100,7 +100,7 @@ proptest! {
         let mut out = Vec::new();
         for piece in wire.chunks(chunk) {
             dec.push(piece);
-            while let Some(frame) = dec.next().unwrap() {
+            while let Some(frame) = dec.next_frame().unwrap() {
                 out.push(frame);
             }
         }

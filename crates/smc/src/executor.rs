@@ -1674,6 +1674,10 @@ impl Comparer {
     }
 }
 
+/// Batched per-attribute encodings for one pair: Alice's values, Bob's
+/// values, and the per-attribute failure thresholds, index-aligned.
+type BatchEncoding = (Vec<u64>, Vec<u64>, Vec<u64>);
+
 /// Encodes every decidable attribute of a record pair for the batched
 /// protocol; `Ok(None)` when no attribute can fail (trivial match).
 fn batch_encode(
@@ -1682,7 +1686,7 @@ fn batch_encode(
     r: &pprl_data::Record,
     s: &pprl_data::Record,
     norms: &[f64],
-) -> Result<Option<(Vec<u64>, Vec<u64>, Vec<u64>)>, SmcError> {
+) -> Result<Option<BatchEncoding>, SmcError> {
     let mut a_vals = Vec::with_capacity(qids.len());
     let mut b_vals = Vec::with_capacity(qids.len());
     let mut thresholds = Vec::with_capacity(qids.len());

@@ -190,3 +190,52 @@ mod tests {
         assert_eq!(labels, vec![PairLabel::NonMatch]);
     }
 }
+
+/// Compile coverage for `#[derive(Serialize, Deserialize)]` on generic
+/// types: CI builds these against real serde; the offline build exercises
+/// the stub `serde_derive`'s generics splicing (bounds, defaults, const
+/// params, lifetimes, `where` clauses). Runtime behavior is not asserted —
+/// derived impls are no-ops under the stubs.
+#[cfg(test)]
+mod serde_generics_compat {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Wrapper<T: Clone = u32> {
+        inner: Vec<T>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Budgeted<const N: usize> {
+        spent: usize,
+    }
+
+    #[derive(Serialize)]
+    struct View<'a, T>
+    where
+        T: Copy,
+    {
+        slice: &'a [T],
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Either<L, R: Clone> {
+        Left(L),
+        Right { value: R },
+    }
+
+    #[test]
+    fn generic_derives_compile() {
+        let w = Wrapper { inner: vec![1u32, 2] };
+        assert_eq!(w.inner.len(), 2);
+        let b: Budgeted<8> = Budgeted { spent: 3 };
+        assert_eq!(b.spent, 3);
+        let xs = [1.0f64, 2.0];
+        let v = View { slice: &xs };
+        assert_eq!(v.slice.len(), 2);
+        let e: Either<u8, String> = Either::Right { value: "r".into() };
+        assert!(matches!(e, Either::Right { ref value } if value == "r"));
+        let l: Either<u8, String> = Either::Left(7);
+        assert!(matches!(l, Either::Left(7)));
+    }
+}

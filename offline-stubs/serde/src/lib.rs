@@ -1,0 +1,153 @@
+//! Offline API stub for `serde` 1.x.
+//!
+//! The traits carry **default method bodies that fail at runtime**, so the
+//! stub `serde_derive` can emit empty impls and every `#[derive(Serialize,
+//! Deserialize)]` in the workspace compiles. Hand-written impls (like
+//! `BigUint`'s string round-trip) override the defaults and work for real.
+//!
+//! `Deserializer` exposes a `stub_json_text` escape hatch: a deserializer
+//! that is backed by JSON text (the stub `serde_json`) surrenders the raw
+//! text so `Deserialize` impls written against this stub (e.g. for
+//! `serde_json::Value`) can parse it directly. Real serde has a proper
+//! visitor data model instead; nothing in workspace code depends on the
+//! hatch.
+
+use std::fmt::Display;
+
+pub mod ser {
+    use super::Display;
+
+    /// Error constructor bound used by `Serializer::Error`.
+    pub trait Error: Sized + Display {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+            let _ = v;
+            Err(Self::Error::custom("serde stub: serialize_str unimplemented"))
+        }
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+            let _ = v;
+            Err(Self::Error::custom("serde stub: serialize_u64 unimplemented"))
+        }
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+            let _ = v;
+            Err(Self::Error::custom("serde stub: serialize_i64 unimplemented"))
+        }
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+            let _ = v;
+            Err(Self::Error::custom("serde stub: serialize_f64 unimplemented"))
+        }
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+            let _ = v;
+            Err(Self::Error::custom("serde stub: serialize_bool unimplemented"))
+        }
+        /// Stub escape hatch mirroring `Deserializer::stub_json_text`: a
+        /// JSON-backed serializer accepts pre-rendered JSON text verbatim
+        /// (used by `serde_json::Value`'s impl).
+        fn stub_raw_json(self, text: &str) -> Result<Self::Ok, Self::Error> {
+            let _ = text;
+            Err(Self::Error::custom("serde stub: raw JSON unsupported"))
+        }
+    }
+
+    pub trait Serialize {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let _ = serializer;
+            Err(S::Error::custom(
+                "serde stub: derived Serialize is a no-op (offline-stubs/README.md)",
+            ))
+        }
+    }
+}
+
+pub mod de {
+    use super::Display;
+
+    /// Error constructor bound used by `Deserializer::Error`.
+    pub trait Error: Sized + Display {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    pub trait Deserializer<'de>: Sized {
+        type Error: Error;
+
+        /// Stub escape hatch: JSON-backed deserializers return their raw
+        /// input text so stub-aware impls can parse it directly.
+        fn stub_json_text(&self) -> Option<&str> {
+            None
+        }
+    }
+
+    pub trait Deserialize<'de>: Sized {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let _ = deserializer;
+            Err(D::Error::custom(
+                "serde stub: derived Deserialize is a no-op (offline-stubs/README.md)",
+            ))
+        }
+    }
+
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+impl<'de> de::Deserialize<'de> for String {
+    fn deserialize<D: de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let text = deserializer
+            .stub_json_text()
+            .ok_or_else(|| de::Error::custom("serde stub: non-JSON deserializer"))?;
+        let trimmed = text.trim();
+        let inner = trimmed
+            .strip_prefix('"')
+            .and_then(|t| t.strip_suffix('"'))
+            .ok_or_else(|| de::Error::custom("serde stub: expected JSON string"))?;
+        // Minimal unescape: the stub only meets \" and \\ in practice.
+        Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+    }
+}
+
+impl ser::Serialize for String {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl ser::Serialize for &str {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+macro_rules! impl_ser_prim {
+    ($($t:ty => $m:ident as $as:ty),*) => {$(
+        impl ser::Serialize for $t {
+            fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$m(*self as $as)
+            }
+        }
+    )*};
+}
+impl_ser_prim!(u8 => serialize_u64 as u64, u16 => serialize_u64 as u64,
+               u32 => serialize_u64 as u64, u64 => serialize_u64 as u64,
+               usize => serialize_u64 as u64,
+               i8 => serialize_i64 as i64, i16 => serialize_i64 as i64,
+               i32 => serialize_i64 as i64, i64 => serialize_i64 as i64,
+               isize => serialize_i64 as i64,
+               f32 => serialize_f64 as f64, f64 => serialize_f64 as f64);
+
+impl ser::Serialize for bool {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}

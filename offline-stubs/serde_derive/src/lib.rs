@@ -1,0 +1,235 @@
+//! Offline stub `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Emits empty trait impls; the stub `serde` traits have default method
+//! bodies that return an error at runtime. That keeps every derived type
+//! compiling while leaving actual (de)serialization to hand-written impls
+//! (`BigUint`, `serde_json::Value`). No `syn`/`quote` — the input is
+//! scanned token-by-token for the type name, its generic parameters
+//! (bounds kept, defaults stripped, splice into the impl header), and a
+//! trailing `where` clause. Remaining limitation: a type that itself
+//! declares a `'de` lifetime parameter collides with the `'de` the
+//! `Deserialize` impl introduces.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The pieces of a type declaration an impl header needs.
+struct TypeDecl {
+    name: String,
+    /// Generic params with bounds, defaults stripped: `T: Clone, const N: usize`.
+    impl_params: String,
+    /// Bare param names for the type path: `T, N`.
+    ty_params: String,
+    /// Trailing `where ...` clause, or empty.
+    where_clause: String,
+}
+
+fn render(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+/// Splits a generic parameter list at top-level commas. `<`/`>` nesting is
+/// tracked so `T: Into<String>` stays one param; a `>` directly after `-`
+/// (the `->` of an `Fn() -> T` bound) does not close a level.
+fn split_params(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if !prev_dash => depth -= 1,
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Drops a default (`= ...`) from a single generic parameter — defaults are
+/// legal on the type declaration but not on an impl. The `=` of associated
+/// type bindings (`Iterator<Item = u8>`) sits at depth > 0 and is kept.
+fn strip_default(param: &[TokenTree]) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    for tt in param {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if !prev_dash => depth -= 1,
+                '=' if depth == 0 => break,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        out.push(tt.clone());
+    }
+    out
+}
+
+/// Extracts the bare name of one generic parameter: `'a: 'b` → `'a`,
+/// `const N: usize` → `N`, `T: Clone` → `T`.
+fn param_name(param: &[TokenTree]) -> Option<String> {
+    let mut it = param.iter();
+    while let Some(tt) = it.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                if let Some(TokenTree::Ident(id)) = it.next() {
+                    return Some(format!("'{id}"));
+                }
+            }
+            TokenTree::Ident(id) => {
+                if id.to_string() == "const" {
+                    if let Some(TokenTree::Ident(n)) = it.next() {
+                        return Some(n.to_string());
+                    }
+                    return None;
+                }
+                return Some(id.to_string());
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses `struct`/`enum`/`union` declarations far enough to build an impl
+/// header: name, generic parameter list, and any `where` clause (which may
+/// come before the brace body or, for tuple structs, after the parens).
+fn parse_decl(input: TokenStream) -> Option<TypeDecl> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let kw = tokens.iter().position(|tt| {
+        matches!(tt, TokenTree::Ident(id)
+            if matches!(id.to_string().as_str(), "struct" | "enum" | "union"))
+    })?;
+    let mut i = kw + 1;
+    let name = loop {
+        match tokens.get(i)? {
+            TokenTree::Ident(id) => break id.to_string(),
+            _ => i += 1,
+        }
+    };
+    i += 1;
+
+    // Generic parameter list, if any: collect the tokens between the
+    // outermost `<` and its matching `>`.
+    let mut params: Vec<TokenTree> = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1i32;
+        let mut prev_dash = false;
+        while depth > 0 {
+            let tt = tokens.get(i)?;
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if !prev_dash => depth -= 1,
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            } else {
+                prev_dash = false;
+            }
+            if depth > 0 {
+                params.push(tt.clone());
+            }
+            i += 1;
+        }
+    }
+
+    // `where` clause: everything from a top-level `where` up to the brace
+    // body or the `;` of a tuple/unit struct.
+    let mut where_clause = String::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "where" => {
+                let mut w: Vec<TokenTree> = Vec::new();
+                i += 1;
+                while let Some(tt) = tokens.get(i) {
+                    match tt {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+                        TokenTree::Punct(p) if p.as_char() == ';' => break,
+                        tt => w.push(tt.clone()),
+                    }
+                    i += 1;
+                }
+                if !w.is_empty() {
+                    where_clause = format!("where {}", render(&w));
+                }
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let groups = split_params(&params);
+    let impl_params = groups
+        .iter()
+        .map(|p| render(&strip_default(p)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ty_params = groups
+        .iter()
+        .filter_map(|p| param_name(p))
+        .collect::<Vec<_>>()
+        .join(", ");
+
+    Some(TypeDecl { name, impl_params, ty_params, where_clause })
+}
+
+fn emit_impl(decl: &TypeDecl, extra_lifetime: Option<&str>, trait_path: &str) -> TokenStream {
+    let mut impl_params = decl.impl_params.clone();
+    if let Some(lt) = extra_lifetime {
+        impl_params = if impl_params.is_empty() {
+            lt.to_string()
+        } else {
+            format!("{lt}, {impl_params}")
+        };
+    }
+    let impl_generics =
+        if impl_params.is_empty() { String::new() } else { format!("<{impl_params}>") };
+    let ty_generics = if decl.ty_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", decl.ty_params)
+    };
+    format!(
+        "impl{impl_generics} {trait_path} for {name}{ty_generics} {where_clause} {{}}",
+        name = decl.name,
+        where_clause = decl.where_clause,
+    )
+    .parse()
+    .unwrap_or_default()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_decl(input) {
+        Some(decl) => emit_impl(&decl, None, "::serde::Serialize"),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_decl(input) {
+        Some(decl) => emit_impl(&decl, Some("'de"), "::serde::Deserialize<'de>"),
+        None => TokenStream::new(),
+    }
+}

@@ -1,0 +1,694 @@
+//! Offline API stub for `serde_json` 1.x.
+//!
+//! `Value`, the `json!` macro, `from_str`/`from_slice` (full JSON parser),
+//! and `to_string` are real. Generic (de)serialization of *derived* types
+//! returns `Err` because the stub `serde` derive is a no-op — hand-written
+//! `Serialize`/`Deserialize` impls work.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub mod error {
+    use std::fmt;
+
+    #[derive(Debug)]
+    pub struct Error(pub(crate) String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "serde_json stub error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl serde::ser::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl serde::de::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+}
+
+pub use error::Error;
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// JSON number preserving integer-ness, like real `serde_json`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(v) => Some(v),
+            Number::I(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I(v) => Some(v),
+            Number::U(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::U(v) => Some(v as f64),
+            Number::I(v) => Some(v as f64),
+            Number::F(v) => Some(v),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U(v) => write!(f, "{v}"),
+            Number::I(v) => write!(f, "{v}"),
+            Number::F(v) => {
+                if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+                    // Match serde_json: whole floats print with ".0".
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered, like serde_json with `preserve_order`.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    /// Keys in insertion order (sorted view available via `sorted_entries`).
+    pub fn entries(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(e) => Some(e),
+            _ => None,
+        }
+    }
+    pub fn sorted_entries(&self) -> Option<BTreeMap<&str, &Value>> {
+        self.entries()
+            .map(|e| e.iter().map(|(k, v)| (k.as_str(), v)).collect())
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::U(v as u64)) }
+        }
+    )*};
+}
+impl_value_from_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_value_from_sint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 { Value::Number(Number::U(v as u64)) }
+                else { Value::Number(Number::I(v as i64)) }
+            }
+        }
+    )*};
+}
+impl_value_from_sint!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F(v))
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F(v as f64))
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl From<()> for Value {
+    fn from(_: ()) -> Value {
+        Value::Null
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => {
+                let mut out = String::new();
+                escape_into(&mut out, s);
+                write!(f, "{out}")
+            }
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(entries) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    let mut key = String::new();
+                    escape_into(&mut key, k);
+                    write!(f, "{key}:{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T> {
+        Err(Error(format!("{msg} at byte {}", self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_lit("null", Value::Null),
+            Some(b't') => self.parse_lit("true", Value::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => self.err("unexpected character"),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err("bad literal")
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid utf-8".into()))?;
+                    let c = s.chars().next().ok_or_else(|| Error("eof".into()))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid utf-8 in number".into()))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I(i)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) => Ok(Value::Number(Number::F(f))),
+            Err(_) => self.err("bad number"),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+pub fn parse_value(text: &str) -> Result<Value> {
+    let mut p = Parser::new(text);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(v)
+}
+
+// ------------------------------------------------- serde entry points
+
+struct JsonDeserializer<'de> {
+    text: &'de str,
+}
+
+impl<'de> serde::Deserializer<'de> for JsonDeserializer<'de> {
+    type Error = Error;
+    fn stub_json_text(&self) -> Option<&str> {
+        Some(self.text)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let text = deserializer
+            .stub_json_text()
+            .ok_or_else(|| serde::de::Error::custom("serde_json stub: non-JSON deserializer"))?;
+        parse_value(text).map_err(|e| serde::de::Error::custom(e))
+    }
+}
+
+pub fn from_str<'de, T: serde::Deserialize<'de>>(text: &'de str) -> Result<T> {
+    T::deserialize(JsonDeserializer { text })
+}
+
+pub fn from_slice<'de, T: serde::Deserialize<'de>>(bytes: &'de [u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|_| Error("invalid utf-8".into()))?;
+    from_str(text)
+}
+
+/// Serializer producing a single JSON scalar — enough for hand-written
+/// impls like `BigUint` (string) and primitives; derived types fail.
+struct JsonSerializer;
+
+impl serde::Serializer for JsonSerializer {
+    type Ok = String;
+    type Error = Error;
+
+    fn serialize_str(self, v: &str) -> Result<String> {
+        let mut out = String::new();
+        escape_into(&mut out, v);
+        Ok(out)
+    }
+    fn serialize_u64(self, v: u64) -> Result<String> {
+        Ok(v.to_string())
+    }
+    fn serialize_i64(self, v: i64) -> Result<String> {
+        Ok(v.to_string())
+    }
+    fn serialize_f64(self, v: f64) -> Result<String> {
+        Ok(Number::F(v).to_string())
+    }
+    fn serialize_bool(self, v: bool) -> Result<String> {
+        Ok(v.to_string())
+    }
+    fn stub_raw_json(self, text: &str) -> Result<String> {
+        Ok(text.to_string())
+    }
+}
+
+impl serde::Serialize for Value {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        serializer.stub_raw_json(&self.to_string())
+    }
+}
+
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    value.serialize(JsonSerializer)
+}
+
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    to_string(value)
+}
+
+pub fn to_vec<T: serde::Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// `json!` literal macro. Handles nested objects/arrays with string-literal
+/// keys and expression values — the shapes this workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_array!(@arr [] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_object!(@obj [] $($tt)*) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    (@obj [$(($k:expr, $v:expr))*]) => {
+        $crate::Value::Object(vec![$(($k.to_string(), $v)),*])
+    };
+    (@obj [$($done:tt)*] $key:tt : { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::json!({ $($inner)* }))] $($rest)*)
+    };
+    (@obj [$($done:tt)*] $key:tt : { $($inner:tt)* } $(,)?) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::json!({ $($inner)* }))])
+    };
+    (@obj [$($done:tt)*] $key:tt : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::json!([ $($inner)* ]))] $($rest)*)
+    };
+    (@obj [$($done:tt)*] $key:tt : [ $($inner:tt)* ] $(,)?) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::json!([ $($inner)* ]))])
+    };
+    (@obj [$($done:tt)*] $key:tt : null , $($rest:tt)*) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::Value::Null)] $($rest)*)
+    };
+    (@obj [$($done:tt)*] $key:tt : null $(,)?) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::Value::Null)])
+    };
+    (@obj [$($done:tt)*] $key:tt : $val:expr , $($rest:tt)*) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::Value::from($val))] $($rest)*)
+    };
+    (@obj [$($done:tt)*] $key:tt : $val:expr) => {
+        $crate::json_object!(@obj [$($done)* ($key, $crate::Value::from($val))])
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    (@arr [$($done:expr)*]) => { $crate::Value::Array(vec![$($done),*]) };
+    (@arr [$($done:tt)*] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_array!(@arr [$($done)* $crate::json!({ $($inner)* })] $($rest)*)
+    };
+    (@arr [$($done:tt)*] { $($inner:tt)* } $(,)?) => {
+        $crate::json_array!(@arr [$($done)* $crate::json!({ $($inner)* })])
+    };
+    (@arr [$($done:tt)*] $val:expr , $($rest:tt)*) => {
+        $crate::json_array!(@arr [$($done)* $crate::Value::from($val)] $($rest)*)
+    };
+    (@arr [$($done:tt)*] $val:expr) => {
+        $crate::json_array!(@arr [$($done)* $crate::Value::from($val)])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let text = r#"{"a":1,"b":-2,"pi":3.5,"s":"x\"y","arr":[1,2,3],"t":true,"n":null}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"].as_i64(), Some(-2));
+        assert_eq!(v["pi"].as_f64(), Some(3.5));
+        assert_eq!(v["s"].as_str(), Some("x\"y"));
+        assert_eq!(v["arr"][2].as_u64(), Some(3));
+        assert_eq!(v["t"].as_bool(), Some(true));
+        assert!(v["n"].is_null());
+        let printed = v.to_string();
+        let reparsed: Value = from_str(&printed).unwrap();
+        assert_eq!(v, reparsed);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let count = 3u64;
+        let v = json!({
+            "plain": count,
+            "nested": { "x": 1.0, "s": "hi" },
+            "list": [1, 2],
+            "call": format!("{}-{}", 1, 2),
+        });
+        assert_eq!(v["plain"].as_u64(), Some(3));
+        assert_eq!(v["nested"]["x"].as_f64(), Some(1.0));
+        assert_eq!(v["nested"]["s"].as_str(), Some("hi"));
+        assert_eq!(v["list"][1].as_u64(), Some(2));
+        assert_eq!(v["call"].as_str(), Some("1-2"));
+    }
+
+    #[test]
+    fn whole_floats_keep_decimal_point() {
+        assert_eq!(json!({"p": 1.0}).to_string(), r#"{"p":1.0}"#);
+        assert_eq!(json!({"p": 0.5}).to_string(), r#"{"p":0.5}"#);
+    }
+}

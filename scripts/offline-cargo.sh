@@ -1,0 +1,61 @@
+#!/bin/sh
+# Runs cargo with the crates.io registry replaced by offline API stubs
+# (offline-stubs/README.md). Usage: scripts/offline-cargo.sh test -q -- --nocapture
+#
+# The stub sources resolve to fake versions (serde 1.0.999, ...) and empty
+# checksums, so the lockfile cargo writes here must never be seen by a
+# networked build. The wrapper keeps that lock private: it swaps any existing
+# workspace Cargo.lock aside, installs offline-stubs/Cargo.offline.lock for
+# the duration of the command, then saves it back and restores the original.
+set -eu
+cd "$(dirname "$0")/.."
+
+OFFLINE_LOCK=offline-stubs/Cargo.offline.lock
+SAVED_LOCK=
+if [ -f Cargo.lock ]; then
+  SAVED_LOCK=$(mktemp Cargo.lock.networked.XXXXXX)
+  mv -f Cargo.lock "$SAVED_LOCK"
+fi
+if [ -f "$OFFLINE_LOCK" ]; then
+  cp -f "$OFFLINE_LOCK" Cargo.lock
+fi
+
+restore_locks() {
+  status=$?
+  trap - EXIT INT TERM
+  if [ -f Cargo.lock ]; then
+    mv -f Cargo.lock "$OFFLINE_LOCK"
+  fi
+  if [ -n "$SAVED_LOCK" ] && [ -f "$SAVED_LOCK" ]; then
+    mv -f "$SAVED_LOCK" Cargo.lock
+  fi
+  exit "$status"
+}
+trap restore_locks EXIT INT TERM
+
+# Flag placement matters twice over:
+# - a `--` in "$@" (e.g. `test -- --nocapture`) must never swallow the
+#   flags into test-binary args, so they cannot simply be appended;
+# - builtin subcommands and aliases (`xtask` expands to `run ... --`)
+#   take the flags as cargo globals BEFORE the subcommand, but external
+#   subcommands like `clippy` re-invoke an inner cargo that does not
+#   inherit outer globals, so for those the flags go right after the
+#   subcommand name (still ahead of any `--`).
+case "${1:-}" in
+  clippy | fmt | miri)
+    subcmd=$1
+    shift
+    set -- "$subcmd" \
+      --offline \
+      --config 'source.crates-io.replace-with="offline-stubs"' \
+      --config 'source.offline-stubs.directory="offline-stubs"' \
+      "$@"
+    ;;
+  *)
+    set -- --offline \
+      --config 'source.crates-io.replace-with="offline-stubs"' \
+      --config 'source.offline-stubs.directory="offline-stubs"' \
+      "$@"
+    ;;
+esac
+cargo "$@"
