@@ -20,6 +20,10 @@
 //! functions = ["pow"]
 //! secret = ["exp"]
 //!
+//! [taint]
+//! paths = ["crates/bignum/src/modpow.rs"]
+//! types = ["PrivateKey"]
+//!
 //! [deps]
 //! "crates/bignum" = ["rand", "serde"]
 //! ```
@@ -52,6 +56,11 @@ pub struct Config {
     pub ct: Vec<CtTarget>,
     /// Dependency allowlists: crate dir -> permitted external deps.
     pub deps_allow: Vec<(String, Vec<String>)>,
+    /// Path suffixes whose functions run the secret-taint dataflow pass.
+    pub taint_paths: Vec<String>,
+    /// Type names whose values seed taint (key material) — independent of
+    /// `secret_types`, since a taint source may legitimately derive Debug.
+    pub taint_types: Vec<String>,
 }
 
 impl Default for Config {
@@ -63,6 +72,8 @@ impl Default for Config {
             panic_paths: Vec::new(),
             ct: Vec::new(),
             deps_allow: Vec::new(),
+            taint_paths: Vec::new(),
+            taint_types: Vec::new(),
         }
     }
 }
@@ -117,6 +128,17 @@ impl Config {
                 "panic" if key == "paths" => {
                     cfg.panic_paths = parse_list(value).ok_or_else(|| err("bad paths list"))?;
                 }
+                "taint" => match key.as_str() {
+                    "paths" => {
+                        cfg.taint_paths =
+                            parse_list(value).ok_or_else(|| err("bad taint paths list"))?;
+                    }
+                    "types" => {
+                        cfg.taint_types =
+                            parse_list(value).ok_or_else(|| err("bad taint types list"))?;
+                    }
+                    _ => {}
+                },
                 "[[ct]]" => {
                     let target = cfg
                         .ct
@@ -228,6 +250,10 @@ file = "b/paillier.rs"
 functions = ["decrypt"]
 secret = ["m"]
 
+[taint]
+paths = ["a/modpow.rs", "b/paillier.rs"]
+types = ["PrivateKey", "RandomizerPool"]
+
 [deps]
 "crates/bignum" = ["rand", "serde"]
 "#,
@@ -241,6 +267,8 @@ secret = ["m"]
         assert_eq!(cfg.ct[1].file, "b/paillier.rs");
         assert_eq!(cfg.deps_allow.len(), 1);
         assert_eq!(cfg.deps_allow[0].0, "crates/bignum");
+        assert_eq!(cfg.taint_paths, vec!["a/modpow.rs", "b/paillier.rs"]);
+        assert_eq!(cfg.taint_types, vec!["PrivateKey", "RandomizerPool"]);
     }
 
     #[test]

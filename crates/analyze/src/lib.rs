@@ -1,6 +1,6 @@
 //! `pprl-analyze` — workspace-wide crypto-hygiene static analysis.
 //!
-//! Three lint families guard the PPRL codebase:
+//! Four lint families guard the PPRL codebase:
 //!
 //! * **secret-leak** — secret-marked types (Paillier private keys and
 //!   friends) must never reach Debug/Display/Serialize, format-macro
@@ -11,6 +11,11 @@
 //! * **const-time** — designated timing-sensitive functions (modpow,
 //!   Montgomery ops, Paillier decrypt) must not branch or short-circuit
 //!   on secret-derived values.
+//! * **secret-taint** — an intra-procedural dataflow pass seeds taint
+//!   from key-material types and `pprl:secret` markers, follows it
+//!   through assignments and callee summaries, and flags
+//!   secret-dependent branches, array indexes, loop bounds, and early
+//!   returns (T001–T004).
 //!
 //! The analyzer is deliberately **dependency-free** (hand-rolled lexer,
 //! TOML-subset config reader, JSON emitter) so it builds and runs even
@@ -25,6 +30,7 @@ pub mod baseline;
 pub mod config;
 pub mod findings;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod scan;
 

@@ -1,0 +1,966 @@
+//! A lightweight intra-procedural statement parser over the token stream.
+//!
+//! The taint pass needs more structure than flat token scans: which
+//! `if`/`match`/loop a statement sits under, what a `let` binds, what an
+//! expression reads. This module recovers exactly that — function
+//! definitions with parameters and a statement tree — without a full AST.
+//! Expressions stay as token *spans* (half-open index ranges into
+//! [`FileCtx::tokens`]); the taint rules scan spans for identifiers.
+//!
+//! The parser is deliberately forgiving: it must never panic or loop on
+//! any `.rs` file in the workspace, including macro-heavy or mid-edit
+//! code. Anything it cannot classify becomes an opaque expression
+//! statement, which the taint pass treats conservatively.
+
+use crate::lexer::{TokKind, Token};
+use crate::rules::NON_INDEX_KEYWORDS;
+use crate::scan::{match_delim, FileCtx};
+
+/// Half-open token index range `[start, end)` into the file's tokens.
+pub type Span = (usize, usize);
+
+/// One parameter: the names it binds (patterns may bind several) and the
+/// span of its type annotation.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub names: Vec<String>,
+    pub ty: Span,
+}
+
+/// A parsed function definition.
+#[derive(Debug)]
+pub struct FnDef {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Enclosing `impl` block's type name, if any.
+    pub self_type: Option<String>,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+    /// Token span of the whole body (inside the braces).
+    pub body_span: Span,
+}
+
+/// A statement in the recovered tree. Expression details stay as spans.
+#[derive(Debug)]
+pub enum Stmt {
+    Let {
+        line: u32,
+        bindings: Vec<String>,
+        ty: Option<Span>,
+        init: Option<Span>,
+    },
+    /// An expression statement; `target` is set for assignments
+    /// (`x = …`, `x += …`) to the assigned identifier.
+    Expr {
+        line: u32,
+        target: Option<String>,
+        value: Span,
+    },
+    If {
+        line: u32,
+        cond: Span,
+        /// Names bound by `if let PAT = …`.
+        pat_bindings: Vec<String>,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    While {
+        line: u32,
+        cond: Span,
+        pat_bindings: Vec<String>,
+        body: Vec<Stmt>,
+    },
+    For {
+        line: u32,
+        bindings: Vec<String>,
+        iter: Span,
+        body: Vec<Stmt>,
+    },
+    Loop {
+        body: Vec<Stmt>,
+    },
+    Match {
+        line: u32,
+        scrutinee: Span,
+        arms: Vec<Arm>,
+    },
+    Return {
+        line: u32,
+        value: Option<Span>,
+    },
+    Block {
+        body: Vec<Stmt>,
+    },
+}
+
+/// One `match` arm: its pattern span, the names the pattern binds, and
+/// the arm body.
+#[derive(Debug)]
+pub struct Arm {
+    pub pat: Span,
+    pub bindings: Vec<String>,
+    pub body: Vec<Stmt>,
+}
+
+/// Is this token an identifier that can *bind* a new name in a pattern?
+/// Lowercase/underscore-initial, not a keyword, not `self`.
+fn is_binding_ident(t: &Token) -> bool {
+    t.kind == TokKind::Ident
+        && t.text != "self"
+        && t.text != "_"
+        && !NON_INDEX_KEYWORDS.contains(&t.text.as_str())
+        && t.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_')
+}
+
+/// Net angle-bracket depth change contributed by one punct token.
+fn angle_delta(t: &Token) -> i32 {
+    if t.kind != TokKind::Punct {
+        return 0;
+    }
+    match t.text.as_str() {
+        "<" => 1,
+        "<<" => 2,
+        ">" => -1,
+        ">>" => -2,
+        "->" | "=>" | "<=" | ">=" | "<<=" | ">>=" => 0,
+        _ => 0,
+    }
+}
+
+/// Parses every function definition in the file (skipping excluded and
+/// attribute tokens).
+pub fn parse_fns(ctx: &FileCtx) -> Vec<FnDef> {
+    let toks = &ctx.tokens;
+    let impls = impl_regions(ctx);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if ctx.excluded[i] || ctx.in_attr[i] || t.kind != TokKind::Ident || t.text != "fn" {
+            i += 1;
+            continue;
+        }
+        match parse_fn(ctx, i, &impls) {
+            Some((def, next)) => {
+                // Nested fns inside this body are found by continuing the
+                // outer scan *inside* the body rather than skipping it —
+                // but re-parsing closures as fns is avoided because only
+                // literal `fn` tokens start a definition.
+                out.push(def);
+                i = next;
+            }
+            None => i += 1,
+        }
+    }
+    out
+}
+
+/// `(open_brace, close_brace, type_name)` for each `impl` block.
+fn impl_regions(ctx: &FileCtx) -> Vec<(usize, usize, String)> {
+    let toks = &ctx.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "impl" && !ctx.in_attr[i] {
+            // Find the block open `{` at angle-depth 0.
+            let mut j = i + 1;
+            let mut open = None;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Open if toks[j].text == "{" => {
+                        open = Some(j);
+                        break;
+                    }
+                    // `impl Trait for Type where …` — hop over group args.
+                    TokKind::Open => j = match_delim(toks, j),
+                    TokKind::Punct if toks[j].text == ";" => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let close = match_delim(toks, open);
+                if let Some(name) = impl_type_name(toks, i + 1, open) {
+                    out.push((open, close, name));
+                }
+                // Do not skip the body: nested impls are rare but legal.
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The implemented type's name from an `impl` header span:
+/// `impl Foo`, `impl<T> Foo<T>`, `impl Trait for Foo`.
+fn impl_type_name(toks: &[Token], start: usize, end: usize) -> Option<String> {
+    // If there is a `for` at angle-depth 0, the type follows it.
+    let mut depth = 0i32;
+    let mut type_start = start;
+    for (k, t) in toks.iter().enumerate().take(end).skip(start) {
+        depth += angle_delta(t);
+        if depth <= 0 && t.kind == TokKind::Ident && t.text == "for" {
+            type_start = k + 1;
+        }
+    }
+    // First path ident after leading generics: skip `<…>` then take the
+    // last ident of the leading `a::b::Name` path.
+    let mut depth = 0i32;
+    let mut name = None;
+    for t in toks.iter().take(end).skip(type_start) {
+        let d = angle_delta(t);
+        if depth == 0 && d > 0 && name.is_some() {
+            break; // generics after the name: `Foo<T>`
+        }
+        depth += d;
+        if depth > 0 {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident if t.text != "where" && t.text != "dyn" => {
+                name = Some(t.text.clone());
+            }
+            TokKind::Punct if t.text == "::" || t.text == "&" || t.text == "<" => {}
+            TokKind::Ident => break,
+            _ if name.is_some() => break,
+            _ => {}
+        }
+    }
+    name
+}
+
+/// Parses one `fn` starting at token `at` (the `fn` keyword). Returns the
+/// definition and the index just past the signature (so the caller keeps
+/// scanning inside the body for nested fns).
+fn parse_fn(ctx: &FileCtx, at: usize, impls: &[(usize, usize, String)]) -> Option<(FnDef, usize)> {
+    let toks = &ctx.tokens;
+    let name_tok = toks.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    let line = toks[at].line;
+
+    // Parameter list: the first `(` after the name (skipping generics).
+    let mut j = at + 2;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Open if toks[j].text == "(" => break,
+            TokKind::Open => j = match_delim(toks, j),
+            TokKind::Punct if toks[j].text == ";" || toks[j].text == "{" => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let params_open = j;
+    let params_close = match_delim(toks, params_open);
+    let (has_self, params) = parse_params(toks, params_open + 1, params_close);
+
+    // Body: first `{` after the params (skipping the return type and any
+    // `where` clause groups). A `;` first means a trait method signature.
+    let mut k = params_close + 1;
+    let mut body_open = None;
+    while k < toks.len() {
+        match toks[k].kind {
+            TokKind::Open if toks[k].text == "{" => {
+                body_open = Some(k);
+                break;
+            }
+            TokKind::Open => k = match_delim(toks, k),
+            TokKind::Punct if toks[k].text == ";" => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    let body_open = body_open?;
+    let body_close = match_delim(toks, body_open);
+
+    let self_type = impls
+        .iter()
+        .filter(|&&(open, close, _)| open < at && at < close)
+        .map(|(_, _, n)| n.clone())
+        .next_back(); // innermost enclosing impl
+
+    let body = parse_stmts(ctx, body_open + 1, body_close);
+    Some((
+        FnDef {
+            name,
+            line,
+            self_type,
+            has_self,
+            params,
+            body,
+            body_span: (body_open + 1, body_close),
+        },
+        body_open + 1,
+    ))
+}
+
+/// Splits a parameter list at top-level commas; extracts binding names
+/// (idents before the top-level `:`) and the type span after it.
+fn parse_params(toks: &[Token], start: usize, end: usize) -> (bool, Vec<Param>) {
+    let mut has_self = false;
+    let mut params = Vec::new();
+    for (seg_start, seg_end) in split_top_level(toks, start, end, ",") {
+        if seg_start >= seg_end {
+            continue;
+        }
+        // Find top-level `:` (not `::`).
+        let mut colon = None;
+        let mut j = seg_start;
+        while j < seg_end {
+            match toks[j].kind {
+                TokKind::Open => j = match_delim(toks, j),
+                TokKind::Punct if toks[j].text == ":" => {
+                    colon = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        match colon {
+            None => {
+                // Receiver: `self`, `&self`, `&mut self`, `&'a self`.
+                if toks[seg_start..seg_end]
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text == "self")
+                {
+                    has_self = true;
+                }
+            }
+            Some(colon) => {
+                let mut names = Vec::new();
+                for t in &toks[seg_start..colon] {
+                    if is_binding_ident(t) {
+                        names.push(t.text.clone());
+                    }
+                }
+                // `self: Arc<Self>` style receivers.
+                if toks[seg_start..colon]
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text == "self")
+                {
+                    has_self = true;
+                }
+                params.push(Param {
+                    names,
+                    ty: (colon + 1, seg_end),
+                });
+            }
+        }
+    }
+    (has_self, params)
+}
+
+/// Splits `[start, end)` at top-level occurrences of `sep`, hopping over
+/// delimiter groups. Returns the sub-spans (separators excluded).
+fn split_top_level(toks: &[Token], start: usize, end: usize, sep: &str) -> Vec<Span> {
+    let mut out = Vec::new();
+    let mut seg = start;
+    let mut j = start;
+    while j < end {
+        match toks[j].kind {
+            TokKind::Open => {
+                j = match_delim(toks, j);
+            }
+            TokKind::Punct if toks[j].text == sep => {
+                out.push((seg, j));
+                seg = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    out.push((seg, end));
+    out
+}
+
+/// Assignment operators that split an expression statement into
+/// `target op value`.
+const ASSIGN_OPS: &[&str] = &[
+    "=", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<=", ">>=",
+];
+
+/// Parses the statements in `[start, end)`.
+pub fn parse_stmts(ctx: &FileCtx, start: usize, end: usize) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        let before = i;
+        if let Some(stmt) = parse_stmt(ctx, &mut i, end) {
+            out.push(stmt);
+        }
+        if i <= before {
+            i = before + 1; // always make progress
+        }
+    }
+    out
+}
+
+/// Parses one statement starting at `*i`; advances `*i` past it.
+fn parse_stmt(ctx: &FileCtx, i: &mut usize, end: usize) -> Option<Stmt> {
+    let toks = &ctx.tokens;
+    // Skip semicolons, attributes, and stray closers.
+    while *i < end {
+        let t = &toks[*i];
+        if t.kind == TokKind::Punct && t.text == ";" {
+            *i += 1;
+        } else if t.kind == TokKind::Punct && t.text == "#" {
+            // `#[attr]` on a statement.
+            if toks
+                .get(*i + 1)
+                .is_some_and(|t| t.kind == TokKind::Open && t.text == "[")
+            {
+                *i = match_delim(toks, *i + 1) + 1;
+            } else {
+                *i += 1;
+            }
+        } else if t.kind == TokKind::Close {
+            *i += 1;
+        } else {
+            break;
+        }
+    }
+    if *i >= end {
+        return None;
+    }
+    let at = *i;
+    let t = &toks[at];
+    let line = t.line;
+
+    if t.kind == TokKind::Ident {
+        match t.text.as_str() {
+            "let" => return parse_let(ctx, i, end),
+            "if" => return parse_if(ctx, i, end),
+            "while" => return parse_while(ctx, i, end),
+            "for" => return parse_for(ctx, i, end),
+            "loop" => {
+                let open = find_block_open(toks, at + 1, end)?;
+                let close = match_delim(toks, open);
+                *i = close + 1;
+                return Some(Stmt::Loop {
+                    body: parse_stmts(ctx, open + 1, close.min(end)),
+                });
+            }
+            "match" => return parse_match(ctx, i, end),
+            "return" | "break" => {
+                let is_return = t.text == "return";
+                let vstart = at + 1;
+                let vend = scan_expr_end(toks, vstart, end);
+                *i = vend + 1;
+                if !is_return {
+                    return Some(Stmt::Expr {
+                        line,
+                        target: None,
+                        value: (vstart, vend),
+                    });
+                }
+                return Some(Stmt::Return {
+                    line,
+                    value: (vstart < vend).then_some((vstart, vend)),
+                });
+            }
+            "unsafe" => {
+                if let Some(open) = find_block_open(toks, at + 1, end) {
+                    if open == at + 1 {
+                        let close = match_delim(toks, open);
+                        *i = close + 1;
+                        return Some(Stmt::Block {
+                            body: parse_stmts(ctx, open + 1, close.min(end)),
+                        });
+                    }
+                }
+            }
+            // Nested items: parse their bodies as opaque blocks so the
+            // statement walk does not mis-nest.
+            "fn" | "struct" | "enum" | "impl" | "mod" | "trait" | "use" | "const" | "static"
+            | "type" | "macro_rules" => {
+                let stop = scan_item_end(toks, at, end);
+                *i = stop;
+                return None;
+            }
+            _ => {}
+        }
+    }
+    if t.kind == TokKind::Open && t.text == "{" {
+        let close = match_delim(toks, at);
+        *i = close + 1;
+        return Some(Stmt::Block {
+            body: parse_stmts(ctx, at + 1, close.min(end)),
+        });
+    }
+
+    // Expression statement (possibly an assignment).
+    let vend = scan_expr_end(toks, at, end);
+    *i = vend + 1;
+    let mut target = None;
+    let mut op_at = None;
+    let mut j = at;
+    while j < vend {
+        match toks[j].kind {
+            TokKind::Open => j = match_delim(toks, j),
+            TokKind::Punct if ASSIGN_OPS.contains(&toks[j].text.as_str()) => {
+                op_at = Some(j);
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let vspan = if let Some(op) = op_at {
+        target = toks[at..op]
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && !NON_INDEX_KEYWORDS.contains(&t.text.as_str()))
+            .map(|t| t.text.clone());
+        (op + 1, vend)
+    } else {
+        (at, vend)
+    };
+    Some(Stmt::Expr {
+        line,
+        target,
+        value: vspan,
+    })
+}
+
+/// `let [mut] PAT [: TY] [= INIT];` — when INIT itself starts with a
+/// control construct (`if`/`match`/`loop`/`unsafe`/`{`), the construct is
+/// *also* parsed as a trailing nested statement so branch findings fire
+/// inside `let x = if secret { … }`.
+fn parse_let(ctx: &FileCtx, i: &mut usize, end: usize) -> Option<Stmt> {
+    let toks = &ctx.tokens;
+    let at = *i;
+    let line = toks[at].line;
+    let stop = scan_expr_end(toks, at, end);
+
+    // Top-level `=` (skip `==`, `=>`; those are distinct tokens already).
+    let mut eq = None;
+    let mut colon = None;
+    let mut j = at + 1;
+    while j < stop {
+        match toks[j].kind {
+            TokKind::Open => j = match_delim(toks, j),
+            TokKind::Punct if toks[j].text == "=" => {
+                eq = Some(j);
+                break;
+            }
+            TokKind::Punct if toks[j].text == ":" && colon.is_none() => colon = Some(j),
+            _ => {}
+        }
+        j += 1;
+    }
+
+    let pat_end = colon.or(eq).unwrap_or(stop);
+    let mut bindings = Vec::new();
+    let mut j = at + 1;
+    while j < pat_end {
+        let t = &toks[j];
+        // Skip path prefixes (`Some`, `Enum::Variant`) — uppercase or
+        // `::`-joined segments are matchers, not binders.
+        if is_binding_ident(t) && toks.get(j + 1).map(|n| n.text.as_str()) != Some("::") {
+            bindings.push(t.text.clone());
+        }
+        j += 1;
+    }
+
+    let ty = match (colon, eq) {
+        (Some(c), Some(e)) => Some((c + 1, e)),
+        (Some(c), None) => Some((c + 1, stop)),
+        _ => None,
+    };
+    let init = eq.map(|e| (e + 1, stop));
+    *i = stop + 1;
+    Some(Stmt::Let {
+        line,
+        bindings,
+        ty,
+        init,
+    })
+}
+
+fn parse_if(ctx: &FileCtx, i: &mut usize, end: usize) -> Option<Stmt> {
+    let toks = &ctx.tokens;
+    let at = *i;
+    let line = toks[at].line;
+    let open = find_block_open(toks, at + 1, end)?;
+    let (cond, pat_bindings) = cond_and_bindings(toks, at + 1, open);
+    let close = match_delim(toks, open);
+    let then_body = parse_stmts(ctx, open + 1, close.min(end));
+    let mut else_body = Vec::new();
+    let mut next = close + 1;
+    if toks
+        .get(next)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == "else")
+    {
+        if toks
+            .get(next + 1)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == "if")
+        {
+            // `else if …` — parse as a nested If inside the else body.
+            let mut k = next + 1;
+            if let Some(stmt) = parse_if(ctx, &mut k, end) {
+                else_body.push(stmt);
+            }
+            next = k;
+        } else if let Some(eopen) = find_block_open(toks, next + 1, end) {
+            let eclose = match_delim(toks, eopen);
+            else_body = parse_stmts(ctx, eopen + 1, eclose.min(end));
+            next = eclose + 1;
+        }
+    }
+    *i = next;
+    Some(Stmt::If {
+        line,
+        cond,
+        pat_bindings,
+        then_body,
+        else_body,
+    })
+}
+
+fn parse_while(ctx: &FileCtx, i: &mut usize, end: usize) -> Option<Stmt> {
+    let toks = &ctx.tokens;
+    let at = *i;
+    let line = toks[at].line;
+    let open = find_block_open(toks, at + 1, end)?;
+    let (cond, pat_bindings) = cond_and_bindings(toks, at + 1, open);
+    let close = match_delim(toks, open);
+    *i = close + 1;
+    Some(Stmt::While {
+        line,
+        cond,
+        pat_bindings,
+        body: parse_stmts(ctx, open + 1, close.min(end)),
+    })
+}
+
+fn parse_for(ctx: &FileCtx, i: &mut usize, end: usize) -> Option<Stmt> {
+    let toks = &ctx.tokens;
+    let at = *i;
+    let line = toks[at].line;
+    let open = find_block_open(toks, at + 1, end)?;
+    // `for PAT in ITER {` — find top-level `in`.
+    let mut in_at = None;
+    let mut j = at + 1;
+    while j < open {
+        match toks[j].kind {
+            TokKind::Open => j = match_delim(toks, j),
+            TokKind::Ident if toks[j].text == "in" => {
+                in_at = Some(j);
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let in_at = in_at?;
+    let bindings = toks[at + 1..in_at]
+        .iter()
+        .filter(|t| is_binding_ident(t))
+        .map(|t| t.text.clone())
+        .collect();
+    let close = match_delim(toks, open);
+    *i = close + 1;
+    Some(Stmt::For {
+        line,
+        bindings,
+        iter: (in_at + 1, open),
+        body: parse_stmts(ctx, open + 1, close.min(end)),
+    })
+}
+
+fn parse_match(ctx: &FileCtx, i: &mut usize, end: usize) -> Option<Stmt> {
+    let toks = &ctx.tokens;
+    let at = *i;
+    let line = toks[at].line;
+    let open = find_block_open(toks, at + 1, end)?;
+    let close = match_delim(toks, open);
+    let scrutinee = (at + 1, open);
+    let mut arms = Vec::new();
+
+    // Arms: `PAT [if GUARD] => BODY ,` — split at top-level `=>`.
+    let mut j = open + 1;
+    let mut pat_start = j;
+    while j < close {
+        match toks[j].kind {
+            TokKind::Open => j = match_delim(toks, j),
+            TokKind::Punct if toks[j].text == "=>" => {
+                let pat = (pat_start, j);
+                let bindings = toks[pat.0..pat.1]
+                    .iter()
+                    .filter(|t| is_binding_ident(t))
+                    .filter(|t| !matches!(t.text.as_str(), "if"))
+                    .map(|t| t.text.clone())
+                    .collect();
+                // Body: a block, or an expression ending at top-level `,`.
+                let bstart = j + 1;
+                let bend = if toks
+                    .get(bstart)
+                    .is_some_and(|t| t.kind == TokKind::Open && t.text == "{")
+                {
+                    match_delim(toks, bstart) + 1
+                } else {
+                    let mut k = bstart;
+                    while k < close {
+                        match toks[k].kind {
+                            TokKind::Open => k = match_delim(toks, k),
+                            TokKind::Punct if toks[k].text == "," => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    k
+                };
+                arms.push(Arm {
+                    pat,
+                    bindings,
+                    body: parse_stmts(ctx, bstart, bend.min(close)),
+                });
+                j = bend;
+                pat_start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    *i = close + 1;
+    Some(Stmt::Match {
+        line,
+        scrutinee,
+        arms,
+    })
+}
+
+/// The condition span before a block open, plus any `let PAT =` bindings
+/// (`if let` / `while let`).
+fn cond_and_bindings(toks: &[Token], start: usize, open: usize) -> (Span, Vec<String>) {
+    let mut bindings = Vec::new();
+    if toks
+        .get(start)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == "let")
+    {
+        // Bindings between `let` and the first `=` — groups are scanned
+        // through, not hopped, because tuple/struct patterns bind inside
+        // them (`Some(v)`, `(a, b)`). Patterns cannot contain a bare `=`,
+        // so the first one always ends the pattern.
+        for j in start + 1..open {
+            match toks[j].kind {
+                TokKind::Punct if toks[j].text == "=" => break,
+                TokKind::Ident
+                    if is_binding_ident(&toks[j])
+                        && toks.get(j + 1).map(|n| n.text.as_str()) != Some("::") =>
+                {
+                    bindings.push(toks[j].text.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+    ((start, open), bindings)
+}
+
+/// First `{` at expression top level in `[from, end)` — hops over other
+/// delimiter groups (call args, closures) so struct-literal braces inside
+/// parens never match. Gives up at `;`.
+fn find_block_open(toks: &[Token], from: usize, end: usize) -> Option<usize> {
+    let mut j = from;
+    while j < end {
+        match toks[j].kind {
+            TokKind::Open if toks[j].text == "{" => return Some(j),
+            TokKind::Open => j = match_delim(toks, j),
+            TokKind::Punct if toks[j].text == ";" => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// End of an expression statement starting at `from`: the index of the
+/// top-level `;`, or `end` if none (tail expression).
+fn scan_expr_end(toks: &[Token], from: usize, end: usize) -> usize {
+    let mut j = from;
+    while j < end {
+        match toks[j].kind {
+            TokKind::Open => j = match_delim(toks, j),
+            TokKind::Close => return j,
+            TokKind::Punct if toks[j].text == ";" => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Skips a nested item (fn/struct/impl/…): through the first top-level
+/// `{`-block or to the `;`.
+fn scan_item_end(toks: &[Token], from: usize, end: usize) -> usize {
+    let mut j = from;
+    while j < end {
+        match toks[j].kind {
+            TokKind::Open if toks[j].text == "{" => return match_delim(toks, j) + 1,
+            TokKind::Open => j = match_delim(toks, j),
+            TokKind::Punct if toks[j].text == ";" => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Vec<FnDef> {
+        let ctx = FileCtx::build("test.rs".into(), src);
+        parse_fns(&ctx)
+    }
+
+    #[test]
+    fn params_and_self_type() {
+        let fns = parse(
+            "impl Key {\n    pub fn dec(&self, table: &[u64], k: u64) -> u64 { 0 }\n}\nfn free(x: u32) {}",
+        );
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "dec");
+        assert!(fns[0].has_self);
+        assert_eq!(fns[0].self_type.as_deref(), Some("Key"));
+        assert_eq!(fns[0].params.len(), 2);
+        assert_eq!(fns[0].params[0].names, vec!["table"]);
+        assert_eq!(fns[0].params[1].names, vec!["k"]);
+        assert_eq!(fns[1].name, "free");
+        assert!(!fns[1].has_self);
+        assert!(fns[1].self_type.is_none());
+    }
+
+    #[test]
+    fn generic_fn_and_trait_impl_type() {
+        let fns = parse(
+            "impl<T: Clone> Iterator for Wrap<T> {\n    fn next<R: Rng>(&mut self, rng: &mut R) -> Option<T> { None }\n}",
+        );
+        assert_eq!(fns[0].self_type.as_deref(), Some("Wrap"));
+        assert_eq!(fns[0].params[0].names, vec!["rng"]);
+    }
+
+    #[test]
+    fn let_if_while_for_match_return() {
+        let fns = parse(
+            "fn f(k: u64) -> u64 {\n\
+             let mut acc = 0u64;\n\
+             if k > 0 { acc += 1; } else { acc += 2; }\n\
+             while acc < 9 { acc += 1; }\n\
+             for i in 0..k { acc += i; }\n\
+             match acc { 0 => return 0, n => acc = n, }\n\
+             return acc;\n\
+             }",
+        );
+        let body = &fns[0].body;
+        assert!(matches!(body[0], Stmt::Let { ref bindings, .. } if bindings == &["acc"]));
+        let Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } = &body[1]
+        else {
+            panic!("expected if: {:?}", body[1]);
+        };
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+        assert!(matches!(body[2], Stmt::While { .. }));
+        let Stmt::For { bindings, .. } = &body[3] else {
+            panic!("expected for");
+        };
+        assert_eq!(bindings, &["i"]);
+        let Stmt::Match { arms, .. } = &body[4] else {
+            panic!("expected match");
+        };
+        assert_eq!(arms.len(), 2);
+        assert!(matches!(arms[0].body[0], Stmt::Return { .. }));
+        assert_eq!(arms[1].bindings, vec!["n"]);
+        assert!(matches!(body[5], Stmt::Return { value: Some(_), .. }));
+    }
+
+    #[test]
+    fn if_let_bindings_and_else_if() {
+        let fns = parse(
+            "fn f(o: Option<u64>) {\n\
+             if let Some(v) = o { use_it(v); } else if o.is_none() { other(); }\n\
+             }",
+        );
+        let Stmt::If {
+            pat_bindings,
+            else_body,
+            ..
+        } = &fns[0].body[0]
+        else {
+            panic!("expected if");
+        };
+        assert_eq!(pat_bindings, &["v"]);
+        assert!(matches!(else_body[0], Stmt::If { .. }), "else-if nests");
+    }
+
+    #[test]
+    fn assignment_targets() {
+        let fns = parse("fn f() { x = 1; y += z[0]; call(a); }");
+        let b = &fns[0].body;
+        assert!(matches!(&b[0], Stmt::Expr { target: Some(t), .. } if t == "x"));
+        assert!(matches!(&b[1], Stmt::Expr { target: Some(t), .. } if t == "y"));
+        assert!(matches!(&b[2], Stmt::Expr { target: None, .. }));
+    }
+
+    #[test]
+    fn let_bindings_skip_path_matchers() {
+        let fns = parse("fn f() { let Some(v) = thing else { return; }; let (a, b) = pair; }");
+        let Stmt::Let { bindings, .. } = &fns[0].body[0] else {
+            panic!("expected let");
+        };
+        assert_eq!(bindings, &["v"], "Some is a matcher, not a binder");
+    }
+
+    #[test]
+    fn struct_literal_in_call_args_does_not_eat_if_block() {
+        let fns = parse("fn f(k: u64) { if check(Config { v: 1 }) { go(); } }");
+        let Stmt::If { then_body, .. } = &fns[0].body[0] else {
+            panic!("expected if, got {:?}", fns[0].body);
+        };
+        assert_eq!(then_body.len(), 1);
+    }
+
+    #[test]
+    fn nested_fn_is_its_own_def() {
+        let fns = parse("fn outer() { fn inner(s: u64) -> u64 { s } inner(1); }");
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[1].name, "inner");
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let fns = parse("#[cfg(test)]\nmod t { fn hidden() {} }\nfn visible() {}");
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "visible");
+    }
+
+    #[test]
+    fn malformed_input_does_not_panic() {
+        for src in [
+            "fn f( {",
+            "fn f(x: u64 { if { }",
+            "impl { fn g() }",
+            "fn f() { match x { ",
+            "fn f() { let = ; }",
+        ] {
+            let _ = parse(src); // must terminate without panic
+        }
+    }
+}

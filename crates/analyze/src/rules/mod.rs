@@ -8,12 +8,15 @@
 //! |              |            | non-test protocol code                           |
 //! | `const-time` | C001–C003  | secret-dependent branches, early returns, and    |
 //! |              |            | short-circuit comparisons in timing-sensitive fns|
+//! | `secret-taint`| T001–T004 | dataflow-derived secret-dependent branches, array|
+//! |              |            | indexes, loop bounds, and early returns          |
 //! | `deps`       | D001       | external dependencies outside the allowlist      |
 
 pub mod ct;
 pub mod deps;
 pub mod panic;
 pub mod secret;
+pub mod taint;
 
 use crate::findings::{Finding, Severity};
 use crate::scan::FileCtx;

@@ -1,0 +1,749 @@
+//! `secret-taint` (T001–T004): intra-procedural secret-taint dataflow.
+//!
+//! Where the `const-time` family checks a hand-listed set of functions
+//! against a hand-listed set of identifiers, this pass *derives* what is
+//! secret and follows it through assignments and calls:
+//!
+//! * **Sources** — parameters (or `self`) typed with a configured taint
+//!   type, `let` bindings under a bare `// pprl:secret` marker, and any
+//!   expression mentioning a taint type (constructors). A
+//!   `// pprl:secret(a, b)` marker above a function seeds those params
+//!   when *its* body is checked — "this body must be constant-time in
+//!   `a`/`b`" — but does not make the function a source for callers:
+//!   calling it on clean arguments still returns clean data.
+//! * **Propagation** — `let` initializers, assignments, `if let`/`while
+//!   let`/`for`/`match` bindings, `&mut` arguments of tainted calls, and
+//!   callee summaries: an in-workspace function is summarized as
+//!   *source* (returns tainted with clean arguments) and/or *propagating*
+//!   (returns tainted when its arguments are). Unknown callees are
+//!   treated as propagating; known-clean callees stop taint at the call.
+//! * **Sinks** — T001 secret-dependent `if`/`match`, T002 secret-indexed
+//!   array access, T003 secret-dependent loop bound, T004 `return` under
+//!   a secret-dependent branch.
+//!
+//! A waived branch (`pprl:allow(secret-taint)`) does not escalate its
+//! body's context taint: waiving the branch waives the early returns
+//! that are control-dependent on it.
+
+use crate::config::Config;
+use crate::findings::{Finding, Severity};
+use crate::lexer::TokKind;
+use crate::parser::{parse_fns, FnDef, Span, Stmt};
+use crate::rules::{emit, NON_INDEX_KEYWORDS};
+use crate::scan::{match_delim, FileCtx};
+use std::collections::{HashMap, HashSet};
+
+pub(crate) const FAMILY: &str = "secret-taint";
+const RULES: &[&str] = &["T001", "T002", "T003", "T004"];
+
+/// What calling a function does to taint, derived by simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct FnSummary {
+    /// Returns tainted data even with clean arguments.
+    source: bool,
+    /// Returns tainted data when any argument is tainted.
+    propagates: bool,
+}
+
+/// Call summaries, namespaced by how the call site can address the
+/// function. Keeping them separate is what stops `Vec::new()` from
+/// resolving to some unrelated in-workspace `fn new` — a qualified call
+/// must match its `Type::name` key (or a free function), and a method
+/// call only matches methods.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Summaries {
+    /// Free functions, keyed by bare name.
+    free: HashMap<String, FnSummary>,
+    /// `impl` methods, merged across impls by method name.
+    methods: HashMap<String, FnSummary>,
+    /// `impl` methods keyed `Type::name` (exact resolution).
+    qualified: HashMap<String, FnSummary>,
+}
+
+/// `// pprl:secret` markers in a file: line plus the names listed in the
+/// optional `(a, b)` argument list (empty = bare marker).
+fn secret_markers(ctx: &FileCtx) -> Vec<(u32, Vec<String>)> {
+    let mut out = Vec::new();
+    for c in &ctx.comments {
+        if let Some(at) = c.text.find("pprl:secret") {
+            let rest = &c.text[at + "pprl:secret".len()..];
+            let names = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+                Some((inner, _)) => inner
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect(),
+                None => Vec::new(),
+            };
+            out.push((c.line, names));
+        }
+    }
+    out
+}
+
+/// Runs the taint pass over every file matching `taint_paths`, using
+/// summaries computed from the whole workspace (so cross-file in-crate
+/// calls resolve).
+pub fn check_workspace(files: &[FileCtx], config: &Config, findings: &mut Vec<Finding>) {
+    if config.taint_paths.is_empty() {
+        return;
+    }
+    let mut types: HashSet<String> = config.taint_types.iter().cloned().collect();
+    for f in files {
+        types.extend(f.marker_secret_types());
+    }
+
+    let parsed: Vec<Vec<FnDef>> = files.iter().map(parse_fns).collect();
+    let markers: Vec<Vec<(u32, Vec<String>)>> = files.iter().map(secret_markers).collect();
+
+    // Global summary fixpoint: three rounds handle call chains of depth
+    // three, which covers the workspace (deeper chains degrade to the
+    // conservative "unknown = propagating" default, never to unsound).
+    let mut summaries = Summaries::default();
+    for _round in 0..3 {
+        let mut next = Summaries::default();
+        for (fi, fns) in parsed.iter().enumerate() {
+            for def in fns {
+                let sum = summarize_fn(&files[fi], def, &types, &summaries, &markers[fi]);
+                match &def.self_type {
+                    Some(st) => {
+                        or_merge(&mut next.qualified, format!("{st}::{}", def.name), sum);
+                        or_merge(&mut next.methods, def.name.clone(), sum);
+                    }
+                    None => or_merge(&mut next.free, def.name.clone(), sum),
+                }
+            }
+        }
+        let stable = next == summaries;
+        summaries = next;
+        if stable {
+            break;
+        }
+    }
+
+    for (fi, fns) in parsed.iter().enumerate() {
+        let f = &files[fi];
+        if !config.taint_paths.iter().any(|p| f.path.ends_with(p)) {
+            continue;
+        }
+        for def in fns {
+            let mut taints = type_seeds(f, def, &types);
+            taints.extend(marker_seeds(def, &markers[fi]));
+            let mut ev = Eval {
+                ctx: f,
+                types: &types,
+                summaries: &summaries,
+                markers: &markers[fi],
+                taints,
+            };
+            ev.fixpoint(def);
+            ev.report(def, false, findings);
+        }
+    }
+}
+
+fn or_merge(map: &mut HashMap<String, FnSummary>, key: String, sum: FnSummary) {
+    let e = map.entry(key).or_default();
+    e.source |= sum.source;
+    e.propagates |= sum.propagates || sum.source;
+}
+
+/// Two simulations per function: seeds-only (does it *originate* taint?)
+/// and everything-tainted (does it *pass taint through*?).
+fn summarize_fn(
+    ctx: &FileCtx,
+    def: &FnDef,
+    types: &HashSet<String>,
+    summaries: &Summaries,
+    markers: &[(u32, Vec<String>)],
+) -> FnSummary {
+    let seeds = type_seeds(ctx, def, types);
+    let mut ev = Eval {
+        ctx,
+        types,
+        summaries,
+        markers,
+        taints: seeds.clone(),
+    };
+    ev.fixpoint(def);
+    let source = ev.return_tainted(&def.body);
+
+    let mut all = seeds;
+    all.insert("self".to_string());
+    for p in &def.params {
+        all.extend(p.names.iter().cloned());
+    }
+    let mut ev = Eval {
+        ctx,
+        types,
+        summaries,
+        markers,
+        taints: all,
+    };
+    ev.fixpoint(def);
+    let propagates = ev.return_tainted(&def.body);
+    FnSummary { source, propagates }
+}
+
+/// Intrinsic taint seeds for one function: secret-typed `self` and
+/// secret-typed parameters. These make the function a *source* — its
+/// return carries secret data no matter what callers pass in.
+fn type_seeds(ctx: &FileCtx, def: &FnDef, types: &HashSet<String>) -> HashSet<String> {
+    let mut taints = HashSet::new();
+    if def.has_self && def.self_type.as_ref().is_some_and(|s| types.contains(s)) {
+        taints.insert("self".to_string());
+    }
+    for p in &def.params {
+        if span_has_type(ctx, p.ty, types) {
+            taints.extend(p.names.iter().cloned());
+        }
+    }
+    taints
+}
+
+/// Parameter names listed in a `pprl:secret(…)` marker within three lines
+/// above the `fn`. These seed the *body* check ("this body must be
+/// constant-time in these params") but do not make the function a source:
+/// calling it on clean arguments still returns clean data.
+fn marker_seeds(def: &FnDef, markers: &[(u32, Vec<String>)]) -> HashSet<String> {
+    let mut taints = HashSet::new();
+    for (ml, names) in markers {
+        if !names.is_empty() && *ml < def.line && def.line - *ml <= 3 {
+            taints.extend(names.iter().cloned());
+        }
+    }
+    taints
+}
+
+fn span_has_type(ctx: &FileCtx, span: Span, types: &HashSet<String>) -> bool {
+    ctx.tokens[span.0.min(ctx.tokens.len())..span.1.min(ctx.tokens.len())]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && types.contains(&t.text))
+}
+
+fn span_has_range(ctx: &FileCtx, span: Span) -> bool {
+    ctx.tokens[span.0.min(ctx.tokens.len())..span.1.min(ctx.tokens.len())]
+        .iter()
+        .any(|t| t.kind == TokKind::Punct && (t.text == ".." || t.text == "..="))
+}
+
+/// Per-function taint evaluation state.
+struct Eval<'a> {
+    ctx: &'a FileCtx,
+    types: &'a HashSet<String>,
+    summaries: &'a Summaries,
+    markers: &'a [(u32, Vec<String>)],
+    taints: HashSet<String>,
+}
+
+impl Eval<'_> {
+    /// Runs [`Eval::flow`] until the taint set stops growing.
+    fn fixpoint(&mut self, def: &FnDef) {
+        for _ in 0..8 {
+            let before = self.taints.len();
+            self.flow(&def.body, false);
+            if self.taints.len() == before {
+                break;
+            }
+        }
+    }
+
+    /// One propagation pass over a statement list. `ctx_tainted` is the
+    /// control context: true inside branches taken on secret data.
+    fn flow(&mut self, stmts: &[Stmt], ctx_tainted: bool) {
+        for s in stmts {
+            match s {
+                Stmt::Let {
+                    line,
+                    bindings,
+                    ty,
+                    init,
+                } => {
+                    let mut tainted = ctx_tainted || self.bare_marker_above(*line);
+                    if let Some(ty) = ty {
+                        tainted |= span_has_type(self.ctx, *ty, self.types);
+                    }
+                    if let Some(init) = init {
+                        if self.expr_tainted(*init) {
+                            tainted = true;
+                            self.mark_mut_args(*init);
+                        }
+                    }
+                    if tainted {
+                        self.taints.extend(bindings.iter().cloned());
+                    }
+                }
+                Stmt::Expr { target, value, .. } => {
+                    let vt = self.expr_tainted(*value);
+                    if vt {
+                        self.mark_mut_args(*value);
+                    }
+                    if vt || ctx_tainted {
+                        if let Some(t) = target {
+                            self.taints.insert(t.clone());
+                        }
+                    }
+                }
+                Stmt::If {
+                    line,
+                    cond,
+                    pat_bindings,
+                    then_body,
+                    else_body,
+                } => {
+                    let ct = self.expr_tainted(*cond);
+                    if ct || ctx_tainted {
+                        self.taints.extend(pat_bindings.iter().cloned());
+                    }
+                    let inner = ctx_tainted || (ct && !self.waived(*line));
+                    self.flow(then_body, inner);
+                    self.flow(else_body, inner);
+                }
+                Stmt::While {
+                    line,
+                    cond,
+                    pat_bindings,
+                    body,
+                } => {
+                    let ct = self.expr_tainted(*cond);
+                    if ct || ctx_tainted {
+                        self.taints.extend(pat_bindings.iter().cloned());
+                    }
+                    let inner = ctx_tainted || (ct && !self.waived(*line));
+                    self.flow(body, inner);
+                }
+                Stmt::For {
+                    bindings,
+                    iter,
+                    body,
+                    ..
+                } => {
+                    if self.expr_tainted(*iter) || ctx_tainted {
+                        self.taints.extend(bindings.iter().cloned());
+                    }
+                    self.flow(body, ctx_tainted);
+                }
+                Stmt::Match {
+                    line,
+                    scrutinee,
+                    arms,
+                } => {
+                    let st = self.expr_tainted(*scrutinee);
+                    let inner = ctx_tainted || (st && !self.waived(*line));
+                    for arm in arms {
+                        if st || ctx_tainted {
+                            self.taints.extend(arm.bindings.iter().cloned());
+                        }
+                        self.flow(&arm.body, inner);
+                    }
+                }
+                Stmt::Return { .. } => {}
+                Stmt::Loop { body } | Stmt::Block { body } => self.flow(body, ctx_tainted),
+            }
+        }
+    }
+
+    /// Emits findings using the converged taint set.
+    fn report(&self, def: &FnDef, _outer: bool, findings: &mut Vec<Finding>) {
+        self.walk_report(&def.body, false, findings);
+        self.scan_indexing(def, findings);
+    }
+
+    fn walk_report(&self, stmts: &[Stmt], ctx_tainted: bool, findings: &mut Vec<Finding>) {
+        for s in stmts {
+            match s {
+                Stmt::If {
+                    line,
+                    cond,
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    let ct = self.expr_tainted(*cond);
+                    if ct {
+                        self.emit_t(findings, "T001", *line, "branch condition depends on secret-tainted data");
+                    }
+                    let inner = ctx_tainted || (ct && !self.waived(*line));
+                    self.walk_report(then_body, inner, findings);
+                    self.walk_report(else_body, inner, findings);
+                }
+                Stmt::Match {
+                    line,
+                    scrutinee,
+                    arms,
+                } => {
+                    let st = self.expr_tainted(*scrutinee);
+                    if st {
+                        self.emit_t(findings, "T001", *line, "match scrutinee depends on secret-tainted data");
+                    }
+                    let inner = ctx_tainted || (st && !self.waived(*line));
+                    for arm in arms {
+                        self.walk_report(&arm.body, inner, findings);
+                    }
+                }
+                Stmt::While { line, cond, body, .. } => {
+                    let ct = self.expr_tainted(*cond);
+                    if ct {
+                        self.emit_t(findings, "T003", *line, "loop condition depends on secret-tainted data");
+                    }
+                    let inner = ctx_tainted || (ct && !self.waived(*line));
+                    self.walk_report(body, inner, findings);
+                }
+                Stmt::For { line, iter, body, .. } => {
+                    if self.expr_tainted(*iter) && span_has_range(self.ctx, *iter) {
+                        self.emit_t(findings, "T003", *line, "loop bound derived from secret-tainted data");
+                    }
+                    self.walk_report(body, ctx_tainted, findings);
+                }
+                Stmt::Return { line, .. } => {
+                    if ctx_tainted {
+                        self.emit_t(findings, "T004", *line, "early return under a secret-dependent branch");
+                    }
+                }
+                Stmt::Loop { body } | Stmt::Block { body } => {
+                    self.walk_report(body, ctx_tainted, findings);
+                }
+                Stmt::Let { .. } | Stmt::Expr { .. } => {}
+            }
+        }
+    }
+
+    /// T002: flat scan of the body for `…[tainted]` indexing.
+    fn scan_indexing(&self, def: &FnDef, findings: &mut Vec<Finding>) {
+        let toks = &self.ctx.tokens;
+        let (start, end) = def.body_span;
+        for i in start..end.min(toks.len()) {
+            let t = &toks[i];
+            if t.kind != TokKind::Open
+                || t.text != "["
+                || i == 0
+                || self.ctx.excluded[i]
+                || self.ctx.in_attr[i]
+            {
+                continue;
+            }
+            let prev = &toks[i - 1];
+            let is_index = (prev.kind == TokKind::Ident
+                && !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()))
+                || (prev.kind == TokKind::Close && (prev.text == ")" || prev.text == "]"));
+            if !is_index {
+                continue;
+            }
+            let close = match_delim(toks, i);
+            if self.expr_tainted((i + 1, close)) {
+                self.emit_t(findings, "T002", t.line, "array index depends on secret-tainted data");
+            }
+        }
+    }
+
+    fn emit_t(
+        &self,
+        findings: &mut Vec<Finding>,
+        rule: &'static str,
+        line: u32,
+        msg: &str,
+    ) {
+        emit(
+            self.ctx,
+            findings,
+            rule,
+            FAMILY,
+            Severity::Warning,
+            line,
+            msg.to_string(),
+        );
+    }
+
+    /// Is any identifier (or secret-type mention, or source call) in the
+    /// span tainted? Known-clean callees have their argument groups
+    /// skipped; unknown callees conservatively propagate.
+    fn expr_tainted(&self, span: Span) -> bool {
+        let toks = &self.ctx.tokens;
+        let mut i = span.0;
+        let end = span.1.min(toks.len());
+        while i < end {
+            let t = &toks[i];
+            if t.kind == TokKind::Ident && !self.ctx.in_attr[i] {
+                if self.types.contains(&t.text) {
+                    return true;
+                }
+                let is_call = toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Open && n.text == "(");
+                if is_call {
+                    match self.callee_summary(i) {
+                        Some(s) if s.source => return true,
+                        Some(s) if !s.propagates => {
+                            // Clean callee: taint cannot flow out through
+                            // its return value; skip the arguments.
+                            i = match_delim(toks, i + 1) + 1;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                } else {
+                    let prev_sep = i > 0
+                        && toks[i - 1].kind == TokKind::Punct
+                        && (toks[i - 1].text == "." || toks[i - 1].text == "::");
+                    if !prev_sep && self.taints.contains(&t.text) {
+                        return true;
+                    }
+                }
+            }
+            i += 1;
+        }
+        false
+    }
+
+    /// Summary for the callee named at token `i`, resolved by call shape.
+    ///
+    /// `X::name(..)` tries the exact `Type::name` key, then free functions
+    /// (module paths like `crate::ct::cswap_limbs` qualify a free fn); a
+    /// miss stays unknown rather than falling back to some other type's
+    /// method of the same name. `.name(..)` consults only method
+    /// summaries; a bare `name(..)` only free functions.
+    fn callee_summary(&self, i: usize) -> Option<FnSummary> {
+        let toks = &self.ctx.tokens;
+        let name = toks[i].text.as_str();
+        if i >= 1 && toks[i - 1].kind == TokKind::Punct {
+            match toks[i - 1].text.as_str() {
+                "::" => {
+                    if i >= 2 && toks[i - 2].kind == TokKind::Ident {
+                        let qualified = format!("{}::{name}", toks[i - 2].text);
+                        if let Some(s) = self.summaries.qualified.get(&qualified) {
+                            return Some(*s);
+                        }
+                    }
+                    return self.summaries.free.get(name).copied();
+                }
+                "." => return self.summaries.methods.get(name).copied(),
+                _ => {}
+            }
+        }
+        self.summaries.free.get(name).copied()
+    }
+
+    /// A tainted call may write taint into its `&mut x` arguments.
+    fn mark_mut_args(&mut self, span: Span) {
+        let toks = &self.ctx.tokens;
+        let end = span.1.min(toks.len());
+        let mut i = span.0;
+        while i + 2 < end {
+            if toks[i].kind == TokKind::Punct
+                && toks[i].text == "&"
+                && toks[i + 1].kind == TokKind::Ident
+                && toks[i + 1].text == "mut"
+                && toks[i + 2].kind == TokKind::Ident
+            {
+                self.taints.insert(toks[i + 2].text.clone());
+                i += 3;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    fn bare_marker_above(&self, line: u32) -> bool {
+        self.markers
+            .iter()
+            .any(|(ml, names)| names.is_empty() && *ml < line && line - *ml <= 2)
+    }
+
+    fn waived(&self, line: u32) -> bool {
+        self.ctx.waiver_for(line, FAMILY).is_some()
+            || RULES.iter().any(|r| self.ctx.waiver_for(line, r).is_some())
+    }
+
+    /// Does the function's return value carry taint? Explicit `return`s
+    /// plus the tail expression of the body.
+    fn return_tainted(&self, stmts: &[Stmt]) -> bool {
+        self.any_return_tainted(stmts) || self.tail_tainted(stmts)
+    }
+
+    fn any_return_tainted(&self, stmts: &[Stmt]) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::Return {
+                value: Some(v), ..
+            } => self.expr_tainted(*v),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => self.any_return_tainted(then_body) || self.any_return_tainted(else_body),
+            Stmt::While { body, .. }
+            | Stmt::For { body, .. }
+            | Stmt::Loop { body }
+            | Stmt::Block { body } => self.any_return_tainted(body),
+            Stmt::Match { arms, .. } => arms.iter().any(|a| self.any_return_tainted(&a.body)),
+            _ => false,
+        })
+    }
+
+    fn tail_tainted(&self, stmts: &[Stmt]) -> bool {
+        match stmts.last() {
+            Some(Stmt::Expr {
+                target: None,
+                value,
+                ..
+            }) => self.expr_tainted(*value),
+            Some(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            }) => {
+                self.expr_tainted(*cond)
+                    || self.tail_tainted(then_body)
+                    || self.tail_tainted(else_body)
+            }
+            Some(Stmt::Match {
+                scrutinee, arms, ..
+            }) => {
+                self.expr_tainted(*scrutinee)
+                    || arms.iter().any(|a| self.tail_tainted(&a.body))
+            }
+            Some(Stmt::Block { body }) | Some(Stmt::Loop { body }) => self.tail_tainted(body),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::summarize;
+
+    fn run(src: &str, types: &[&str], paths: &[&str]) -> Vec<Finding> {
+        let ctx = FileCtx::build("lib.rs".into(), src);
+        let config = Config {
+            taint_paths: paths.iter().map(|s| s.to_string()).collect(),
+            taint_types: types.iter().map(|s| s.to_string()).collect(),
+            ..Config::default()
+        };
+        let mut findings = Vec::new();
+        check_workspace(&[ctx], &config, &mut findings);
+        findings
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn disabled_without_paths() {
+        let f = run("fn f(k: Key) { if k.bit() { g(); } }", &["Key"], &[]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn branch_on_secret_param_type() {
+        let f = run(
+            "fn f(k: &Key) -> u64 { if k.bit() { return 1; } 0 }",
+            &["Key"],
+            &["lib.rs"],
+        );
+        assert_eq!(rules_of(&f), vec!["T001", "T004"]);
+    }
+
+    #[test]
+    fn marker_seeds_fn_params() {
+        let f = run(
+            "// pprl:secret(exp)\nfn modexp(base: u64, exp: u64) -> u64 {\n    let mut r = 1;\n    while exp > 0 { r *= base; }\n    r\n}",
+            &[],
+            &["lib.rs"],
+        );
+        assert_eq!(rules_of(&f), vec!["T003"]);
+    }
+
+    #[test]
+    fn taint_flows_through_let_and_assignment() {
+        let f = run(
+            "fn f(k: &Key) {\n    let a = k.low();\n    let mut b = 0;\n    b = a & 7;\n    if b == 3 { g(); }\n}",
+            &["Key"],
+            &["lib.rs"],
+        );
+        assert_eq!(rules_of(&f), vec!["T001"]);
+    }
+
+    #[test]
+    fn secret_indexed_access() {
+        let f = run(
+            "fn f(k: &Key, table: &[u64]) -> u64 {\n    let idx = k.low() as usize;\n    table[idx & 7]\n}",
+            &["Key"],
+            &["lib.rs"],
+        );
+        assert_eq!(rules_of(&f), vec!["T002"]);
+    }
+
+    #[test]
+    fn tainted_range_loop_but_not_public_range() {
+        let f = run(
+            "fn f(k: &Key) {\n    let n = k.low();\n    for _i in 0..n { g(); }\n    for _j in 0..64 { g(); }\n    for _x in k.items().iter() { g(); }\n}",
+            &["Key"],
+            &["lib.rs"],
+        );
+        // Iterating a tainted *collection* is fine (fixed length);
+        // a tainted range bound is not.
+        assert_eq!(rules_of(&f), vec!["T003"]);
+    }
+
+    #[test]
+    fn callee_summary_source_and_clean() {
+        let src = "\
+fn derive(k: &Key) -> u64 { k.low() }\n\
+fn public_len(v: &[u64]) -> usize { v.len() }\n\
+fn caller(k: &Key, v: &[u64]) {\n\
+    let d = derive(k);\n\
+    if d == 3 { g(); }\n\
+    let n = public_len(v);\n\
+    if n == 3 { g(); }\n\
+}\n";
+        let f = run(src, &["Key"], &["lib.rs"]);
+        assert_eq!(rules_of(&f), vec!["T001"], "only the derive()-fed branch");
+    }
+
+    #[test]
+    fn waived_branch_does_not_taint_context() {
+        let f = run(
+            "fn f(k: &Key) -> u64 {\n    // pprl:allow(secret-taint): occupancy only\n    if k.empty() { return 0; }\n    1\n}",
+            &["Key"],
+            &["lib.rs"],
+        );
+        let s = summarize(&f);
+        assert_eq!((s.total, s.new, s.waived), (1, 0, 1), "{f:?}");
+        assert_eq!(f[0].rule, "T001");
+    }
+
+    #[test]
+    fn marker_type_and_bare_let_marker() {
+        let src = "\
+// pprl:secret\nstruct Sk { v: u64 }\n\
+fn f() {\n\
+    // pprl:secret\n\
+    let noise = sample();\n\
+    match noise & 1 { 0 => g(), _ => h(), }\n\
+}\n";
+        let f = run(src, &[], &["lib.rs"]);
+        assert_eq!(rules_of(&f), vec!["T001"]);
+    }
+
+    #[test]
+    fn mut_arg_of_tainted_call_is_tainted() {
+        let f = run(
+            "fn f(k: &Key) {\n    let mut buf = 0u64;\n    fill(k, &mut buf);\n    if buf > 0 { g(); }\n}",
+            &["Key"],
+            &["lib.rs"],
+        );
+        assert_eq!(rules_of(&f), vec!["T001"]);
+    }
+
+    #[test]
+    fn constant_time_body_is_clean() {
+        let f = run(
+            "fn select(k: &Key, a: u64, b: u64) -> u64 {\n    let mask = k.bit().wrapping_neg();\n    (a & mask) | (b & !mask)\n}",
+            &["Key"],
+            &["lib.rs"],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -61,7 +61,9 @@ impl FileCtx {
                 }
                 waivers.entry(l).or_default().push(w);
             }
-            if c.text.contains("pprl:secret") {
+            // Bare markers tag types; `pprl:secret(a, b)` markers seed the
+            // taint pass and must not capture a nearby struct/enum.
+            if c.text.contains("pprl:secret") && !c.text.contains("pprl:secret(") {
                 secret_marker_lines.push(c.line);
             }
         }
@@ -349,8 +351,8 @@ pub fn load_workspace(root: &Path, config: &Config) -> Vec<FileCtx> {
         .collect()
 }
 
-/// Runs the three lint families over the workspace and returns findings
-/// with fingerprints assigned, sorted by (file, line, rule).
+/// Runs the per-file lint families plus the workspace-wide taint pass and
+/// returns findings with fingerprints assigned, sorted by (file, line, rule).
 pub fn run_analysis(root: &Path, config: &Config) -> Vec<Finding> {
     let files = load_workspace(root, config);
 
@@ -368,6 +370,9 @@ pub fn run_analysis(root: &Path, config: &Config) -> Vec<Finding> {
         rules::panic::check(f, config, &mut findings);
         rules::ct::check(f, config, &mut findings);
     }
+    // Pass 3: the taint dataflow pass needs every file at once (callee
+    // summaries cross file boundaries).
+    rules::taint::check_workspace(&files, config, &mut findings);
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
     });

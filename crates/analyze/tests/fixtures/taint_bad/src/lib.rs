@@ -1,0 +1,68 @@
+//! Taint fixture: every T-family sink, reachable from three kinds of
+//! taint source (marker-tagged type, `pprl:secret(...)` fn marker, and
+//! callee-summary propagation).
+
+// pprl:secret
+pub struct Key {
+    limbs: Vec<u64>,
+}
+
+impl Key {
+    pub fn dec(&self, table: &[u64]) -> u64 {
+        let k = self.limbs.len() as u64;
+        let mut acc = 0u64;
+        if k > 0 {
+            // T001: branch on secret-derived k
+            acc += 1;
+        }
+        for i in 0..k {
+            // T003: loop bound derived from secret
+            acc = acc.wrapping_add(i);
+        }
+        let idx = (k & 7) as usize;
+        acc += table[idx]; // T002: secret-indexed access
+        if k == 9 {
+            // T001 again
+            return acc; // T004: early return under secret branch
+        }
+        acc
+    }
+}
+
+// pprl:secret(exp)
+pub fn modexp(base: u64, exp: u64, m: u64) -> u64 {
+    let mut result = 1u64;
+    let mut b = base % m;
+    let mut e = exp;
+    while e > 0 {
+        // T003: loop condition on secret exponent
+        result = result.wrapping_mul(b) % m;
+        b = b.wrapping_mul(b) % m;
+        e >>= 1;
+    }
+    result
+}
+
+pub fn derive(k: &Key) -> u64 {
+    k.dec(&[0, 1, 2, 3])
+}
+
+pub fn caller(k: &Key) -> u64 {
+    let d = derive(k);
+    let mut out = 0;
+    if d == 3 {
+        // T001: taint propagated through the derive() summary
+        out = 1;
+    }
+    out
+}
+
+/// Public-data control flow must stay silent.
+pub fn helper(v: &[u64]) -> u64 {
+    let n = v.len();
+    let mut acc = 0;
+    for i in 0..n {
+        acc = acc.wrapping_add(v[i]);
+    }
+    acc
+}

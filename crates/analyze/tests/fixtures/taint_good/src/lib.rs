@@ -1,0 +1,37 @@
+//! Taint fixture: the constant-time rewrite of `taint_bad` — branch-free
+//! mask selection over the whole public table — plus one justified,
+//! waived branch on occupancy state.
+
+// pprl:secret
+pub struct Key {
+    limbs: Vec<u64>,
+}
+
+impl Key {
+    /// Branch-free decode: mask-select from every public slot instead of
+    /// indexing by the secret.
+    pub fn dec(&self, table: &[u64]) -> u64 {
+        let k = self.limbs.len() as u64;
+        let mut acc = 0u64;
+        for (i, &v) in table.iter().enumerate() {
+            let mask = eq_mask(i as u64, k & 7);
+            acc |= v & mask;
+        }
+        acc
+    }
+
+    pub fn occupancy(&self) -> usize {
+        // pprl:allow(secret-taint): occupancy is public operational state,
+        // not key material
+        match self.limbs.first() {
+            Some(_) => self.limbs.len(),
+            None => 0,
+        }
+    }
+}
+
+/// All-ones when `a == b`, all-zeros otherwise, with no branch.
+fn eq_mask(a: u64, b: u64) -> u64 {
+    let d = a ^ b;
+    (((d | d.wrapping_neg()) >> 63) ^ 1).wrapping_neg()
+}

@@ -104,6 +104,28 @@ fn ct_good_constant_time_rewrite_is_clean() {
 }
 
 #[test]
+fn taint_bad_flags_every_sink() {
+    let mut config = cfg(&["taint_bad"]);
+    config.taint_paths = vec!["taint_bad/src/lib.rs".to_string()];
+    let findings = run_analysis(&fixtures_root(), &config);
+    assert_eq!(count(&findings, "T001"), 3, "2 branches + 1 via call summary");
+    assert_eq!(count(&findings, "T002"), 1, "secret-indexed table access");
+    assert_eq!(count(&findings, "T003"), 2, "for-range bound + while condition");
+    assert_eq!(count(&findings, "T004"), 1, "early return under secret branch");
+    assert_eq!(summarize(&findings).new, 7, "{findings:?}");
+}
+
+#[test]
+fn taint_good_branch_free_rewrite_is_clean() {
+    let mut config = cfg(&["taint_good"]);
+    config.taint_paths = vec!["taint_good/src/lib.rs".to_string()];
+    let findings = run_analysis(&fixtures_root(), &config);
+    let s = summarize(&findings);
+    assert_eq!((s.total, s.new, s.waived), (1, 0, 1), "{findings:?}");
+    assert_eq!(count(&findings, "T001"), 1, "only the waived occupancy match");
+}
+
+#[test]
 fn combined_run_finds_all_families() {
     let mut config = cfg(&["secret_bad", "panic_bad", "ct_bad"]);
     config.secret_idents = vec!["sk".to_string()];

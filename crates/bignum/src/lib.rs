@@ -30,6 +30,7 @@
 //! ```
 
 mod convert;
+mod ct;
 mod div;
 mod gcd;
 mod int;

@@ -17,18 +17,21 @@ use crate::{BigUint, Montgomery};
 const WINDOW: usize = 4;
 
 impl BigUint {
-    /// Computes `self^exp mod modulus`.
+    /// Computes `self^exp mod modulus` with the fixed-window walk.
+    ///
+    /// Runtime varies with the exponent's bit pattern — use only where
+    /// the exponent is public (Paillier encryption raises to `n`).
+    /// For secret exponents use [`BigUint::mod_pow_ct`].
     ///
     /// Panics if `modulus` is zero; `modulus == 1` yields zero.
     pub fn mod_pow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "mod_pow: zero modulus");
+        // Every condition below reads the modulus, which is public in all
+        // uses (n², p², q², the AgES group prime) — the exponent never
+        // steers control flow here.
         if modulus.is_one() {
-            return BigUint::zero();
-        }
-        if exp.is_zero() {
-            return BigUint::one();
-        }
-        if modulus.is_odd() {
+            BigUint::zero()
+        } else if modulus.is_odd() {
             match Montgomery::new(modulus) {
                 Ok(ctx) => ctx.pow(self, exp),
                 // Unreachable for an odd modulus > 1, but degrade to the
@@ -37,6 +40,31 @@ impl BigUint {
             }
         } else {
             mod_pow_binary(self, exp, modulus)
+        }
+    }
+
+    /// Computes `self^exp mod modulus` in time independent of the
+    /// exponent's bit pattern (Montgomery ladder, [`Montgomery::pow_ct`]).
+    ///
+    /// The exponent's *limb count* is the only exponent-derived quantity
+    /// that reaches control flow; callers with secret exponents of a
+    /// fixed width (CRT decryption exponents `p−1`/`q−1`, the AgES
+    /// commutative-encryption exponent) leak nothing per call. Even or
+    /// unit moduli have no Montgomery form and fall back to the
+    /// variable-time path — a property of the public modulus, not of the
+    /// exponent, and unreachable from the crypto layer.
+    ///
+    /// Panics if `modulus` is zero; `modulus == 1` yields zero.
+    // pprl:secret(exp)
+    pub fn mod_pow_ct(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "mod_pow_ct: zero modulus");
+        if modulus.is_odd() && !modulus.is_one() {
+            match Montgomery::new(modulus) {
+                Ok(ctx) => ctx.pow_ct(self, exp),
+                Err(_) => self.mod_pow(exp, modulus),
+            }
+        } else {
+            self.mod_pow(exp, modulus)
         }
     }
 }
@@ -126,6 +154,35 @@ impl Montgomery {
             BigUint::one().rem(self.modulus())
         }
     }
+
+    /// `base^exp mod m` via the Montgomery ladder: one squaring and one
+    /// multiplication per exponent bit, with the operand roles chosen by
+    /// a branch-free conditional swap. Unlike [`Montgomery::pow`], the
+    /// multiplication schedule — and therefore the runtime — depends
+    /// only on the exponent's limb count, never on which bits are set.
+    ///
+    /// The ladder walks every bit of every limb (including leading
+    /// zeros), so exponents of equal limb count are indistinguishable.
+    /// An empty exponent leaves the accumulator at 1.
+    // pprl:secret(exp)
+    pub fn pow_ct(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let base_m = self.to_mont(base);
+        // Ladder invariant: r1 = r0 · base (in the exponent), maintained
+        // by swapping the square/multiply roles instead of branching.
+        let mut r0 = self.one_mont();
+        let mut r1 = base_m;
+        for &limb in exp.limbs().iter().rev() {
+            for shift in (0..64).rev() {
+                let bit = (limb >> shift) & 1;
+                let mask = bit.wrapping_neg();
+                crate::ct::cswap_limbs(mask, &mut r0, &mut r1);
+                r1 = self.mont_mul(&r0, &r1);
+                r0 = self.mont_mul(&r0, &r0);
+                crate::ct::cswap_limbs(mask, &mut r0, &mut r1);
+            }
+        }
+        self.from_mont(&r0)
+    }
 }
 
 /// Plain binary square-and-multiply with division-based reduction.
@@ -213,5 +270,45 @@ mod tests {
     #[should_panic(expected = "zero modulus")]
     fn zero_modulus_panics() {
         BigUint::one().mod_pow(&BigUint::one(), &BigUint::zero());
+    }
+
+    #[test]
+    fn ladder_matches_window_small() {
+        for (b, e, m) in [
+            (2u64, 10u64, 1_000_003u64),
+            (7, 13, 11),
+            (123, 0, 7),
+            (0, 5, 7),
+            (5, 1, 9),
+            (10, 30, 17),
+            (0xDEAD_BEEF, u64::MAX, 0xFFFF_FFFF_FFFF_FFC5),
+        ] {
+            let base = BigUint::from_u64(b);
+            let exp = BigUint::from_u64(e);
+            let modulus = BigUint::from_u64(m);
+            assert_eq!(
+                base.mod_pow_ct(&exp, &modulus),
+                base.mod_pow(&exp, &modulus),
+                "({b},{e},{m})"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_even_and_unit_modulus_fall_back() {
+        let base = BigUint::from_u64(3);
+        assert_eq!(
+            base.mod_pow_ct(&BigUint::from_u64(5), &BigUint::from_u64(16)).to_u64(),
+            Some(3)
+        );
+        assert!(base.mod_pow_ct(&BigUint::from_u64(5), &BigUint::one()).is_zero());
+    }
+
+    #[test]
+    fn ladder_fermat_128bit() {
+        let p = BigUint::from_decimal("170141183460469231731687303715884105727").unwrap();
+        let a = BigUint::from_u64(0xCAFE_BABE_DEAD_BEEF);
+        let e = &p - &BigUint::one();
+        assert_eq!(a.mod_pow_ct(&e, &p), BigUint::one());
     }
 }

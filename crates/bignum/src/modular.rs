@@ -126,6 +126,7 @@ impl Montgomery {
     ///
     /// Returns `a·b·R⁻¹ mod m`, padded to `n` limbs.
     #[allow(clippy::needless_range_loop)] // shifted-index reduction loop
+    // pprl:secret(a, b): operands are secret-derived during CRT decryption
     pub fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         debug_assert_eq!(a.len(), self.n);
         debug_assert_eq!(b.len(), self.n);
@@ -159,17 +160,25 @@ impl Montgomery {
             t[n + 1] = 0;
         }
 
-        // Result in t[0..=n] is < 2m; subtract m once if needed.
-        let needs_sub = t[n] != 0 || ge_limbs(&t[..n], &self.m_limbs);
-        if needs_sub {
-            let mut borrow = 0u64;
-            for j in 0..n {
-                let (d1, b1) = t[j].overflowing_sub(self.m_limbs[j]);
-                let (d2, b2) = d1.overflowing_sub(borrow);
-                t[j] = d2;
-                borrow = (b1 as u64) + (b2 as u64);
-            }
-            debug_assert!(t[n] >= borrow);
+        // Result in t[0..=n] is < 2m; subtract m once if needed. The
+        // subtraction is always performed into a scratch buffer and then
+        // kept or discarded by mask select, so the tail's timing does not
+        // depend on the (secret-derived) product value. The reduced value
+        // is d exactly when the overflow limb is set (the borrow consumes
+        // it) or the low limbs already reach m (no borrow at all).
+        let hi = t.get(n).copied().unwrap_or(0);
+        let mut d = vec![0u64; n];
+        let mut borrow = 0u64;
+        for ((dj, tj), mj) in d.iter_mut().zip(t.iter()).zip(self.m_limbs.iter()) {
+            let s = (*tj as u128)
+                .wrapping_sub(*mj as u128)
+                .wrapping_sub(borrow as u128);
+            *dj = s as u64;
+            borrow = ((s >> 64) as u64) & 1;
+        }
+        let keep = (crate::ct::nonzero_u64(hi) | (1 ^ borrow)).wrapping_neg();
+        for (tj, dj) in t.iter_mut().zip(d.iter()) {
+            *tj = (*dj & keep) | (*tj & !keep);
         }
         t.truncate(n);
         t
@@ -197,17 +206,6 @@ impl Montgomery {
         core::sync::atomic::compiler_fence(core::sync::atomic::Ordering::SeqCst);
         self.n = 0;
     }
-}
-
-/// `a >= b` for equal-length limb slices (little-endian).
-fn ge_limbs(a: &[u64], b: &[u64]) -> bool {
-    debug_assert_eq!(a.len(), b.len());
-    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
-        if x != y {
-            return x > y;
-        }
-    }
-    true
 }
 
 #[cfg(test)]

@@ -144,6 +144,22 @@ proptest! {
         let v = random_below(&mut rng, &m);
         prop_assert!(v < m);
     }
+
+    #[test]
+    fn ladder_matches_window_modpow(a in biguint(), e in biguint(), m in odd_modulus()) {
+        // The constant-time Montgomery ladder and the fixed-window walk
+        // must agree on every (base, exponent, modulus) — including
+        // multi-limb exponents whose leading limbs are zero.
+        prop_assert_eq!(a.mod_pow_ct(&e, &m), a.mod_pow(&e, &m));
+    }
+
+    #[test]
+    fn ladder_even_modulus_fallback_matches(a in biguint(), e in 0u64..256, m in biguint_nonzero()) {
+        // Even moduli have no Montgomery form; mod_pow_ct must degrade to
+        // the same division-based result as mod_pow.
+        let e = BigUint::from_u64(e);
+        prop_assert_eq!(a.mod_pow_ct(&e, &m), a.mod_pow(&e, &m));
+    }
 }
 
 /// Structured operands that exercise Knuth D's rare correction paths

@@ -1,0 +1,96 @@
+//! Timing smoke test for the constant-time exponentiation path
+//! (dudect-flavored, heavily simplified): the Montgomery ladder's
+//! runtime must not depend on the exponent's Hamming weight.
+//!
+//! Two same-width 256-bit exponents sit at the extremes of the leakage
+//! axis — `2^255` (one set bit) and `2^256 − 1` (all 256 set) — and are
+//! measured in interleaved rounds so drift (thermal, scheduler) hits
+//! both classes equally. The variable-time window walk would show the
+//! all-ones exponent costing roughly a third more multiplications; the
+//! ladder does one square and one multiply per bit regardless, so the
+//! medians must agree to well under that margin.
+//!
+//! The assertion threshold is deliberately loose (50 %) to keep CI
+//! robust on noisy shared runners: the defect this guards against —
+//! accidentally routing `mod_pow_ct` back through the windowed or
+//! binary walk — shows up as a 25–40 % median gap, while scheduler
+//! noise on a median of dozens of samples stays in single digits.
+
+use pprl_bignum::BigUint;
+use std::time::Instant;
+
+/// Samples per class. Odd, so the median is a single order statistic.
+const SAMPLES: usize = 31;
+/// Ladder runs per sample (amortizes the `Instant` read).
+const REPS: usize = 4;
+
+fn median_ns(mut v: Vec<u128>) -> u128 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+#[test]
+fn ladder_timing_independent_of_exponent_hamming_weight() {
+    // 256-bit odd modulus: 2^256 − 189 (a prime, but only odd matters).
+    let modulus = BigUint::one()
+        .shl(256)
+        .checked_sub(&BigUint::from_u64(189))
+        .unwrap();
+    let base = BigUint::from_u64(0xDEAD_BEEF_CAFE_F00D).mod_mul(&base_mix(), &modulus);
+
+    // Same limb count (the one exponent-derived public quantity), extreme
+    // Hamming weights: 1 bit set vs all 256.
+    let exp_sparse = BigUint::one().shl(255);
+    let exp_dense = BigUint::one()
+        .shl(256)
+        .checked_sub(&BigUint::one())
+        .unwrap();
+    assert_eq!(exp_sparse.bits().div_ceil(64), exp_dense.bits().div_ceil(64));
+
+    let time_one = |exp: &BigUint| -> u128 {
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            std::hint::black_box(
+                std::hint::black_box(&base).mod_pow_ct(std::hint::black_box(exp), &modulus),
+            );
+        }
+        t0.elapsed().as_nanos()
+    };
+
+    // Warmup: fault in code paths and let the allocator settle.
+    for _ in 0..3 {
+        time_one(&exp_sparse);
+        time_one(&exp_dense);
+    }
+
+    let mut sparse = Vec::with_capacity(SAMPLES);
+    let mut dense = Vec::with_capacity(SAMPLES);
+    // Interleave the classes so slow drift cancels instead of biasing
+    // whichever class happens to run second.
+    for i in 0..SAMPLES {
+        if i % 2 == 0 {
+            sparse.push(time_one(&exp_sparse));
+            dense.push(time_one(&exp_dense));
+        } else {
+            dense.push(time_one(&exp_dense));
+            sparse.push(time_one(&exp_sparse));
+        }
+    }
+
+    let med_sparse = median_ns(sparse);
+    let med_dense = median_ns(dense);
+    let ratio = med_dense.max(med_sparse) as f64 / med_dense.min(med_sparse).max(1) as f64;
+    println!(
+        "ladder medians: HW=1 {med_sparse} ns, HW=256 {med_dense} ns, ratio {ratio:.3}"
+    );
+    assert!(
+        ratio < 1.5,
+        "ladder timing varies with exponent Hamming weight: \
+         HW=1 median {med_sparse} ns vs HW=256 median {med_dense} ns (ratio {ratio:.3})"
+    );
+}
+
+/// A second multiplicand so the base is not a round single-limb value.
+fn base_mix() -> BigUint {
+    BigUint::from_u128(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210u128)
+}

@@ -235,6 +235,50 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Exclusive advisory lock on a journal directory, held for the daemon's
+/// lifetime. Dropping it (or dying) releases the lock: `flock(2)` locks
+/// belong to the open file description, so a crashed daemon never leaves
+/// a stale lock behind.
+#[derive(Debug)]
+struct DirLock {
+    _file: Option<File>,
+}
+
+/// Takes `journal_dir/.pprl-serve.lock` with a non-blocking exclusive
+/// `flock(2)`, refusing to start when another daemon already serves this
+/// directory — two daemons appending to the same per-job journals would
+/// interleave frames and corrupt both. On non-Unix targets the lock is a
+/// no-op (the journal layer's own recovery still bounds the damage).
+#[cfg(unix)]
+fn lock_journal_dir(dir: &Path) -> Result<DirLock, LinkageError> {
+    use std::os::fd::AsRawFd;
+    const LOCK_EX: i32 = 2;
+    const LOCK_NB: i32 = 4;
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+    let path = dir.join(".pprl-serve.lock");
+    let file = File::options()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(&path)
+        .map_err(|e| LinkageError::Journal(format!("{}: {e}", path.display())))?;
+    if unsafe { flock(file.as_raw_fd(), LOCK_EX | LOCK_NB) } != 0 {
+        return Err(LinkageError::Journal(format!(
+            "{}: another serve daemon holds this journal directory ({})",
+            path.display(),
+            std::io::Error::last_os_error()
+        )));
+    }
+    Ok(DirLock { _file: Some(file) })
+}
+
+#[cfg(not(unix))]
+fn lock_journal_dir(_dir: &Path) -> Result<DirLock, LinkageError> {
+    Ok(DirLock { _file: None })
+}
+
 /// Runs the multi-job party server until every job is finished,
 /// quarantined, or the `drain` flag flips. `render` turns a finished
 /// querier outcome into the report text persisted beside the journal and
@@ -253,6 +297,9 @@ pub fn serve(
     }
     std::fs::create_dir_all(&opts.journal_dir)
         .map_err(|e| LinkageError::Journal(format!("{}: {e}", opts.journal_dir.display())))?;
+    // Held until serve returns; a second daemon pointed at the same
+    // journal directory fails fast here instead of corrupting journals.
+    let _dirlock = lock_journal_dir(&opts.journal_dir)?;
 
     // Admit-table setup: fingerprint each job, detect journals sealed by
     // a previous daemon process, and queue the rest. No worker threads
@@ -491,4 +538,43 @@ pub fn serve(
         net: mux.stats(),
         drained,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pprl-serve-lock-{}-{tag}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn journal_dir_lock_excludes_second_holder() {
+        let dir = scratch_dir("exclusive");
+        let first = lock_journal_dir(&dir).expect("first lock succeeds");
+        let second = lock_journal_dir(&dir);
+        assert!(
+            matches!(second, Err(LinkageError::Journal(ref m)) if m.contains("another serve daemon")),
+            "second lock on a held directory must fail: {second:?}"
+        );
+        drop(first);
+        lock_journal_dir(&dir).expect("lock is free again after release");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_dir_lock_is_reentrant_across_directories() {
+        let a = scratch_dir("dir-a");
+        let b = scratch_dir("dir-b");
+        let _la = lock_journal_dir(&a).expect("lock dir a");
+        let _lb = lock_journal_dir(&b).expect("independent dir b locks fine");
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
 }

@@ -100,14 +100,19 @@ impl CommutativeKey {
     }
 
     /// Encrypts a raw plaintext byte string (hash-then-exponentiate).
+    ///
+    /// The exponent is this party's long-lived secret key, so the
+    /// exponentiation uses the constant-time ladder: across a run every
+    /// element is raised to the *same* secret, which is exactly the
+    /// repeated-measurement setting timing attacks need.
     pub fn encrypt_value(&self, value: &[u8]) -> BigUint {
         let h = self.group.hash_to_group(value);
-        h.mod_pow(&self.exponent, &self.group.p)
+        h.mod_pow_ct(&self.exponent, &self.group.p)
     }
 
     /// Re-encrypts an already-encrypted group element (the commuting layer).
     pub fn encrypt_element(&self, element: &BigUint) -> BigUint {
-        element.mod_pow(&self.exponent, &self.group.p)
+        element.mod_pow_ct(&self.exponent, &self.group.p)
     }
 }
 
@@ -152,6 +157,9 @@ pub fn intersect_encrypted<R: RngCore + ?Sized>(
     }
     let mut matches = Vec::new();
     for (i, e) in eab.iter().enumerate() {
+        // pprl:allow(secret-taint): comparing doubly-encrypted values is
+        // the protocol's public output — equality of E_a(E_b(x)) is
+        // exactly what both parties agree to learn (AgES step 3)
         if let Some(js) = index.get(&e.to_bytes_be()) {
             for &j in js {
                 matches.push((i as u32, j));

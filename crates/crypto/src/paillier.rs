@@ -129,6 +129,8 @@ impl PublicKey {
         &mut self,
         pool: std::sync::Arc<crate::pool::RandomizerPool>,
     ) -> Result<(), CryptoError> {
+        // pprl:allow(secret-taint): modulus equality is a public
+        // configuration check (n is the public key), not key material
         if pool.modulus() != &self.n {
             return Err(CryptoError::InvalidKey(
                 "randomizer pool was filled for a different modulus".into(),
@@ -151,6 +153,8 @@ impl PublicKey {
 
     /// Next randomizer factor: pooled when available, inline otherwise.
     fn next_rn<R: RngCore + ?Sized>(&self, rng: &mut R) -> BigUint {
+        // pprl:allow(secret-taint): the branch reads pool *occupancy*
+        // (attached? empty?), never the randomizer values themselves
         match self.pool.as_ref().and_then(|p| p.take()) {
             Some(rn) => rn,
             None => self.fresh_rn(rng),
@@ -220,8 +224,12 @@ impl PublicKey {
     }
 
     /// `k ⊗ₕ Enc(m) = Enc(k·m)`: ciphertext exponentiation.
+    ///
+    /// The scalar is a party's private record value in the secure
+    /// distance protocol (Bob raises `Enc(−2r)` to his `s`), so the
+    /// exponentiation uses the constant-time ladder.
     pub fn mul_plain(&self, c: &Ciphertext, k: &BigUint) -> Ciphertext {
-        Ciphertext(self.mont_n2.pow(&c.0, &k.rem(&self.n)))
+        Ciphertext(self.mont_n2.pow_ct(&c.0, &k.rem(&self.n)))
     }
 
     /// Scalar multiplication by a `u64`.
@@ -308,12 +316,14 @@ impl PrivateKey {
         let p_minus_1 = &self.p - &BigUint::one();
         let q_minus_1 = &self.q - &BigUint::one();
 
-        // m_p = L_p(c^(p−1) mod p²) · hp mod p
-        let cp = self.mont_p2.pow(&c.0.rem(&self.p2), &p_minus_1);
+        // m_p = L_p(c^(p−1) mod p²) · hp mod p. The exponents p−1 and
+        // q−1 are key material: the ladder keeps the exponentiation's
+        // runtime independent of their bit patterns.
+        let cp = self.mont_p2.pow_ct(&c.0.rem(&self.p2), &p_minus_1);
         let lp = l_function(&cp, &self.p);
         let mp = lp.mod_mul(&self.hp, &self.p);
 
-        let cq = self.mont_q2.pow(&c.0.rem(&self.q2), &q_minus_1);
+        let cq = self.mont_q2.pow_ct(&c.0.rem(&self.q2), &q_minus_1);
         let lq = l_function(&cq, &self.q);
         let mq = lq.mod_mul(&self.hq, &self.q);
 
@@ -333,21 +343,38 @@ impl PrivateKey {
     /// Decrypts with signed decoding: plaintexts above `n/2` are negative.
     pub fn decrypt_i64(&self, c: &Ciphertext) -> Result<i64, CryptoError> {
         let m = self.decrypt(c)?;
-        if m > *self.public.half_n() {
-            let mag = &self.public.n - &m;
-            let v = mag.to_u64().ok_or(CryptoError::ValueOutOfRange)?;
-            if v > i64::MAX as u64 {
-                return Err(CryptoError::ValueOutOfRange);
-            }
-            Ok(-(v as i64))
-        } else {
-            let v = m.to_u64().ok_or(CryptoError::ValueOutOfRange)?;
-            if v > i64::MAX as u64 {
-                return Err(CryptoError::ValueOutOfRange);
-            }
-            Ok(v as i64)
-        }
+        signed_decode(&m, &self.public.n, self.public.half_n())
     }
+}
+
+/// Signed decoding of a reduced plaintext `m ∈ Z_n`: values above `n/2`
+/// decode as `−(n − m)`, and either sign is rejected when its magnitude
+/// exceeds `i64::MAX` (so `i64::MIN` deliberately does not round-trip,
+/// matching the encoder's `unsigned_abs` range).
+///
+/// Branch-free: both the positive and the wrapped-negative candidate are
+/// fully computed, then one is chosen by mask arithmetic. The only
+/// control-flow decision is the final `Ok`/`Err` — the function's public
+/// outcome.
+// pprl:secret(m)
+pub(crate) fn signed_decode(
+    m: &BigUint,
+    n: &BigUint,
+    half_n: &BigUint,
+) -> Result<i64, CryptoError> {
+    // neg = 1 exactly when m > n/2; m == n/2 stays positive.
+    let neg = half_n.ct_lt(m);
+    let mask = neg.wrapping_neg();
+    // The wrapped magnitude n − m (m < n always; the unwrap arm is dead,
+    // and for m = 0 the wrapped candidate is discarded by the mask).
+    let wrapped = n.checked_sub(m).unwrap_or_else(|_| BigUint::zero());
+    let mag = (wrapped.low_u64() & mask) | (m.low_u64() & !mask);
+    let over = (wrapped.hi64_nonzero() & mask) | (m.hi64_nonzero() & !mask) | (mag >> 63);
+    // Two's-complement negation by mask: value = neg ? −mag : mag.
+    let smask = mask as i64;
+    let value = ((mag as i64) ^ smask).wrapping_sub(smask);
+    // pprl:allow(secret-taint, const-time): the in-range check is the function's public Ok/Err outcome, evaluated once after both candidates are fully computed
+    (over == 0).then_some(value).ok_or(CryptoError::ValueOutOfRange)
 }
 
 /// `L(x) = (x − 1) / n` — exact division by construction.
@@ -409,15 +436,16 @@ impl Keypair {
         let mont_q2 = Montgomery::new(&q2)
             .map_err(|_| CryptoError::InvalidKey("q² must be odd".into()))?;
 
-        // g = n + 1; hp = L_p(g^(p−1) mod p²)⁻¹ mod p.
+        // g = n + 1; hp = L_p(g^(p−1) mod p²)⁻¹ mod p. Same secret
+        // exponents as decryption, so same constant-time ladder.
         let g = &n + &BigUint::one();
         let p_minus_1 = &p - &BigUint::one();
         let q_minus_1 = &q - &BigUint::one();
-        let gp = mont_p2.pow(&g.rem(&p2), &p_minus_1);
+        let gp = mont_p2.pow_ct(&g.rem(&p2), &p_minus_1);
         let hp = l_function(&gp, &p)
             .mod_inverse(&p)
             .map_err(|_| CryptoError::InvalidKey("L_p(g^(p-1)) not invertible".into()))?;
-        let gq = mont_q2.pow(&g.rem(&q2), &q_minus_1);
+        let gq = mont_q2.pow_ct(&g.rem(&q2), &q_minus_1);
         let hq = l_function(&gq, &q)
             .mod_inverse(&q)
             .map_err(|_| CryptoError::InvalidKey("L_q(g^(q-1)) not invertible".into()))?;
@@ -494,6 +522,57 @@ mod tests {
         for v in [0i64, 1, -1, -42, 42, i32::MIN as i64, i32::MAX as i64] {
             let c = pk.encrypt_i64(v, &mut rng).unwrap();
             assert_eq!(sk.decrypt_i64(&c).unwrap(), v, "v={v}");
+        }
+    }
+
+    /// The pre-rewrite signed decoding: compare-and-branch. Kept here as
+    /// the semantic reference for the branch-free [`signed_decode`].
+    fn reference_signed_decode(
+        m: &BigUint,
+        n: &BigUint,
+        half_n: &BigUint,
+    ) -> Result<i64, CryptoError> {
+        let (mag, neg) = if m > half_n {
+            (n.checked_sub(m).expect("m < n"), true)
+        } else {
+            (m.clone(), false)
+        };
+        match mag.to_u64() {
+            Some(v) if v <= i64::MAX as u64 => {
+                Ok(if neg { -(v as i64) } else { v as i64 })
+            }
+            _ => Err(CryptoError::ValueOutOfRange),
+        }
+    }
+
+    #[test]
+    fn signed_decode_matches_branchy_reference_at_boundaries() {
+        // Synthetic moduli: one wider than 64 bits (so |v| = i64::MAX and
+        // the first out-of-range magnitude both occur on each sign), one
+        // narrower (every magnitude fits, the wrap path dominates).
+        let wide = &(&BigUint::one().shl(80) + &BigUint::from_u64(0x1234_5679)); // odd
+        let narrow = &BigUint::from_u64(1_000_003);
+        let imax = BigUint::from_u64(i64::MAX as u64);
+        let imax1 = &imax + &BigUint::one();
+        for n in [wide, narrow] {
+            let half_n = n.shr(1);
+            let candidates = [
+                BigUint::zero(),
+                BigUint::one(),
+                half_n.clone(),
+                &half_n + &BigUint::one(),
+                half_n.checked_sub(&BigUint::one()).unwrap(),
+                n.checked_sub(&BigUint::one()).unwrap(),
+                imax.clone(),
+                imax1.clone(),
+                n.checked_sub(&imax).unwrap_or_else(|_| BigUint::zero()),
+                n.checked_sub(&imax1).unwrap_or_else(|_| BigUint::zero()),
+            ];
+            for m in candidates.iter().filter(|m| *m < n) {
+                let got = signed_decode(m, n, &half_n);
+                let want = reference_signed_decode(m, n, &half_n);
+                assert_eq!(got, want, "n={n:?} m={m:?}");
+            }
         }
     }
 

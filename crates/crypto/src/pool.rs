@@ -79,6 +79,8 @@ impl RandomizerPool {
     /// back to computing `rⁿ` inline).
     pub(crate) fn take(&self) -> Option<BigUint> {
         let mut entries = self.lock_entries();
+        // pprl:allow(secret-taint): hit/miss depends on pool occupancy —
+        // operational state — not on any randomizer's value
         match entries.pop() {
             Some(rn) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -114,6 +116,8 @@ impl RandomizerPool {
     /// Locks the entry stock, recovering from a poisoned lock (a worker
     /// that panicked mid-`take` leaves a usable, merely shorter, pool).
     fn lock_entries(&self) -> MutexGuard<'_, Vec<BigUint>> {
+        // pprl:allow(secret-taint): lock-poisoning recovery branches on
+        // mutex state, not on the pooled values
         match self.entries.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),

@@ -61,6 +61,27 @@ proptest! {
     }
 
     #[test]
+    fn signed_decode_matches_branchy_reference(v in any::<i64>(), seed in any::<u64>()) {
+        // decrypt_i64's branch-free signed decoding must agree with the
+        // classic compare-and-branch decoding of the reduced plaintext.
+        // i64::MIN encrypts (unsigned_abs fits Z_n) but must NOT decode
+        // back: its magnitude exceeds i64::MAX.
+        let keys = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = keys.public().encrypt_i64(v, &mut rng).unwrap();
+        let m = keys.private().decrypt(&c).unwrap();
+        let n = keys.public().n();
+        let reference = if &m > &n.shr(1) {
+            n.checked_sub(&m).unwrap().to_u64()
+                .filter(|mag| *mag <= i64::MAX as u64)
+                .map(|mag| -(mag as i64))
+        } else {
+            m.to_u64().filter(|mag| *mag <= i64::MAX as u64).map(|mag| mag as i64)
+        };
+        prop_assert_eq!(keys.private().decrypt_i64(&c).ok(), reference);
+    }
+
+    #[test]
     fn rerandomization_is_plaintext_invariant(m in any::<u32>(), seed in any::<u64>()) {
         let keys = shared_keys();
         let mut rng = StdRng::seed_from_u64(seed);
