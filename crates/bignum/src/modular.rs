@@ -124,49 +124,56 @@ impl Montgomery {
 
     /// CIOS Montgomery product of two `n`-limb Montgomery-form values.
     ///
-    /// Returns `a·b·R⁻¹ mod m`, padded to `n` limbs.
-    #[allow(clippy::needless_range_loop)] // shifted-index reduction loop
+    /// Returns `a·b·R⁻¹ mod m`, padded to `n` limbs. The accumulator is
+    /// exactly `n` limbs plus two scalar overflow limbs (`tn`, `tn1`), and
+    /// every pass is a bounded `zip` — no index arithmetic anywhere near
+    /// the secret operands.
     // pprl:secret(a, b): operands are secret-derived during CRT decryption
     pub fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         debug_assert_eq!(a.len(), self.n);
         debug_assert_eq!(b.len(), self.n);
         let n = self.n;
-        let mut t = vec![0u64; n + 2];
+        let mut t = vec![0u64; n];
+        let mut tn = 0u64;
 
         for &ai in a.iter() {
             // t += ai * b
             let mut carry = 0u128;
-            for j in 0..n {
-                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
-                t[j] = s as u64;
+            for (tj, &bj) in t.iter_mut().zip(b.iter()) {
+                let s = *tj as u128 + ai as u128 * bj as u128 + carry;
+                *tj = s as u64;
                 carry = s >> 64;
             }
-            let s = t[n] as u128 + carry;
-            t[n] = s as u64;
-            t[n + 1] = (s >> 64) as u64;
+            let s = tn as u128 + carry;
+            tn = s as u64;
+            let mut tn1 = (s >> 64) as u64;
 
-            // Reduce one limb: add mi * m so the lowest limb cancels, shift.
-            let mi = t[0].wrapping_mul(self.n0inv);
-            let s = t[0] as u128 + mi as u128 * self.m_limbs[0] as u128;
-            let mut carry = s >> 64;
-            for j in 1..n {
-                let s = t[j] as u128 + mi as u128 * self.m_limbs[j] as u128 + carry;
-                t[j - 1] = s as u64;
+            // Add mi * m so the lowest limb cancels to zero...
+            let mi = t.first().copied().unwrap_or(0).wrapping_mul(self.n0inv);
+            let mut carry = 0u128;
+            for (tj, &mj) in t.iter_mut().zip(self.m_limbs.iter()) {
+                let s = *tj as u128 + mi as u128 * mj as u128 + carry;
+                *tj = s as u64;
                 carry = s >> 64;
             }
-            let s = t[n] as u128 + carry;
-            t[n - 1] = s as u64;
-            t[n] = t[n + 1].wrapping_add((s >> 64) as u64);
-            t[n + 1] = 0;
+            let s = tn as u128 + carry;
+            tn = s as u64;
+            tn1 = tn1.wrapping_add((s >> 64) as u64);
+
+            // ...then divide by 2^64: the zero limb rotates out, the first
+            // overflow limb rotates in.
+            t.rotate_left(1);
+            t.iter_mut().rev().take(1).for_each(|slot| *slot = tn);
+            tn = tn1;
         }
 
-        // Result in t[0..=n] is < 2m; subtract m once if needed. The
+        // Result in (t, tn) is < 2m; subtract m once if needed. The
         // subtraction is always performed into a scratch buffer and then
         // kept or discarded by mask select, so the tail's timing does not
         // depend on the (secret-derived) product value. The reduced value
         // is d exactly when the overflow limb is set (the borrow consumes
         // it) or the low limbs already reach m (no borrow at all).
-        let hi = t.get(n).copied().unwrap_or(0);
+        let hi = tn;
         let mut d = vec![0u64; n];
         let mut borrow = 0u64;
         for ((dj, tj), mj) in d.iter_mut().zip(t.iter()).zip(self.m_limbs.iter()) {
@@ -180,7 +187,6 @@ impl Montgomery {
         for (tj, dj) in t.iter_mut().zip(d.iter()) {
             *tj = (*dj & keep) | (*tj & !keep);
         }
-        t.truncate(n);
         t
     }
 

@@ -51,6 +51,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&opts),
         "anonymize" => cmd_anonymize(&opts),
         "block" => cmd_block(&opts),
+        "chaosproxy" => cmd_chaosproxy(&opts),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -76,6 +77,7 @@ USAGE:
   pprl-link party serve --job NAME=LEFT,RIGHT [--job ...] --journal-dir DIR [options]
   pprl-link anonymize --input FILE [--k K] [--method M] [--qids Q] [--publish FILE]
   pprl-link block     --left-view FILE --right-view FILE [--theta T]
+  pprl-link chaosproxy --upstream ADDR [--listen ADDR] [--family F] [--seed S]
 
 `anonymize --publish` writes the k-anonymous release to a file; `block`
 labels the pair space from two published views alone — no plaintext ever
@@ -159,6 +161,14 @@ against the announced address, configured identically to that job):
   --max-crashes N     worker attempts before a job is quarantined [3]
   --pool-prefill N    pre-fill N Paillier randomizers into the shared
                       warm-keypair pool                        [0]
+  --max-conns N       socket connections admitted at once; excess dialers
+                      get a typed Busy refusal at accept        [64]
+  --idle-timeout-ms MS  parked (handshaken but unclaimed) connections are
+                      reaped after this much silence         [30000]
+  --silence-timeout-ms MS  per-job silence watchdog: a peer dark for this
+                      long fails the job, which the supervisor requeues
+                      through the crash-recovery path (off by default —
+                      one-shot semantics degrade the pair instead)
   --listen/--net-timeout-ms/--net-deadline-ms/--no-fsync as in party mode;
   RUN OPTIONS (including --deadline-ms) apply to every job alike.
   SIGTERM drains gracefully: stop admitting, finish in-flight jobs, exit 0.
@@ -167,6 +177,23 @@ Example — serve three jobs, at most two concurrent:
   pprl-link party serve --journal-dir /var/lib/pprl \\
       --job ab=a.csv,b.csv --job cd=c.csv,d.csv --job ef=e.csv,f.csv \\
       --max-jobs 2 --listen 127.0.0.1:7001
+
+CHAOSPROXY OPTIONS (a seeded TCP relay that injects socket-level faults;
+park it between two parties to rehearse network failure):
+  --upstream ADDR     where faithful bytes would have gone (required)
+  --listen ADDR       relay bind address [127.0.0.1:0]; announced on
+                      stderr as `pprl-chaos: listening on <addr> ...`
+  --family F          none | delay | drop | dup | corrupt | split |
+                      reset | partition | slowloris        [none]
+  --seed S            fault-decision seed (replayable)     [1]
+  --duration-ms MS    exit after MS (0 = run until SIGTERM) [0]
+  Exit prints a fault census to stderr. The proxy never touches frame
+  contents on purpose except under `corrupt`; the protocol's checksums
+  and retransmission must absorb everything it does.
+
+Example — bob reaches the querier only through a flaky link:
+  pprl-link chaosproxy --upstream 127.0.0.1:7001 --family drop --seed 7
+  pprl-link party --role bob ... --connect-querier 127.0.0.1:CHAOSPORT
 ";
 
 type Opts = HashMap<String, String>;
@@ -500,6 +527,12 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         durable: !opts.contains_key("no-fsync"),
         pool_prefill: get(opts, "pool-prefill", 0)?,
         pool_threads: threads,
+        max_conns: get(opts, "max-conns", 64)?,
+        idle_timeout: ms(get(opts, "idle-timeout-ms", 30_000)?),
+        silence_timeout: match opts.get("silence-timeout-ms") {
+            None => None,
+            Some(_) => Some(ms(get(opts, "silence-timeout-ms", 0)?)),
+        },
     };
 
     let json = opts.contains_key("json");
@@ -552,6 +585,51 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         Some(why) => Err(why),
         None => Ok(()),
     }
+}
+
+/// A standalone seeded chaos relay: `pprl-link chaosproxy --upstream ADDR
+/// --family drop`. Runs until SIGTERM (or `--duration-ms`), then prints a
+/// fault census and exits 0 — the relay itself never fails a run.
+fn cmd_chaosproxy(opts: &Opts) -> Result<(), String> {
+    let upstream: std::net::SocketAddr = opts
+        .get("upstream")
+        .ok_or("--upstream ADDR is required")?
+        .parse()
+        .map_err(|e| format!("--upstream: {e}"))?;
+    let listen = opts
+        .get("listen")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let family = opts.get("family").map(String::as_str).unwrap_or("none");
+    let seed: u64 = get(opts, "seed", 1)?;
+    let duration: u64 = get(opts, "duration-ms", 0)?;
+    let cfg = pprl_net::ChaosConfig::fault_family(family, seed).ok_or_else(|| {
+        format!(
+            "unknown fault family {family:?}; one of: {}",
+            pprl_net::ChaosConfig::FAMILIES.join(", ")
+        )
+    })?;
+
+    let mut proxy = pprl_net::ChaosProxy::start(&listen, upstream, cfg).map_err(|e| e.to_string())?;
+    // Test drivers parse this line to learn the ephemeral port.
+    eprintln!(
+        "pprl-chaos: listening on {} -> {upstream} family={family} seed={seed}",
+        proxy.local_addr()
+    );
+
+    let drain = drain_flag();
+    let started = std::time::Instant::now();
+    let tick = std::time::Duration::from_millis(25);
+    while !drain.load(std::sync::atomic::Ordering::SeqCst) {
+        if duration > 0 && started.elapsed() >= std::time::Duration::from_millis(duration) {
+            break;
+        }
+        std::thread::sleep(tick);
+    }
+    let stats = proxy.stats();
+    proxy.shutdown();
+    eprintln!("pprl-chaos: {stats}");
+    Ok(())
 }
 
 /// Prints the final report (text or `--json`) for a completed linkage.

@@ -98,6 +98,13 @@ pub struct PartyOptions {
     /// [`pprl_journal::JournalWriter`]). `false` keeps kill-only tests
     /// fast.
     pub durable: bool,
+    /// Silence watchdog: when set, caps every channel's reconnect
+    /// deadline at this value *and* turns a peer that stays dark into a
+    /// hard session error instead of a degraded pair. Daemon jobs set it
+    /// so the supervisor's crash-requeue machinery retries the whole job
+    /// from its journal when the peer comes back; one-shot runs leave it
+    /// `None` and keep the graceful degradation of PR 5.
+    pub silence: Option<Duration>,
 }
 
 impl PartyOptions {
@@ -113,6 +120,7 @@ impl PartyOptions {
             timeout: Duration::from_secs(1),
             deadline: Duration::from_secs(30),
             durable: true,
+            silence: None,
         }
     }
 }
@@ -296,6 +304,9 @@ struct Session {
     seed: u64,
     timeout: Option<Duration>,
     policy: ReconnectPolicy,
+    /// Whether a dark peer fails the session (daemon silence watchdog)
+    /// instead of degrading the pair.
+    fail_on_silence: bool,
 }
 
 impl Session {
@@ -306,8 +317,14 @@ impl Session {
             timeout: Some(opts.timeout),
             policy: ReconnectPolicy {
                 retry: pprl_crypto::protocol::RetryPolicy::default(),
-                deadline: opts.deadline,
+                // The silence watchdog tightens every per-operation wait:
+                // a dark peer surfaces after the watchdog window, not the
+                // (typically longer) reconnect deadline.
+                deadline: opts
+                    .silence
+                    .map_or(opts.deadline, |s| s.min(opts.deadline)),
             },
+            fail_on_silence: opts.silence.is_some(),
         }
     }
 
@@ -437,6 +454,9 @@ struct QuerierNet {
     /// `true` when the key broadcast was restored from the journal (its
     /// cost is already in the restored ledger and must not re-record).
     restored_broadcast: bool,
+    /// Daemon silence watchdog: a dark peer fails the job (so the serve
+    /// supervisor requeues it) instead of degrading the pair.
+    fail_on_silence: bool,
     pending: Option<pprl_net::IncomingData>,
 }
 
@@ -518,6 +538,14 @@ impl RemoteParty for SharedParty {
                 net.pending = Some(incoming);
                 Ok(Some(payload))
             }
+            // Under the daemon silence watchdog a dark peer is a job
+            // failure — the supervisor requeues the whole job from its
+            // journal, which resumes cleanly when the peer returns.
+            Err(NetError::PeerGone(why)) if net.fail_on_silence => {
+                Err(SmcError::SessionMismatch(format!(
+                    "peer went silent past the watchdog window: {why}"
+                )))
+            }
             // A peer that stays gone degrades this pair like a
             // retry-exhausted exchange; the session continues.
             Err(NetError::PeerGone(_)) => Ok(None),
@@ -596,6 +624,7 @@ fn run_querier(
         alice,
         bob,
         restored_broadcast: progress.key.is_some(),
+        fail_on_silence: session.fail_on_silence,
         pending: None,
     }));
     let before_key = runner.ledger().clone();

@@ -58,7 +58,7 @@ use crate::party_run::{
 use crate::{HybridLinkage, LinkageError};
 use pprl_crypto::Keypair;
 use pprl_data::DataSet;
-use pprl_net::{Admission, AdmissionGate, NetStats, Role, SessionMux};
+use pprl_net::{Admission, AdmissionGate, MuxLimits, NetStats, Role, SessionMux};
 use pprl_smc::SmcMode;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -111,6 +111,19 @@ pub struct ServeOptions {
     pub pool_prefill: usize,
     /// Threads for the pool pre-fill.
     pub pool_threads: usize,
+    /// Discard a handshaken connection nobody claimed within this long
+    /// (the mux idle reaper; see [`MuxLimits::idle_timeout`]).
+    pub idle_timeout: Duration,
+    /// Ceiling on connections inside their handshake at once; beyond it
+    /// the listener answers a typed `Busy` and closes
+    /// ([`MuxLimits::max_conns`]).
+    pub max_conns: usize,
+    /// Per-job silence watchdog: when set, a running job whose peer stays
+    /// dark this long *fails* (instead of degrading pairs) so the
+    /// supervisor requeues it through the crash-recovery machinery —
+    /// the job resumes from its journal when the peer returns, up to
+    /// `max_crashes` attempts.
+    pub silence_timeout: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -126,6 +139,9 @@ impl Default for ServeOptions {
             durable: true,
             pool_prefill: 0,
             pool_threads: 1,
+            idle_timeout: Duration::from_secs(30),
+            max_conns: 64,
+            silence_timeout: None,
         }
     }
 }
@@ -391,8 +407,13 @@ pub fn serve(
             }
         })
     };
+    let limits = MuxLimits {
+        max_conns: opts.max_conns,
+        idle_timeout: Some(opts.idle_timeout),
+        ..MuxLimits::default()
+    };
     let mux = Arc::new(
-        SessionMux::bind_gated(&opts.listen, Some(opts.timeout), Some(gate))
+        SessionMux::bind_supervised(&opts.listen, Some(opts.timeout), Some(gate), limits)
             .map_err(|e| LinkageError::Net(e.to_string()))?,
     );
     announce(&mux, Role::Query);
@@ -442,6 +463,7 @@ pub fn serve(
                 popts.timeout = opts.timeout;
                 popts.deadline = opts.net_deadline;
                 popts.durable = opts.durable;
+                popts.silence = opts.silence_timeout;
                 set_state(slot.fingerprint, GateState::Running);
                 let tx = tx.clone();
                 let mux = Arc::clone(&mux);

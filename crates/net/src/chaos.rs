@@ -1,0 +1,562 @@
+//! A seeded, socket-level chaos proxy.
+//!
+//! Every fault the test suite injected before this module lived *above*
+//! the socket (`FaultyTransport` drops whole protocol messages inside one
+//! process). The chaos proxy attacks the byte stream itself: it is a tiny
+//! TCP relay you park between any two parties — in-process from a test,
+//! or standalone via `pprl-link chaosproxy` — that deterministically
+//! injects the failure families real deployments meet:
+//!
+//! - **delay/jitter** — each chunk sleeps before forwarding;
+//! - **drop** — a chunk vanishes, desynchronizing the peer's framing;
+//! - **dup** — a chunk is written twice;
+//! - **corrupt** — one bit of a chunk is flipped;
+//! - **split** — chunks are re-written in tiny pieces at arbitrary byte
+//!   boundaries (never harmful, but merciless to framing bugs);
+//! - **reset** — after a byte budget the client side gets a hard RST
+//!   (`SO_LINGER(0)`), not a polite FIN;
+//! - **partition** — timed dark windows (and [`ChaosProxy::set_partition`]
+//!   for script control) during which live connections are severed and
+//!   new ones are accepted and immediately dropped;
+//! - **slowloris** — bytes trickle through a few at a time with pauses.
+//!
+//! Faults are driven by a splitmix64 stream seeded from
+//! [`ChaosConfig::seed`] and the connection ordinal, so a failing run
+//! replays with the same decision sequence. (Chunk boundaries depend on
+//! kernel scheduling, so byte-exact replay is not promised — decision
+//! *rates* and orderings per chunk are.)
+//!
+//! The proxy is stdlib-only like the rest of the crate, and its non-test
+//! code is panic-free: a relay that dies of an `unwrap` mid-soak would be
+//! the least convincing robustness harness imaginable.
+
+use crate::mux::bind_listener;
+use crate::NetError;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often blocked pumps wake up to poll shutdown/partition flags.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Dial timeout for the upstream leg of each proxied connection.
+const UPSTREAM_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Fault knobs. All-zero (via [`ChaosConfig::clean`]) relays faithfully;
+/// [`ChaosConfig::fault_family`] builds the named single-fault presets the
+/// chaos soak sweeps. Rates are per-mille per relayed chunk, so configs
+/// stay integer-only and reproducible in CLI flags.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the per-connection fault decision streams.
+    pub seed: u64,
+    /// Fixed forwarding delay per chunk, in milliseconds.
+    pub delay_ms: u64,
+    /// Additional random delay per chunk, `0..=jitter_ms` milliseconds.
+    pub jitter_ms: u64,
+    /// Probability (per mille) that a chunk is silently dropped.
+    pub drop_per_mille: u32,
+    /// Probability (per mille) that a chunk is forwarded twice.
+    pub dup_per_mille: u32,
+    /// Probability (per mille) that one bit of a chunk is flipped.
+    pub corrupt_per_mille: u32,
+    /// Re-write every chunk in small pieces at arbitrary byte boundaries.
+    pub split: bool,
+    /// Hard-RST the client after this many relayed bytes per connection
+    /// (`0` = never).
+    pub reset_after_bytes: u64,
+    /// Length of the repeating partition cycle in ms (`0` = no timed
+    /// partitions).
+    pub partition_period_ms: u64,
+    /// Dark span at the end of each partition cycle, in ms.
+    pub partition_dark_ms: u64,
+    /// Forward at most this many bytes per write (`0` = unlimited).
+    pub trickle_bytes: usize,
+    /// Pause between trickled writes, in ms.
+    pub trickle_pause_ms: u64,
+}
+
+impl ChaosConfig {
+    /// A faithful relay: no faults, useful as the soak's control arm.
+    pub fn clean(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            delay_ms: 0,
+            jitter_ms: 0,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            corrupt_per_mille: 0,
+            split: false,
+            reset_after_bytes: 0,
+            partition_period_ms: 0,
+            partition_dark_ms: 0,
+            trickle_bytes: 0,
+            trickle_pause_ms: 0,
+        }
+    }
+
+    /// The named single-fault presets the chaos soak iterates. Returns
+    /// `None` for an unknown family name (the CLI reports the valid set).
+    pub fn fault_family(name: &str, seed: u64) -> Option<Self> {
+        let mut cfg = ChaosConfig::clean(seed);
+        match name {
+            "none" => {}
+            "delay" => {
+                cfg.delay_ms = 1;
+                cfg.jitter_ms = 6;
+            }
+            "drop" => cfg.drop_per_mille = 8,
+            "dup" => cfg.dup_per_mille = 8,
+            "corrupt" => cfg.corrupt_per_mille = 8,
+            "split" => cfg.split = true,
+            "reset" => cfg.reset_after_bytes = 48 * 1024,
+            "partition" => {
+                cfg.partition_period_ms = 900;
+                cfg.partition_dark_ms = 220;
+            }
+            "slowloris" => {
+                cfg.trickle_bytes = 1024;
+                cfg.trickle_pause_ms = 3;
+            }
+            _ => return None,
+        }
+        Some(cfg)
+    }
+
+    /// Every family name accepted by [`fault_family`](Self::fault_family).
+    pub const FAMILIES: [&'static str; 9] = [
+        "none",
+        "delay",
+        "drop",
+        "dup",
+        "corrupt",
+        "split",
+        "reset",
+        "partition",
+        "slowloris",
+    ];
+}
+
+/// What the proxy did to the traffic, for assertions and the CLI's exit
+/// report. Purely observational — nothing here feeds back into protocol
+/// accounting, which is the whole point: the parties' `CostLedger` must
+/// not notice any of it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Client connections accepted (including ones dropped while dark).
+    pub connections: u64,
+    /// Bytes actually forwarded (after drops, including dups).
+    pub relayed_bytes: u64,
+    /// Chunks silently discarded.
+    pub dropped_chunks: u64,
+    /// Chunks forwarded twice.
+    pub duplicated_chunks: u64,
+    /// Chunks with one bit flipped.
+    pub corrupted_chunks: u64,
+    /// Connections terminated with a hard RST.
+    pub resets: u64,
+    /// Connections severed (or refused) by a partition window.
+    pub partitions: u64,
+}
+
+impl fmt::Display for ChaosStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} conns, {} bytes relayed, {} dropped, {} duped, {} corrupted, \
+             {} resets, {} partitions",
+            self.connections,
+            self.relayed_bytes,
+            self.dropped_chunks,
+            self.duplicated_chunks,
+            self.corrupted_chunks,
+            self.resets,
+            self.partitions,
+        )
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    relayed_bytes: AtomicU64,
+    dropped_chunks: AtomicU64,
+    duplicated_chunks: AtomicU64,
+    corrupted_chunks: AtomicU64,
+    resets: AtomicU64,
+    partitions: AtomicU64,
+}
+
+struct ProxyShared {
+    cfg: ChaosConfig,
+    upstream: SocketAddr,
+    started: Instant,
+    shutdown: AtomicBool,
+    manual_dark: AtomicBool,
+    counters: Counters,
+    pumps: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ProxyShared {
+    /// True while the link should behave as partitioned: either the
+    /// manual switch is on, or the timed cycle is in its dark span.
+    fn is_dark(&self) -> bool {
+        if self.manual_dark.load(Ordering::SeqCst) {
+            return true;
+        }
+        let period = self.cfg.partition_period_ms;
+        if period == 0 {
+            return false;
+        }
+        let into_cycle = (self.started.elapsed().as_millis() as u64) % period;
+        into_cycle >= period.saturating_sub(self.cfg.partition_dark_ms)
+    }
+}
+
+/// The running relay. Dropping it severs every proxied connection and
+/// joins its threads.
+pub struct ChaosProxy {
+    local_addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `listen` (port `0` for ephemeral) and relays every inbound
+    /// connection to `upstream` with `cfg`'s faults applied in both
+    /// directions.
+    pub fn start(listen: &str, upstream: SocketAddr, cfg: ChaosConfig) -> Result<Self, NetError> {
+        let listener = bind_listener(listen)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ProxyShared {
+            cfg,
+            upstream,
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            manual_dark: AtomicBool::new(false),
+            counters: Counters::default(),
+            pumps: Mutex::new(Vec::new()),
+        });
+        let worker = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("pprl-chaos-accept".into())
+            .spawn(move || accept_loop(listener, worker))?;
+        Ok(ChaosProxy {
+            local_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's dialable address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Flips the manual partition switch. While dark, live connections
+    /// are severed within one poll interval and fresh dials are accepted
+    /// and immediately dropped; healing lets the next reconnect through.
+    pub fn set_partition(&self, dark: bool) {
+        self.shared.manual_dark.store(dark, Ordering::SeqCst);
+    }
+
+    /// A snapshot of the fault counters.
+    pub fn stats(&self) -> ChaosStats {
+        let c = &self.shared.counters;
+        ChaosStats {
+            connections: c.connections.load(Ordering::SeqCst),
+            relayed_bytes: c.relayed_bytes.load(Ordering::SeqCst),
+            dropped_chunks: c.dropped_chunks.load(Ordering::SeqCst),
+            duplicated_chunks: c.duplicated_chunks.load(Ordering::SeqCst),
+            corrupted_chunks: c.corrupted_chunks.load(Ordering::SeqCst),
+            resets: c.resets.load(Ordering::SeqCst),
+            partitions: c.partitions.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stops the relay: severs connections, joins all threads.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let pumps = self
+            .shared
+            .pumps
+            .lock()
+            .map(|mut v| std::mem::take(&mut *v))
+            .unwrap_or_default();
+        for pump in pumps {
+            let _ = pump.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ProxyShared>) {
+    let mut conn_ordinal: u64 = 0;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                conn_ordinal += 1;
+                shared.counters.connections.fetch_add(1, Ordering::SeqCst);
+                if shared.is_dark() {
+                    // A partitioned network looks like dead silence, not a
+                    // polite refusal: accept (the kernel already did) and
+                    // sever, so the dialer burns its own timeout.
+                    shared.counters.partitions.fetch_add(1, Ordering::SeqCst);
+                    drop(client);
+                    continue;
+                }
+                let upstream =
+                    match TcpStream::connect_timeout(&shared.upstream, UPSTREAM_TIMEOUT) {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                spawn_pumps(client, upstream, conn_ordinal, &shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Wires one proxied connection: two pump threads, one per direction,
+/// sharing a byte budget (for `reset_after_bytes`) and a one-shot RST
+/// latch so only one direction fires the reset.
+fn spawn_pumps(client: TcpStream, upstream: TcpStream, ordinal: u64, shared: &Arc<ProxyShared>) {
+    for s in [&client, &upstream] {
+        let _ = s.set_nodelay(true);
+        let _ = s.set_read_timeout(Some(POLL));
+    }
+    let budget = Arc::new(AtomicU64::new(0));
+    let reset_fired = Arc::new(AtomicBool::new(false));
+    let legs = match (client.try_clone(), upstream.try_clone()) {
+        (Ok(c2), Ok(u2)) => [(client, u2, 0u64), (upstream, c2, 1u64)],
+        _ => return,
+    };
+    for (rx, tx, direction) in legs {
+        let worker = Arc::clone(shared);
+        let budget = Arc::clone(&budget);
+        let reset_fired = Arc::clone(&reset_fired);
+        let seed = shared
+            .cfg
+            .seed
+            .wrapping_add(ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            ^ (direction << 1);
+        let handle = std::thread::Builder::new()
+            .name(format!("pprl-chaos-pump-{ordinal}-{direction}"))
+            .spawn(move || pump(rx, tx, seed, budget, reset_fired, worker));
+        if let Ok(handle) = handle {
+            if let Ok(mut pumps) = shared.pumps.lock() {
+                pumps.push(handle);
+            }
+        }
+    }
+}
+
+fn pump(
+    mut rx: TcpStream,
+    mut tx: TcpStream,
+    seed: u64,
+    budget: Arc<AtomicU64>,
+    reset_fired: Arc<AtomicBool>,
+    shared: Arc<ProxyShared>,
+) {
+    let cfg = shared.cfg;
+    let mut rng = Splitmix64::new(seed);
+    let mut buf = [0u8; 4096];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if shared.is_dark() {
+            shared.counters.partitions.fetch_add(1, Ordering::SeqCst);
+            break;
+        }
+        let n = match rx.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let Some(chunk) = buf.get(..n) else { break };
+        let mut chunk = chunk.to_vec();
+
+        // Reset budget: both directions count toward one per-connection
+        // byte total; whichever pump crosses the line fires the RST.
+        if cfg.reset_after_bytes > 0 {
+            let total = budget.fetch_add(n as u64, Ordering::SeqCst) + n as u64;
+            if total >= cfg.reset_after_bytes
+                && reset_fired
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                shared.counters.resets.fetch_add(1, Ordering::SeqCst);
+                arm_rst(&rx);
+                arm_rst(&tx);
+                break;
+            }
+        }
+
+        if per_mille(&mut rng, cfg.drop_per_mille) {
+            shared.counters.dropped_chunks.fetch_add(1, Ordering::SeqCst);
+            continue;
+        }
+        let duplicate = per_mille(&mut rng, cfg.dup_per_mille);
+        if duplicate {
+            shared
+                .counters
+                .duplicated_chunks
+                .fetch_add(1, Ordering::SeqCst);
+        }
+        if per_mille(&mut rng, cfg.corrupt_per_mille) {
+            let at = (rng.next() as usize) % chunk.len().max(1);
+            let bit = 1u8 << (rng.next() % 8);
+            if let Some(byte) = chunk.get_mut(at) {
+                *byte ^= bit;
+            }
+            shared
+                .counters
+                .corrupted_chunks
+                .fetch_add(1, Ordering::SeqCst);
+        }
+        if cfg.delay_ms > 0 || cfg.jitter_ms > 0 {
+            let jitter = if cfg.jitter_ms > 0 {
+                rng.next() % (cfg.jitter_ms + 1)
+            } else {
+                0
+            };
+            std::thread::sleep(Duration::from_millis(cfg.delay_ms + jitter));
+        }
+
+        let copies = if duplicate { 2 } else { 1 };
+        let mut broken = false;
+        for _ in 0..copies {
+            if !forward(&mut tx, &chunk, &cfg, &mut rng) {
+                broken = true;
+                break;
+            }
+            shared
+                .counters
+                .relayed_bytes
+                .fetch_add(chunk.len() as u64, Ordering::SeqCst);
+        }
+        if broken {
+            break;
+        }
+    }
+    // Whatever ended this pump, end the whole proxied connection: a
+    // half-relayed socket pair is a lie no real network tells.
+    let _ = rx.shutdown(Shutdown::Both);
+    let _ = tx.shutdown(Shutdown::Both);
+}
+
+/// Writes one chunk honoring the split/trickle shaping. Returns `false`
+/// when the downstream socket is gone.
+fn forward(tx: &mut TcpStream, chunk: &[u8], cfg: &ChaosConfig, rng: &mut Splitmix64) -> bool {
+    if cfg.trickle_bytes > 0 {
+        for piece in chunk.chunks(cfg.trickle_bytes) {
+            if tx.write_all(piece).is_err() {
+                return false;
+            }
+            let _ = tx.flush();
+            if cfg.trickle_pause_ms > 0 {
+                std::thread::sleep(Duration::from_millis(cfg.trickle_pause_ms));
+            }
+        }
+        return true;
+    }
+    if cfg.split {
+        let mut rest = chunk;
+        while !rest.is_empty() {
+            let piece_len = (1 + (rng.next() as usize) % 7).min(rest.len());
+            let (piece, tail) = rest.split_at(piece_len);
+            if tx.write_all(piece).is_err() {
+                return false;
+            }
+            let _ = tx.flush();
+            rest = tail;
+        }
+        return true;
+    }
+    tx.write_all(chunk).is_ok()
+}
+
+/// Rolls `threshold`-per-mille dice.
+fn per_mille(rng: &mut Splitmix64, threshold: u32) -> bool {
+    threshold > 0 && (rng.next() % 1000) < threshold as u64
+}
+
+/// Arms `SO_LINGER(0)` so the close below becomes a hard RST instead of
+/// an orderly FIN — the peer sees `ECONNRESET` mid-read, exactly like a
+/// crashed middlebox. Linux-only (driven through the platform libc, which
+/// is already linked); elsewhere the reset family degrades to an abrupt
+/// FIN, which exercises the same reconnect path slightly more politely.
+#[cfg(target_os = "linux")]
+fn arm_rst(socket: &TcpStream) {
+    use std::os::fd::AsRawFd;
+    #[repr(C)]
+    struct Linger {
+        l_onoff: i32,
+        l_linger: i32,
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_LINGER: i32 = 13;
+    // Same C symbol `mux::bind_reuseaddr_v4` declares; keep the exact
+    // signature (the kernel takes an untyped pointer either way) so the
+    // two declarations don't clash.
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+    }
+    let linger = Linger {
+        l_onoff: 1,
+        l_linger: 0,
+    };
+    unsafe {
+        setsockopt(
+            socket.as_raw_fd(),
+            SOL_SOCKET,
+            SO_LINGER,
+            (&linger as *const Linger).cast(),
+            std::mem::size_of::<Linger>() as u32,
+        );
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn arm_rst(_socket: &TcpStream) {}
+
+/// The same tiny deterministic generator the rest of the workspace uses
+/// for seeded harness decisions.
+struct Splitmix64 {
+    state: u64,
+}
+
+impl Splitmix64 {
+    fn new(seed: u64) -> Self {
+        Splitmix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

@@ -82,6 +82,15 @@ impl FrameDecoder {
         let &[kind, l0, l1, l2, l3, ..] = self.buf.as_slice() else {
             return Ok(None);
         };
+        // An unknown kind byte means the stream lost its framing (dropped
+        // or duplicated bytes shifted the boundary) or the peer speaks a
+        // different protocol. Reject *now* rather than trusting the
+        // length field that follows: a random "length" under the cap
+        // would otherwise leave the decoder waiting for bytes that never
+        // come, turning a detectable desync into a silent stall.
+        if !(K_HELLO..=K_BUSY).contains(&kind) {
+            return Err(NetError::Frame(format!("unknown frame kind {kind}")));
+        }
         let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
         if len > MAX_FRAME_LEN {
             return Err(NetError::Frame(format!(
@@ -183,6 +192,19 @@ mod tests {
                     Ok(None) | Err(_) => {}
                 }
             }
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected_at_the_header() {
+        for kind in [0u8, 6, 7, 19, 0xFF] {
+            let mut wire = vec![kind];
+            // A plausible length under the cap: without the kind check the
+            // decoder would sit waiting for this phantom payload forever.
+            wire.extend_from_slice(&1024u32.to_le_bytes());
+            let mut dec = FrameDecoder::new();
+            dec.push(&wire);
+            assert!(dec.next_frame().is_err(), "kind {kind} was not rejected");
         }
     }
 

@@ -25,18 +25,22 @@
 //!
 //! [`Transport`]: pprl_crypto::protocol::Transport
 
+pub mod chaos;
 pub mod frame;
 pub mod hello;
 pub mod mux;
 pub mod peer;
+pub mod state;
 pub mod stream;
 pub(crate) mod trace;
 pub mod transport;
 
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
 pub use frame::{encode_frame, FrameDecoder, FRAME_OVERHEAD, MAX_FRAME_LEN};
 pub use hello::{Busy, Hello, Role, NET_VERSION};
-pub use mux::{Admission, AdmissionGate, SessionMux};
+pub use mux::{Admission, AdmissionGate, MuxLimits, SessionMux};
 pub use peer::{IncomingData, PeerChannel, ReconnectPolicy};
+pub use state::{Phase, ProtocolState};
 pub use stream::FramedStream;
 pub use transport::TcpTransport;
 
@@ -63,6 +67,13 @@ pub enum NetError {
     /// The peer sent something protocol-incoherent (wrong frame kind,
     /// wrong pair id) that dedup/reconnect cannot explain.
     Protocol(String),
+    /// A frame arrived out of phase: a valid frame kind that the
+    /// per-connection [`ProtocolState`] does not admit right now
+    /// (handshake frames mid-session, data after the ledger, a
+    /// wrong-sized payload for a fixed-width kind). The receiver drops
+    /// *that connection only* — the session survives via reconnect, and
+    /// a daemon never wedges on it.
+    ProtocolViolation(String),
 }
 
 impl std::fmt::Display for NetError {
@@ -76,6 +87,7 @@ impl std::fmt::Display for NetError {
             NetError::PeerGone(why) => write!(f, "peer unreachable: {why}"),
             NetError::Busy(ms) => write!(f, "peer busy, retry in {ms} ms"),
             NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            NetError::ProtocolViolation(why) => write!(f, "protocol state violation: {why}"),
         }
     }
 }
@@ -119,6 +131,16 @@ pub struct NetStats {
     /// that stopped consuming (deadline expiry): the peer completes its
     /// walk, this side no longer processes the payloads.
     pub drained: u64,
+    /// Frames rejected by the per-connection [`ProtocolState`] (wrong
+    /// phase, wrong size, handshake replay). Each one cost the offending
+    /// connection, nothing else.
+    pub violations: u64,
+    /// Connections closed before their handshake because the listener was
+    /// at its concurrent-connection cap.
+    pub refused: u64,
+    /// Parked connections discarded by the idle reaper before any worker
+    /// claimed them.
+    pub reaped: u64,
 }
 
 impl NetStats {
@@ -134,6 +156,9 @@ impl NetStats {
         self.busy += other.busy;
         self.backoff_ms += other.backoff_ms;
         self.drained += other.drained;
+        self.violations += other.violations;
+        self.refused += other.refused;
+        self.reaped += other.reaped;
     }
 }
 
@@ -142,7 +167,8 @@ impl std::fmt::Display for NetStats {
         write!(
             f,
             "{} frames out / {} in, {} bytes out / {} in, {} retransmits, {} dups, \
-             {} reconnects, {} busy, {} ms backoff, {} drained",
+             {} reconnects, {} busy, {} ms backoff, {} drained, {} violations, \
+             {} refused, {} reaped",
             self.frames_sent,
             self.frames_received,
             self.bytes_sent,
@@ -152,7 +178,10 @@ impl std::fmt::Display for NetStats {
             self.reconnects,
             self.busy,
             self.backoff_ms,
-            self.drained
+            self.drained,
+            self.violations,
+            self.refused,
+            self.reaped
         )
     }
 }

@@ -11,18 +11,58 @@
 
 use crate::frame::{K_BUSY, K_HELLO};
 use crate::hello::{Busy, Hello, Role};
+use crate::state::ProtocolState;
 use crate::stream::FramedStream;
 use crate::trace::net_trace;
 use crate::{NetError, NetStats};
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// How long the accept loop waits for a new connection's `Hello` before
 /// dropping it (an unresponsive dialer must not stall other sessions).
 const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long the listener will block writing the typed `Busy` refusal to a
+/// connection it cannot supervise (cap reached). Best-effort: a dialer
+/// too slow to take five bytes gets a plain close instead.
+const REFUSAL_WRITE_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Retry hint carried by a cap refusal. Deliberately short: the cap
+/// guards against connection floods, not long-lived oversubscription, so
+/// an honest dialer that hits it should come straight back.
+const REFUSAL_RETRY: Duration = Duration::from_millis(100);
+
+/// How often the accept loop sweeps parked mailboxes for idle streams.
+const REAP_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Connection-supervision knobs for a listening mux.
+#[derive(Clone, Copy, Debug)]
+pub struct MuxLimits {
+    /// Per-connection budget for the `Hello` to arrive. Each connection
+    /// burns its own budget on a greeter thread — a slowloris dialer
+    /// stalls only itself, never the accept loop.
+    pub handshake_timeout: Duration,
+    /// Ceiling on connections inside their handshake at once. Beyond it
+    /// new connections get a typed [`Busy`] refusal and a close, so a
+    /// connection flood cannot pile up greeter threads.
+    pub max_conns: usize,
+    /// Discard a parked (handshaken but unclaimed) stream after this
+    /// long. `None` keeps streams parked until replaced or claimed.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for MuxLimits {
+    fn default() -> Self {
+        MuxLimits {
+            handshake_timeout: HELLO_TIMEOUT,
+            max_conns: 64,
+            idle_timeout: None,
+        }
+    }
+}
 
 /// Binds the listener — with `SO_REUSEADDR` on Linux, so a restarted
 /// daemon can rebind its announced port while the dead process's
@@ -31,7 +71,7 @@ const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
 /// (already linked) directly; everywhere else this is a plain
 /// `TcpListener::bind`, and a quick restart may have to wait the port
 /// out.
-fn bind_listener(addr: &str) -> std::io::Result<TcpListener> {
+pub(crate) fn bind_listener(addr: &str) -> std::io::Result<TcpListener> {
     #[cfg(target_os = "linux")]
     {
         use std::net::ToSocketAddrs;
@@ -136,8 +176,9 @@ pub enum Admission {
 pub type AdmissionGate = Arc<dyn Fn(&Hello) -> Admission + Send + Sync>;
 
 /// A handshaken connection parked until its session worker claims it,
-/// keyed in the mailbox map by (job fingerprint, peer role).
-type Mailboxes = HashMap<(u64, Role), Vec<(FramedStream, Hello)>>;
+/// keyed in the mailbox map by (job fingerprint, peer role). The instant
+/// records when it was parked, for the idle reaper.
+type Mailboxes = HashMap<(u64, Role), Vec<(FramedStream, Hello, Instant)>>;
 
 struct MuxShared {
     shutdown: AtomicBool,
@@ -148,6 +189,10 @@ struct MuxShared {
     stream_timeout: Option<Duration>,
     /// Admission policy; `None` admits everything (one-shot party mode).
     gate: Option<AdmissionGate>,
+    /// Supervision knobs (handshake deadline, connection cap, idle reap).
+    limits: MuxLimits,
+    /// Connections currently inside their handshake (greeter threads).
+    greeting: AtomicUsize,
 }
 
 /// A shared listener routing handshaken connections to session workers.
@@ -174,6 +219,18 @@ impl SessionMux {
         stream_timeout: Option<Duration>,
         gate: Option<AdmissionGate>,
     ) -> Result<Self, NetError> {
+        Self::bind_supervised(addr, stream_timeout, gate, MuxLimits::default())
+    }
+
+    /// [`bind_gated`](Self::bind_gated) with explicit supervision limits:
+    /// per-connection handshake deadline, concurrent-handshake cap, and
+    /// idle reaping for parked streams.
+    pub fn bind_supervised(
+        addr: &str,
+        stream_timeout: Option<Duration>,
+        gate: Option<AdmissionGate>,
+        limits: MuxLimits,
+    ) -> Result<Self, NetError> {
         let listener = bind_listener(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -184,6 +241,8 @@ impl SessionMux {
             stats: Mutex::new(NetStats::default()),
             stream_timeout,
             gate,
+            limits,
+            greeting: AtomicUsize::new(0),
         });
         let worker = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -228,7 +287,7 @@ impl SessionMux {
         loop {
             if let Some(queue) = boxes.get_mut(&(fingerprint, role)) {
                 if !queue.is_empty() {
-                    let (stream, hello) = queue.remove(0);
+                    let (stream, hello, _parked_at) = queue.remove(0);
                     net_trace!("mux claim {role} for {fingerprint:016x}");
                     return Ok((stream, hello));
                 }
@@ -264,87 +323,164 @@ impl Drop for SessionMux {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<MuxShared>) {
+    let mut last_reap = Instant::now();
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((socket, _)) => {
-                // Read the dialer's hello with a short dedicated timeout,
-                // then hand the stream over at the session's own timeout.
-                let hello = FramedStream::new(socket, Some(HELLO_TIMEOUT))
-                    .and_then(|mut stream| {
-                        let mut stats = NetStats::default();
-                        let (kind, payload) = stream.recv(&mut stats)?;
-                        if let Ok(mut total) = shared.stats.lock() {
-                            total.merge(&stats);
-                        }
-                        if kind != K_HELLO {
-                            return Err(NetError::Handshake(format!(
-                                "first frame was kind {kind}, expected hello"
-                            )));
-                        }
-                        stream.set_read_timeout(shared.stream_timeout)?;
-                        Ok((stream, Hello::decode(&payload)?))
+                // The accept thread never reads from a connection: each
+                // one goes to a short-lived greeter with its own deadline,
+                // so a slowloris dialer stalls only its own greeter while
+                // honest admissions flow past it (the old inline
+                // handshake serialized *everyone* behind the slowest
+                // dialer).
+                let slots = &shared.greeting;
+                if slots.fetch_add(1, Ordering::SeqCst) >= shared.limits.max_conns {
+                    slots.fetch_sub(1, Ordering::SeqCst);
+                    refuse_over_cap(socket, &shared);
+                    continue;
+                }
+                let worker = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("pprl-net-greet".into())
+                    .spawn(move || {
+                        greet(socket, &worker);
+                        worker.greeting.fetch_sub(1, Ordering::SeqCst);
                     });
-                // A connection that never identified itself is simply
-                // dropped; legitimate peers re-dial and try again.
-                if let Ok((mut stream, hello)) = hello {
-                    let verdict = match &shared.gate {
-                        Some(gate) => gate(&hello),
-                        None => Admission::Accept,
-                    };
-                    match verdict {
-                        Admission::Accept => {
-                            net_trace!(
-                                "mux park {} for {:016x} (wm={} key={})",
-                                hello.role, hello.fingerprint, hello.watermark, hello.have_key
-                            );
-                            if let Ok(mut boxes) = shared.mailboxes.lock() {
-                                // A dialer keeps exactly one connection
-                                // in flight per (job, role): a fresh dial
-                                // means any parked stream in the same
-                                // mailbox was already abandoned at the
-                                // dialer's own timeout. Replace instead
-                                // of queueing — otherwise a session that
-                                // sat behind the admission gate for a
-                                // while hands its worker a backlog of
-                                // dead sockets, and the worker burns a
-                                // full handshake timeout on each one
-                                // while live dials pile up behind them.
-                                // Also bounds parked memory to one
-                                // stream per mailbox.
-                                let slot = boxes
-                                    .entry((hello.fingerprint, hello.role))
-                                    .or_default();
-                                slot.clear();
-                                slot.push((stream, hello));
-                            }
-                            shared.arrived.notify_all();
-                        }
-                        Admission::Busy { retry_after } => {
-                            net_trace!(
-                                "mux busy {} for {:016x} ({retry_after:?})",
-                                hello.role, hello.fingerprint
-                            );
-                            let busy = Busy {
-                                retry_after_ms: retry_after.as_millis() as u64,
-                            };
-                            let mut stats = NetStats::default();
-                            stats.busy += 1;
-                            // Best-effort: a dialer that misses the
-                            // frame falls back to its own backoff.
-                            let _ = stream.send(K_BUSY, &busy.encode(), &mut stats);
-                            if let Ok(mut total) = shared.stats.lock() {
-                                total.merge(&stats);
-                            }
-                        }
-                        Admission::Refuse => {}
-                    }
+                if spawned.is_err() {
+                    shared.greeting.fetch_sub(1, Ordering::SeqCst);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if last_reap.elapsed() >= REAP_INTERVAL {
+                    last_reap = Instant::now();
+                    reap_idle(&shared);
+                }
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
+    }
+}
+
+/// Typed refusal for a connection over the supervision cap: best-effort
+/// `Busy` frame, then close. Keeps floods from parking greeter threads
+/// while honest dialers absorb the pushback in their reconnect loop.
+fn refuse_over_cap(socket: TcpStream, shared: &MuxShared) {
+    let mut stats = NetStats::default();
+    stats.refused += 1;
+    if let Ok(mut stream) = FramedStream::new(socket, Some(REFUSAL_WRITE_TIMEOUT)) {
+        let busy = Busy {
+            retry_after_ms: REFUSAL_RETRY.as_millis() as u64,
+        };
+        let _ = stream.send(K_BUSY, &busy.encode(), &mut stats);
+    }
+    net_trace!("mux refuse: connection cap {} reached", shared.limits.max_conns);
+    if let Ok(mut total) = shared.stats.lock() {
+        total.merge(&stats);
+    }
+}
+
+/// Discards parked streams nobody claimed within the idle timeout, so a
+/// daemon's mailboxes cannot accumulate sockets from dialers that gave up.
+fn reap_idle(shared: &MuxShared) {
+    let Some(idle) = shared.limits.idle_timeout else {
+        return;
+    };
+    let mut reaped = 0u64;
+    if let Ok(mut boxes) = shared.mailboxes.lock() {
+        for queue in boxes.values_mut() {
+            let before = queue.len();
+            queue.retain(|(_, _, parked_at)| parked_at.elapsed() < idle);
+            reaped += (before - queue.len()) as u64;
+        }
+        boxes.retain(|_, queue| !queue.is_empty());
+    }
+    if reaped > 0 {
+        net_trace!("mux reaped {reaped} idle parked stream(s)");
+        if let Ok(mut total) = shared.stats.lock() {
+            total.reaped += reaped;
+        }
+    }
+}
+
+/// One connection's handshake, on its own thread and deadline: read the
+/// hello, validate it against the handshake phase of the protocol state
+/// machine, consult the admission gate, then park / push back / drop.
+fn greet(socket: TcpStream, shared: &MuxShared) {
+    // Read the dialer's hello with the handshake's dedicated timeout,
+    // then hand the stream over at the session's own timeout.
+    let hello = FramedStream::new(socket, Some(shared.limits.handshake_timeout))
+        .and_then(|mut stream| {
+            let mut stats = NetStats::default();
+            let outcome = stream.recv(&mut stats).and_then(|(kind, payload)| {
+                ProtocolState::accepting().admit(kind, payload.len())?;
+                if kind != K_HELLO {
+                    return Err(NetError::Handshake(format!(
+                        "first frame was kind {kind}, expected hello"
+                    )));
+                }
+                Ok(payload)
+            });
+            if matches!(outcome, Err(NetError::ProtocolViolation(_))) {
+                stats.violations += 1;
+            }
+            if let Ok(mut total) = shared.stats.lock() {
+                total.merge(&stats);
+            }
+            let payload = outcome?;
+            stream.set_read_timeout(shared.stream_timeout)?;
+            Ok((stream, Hello::decode(&payload)?))
+        });
+    // A connection that never identified itself is simply dropped;
+    // legitimate peers re-dial and try again.
+    let Ok((stream, hello)) = hello else { return };
+    let verdict = match &shared.gate {
+        Some(gate) => gate(&hello),
+        None => Admission::Accept,
+    };
+    match verdict {
+        Admission::Accept => {
+            net_trace!(
+                "mux park {} for {:016x} (wm={} key={})",
+                hello.role, hello.fingerprint, hello.watermark, hello.have_key
+            );
+            if let Ok(mut boxes) = shared.mailboxes.lock() {
+                // A dialer keeps exactly one connection in flight per
+                // (job, role): a fresh dial means any parked stream in
+                // the same mailbox was already abandoned at the dialer's
+                // own timeout. Replace instead of queueing — otherwise a
+                // session that sat behind the admission gate for a while
+                // hands its worker a backlog of dead sockets, and the
+                // worker burns a full handshake timeout on each one
+                // while live dials pile up behind them. Also bounds
+                // parked memory to one stream per mailbox.
+                let slot = boxes
+                    .entry((hello.fingerprint, hello.role))
+                    .or_default();
+                slot.clear();
+                slot.push((stream, hello, Instant::now()));
+            }
+            shared.arrived.notify_all();
+        }
+        Admission::Busy { retry_after } => {
+            net_trace!(
+                "mux busy {} for {:016x} ({retry_after:?})",
+                hello.role, hello.fingerprint
+            );
+            let mut stream = stream;
+            let busy = Busy {
+                retry_after_ms: retry_after.as_millis() as u64,
+            };
+            let mut stats = NetStats::default();
+            stats.busy += 1;
+            // Best-effort: a dialer that misses the frame falls back to
+            // its own backoff.
+            let _ = stream.send(K_BUSY, &busy.encode(), &mut stats);
+            if let Ok(mut total) = shared.stats.lock() {
+                total.merge(&stats);
+            }
+        }
+        Admission::Refuse => {}
     }
 }
 
@@ -492,6 +628,121 @@ mod tests {
             Ok(_) => panic!("a refused dialer connected anyway"),
         };
         assert!(matches!(err, NetError::PeerGone(_)));
+    }
+
+    #[test]
+    fn slowloris_dialers_do_not_stall_honest_admission() {
+        // Regression for the serial accept loop: four connections that
+        // never send their hello used to pin the accept thread for a full
+        // handshake timeout *each*, so an honest dialer behind them waited
+        // 20+ seconds. With per-connection greeters the honest hello must
+        // clear within its own handshake deadline, not the sum of
+        // everyone else's.
+        let limits = MuxLimits {
+            handshake_timeout: Duration::from_secs(2),
+            ..MuxLimits::default()
+        };
+        let mux = SessionMux::bind_supervised(
+            "127.0.0.1:0",
+            Some(Duration::from_secs(5)),
+            None,
+            limits,
+        )
+        .unwrap();
+        let addr = mux.local_addr();
+        let _silent: Vec<TcpStream> = (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        let started = Instant::now();
+        let _honest = dial_with_hello(addr, Hello::new(Role::Alice, 42));
+        let (_, hello) = mux
+            .wait_conn(42, Role::Alice, Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(hello.fingerprint, 42);
+        assert!(
+            started.elapsed() < limits.handshake_timeout,
+            "honest admission took {:?}, longer than one handshake deadline",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn connections_over_the_cap_get_a_typed_refusal() {
+        use crate::frame::K_BUSY;
+
+        let limits = MuxLimits {
+            handshake_timeout: Duration::from_secs(5),
+            max_conns: 2,
+            ..MuxLimits::default()
+        };
+        let mux = SessionMux::bind_supervised(
+            "127.0.0.1:0",
+            Some(Duration::from_secs(5)),
+            None,
+            limits,
+        )
+        .unwrap();
+        let addr = mux.local_addr();
+        // Two silent connections occupy both greeter slots for the whole
+        // handshake timeout.
+        let _hogs: Vec<TcpStream> = (0..2).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        std::thread::sleep(Duration::from_millis(200));
+        // The third connection is refused with a typed Busy frame.
+        let socket = TcpStream::connect(addr).unwrap();
+        let mut stream = FramedStream::new(socket, Some(Duration::from_secs(2))).unwrap();
+        let mut stats = NetStats::default();
+        let (kind, payload) = stream.recv(&mut stats).unwrap();
+        assert_eq!(kind, K_BUSY);
+        let busy = Busy::decode(&payload).unwrap();
+        assert!(busy.retry_after_ms > 0);
+        assert!(mux.stats().refused >= 1, "the refusal was counted");
+    }
+
+    #[test]
+    fn idle_parked_streams_are_reaped() {
+        let limits = MuxLimits {
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..MuxLimits::default()
+        };
+        let mux = SessionMux::bind_supervised(
+            "127.0.0.1:0",
+            Some(Duration::from_secs(5)),
+            None,
+            limits,
+        )
+        .unwrap();
+        let addr = mux.local_addr();
+        let _stream = dial_with_hello(addr, Hello::new(Role::Bob, 77));
+        // Nobody claims it; the reaper must discard it after the idle
+        // timeout (sweeps run every 250 ms).
+        std::thread::sleep(Duration::from_millis(700));
+        assert!(mux
+            .wait_conn(77, Role::Bob, Duration::from_millis(50))
+            .is_err());
+        assert!(mux.stats().reaped >= 1, "the reap was counted");
+    }
+
+    #[test]
+    fn garbage_first_frame_counts_a_violation_and_drops_only_that_connection() {
+        use std::io::Write;
+
+        let mux = SessionMux::bind("127.0.0.1:0", Some(Duration::from_secs(5))).unwrap();
+        let addr = mux.local_addr();
+        // A data frame before any hello: framing-valid, phase-invalid.
+        let mut hostile = TcpStream::connect(addr).unwrap();
+        hostile
+            .write_all(&crate::frame::encode_frame(K_DATA, &[0u8; 64]))
+            .unwrap();
+        // An honest dialer right behind it is unaffected.
+        let _honest = dial_with_hello(addr, Hello::new(Role::Alice, 11));
+        let (_, hello) = mux
+            .wait_conn(11, Role::Alice, Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(hello.fingerprint, 11);
+        // The greeter recorded the violation before closing the socket.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while mux.stats().violations == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(mux.stats().violations >= 1);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 use crate::frame::{K_BUSY, K_DATA, K_GOODBYE, K_HELLO, K_LEDGER};
 use crate::hello::{Busy, Hello, Role};
 use crate::mux::SessionMux;
+use crate::state::ProtocolState;
 use crate::trace::net_trace;
 use crate::stream::FramedStream;
 use crate::{NetError, NetStats};
@@ -46,6 +47,14 @@ use pprl_crypto::CostLedger;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Consecutive unacknowledged retransmit windows tolerated on one live
+/// connection before the sender forces a reconnect. A peer that is
+/// reachable but silent may be desynchronized on a frame it can never
+/// complete (a corrupted length field eats every retransmission as
+/// payload); only a fresh connection — which resets both decoders —
+/// heals that, and the receiver alone cannot always tell.
+const ACK_STALL_WINDOWS: u32 = 3;
 
 /// Reconnection behavior when a connection drops mid-session.
 #[derive(Clone, Copy, Debug)]
@@ -114,6 +123,10 @@ pub struct PeerChannel {
     /// keeps acking fresh envelopes off-ledger during the ledger wait, so
     /// the peer can finish its walk instead of stalling into `PeerGone`.
     drain: bool,
+    /// Frame-sequence validator for the current connection; reset by
+    /// every successful (re-)handshake. A frame it rejects costs the
+    /// connection (reconnect-with-resume recovers), never the session.
+    state: ProtocolState,
     /// Wire accounting (see crate docs: never part of the cost ledger).
     pub stats: NetStats,
 }
@@ -141,6 +154,7 @@ impl PeerChannel {
             attempt: 0,
             jitter: local.fingerprint ^ ((local.role as u64) << 8) ^ expect_role as u64,
             drain: false,
+            state: ProtocolState::dialing(),
             stats: NetStats::default(),
         };
         // The loop, not a single attempt: the listener may answer `Busy`
@@ -196,6 +210,7 @@ impl PeerChannel {
             attempt: 0,
             jitter: local.fingerprint ^ ((local.role as u64) << 8) ^ expect_role as u64,
             drain: false,
+            state: ProtocolState::accepting(),
             stats: NetStats::default(),
         }
     }
@@ -225,6 +240,13 @@ impl PeerChannel {
                 let mut stream = FramedStream::new(socket, self.timeout)?;
                 stream.send(K_HELLO, &self.local.encode(), &mut self.stats)?;
                 let (kind, payload) = stream.recv(&mut self.stats)?;
+                // The reply must be a handshake frame of its exact wire
+                // width; anything else is a violation before we even look
+                // at the kind.
+                if let Err(e) = ProtocolState::dialing().admit(kind, payload.len()) {
+                    self.stats.violations += 1;
+                    return Err(e);
+                }
                 if kind == K_BUSY {
                     let busy = Busy::decode(&payload)?;
                     net_trace!("{} dial {}: busy {}ms", self.local.role, self.expect_role, busy.retry_after_ms);
@@ -264,8 +286,36 @@ impl PeerChannel {
         if reconnecting {
             self.stats.reconnects += 1;
         }
+        // Fresh connection, fresh state machine: the handshake is behind
+        // us, and whether the key phase applies depends on what this side
+        // has already committed.
+        let mut state = match &self.endpoint {
+            Endpoint::Dial(_) => ProtocolState::dialing(),
+            Endpoint::Accept(_) => ProtocolState::accepting(),
+        };
+        state.complete_handshake(self.local.have_key);
+        self.state = state;
         self.attempt = 0;
         Ok(())
+    }
+
+    /// Runs one received frame header through the connection's state
+    /// machine. `false` means the frame was rejected: the violation is
+    /// counted and the connection dropped — the caller's reconnect loop
+    /// takes it from there, the session never aborts.
+    fn admit_frame(&mut self, kind: u8, payload_len: usize) -> bool {
+        match self.state.admit(kind, payload_len) {
+            Ok(()) => true,
+            Err(e) => {
+                net_trace!(
+                    "{} <- {}: {e}; dropping the connection",
+                    self.local.role, self.expect_role
+                );
+                self.stats.violations += 1;
+                self.conn = None;
+                false
+            }
+        }
     }
 
     /// Drops a dead connection and blocks until a new one is handshaken,
@@ -345,6 +395,7 @@ impl PeerChannel {
         self.next_seq += 1;
         let frame = Envelope::data(pair_id, seq, payload.to_vec()).encode();
         let mut sent_once = false;
+        let mut stalled_windows = 0u32;
         loop {
             if start.elapsed() >= self.policy.deadline {
                 return Err(NetError::PeerGone(format!(
@@ -393,7 +444,27 @@ impl PeerChannel {
             // Await the ack, buffering any data frames that interleave.
             match self.await_ack(pair_id, seq, start) {
                 Ok(true) => return Ok(()),
-                Ok(false) => continue, // timeout window: retransmit
+                Ok(false) => {
+                    // Timeout window: retransmit — but not forever on the
+                    // same connection. A live link that swallows several
+                    // retransmissions without ever acking is presumed
+                    // desynchronized; force both ends onto a fresh one.
+                    if self.conn.is_some() {
+                        stalled_windows += 1;
+                        if stalled_windows >= ACK_STALL_WINDOWS {
+                            net_trace!(
+                                "{} send pair {pair_id} -> {}: {stalled_windows} silent \
+                                 windows, forcing a reconnect",
+                                self.local.role, self.expect_role
+                            );
+                            stalled_windows = 0;
+                            self.conn = None;
+                        }
+                    } else {
+                        stalled_windows = 0;
+                    }
+                    continue;
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -429,6 +500,12 @@ impl PeerChannel {
                 .unwrap_or(Err(NetError::Disconnected));
             self.stats = stats;
             match received {
+                Ok((kind, payload)) if !self.admit_frame(kind, payload.len()) => {
+                    // Out-of-phase frame (mid-session hello, data after
+                    // the ledger, wrong-sized fixed frame): the
+                    // connection is gone, retransmit over a fresh one.
+                    return Ok(false);
+                }
                 Ok((K_DATA, payload)) => match Envelope::decode(&payload) {
                     Ok(env) if env.kind == FrameKind::Ack => {
                         if env.pair_id == pair_id && env.seq == seq {
@@ -449,9 +526,7 @@ impl PeerChannel {
                     }
                 },
                 Ok((K_LEDGER, payload)) => self.pending_ledger = Some(payload),
-                Ok((K_GOODBYE, _)) => {}
-                Ok((K_HELLO, _)) => {}
-                Ok((_, _)) => {}
+                Ok((_, _)) => {} // goodbye: admitted, nothing to do
                 Err(NetError::Timeout) => {
                     net_trace!(
                         "{} send pair {pair_id} -> {}: ack window timed out",
@@ -497,6 +572,7 @@ impl PeerChannel {
                 .unwrap_or(Err(NetError::Disconnected));
             self.stats = stats;
             match received {
+                Ok((kind, payload)) if !self.admit_frame(kind, payload.len()) => {}
                 Ok((K_DATA, payload)) => match Envelope::decode(&payload) {
                     Ok(env) if env.kind == FrameKind::Data => {
                         if let Some(incoming) = self.screen(env) {
@@ -511,9 +587,7 @@ impl PeerChannel {
                     Err(_) => self.conn = None,
                 },
                 Ok((K_LEDGER, payload)) => self.pending_ledger = Some(payload),
-                Ok((K_GOODBYE, _)) => {}
-                Ok((K_HELLO, _)) => {}
-                Ok((_, _)) => {}
+                Ok((_, _)) => {} // goodbye: admitted, nothing to do
                 Err(NetError::Timeout) => {}
                 Err(_) => self.conn = None,
             }
@@ -557,6 +631,7 @@ impl PeerChannel {
     pub fn commit_ack(&mut self, incoming: &IncomingData) {
         if incoming.pair_id == 0 {
             self.local.have_key = true;
+            self.state.note_key();
         } else {
             self.local.watermark = incoming.pair_id;
         }
@@ -636,6 +711,7 @@ impl PeerChannel {
                 .unwrap_or(Err(NetError::Disconnected));
             self.stats = stats;
             match received {
+                Ok((kind, payload)) if !self.admit_frame(kind, payload.len()) => {}
                 Ok((K_LEDGER, payload)) => self.pending_ledger = Some(payload),
                 Ok((K_DATA, payload)) => {
                     start = Instant::now();
@@ -804,6 +880,74 @@ mod tests {
         let ledger = acceptor.join().unwrap();
         assert_eq!(ledger.messages, 2);
         assert!(alice.stats.reconnects >= 1, "the drop forced a reconnect");
+    }
+
+    #[test]
+    fn out_of_phase_frames_cost_the_connection_not_the_session() {
+        let (mut alice, mut bob, _mux) = link(200, 8_000);
+        let receiver = std::thread::spawn(move || {
+            let mut ledger = CostLedger::new();
+            let incoming = bob.recv_data().unwrap();
+            assert_eq!(incoming.pair_id, 1);
+            bob.ack_on_ledger(&incoming, &mut ledger);
+            bob
+        });
+        // Splice a handshake frame into the established stream: the
+        // receiver must treat it as a protocol violation, drop only this
+        // connection, and pick the pair up over the reconnect.
+        let mut stats = NetStats::default();
+        let rogue = Hello::new(Role::Alice, 77).encode();
+        alice
+            .conn
+            .as_mut()
+            .unwrap()
+            .send(K_HELLO, &rogue, &mut stats)
+            .unwrap();
+        alice.send_data(1, &[9; 16]).unwrap();
+        let bob = receiver.join().unwrap();
+        assert!(bob.stats.violations >= 1, "the rogue hello was counted");
+        assert_eq!(bob.watermark(), 1, "the pair still committed");
+        assert!(
+            alice.stats.reconnects >= 1,
+            "delivery finished over a fresh connection"
+        );
+    }
+
+    #[test]
+    fn a_corrupted_length_field_cannot_stall_the_session() {
+        let (mut alice, mut bob, _mux) = link(150, 10_000);
+        let receiver = std::thread::spawn(move || {
+            let mut ledger = CostLedger::new();
+            let incoming = bob.recv_data().unwrap();
+            assert_eq!(incoming.pair_id, 1);
+            bob.ack_on_ledger(&incoming, &mut ledger);
+            bob
+        });
+        // Write a raw header claiming a huge payload, as a bit flip inside
+        // a length field would: Bob's decoder waits for bytes that never
+        // amount to a frame, eating every retransmission as "payload". The
+        // sender's stall escalation must force a fresh connection and
+        // deliver the pair there.
+        {
+            use std::io::Write;
+            let mut header = vec![K_DATA];
+            header.extend_from_slice(&(8u32 << 20).to_le_bytes());
+            alice
+                .conn
+                .as_mut()
+                .unwrap()
+                .stream_mut()
+                .write_all(&header)
+                .unwrap();
+        }
+        alice.send_data(1, &[3; 24]).unwrap();
+        let bob = receiver.join().unwrap();
+        assert_eq!(bob.watermark(), 1, "the pair still committed");
+        assert!(
+            alice.stats.reconnects >= 1,
+            "delivery finished over a fresh connection (stats: {})",
+            alice.stats
+        );
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Per-connection protocol state machine.
+//!
+//! The frame codec ([`frame`](crate::frame)) guarantees byte integrity;
+//! this module guarantees *sequence* integrity. Every connection walks the
+//! same phases — handshake → key → pairs → done — and each arriving frame
+//! kind is admitted against the current phase before anyone parses its
+//! payload. A valid-looking frame in the wrong phase (a second `Hello`
+//! mid-session, data after the cost ledger, a `Busy` pushback from a peer
+//! that already admitted us) is a [`NetError::ProtocolViolation`]: the
+//! receiver drops that one connection and lets the reconnect machinery
+//! take over, so a confused — or hostile — peer can never wedge a session
+//! worker or a daemon, only burn its own socket.
+//!
+//! Fixed-width kinds are also size-checked here: `Hello`, `Busy`, the
+//! cost ledger, and `Goodbye` have exactly one legal payload length each,
+//! so an "oversized" frame is a violation even though it decodes.
+
+use crate::frame::{K_BUSY, K_DATA, K_GOODBYE, K_HELLO, K_LEDGER};
+use crate::hello::{BUSY_LEN, HELLO_LEN};
+use crate::NetError;
+use pprl_crypto::protocol::transport::ENVELOPE_OVERHEAD;
+use pprl_crypto::CostLedger;
+
+/// Where a connection stands in the session lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Nothing identified yet: the only admissible frames are the
+    /// handshake kinds (`Hello`; plus `Busy` on the dialing side).
+    Handshake,
+    /// Handshake done, waiting for the Paillier key broadcast (the
+    /// dialer announced `have_key = false`). Data frames carry the key.
+    Key,
+    /// Steady state: data envelopes for record pairs, then the ledger.
+    Pairs,
+    /// The peer's cost ledger arrived; only the goodbye may follow.
+    Done,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Phase::Handshake => "handshake",
+            Phase::Key => "key",
+            Phase::Pairs => "pairs",
+            Phase::Done => "done",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Which side of the connection this state machine guards. Only the
+/// handshake differs: a dialer may legitimately be answered with `Busy`,
+/// an acceptor must see a `Hello` first and nothing else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    Dialing,
+    Accepting,
+}
+
+/// The per-connection frame-sequence validator.
+///
+/// Construct one per *connection* (not per session): a reconnect replays
+/// the handshake, so the channel resets its state machine every time a
+/// socket is (re-)established.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtocolState {
+    phase: Phase,
+    side: Side,
+}
+
+impl ProtocolState {
+    /// State machine for the dialing side: expects `Hello` or `Busy`
+    /// as the reply to its own hello.
+    pub fn dialing() -> Self {
+        ProtocolState {
+            phase: Phase::Handshake,
+            side: Side::Dialing,
+        }
+    }
+
+    /// State machine for the accepting side: expects exactly one `Hello`
+    /// and will never admit `Busy` (pushback flows listener → dialer).
+    pub fn accepting() -> Self {
+        ProtocolState {
+            phase: Phase::Handshake,
+            side: Side::Accepting,
+        }
+    }
+
+    /// The current phase (for traces and violation messages).
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Leaves the handshake once both hellos have cleared. `have_key`
+    /// comes from the hello exchange: a peer that already holds the
+    /// session key skips the key phase entirely.
+    pub fn complete_handshake(&mut self, have_key: bool) {
+        if self.phase == Phase::Handshake {
+            self.phase = if have_key { Phase::Pairs } else { Phase::Key };
+        }
+    }
+
+    /// Records that the key broadcast was consumed; later frames are
+    /// judged against the pairs phase.
+    pub fn note_key(&mut self) {
+        if self.phase == Phase::Key {
+            self.phase = Phase::Pairs;
+        }
+    }
+
+    /// Validates one arriving frame against the current phase, advancing
+    /// the phase where the frame itself marks a transition (the ledger
+    /// closes the session). `Err(ProtocolViolation)` means the caller
+    /// must drop this connection — and only this connection.
+    pub fn admit(&mut self, kind: u8, payload_len: usize) -> Result<(), NetError> {
+        let violation = |why: String| Err(NetError::ProtocolViolation(why));
+        let exact = |name: &str, want: usize, got: usize| {
+            if got == want {
+                Ok(())
+            } else {
+                violation(format!("{name} frame carries {got} bytes, expected {want}"))
+            }
+        };
+        match (self.phase, kind) {
+            (Phase::Handshake, K_HELLO) => exact("hello", HELLO_LEN, payload_len),
+            (Phase::Handshake, K_BUSY) if self.side == Side::Dialing => {
+                exact("busy", BUSY_LEN, payload_len)
+            }
+            (Phase::Handshake, other) => violation(format!(
+                "frame kind {other} during handshake, expected hello{}",
+                if self.side == Side::Dialing { " or busy" } else { "" }
+            )),
+            // Repeated handshake frames mid-session: a peer that wants to
+            // renegotiate must reconnect, not splice a hello into the
+            // data stream.
+            (phase, K_HELLO) => violation(format!("hello frame repeated in {phase} phase")),
+            (phase, K_BUSY) => violation(format!("busy frame in {phase} phase")),
+            (Phase::Done, K_DATA) => violation("data frame after the cost ledger".into()),
+            (_, K_DATA) => {
+                if payload_len < ENVELOPE_OVERHEAD {
+                    violation(format!(
+                        "data frame carries {payload_len} bytes, below the \
+                         {ENVELOPE_OVERHEAD}-byte envelope header"
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            (Phase::Done, K_LEDGER) => violation("cost ledger repeated".into()),
+            (_, K_LEDGER) => {
+                exact("ledger", CostLedger::WIRE_LEN, payload_len)?;
+                self.phase = Phase::Done;
+                Ok(())
+            }
+            (_, K_GOODBYE) => exact("goodbye", 0, payload_len),
+            // The frame decoder already rejects unknown kinds; keep the
+            // guard anyway so this layer stands alone.
+            (phase, other) => violation(format!("unknown frame kind {other} in {phase} phase")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_session_walks_every_phase() {
+        let mut st = ProtocolState::accepting();
+        assert_eq!(st.phase(), Phase::Handshake);
+        st.admit(K_HELLO, HELLO_LEN).unwrap();
+        st.complete_handshake(false);
+        assert_eq!(st.phase(), Phase::Key);
+        st.admit(K_DATA, 4096).unwrap();
+        st.note_key();
+        assert_eq!(st.phase(), Phase::Pairs);
+        st.admit(K_DATA, ENVELOPE_OVERHEAD).unwrap();
+        st.admit(K_LEDGER, CostLedger::WIRE_LEN).unwrap();
+        assert_eq!(st.phase(), Phase::Done);
+        st.admit(K_GOODBYE, 0).unwrap();
+    }
+
+    #[test]
+    fn have_key_skips_the_key_phase() {
+        let mut st = ProtocolState::dialing();
+        st.admit(K_HELLO, HELLO_LEN).unwrap();
+        st.complete_handshake(true);
+        assert_eq!(st.phase(), Phase::Pairs);
+    }
+
+    #[test]
+    fn busy_is_dialer_only() {
+        let mut dialer = ProtocolState::dialing();
+        dialer.admit(K_BUSY, BUSY_LEN).unwrap();
+        let mut acceptor = ProtocolState::accepting();
+        assert!(matches!(
+            acceptor.admit(K_BUSY, BUSY_LEN),
+            Err(NetError::ProtocolViolation(_))
+        ));
+    }
+
+    #[test]
+    fn data_during_handshake_is_a_violation() {
+        let mut st = ProtocolState::accepting();
+        assert!(matches!(
+            st.admit(K_DATA, 64),
+            Err(NetError::ProtocolViolation(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_hello_mid_session_is_a_violation() {
+        let mut st = ProtocolState::accepting();
+        st.admit(K_HELLO, HELLO_LEN).unwrap();
+        st.complete_handshake(true);
+        assert!(matches!(
+            st.admit(K_HELLO, HELLO_LEN),
+            Err(NetError::ProtocolViolation(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_sized_fixed_width_frames_are_violations() {
+        let mut st = ProtocolState::accepting();
+        assert!(st.admit(K_HELLO, HELLO_LEN + 1).is_err());
+        st.admit(K_HELLO, HELLO_LEN).unwrap();
+        st.complete_handshake(true);
+        assert!(st.admit(K_LEDGER, CostLedger::WIRE_LEN - 8).is_err());
+        assert!(st.admit(K_GOODBYE, 3).is_err());
+        assert!(st.admit(K_DATA, ENVELOPE_OVERHEAD - 1).is_err());
+    }
+
+    #[test]
+    fn nothing_follows_the_ledger_but_goodbye() {
+        let mut st = ProtocolState::dialing();
+        st.admit(K_HELLO, HELLO_LEN).unwrap();
+        st.complete_handshake(true);
+        st.admit(K_LEDGER, CostLedger::WIRE_LEN).unwrap();
+        assert!(st.admit(K_DATA, 64).is_err());
+        assert!(st.admit(K_LEDGER, CostLedger::WIRE_LEN).is_err());
+        st.admit(K_GOODBYE, 0).unwrap();
+    }
+}

@@ -4,7 +4,7 @@ use crate::frame::{encode_frame, FrameDecoder, FRAME_OVERHEAD};
 use crate::{NetError, NetStats};
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One TCP connection speaking the frame codec, with byte accounting.
 #[derive(Debug)]
@@ -12,6 +12,9 @@ pub struct FramedStream {
     stream: TcpStream,
     decoder: FrameDecoder,
     read_timeout: Option<Duration>,
+    /// When the decoder first reported an *incomplete* frame with no
+    /// newer completion — the clock behind the desync stall check.
+    mid_frame_since: Option<Instant>,
 }
 
 impl FramedStream {
@@ -25,12 +28,34 @@ impl FramedStream {
             stream,
             decoder: FrameDecoder::new(),
             read_timeout,
+            mid_frame_since: None,
         })
+    }
+
+    /// How long the stream may sit inside one incomplete frame without
+    /// ever completing it before it is declared desynchronized. A bit
+    /// flip inside a length field yields a frame the peer will never
+    /// finish — while the sender's retransmissions keep *appending* bytes
+    /// toward the bogus length, so byte-level progress proves nothing and
+    /// only frame completion resets the clock. Blocking streams (no read
+    /// timeout) never poll, so they cannot run this check.
+    fn stall_window(&self) -> Duration {
+        match self.read_timeout {
+            Some(t) => (t * 8).max(Duration::from_millis(500)),
+            None => Duration::MAX,
+        }
     }
 
     /// The configured read timeout.
     pub fn read_timeout(&self) -> Option<Duration> {
         self.read_timeout
+    }
+
+    /// Raw socket access for in-crate tests that need to write hostile
+    /// bytes past the frame encoder.
+    #[cfg(test)]
+    pub(crate) fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
     }
 
     /// Changes the read timeout (e.g. to poll without blocking).
@@ -82,6 +107,7 @@ impl FramedStream {
         let mut chunk = [0u8; 64 * 1024];
         loop {
             if let Some((kind, payload)) = self.decoder.next_frame()? {
+                self.mid_frame_since = None;
                 stats.frames_received += 1;
                 stats.bytes_received += (FRAME_OVERHEAD + payload.len()) as u64;
                 return Ok((kind, payload));
@@ -94,7 +120,24 @@ impl FramedStream {
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    return Err(NetError::Timeout)
+                    if self.decoder.pending() > 0 {
+                        // Mid-frame with the window expired and no frame
+                        // ever completing: the stream is desynchronized
+                        // (e.g. a corrupted length field) and only a fresh
+                        // connection can heal it.
+                        let since = *self.mid_frame_since.get_or_insert_with(Instant::now);
+                        if since.elapsed() >= self.stall_window() {
+                            return Err(NetError::Frame(format!(
+                                "stalled mid-frame: {} byte(s) pending with no \
+                                 frame completing within {:?}",
+                                self.decoder.pending(),
+                                self.stall_window()
+                            )));
+                        }
+                    } else {
+                        self.mid_frame_since = None;
+                    }
+                    return Err(NetError::Timeout);
                 }
                 Err(e) => return Err(NetError::Io(e)),
             }
@@ -140,6 +183,36 @@ mod tests {
         a.set_read_timeout(Some(Duration::from_millis(30))).unwrap();
         let mut stats = NetStats::default();
         assert!(matches!(a.recv(&mut stats), Err(NetError::Timeout)));
+    }
+
+    #[test]
+    fn a_frame_that_never_completes_is_a_desync_not_an_eternal_wait() {
+        let (mut a, b) = pair();
+        a.set_read_timeout(Some(Duration::from_millis(30))).unwrap();
+        // A plausible header claiming 1 MiB, then silence — exactly what a
+        // bit flip inside the length field looks like from the receiver.
+        let mut header = vec![K_DATA];
+        header.extend_from_slice(&(1u32 << 20).to_le_bytes());
+        {
+            use std::io::Write;
+            let mut raw = b;
+            raw.stream.write_all(&header).unwrap();
+            // Keep the socket open: the stall must be detected, not EOF.
+            let mut stats = NetStats::default();
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            loop {
+                match a.recv(&mut stats) {
+                    Err(NetError::Timeout) => {
+                        assert!(std::time::Instant::now() < deadline, "stall never detected");
+                    }
+                    Err(NetError::Frame(why)) => {
+                        assert!(why.contains("stalled mid-frame"), "unexpected error: {why}");
+                        break;
+                    }
+                    other => panic!("expected a mid-frame stall, got {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,13 +5,37 @@
 //! attacker-sized allocation. Mirrors `crates/crypto/tests/message_fuzz.rs`
 //! one layer down the stack.
 
-use pprl_net::frame::{encode_frame, FrameDecoder, FRAME_OVERHEAD, MAX_FRAME_LEN};
-use pprl_net::hello::Hello;
+use pprl_net::frame::{encode_frame, FrameDecoder, K_BUSY, K_HELLO, FRAME_OVERHEAD, MAX_FRAME_LEN};
+use pprl_net::hello::{Busy, Hello, Role, BUSY_LEN, HELLO_LEN, NET_VERSION};
 use proptest::prelude::*;
 
-/// A valid frame: any kind byte, payload up to a few KiB.
+/// A valid frame: a *known* kind byte (the decoder rejects unknown kinds
+/// at the header, so roundtrip properties must stay inside the protocol's
+/// kind space), payload up to a few KiB.
 fn encoded_frame() -> impl Strategy<Value = (u8, Vec<u8>)> {
-    (any::<u8>(), prop::collection::vec(any::<u8>(), 0..2048))
+    (K_HELLO..=K_BUSY, prop::collection::vec(any::<u8>(), 0..2048))
+}
+
+/// An arbitrary well-formed hello (any version/role/watermark/key bit).
+fn any_hello() -> impl Strategy<Value = Hello> {
+    (
+        any::<u16>(),
+        (0u8..3).prop_map(|i| match i {
+            0 => Role::Alice,
+            1 => Role::Bob,
+            _ => Role::Query,
+        }),
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(version, role, fingerprint, watermark, have_key)| Hello {
+            version,
+            role,
+            fingerprint,
+            watermark,
+            have_key,
+        })
 }
 
 proptest! {
@@ -108,10 +132,102 @@ proptest! {
         prop_assert_eq!(dec.pending(), 0);
     }
 
+    /// Kind bytes outside the protocol's space are rejected at the header
+    /// (a random kind with a random under-cap length used to stall the
+    /// decoder until the bogus length was "satisfied").
+    #[test]
+    fn unknown_kinds_rejected_at_header(
+        kind in any::<u8>().prop_filter("outside kind space", |k| !(K_HELLO..=K_BUSY).contains(k)),
+        len in 0u32..=(MAX_FRAME_LEN as u32),
+    ) {
+        let mut wire = vec![kind];
+        wire.extend_from_slice(&len.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        prop_assert!(dec.next_frame().is_err());
+    }
+
     /// Hello decoding is total on arbitrary bytes.
     #[test]
     fn hello_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
         let _ = Hello::decode(&bytes);
+    }
+
+    /// Busy decoding is total on arbitrary bytes.
+    #[test]
+    fn busy_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Busy::decode(&bytes);
+    }
+
+    /// Every truncation and every extension of a valid hello is a typed
+    /// error — the payload is fixed-width, and nothing shorter or longer
+    /// may parse (or allocate beyond the slice it was handed).
+    #[test]
+    fn hello_wrong_lengths_rejected(hello in any_hello(), cut in 0usize..HELLO_LEN, pad in 1usize..16) {
+        let wire = hello.encode();
+        prop_assert_eq!(wire.len(), HELLO_LEN);
+        prop_assert!(Hello::decode(&wire[..cut]).is_err(), "truncation to {} parsed", cut);
+        let mut long = wire.clone();
+        long.extend(std::iter::repeat(0u8).take(pad));
+        prop_assert!(Hello::decode(&long).is_err(), "oversize to {} parsed", long.len());
+    }
+
+    /// Same for busy: only the exact fixed width parses.
+    #[test]
+    fn busy_wrong_lengths_rejected(retry in any::<u64>(), cut in 0usize..BUSY_LEN, pad in 1usize..16) {
+        let wire = Busy { retry_after_ms: retry }.encode();
+        prop_assert_eq!(wire.len(), BUSY_LEN);
+        prop_assert!(Busy::decode(&wire[..cut]).is_err(), "truncation to {} parsed", cut);
+        let mut long = wire.clone();
+        long.extend(std::iter::repeat(0u8).take(pad));
+        prop_assert!(Busy::decode(&long).is_err(), "oversize to {} parsed", long.len());
+    }
+
+    /// A hello whose role byte is mutated off the wire enum is a typed
+    /// decode error, and a mutated-but-valid role fails `verify` against
+    /// the expected role. Nothing panics either way.
+    #[test]
+    fn hello_role_mutations_rejected(hello in any_hello(), role_byte in any::<u8>()) {
+        let mut wire = hello.encode();
+        wire[6] = role_byte;
+        match Hello::decode(&wire) {
+            Err(_) => {} // off-enum byte: rejected at decode
+            Ok(decoded) => {
+                // Any valid role byte that is *not* the expected role must
+                // fail verification; the expected role must roundtrip.
+                let check = decoded.verify(hello.role, decoded.fingerprint);
+                if decoded.role == hello.role && decoded.version == NET_VERSION {
+                    prop_assert!(check.is_ok());
+                } else {
+                    prop_assert!(check.is_err());
+                }
+            }
+        }
+    }
+
+    /// A hello from a different protocol version decodes (the bytes are
+    /// well-formed) but never verifies — version skew is caught before any
+    /// session state is built.
+    #[test]
+    fn hello_version_mutations_fail_verify(hello in any_hello(), version in any::<u16>()) {
+        let mutated = Hello { version, ..hello };
+        let decoded = Hello::decode(&mutated.encode()).expect("well-formed bytes decode");
+        prop_assert_eq!(decoded, mutated);
+        let check = decoded.verify(hello.role, hello.fingerprint);
+        if version == NET_VERSION {
+            prop_assert!(check.is_ok());
+        } else {
+            prop_assert!(check.is_err());
+        }
+    }
+
+    /// Busy payloads with mutated magic are typed errors.
+    #[test]
+    fn busy_magic_mutations_rejected(retry in any::<u64>(), byte in 0usize..4, val in any::<u8>()) {
+        let mut wire = Busy { retry_after_ms: retry }.encode();
+        prop_assume!(wire[byte] != val);
+        wire[byte] = val;
+        prop_assert!(Busy::decode(&wire).is_err());
     }
 
     /// The frame overhead constant is exact for every payload size tried.
