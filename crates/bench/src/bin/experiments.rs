@@ -541,6 +541,7 @@ fn chaos(seed: u64) {
             .with_mode(SmcMode::PaillierBatched {
                 modulus_bits: 256,
                 seed,
+                pack: false,
             })
             .with_channel(ChannelConfig {
                 faults: FaultConfig::uniform(rate),

@@ -96,6 +96,7 @@ fn main() {
         mode: SmcMode::PaillierBatched {
             modulus_bits: bits,
             seed: 42,
+            pack: false,
         },
         channel: None,
         deadline: DeadlineBudget::None,

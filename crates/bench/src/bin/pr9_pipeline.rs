@@ -1,0 +1,310 @@
+//! PR 9 latency sweep: windowed pipelining under injected wire delay.
+//!
+//! Drives a full three-party linkage (querier, Alice, Bob as in-process
+//! threads over real loopback TCP) with a seeded delay-only [`ChaosProxy`]
+//! parked on both data legs (Bob↔Alice and Bob↔querier), sweeping the
+//! holders' `--window` against the injected per-chunk delay. The
+//! acceptance bar rides along: every configuration's matched-pair digest
+//! and protocol ledger must be byte-identical — the window is a pure
+//! deployment knob — while pairs/sec at high RTT must grow with the
+//! window.
+//!
+//! ```sh
+//! cargo run --release -p pprl-bench --bin pr9_pipeline -- \
+//!     --records 60 --windows 1,8,32 --delays 0,10,50 --out BENCH_pr9.json
+//! ```
+//!
+//! A `--packing` section additionally measures ciphertext packing
+//! (`SmcMode::PaillierBatched { pack: true }`) against the scalar wire
+//! format at zero delay: same decisions, fewer decryptions, fewer bytes.
+
+use pprl_core::{HybridLinkage, LinkageConfig, PartyOptions, PartyOutcome, Role};
+use pprl_data::DataSet;
+use pprl_journal::Fnv1a64;
+use pprl_net::{ChaosConfig, ChaosProxy};
+use pprl_smc::{SmcAllowance, SmcMode};
+use std::net::{SocketAddr, TcpListener};
+use std::time::Instant;
+
+/// Reserves an ephemeral loopback port by binding and dropping a
+/// listener; the party that binds it for real follows immediately.
+fn free_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    listener.local_addr().expect("local addr")
+}
+
+/// The shared job: paper defaults shrunk to a benchable pair budget.
+fn build_config(records: usize, pack: bool) -> (LinkageConfig, DataSet, DataSet) {
+    let scenario = pprl_core::SyntheticScenario::builder()
+        .records_per_set(records)
+        .seed(7)
+        .build();
+    let (d1, d2) = scenario.data_sets();
+    let mut config = LinkageConfig::paper_defaults()
+        .with_allowance(SmcAllowance::Fraction(0.02));
+    config.mode = SmcMode::PaillierBatched {
+        modulus_bits: 256,
+        seed: 42,
+        pack,
+    };
+    config.channel = None;
+    (config, d1, d2)
+}
+
+struct RunResult {
+    elapsed_s: f64,
+    pairs: u64,
+    /// Order-independent digest of the declared match set.
+    matched_digest: u64,
+    ledger_messages: u64,
+    ledger_bytes: u64,
+    decryptions: u64,
+    /// Holder-side wire accounting (max-merged over Alice and Bob).
+    retransmits: u64,
+    batches_sent: u64,
+    batched_envelopes: u64,
+    max_window: u64,
+}
+
+/// One full three-party session at the given window and injected delay.
+fn run_once(
+    config: &LinkageConfig,
+    d1: &DataSet,
+    d2: &DataSet,
+    window: usize,
+    delay_ms: u64,
+) -> RunResult {
+    let q_addr = free_addr();
+    let a_addr = free_addr();
+    let chaos = {
+        let mut c = ChaosConfig::clean(9);
+        c.delay_ms = delay_ms;
+        c
+    };
+    // Both data legs cross a delay proxy; each relayed chunk sleeps
+    // `delay_ms` per direction, so the effective RTT is ~2x that.
+    let p_bq = ChaosProxy::start("127.0.0.1:0", q_addr, chaos).expect("proxy to querier");
+    let p_ba = ChaosProxy::start("127.0.0.1:0", a_addr, chaos).expect("proxy to alice");
+    let bq_addr = p_bq.local_addr();
+    let ba_addr = p_ba.local_addr();
+
+    let spawn = |role: Role, f: Box<dyn FnOnce(&mut PartyOptions) + Send>| {
+        let config = config.clone();
+        let (d1, d2) = (d1.clone(), d2.clone());
+        std::thread::spawn(move || -> PartyOutcome {
+            let pipeline = HybridLinkage::new(config).with_threads(1);
+            let mut popts = PartyOptions::new(role);
+            popts.window = window;
+            f(&mut popts);
+            pprl_core::run_party(&pipeline, &d1, &d2, &popts).expect("party run")
+        })
+    };
+
+    let started = Instant::now();
+    let query = spawn(
+        Role::Query,
+        Box::new(move |p| p.listen = Some(q_addr.to_string())),
+    );
+    let alice = spawn(
+        Role::Alice,
+        Box::new(move |p| {
+            p.listen = Some(a_addr.to_string());
+            p.querier_addr = Some(q_addr);
+        }),
+    );
+    let bob = spawn(
+        Role::Bob,
+        Box::new(move |p| {
+            p.querier_addr = Some(bq_addr);
+            p.alice_addr = Some(ba_addr);
+        }),
+    );
+    let q_out = query.join().expect("querier thread");
+    let a_out = alice.join().expect("alice thread");
+    let b_out = bob.join().expect("bob thread");
+    let elapsed_s = started.elapsed().as_secs_f64();
+    drop(p_bq);
+    drop(p_ba);
+
+    let outcome = q_out.outcome.as_ref().expect("querier outcome");
+    let mut matched: Vec<(u32, u32)> = outcome.matched_rows().collect();
+    matched.sort_unstable();
+    let mut digest = Fnv1a64::new();
+    digest.update_u64(matched.len() as u64);
+    for &(ri, si) in &matched {
+        digest.update_u64(ri as u64);
+        digest.update_u64(si as u64);
+    }
+    RunResult {
+        elapsed_s,
+        pairs: q_out.live_pairs + q_out.replayed_pairs,
+        matched_digest: digest.finish(),
+        ledger_messages: outcome.ledger.messages,
+        ledger_bytes: outcome.ledger.bytes,
+        decryptions: outcome.ledger.decryptions,
+        retransmits: a_out.net.retransmits + b_out.net.retransmits,
+        batches_sent: a_out.net.batches_sent + b_out.net.batches_sent,
+        batched_envelopes: a_out.net.batched_envelopes + b_out.net.batched_envelopes,
+        max_window: a_out.net.max_window.max(b_out.net.max_window),
+    }
+}
+
+fn parse_list(raw: &str, flag: &str) -> Vec<u64> {
+    raw.split(',')
+        .map(|v| v.trim().parse().unwrap_or_else(|_| panic!("{flag}: bad entry {v:?}")))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |key: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let has = |key: &str| args.iter().any(|a| a == key);
+    let records: usize = opt("--records").map_or(60, |v| v.parse().expect("--records N"));
+    let windows = parse_list(opt("--windows").unwrap_or("1,8,32"), "--windows");
+    let delays = parse_list(opt("--delays").unwrap_or("0,10,50"), "--delays");
+    let out = opt("--out").unwrap_or("BENCH_pr9.json").to_string();
+    let assert_speedup = has("--assert-windowed-speedup");
+    let with_packing = !has("--no-packing");
+
+    eprintln!(
+        "pr9_pipeline: records={records} windows={windows:?} delays={delays:?}"
+    );
+    let (config, d1, d2) = build_config(records, false);
+
+    let mut sweep = Vec::new();
+    let mut entries = String::new();
+    for &delay in &delays {
+        for &window in &windows {
+            let r = run_once(&config, &d1, &d2, window as usize, delay);
+            let rate = r.pairs as f64 / r.elapsed_s.max(1e-9);
+            eprintln!(
+                "delay={delay:>3}ms window={window:>3}: {} pairs in {:.2}s \
+                 ({rate:.1} pairs/sec, max_window={}, batches={}, retransmits={})",
+                r.pairs, r.elapsed_s, r.max_window, r.batches_sent, r.retransmits
+            );
+            if !entries.is_empty() {
+                entries.push_str(",\n");
+            }
+            entries.push_str(&format!(
+                concat!(
+                    "    {{ \"delay_ms\": {}, \"window\": {}, \"pairs\": {}, ",
+                    "\"elapsed_s\": {:.3}, \"pairs_per_sec\": {:.2}, ",
+                    "\"matched_digest\": \"{:016x}\", \"ledger_bytes\": {}, ",
+                    "\"net\": {{ \"retransmits\": {}, \"batches_sent\": {}, ",
+                    "\"batched_envelopes\": {}, \"max_window\": {} }} }}"
+                ),
+                delay, window, r.pairs, r.elapsed_s, rate, r.matched_digest,
+                r.ledger_bytes, r.retransmits, r.batches_sent,
+                r.batched_envelopes, r.max_window,
+            ));
+            sweep.push((delay, window, rate, r));
+        }
+    }
+
+    // The window is a deployment knob: every configuration must produce
+    // the same report — digest, message count, and ledger bytes alike.
+    let (_, _, _, first) = sweep.first().expect("non-empty sweep");
+    for (delay, window, _, r) in &sweep {
+        assert_eq!(
+            (r.matched_digest, r.ledger_messages, r.ledger_bytes),
+            (first.matched_digest, first.ledger_messages, first.ledger_bytes),
+            "delay={delay} window={window}: the report drifted with the window"
+        );
+    }
+
+    // Headline: the widest window against lockstep at the worst RTT.
+    let max_delay = delays.iter().copied().max().unwrap_or(0);
+    let rate_at = |w: u64| {
+        sweep
+            .iter()
+            .find(|(d, win, _, _)| *d == max_delay && *win == w)
+            .map(|(_, _, rate, _)| *rate)
+            .unwrap_or(0.0)
+    };
+    let w_lo = windows.iter().copied().min().unwrap_or(1);
+    let w_hi = windows.iter().copied().max().unwrap_or(1);
+    let speedup = rate_at(w_hi) / rate_at(w_lo).max(1e-9);
+    eprintln!(
+        "speedup at {max_delay}ms injected delay: window {w_hi} is {speedup:.2}x window {w_lo}"
+    );
+    if assert_speedup {
+        assert!(
+            speedup > 1.0,
+            "windowed pipelining must beat lockstep under {max_delay}ms delay \
+             (got {speedup:.2}x)"
+        );
+    }
+
+    // Packing head-to-head at zero delay, lockstep: the protocol ledger
+    // shrinks (fewer decryptions, fewer bytes) while decisions hold.
+    let packing_json = if with_packing {
+        let (packed_config, ..) = build_config(records, true);
+        let scalar = run_once(&config, &d1, &d2, 1, 0);
+        let packed = run_once(&packed_config, &d1, &d2, 1, 0);
+        assert_eq!(
+            scalar.matched_digest, packed.matched_digest,
+            "packing changed the declared match set"
+        );
+        assert!(
+            packed.decryptions <= scalar.decryptions,
+            "packing must not cost extra decryptions \
+             ({} packed vs {} scalar)",
+            packed.decryptions,
+            scalar.decryptions
+        );
+        eprintln!(
+            "packing: {} -> {} ledger bytes ({:.3}x), {} -> {} decryptions",
+            scalar.ledger_bytes,
+            packed.ledger_bytes,
+            packed.ledger_bytes as f64 / scalar.ledger_bytes.max(1) as f64,
+            scalar.decryptions,
+            packed.decryptions,
+        );
+        format!(
+            concat!(
+                "{{\n",
+                "    \"scalar\": {{ \"ledger_bytes\": {}, \"decryptions\": {} }},\n",
+                "    \"packed\": {{ \"ledger_bytes\": {}, \"decryptions\": {} }},\n",
+                "    \"byte_ratio\": {:.4}\n",
+                "  }}"
+            ),
+            scalar.ledger_bytes,
+            scalar.decryptions,
+            packed.ledger_bytes,
+            packed.decryptions,
+            packed.ledger_bytes as f64 / scalar.ledger_bytes.max(1) as f64,
+        )
+    } else {
+        "null".to_string()
+    };
+
+    // Assembled by hand like the earlier bench bins: meaningful without
+    // a JSON crate in the loop.
+    let doc = format!(
+        r#"{{
+  "bench": "pr9_pipeline",
+  "records_per_set": {records},
+  "smc_pairs": {pairs},
+  "modulus_bits": 256,
+  "sweep": [
+{entries}
+  ],
+  "speedup_at_max_delay": {{
+    "delay_ms": {max_delay},
+    "window_hi": {w_hi},
+    "window_lo": {w_lo},
+    "speedup": {speedup:.3}
+  }},
+  "packing": {packing_json}
+}}
+"#,
+        pairs = first.pairs,
+    );
+    std::fs::write(&out, doc).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -33,14 +33,14 @@ impl BigUint {
     /// over the padded common width and reporting the final borrow.
     pub fn ct_lt(&self, other: &BigUint) -> u64 {
         let width = self.limbs().len().max(other.limbs().len());
-        let mut borrow = 0u64;
-        for i in 0..width {
-            let a = self.limbs().get(i).copied().unwrap_or(0) as u128;
-            let b = other.limbs().get(i).copied().unwrap_or(0) as u128;
-            let d = a.wrapping_sub(b).wrapping_sub(borrow as u128);
-            borrow = ((d >> 64) as u64) & 1;
-        }
-        borrow
+        let lhs = self.limbs().iter().copied().chain(core::iter::repeat(0));
+        let rhs = other.limbs().iter().copied().chain(core::iter::repeat(0));
+        lhs.zip(rhs).take(width).fold(0u64, |borrow, (a, b)| {
+            let d = (a as u128)
+                .wrapping_sub(b as u128)
+                .wrapping_sub(borrow as u128);
+            ((d >> 64) as u64) & 1
+        })
     }
 
     /// Low 64 bits of the value (0 for an empty limb vector).

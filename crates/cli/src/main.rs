@@ -133,6 +133,14 @@ same two files and the same RUN OPTIONS — the handshake rejects drift):
   --net-timeout-ms MS     socket poll timeout           [1000]
   --net-deadline-ms MS    per-operation reconnect deadline [30000]
   --no-fsync          skip journal/report fsyncs (kill-only test runs)
+  --window N          data-holder send window: keep up to N record pairs
+                      in flight before blocking on the journal-gated ack
+                      [1 = classic lockstep]. A deployment knob: parties
+                      may disagree, reports are byte-identical at any N
+  --pack              pack all attribute results of a pair slot-wise into
+                      as few Paillier ciphertexts as possible (fewer
+                      decryptions and bytes per pair); changes the wire
+                      format, so every party must agree (fingerprinted)
   Paillier is always batched in party mode ('--paillier BITS' sets the key
   size, default 256); --fault-rate is rejected. --deadline-ms is allowed
   but must be identical on every party (it is part of the handshake
@@ -169,7 +177,11 @@ against the announced address, configured identically to that job):
                       long fails the job, which the supervisor requeues
                       through the crash-recovery path (off by default —
                       one-shot semantics degrade the pair instead)
-  --listen/--net-timeout-ms/--net-deadline-ms/--no-fsync as in party mode;
+  --metrics-path P    write a per-job metrics snapshot (status, wall time,
+                      pairs/sec, wire accounting, peak window occupancy)
+                      to P at drain/completion and on SIGUSR1
+  --listen/--net-timeout-ms/--net-deadline-ms/--no-fsync/--window/--pack
+  as in party mode;
   RUN OPTIONS (including --deadline-ms) apply to every job alike.
   SIGTERM drains gracefully: stop admitting, finish in-flight jobs, exit 0.
 
@@ -205,7 +217,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?;
-        if key == "json" || key == "resume" || key == "no-fsync" {
+        if key == "json" || key == "resume" || key == "no-fsync" || key == "pack" {
             opts.insert(key.to_string(), "true".to_string());
             i += 1;
         } else {
@@ -320,6 +332,7 @@ fn build_config(opts: &Opts) -> Result<LinkageConfig, String> {
         config.mode = SmcMode::PaillierBatched {
             modulus_bits: get(opts, "paillier", 256)?,
             seed: get(opts, "seed", 42)?,
+            pack: opts.contains_key("pack"),
         };
         config.channel = Some(ChannelConfig {
             faults: FaultConfig::uniform(rate),
@@ -408,6 +421,7 @@ fn cmd_party(opts: &Opts) -> Result<(), String> {
     config.mode = SmcMode::PaillierBatched {
         modulus_bits: get(opts, "paillier", 256)?,
         seed: get(opts, "seed", 42)?,
+        pack: opts.contains_key("pack"),
     };
     config.channel = None;
 
@@ -425,6 +439,10 @@ fn cmd_party(opts: &Opts) -> Result<(), String> {
     popts.timeout = std::time::Duration::from_millis(get(opts, "net-timeout-ms", 1_000)?);
     popts.deadline = std::time::Duration::from_millis(get(opts, "net-deadline-ms", 30_000)?);
     popts.durable = !opts.contains_key("no-fsync");
+    popts.window = get(opts, "window", 1)?;
+    if popts.window == 0 {
+        return Err("--window must be at least 1".to_string());
+    }
 
     let threads: usize = get(opts, "threads", pprl_runtime::resolve_threads(None))?;
     if threads == 0 {
@@ -474,6 +492,33 @@ fn drain_flag() -> &'static std::sync::atomic::AtomicBool {
     &DRAIN
 }
 
+/// SIGUSR1 flips this flag; the serve loop polls it and dumps a metrics
+/// snapshot to `--metrics-path`, then swaps it back. Same
+/// libc-declaration trick as [`drain_flag`].
+#[cfg(unix)]
+fn metrics_flag() -> &'static std::sync::atomic::AtomicBool {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static METRICS: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_sigusr1(_sig: i32) {
+        METRICS.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    #[cfg(target_os = "linux")]
+    const SIGUSR1: i32 = 10;
+    #[cfg(not(target_os = "linux"))]
+    const SIGUSR1: i32 = 30; // BSD-lineage numbering (macOS and friends)
+    unsafe { signal(SIGUSR1, on_sigusr1) };
+    &METRICS
+}
+
+#[cfg(not(unix))]
+fn metrics_flag() -> &'static std::sync::atomic::AtomicBool {
+    static METRICS: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    &METRICS
+}
+
 /// The linkage daemon: one querier process serving every `--job` over a
 /// single listener, with bounded admission and per-job crash recovery.
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
@@ -490,6 +535,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     config.mode = SmcMode::PaillierBatched {
         modulus_bits: get(opts, "paillier", 256)?,
         seed: get(opts, "seed", 42)?,
+        pack: opts.contains_key("pack"),
     };
     config.channel = None;
     let threads: usize = get(opts, "threads", pprl_runtime::resolve_threads(None))?;
@@ -533,6 +579,17 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             None => None,
             Some(_) => Some(ms(get(opts, "silence-timeout-ms", 0)?)),
         },
+        window: {
+            let w: usize = get(opts, "window", 1)?;
+            if w == 0 {
+                return Err("--window must be at least 1".to_string());
+            }
+            w
+        },
+        metrics_path: opts.get("metrics-path").map(std::path::PathBuf::from),
+        metrics_signal: opts
+            .contains_key("metrics-path")
+            .then(metrics_flag),
     };
 
     let json = opts.contains_key("json");

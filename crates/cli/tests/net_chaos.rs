@@ -168,26 +168,33 @@ fn chaos_soak_keeps_the_report_byte_identical_across_every_fault_family() {
     let mut injected = 0u64;
     for family in ChaosConfig::FAMILIES {
         for seed in [1u64, 2] {
-            eprintln!("chaos soak: family={family} seed={seed}");
+            // Seed 1 soaks the classic lockstep protocol; seed 2 reruns
+            // the same family with a 32-pair send window on the holders —
+            // pipelining must be just as chaos-proof, to the byte.
+            let window: &[String] = if seed == 1 {
+                &[]
+            } else {
+                &["--window".to_string(), "32".to_string()]
+            };
+            eprintln!("chaos soak: family={family} seed={seed} window={:?}", window);
             // The querier binds fresh per run; the proxy fronts it for Bob.
             let mut query = spawn_party(&dir, "query", &[]);
             let qaddr: std::net::SocketAddr = query.listen_addr().parse().unwrap();
             let cfg = ChaosConfig::fault_family(family, seed).unwrap();
             let proxy = ChaosProxy::start("127.0.0.1:0", qaddr, cfg).unwrap();
 
-            let mut alice =
-                spawn_party(&dir, "alice", &["--connect-querier".into(), qaddr.to_string()]);
+            let mut alice_args = vec!["--connect-querier".to_string(), qaddr.to_string()];
+            alice_args.extend(window.iter().cloned());
+            let mut alice = spawn_party(&dir, "alice", &alice_args);
             let aaddr = alice.listen_addr();
-            let bob = spawn_party(
-                &dir,
-                "bob",
-                &[
-                    "--connect-querier".into(),
-                    proxy.local_addr().to_string(),
-                    "--connect-alice".into(),
-                    aaddr,
-                ],
-            );
+            let mut bob_args = vec![
+                "--connect-querier".to_string(),
+                proxy.local_addr().to_string(),
+                "--connect-alice".to_string(),
+                aaddr,
+            ];
+            bob_args.extend(window.iter().cloned());
+            let bob = spawn_party(&dir, "bob", &bob_args);
             let (report, _) = query.finish();
             alice.finish();
             bob.finish();

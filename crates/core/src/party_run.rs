@@ -51,6 +51,7 @@ use pprl_net::{Hello, NetError, NetStats, PeerChannel, ReconnectPolicy, Role, Se
 use pprl_smc::{DeadlineBudget, PairEvent, RemoteParty, SmcError, SmcMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -105,6 +106,15 @@ pub struct PartyOptions {
     /// from its journal when the peer comes back; one-shot runs leave it
     /// `None` and keep the graceful degradation of PR 5.
     pub silence: Option<Duration>,
+    /// Send window: how many record pairs a data holder keeps in flight
+    /// to its downstream peer before blocking on the journal-gated ack.
+    /// `1` (the default) is the classic lockstep protocol — one pair per
+    /// round trip, byte-identical to earlier revisions. Larger windows
+    /// pipeline the pair stream so throughput stops scaling with RTT; the
+    /// commit/journal ordering is unchanged (acks release oldest-first),
+    /// so reports and ledgers are byte-identical at any window. A pure
+    /// deployment knob: never fingerprinted, may differ per party.
+    pub window: usize,
 }
 
 impl PartyOptions {
@@ -121,6 +131,7 @@ impl PartyOptions {
             deadline: Duration::from_secs(30),
             durable: true,
             silence: None,
+            window: 1,
         }
     }
 }
@@ -154,8 +165,15 @@ pub struct PartyOutcome {
 /// their deterministic walks and ship their ledgers home (see
 /// [`PeerChannel::drain_stragglers`]). One clock decides; nobody drifts.
 pub(crate) fn batched_seed(pipeline: &HybridLinkage) -> Result<u64, LinkageError> {
+    batched_mode(pipeline).map(|(seed, _)| seed)
+}
+
+/// As [`batched_seed`], but also returns whether the fingerprinted mode
+/// asks for slot-packed replies (all three parties agree on it or the
+/// handshake rejects them).
+pub(crate) fn batched_mode(pipeline: &HybridLinkage) -> Result<(u64, bool), LinkageError> {
     let cfg = pipeline.config();
-    let SmcMode::PaillierBatched { seed, .. } = cfg.mode else {
+    let SmcMode::PaillierBatched { seed, pack, .. } = cfg.mode else {
         return Err(LinkageError::Net(
             "party mode requires the batched Paillier wire protocol".into(),
         ));
@@ -165,7 +183,7 @@ pub(crate) fn batched_seed(pipeline: &HybridLinkage) -> Result<u64, LinkageError
             "party mode uses a real network; drop the simulated channel".into(),
         ));
     }
-    Ok(seed)
+    Ok((seed, pack))
 }
 
 /// Opens (or resumes) a per-party journal; the hello must announce the
@@ -207,7 +225,7 @@ pub fn run_party(
             Ok(outcome)
         }
         Role::Alice | Role::Bob => {
-            let seed = batched_seed(pipeline)?;
+            let (seed, pack) = batched_mode(pipeline)?;
             let cfg = pipeline.config();
             check_schemas(r, s)?;
             let rule = cfg.rule(r.schema());
@@ -235,7 +253,7 @@ pub fn run_party(
                 blocking.total_pairs,
             )?;
             let (ledger, stats, replayed, live) =
-                run_holder(runner, &session, opts, progress, writer)?;
+                run_holder(runner, &session, opts, progress, writer, pack)?;
             Ok(PartyOutcome {
                 outcome: None,
                 ledger,
@@ -706,6 +724,7 @@ fn run_holder(
     opts: &PartyOptions,
     progress: PartyProgress,
     mut writer: Option<JournalWriter>,
+    pack: bool,
 ) -> Result<(CostLedger, NetStats, u64, u64), LinkageError> {
     let role = opts.role;
     let querier_addr = opts
@@ -798,69 +817,208 @@ fn run_holder(
     // differ from the single-process run, sizes and counts cannot.
     let mut rng = StdRng::seed_from_u64(session.seed ^ (0x9e37_79b9 + role as u64));
 
+    // `window == 1` takes the exact lockstep path below; `window > 1`
+    // pipelines: the holder keeps up to `window` pairs in flight to its
+    // downstream peer, journaling each pair only when its ack arrives —
+    // acks release oldest-first ([`PeerChannel::take_acked_prefix`]), so
+    // the journal stays an in-order contiguous prefix and the resume
+    // watermark semantics are unchanged at any window.
+    let window = opts.window.max(1);
+    let crypto_err = |e: pprl_crypto::CryptoError| LinkageError::Smc(SmcError::Crypto(e));
+
     let mut live = 0u64;
     let mut ordinal = 0u64;
-    while let Some(walked) = runner.walk_next_encoded()? {
-        let Some(encoded) = walked.encoded else {
-            continue; // trivial match: decided locally, no messages
-        };
-        ordinal += 1;
-        if ordinal <= restored_watermark {
-            continue; // journaled before the crash; costs already restored
+    if window == 1 {
+        while let Some(walked) = runner.walk_next_encoded()? {
+            let Some(encoded) = walked.encoded else {
+                continue; // trivial match: decided locally, no messages
+            };
+            ordinal += 1;
+            if ordinal <= restored_watermark {
+                continue; // journaled before the crash; costs already restored
+            }
+            let before = ledger.clone();
+            let event = PairEvent {
+                ri: walked.ri,
+                si: walked.si,
+                decision: pprl_smc::PairDecision::NonMatch, // placeholder: holders never learn
+            };
+            match role {
+                Role::Alice => {
+                    if pack {
+                        pprl_crypto::protocol::validate_packable_values(&encoded.a_vals)
+                            .map_err(crypto_err)?;
+                    }
+                    let message =
+                        alice_record_message(&pk, &encoded.a_vals, &mut rng, &mut ledger)
+                            .map_err(crypto_err)?;
+                    // Lockstep: Bob acks only after the querier committed the
+                    // pair, so one in-flight message is the whole send window.
+                    data.send_data(ordinal, &message).map_err(net_err)?;
+                    let delta = delta_of(&ledger, &before)?;
+                    append(
+                        &mut writer,
+                        K_PARTY_PAIR,
+                        &encode_pair_frame(ordinal, &event, &delta),
+                    )?;
+                }
+                Role::Bob => {
+                    let incoming = data.recv_data().map_err(net_err)?;
+                    if incoming.pair_id != ordinal {
+                        return Err(LinkageError::Net(format!(
+                            "Alice sent pair {} while Bob expected {ordinal}: \
+                             the deterministic walks diverged",
+                            incoming.pair_id
+                        )));
+                    }
+                    let message = bob_reply(&pk, &incoming.payload, &encoded, pack, &mut rng, &mut ledger)?;
+                    querier.send_data(ordinal, &message).map_err(net_err)?;
+                    // Record Alice's ack inside this pair's delta, journal,
+                    // then release it — the two-phase commit_ack ordering.
+                    ledger.record_message(ENVELOPE_OVERHEAD);
+                    let delta = delta_of(&ledger, &before)?;
+                    append(
+                        &mut writer,
+                        K_PARTY_PAIR,
+                        &encode_pair_frame(ordinal, &event, &delta),
+                    )?;
+                    data.commit_ack(&incoming);
+                }
+                Role::Query => unreachable!(),
+            }
+            live += 1;
         }
-        let before = ledger.clone();
-        let event = PairEvent {
-            ri: walked.ri,
-            si: walked.si,
-            decision: pprl_smc::PairDecision::NonMatch, // placeholder: holders never learn
-        };
+    } else {
+        // Pipelined: submit up to `window` pairs before blocking on the
+        // oldest ack. Per-pair ledger deltas are computed at production
+        // time and journaled at commit time — deltas merge commutatively,
+        // so the restored ledger equals the lockstep run's bytes.
+        let max_unacked = window - 1;
         match role {
             Role::Alice => {
-                let message = alice_record_message(&pk, &encoded.a_vals, &mut rng, &mut ledger)
-                    .map_err(|e| LinkageError::Smc(SmcError::Crypto(e)))?;
-                // Lockstep: Bob acks only after the querier committed the
-                // pair, so one in-flight message is the whole send window.
-                data.send_data(ordinal, &message).map_err(net_err)?;
-                let delta = delta_of(&ledger, &before)?;
-                append(
-                    &mut writer,
-                    K_PARTY_PAIR,
-                    &encode_pair_frame(ordinal, &event, &delta),
-                )?;
-            }
-            Role::Bob => {
-                let incoming = data.recv_data().map_err(net_err)?;
-                if incoming.pair_id != ordinal {
+                let mut pending: VecDeque<(u64, PairEvent, CostLedger)> = VecDeque::new();
+                while let Some(walked) = runner.walk_next_encoded()? {
+                    let Some(encoded) = walked.encoded else {
+                        continue;
+                    };
+                    ordinal += 1;
+                    if ordinal <= restored_watermark {
+                        continue;
+                    }
+                    let before = ledger.clone();
+                    if pack {
+                        pprl_crypto::protocol::validate_packable_values(&encoded.a_vals)
+                            .map_err(crypto_err)?;
+                    }
+                    let message =
+                        alice_record_message(&pk, &encoded.a_vals, &mut rng, &mut ledger)
+                            .map_err(crypto_err)?;
+                    let event = PairEvent {
+                        ri: walked.ri,
+                        si: walked.si,
+                        decision: pprl_smc::PairDecision::NonMatch,
+                    };
+                    let delta = delta_of(&ledger, &before)?;
+                    data.submit_data(ordinal, &message);
+                    pending.push_back((ordinal, event, delta));
+                    // Admit the next pair once occupancy dips below the
+                    // window; flushes coalesce queued envelopes per frame.
+                    data.pump_window(max_unacked).map_err(net_err)?;
+                    commit_acked_alice(&mut data, &mut pending, &mut writer)?;
+                    live += 1;
+                }
+                data.flush_window().map_err(net_err)?;
+                commit_acked_alice(&mut data, &mut pending, &mut writer)?;
+                if !pending.is_empty() {
                     return Err(LinkageError::Net(format!(
-                        "Alice sent pair {} while Bob expected {ordinal}: \
-                         the deterministic walks diverged",
-                        incoming.pair_id
+                        "{} pairs left unacknowledged after the window flush",
+                        pending.len()
                     )));
                 }
-                let message = bob_record_message(
-                    &pk,
-                    &incoming.payload,
-                    &encoded.b_vals,
-                    &encoded.thresholds,
-                    &mut rng,
-                    &mut ledger,
-                )
-                .map_err(|e| LinkageError::Smc(SmcError::Crypto(e)))?;
-                querier.send_data(ordinal, &message).map_err(net_err)?;
-                // Record Alice's ack inside this pair's delta, journal,
-                // then release it — the two-phase commit_ack ordering.
-                ledger.record_message(ENVELOPE_OVERHEAD);
-                let delta = delta_of(&ledger, &before)?;
-                append(
-                    &mut writer,
-                    K_PARTY_PAIR,
-                    &encode_pair_frame(ordinal, &event, &delta),
-                )?;
-                data.commit_ack(&incoming);
+            }
+            Role::Bob => {
+                let mut pending: VecDeque<PendingBobCommit> = VecDeque::new();
+                while let Some(walked) = runner.walk_next_encoded()? {
+                    let Some(encoded) = walked.encoded else {
+                        continue;
+                    };
+                    ordinal += 1;
+                    if ordinal <= restored_watermark {
+                        continue;
+                    }
+                    let before = ledger.clone();
+                    // Wait for Alice in slices, probing the querier leg
+                    // between them. A quiet Alice can mean *our* downstream
+                    // died: she halts at her own window cap until Bob's
+                    // acks flow, and those acks wait on the querier's — so
+                    // a dead querier connection must be retransmitted and
+                    // reconnected here, below the window cap, or all three
+                    // parties deadlock (the blocking pump only escalates
+                    // once occupancy exceeds the cap, which a stalled
+                    // Alice can never push it past).
+                    let incoming = {
+                        let wait = std::time::Instant::now();
+                        loop {
+                            if let Some(incoming) =
+                                data.try_recv_data().map_err(net_err)?
+                            {
+                                break incoming;
+                            }
+                            querier.probe_window().map_err(net_err)?;
+                            commit_acked_bob(
+                                &mut querier,
+                                &mut data,
+                                &mut pending,
+                                &mut writer,
+                            )?;
+                            if wait.elapsed() >= session.policy.deadline {
+                                return Err(net_err(NetError::PeerGone(format!(
+                                    "no data from alice within {:?}",
+                                    session.policy.deadline
+                                ))));
+                            }
+                        }
+                    };
+                    if incoming.pair_id != ordinal {
+                        return Err(LinkageError::Net(format!(
+                            "Alice sent pair {} while Bob expected {ordinal}: \
+                             the deterministic walks diverged",
+                            incoming.pair_id
+                        )));
+                    }
+                    let message =
+                        bob_reply(&pk, &incoming.payload, &encoded, pack, &mut rng, &mut ledger)?;
+                    querier.submit_data(ordinal, &message);
+                    // Alice's ack is metered in this pair's delta now; the
+                    // wire ack leaves at commit time, after the journal.
+                    ledger.record_message(ENVELOPE_OVERHEAD);
+                    let event = PairEvent {
+                        ri: walked.ri,
+                        si: walked.si,
+                        decision: pprl_smc::PairDecision::NonMatch,
+                    };
+                    let delta = delta_of(&ledger, &before)?;
+                    pending.push_back(PendingBobCommit {
+                        ordinal,
+                        incoming,
+                        event,
+                        delta,
+                    });
+                    querier.pump_window(max_unacked).map_err(net_err)?;
+                    commit_acked_bob(&mut querier, &mut data, &mut pending, &mut writer)?;
+                    live += 1;
+                }
+                querier.flush_window().map_err(net_err)?;
+                commit_acked_bob(&mut querier, &mut data, &mut pending, &mut writer)?;
+                if !pending.is_empty() {
+                    return Err(LinkageError::Net(format!(
+                        "{} pairs left unacknowledged after the window flush",
+                        pending.len()
+                    )));
+                }
             }
             Role::Query => unreachable!(),
         }
-        live += 1;
     }
     if let Some(w) = writer.as_mut() {
         w.sync()?;
@@ -875,6 +1033,101 @@ fn run_holder(
         stats.merge(&mux.stats());
     }
     Ok((ledger, stats, replayed, live))
+}
+
+/// Bob's reply for one pair: scalar or slot-packed, per the fingerprinted
+/// mode. Identical decisions either way; only modpows and bytes differ.
+fn bob_reply<R: rand::RngCore>(
+    pk: &PublicKey,
+    alice_message: &[u8],
+    encoded: &pprl_smc::EncodedPair,
+    pack: bool,
+    rng: &mut R,
+    ledger: &mut CostLedger,
+) -> Result<Vec<u8>, LinkageError> {
+    let result = if pack {
+        pprl_crypto::protocol::bob_record_message_packed(
+            pk,
+            alice_message,
+            &encoded.b_vals,
+            &encoded.thresholds,
+            rng,
+            ledger,
+        )
+    } else {
+        bob_record_message(
+            pk,
+            alice_message,
+            &encoded.b_vals,
+            &encoded.thresholds,
+            rng,
+            ledger,
+        )
+    };
+    result.map_err(|e| LinkageError::Smc(SmcError::Crypto(e)))
+}
+
+/// One of windowed Bob's produced-but-uncommitted pairs: everything the
+/// commit needs once the querier's ack releases it.
+struct PendingBobCommit {
+    ordinal: u64,
+    incoming: pprl_net::IncomingData,
+    event: PairEvent,
+    delta: CostLedger,
+}
+
+/// Journals every pair the downstream ack released, oldest-first. The
+/// released ids are exactly the submit-order prefix, so the journal and
+/// the resume watermark stay contiguous at any window.
+fn commit_acked_alice(
+    data: &mut PeerChannel,
+    pending: &mut VecDeque<(u64, PairEvent, CostLedger)>,
+    writer: &mut Option<JournalWriter>,
+) -> Result<(), LinkageError> {
+    for id in data.take_acked_prefix() {
+        let Some((ordinal, event, delta)) = pending.pop_front() else {
+            return Err(LinkageError::Net(format!(
+                "pair {id} acked with nothing pending commit"
+            )));
+        };
+        if ordinal != id {
+            return Err(LinkageError::Net(format!(
+                "ack release order diverged: got pair {id}, expected {ordinal}"
+            )));
+        }
+        append(writer, K_PARTY_PAIR, &encode_pair_frame(ordinal, &event, &delta))?;
+    }
+    Ok(())
+}
+
+/// As [`commit_acked_alice`], plus the second half of Bob's two-phase
+/// commit: journal the pair, *then* release Alice's buffered ack.
+fn commit_acked_bob(
+    querier: &mut PeerChannel,
+    data: &mut PeerChannel,
+    pending: &mut VecDeque<PendingBobCommit>,
+    writer: &mut Option<JournalWriter>,
+) -> Result<(), LinkageError> {
+    for id in querier.take_acked_prefix() {
+        let Some(commit) = pending.pop_front() else {
+            return Err(LinkageError::Net(format!(
+                "pair {id} acked with nothing pending commit"
+            )));
+        };
+        if commit.ordinal != id {
+            return Err(LinkageError::Net(format!(
+                "ack release order diverged: got pair {id}, expected {}",
+                commit.ordinal
+            )));
+        }
+        append(
+            writer,
+            K_PARTY_PAIR,
+            &encode_pair_frame(commit.ordinal, &commit.event, &commit.delta),
+        )?;
+        data.commit_ack(&commit.incoming);
+    }
+    Ok(())
 }
 
 fn decode_public_key(bytes: &[u8]) -> Result<PublicKey, LinkageError> {

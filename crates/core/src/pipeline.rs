@@ -509,6 +509,7 @@ mod tests {
         cfg.mode = pprl_smc::SmcMode::PaillierBatched {
             modulus_bits: 256,
             seed: 9,
+            pack: false,
         };
         let base = HybridLinkage::new(cfg.clone()).run(&d1, &d2).unwrap();
         let par = HybridLinkage::new(cfg)

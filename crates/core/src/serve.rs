@@ -124,6 +124,20 @@ pub struct ServeOptions {
     /// the job resumes from its journal when the peer returns, up to
     /// `max_crashes` attempts.
     pub silence_timeout: Option<Duration>,
+    /// Send window handed to every job's [`PartyOptions`]. The querier
+    /// side of the protocol is ack-driven either way, so this is future
+    /// proofing plus CLI symmetry with `party run --window`.
+    pub window: usize,
+    /// When set, the daemon writes a per-job metrics snapshot (status,
+    /// wall time, pairs/sec, wire accounting, peak send-window
+    /// occupancy) to this path at drain/completion — and whenever
+    /// `metrics_signal` flips (the CLI wires that to `SIGUSR1`).
+    pub metrics_path: Option<PathBuf>,
+    /// On-demand dump trigger; the supervisor polls it and swaps it back
+    /// to `false` after writing `metrics_path`. `'static` because the
+    /// natural producer is an async signal handler flipping a static
+    /// atomic (tests can `Box::leak` one).
+    pub metrics_signal: Option<&'static AtomicBool>,
 }
 
 impl Default for ServeOptions {
@@ -142,6 +156,9 @@ impl Default for ServeOptions {
             idle_timeout: Duration::from_secs(30),
             max_conns: 64,
             silence_timeout: None,
+            window: 1,
+            metrics_path: None,
+            metrics_signal: None,
         }
     }
 }
@@ -210,6 +227,81 @@ struct JobSlot {
     crashes: u32,
     status: Option<JobStatus>,
     report_text: Option<String>,
+    /// When the current (or last) worker attempt was spawned.
+    started: Option<std::time::Instant>,
+    /// Wall time of the attempt that finished the job.
+    elapsed: Option<Duration>,
+}
+
+/// Renders one metrics snapshot: a line per job plus the shared
+/// listener's accounting. Plain `key=value` text so shell tooling can
+/// grep it without a parser.
+fn render_metrics(slots: &[JobSlot], jobs: &[ServeJob], listener: &NetStats) -> String {
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    for (slot, job) in slots.iter().zip(jobs) {
+        let _ = write!(out, "job name={} fingerprint={:016x}", job.name, slot.fingerprint);
+        match &slot.status {
+            None if slot.started.is_some() => {
+                let running = slot
+                    .started
+                    .map(|t| t.elapsed().as_secs_f64())
+                    .unwrap_or(0.0);
+                let _ = write!(out, " status=running elapsed_s={running:.3}");
+            }
+            None => {
+                let _ = write!(out, " status=queued");
+            }
+            Some(JobStatus::Finished(outcome)) => {
+                let secs = slot.elapsed.map(|d| d.as_secs_f64()).unwrap_or(0.0);
+                let pairs = outcome.live_pairs + outcome.replayed_pairs;
+                let rate = if secs > 0.0 { outcome.live_pairs as f64 / secs } else { 0.0 };
+                let net = &outcome.net;
+                let _ = write!(
+                    out,
+                    " status=finished elapsed_s={secs:.3} pairs={pairs} \
+                     live_pairs={} replayed_pairs={} pairs_per_sec={rate:.1} \
+                     bytes_sent={} bytes_received={} frames_sent={} \
+                     frames_received={} retransmits={} reconnects={} \
+                     batches_sent={} batched_envelopes={} max_window={}",
+                    outcome.live_pairs,
+                    outcome.replayed_pairs,
+                    net.bytes_sent,
+                    net.bytes_received,
+                    net.frames_sent,
+                    net.frames_received,
+                    net.retransmits,
+                    net.reconnects,
+                    net.batches_sent,
+                    net.batched_envelopes,
+                    net.max_window,
+                );
+            }
+            Some(JobStatus::AlreadyDone) => {
+                let _ = write!(out, " status=already-done");
+            }
+            Some(JobStatus::Quarantined { crashes, .. }) => {
+                let _ = write!(out, " status=quarantined crashes={crashes}");
+            }
+            Some(JobStatus::Drained) => {
+                let _ = write!(out, " status=drained");
+            }
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "listener frames_sent={} frames_received={} bytes_sent={} \
+         bytes_received={} busy={} refused={} reaped={}",
+        listener.frames_sent,
+        listener.frames_received,
+        listener.bytes_sent,
+        listener.bytes_received,
+        listener.busy,
+        listener.refused,
+        listener.reaped,
+    );
+    out
 }
 
 fn check_name(name: &str) -> Result<(), LinkageError> {
@@ -239,6 +331,15 @@ fn write_report(path: &Path, text: &str, durable: bool) -> Result<(), LinkageErr
         }
     }
     Ok(())
+}
+
+/// Best-effort metrics write: a failed dump is reported and ignored —
+/// observability must never take a serving daemon down.
+fn dump_metrics(path: &Path, slots: &[JobSlot], jobs: &[ServeJob], listener: &NetStats) {
+    let text = render_metrics(slots, jobs, listener);
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("pprl-serve: metrics write {}: {e}", path.display());
+    }
 }
 
 fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -327,7 +428,10 @@ pub fn serve(
     for (i, job) in jobs.iter().enumerate() {
         check_name(&job.name)?;
         batched_seed(&job.pipeline)?; // fail fast on a misconfigured job
-        let SmcMode::PaillierBatched { modulus_bits, seed } = job.pipeline.config().mode else {
+        let SmcMode::PaillierBatched {
+            modulus_bits, seed, ..
+        } = job.pipeline.config().mode
+        else {
             // batched_seed just admitted the mode; keep the path typed anyway.
             return Err(LinkageError::Net(format!(
                 "job {:?}: daemon jobs require SmcMode::PaillierBatched",
@@ -348,6 +452,8 @@ pub fn serve(
             crashes: 0,
             status: None,
             report_text: None,
+            started: None,
+            elapsed: None,
         };
         if slot.journal.exists() {
             let recovered = pprl_journal::recover(&slot.journal)?;
@@ -452,10 +558,11 @@ pub fn serve(
             while active < opts.max_jobs && !drain.load(Ordering::SeqCst) {
                 let Some(i) = queue.pop_front() else { break };
                 let (Some(job), Some(slot), Some(&(bits, seed))) =
-                    (jobs.get(i), slots.get(i), params.get(i))
+                    (jobs.get(i), slots.get_mut(i), params.get(i))
                 else {
                     break; // the queue only ever holds indices it was built from
                 };
+                slot.started = Some(std::time::Instant::now());
                 let keys = warm_keys(bits, seed);
                 let mut popts = PartyOptions::new(Role::Query);
                 popts.journal = Some(slot.journal.clone());
@@ -464,6 +571,7 @@ pub fn serve(
                 popts.deadline = opts.net_deadline;
                 popts.durable = opts.durable;
                 popts.silence = opts.silence_timeout;
+                popts.window = opts.window;
                 set_state(slot.fingerprint, GateState::Running);
                 let tx = tx.clone();
                 let mux = Arc::clone(&mux);
@@ -509,13 +617,31 @@ pub fn serve(
             if active == 0 {
                 break;
             }
+            // Poll instead of blocking so an on-demand metrics request
+            // (SIGUSR1 via `metrics_signal`) is served while jobs run.
             // recv can only fail once every sender is gone, and the
             // original `tx` outlives the loop — but stay panic-free.
-            let Ok((i, sealed)) = rx.recv() else { break };
+            let received = loop {
+                match rx.recv_timeout(Duration::from_millis(200)) {
+                    Ok(msg) => break Some(msg),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if let (Some(path), Some(flag)) =
+                            (opts.metrics_path.as_deref(), opts.metrics_signal)
+                        {
+                            if flag.swap(false, Ordering::SeqCst) {
+                                dump_metrics(path, &slots, jobs, &mux.stats());
+                            }
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break None,
+                }
+            };
+            let Some((i, sealed)) = received else { break };
             active -= 1;
             let (Some(slot), Some(job)) = (slots.get_mut(i), jobs.get(i)) else {
                 continue; // workers only ever report indices they were given
             };
+            slot.elapsed = slot.started.map(|t| t.elapsed());
             match sealed {
                 Ok(outcome) => {
                     set_state(slot.fingerprint, GateState::Closed);
@@ -545,6 +671,11 @@ pub fn serve(
     })?;
 
     let drained = drain.load(Ordering::SeqCst);
+    // The drain/completion snapshot: always written when a metrics path
+    // is configured, whether or not a signal ever fired.
+    if let Some(path) = opts.metrics_path.as_deref() {
+        dump_metrics(path, &slots, jobs, &mux.stats());
+    }
     let reports = slots
         .into_iter()
         .zip(jobs)

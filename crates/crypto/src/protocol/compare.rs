@@ -22,8 +22,10 @@ use pprl_bignum::BigUint;
 use rand::RngCore;
 
 /// Mask width in bits. `ρ ∈ [1, 2^48)` keeps `ρ·|d² − t| < 2^113`, far below
-/// `n/2` for the ≥ 256-bit moduli this crate generates.
-const MASK_BITS: usize = 48;
+/// `n/2` for the ≥ 256-bit moduli this crate generates. Shared with the
+/// slot-packed variant ([`pack`](crate::protocol::pack)), whose slot width
+/// budget is derived from the same mask width.
+pub(crate) const MASK_BITS: usize = 48;
 
 /// Bob's side: from Alice's share, his value `b`, and the public threshold
 /// `t` (the squared matching threshold `⌊(θᵢ·norm)²⌋`), produce

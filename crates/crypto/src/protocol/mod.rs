@@ -18,6 +18,7 @@ pub mod compare;
 pub mod cost;
 pub mod distance;
 pub mod message;
+pub mod pack;
 pub mod party;
 pub mod record;
 pub mod retry;
@@ -25,6 +26,10 @@ pub mod transport;
 
 pub use compare::secure_threshold_match;
 pub use distance::secure_squared_distance;
+pub use pack::{
+    bob_record_message_packed, querier_reveal_record_packed, validate_packable,
+    validate_packable_values, PackingPlan,
+};
 pub use party::{DataHolder, QueryingParty};
 pub use record::{alice_record_message, bob_record_message, querier_reveal_record};
 pub use retry::{ReliableLink, RetryPolicy};

@@ -166,13 +166,13 @@ pub fn querier_reveal_record(
     Ok(all)
 }
 
-fn put_ciphertext(buf: &mut BytesMut, v: &BigUint, width: usize) {
+pub(crate) fn put_ciphertext(buf: &mut BytesMut, v: &BigUint, width: usize) {
     let bytes = v.to_bytes_be_padded(width);
     buf.put_u32(bytes.len() as u32);
     buf.put_slice(&bytes);
 }
 
-fn get_biguint(data: &mut &[u8]) -> Result<BigUint, CryptoError> {
+pub(crate) fn get_biguint(data: &mut &[u8]) -> Result<BigUint, CryptoError> {
     if data.len() < 4 {
         return Err(CryptoError::Protocol("truncated length prefix".into()));
     }
@@ -188,7 +188,7 @@ fn get_biguint(data: &mut &[u8]) -> Result<BigUint, CryptoError> {
     Ok(v)
 }
 
-fn expect_tag(data: &mut &[u8], tag: u8) -> Result<(), CryptoError> {
+pub(crate) fn expect_tag(data: &mut &[u8], tag: u8) -> Result<(), CryptoError> {
     if data.is_empty() {
         return Err(CryptoError::Protocol("empty message".into()));
     }
@@ -201,14 +201,14 @@ fn expect_tag(data: &mut &[u8], tag: u8) -> Result<(), CryptoError> {
     Ok(())
 }
 
-fn get_count(data: &mut &[u8]) -> Result<usize, CryptoError> {
+pub(crate) fn get_count(data: &mut &[u8]) -> Result<usize, CryptoError> {
     if data.len() < 2 {
         return Err(CryptoError::Protocol("truncated count".into()));
     }
     Ok(data.get_u16() as usize)
 }
 
-fn expect_empty(data: &[u8]) -> Result<(), CryptoError> {
+pub(crate) fn expect_empty(data: &[u8]) -> Result<(), CryptoError> {
     if data.is_empty() {
         Ok(())
     } else {

@@ -37,27 +37,32 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
 
     for block in padded.chunks_exact(64) {
         let mut w = [0u32; 64];
-        for (i, word) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        for (slot, word) in w.iter_mut().zip(block.chunks_exact(4)) {
+            *slot = u32::from_be_bytes(word.try_into().unwrap_or([0; 4]));
         }
+        // Each extended word only looks 16 back, so split the array at the
+        // write position and destructure the last 16 finished words; the
+        // named positions are w[i-16], w[i-15], w[i-7], w[i-2].
         for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+            let (done, pending) = w.split_at_mut(i);
+            if let (Some(&[w16, w15, _, _, _, _, _, _, _, w7, _, _, _, _, w2, _]), Some(slot)) =
+                (done.get(i - 16..), pending.first_mut())
+            {
+                let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+                let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+                *slot = w16.wrapping_add(s0).wrapping_add(w7).wrapping_add(s1);
+            }
         }
 
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
-        for i in 0..64 {
+        for (&k, &wi) in K.iter().zip(w.iter()) {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
             let temp1 = hh
                 .wrapping_add(s1)
                 .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
+                .wrapping_add(k)
+                .wrapping_add(wi);
             let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & b) ^ (a & c) ^ (b & c);
             let temp2 = s0.wrapping_add(maj);
@@ -70,19 +75,14 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
             b = a;
             a = temp1.wrapping_add(temp2);
         }
-        h[0] = h[0].wrapping_add(a);
-        h[1] = h[1].wrapping_add(b);
-        h[2] = h[2].wrapping_add(c);
-        h[3] = h[3].wrapping_add(d);
-        h[4] = h[4].wrapping_add(e);
-        h[5] = h[5].wrapping_add(f);
-        h[6] = h[6].wrapping_add(g);
-        h[7] = h[7].wrapping_add(hh);
+        for (acc, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *acc = acc.wrapping_add(v);
+        }
     }
 
     let mut out = [0u8; 32];
-    for (i, word) in h.iter().enumerate() {
-        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    for (chunk, word) in out.chunks_exact_mut(4).zip(h.iter()) {
+        chunk.copy_from_slice(&word.to_be_bytes());
     }
     out
 }

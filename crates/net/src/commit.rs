@@ -1,0 +1,142 @@
+//! Committed-set tracking for windowed, out-of-order commits.
+//!
+//! With a one-message send window the receiver's resume state is a single
+//! counter: the highest committed pair id. A windowed sender keeps several
+//! pairs in flight, and an ack can be lost for an *older* pair while a
+//! newer one completes — so "what is durably committed" becomes a set:
+//! a contiguous prefix (the **low-water mark**) plus a sparse tail of
+//! out-of-order commits above it. The low-water mark is what a [`Hello`]
+//! announces on reconnect (a prefix claim must never overstate, or the
+//! sender would drop an uncommitted pair as delivered), while membership
+//! queries consult the sparse tail too, so a retransmission of an
+//! out-of-order commit is still recognized as a duplicate.
+//!
+//! Inserting the id right above the low-water mark compacts the tail back
+//! into the prefix, so in the common in-order case the set stays empty and
+//! this degenerates to exactly the old single counter.
+//!
+//! [`Hello`]: crate::hello::Hello
+
+use std::collections::BTreeSet;
+
+/// The set of committed pair ids: `low` (everything `<= low` is committed)
+/// plus the sparse out-of-order commits above it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommitSet {
+    low: u64,
+    above: BTreeSet<u64>,
+}
+
+impl CommitSet {
+    /// A set whose contiguous prefix ends at `low` (0 = nothing committed);
+    /// this is how a restart seeds the set from a journal watermark.
+    pub fn new(low: u64) -> Self {
+        CommitSet {
+            low,
+            above: BTreeSet::new(),
+        }
+    }
+
+    /// Marks one pair id committed, compacting any tail that now joins
+    /// the contiguous prefix. Ids already covered are a no-op.
+    pub fn insert(&mut self, id: u64) {
+        if id <= self.low {
+            return;
+        }
+        self.above.insert(id);
+        while self.above.remove(&(self.low + 1)) {
+            self.low += 1;
+        }
+    }
+
+    /// Whether `id` is committed (prefix or sparse tail).
+    pub fn contains(&self, id: u64) -> bool {
+        id <= self.low || self.above.contains(&id)
+    }
+
+    /// The contiguous-prefix bound: every id `<= low_water` is committed,
+    /// and this is the only claim safe to announce in a resume hello.
+    pub fn low_water(&self) -> u64 {
+        self.low
+    }
+
+    /// How many commits sit above the contiguous prefix — nonzero exactly
+    /// while an out-of-order interleaving is unresolved.
+    pub fn sparse_len(&self) -> usize {
+        self.above.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_commits_stay_a_plain_counter() {
+        let mut set = CommitSet::new(0);
+        for id in 1..=100 {
+            set.insert(id);
+            assert_eq!(set.low_water(), id);
+            assert_eq!(set.sparse_len(), 0);
+        }
+    }
+
+    #[test]
+    fn out_of_order_commits_hold_the_low_water_mark() {
+        let mut set = CommitSet::new(0);
+        set.insert(1);
+        set.insert(3);
+        set.insert(5);
+        assert_eq!(set.low_water(), 1, "the gap at 2 pins the prefix");
+        assert_eq!(set.sparse_len(), 2);
+        assert!(set.contains(3) && set.contains(5));
+        assert!(!set.contains(2) && !set.contains(4));
+        set.insert(2);
+        assert_eq!(set.low_water(), 3, "filling 2 compacts through 3");
+        set.insert(4);
+        assert_eq!(set.low_water(), 5, "filling 4 compacts the whole tail");
+        assert_eq!(set.sparse_len(), 0);
+    }
+
+    #[test]
+    fn reinsertion_and_prefix_ids_are_no_ops() {
+        let mut set = CommitSet::new(10);
+        assert!(set.contains(7));
+        set.insert(7);
+        set.insert(10);
+        set.insert(12);
+        set.insert(12);
+        assert_eq!(set.low_water(), 10);
+        assert_eq!(set.sparse_len(), 1);
+    }
+
+    #[test]
+    fn every_permutation_of_a_window_converges() {
+        // For every order a 5-pair window's commits could land, the set
+        // ends fully compacted with the same low-water mark.
+        let ids = [1u64, 2, 3, 4, 5];
+        let mut perms: Vec<Vec<u64>> = vec![vec![]];
+        for _ in 0..ids.len() {
+            let mut next = Vec::new();
+            for p in &perms {
+                for &id in &ids {
+                    if !p.contains(&id) {
+                        let mut q = p.clone();
+                        q.push(id);
+                        next.push(q);
+                    }
+                }
+            }
+            perms = next;
+        }
+        assert_eq!(perms.len(), 120);
+        for perm in perms {
+            let mut set = CommitSet::new(0);
+            for &id in &perm {
+                set.insert(id);
+            }
+            assert_eq!(set.low_water(), 5, "order {perm:?} failed to compact");
+            assert_eq!(set.sparse_len(), 0);
+        }
+    }
+}

@@ -28,6 +28,10 @@ pub const K_GOODBYE: u8 = 4;
 /// telling the dialer when to retry. Sent by a gated
 /// [`SessionMux`](crate::mux::SessionMux) in place of the hello reply.
 pub const K_BUSY: u8 = 5;
+/// Coalesced data frame: several PR 1 `Envelope`s in one frame (see
+/// [`batch`](crate::batch)), amortizing the kind|len|checksum overhead
+/// and the per-frame syscall when a windowed sender flushes a burst.
+pub const K_DATA_BATCH: u8 = 6;
 
 /// Fixed bytes around every payload: kind, length, checksum.
 pub const FRAME_OVERHEAD: usize = 1 + 4 + 8;
@@ -88,7 +92,7 @@ impl FrameDecoder {
         // length field that follows: a random "length" under the cap
         // would otherwise leave the decoder waiting for bytes that never
         // come, turning a detectable desync into a silent stall.
-        if !(K_HELLO..=K_BUSY).contains(&kind) {
+        if !(K_HELLO..=K_DATA_BATCH).contains(&kind) {
             return Err(NetError::Frame(format!("unknown frame kind {kind}")));
         }
         let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
@@ -197,7 +201,7 @@ mod tests {
 
     #[test]
     fn unknown_kind_is_rejected_at_the_header() {
-        for kind in [0u8, 6, 7, 19, 0xFF] {
+        for kind in [0u8, 7, 19, 0xFF] {
             let mut wire = vec![kind];
             // A plausible length under the cap: without the kind check the
             // decoder would sit waiting for this phantom payload forever.

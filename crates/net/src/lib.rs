@@ -25,7 +25,9 @@
 //!
 //! [`Transport`]: pprl_crypto::protocol::Transport
 
+pub mod batch;
 pub mod chaos;
+pub mod commit;
 pub mod frame;
 pub mod hello;
 pub mod mux;
@@ -35,7 +37,9 @@ pub mod stream;
 pub(crate) mod trace;
 pub mod transport;
 
+pub use batch::{decode_batch, encode_batch, BATCH_MIN_LEN};
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
+pub use commit::CommitSet;
 pub use frame::{encode_frame, FrameDecoder, FRAME_OVERHEAD, MAX_FRAME_LEN};
 pub use hello::{Busy, Hello, Role, NET_VERSION};
 pub use mux::{Admission, AdmissionGate, MuxLimits, SessionMux};
@@ -141,6 +145,15 @@ pub struct NetStats {
     /// Parked connections discarded by the idle reaper before any worker
     /// claimed them.
     pub reaped: u64,
+    /// Coalesced [`K_DATA_BATCH`](crate::frame::K_DATA_BATCH) frames sent
+    /// by a windowed sender flushing more than one envelope at once.
+    pub batches_sent: u64,
+    /// Data envelopes that traveled inside those batch frames (each one
+    /// saved a frame header and a syscall relative to a solo send).
+    pub batched_envelopes: u64,
+    /// High-water mark of concurrently unacknowledged windowed sends —
+    /// the observed window occupancy, `max`-merged rather than summed.
+    pub max_window: u64,
 }
 
 impl NetStats {
@@ -159,6 +172,9 @@ impl NetStats {
         self.violations += other.violations;
         self.refused += other.refused;
         self.reaped += other.reaped;
+        self.batches_sent += other.batches_sent;
+        self.batched_envelopes += other.batched_envelopes;
+        self.max_window = self.max_window.max(other.max_window);
     }
 }
 
@@ -168,7 +184,7 @@ impl std::fmt::Display for NetStats {
             f,
             "{} frames out / {} in, {} bytes out / {} in, {} retransmits, {} dups, \
              {} reconnects, {} busy, {} ms backoff, {} drained, {} violations, \
-             {} refused, {} reaped",
+             {} refused, {} reaped, {} batches ({} coalesced), window peak {}",
             self.frames_sent,
             self.frames_received,
             self.bytes_sent,
@@ -181,7 +197,10 @@ impl std::fmt::Display for NetStats {
             self.drained,
             self.violations,
             self.refused,
-            self.reaped
+            self.reaped,
+            self.batches_sent,
+            self.batched_envelopes,
+            self.max_window
         )
     }
 }

@@ -34,7 +34,9 @@
 //! [`ReliableLink`]: pprl_crypto::protocol::ReliableLink
 //! [`CostLedger`]: pprl_crypto::CostLedger
 
-use crate::frame::{K_BUSY, K_DATA, K_GOODBYE, K_HELLO, K_LEDGER};
+use crate::batch::{decode_batch, encode_batch};
+use crate::commit::CommitSet;
+use crate::frame::{K_BUSY, K_DATA, K_DATA_BATCH, K_GOODBYE, K_HELLO, K_LEDGER};
 use crate::hello::{Busy, Hello, Role};
 use crate::mux::SessionMux;
 use crate::state::ProtocolState;
@@ -44,6 +46,7 @@ use crate::{NetError, NetStats};
 use pprl_crypto::protocol::transport::{Envelope, FrameKind, ENVELOPE_OVERHEAD};
 use pprl_crypto::protocol::RetryPolicy;
 use pprl_crypto::CostLedger;
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -55,6 +58,27 @@ use std::time::{Duration, Instant};
 /// payload); only a fresh connection — which resets both decoders —
 /// heals that, and the receiver alone cannot always tell.
 const ACK_STALL_WINDOWS: u32 = 3;
+
+/// Byte budget of envelope payload per coalesced flush frame: a windowed
+/// burst larger than this is split across several batch frames, keeping
+/// each one far under [`MAX_FRAME_LEN`](crate::frame::MAX_FRAME_LEN).
+const FLUSH_BUDGET: usize = 1 << 20;
+
+/// One windowed submission: the envelope is encoded exactly once, so every
+/// retransmission (and the ack match) reuses the same `seq` and bytes.
+#[derive(Debug)]
+struct Inflight {
+    pair_id: u64,
+    seq: u64,
+    /// The encoded envelope (not the full wire frame).
+    frame: Vec<u8>,
+    /// Awaiting (re)transmission on the current connection.
+    queued: bool,
+    /// Transmitted at least once (so later flushes count as retransmits).
+    sent_once: bool,
+    /// The peer acknowledged it (directly or via a reconnect hello).
+    acked: bool,
+}
 
 /// Reconnection behavior when a connection drops mid-session.
 #[derive(Clone, Copy, Debug)]
@@ -107,10 +131,22 @@ pub struct PeerChannel {
     /// The peer's latest announcement (refreshed on every reconnect).
     peer_hello: Option<Hello>,
     next_seq: u64,
-    /// Data envelopes that arrived while waiting for something else.
-    pending: Vec<Envelope>,
+    /// Data envelopes that arrived while waiting for something else,
+    /// drained oldest-first (a coalesced batch delivers several at once).
+    pending: VecDeque<Envelope>,
     /// End-of-session summary received early.
     pending_ledger: Option<Vec<u8>>,
+    /// What this receiver has durably committed: the low-water mark it
+    /// announces in hellos plus any out-of-order commits above it.
+    committed: CommitSet,
+    /// Highest data pair this receiver has *surfaced* to its caller but
+    /// not necessarily committed yet. A windowed peer retransmits pairs
+    /// that are merely slow to commit; those must be dropped silently
+    /// (no ack — the ack is the commit) instead of re-processed.
+    received_high: u64,
+    /// Windowed submissions in flight, oldest first (empty unless the
+    /// caller uses [`submit_data`](Self::submit_data)).
+    inflight: VecDeque<Inflight>,
     timeout: Option<Duration>,
     policy: ReconnectPolicy,
     /// Consecutive failed (re)connect attempts, for the backoff schedule;
@@ -123,6 +159,11 @@ pub struct PeerChannel {
     /// keeps acking fresh envelopes off-ledger during the ledger wait, so
     /// the peer can finish its walk instead of stalling into `PeerGone`.
     drain: bool,
+    /// Silent [`probe_window`](Self::probe_window) passes since the last
+    /// ack. Probes are one recv window each and interleave with waits on
+    /// *other* channels, so the stall count must survive across calls to
+    /// reach the same escalation the blocking pump applies in one call.
+    probe_stalls: u32,
     /// Frame-sequence validator for the current connection; reset by
     /// every successful (re-)handshake. A frame it rejects costs the
     /// connection (reconnect-with-resume recovers), never the session.
@@ -147,13 +188,17 @@ impl PeerChannel {
             conn: None,
             peer_hello: None,
             next_seq: 0,
-            pending: Vec::new(),
+            pending: VecDeque::new(),
             pending_ledger: None,
+            committed: CommitSet::new(local.watermark),
+            received_high: local.watermark,
+            inflight: VecDeque::new(),
             timeout,
             policy,
             attempt: 0,
             jitter: local.fingerprint ^ ((local.role as u64) << 8) ^ expect_role as u64,
             drain: false,
+            probe_stalls: 0,
             state: ProtocolState::dialing(),
             stats: NetStats::default(),
         };
@@ -203,13 +248,17 @@ impl PeerChannel {
             conn: None,
             peer_hello: None,
             next_seq: 0,
-            pending: Vec::new(),
+            pending: VecDeque::new(),
             pending_ledger: None,
+            committed: CommitSet::new(local.watermark),
+            received_high: local.watermark,
+            inflight: VecDeque::new(),
             timeout,
             policy,
             attempt: 0,
             jitter: local.fingerprint ^ ((local.role as u64) << 8) ^ expect_role as u64,
             drain: false,
+            probe_stalls: 0,
             state: ProtocolState::accepting(),
             stats: NetStats::default(),
         }
@@ -220,10 +269,13 @@ impl PeerChannel {
         self.peer_hello
     }
 
-    /// Highest data pair this side has committed (and will re-ack
-    /// off-ledger if it arrives again).
+    /// The committed low-water mark: every data pair up to and including
+    /// this one has been committed (and will be re-acked off-ledger if it
+    /// arrives again). Out-of-order commits above it are tracked too —
+    /// see [`CommitSet`] — but only the contiguous prefix is safe to
+    /// announce in a resume hello.
     pub fn watermark(&self) -> u64 {
-        self.local.watermark
+        self.committed.low_water()
     }
 
     /// Establishes (or re-establishes) the connection and exchanges
@@ -380,7 +432,7 @@ impl PeerChannel {
         if env.pair_id == 0 {
             self.local.have_key
         } else {
-            env.pair_id <= self.local.watermark
+            self.committed.contains(env.pair_id)
         }
     }
 
@@ -517,10 +569,17 @@ impl PeerChannel {
                         }
                         // Stale ack from before a reconnect: ignore.
                     }
-                    Ok(env) => self.pending.push(env),
+                    Ok(env) => self.pending.push_back(env),
                     Err(_) => {
                         // Envelope corruption inside a checksummed frame:
                         // the stream is incoherent, force a reconnect.
+                        self.conn = None;
+                        return Ok(false);
+                    }
+                },
+                Ok((K_DATA_BATCH, payload)) => match decode_batch(&payload) {
+                    Ok(envs) => self.pending.extend(envs),
+                    Err(_) => {
                         self.conn = None;
                         return Ok(false);
                     }
@@ -546,64 +605,489 @@ impl PeerChannel {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Windowed sending: N pairs in flight, acks absorbed out of order,
+    // journal release strictly oldest-first. `send_data` remains the
+    // window-of-one path (callers with `--window 1` never touch this).
+    // ------------------------------------------------------------------
+
+    /// Registers one data envelope for windowed delivery without blocking.
+    /// The envelope is encoded (and its `seq` fixed) here, once; actual
+    /// transmission happens on the next [`pump_window`](Self::pump_window).
+    pub fn submit_data(&mut self, pair_id: u64, payload: &[u8]) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame = Envelope::data(pair_id, seq, payload.to_vec()).encode();
+        self.inflight.push_back(Inflight {
+            pair_id,
+            seq,
+            frame,
+            queued: true,
+            sent_once: false,
+            acked: false,
+        });
+    }
+
+    /// Submissions not yet acknowledged — the current window occupancy.
+    pub fn window_occupancy(&self) -> usize {
+        self.inflight.iter().filter(|e| !e.acked).count()
+    }
+
+    /// Pops the longest *acknowledged prefix* of the in-flight queue and
+    /// returns its pair ids, oldest first. This is the out-of-order
+    /// journal-then-ack release point: a pair acked ahead of an older
+    /// unacked one stays held until the older ack (or a reconnect hello
+    /// proving it) arrives, so callers journal strictly oldest-first and
+    /// the upstream commit contract holds for every interleaving.
+    pub fn take_acked_prefix(&mut self) -> Vec<u64> {
+        let mut released = Vec::new();
+        while self.inflight.front().is_some_and(|e| e.acked) {
+            if let Some(entry) = self.inflight.pop_front() {
+                released.push(entry.pair_id);
+            }
+        }
+        released
+    }
+
+    /// Drives the windowed sender until at most `max_unacked` submissions
+    /// remain unacknowledged, transmitting queued envelopes eagerly —
+    /// multi-envelope flushes coalesce into one batch frame — and
+    /// absorbing acks as they arrive. Applies the same timeout
+    /// retransmission, silent-window stall escalation, and
+    /// reconnect-with-hello-proof recovery as [`send_data`](Self::send_data),
+    /// but for the whole window at once. Bounded by the policy deadline.
+    pub fn pump_window(&mut self, max_unacked: usize) -> Result<(), NetError> {
+        let start = Instant::now();
+        let mut stalled_windows = 0u32;
+        loop {
+            let need_conn =
+                self.inflight.iter().any(|e| e.queued) || self.window_occupancy() > max_unacked;
+            if self.conn.is_none() && need_conn {
+                self.regain(start)?;
+                // The fresh hello may prove some (or all) pairs delivered;
+                // everything else goes back on the wire.
+                self.absorb_peer_hello();
+                continue;
+            }
+            self.flush_queued();
+            if self.conn.is_some() {
+                self.stats.max_window =
+                    self.stats.max_window.max(self.window_occupancy() as u64);
+                // Drain whatever is already readable so ack bookkeeping
+                // stays fresh even on eager (non-full-window) passes.
+                loop {
+                    let ready = match self.conn.as_mut() {
+                        Some(stream) => stream.ready().unwrap_or(false),
+                        None => false,
+                    };
+                    if !ready || self.window_occupancy() == 0 || !self.recv_windowed() {
+                        break;
+                    }
+                }
+            }
+            if self.window_occupancy() <= max_unacked
+                && !self.inflight.iter().any(|e| e.queued)
+            {
+                return Ok(());
+            }
+            if self.conn.is_none() {
+                continue;
+            }
+            if start.elapsed() >= self.policy.deadline {
+                return Err(NetError::PeerGone(format!(
+                    "{} windowed pair(s) unacknowledged by {} after {:?}",
+                    self.window_occupancy(),
+                    self.expect_role,
+                    self.policy.deadline
+                )));
+            }
+            // Block one recv window for acks.
+            if self.recv_windowed() {
+                stalled_windows = 0;
+            } else if self.conn.is_some() {
+                // Timeout: retransmit everything still unacked — and if
+                // several consecutive windows stay silent, force a fresh
+                // connection exactly like the window-of-one sender (the
+                // peer may be desynchronized on a frame it can never
+                // complete).
+                stalled_windows += 1;
+                for entry in self.inflight.iter_mut() {
+                    if !entry.acked {
+                        entry.queued = true;
+                    }
+                }
+                if stalled_windows >= ACK_STALL_WINDOWS {
+                    net_trace!(
+                        "{} window -> {}: {stalled_windows} silent windows, forcing a reconnect",
+                        self.local.role, self.expect_role
+                    );
+                    stalled_windows = 0;
+                    self.conn = None;
+                }
+            } else {
+                stalled_windows = 0;
+            }
+        }
+    }
+
+    /// Blocks until every windowed submission is acknowledged.
+    pub fn flush_window(&mut self) -> Result<(), NetError> {
+        self.pump_window(0)
+    }
+
+    /// One bounded liveness pass over a windowed sender, for a caller
+    /// blocked on a *different* channel while this one still holds
+    /// unacknowledged submissions.
+    ///
+    /// [`pump_window`](Self::pump_window) only blocks — and therefore only
+    /// reaches its stall escalation — while occupancy exceeds the window
+    /// cap. A pipelined chain can wedge *below* that cap: if the upstream
+    /// peer's own window runs dry because our acks gate its progress, no
+    /// new submission ever arrives to push occupancy over the cap, and a
+    /// dead downstream connection is never probed (net_chaos's drop soak
+    /// deadlocks all three parties exactly this way). This pass flushes
+    /// anything queued, waits at most one recv window for acks, and counts
+    /// silent passes across calls: enough of them retransmits the window
+    /// and then forces a reconnect, the same escalation the blocking pump
+    /// applies — so the downstream leg heals while the caller keeps
+    /// servicing its upstream wait.
+    pub fn probe_window(&mut self) -> Result<(), NetError> {
+        if self.window_occupancy() == 0 {
+            self.probe_stalls = 0;
+            return Ok(());
+        }
+        let start = Instant::now();
+        if self.conn.is_none() {
+            self.regain(start)?;
+            self.absorb_peer_hello();
+        }
+        self.flush_queued();
+        if self.conn.is_none() {
+            return Ok(()); // flush lost the connection; next probe regains
+        }
+        if self.recv_windowed() {
+            self.probe_stalls = 0;
+            // Drain whatever else is already readable before returning.
+            loop {
+                let ready = match self.conn.as_mut() {
+                    Some(stream) => stream.ready().unwrap_or(false),
+                    None => false,
+                };
+                if !ready || self.window_occupancy() == 0 || !self.recv_windowed() {
+                    break;
+                }
+            }
+        } else if self.conn.is_some() {
+            self.probe_stalls += 1;
+            for entry in self.inflight.iter_mut() {
+                if !entry.acked {
+                    entry.queued = true;
+                }
+            }
+            if self.probe_stalls >= ACK_STALL_WINDOWS {
+                net_trace!(
+                    "{} probe -> {}: {} silent probes, forcing a reconnect",
+                    self.local.role, self.expect_role, self.probe_stalls
+                );
+                self.probe_stalls = 0;
+                self.conn = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds a fresh reconnect hello into the in-flight queue: pairs the
+    /// peer proves committed are acked (their acks died with the old
+    /// connection), everything else is queued for retransmission.
+    fn absorb_peer_hello(&mut self) {
+        let (watermark, have_key) = match self.peer_hello {
+            Some(h) => (h.watermark, h.have_key),
+            None => (0, false),
+        };
+        for entry in self.inflight.iter_mut() {
+            if entry.acked {
+                continue;
+            }
+            let proven = if entry.pair_id == 0 {
+                have_key
+            } else {
+                entry.pair_id <= watermark
+            };
+            if proven {
+                entry.acked = true;
+                entry.queued = false;
+            } else {
+                entry.queued = true;
+            }
+        }
+    }
+
+    /// Writes every queued envelope to the current connection: one rides a
+    /// plain data frame, several coalesce into batch frames under the
+    /// flush budget. A write failure drops the connection and leaves the
+    /// unsent tail queued for the reconnect path.
+    fn flush_queued(&mut self) {
+        if self.conn.is_none() || !self.inflight.iter().any(|e| e.queued) {
+            return;
+        }
+        let mut stats = std::mem::take(&mut self.stats);
+        let mut sent_entries = 0usize;
+        let mut conn_ok = true;
+        {
+            let queued: Vec<&[u8]> = self
+                .inflight
+                .iter()
+                .filter(|e| e.queued)
+                .map(|e| e.frame.as_slice())
+                .collect();
+            // Group the burst into frames under the byte budget.
+            let mut groups: Vec<Vec<&[u8]>> = Vec::new();
+            let mut current: Vec<&[u8]> = Vec::new();
+            let mut current_bytes = 0usize;
+            for frame in queued {
+                if !current.is_empty() && current_bytes + frame.len() > FLUSH_BUDGET {
+                    groups.push(std::mem::take(&mut current));
+                    current_bytes = 0;
+                }
+                current_bytes += frame.len();
+                current.push(frame);
+            }
+            if !current.is_empty() {
+                groups.push(current);
+            }
+            let Some(stream) = self.conn.as_mut() else {
+                self.stats = stats;
+                return;
+            };
+            for group in &groups {
+                let sent = match group.as_slice() {
+                    [single] => stream.send(K_DATA, single, &mut stats),
+                    many => {
+                        let outcome = stream.send(K_DATA_BATCH, &encode_batch(many), &mut stats);
+                        if outcome.is_ok() {
+                            stats.batches_sent += 1;
+                            stats.batched_envelopes += many.len() as u64;
+                        }
+                        outcome
+                    }
+                };
+                match sent {
+                    Ok(()) => sent_entries += group.len(),
+                    Err(_) => {
+                        conn_ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        self.stats = stats;
+        if sent_entries > 0 {
+            net_trace!(
+                "{} window -> {}: flushed {sent_entries} envelope(s)",
+                self.local.role, self.expect_role
+            );
+        }
+        if !conn_ok {
+            net_trace!(
+                "{} window -> {}: conn dropped on flush",
+                self.local.role, self.expect_role
+            );
+            self.conn = None;
+        }
+        // Flushes go out in queue order: the first `sent_entries` queued
+        // entries are the ones now on the wire.
+        let mut retransmitted = 0u64;
+        for entry in self
+            .inflight
+            .iter_mut()
+            .filter(|e| e.queued)
+            .take(sent_entries)
+        {
+            entry.queued = false;
+            if entry.sent_once {
+                retransmitted += 1;
+            }
+            entry.sent_once = true;
+        }
+        self.stats.retransmits += retransmitted;
+    }
+
+    /// One bounded read on a windowed channel: notes acks against the
+    /// in-flight queue, buffers interleaved data envelopes for
+    /// [`recv_data`](Self::recv_data), stashes an early ledger. Returns
+    /// whether a frame was consumed; a timeout or a dead connection
+    /// returns `false` (the pump loop recovers either way).
+    fn recv_windowed(&mut self) -> bool {
+        let mut stats = std::mem::take(&mut self.stats);
+        let received = self
+            .conn
+            .as_mut()
+            .map(|stream| stream.recv(&mut stats))
+            .unwrap_or(Err(NetError::Disconnected));
+        self.stats = stats;
+        match received {
+            Ok((kind, payload)) if !self.admit_frame(kind, payload.len()) => false,
+            Ok((K_DATA, payload)) => match Envelope::decode(&payload) {
+                Ok(env) if env.kind == FrameKind::Ack => {
+                    self.note_ack(&env);
+                    true
+                }
+                Ok(env) => {
+                    self.pending.push_back(env);
+                    true
+                }
+                Err(_) => {
+                    self.conn = None;
+                    false
+                }
+            },
+            Ok((K_DATA_BATCH, payload)) => match decode_batch(&payload) {
+                Ok(envs) => {
+                    for env in envs {
+                        if env.kind == FrameKind::Ack {
+                            self.note_ack(&env);
+                        } else {
+                            self.pending.push_back(env);
+                        }
+                    }
+                    true
+                }
+                Err(_) => {
+                    self.conn = None;
+                    false
+                }
+            },
+            Ok((K_LEDGER, payload)) => {
+                self.pending_ledger = Some(payload);
+                true
+            }
+            Ok((_, _)) => true, // goodbye: admitted, nothing to do
+            Err(NetError::Timeout) => false,
+            Err(_) => {
+                self.conn = None;
+                false
+            }
+        }
+    }
+
+    /// Marks the in-flight entry matching an ack envelope as acknowledged.
+    /// Stale acks (from before a reconnect, or for already-released pairs)
+    /// are ignored, exactly like the window-of-one path.
+    fn note_ack(&mut self, env: &Envelope) {
+        for entry in self.inflight.iter_mut() {
+            if !entry.acked && entry.pair_id == env.pair_id && entry.seq == env.seq {
+                net_trace!(
+                    "{} window -> {}: pair {} acked",
+                    self.local.role, self.expect_role, entry.pair_id
+                );
+                entry.acked = true;
+                entry.queued = false;
+                return;
+            }
+        }
+    }
+
     /// Blocks until the next *fresh* data envelope (duplicates are re-acked
     /// off-ledger and skipped), bounded by the reconnect deadline.
     pub fn recv_data(&mut self) -> Result<IncomingData, NetError> {
         let start = Instant::now();
         loop {
-            if let Some(env) = self.pending.pop() {
-                if let Some(incoming) = self.screen(env) {
-                    return Ok(incoming);
-                }
-                continue;
+            if let Some(incoming) = self.recv_data_step(start)? {
+                return Ok(incoming);
             }
-            if start.elapsed() >= self.policy.deadline {
+            // A slice can end with a just-buffered batch; screen it before
+            // consulting the deadline.
+            if self.pending.is_empty() && start.elapsed() >= self.policy.deadline {
                 return Err(NetError::PeerGone(format!(
                     "no data from {} within {:?}",
                     self.expect_role, self.policy.deadline
                 )));
             }
-            self.conn(start)?;
-            let mut stats = std::mem::take(&mut self.stats);
-            let received = self
-                .conn
-                .as_mut()
-                .map(|stream| stream.recv(&mut stats))
-                .unwrap_or(Err(NetError::Disconnected));
-            self.stats = stats;
-            match received {
-                Ok((kind, payload)) if !self.admit_frame(kind, payload.len()) => {}
-                Ok((K_DATA, payload)) => match Envelope::decode(&payload) {
-                    Ok(env) if env.kind == FrameKind::Data => {
-                        if let Some(incoming) = self.screen(env) {
-                            net_trace!(
-                                "{} recv pair {} from {}",
-                                self.local.role, incoming.pair_id, self.expect_role
-                            );
-                            return Ok(incoming);
-                        }
-                    }
-                    Ok(_) => {} // stray ack: stale, drop
-                    Err(_) => self.conn = None,
-                },
-                Ok((K_LEDGER, payload)) => self.pending_ledger = Some(payload),
-                Ok((_, _)) => {} // goodbye: admitted, nothing to do
-                Err(NetError::Timeout) => {}
-                Err(_) => self.conn = None,
-            }
         }
     }
 
+    /// One bounded slice of [`recv_data`](Self::recv_data): drains the
+    /// buffer, then waits at most one recv window on the wire. `Ok(None)`
+    /// means nothing fresh surfaced yet — the caller owns the overall
+    /// deadline, so it can interleave slices with work on other channels
+    /// (windowed Bob probes his querier leg between slices; see
+    /// [`probe_window`](Self::probe_window)).
+    pub fn try_recv_data(&mut self) -> Result<Option<IncomingData>, NetError> {
+        self.recv_data_step(Instant::now())
+    }
+
+    /// The shared slice: `start` bounds a reconnect claimed inside it.
+    fn recv_data_step(&mut self, start: Instant) -> Result<Option<IncomingData>, NetError> {
+        while let Some(env) = self.pending.pop_front() {
+            if let Some(incoming) = self.screen(env) {
+                return Ok(Some(incoming));
+            }
+        }
+        self.conn(start)?;
+        let mut stats = std::mem::take(&mut self.stats);
+        let received = self
+            .conn
+            .as_mut()
+            .map(|stream| stream.recv(&mut stats))
+            .unwrap_or(Err(NetError::Disconnected));
+        self.stats = stats;
+        match received {
+            Ok((kind, payload)) if !self.admit_frame(kind, payload.len()) => {}
+            Ok((K_DATA, payload)) => match Envelope::decode(&payload) {
+                Ok(env) if env.kind == FrameKind::Data => {
+                    if let Some(incoming) = self.screen(env) {
+                        net_trace!(
+                            "{} recv pair {} from {}",
+                            self.local.role, incoming.pair_id, self.expect_role
+                        );
+                        return Ok(Some(incoming));
+                    }
+                }
+                Ok(_) => {} // stray ack: stale, drop
+                Err(_) => self.conn = None,
+            },
+            Ok((K_DATA_BATCH, payload)) => match decode_batch(&payload) {
+                // Buffer the whole burst; the caller's next slice screens
+                // each entry in send order.
+                Ok(envs) => self.pending.extend(envs),
+                Err(_) => self.conn = None,
+            },
+            Ok((K_LEDGER, payload)) => self.pending_ledger = Some(payload),
+            Ok((_, _)) => {} // goodbye: admitted, nothing to do
+            Err(NetError::Timeout) => {}
+            Err(_) => self.conn = None,
+        }
+        Ok(None)
+    }
+
     /// Dedup screen: fresh envelopes pass through, committed ones are
-    /// re-acked off-ledger and counted as duplicates.
+    /// re-acked off-ledger and counted as duplicates. A pair that was
+    /// already *surfaced* but not yet committed — a windowed sender
+    /// retransmitting into a slow commit chain — is dropped silently:
+    /// no re-ack (the ack is the commit) and no second processing.
     fn screen(&mut self, env: Envelope) -> Option<IncomingData> {
         if env.kind != FrameKind::Data {
             return None;
         }
         if self.is_duplicate(&env) {
+            net_trace!(
+                "{} <- {}: pair {} duplicate, re-acked",
+                self.local.role, self.expect_role, env.pair_id
+            );
             self.stats.duplicates += 1;
             self.ack_off_ledger(env.pair_id, env.seq);
             return None;
+        }
+        if env.pair_id != 0 && env.pair_id <= self.received_high {
+            net_trace!(
+                "{} <- {}: pair {} already surfaced (high {}), dropped",
+                self.local.role, self.expect_role, env.pair_id, self.received_high
+            );
+            self.stats.duplicates += 1;
+            return None;
+        }
+        if env.pair_id != 0 {
+            self.received_high = env.pair_id;
         }
         Some(IncomingData {
             pair_id: env.pair_id,
@@ -633,7 +1117,9 @@ impl PeerChannel {
             self.local.have_key = true;
             self.state.note_key();
         } else {
-            self.local.watermark = incoming.pair_id;
+            self.committed.insert(incoming.pair_id);
+            // The hello may only claim the contiguous prefix.
+            self.local.watermark = self.committed.low_water();
         }
         self.ack_off_ledger(incoming.pair_id, incoming.seq);
     }
@@ -678,6 +1164,24 @@ impl PeerChannel {
         }
     }
 
+    /// One data envelope arriving during the ledger wait: late
+    /// retransmissions are re-acked to keep the dedup contract alive, and
+    /// in drain mode fresh envelopes are acked-and-discarded (off-ledger,
+    /// uncommitted — the pair was abandoned) so the oblivious sender can
+    /// finish its walk.
+    fn straggler(&mut self, env: Envelope) {
+        if env.kind != FrameKind::Data {
+            return;
+        }
+        if self.is_duplicate(&env) {
+            self.stats.duplicates += 1;
+            self.ack_off_ledger(env.pair_id, env.seq);
+        } else if self.drain {
+            self.stats.drained += 1;
+            self.ack_off_ledger(env.pair_id, env.seq);
+        }
+    }
+
     /// Blocks for the peer's end-of-session cost summary.
     ///
     /// The deadline here is a *liveness* bound — it restarts whenever a
@@ -716,20 +1220,14 @@ impl PeerChannel {
                 Ok((K_DATA, payload)) => {
                     start = Instant::now();
                     if let Ok(env) = Envelope::decode(&payload) {
-                        if env.kind != FrameKind::Data {
-                            continue;
-                        }
-                        if self.is_duplicate(&env) {
-                            // A late retransmission: keep the dedup
-                            // contract alive.
-                            self.stats.duplicates += 1;
-                            self.ack_off_ledger(env.pair_id, env.seq);
-                        } else if self.drain {
-                            // Deadline drain: ack-and-discard so the
-                            // oblivious sender keeps walking. Off-ledger
-                            // and uncommitted — the pair was abandoned.
-                            self.stats.drained += 1;
-                            self.ack_off_ledger(env.pair_id, env.seq);
+                        self.straggler(env);
+                    }
+                }
+                Ok((K_DATA_BATCH, payload)) => {
+                    start = Instant::now();
+                    if let Ok(envs) = decode_batch(&payload) {
+                        for env in envs {
+                            self.straggler(env);
                         }
                     }
                 }
@@ -956,6 +1454,202 @@ mod tests {
         drop(bob);
         let err = alice.send_data(1, &[1]).unwrap_err();
         assert!(matches!(err, NetError::PeerGone(_)));
+    }
+
+    #[test]
+    fn windowed_pairs_deliver_and_release_oldest_first() {
+        let (mut alice, mut bob, _mux) = link(2_000, 10_000);
+        let receiver = std::thread::spawn(move || {
+            let mut ledger = CostLedger::new();
+            for expect in 1..=10u64 {
+                let incoming = bob.recv_data().unwrap();
+                assert_eq!(incoming.pair_id, expect, "pairs surface in send order");
+                bob.ack_on_ledger(&incoming, &mut ledger);
+            }
+            (bob, ledger)
+        });
+        let mut released = Vec::new();
+        for pair in 1..=10u64 {
+            alice.submit_data(pair, &[pair as u8; 48]);
+            alice.pump_window(3).unwrap();
+            released.extend(alice.take_acked_prefix());
+        }
+        alice.flush_window().unwrap();
+        released.extend(alice.take_acked_prefix());
+        assert_eq!(released, (1..=10).collect::<Vec<u64>>());
+        assert_eq!(alice.window_occupancy(), 0);
+        let (bob, ledger) = receiver.join().unwrap();
+        assert_eq!(ledger.messages, 10, "each pair acked exactly once on-ledger");
+        assert_eq!(bob.watermark(), 10);
+    }
+
+    #[test]
+    fn a_full_window_submitted_up_front_coalesces_into_batch_frames() {
+        let (mut alice, mut bob, _mux) = link(2_000, 10_000);
+        let receiver = std::thread::spawn(move || {
+            let mut ledger = CostLedger::new();
+            for expect in 1..=6u64 {
+                let incoming = bob.recv_data().unwrap();
+                assert_eq!(incoming.pair_id, expect);
+                bob.ack_on_ledger(&incoming, &mut ledger);
+            }
+            ledger
+        });
+        for pair in 1..=6u64 {
+            alice.submit_data(pair, &[0xA5; 32]);
+        }
+        alice.flush_window().unwrap();
+        let ledger = receiver.join().unwrap();
+        assert_eq!(ledger.messages, 6);
+        assert!(
+            alice.stats.batches_sent >= 1,
+            "a six-envelope burst must coalesce (stats: {})",
+            alice.stats
+        );
+        assert!(alice.stats.batched_envelopes >= 6);
+        assert!(alice.stats.max_window >= 6, "occupancy peak recorded");
+    }
+
+    #[test]
+    fn windowed_sender_survives_a_receiver_restart() {
+        let timeout = Some(Duration::from_millis(150));
+        let policy = ReconnectPolicy {
+            retry: RetryPolicy {
+                base_delay_ms: 5,
+                max_delay_ms: 50,
+                ..RetryPolicy::default()
+            },
+            deadline: Duration::from_secs(10),
+        };
+        let mux = Arc::new(SessionMux::bind("127.0.0.1:0", timeout).unwrap());
+        let addr = mux.local_addr();
+        let mux2 = Arc::clone(&mux);
+        let acceptor = std::thread::spawn(move || {
+            let mut bob = PeerChannel::accept(
+                Arc::clone(&mux2),
+                Hello::new(Role::Bob, 31),
+                Role::Alice,
+                timeout,
+                policy,
+            )
+            .unwrap();
+            let mut ledger = CostLedger::new();
+            for _ in 0..2 {
+                let incoming = bob.recv_data().unwrap();
+                bob.ack_on_ledger(&incoming, &mut ledger);
+            }
+            // Crash after committing pairs 1–2; resume from the watermark.
+            let watermark = bob.watermark();
+            drop(bob);
+            let mut resumed = Hello::new(Role::Bob, 31);
+            resumed.watermark = watermark;
+            resumed.have_key = true;
+            let mut bob = PeerChannel::accept(
+                Arc::clone(&mux2),
+                resumed,
+                Role::Alice,
+                timeout,
+                policy,
+            )
+            .unwrap();
+            for expect in 3..=4u64 {
+                let incoming = bob.recv_data().unwrap();
+                assert_eq!(incoming.pair_id, expect);
+                bob.ack_on_ledger(&incoming, &mut ledger);
+            }
+            ledger
+        });
+        let mut alice = PeerChannel::connect(
+            addr,
+            Hello::new(Role::Alice, 31),
+            Role::Bob,
+            timeout,
+            policy,
+        )
+        .unwrap();
+        for pair in 1..=4u64 {
+            alice.submit_data(pair, &[pair as u8; 16]);
+        }
+        alice.flush_window().unwrap();
+        let released = alice.take_acked_prefix();
+        assert_eq!(released, vec![1, 2, 3, 4], "oldest-first across the restart");
+        let ledger = acceptor.join().unwrap();
+        assert_eq!(ledger.messages, 4, "no pair double-acked on the ledger");
+        assert!(alice.stats.reconnects >= 1);
+    }
+
+    /// The net_chaos drop-soak deadlock: an ack frame lost on a live
+    /// connection while occupancy sits at (not above) the window cap. The
+    /// blocking pump returns instantly below the cap, so only
+    /// [`PeerChannel::probe_window`] — the pass a caller interleaves with
+    /// waits on *other* channels — can rediscover the pair, retransmit it,
+    /// and collect the receiver's off-ledger duplicate re-ack.
+    #[test]
+    fn a_lost_ack_below_the_window_cap_is_probed_back_to_life() {
+        let (mut alice, mut bob, _mux) = link(150, 8_000);
+        let receiver = std::thread::spawn(move || {
+            let mut ledger = CostLedger::new();
+            let incoming = bob.recv_data().unwrap();
+            assert_eq!(incoming.pair_id, 1);
+            // Commit with the ack path unplugged: the dedup state and the
+            // ledger advance, but the ack never reaches the wire.
+            let live = bob.conn.take();
+            bob.ack_on_ledger(&incoming, &mut ledger);
+            bob.conn = live;
+            // Service the sender's probe retransmission: the committed
+            // duplicate is re-acked off-ledger, nothing fresh surfaces.
+            for _ in 0..100 {
+                if bob.stats.duplicates > 0 {
+                    break;
+                }
+                let _ = bob.try_recv_data();
+            }
+            (bob, ledger)
+        });
+        alice.submit_data(1, &[3; 48]);
+        alice.pump_window(1).unwrap();
+        assert!(
+            alice.take_acked_prefix().is_empty(),
+            "the ack was swallowed before the wire"
+        );
+        // Only probes from here on — exactly what windowed Bob can do
+        // while blocked waiting on Alice.
+        for _ in 0..200 {
+            alice.probe_window().unwrap();
+            if alice.window_occupancy() == 0 {
+                break;
+            }
+        }
+        assert_eq!(alice.take_acked_prefix(), vec![1]);
+        let (bob, ledger) = receiver.join().unwrap();
+        assert_eq!(ledger.messages, 1, "the re-ack stayed off the ledger");
+        assert!(bob.stats.duplicates >= 1, "heal came via retransmission");
+        assert!(alice.stats.retransmits >= 1);
+    }
+
+    #[test]
+    fn a_retransmission_of_an_uncommitted_pair_is_dropped_silently() {
+        let (mut alice, mut bob, _mux) = link(100, 600);
+        let receiver = std::thread::spawn(move || {
+            // Surface pair 1 but do NOT commit it (the windowed sender's
+            // retransmit lands while the commit chain is still running).
+            let first = bob.recv_data().unwrap();
+            assert_eq!(first.pair_id, 1);
+            // The duplicate must neither surface again nor be acked: the
+            // next recv sees nothing fresh and times out into PeerGone.
+            let err = bob.recv_data().unwrap_err();
+            assert!(matches!(err, NetError::PeerGone(_)));
+            assert_eq!(bob.stats.duplicates, 1, "the copy was counted and dropped");
+            bob
+        });
+        // First (windowed) transmission, then a verbatim retransmission.
+        alice.submit_data(1, &[7; 8]);
+        alice.pump_window(1).unwrap();
+        let copy = alice.inflight.front().unwrap().frame.clone();
+        let mut stats = NetStats::default();
+        alice.conn.as_mut().unwrap().send(K_DATA, &copy, &mut stats).unwrap();
+        let bob = receiver.join().unwrap();
+        assert_eq!(bob.watermark(), 0, "nothing committed");
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! cost ledger, and `Goodbye` have exactly one legal payload length each,
 //! so an "oversized" frame is a violation even though it decodes.
 
-use crate::frame::{K_BUSY, K_DATA, K_GOODBYE, K_HELLO, K_LEDGER};
+use crate::batch::BATCH_MIN_LEN;
+use crate::frame::{K_BUSY, K_DATA, K_DATA_BATCH, K_GOODBYE, K_HELLO, K_LEDGER};
 use crate::hello::{BUSY_LEN, HELLO_LEN};
 use crate::NetError;
 use pprl_crypto::protocol::transport::ENVELOPE_OVERHEAD;
@@ -147,6 +148,19 @@ impl ProtocolState {
                     Ok(())
                 }
             }
+            (Phase::Done, K_DATA_BATCH) => {
+                violation("batched data frame after the cost ledger".into())
+            }
+            (_, K_DATA_BATCH) => {
+                if payload_len < BATCH_MIN_LEN {
+                    violation(format!(
+                        "batched data frame carries {payload_len} bytes, below the \
+                         {BATCH_MIN_LEN}-byte minimum for one enveloped entry"
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
             (Phase::Done, K_LEDGER) => violation("cost ledger repeated".into()),
             (_, K_LEDGER) => {
                 exact("ledger", CostLedger::WIRE_LEN, payload_len)?;
@@ -229,6 +243,23 @@ mod tests {
         assert!(st.admit(K_LEDGER, CostLedger::WIRE_LEN - 8).is_err());
         assert!(st.admit(K_GOODBYE, 3).is_err());
         assert!(st.admit(K_DATA, ENVELOPE_OVERHEAD - 1).is_err());
+    }
+
+    #[test]
+    fn batched_data_follows_the_data_frame_rules() {
+        let mut st = ProtocolState::dialing();
+        st.admit(K_HELLO, HELLO_LEN).unwrap();
+        st.complete_handshake(true);
+        st.admit(K_DATA_BATCH, BATCH_MIN_LEN).unwrap();
+        assert!(
+            st.admit(K_DATA_BATCH, BATCH_MIN_LEN - 1).is_err(),
+            "a batch too small for one enveloped entry must be rejected"
+        );
+        st.admit(K_LEDGER, CostLedger::WIRE_LEN).unwrap();
+        assert!(
+            st.admit(K_DATA_BATCH, BATCH_MIN_LEN).is_err(),
+            "no batched data after the cost ledger"
+        );
     }
 
     #[test]

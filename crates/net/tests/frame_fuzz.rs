@@ -5,7 +5,7 @@
 //! attacker-sized allocation. Mirrors `crates/crypto/tests/message_fuzz.rs`
 //! one layer down the stack.
 
-use pprl_net::frame::{encode_frame, FrameDecoder, K_BUSY, K_HELLO, FRAME_OVERHEAD, MAX_FRAME_LEN};
+use pprl_net::frame::{encode_frame, FrameDecoder, K_DATA_BATCH, K_HELLO, FRAME_OVERHEAD, MAX_FRAME_LEN};
 use pprl_net::hello::{Busy, Hello, Role, BUSY_LEN, HELLO_LEN, NET_VERSION};
 use proptest::prelude::*;
 
@@ -13,7 +13,7 @@ use proptest::prelude::*;
 /// at the header, so roundtrip properties must stay inside the protocol's
 /// kind space), payload up to a few KiB.
 fn encoded_frame() -> impl Strategy<Value = (u8, Vec<u8>)> {
-    (K_HELLO..=K_BUSY, prop::collection::vec(any::<u8>(), 0..2048))
+    (K_HELLO..=K_DATA_BATCH, prop::collection::vec(any::<u8>(), 0..2048))
 }
 
 /// An arbitrary well-formed hello (any version/role/watermark/key bit).
@@ -137,7 +137,7 @@ proptest! {
     /// decoder until the bogus length was "satisfied").
     #[test]
     fn unknown_kinds_rejected_at_header(
-        kind in any::<u8>().prop_filter("outside kind space", |k| !(K_HELLO..=K_BUSY).contains(k)),
+        kind in any::<u8>().prop_filter("outside kind space", |k| !(K_HELLO..=K_DATA_BATCH).contains(k)),
         len in 0u32..=(MAX_FRAME_LEN as u32),
     ) {
         let mut wire = vec![kind];

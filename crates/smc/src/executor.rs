@@ -90,6 +90,13 @@ pub enum SmcMode {
         modulus_bits: usize,
         /// RNG seed for keygen and encryption randomness.
         seed: u64,
+        /// Pack several attributes' masked comparisons slot-wise into each
+        /// ciphertext of Bob's reply ([`pprl_crypto::protocol::pack`]),
+        /// cutting Bob's modpows, the querier's decryptions, and the
+        /// reply bytes roughly by the slots-per-ciphertext factor. Changes
+        /// the wire format (and so the job fingerprint); decisions are
+        /// provably identical to the unpacked exchange.
+        pack: bool,
     },
 }
 
@@ -762,8 +769,8 @@ impl<'a> SmcRunner<'a> {
     /// [`SmcMode::PaillierBatched`] with no simulated channel — the
     /// socket *is* the channel.
     pub fn connect_remote(&mut self, party: Box<dyn RemoteParty>) -> Result<(), SmcError> {
-        let keys = match &self.comparer.backend {
-            Backend::PaillierBatched(b) => b.keys.clone(),
+        let (keys, pack) = match &self.comparer.backend {
+            Backend::PaillierBatched(b) => (b.keys.clone(), b.pack),
             _ => {
                 return Err(SmcError::Internal(
                     "remote sessions require batched Paillier mode without a simulated channel",
@@ -782,6 +789,7 @@ impl<'a> SmcRunner<'a> {
             keys,
             party,
             next_pair_id,
+            pack,
         }));
         Ok(())
     }
@@ -1356,11 +1364,16 @@ struct RemoteBackend {
     keys: Keypair,
     party: Box<dyn RemoteParty>,
     next_pair_id: u64,
+    /// Whether the holders send slot-packed replies (the fingerprint
+    /// guarantees all three parties agree on this).
+    pack: bool,
 }
 
 struct PaillierBackend {
     keys: Keypair,
     rng: StdRng,
+    /// Slot-packed replies (batched mode only; always false per-attribute).
+    pack: bool,
 }
 
 /// The batched protocol run over an explicit simulated network: the key
@@ -1373,12 +1386,15 @@ struct TransportedBackend {
     alice: DataHolder,
     bob: DataHolder,
     next_pair_id: u64,
+    /// Slot-packed replies from the simulated Bob.
+    pack: bool,
 }
 
 impl TransportedBackend {
     fn connect(
         modulus_bits: usize,
         seed: u64,
+        pack: bool,
         channel: ChannelConfig,
         ledger: &mut CostLedger,
     ) -> Result<Self, SmcError> {
@@ -1425,6 +1441,7 @@ impl TransportedBackend {
             alice,
             bob,
             next_pair_id: KEY_BROADCAST_PAIR_ID,
+            pack,
         })
     }
 }
@@ -1443,30 +1460,38 @@ impl Comparer {
         // RNG freshly seeded instead of post-generation, so encryption
         // randomness differs from a cold start. Decisions, message sizes,
         // and therefore the cost ledger are randomness-independent.
-        let fresh = |warm: Option<&Keypair>, modulus_bits: usize, seed: u64| {
+        let fresh = |warm: Option<&Keypair>, modulus_bits: usize, seed: u64, pack: bool| {
             let mut rng = StdRng::seed_from_u64(seed);
             let keys = match warm {
                 Some(k) => k.clone(),
                 None => Keypair::generate(&mut rng, modulus_bits),
             };
-            Box::new(PaillierBackend { keys, rng })
+            Box::new(PaillierBackend { keys, rng, pack })
         };
         let backend = match mode {
             SmcMode::Oracle => Backend::Oracle,
             SmcMode::Paillier { modulus_bits, seed }
-            | SmcMode::PaillierBatched { modulus_bits, seed } => {
+            | SmcMode::PaillierBatched {
+                modulus_bits, seed, ..
+            } => {
                 // The integer protocol cannot evaluate edit distance.
                 if rule.distances.contains(&AttrDistance::NormalizedEdit) {
                     return Err(SmcError::UnsupportedDistance("NormalizedEdit"));
                 }
                 match (mode, channel) {
-                    (SmcMode::PaillierBatched { .. }, Some(ch)) => Backend::Transported(
-                        Box::new(TransportedBackend::connect(modulus_bits, seed, ch, ledger)?),
-                    ),
-                    (SmcMode::PaillierBatched { .. }, None) => {
-                        Backend::PaillierBatched(fresh(warm, modulus_bits, seed))
+                    (SmcMode::PaillierBatched { pack, .. }, Some(ch)) => {
+                        Backend::Transported(Box::new(TransportedBackend::connect(
+                            modulus_bits,
+                            seed,
+                            pack,
+                            ch,
+                            ledger,
+                        )?))
                     }
-                    _ => Backend::Paillier(fresh(warm, modulus_bits, seed)),
+                    (SmcMode::PaillierBatched { pack, .. }, None) => {
+                        Backend::PaillierBatched(fresh(warm, modulus_bits, seed, pack))
+                    }
+                    _ => Backend::Paillier(fresh(warm, modulus_bits, seed, false)),
                 }
             }
         };
@@ -1505,6 +1530,7 @@ impl Comparer {
             Box::new(PaillierBackend {
                 keys: b.keys.clone(),
                 rng: StdRng::seed_from_u64(base ^ mix),
+                pack: b.pack,
             })
         };
         let backend = match &self.backend {
@@ -1554,7 +1580,7 @@ impl Comparer {
                 s,
             ))),
             Backend::Paillier(backend) => {
-                let PaillierBackend { keys, rng } = backend.as_mut();
+                let PaillierBackend { keys, rng, .. } = backend.as_mut();
                 for (pos, &q) in qids.iter().enumerate() {
                     let (a, b, t) =
                         encode_attribute(&self.rule, pos, r.value(q), s.value(q), &self.norms)?;
@@ -1577,29 +1603,47 @@ impl Comparer {
                 Ok(CompareOutcome::Decided(true))
             }
             Backend::PaillierBatched(backend) => {
-                let PaillierBackend { keys, rng } = backend.as_mut();
+                let PaillierBackend { keys, rng, pack } = backend.as_mut();
+                let pack = *pack;
                 let Some((a_vals, b_vals, thresholds)) =
                     batch_encode(&self.rule, qids, r, s, &self.norms)?
                 else {
                     return Ok(CompareOutcome::Decided(true));
                 };
+                use pprl_crypto::protocol::pack::{
+                    bob_record_message_packed, querier_reveal_record_packed,
+                    validate_packable_values,
+                };
                 use pprl_crypto::protocol::record::{
                     alice_record_message, bob_record_message, querier_reveal_record,
                 };
+                if pack {
+                    // Alice's own-value bound check (Bob cannot verify it).
+                    validate_packable_values(&a_vals)?;
+                }
                 let m_alice = alice_record_message(keys.public(), &a_vals, rng, ledger)?;
-                let m_bob = bob_record_message(
-                    keys.public(),
-                    &m_alice,
-                    &b_vals,
-                    &thresholds,
-                    rng,
-                    ledger,
-                )?;
-                Ok(CompareOutcome::Decided(querier_reveal_record(
-                    keys.private(),
-                    &m_bob,
-                    ledger,
-                )?))
+                let decided = if pack {
+                    let m_bob = bob_record_message_packed(
+                        keys.public(),
+                        &m_alice,
+                        &b_vals,
+                        &thresholds,
+                        rng,
+                        ledger,
+                    )?;
+                    querier_reveal_record_packed(keys.private(), &m_bob, ledger)?
+                } else {
+                    let m_bob = bob_record_message(
+                        keys.public(),
+                        &m_alice,
+                        &b_vals,
+                        &thresholds,
+                        rng,
+                        ledger,
+                    )?;
+                    querier_reveal_record(keys.private(), &m_bob, ledger)?
+                };
+                Ok(CompareOutcome::Decided(decided))
             }
             Backend::Transported(backend) => {
                 let b = backend.as_mut();
@@ -1608,9 +1652,16 @@ impl Comparer {
                 else {
                     return Ok(CompareOutcome::Decided(true));
                 };
+                use pprl_crypto::protocol::pack::{
+                    bob_record_message_packed, querier_reveal_record_packed,
+                    validate_packable_values,
+                };
                 use pprl_crypto::protocol::record::{
                     alice_record_message, bob_record_message, querier_reveal_record,
                 };
+                if b.pack {
+                    validate_packable_values(&a_vals)?;
+                }
                 b.next_pair_id += 1;
                 let pair_id = b.next_pair_id;
                 let m_alice =
@@ -1627,14 +1678,25 @@ impl Comparer {
                 // The envelope checksum guarantees the payload arrived
                 // intact, so a decode failure here is a real protocol bug —
                 // propagate it rather than degrade.
-                let m_bob = bob_record_message(
-                    b.bob.public_key(),
-                    &delivered,
-                    &b_vals,
-                    &thresholds,
-                    &mut b.rng,
-                    ledger,
-                )?;
+                let m_bob = if b.pack {
+                    bob_record_message_packed(
+                        b.bob.public_key(),
+                        &delivered,
+                        &b_vals,
+                        &thresholds,
+                        &mut b.rng,
+                        ledger,
+                    )?
+                } else {
+                    bob_record_message(
+                        b.bob.public_key(),
+                        &delivered,
+                        &b_vals,
+                        &thresholds,
+                        &mut b.rng,
+                        ledger,
+                    )?
+                };
                 let delivered = match b
                     .link
                     .deliver(PartyId::Bob, PartyId::Querier, pair_id, m_bob, ledger)
@@ -1644,11 +1706,12 @@ impl Comparer {
                         return Ok(CompareOutcome::Abandoned)
                     }
                 };
-                Ok(CompareOutcome::Decided(querier_reveal_record(
-                    b.keys.private(),
-                    &delivered,
-                    ledger,
-                )?))
+                let decided = if b.pack {
+                    querier_reveal_record_packed(b.keys.private(), &delivered, ledger)?
+                } else {
+                    querier_reveal_record(b.keys.private(), &delivered, ledger)?
+                };
+                Ok(CompareOutcome::Decided(decided))
             }
             Backend::Remote(backend) => {
                 let b = backend.as_mut();
@@ -1658,16 +1721,20 @@ impl Comparer {
                 if batch_encode(&self.rule, qids, r, s, &self.norms)?.is_none() {
                     return Ok(CompareOutcome::Decided(true));
                 }
+                use pprl_crypto::protocol::pack::querier_reveal_record_packed;
                 use pprl_crypto::protocol::record::querier_reveal_record;
                 b.next_pair_id += 1;
                 let pair_id = b.next_pair_id;
                 match b.party.bob_message(pair_id, ledger)? {
                     None => Ok(CompareOutcome::Abandoned),
-                    Some(m_bob) => Ok(CompareOutcome::Decided(querier_reveal_record(
-                        b.keys.private(),
-                        &m_bob,
-                        ledger,
-                    )?)),
+                    Some(m_bob) => {
+                        let decided = if b.pack {
+                            querier_reveal_record_packed(b.keys.private(), &m_bob, ledger)?
+                        } else {
+                            querier_reveal_record(b.keys.private(), &m_bob, ledger)?
+                        };
+                        Ok(CompareOutcome::Decided(decided))
+                    }
                 }
             }
         }
@@ -1886,6 +1953,7 @@ mod tests {
         batched.mode = SmcMode::PaillierBatched {
             modulus_bits: 256,
             seed: 5,
+            pack: false,
         };
         let got = batched
             .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)
@@ -2133,6 +2201,7 @@ mod tests {
         s.mode = SmcMode::PaillierBatched {
             modulus_bits: 256,
             seed: 5,
+            pack: false,
         };
         let full = s
             .run(&f.a, &f.b, &f.va, &f.vb, &f.unknown, &f.rule, f.total)

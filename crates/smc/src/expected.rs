@@ -23,35 +23,43 @@ use pprl_anon::GenVal;
 use pprl_blocking::{edit_distance, AttrDistance};
 use pprl_hierarchy::Vgh;
 
+/// Expected distance when the rule's distance kind disagrees with the VGH
+/// or value kind. That agreement is a construction-time invariant of
+/// `MatchingRule` — a mismatch is a local coding bug, never reachable from
+/// wire input — so debug builds assert, and release builds degrade to the
+/// maximal normalized distance (treat the pair as a certain non-match)
+/// rather than panicking inside a long-running linkage.
+const KIND_MISMATCH_ED: f64 = 1.0;
+
 /// Expected distance between two generalized values of one attribute.
 pub fn expected_distance(vgh: &Vgh, dist: AttrDistance, a: &GenVal, b: &GenVal) -> f64 {
     match dist {
         AttrDistance::Hamming => {
-            // pprl:allow(panic-path): rule/VGH kind agreement is enforced by
-            // MatchingRule construction; a mismatch is a local coding bug,
-            // never reachable from wire input
-            let t = vgh.as_taxonomy().expect("categorical attribute");
-            let (na, nb) = (a.as_cat(), b.as_cat());
+            let (Some(t), &GenVal::Cat(na), &GenVal::Cat(nb)) = (vgh.as_taxonomy(), a, b) else {
+                debug_assert!(false, "Hamming distance over a non-categorical attribute");
+                return KIND_MISMATCH_ED;
+            };
             let v = t.spec_set_size(na) as f64;
             let w = t.spec_set_size(nb) as f64;
             let overlap = t.spec_set_overlap(na, nb) as f64;
             1.0 - overlap / (v * w)
         }
         AttrDistance::NormalizedEuclidean => {
-            // pprl:allow(panic-path): see the Hamming arm — kind agreement
-            // is a construction-time invariant
-            let h = vgh.as_intervals().expect("continuous attribute");
-            let (a1, b1) = a.as_range();
-            let (a2, b2) = b.as_range();
+            let (Some(h), &GenVal::Range { lo: a1, hi: b1 }, &GenVal::Range { lo: a2, hi: b2 }) =
+                (vgh.as_intervals(), a, b)
+            else {
+                debug_assert!(false, "Euclidean distance over a non-continuous attribute");
+                return KIND_MISMATCH_ED;
+            };
             let ed = expected_squared(a1, b1, a2, b2);
             ed / (h.norm_factor() * h.norm_factor())
         }
         AttrDistance::NormalizedEdit => {
-            // pprl:allow(panic-path): see the Hamming arm — kind agreement
-            // is a construction-time invariant
-            let t = vgh.as_taxonomy().expect("categorical attribute");
+            let (Some(t), &GenVal::Cat(na), &GenVal::Cat(nb)) = (vgh.as_taxonomy(), a, b) else {
+                debug_assert!(false, "edit distance over a non-categorical attribute");
+                return KIND_MISMATCH_ED;
+            };
             let norm = max_label_len(t) as f64;
-            let (na, nb) = (a.as_cat(), b.as_cat());
             let mut sum = 0.0;
             let mut count = 0.0;
             for pa in t.leaves_under(na) {

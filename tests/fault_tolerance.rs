@@ -23,6 +23,7 @@ fn base_config() -> LinkageConfig {
         .with_mode(SmcMode::PaillierBatched {
             modulus_bits: 256,
             seed: 99,
+            pack: false,
         })
 }
 

@@ -73,6 +73,7 @@ fn pipeline_oracle_equals_batched_paillier_over_faulty_transport() {
         .with_mode(SmcMode::PaillierBatched {
             modulus_bits: 256,
             seed: 99,
+            pack: false,
         })
         .with_channel(ChannelConfig {
             faults: FaultConfig::uniform(0.10),

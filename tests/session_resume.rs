@@ -98,6 +98,7 @@ fn crypto_over_faulty_transport_resumes_without_double_charging() {
     let mode = SmcMode::PaillierBatched {
         modulus_bits: 256,
         seed: 5,
+        pack: false,
     };
     let mut s = step(mode, channel);
     s.allowance = SmcAllowance::Pairs(40); // keep real crypto quick
