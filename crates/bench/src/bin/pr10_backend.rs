@@ -1,0 +1,223 @@
+//! PR 10 backend sweep: exact Paillier vs q-gram CLK Bloom matching.
+//!
+//! Runs the full pipeline in-process on the seeded synthetic corpus at a
+//! 100 % SMC allowance (every unknown pair is compared, so the backends'
+//! *decisions* are what differ, not their budgets), sweeping record
+//! count × comparator backend. For each cell it reports SMC pairs/sec
+//! (pipeline overhead measured by a zero-allowance run and subtracted)
+//! and linkage quality: precision/recall against ground truth, plus the
+//! Bloom backend's agreement with the exact-Paillier match set — the
+//! honest cost of trading homomorphic distance for Dice-over-CLK.
+//!
+//! ```sh
+//! cargo run --release -p pprl-bench --bin pr10_backend -- \
+//!     --records 40,80 --out BENCH_pr10.json
+//! ```
+//!
+//! The acceptance bar rides along: the Bloom backend must clear
+//! `--min-speedup` (default 50x) over Paillier at every record count.
+
+use pprl_core::{HybridLinkage, LinkageConfig, LinkageOutcome};
+use pprl_data::DataSet;
+use pprl_smc::{SmcAllowance, SmcMode};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+fn scenario(records: usize) -> (DataSet, DataSet) {
+    pprl_core::SyntheticScenario::builder()
+        .records_per_set(records)
+        .seed(7)
+        .build()
+        .data_sets()
+}
+
+fn config_for(mode: SmcMode, allowance: SmcAllowance) -> LinkageConfig {
+    let mut config = LinkageConfig::paper_defaults().with_allowance(allowance);
+    config.mode = mode;
+    config.channel = None;
+    config
+}
+
+struct Cell {
+    backend: &'static str,
+    smc_pairs: u64,
+    smc_elapsed_s: f64,
+    pairs_per_sec: f64,
+    declared: u64,
+    true_matches: u64,
+    precision: f64,
+    recall: f64,
+    matched: BTreeSet<(u32, u32)>,
+    clk_bits: u64,
+    dp_flips: u64,
+    ledger_bytes: u64,
+}
+
+/// One pipeline run; `overhead_s` is the same corpus at zero allowance
+/// (anonymization + blocking + scoring, no SMC), so the quotient is the
+/// comparator's own throughput, not the pipeline's.
+fn run_cell(
+    backend: &'static str,
+    mode: SmcMode,
+    d1: &DataSet,
+    d2: &DataSet,
+    overhead_s: f64,
+) -> Cell {
+    let pipeline = HybridLinkage::new(config_for(mode, SmcAllowance::Fraction(1.0)));
+    let started = Instant::now();
+    let outcome: LinkageOutcome = pipeline.run(d1, d2).expect("pipeline run");
+    let elapsed = started.elapsed().as_secs_f64();
+    let smc_elapsed_s = (elapsed - overhead_s).max(1e-6);
+
+    let m = &outcome.metrics;
+    let precision = if m.declared_matches > 0 {
+        m.true_positives as f64 / m.declared_matches as f64
+    } else {
+        1.0
+    };
+    let recall = if m.true_matches > 0 {
+        m.true_positives as f64 / m.true_matches as f64
+    } else {
+        1.0
+    };
+    Cell {
+        backend,
+        smc_pairs: m.smc_invocations,
+        smc_elapsed_s,
+        pairs_per_sec: m.smc_invocations as f64 / smc_elapsed_s,
+        declared: m.declared_matches,
+        true_matches: m.true_matches,
+        precision,
+        recall,
+        matched: outcome.matched_rows().collect(),
+        clk_bits: outcome.smc.comparator.clk_bits_exchanged,
+        dp_flips: outcome.smc.comparator.dp_flips,
+        ledger_bytes: outcome.ledger.bytes,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |key: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let records: Vec<usize> = opt("--records")
+        .unwrap_or("40,80")
+        .split(',')
+        .map(|v| v.trim().parse().expect("--records N,N"))
+        .collect();
+    let out = opt("--out").unwrap_or("BENCH_pr10.json").to_string();
+    let min_speedup: f64 = opt("--min-speedup").map_or(50.0, |v| v.parse().expect("--min-speedup X"));
+
+    eprintln!("pr10_backend: records={records:?} min_speedup={min_speedup}");
+
+    let mut entries = String::new();
+    let mut worst_speedup = f64::INFINITY;
+    for &n in &records {
+        let (d1, d2) = scenario(n);
+
+        // Pipeline overhead: same corpus, no SMC budget at all.
+        let started = Instant::now();
+        HybridLinkage::new(config_for(
+            SmcMode::PaillierBatched { modulus_bits: 256, seed: 42, pack: false },
+            SmcAllowance::Fraction(0.0),
+        ))
+        .run(&d1, &d2)
+        .expect("overhead run");
+        let overhead_s = started.elapsed().as_secs_f64();
+
+        let paillier = run_cell(
+            "paillier",
+            SmcMode::PaillierBatched { modulus_bits: 256, seed: 42, pack: false },
+            &d1,
+            &d2,
+            overhead_s,
+        );
+        let bloom = run_cell(
+            "bloom",
+            SmcMode::Bloom { params: pprl_bloom::ClkParams::paper_defaults(42) },
+            &d1,
+            &d2,
+            overhead_s,
+        );
+
+        // Agreement with the exact protocol: of the pairs Bloom declared,
+        // how many Paillier also declared (precision), and how much of
+        // Paillier's match set Bloom recovered (recall).
+        let common = bloom.matched.intersection(&paillier.matched).count() as f64;
+        let precision_vs_exact = if bloom.matched.is_empty() {
+            1.0
+        } else {
+            common / bloom.matched.len() as f64
+        };
+        let recall_vs_exact = if paillier.matched.is_empty() {
+            1.0
+        } else {
+            common / paillier.matched.len() as f64
+        };
+        let speedup = bloom.pairs_per_sec / paillier.pairs_per_sec.max(1e-9);
+        worst_speedup = worst_speedup.min(speedup);
+
+        for cell in [&paillier, &bloom] {
+            eprintln!(
+                "records={n:>4} backend={:<8} {} pairs in {:.3}s ({:.1} pairs/sec) \
+                 declared={} precision={:.3} recall={:.3}",
+                cell.backend, cell.smc_pairs, cell.smc_elapsed_s, cell.pairs_per_sec,
+                cell.declared, cell.precision, cell.recall,
+            );
+            if !entries.is_empty() {
+                entries.push_str(",\n");
+            }
+            entries.push_str(&format!(
+                concat!(
+                    "    {{ \"records_per_set\": {}, \"backend\": \"{}\", ",
+                    "\"smc_pairs\": {}, \"smc_elapsed_s\": {:.4}, ",
+                    "\"pairs_per_sec\": {:.2}, \"declared_matches\": {}, ",
+                    "\"true_matches\": {}, \"precision\": {:.4}, \"recall\": {:.4}, ",
+                    "\"clk_bits_exchanged\": {}, \"dp_flips\": {}, \"ledger_bytes\": {} }}"
+                ),
+                n, cell.backend, cell.smc_pairs, cell.smc_elapsed_s, cell.pairs_per_sec,
+                cell.declared, cell.true_matches, cell.precision, cell.recall,
+                cell.clk_bits, cell.dp_flips, cell.ledger_bytes,
+            ));
+        }
+        eprintln!(
+            "records={n:>4} bloom vs exact-paillier: speedup={speedup:.1}x \
+             precision={precision_vs_exact:.3} recall={recall_vs_exact:.3}"
+        );
+        entries.push_str(&format!(
+            concat!(
+                ",\n    {{ \"records_per_set\": {}, \"backend\": \"bloom_vs_paillier\", ",
+                "\"speedup\": {:.2}, \"precision_vs_exact\": {:.4}, ",
+                "\"recall_vs_exact\": {:.4} }}"
+            ),
+            n, speedup, precision_vs_exact, recall_vs_exact,
+        ));
+    }
+
+    assert!(
+        worst_speedup >= min_speedup,
+        "bloom must be at least {min_speedup}x paillier pairs/sec at every \
+         record count (worst observed: {worst_speedup:.1}x)"
+    );
+
+    let doc = format!(
+        r#"{{
+  "bench": "pr10_backend",
+  "allowance": "fraction(1.0)",
+  "modulus_bits": 256,
+  "clk": {{ "filter_len": 1000, "hashes": 30, "q": 2, "threshold": 0.8, "epsilon": 0.0 }},
+  "min_speedup_required": {min_speedup},
+  "worst_speedup_observed": {worst_speedup:.2},
+  "sweep": [
+{entries}
+  ]
+}}
+"#,
+    );
+    std::fs::write(&out, doc).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -1,0 +1,200 @@
+//! Property tests for the CLK wire codecs and the match decision.
+//!
+//! The wire properties pin the adversarial surface: a `TAG_CLK` or
+//! `TAG_DICE` payload that was truncated, extended, re-tagged, or had
+//! padding/tally invariants broken must decode to a typed [`WireError`],
+//! never to a filter or verdict. The round-trip and determinism
+//! properties pin what resume correctness rests on: identical inputs
+//! encode to identical bytes, and the threshold decision is a pure
+//! function of the tallies.
+
+use proptest::prelude::*;
+use pprl_bloom::{
+    clk_msg_len, decode_clk, decode_dice, dice_match, dice_millis, encode_clk, encode_dice,
+    encode_fields, ClkParams, DiceCounts, DiceMsg, WireError, DICE_MSG_LEN, TAG_CLK, TAG_DICE,
+};
+
+/// Small-but-irregular filter lengths: byte-aligned, off-by-one, and the
+/// paper default. Small filters keep case counts high; `validate()`
+/// bounds are respected.
+fn any_params() -> impl Strategy<Value = ClkParams> {
+    (
+        prop_oneof![Just(64u32), Just(96), Just(100), 8u32..=128, Just(1000)],
+        1u32..=8,
+        1u32..=4,
+        0u32..=1000,
+        any::<u64>(),
+    )
+        .prop_map(|(filter_len, hashes, q, threshold_millis, seed)| {
+            let mut p = ClkParams::paper_defaults(seed);
+            p.filter_len = filter_len;
+            p.hashes = hashes;
+            p.q = q;
+            p.threshold_millis = threshold_millis;
+            p
+        })
+}
+
+fn any_fields() -> impl Strategy<Value = Vec<String>> {
+    // Printable-ASCII fields built from byte vectors (the vendored
+    // proptest build carries no string-regex support).
+    prop::collection::vec(
+        prop::collection::vec(0x20u8..0x7f, 0..13)
+            .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii")),
+        1..6,
+    )
+}
+
+proptest! {
+    /// encode ∘ decode is the identity on every (params, record) pair —
+    /// the exact bytes a resumed holder re-derives must parse back to
+    /// the exact filter the first incarnation sent.
+    #[test]
+    fn clk_encode_decode_identity(
+        params in any_params(),
+        fields in any_fields(),
+        flips in any::<u32>(),
+    ) {
+        let clk = encode_fields(&params, &fields);
+        let wire = encode_clk(&clk, flips);
+        prop_assert_eq!(wire.len(), clk_msg_len(params.filter_len));
+        prop_assert_eq!(wire[0], TAG_CLK);
+        let (back, back_flips) = decode_clk(&wire, params.filter_len).unwrap();
+        prop_assert_eq!(back, clk);
+        prop_assert_eq!(back_flips, flips);
+    }
+
+    /// Encoding is deterministic: the same record under the same params
+    /// produces byte-identical wire payloads (resume depends on it).
+    #[test]
+    fn clk_encoding_deterministic(params in any_params(), fields in any_fields()) {
+        let a = encode_clk(&encode_fields(&params, &fields), 0);
+        let b = encode_clk(&encode_fields(&params, &fields), 0);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Truncating or extending a CLK payload by any amount is a typed
+    /// length error.
+    #[test]
+    fn clk_rejects_resized(
+        params in any_params(),
+        fields in any_fields(),
+        cut in 1usize..=8,
+        grow in 1usize..=8,
+        extra in any::<u8>(),
+    ) {
+        let wire = encode_clk(&encode_fields(&params, &fields), 7);
+        let cut = cut.min(wire.len());
+        let short = &wire[..wire.len() - cut];
+        prop_assert_eq!(
+            decode_clk(short, params.filter_len),
+            Err(WireError::Length { expected: wire.len(), got: short.len() })
+        );
+        let mut long = wire.clone();
+        long.extend(std::iter::repeat(extra).take(grow));
+        prop_assert_eq!(
+            decode_clk(&long, params.filter_len),
+            Err(WireError::Length { expected: wire.len(), got: long.len() })
+        );
+    }
+
+    /// Any single-bit flip in a CLK payload is either caught by the
+    /// codec (tag byte, dead padding bit) or decodes to a *different*
+    /// filter / flip count — never silently to the original message.
+    #[test]
+    fn clk_bit_flip_never_silent(
+        params in any_params(),
+        fields in any_fields(),
+        byte_sel in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let clk = encode_fields(&params, &fields);
+        let wire = encode_clk(&clk, 3);
+        let at = byte_sel.index(wire.len());
+        let mut mutated = wire.clone();
+        mutated[at] ^= 1 << bit;
+        match decode_clk(&mutated, params.filter_len) {
+            Err(WireError::Tag { .. }) => prop_assert_eq!(at, 0),
+            Err(WireError::Padding) => {
+                // Only a dead bit past filter_len can trip this.
+                prop_assert!(params.filter_len % 8 != 0);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            Ok((back, flips)) => {
+                prop_assert!(back != clk || flips != 3, "bit flip decoded to the original");
+            }
+        }
+    }
+
+    /// Same for dice payloads: resized input is a typed length error,
+    /// and the codec refuses tallies that are impossible under the
+    /// agreed filter length.
+    #[test]
+    fn dice_rejects_resized_and_impossible(
+        a_ones in 0u32..=1000,
+        b_ones in 0u32..=1000,
+        common in 0u32..=1000,
+        flips in any::<u32>(),
+        cut in 1usize..=DICE_MSG_LEN,
+        grow in 1usize..=8,
+    ) {
+        let msg = DiceMsg { a_ones, b_ones, common, flips };
+        let wire = encode_dice(&msg);
+        prop_assert_eq!(wire.len(), DICE_MSG_LEN);
+        prop_assert_eq!(wire[0], TAG_DICE);
+
+        let short = &wire[..DICE_MSG_LEN - cut];
+        prop_assert!(matches!(
+            decode_dice(short, 1000),
+            Err(WireError::Length { .. })
+        ));
+        let mut long = wire.clone();
+        long.extend(std::iter::repeat(0u8).take(grow));
+        prop_assert!(matches!(
+            decode_dice(&long, 1000),
+            Err(WireError::Length { .. })
+        ));
+
+        let plausible = common <= a_ones.min(b_ones);
+        match decode_dice(&wire, 1000) {
+            Ok(back) => {
+                prop_assert!(plausible);
+                prop_assert_eq!(back, msg);
+            }
+            Err(WireError::Counts) => prop_assert!(!plausible),
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+        // The same tallies against a smaller agreed filter are refused.
+        if a_ones.max(b_ones) > 63 {
+            prop_assert_eq!(decode_dice(&wire, 63), Err(WireError::Counts));
+        }
+    }
+
+    /// The threshold decision is a pure, deterministic function of the
+    /// tallies: recomputing it (as a resumed querier does when replaying
+    /// journal frames) can never change a verdict.
+    #[test]
+    fn threshold_decision_deterministic(
+        params in any_params(),
+        left in any_fields(),
+        right in any_fields(),
+    ) {
+        let a = encode_fields(&params, &left);
+        let b = encode_fields(&params, &right);
+        let counts = DiceCounts::of(&a, &b).unwrap();
+        let first = dice_match(&counts, params.threshold_millis);
+        for _ in 0..3 {
+            let again = DiceCounts::of(&a, &b).unwrap();
+            prop_assert_eq!(dice_millis(&again), dice_millis(&counts));
+            prop_assert_eq!(dice_match(&again, params.threshold_millis), first);
+        }
+        // The decision agrees with the scaled Dice coefficient.
+        prop_assert_eq!(first, dice_millis(&counts) >= params.threshold_millis);
+        // Identical records always match at any threshold <= 1000 when
+        // the filter is non-empty.
+        let self_counts = DiceCounts::of(&a, &a).unwrap();
+        if a.ones() > 0 {
+            prop_assert_eq!(dice_millis(&self_counts), 1000);
+        }
+    }
+}

@@ -94,6 +94,16 @@ RUN OPTIONS:
   --method M          entropy | tds | datafly | mondrian       [entropy]
   --strategy S        precision | recall | classifier          [precision]
   --paillier BITS     run real Paillier SMC with BITS-bit keys (slow)
+  --backend B         comparator backend: paillier | bloom. Selects the
+                      real wire protocol in-process (same frames as party
+                      mode); `bloom` compares q-gram CLK Bloom filters by
+                      Dice similarity instead of exact Paillier distances
+  --clk-len N         bloom: CLK filter length in bits          [1000]
+  --clk-hashes N      bloom: hash functions per q-gram          [30]
+  --clk-q N           bloom: q-gram width                       [2]
+  --clk-threshold T   bloom: Dice similarity match threshold    [0.8]
+  --clk-epsilon E     bloom: differential-privacy budget ε for
+                      randomized CLK bit flipping (0 = off)     [0]
   --fault-rate R      run the batched wire protocol over a faulty network:
                       drop/corrupt/duplicate/reorder/delay each frame with
                       probability R (implies batched Paillier mode)
@@ -141,6 +151,12 @@ same two files and the same RUN OPTIONS — the handshake rejects drift):
                       as few Paillier ciphertexts as possible (fewer
                       decryptions and bytes per pair); changes the wire
                       format, so every party must agree (fingerprinted)
+  --backend B         paillier | bloom [paillier]; every party must pass
+                      the same value — the handshake refuses a peer whose
+                      announced backend differs (typed mismatch error).
+                      The CLK knobs (--clk-len/--clk-hashes/--clk-q/
+                      --clk-threshold/--clk-epsilon) apply under bloom and
+                      are part of the handshake fingerprint
   Paillier is always batched in party mode ('--paillier BITS' sets the key
   size, default 256); --fault-rate is rejected. --deadline-ms is allowed
   but must be identical on every party (it is part of the handshake
@@ -352,12 +368,62 @@ fn build_config(opts: &Opts) -> Result<LinkageConfig, String> {
     Ok(config)
 }
 
+/// Resolves `--backend` (plus the CLK knobs) into the wire-protocol SMC
+/// mode. All of it is fingerprinted: in the three-process deployment a
+/// party launched with a different backend is refused at the handshake
+/// with a typed backend-mismatch error, and diverging CLK parameters
+/// split the job fingerprint.
+fn backend_mode(opts: &Opts) -> Result<SmcMode, String> {
+    match opts.get("backend").map(String::as_str).unwrap_or("paillier") {
+        "paillier" => Ok(SmcMode::PaillierBatched {
+            modulus_bits: get(opts, "paillier", 256)?,
+            seed: get(opts, "seed", 42)?,
+            pack: opts.contains_key("pack"),
+        }),
+        "bloom" => {
+            if opts.contains_key("pack") {
+                return Err(
+                    "--pack packs Paillier ciphertexts; the bloom backend has none".to_string(),
+                );
+            }
+            let mut params = pprl_bloom::ClkParams::paper_defaults(get(opts, "seed", 42)?);
+            params.filter_len = get(opts, "clk-len", params.filter_len)?;
+            params.hashes = get(opts, "clk-hashes", params.hashes)?;
+            params.q = get(opts, "clk-q", params.q)?;
+            let threshold: f64 = get(opts, "clk-threshold", 0.8)?;
+            if !(0.0..=1.0).contains(&threshold) {
+                return Err(format!("--clk-threshold must be in [0, 1], got {threshold}"));
+            }
+            params.threshold_millis = (threshold * 1000.0).round() as u32;
+            let epsilon: f64 = get(opts, "clk-epsilon", 0.0)?;
+            if !(0.0..=64.0).contains(&epsilon) {
+                return Err(format!("--clk-epsilon must be in [0, 64], got {epsilon}"));
+            }
+            params.epsilon_millis = (epsilon * 1000.0).round() as u32;
+            params.validate().map_err(|e| e.to_string())?;
+            Ok(SmcMode::Bloom { params })
+        }
+        other => Err(format!("unknown backend {other:?} (use paillier or bloom)")),
+    }
+}
+
 fn cmd_run(opts: &Opts) -> Result<(), String> {
     if opts.contains_key("resume") && !opts.contains_key("journal") {
         return Err("--resume requires --journal PATH".to_string());
     }
     let (d1, d2) = load_inputs(opts)?;
-    let config = build_config(opts)?;
+    let mut config = build_config(opts)?;
+    if opts.contains_key("backend") {
+        if opts.contains_key("fault-rate") || opts.contains_key("retries") {
+            return Err(
+                "--backend selects the real wire protocol in-process; \
+                 drop --fault-rate/--retries"
+                    .to_string(),
+            );
+        }
+        config.mode = backend_mode(opts)?;
+        config.channel = None;
+    }
     let threads: usize = get(opts, "threads", pprl_runtime::resolve_threads(None))?;
     if threads == 0 {
         return Err("--threads must be at least 1".to_string());
@@ -413,16 +479,15 @@ fn cmd_party(opts: &Opts) -> Result<(), String> {
     };
     let (d1, d2) = load_inputs(opts)?;
     let mut config = build_config(opts)?;
-    // Party mode always speaks the batched wire protocol over the real
-    // network; the simulated channel stays off. `--deadline-ms` is
-    // allowed and must be identical on every party (it is fingerprinted);
+    // Party mode always speaks a real wire protocol over the real
+    // network; the simulated channel stays off. `--backend` picks which
+    // one (batched Paillier by default, CLK Bloom with `bloom`) and is
+    // announced in the handshake: a peer with a different backend is
+    // refused with a typed mismatch error. `--deadline-ms` is allowed
+    // and must be identical on every party (it is fingerprinted);
     // only the querier's clock is consulted — expiry abandons its
     // remaining pairs and drains the oblivious holders.
-    config.mode = SmcMode::PaillierBatched {
-        modulus_bits: get(opts, "paillier", 256)?,
-        seed: get(opts, "seed", 42)?,
-        pack: opts.contains_key("pack"),
-    };
+    config.mode = backend_mode(opts)?;
     config.channel = None;
 
     let parse_addr = |key: &str| -> Result<Option<std::net::SocketAddr>, String> {
@@ -532,11 +597,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         return Err("serve runs over a real network: --fault-rate is rejected".to_string());
     }
     let mut config = build_config(opts)?;
-    config.mode = SmcMode::PaillierBatched {
-        modulus_bits: get(opts, "paillier", 256)?,
-        seed: get(opts, "seed", 42)?,
-        pack: opts.contains_key("pack"),
-    };
+    config.mode = backend_mode(opts)?;
     config.channel = None;
     let threads: usize = get(opts, "threads", pprl_runtime::resolve_threads(None))?;
     if threads == 0 {

@@ -1,0 +1,308 @@
+//! Backend-parity acceptance suite for the pluggable comparator seam.
+//!
+//! Three bars, one per way the refactor could regress:
+//!
+//! 1. **Paillier behind the trait is the pre-refactor protocol, byte for
+//!    byte** — the seeded 120-record run's report *and* journal must
+//!    hash to the digests pinned from the seed build. Any drift in
+//!    decisions, ledger accounting, or journal frame bytes trips this.
+//! 2. **The Bloom backend survives deployment** — a three-process
+//!    loopback run (with Bob SIGKILLed mid-session and resumed from his
+//!    journal, his querier leg slowed by a delay proxy so the kill lands
+//!    mid-walk) produces the exact report of the in-process run.
+//! 3. **Mismatched backends are refused, not hung** — a holder launched
+//!    with a different `--backend` than the querier exits promptly with
+//!    the typed backend-mismatch error.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// FNV-1a-64 digest of the seeded 120-record Paillier report
+/// (`synth --records 120 --seed 7`, then `run --allowance-pct 2.0
+/// --paillier 256 --threads 1 --fault-rate 0`), pinned from the
+/// pre-refactor build.
+const SEED_REPORT_FNV: u64 = 0x5d41629d50fc0647;
+/// Same run's journal digest (`--journal`, 8239 bytes at the seed).
+const SEED_JOURNAL_FNV: u64 = 0x04c5527f75053da1;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pprl-link")
+}
+
+fn work_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pprl-backend-parity-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn synth(dir: &Path) {
+    let status = Command::new(bin())
+        .args(["synth", "--records", "120", "--seed", "7", "--out"])
+        .arg(dir)
+        .status()
+        .unwrap();
+    assert!(status.success(), "synth failed");
+}
+
+/// Shared RUN OPTIONS; `backend_args` selects the comparator.
+fn common_args(dir: &Path, backend_args: &[&str]) -> Vec<String> {
+    let mut args = vec![
+        "--left".to_string(),
+        dir.join("d1.csv").display().to_string(),
+        "--right".to_string(),
+        dir.join("d2.csv").display().to_string(),
+        "--allowance-pct".to_string(),
+        "2.0".to_string(),
+        "--threads".to_string(),
+        "1".to_string(),
+    ];
+    args.extend(backend_args.iter().map(|s| s.to_string()));
+    args
+}
+
+struct Party {
+    child: Child,
+    stderr: std::sync::mpsc::Receiver<String>,
+}
+
+fn spawn_party(dir: &Path, role: &str, backend_args: &[&str], extra: &[String]) -> Party {
+    let mut child = Command::new(bin())
+        .arg("party")
+        .args(["--role", role])
+        .args(common_args(dir, backend_args))
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let pipe = child.stderr.take().unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(pipe).lines().map_while(Result::ok) {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    Party { child, stderr: rx }
+}
+
+impl Party {
+    fn listen_addr(&mut self) -> String {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while Instant::now() < deadline {
+            match self.stderr.recv_timeout(Duration::from_millis(200)) {
+                Ok(line) => {
+                    if let Some(addr) = line.strip_prefix("pprl-net: ").and_then(|rest| {
+                        rest.split(" listening on ").nth(1).map(str::to_string)
+                    }) {
+                        return addr;
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                Err(_) => break,
+            }
+        }
+        panic!("party never announced a listener");
+    }
+
+    fn finish(mut self) -> String {
+        let status = self.child.wait().unwrap();
+        let mut stdout = String::new();
+        if let Some(mut pipe) = self.child.stdout.take() {
+            use std::io::Read;
+            pipe.read_to_string(&mut stdout).unwrap();
+        }
+        let stderr: Vec<String> = self.stderr.iter().collect();
+        if !status.success() {
+            panic!("party exited with {status}: {}", stderr.join("\n"));
+        }
+        stdout
+    }
+}
+
+/// Bar 1: the Paillier path routed through the `Comparator` trait must
+/// reproduce the pre-refactor seed build byte for byte — report and
+/// journal both.
+#[test]
+fn paillier_behind_the_trait_matches_the_seed_digests() {
+    let dir = work_dir("seed");
+    synth(&dir);
+    let journal = dir.join("run.journal");
+    let out = Command::new(bin())
+        .arg("run")
+        .args(common_args(&dir, &["--paillier", "256", "--fault-rate", "0"]))
+        .args(["--journal", &journal.display().to_string()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "seed run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        fnv1a64(&out.stdout),
+        SEED_REPORT_FNV,
+        "the Paillier report drifted from the pre-refactor seed build:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let journal_bytes = std::fs::read(&journal).unwrap();
+    assert_eq!(
+        fnv1a64(&journal_bytes),
+        SEED_JOURNAL_FNV,
+        "the Paillier journal drifted from the pre-refactor seed build \
+         ({} bytes)",
+        journal_bytes.len()
+    );
+}
+
+/// Bar 2: a three-process Bloom deployment — including a mid-session
+/// SIGKILL of Bob and a journal resume — reports exactly what the
+/// in-process Bloom run reports.
+#[test]
+fn bloom_three_process_sigkill_resume_matches_the_local_run() {
+    let backend: &[&str] = &["--backend", "bloom"];
+    let dir = work_dir("bloom");
+    synth(&dir);
+
+    let reference = {
+        let out = Command::new(bin())
+            .arg("run")
+            .args(common_args(&dir, backend))
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "local bloom run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    let mut query = spawn_party(&dir, "query", backend, &[]);
+    let qaddr = query.listen_addr();
+
+    // A delay proxy on Bob's querier leg stretches the walk so the kill
+    // below lands mid-session (the CLK exchange finishes a 288-pair walk
+    // on raw loopback faster than a poll loop can observe it).
+    let mut proxy = Command::new(bin())
+        .args(["chaosproxy", "--upstream", &qaddr, "--family", "delay", "--seed", "3"])
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let paddr = {
+        let pipe = proxy.stderr.take().unwrap();
+        let mut reader = BufReader::new(pipe);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            assert!(Instant::now() < deadline, "proxy never announced");
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("pprl-chaos: listening on ") {
+                break rest.split_whitespace().next().unwrap().to_string();
+            }
+        }
+    };
+
+    let mut alice = spawn_party(
+        &dir,
+        "alice",
+        backend,
+        &["--connect-querier".into(), qaddr.clone()],
+    );
+    let aaddr = alice.listen_addr();
+
+    let journal = dir.join("bob.pprlj");
+    let bob_args = vec![
+        "--connect-querier".to_string(),
+        paddr,
+        "--connect-alice".to_string(),
+        aaddr.clone(),
+        "--journal".to_string(),
+        journal.display().to_string(),
+        "--no-fsync".to_string(),
+    ];
+    let mut bob = spawn_party(&dir, "bob", backend, &bob_args);
+
+    // SIGKILL Bob once his journal shows real committed pair progress
+    // (full journal is ~36 KB; 1 KB is a few dozen pairs in).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let size = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+        if size > 1_024 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "bob never made journal progress");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    bob.child.kill().unwrap();
+    let _ = bob.child.wait();
+
+    // Resume him straight at the querier (no proxy: the delay did its
+    // job); the peers sit inside their reconnect deadlines.
+    let mut resume_args = bob_args;
+    resume_args[1] = qaddr;
+    resume_args.push("--resume".to_string());
+    let bob2 = spawn_party(&dir, "bob", backend, &resume_args);
+
+    let report = query.finish();
+    alice.finish();
+    bob2.finish();
+    let _ = proxy.kill();
+    let _ = proxy.wait();
+    assert_eq!(
+        report, reference,
+        "a SIGKILLed-and-resumed Bloom deployment must report byte-identically \
+         to the in-process run"
+    );
+}
+
+/// Bar 3: a holder whose `--backend` differs from the querier's is
+/// refused at the Hello handshake with the typed mismatch error — no
+/// silent 30-second reconnect hang.
+#[test]
+fn mismatched_backend_is_refused_with_a_typed_error() {
+    let dir = work_dir("mismatch");
+    synth(&dir);
+
+    let mut query = spawn_party(&dir, "query", &["--backend", "paillier"], &[]);
+    let qaddr = query.listen_addr();
+
+    let out = Command::new(bin())
+        .arg("party")
+        .args(["--role", "alice"])
+        .args(common_args(&dir, &["--backend", "bloom"]))
+        .args(["--connect-querier", &qaddr])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "a mismatched holder must exit nonzero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("comparator backend mismatch"),
+        "expected the typed backend-mismatch error, got:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("bloom") && stderr.contains("paillier"),
+        "the error must name both backends, got:\n{stderr}"
+    );
+
+    query.child.kill().unwrap();
+    let _ = query.child.wait();
+}

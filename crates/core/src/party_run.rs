@@ -47,7 +47,7 @@ use pprl_crypto::protocol::{alice_record_message, bob_record_message};
 use pprl_crypto::CostLedger;
 use pprl_data::DataSet;
 use pprl_journal::{Frame, JournalWriter};
-use pprl_net::{Hello, NetError, NetStats, PeerChannel, ReconnectPolicy, Role, SessionMux};
+use pprl_net::{Backend, Hello, NetError, NetStats, PeerChannel, ReconnectPolicy, Role, SessionMux};
 use pprl_smc::{DeadlineBudget, PairEvent, RemoteParty, SmcError, SmcMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -155,8 +155,37 @@ pub struct PartyOutcome {
     pub live_pairs: u64,
 }
 
+/// The fingerprinted comparator backend, resolved for networked
+/// deployment: which wire protocol the three processes run, plus the
+/// backend-specific knobs each party needs locally.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum WireMode {
+    /// Batched Paillier (§V-A): the shared key-derivation seed and
+    /// whether Bob's replies are slot-packed.
+    Paillier {
+        /// Keypair/encryption-randomness derivation seed.
+        seed: u64,
+        /// Slot-packed replies (fingerprinted; all parties agree).
+        pack: bool,
+    },
+    /// q-gram CLK exchange ([`pprl_bloom`]) with these parameters.
+    Bloom(pprl_bloom::ClkParams),
+}
+
+impl WireMode {
+    /// The backend byte every channel announces in its [`Hello`]; a
+    /// peer launched with a different `--backend` is refused with a
+    /// typed [`NetError::BackendMismatch`] before any payload moves.
+    pub(crate) fn backend(&self) -> Backend {
+        match self {
+            WireMode::Paillier { .. } => Backend::Paillier,
+            WireMode::Bloom(_) => Backend::Bloom,
+        }
+    }
+}
+
 /// Validates the pipeline configuration for networked deployment and
-/// returns the batched-Paillier mode seed.
+/// resolves its [`WireMode`].
 ///
 /// A wall-clock [`DeadlineBudget`] *is* allowed (unlike earlier
 /// revisions): only the querier's clock is consulted, and once it expires
@@ -164,26 +193,23 @@ pub struct PartyOutcome {
 /// oblivious holders — acking their stragglers off-ledger so they finish
 /// their deterministic walks and ship their ledgers home (see
 /// [`PeerChannel::drain_stragglers`]). One clock decides; nobody drifts.
-pub(crate) fn batched_seed(pipeline: &HybridLinkage) -> Result<u64, LinkageError> {
-    batched_mode(pipeline).map(|(seed, _)| seed)
-}
-
-/// As [`batched_seed`], but also returns whether the fingerprinted mode
-/// asks for slot-packed replies (all three parties agree on it or the
-/// handshake rejects them).
-pub(crate) fn batched_mode(pipeline: &HybridLinkage) -> Result<(u64, bool), LinkageError> {
+pub(crate) fn wire_mode(pipeline: &HybridLinkage) -> Result<WireMode, LinkageError> {
     let cfg = pipeline.config();
-    let SmcMode::PaillierBatched { seed, pack, .. } = cfg.mode else {
-        return Err(LinkageError::Net(
-            "party mode requires the batched Paillier wire protocol".into(),
-        ));
+    let mode = match cfg.mode {
+        SmcMode::PaillierBatched { seed, pack, .. } => WireMode::Paillier { seed, pack },
+        SmcMode::Bloom { params } => WireMode::Bloom(params),
+        _ => {
+            return Err(LinkageError::Net(
+                "party mode requires a networked backend: batched Paillier or bloom".into(),
+            ))
+        }
     };
     if cfg.channel.is_some() {
         return Err(LinkageError::Net(
             "party mode uses a real network; drop the simulated channel".into(),
         ));
     }
-    Ok((seed, pack))
+    Ok(mode)
 }
 
 /// Opens (or resumes) a per-party journal; the hello must announce the
@@ -216,16 +242,18 @@ pub fn run_party(
 ) -> Result<PartyOutcome, LinkageError> {
     match opts.role {
         Role::Query => {
+            let wire = wire_mode(pipeline)?;
             let listen = opts.listen.as_deref().unwrap_or("127.0.0.1:0");
             let mux =
                 Arc::new(SessionMux::bind(listen, Some(opts.timeout)).map_err(net_err)?);
+            mux.set_identity(Role::Query, wire.backend());
             announce(&mux, Role::Query);
             let (mut outcome, _writer) = querier_job(pipeline, r, s, opts, mux.clone(), None)?;
             outcome.net.merge(&mux.stats());
             Ok(outcome)
         }
         Role::Alice | Role::Bob => {
-            let (seed, pack) = batched_mode(pipeline)?;
+            let wire = wire_mode(pipeline)?;
             let cfg = pipeline.config();
             check_schemas(r, s)?;
             let rule = cfg.rule(r.schema());
@@ -242,7 +270,7 @@ pub fn run_party(
                 &s_view,
                 pipeline.threads(),
             )?;
-            let session = Session::new(fp, seed, opts);
+            let session = Session::new(fp, wire, opts);
             let runner = pipeline.smc_step().start(
                 r,
                 s,
@@ -253,7 +281,7 @@ pub fn run_party(
                 blocking.total_pairs,
             )?;
             let (ledger, stats, replayed, live) =
-                run_holder(runner, &session, opts, progress, writer, pack)?;
+                run_holder(runner, &session, opts, progress, writer)?;
             Ok(PartyOutcome {
                 outcome: None,
                 ledger,
@@ -282,7 +310,7 @@ pub(crate) fn querier_job(
     mux: Arc<SessionMux>,
     warm: Option<&pprl_crypto::Keypair>,
 ) -> Result<(PartyOutcome, Option<JournalWriter>), LinkageError> {
-    let seed = batched_seed(pipeline)?;
+    let wire = wire_mode(pipeline)?;
     let cfg = pipeline.config();
     check_schemas(r, s)?;
     let rule = cfg.rule(r.schema());
@@ -295,7 +323,7 @@ pub(crate) fn querier_job(
     let s_view = Anonymizer::new(cfg.method_s, cfg.k_s).anonymize(s, &cfg.qids)?;
     let blocking =
         BlockingEngine::new(rule.clone()).run_parallel(&r_view, &s_view, pipeline.threads())?;
-    let session = Session::new(fp, seed, opts);
+    let session = Session::new(fp, wire, opts);
     let step = pipeline.smc_step();
 
     let (outcome, stats, replayed, live, writer) = run_querier(
@@ -319,7 +347,7 @@ pub(crate) fn querier_job(
 /// Connection parameters shared by every channel this party opens.
 struct Session {
     fp: u64,
-    seed: u64,
+    wire: WireMode,
     timeout: Option<Duration>,
     policy: ReconnectPolicy,
     /// Whether a dark peer fails the session (daemon silence watchdog)
@@ -328,10 +356,10 @@ struct Session {
 }
 
 impl Session {
-    fn new(fp: u64, seed: u64, opts: &PartyOptions) -> Self {
+    fn new(fp: u64, wire: WireMode, opts: &PartyOptions) -> Self {
         Session {
             fp,
-            seed,
+            wire,
             timeout: Some(opts.timeout),
             policy: ReconnectPolicy {
                 retry: pprl_crypto::protocol::RetryPolicy::default(),
@@ -347,7 +375,7 @@ impl Session {
     }
 
     fn hello(&self, role: Role, progress: &PartyProgress) -> Hello {
-        let mut hello = Hello::new(role, self.fp);
+        let mut hello = Hello::new(role, self.wire.backend(), self.fp);
         hello.watermark = progress.watermark();
         hello.have_key = progress.key.is_some();
         hello
@@ -647,7 +675,11 @@ fn run_querier(
     }));
     let before_key = runner.ledger().clone();
     runner.connect_remote(Box::new(SharedParty(Arc::clone(&net))))?;
-    if progress.key.is_none() {
+    // The key frame exists for the Paillier broadcast; the CLK exchange
+    // has no session-setup message, so its journal holds pair frames
+    // only — a resumed bloom job must replay to the same bytes a clean
+    // run writes.
+    if progress.key.is_none() && matches!(session.wire, WireMode::Paillier { .. }) {
         let delta = delta_of(runner.ledger(), &before_key)?;
         append(&mut writer, K_PARTY_KEY, &delta.encode())?;
         // The broadcast is on the wire; a crash before this frame is
@@ -655,6 +687,21 @@ fn run_querier(
         if let Some(w) = writer.as_mut() {
             w.sync()?;
         }
+    }
+    // The CLK exchange has no setup broadcast, but both holders dial this
+    // querier eagerly at startup and block on the hello reply — which the
+    // Paillier key send would have produced as a side effect. Answer the
+    // dials explicitly at session open. A *resumed* session skips this:
+    // mid-pipeline holders only re-dial when their own next operation
+    // touches this link (claiming eagerly here would deadlock on Alice,
+    // whose next querier operation is the end-of-run ledger send).
+    if matches!(session.wire, WireMode::Bloom(_)) && progress.pairs.is_empty() {
+        let mut guard = net
+            .lock()
+            .map_err(|_| LinkageError::Net("querier net state poisoned".into()))?;
+        let fresh = &mut *guard;
+        fresh.alice.ensure_connected().map_err(net_err)?;
+        fresh.bob.ensure_connected().map_err(net_err)?;
     }
 
     let mut live = 0u64;
@@ -719,12 +766,11 @@ fn run_querier(
 // ---------------------------------------------------------------------------
 
 fn run_holder(
-    mut runner: pprl_smc::SmcRunner<'_>,
+    runner: pprl_smc::SmcRunner<'_>,
     session: &Session,
     opts: &PartyOptions,
     progress: PartyProgress,
-    mut writer: Option<JournalWriter>,
-    pack: bool,
+    writer: Option<JournalWriter>,
 ) -> Result<(CostLedger, NetStats, u64, u64), LinkageError> {
     let role = opts.role;
     let querier_addr = opts
@@ -734,10 +780,11 @@ fn run_holder(
 
     // Topology: the querier listens for both holders; Alice listens for
     // Bob, so the share messages never transit the querier.
-    let (mut querier, mut data, mux) = match role {
+    let (querier, data, mux) = match role {
         Role::Alice => {
             let listen = opts.listen.as_deref().unwrap_or("127.0.0.1:0");
             let mux = Arc::new(SessionMux::bind(listen, session.timeout).map_err(net_err)?);
+            mux.set_identity(role, session.wire.backend());
             announce(&mux, role);
             let querier = PeerChannel::connect(
                 querier_addr,
@@ -786,6 +833,32 @@ fn run_holder(
         Role::Query => unreachable!("querier handled by run_querier"),
     };
 
+    match session.wire {
+        WireMode::Paillier { seed, pack } => run_holder_paillier(
+            runner, session, opts, progress, writer, querier, data, mux, seed, pack,
+        ),
+        WireMode::Bloom(params) => run_holder_bloom(
+            runner, session, opts, progress, writer, querier, data, mux, params,
+        ),
+    }
+}
+
+/// The batched-Paillier holder: receive the key broadcast, then walk the
+/// pair sequence exchanging ciphertext messages (lockstep or windowed).
+#[allow(clippy::too_many_arguments)]
+fn run_holder_paillier(
+    mut runner: pprl_smc::SmcRunner<'_>,
+    session: &Session,
+    opts: &PartyOptions,
+    progress: PartyProgress,
+    mut writer: Option<JournalWriter>,
+    mut querier: PeerChannel,
+    mut data: PeerChannel,
+    mux: Option<Arc<SessionMux>>,
+    seed: u64,
+    pack: bool,
+) -> Result<(CostLedger, NetStats, u64, u64), LinkageError> {
+    let role = opts.role;
     let mut ledger = progress.restored_ledger();
     let restored_watermark = progress.watermark();
     let replayed = progress.pairs.len() as u64;
@@ -815,7 +888,7 @@ fn run_holder(
 
     // Per-party encryption randomness: ciphertext bytes legitimately
     // differ from the single-process run, sizes and counts cannot.
-    let mut rng = StdRng::seed_from_u64(session.seed ^ (0x9e37_79b9 + role as u64));
+    let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9 + role as u64));
 
     // `window == 1` takes the exact lockstep path below; `window > 1`
     // pipelines: the holder keeps up to `window` pairs in flight to its
@@ -1033,6 +1106,227 @@ fn run_holder(
         stats.merge(&mux.stats());
     }
     Ok((ledger, stats, replayed, live))
+}
+
+/// The CLK holder: no session setup (nothing to broadcast), then the
+/// same walk/journal/ack machinery as Paillier with the ciphertext
+/// exchange replaced by one fixed-width filter message (Alice → Bob) and
+/// one tally message (Bob → querier) per pair. Every CLK pair is
+/// non-trivial, so ordinals run gap-free over the walk.
+///
+/// Ledger parity: Alice records her filter message, Bob records his
+/// tally message plus Alice's ack, the querier records Bob's ack — four
+/// recordings per pair, exactly what the local [`pprl_smc`] bloom
+/// backend mirrors, so the merged report is byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn run_holder_bloom(
+    mut runner: pprl_smc::SmcRunner<'_>,
+    session: &Session,
+    opts: &PartyOptions,
+    progress: PartyProgress,
+    mut writer: Option<JournalWriter>,
+    mut querier: PeerChannel,
+    mut data: PeerChannel,
+    mux: Option<Arc<SessionMux>>,
+    params: pprl_bloom::ClkParams,
+) -> Result<(CostLedger, NetStats, u64, u64), LinkageError> {
+    let role = opts.role;
+    let mut ledger = progress.restored_ledger();
+    let restored_watermark = progress.watermark();
+    let replayed = progress.pairs.len() as u64;
+    let side = if role == Role::Alice {
+        pprl_bloom::SIDE_A
+    } else {
+        pprl_bloom::SIDE_B
+    };
+    let window = opts.window.max(1);
+
+    let mut live = 0u64;
+    let mut ordinal = 0u64;
+    if window == 1 {
+        while let Some(walked) = runner.walk_next_clk(&params, side)? {
+            ordinal += 1;
+            if ordinal <= restored_watermark {
+                continue; // journaled before the crash; costs already restored
+            }
+            let before = ledger.clone();
+            let event = PairEvent {
+                ri: walked.ri,
+                si: walked.si,
+                decision: pprl_smc::PairDecision::NonMatch, // placeholder: holders never learn
+            };
+            match role {
+                Role::Alice => {
+                    let message = pprl_bloom::wire::encode_clk(&walked.clk, walked.flips);
+                    ledger.record_message(message.len());
+                    data.send_data(ordinal, &message).map_err(net_err)?;
+                    let delta = delta_of(&ledger, &before)?;
+                    append(
+                        &mut writer,
+                        K_PARTY_PAIR,
+                        &encode_pair_frame(ordinal, &event, &delta),
+                    )?;
+                }
+                Role::Bob => {
+                    let incoming = data.recv_data().map_err(net_err)?;
+                    if incoming.pair_id != ordinal {
+                        return Err(LinkageError::Net(format!(
+                            "Alice sent pair {} while Bob expected {ordinal}: \
+                             the deterministic walks diverged",
+                            incoming.pair_id
+                        )));
+                    }
+                    let message =
+                        bob_dice_reply(&params, &incoming.payload, &walked, &mut ledger)?;
+                    querier.send_data(ordinal, &message).map_err(net_err)?;
+                    ledger.record_message(ENVELOPE_OVERHEAD);
+                    let delta = delta_of(&ledger, &before)?;
+                    append(
+                        &mut writer,
+                        K_PARTY_PAIR,
+                        &encode_pair_frame(ordinal, &event, &delta),
+                    )?;
+                    data.commit_ack(&incoming);
+                }
+                Role::Query => unreachable!(),
+            }
+            live += 1;
+        }
+    } else {
+        let max_unacked = window - 1;
+        match role {
+            Role::Alice => {
+                let mut pending: VecDeque<(u64, PairEvent, CostLedger)> = VecDeque::new();
+                while let Some(walked) = runner.walk_next_clk(&params, side)? {
+                    ordinal += 1;
+                    if ordinal <= restored_watermark {
+                        continue;
+                    }
+                    let before = ledger.clone();
+                    let message = pprl_bloom::wire::encode_clk(&walked.clk, walked.flips);
+                    ledger.record_message(message.len());
+                    let event = PairEvent {
+                        ri: walked.ri,
+                        si: walked.si,
+                        decision: pprl_smc::PairDecision::NonMatch,
+                    };
+                    let delta = delta_of(&ledger, &before)?;
+                    data.submit_data(ordinal, &message);
+                    pending.push_back((ordinal, event, delta));
+                    data.pump_window(max_unacked).map_err(net_err)?;
+                    commit_acked_alice(&mut data, &mut pending, &mut writer)?;
+                    live += 1;
+                }
+                data.flush_window().map_err(net_err)?;
+                commit_acked_alice(&mut data, &mut pending, &mut writer)?;
+                if !pending.is_empty() {
+                    return Err(LinkageError::Net(format!(
+                        "{} pairs left unacknowledged after the window flush",
+                        pending.len()
+                    )));
+                }
+            }
+            Role::Bob => {
+                let mut pending: VecDeque<PendingBobCommit> = VecDeque::new();
+                while let Some(walked) = runner.walk_next_clk(&params, side)? {
+                    ordinal += 1;
+                    if ordinal <= restored_watermark {
+                        continue;
+                    }
+                    let before = ledger.clone();
+                    // Slice the wait as in the Paillier path: a quiet
+                    // Alice can mean *our* querier leg died (see the
+                    // deadlock note there).
+                    let incoming = {
+                        let wait = std::time::Instant::now();
+                        loop {
+                            if let Some(incoming) = data.try_recv_data().map_err(net_err)? {
+                                break incoming;
+                            }
+                            querier.probe_window().map_err(net_err)?;
+                            commit_acked_bob(&mut querier, &mut data, &mut pending, &mut writer)?;
+                            if wait.elapsed() >= session.policy.deadline {
+                                return Err(net_err(NetError::PeerGone(format!(
+                                    "no data from alice within {:?}",
+                                    session.policy.deadline
+                                ))));
+                            }
+                        }
+                    };
+                    if incoming.pair_id != ordinal {
+                        return Err(LinkageError::Net(format!(
+                            "Alice sent pair {} while Bob expected {ordinal}: \
+                             the deterministic walks diverged",
+                            incoming.pair_id
+                        )));
+                    }
+                    let message =
+                        bob_dice_reply(&params, &incoming.payload, &walked, &mut ledger)?;
+                    querier.submit_data(ordinal, &message);
+                    ledger.record_message(ENVELOPE_OVERHEAD);
+                    let event = PairEvent {
+                        ri: walked.ri,
+                        si: walked.si,
+                        decision: pprl_smc::PairDecision::NonMatch,
+                    };
+                    let delta = delta_of(&ledger, &before)?;
+                    pending.push_back(PendingBobCommit {
+                        ordinal,
+                        incoming,
+                        event,
+                        delta,
+                    });
+                    querier.pump_window(max_unacked).map_err(net_err)?;
+                    commit_acked_bob(&mut querier, &mut data, &mut pending, &mut writer)?;
+                    live += 1;
+                }
+                querier.flush_window().map_err(net_err)?;
+                commit_acked_bob(&mut querier, &mut data, &mut pending, &mut writer)?;
+                if !pending.is_empty() {
+                    return Err(LinkageError::Net(format!(
+                        "{} pairs left unacknowledged after the window flush",
+                        pending.len()
+                    )));
+                }
+            }
+            Role::Query => unreachable!(),
+        }
+    }
+    if let Some(w) = writer.as_mut() {
+        w.sync()?;
+    }
+
+    querier.send_ledger(&ledger).map_err(net_err)?;
+
+    let mut stats = querier.stats;
+    stats.merge(&data.stats);
+    if let Some(mux) = &mux {
+        stats.merge(&mux.stats());
+    }
+    Ok((ledger, stats, replayed, live))
+}
+
+/// Bob's CLK reply for one pair: decode Alice's filter, tally Dice
+/// counts against his own, and ship the tallies (never his filter) to
+/// the querier with the combined DP flip count.
+fn bob_dice_reply(
+    params: &pprl_bloom::ClkParams,
+    alice_payload: &[u8],
+    walked: &pprl_smc::WalkedClk,
+    ledger: &mut CostLedger,
+) -> Result<Vec<u8>, LinkageError> {
+    let (a_clk, a_flips) = pprl_bloom::wire::decode_clk(alice_payload, params.filter_len)
+        .map_err(|e| LinkageError::Net(format!("Alice's CLK message rejected: {e}")))?;
+    let counts = pprl_bloom::DiceCounts::of(&a_clk, &walked.clk)
+        .ok_or_else(|| LinkageError::Net("clk filter lengths diverged".into()))?;
+    let message = pprl_bloom::wire::encode_dice(&pprl_bloom::wire::DiceMsg {
+        a_ones: counts.a_ones,
+        b_ones: counts.b_ones,
+        common: counts.common,
+        flips: a_flips.saturating_add(walked.flips),
+    });
+    ledger.record_message(message.len());
+    Ok(message)
 }
 
 /// Bob's reply for one pair: scalar or slot-packed, per the fingerprinted

@@ -56,7 +56,9 @@ impl LinkageOutcome {
     /// Enumerates the linkage *result*: every record-row pair `(row in R,
     /// row in S)` declared matching — blocking-step matches (expanded from
     /// class pairs) followed by SMC-step matches. Under the default
-    /// maximize-precision strategy every yielded pair is a true match.
+    /// maximize-precision strategy with an exact backend every yielded
+    /// pair is a true match; the approximate Bloom backend can yield
+    /// false positives (see `LinkageMetrics::true_positives`).
     pub fn matched_rows(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         let from_blocking = self.blocking.matched.iter().flat_map(move |pref| {
             let rc = &self.r_view.classes()[pref.r_class as usize];
@@ -155,7 +157,7 @@ impl HybridLinkage {
         let seed = match cfg.mode {
             pprl_smc::SmcMode::Paillier { seed, .. }
             | pprl_smc::SmcMode::PaillierBatched { seed, .. } => seed,
-            pprl_smc::SmcMode::Oracle => return,
+            pprl_smc::SmcMode::Oracle | pprl_smc::SmcMode::Bloom { .. } => return,
         };
         let unknown_total: u64 = blocking.unknown.iter().map(|p| p.pairs).sum();
         let budget = cfg
@@ -249,6 +251,27 @@ impl HybridLinkage {
     ) -> LinkageMetrics {
         let cfg = &self.config;
         let smc_matched = smc.matched_pairs.len() as u64;
+        // Exact backends decide by the matching rule itself, so every SMC
+        // match is a true positive by construction (the paper's 100 %
+        // precision guarantee). An approximate backend (Dice over CLK
+        // filters) can declare false positives; score its matches against
+        // the rule so the reported precision is honest.
+        let smc_tp = if cfg.mode.is_exact() {
+            smc_matched
+        } else {
+            smc.matched_pairs
+                .iter()
+                .filter(|&&(ri, si)| {
+                    pprl_blocking::records_match(
+                        r.schema(),
+                        &cfg.qids,
+                        rule,
+                        &r.records()[ri as usize],
+                        &s.records()[si as usize],
+                    )
+                })
+                .count() as u64
+        };
 
         // Pairs the transport abandoned and the strategy declared matching
         // (maximize-recall only; maximize-precision abandons to non-match,
@@ -306,7 +329,7 @@ impl HybridLinkage {
                 + smc_matched
                 + leftover_declared
                 + degraded_declared,
-            true_positives: blocking.matched_pairs + smc_matched + leftover_tp + degraded_tp,
+            true_positives: blocking.matched_pairs + smc_tp + leftover_tp + degraded_tp,
             blocking_efficiency: blocking.efficiency(),
             blocking_matched: blocking.matched_pairs,
             smc_matched,

@@ -52,13 +52,13 @@
 
 use crate::journal_run::{self, JournalOptions};
 use crate::party_run::{
-    announce, batched_seed, parse_party_frames, querier_job, PartyOptions, PartyOutcome,
+    announce, parse_party_frames, querier_job, wire_mode, PartyOptions, PartyOutcome,
     K_PARTY_DONE,
 };
 use crate::{HybridLinkage, LinkageError};
 use pprl_crypto::Keypair;
 use pprl_data::DataSet;
-use pprl_net::{Admission, AdmissionGate, MuxLimits, NetStats, Role, SessionMux};
+use pprl_net::{Admission, AdmissionGate, Backend, MuxLimits, NetStats, Role, SessionMux};
 use pprl_smc::SmcMode;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -257,15 +257,25 @@ fn render_metrics(slots: &[JobSlot], jobs: &[ServeJob], listener: &NetStats) -> 
                 let pairs = outcome.live_pairs + outcome.replayed_pairs;
                 let rate = if secs > 0.0 { outcome.live_pairs as f64 / secs } else { 0.0 };
                 let net = &outcome.net;
+                let comp = outcome
+                    .outcome
+                    .as_ref()
+                    .map(|o| o.smc.comparator)
+                    .unwrap_or_default();
                 let _ = write!(
                     out,
                     " status=finished elapsed_s={secs:.3} pairs={pairs} \
                      live_pairs={} replayed_pairs={} pairs_per_sec={rate:.1} \
+                     backend={} pairs_compared={} clk_bits={} dp_flips={} \
                      bytes_sent={} bytes_received={} frames_sent={} \
                      frames_received={} retransmits={} reconnects={} \
                      batches_sent={} batched_envelopes={} max_window={}",
                     outcome.live_pairs,
                     outcome.replayed_pairs,
+                    comp.backend,
+                    comp.pairs_compared,
+                    comp.clk_bits_exchanged,
+                    comp.dp_flips,
                     net.bytes_sent,
                     net.bytes_received,
                     net.frames_sent,
@@ -425,20 +435,33 @@ pub fn serve(
     let mut params = Vec::with_capacity(jobs.len());
     let mut gate_states: HashMap<u64, GateState> = HashMap::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut backend: Option<Backend> = None;
     for (i, job) in jobs.iter().enumerate() {
         check_name(&job.name)?;
-        batched_seed(&job.pipeline)?; // fail fast on a misconfigured job
-        let SmcMode::PaillierBatched {
-            modulus_bits, seed, ..
-        } = job.pipeline.config().mode
-        else {
-            // batched_seed just admitted the mode; keep the path typed anyway.
-            return Err(LinkageError::Net(format!(
-                "job {:?}: daemon jobs require SmcMode::PaillierBatched",
-                job.name
-            )));
-        };
-        params.push((modulus_bits, seed));
+        let wire = wire_mode(&job.pipeline)?; // fail fast on a misconfigured job
+        // One daemon announces one comparator backend in its handshakes
+        // (the listener refuses mismatched dialers before routing), so a
+        // mixed fleet must be split across daemons.
+        match backend {
+            None => backend = Some(wire.backend()),
+            Some(b) if b != wire.backend() => {
+                return Err(LinkageError::Net(format!(
+                    "job {:?} runs the {} backend but this daemon already \
+                     admitted a {b} job; serve one backend per daemon",
+                    job.name,
+                    wire.backend(),
+                )))
+            }
+            Some(_) => {}
+        }
+        // Warm keypairs apply to Paillier jobs only; a CLK job has no
+        // session crypto to pre-compute.
+        params.push(match job.pipeline.config().mode {
+            SmcMode::PaillierBatched {
+                modulus_bits, seed, ..
+            } => Some((modulus_bits, seed)),
+            _ => None,
+        });
         let fp = journal_run::fingerprint(
             &job.pipeline,
             &job.left,
@@ -522,6 +545,9 @@ pub fn serve(
         SessionMux::bind_supervised(&opts.listen, Some(opts.timeout), Some(gate), limits)
             .map_err(|e| LinkageError::Net(e.to_string()))?,
     );
+    if let Some(b) = backend {
+        mux.set_identity(Role::Query, b);
+    }
     announce(&mux, Role::Query);
 
     let set_state = |fp: u64, state: GateState| {
@@ -557,13 +583,13 @@ pub fn serve(
         loop {
             while active < opts.max_jobs && !drain.load(Ordering::SeqCst) {
                 let Some(i) = queue.pop_front() else { break };
-                let (Some(job), Some(slot), Some(&(bits, seed))) =
+                let (Some(job), Some(slot), Some(&warm_params)) =
                     (jobs.get(i), slots.get_mut(i), params.get(i))
                 else {
                     break; // the queue only ever holds indices it was built from
                 };
                 slot.started = Some(std::time::Instant::now());
-                let keys = warm_keys(bits, seed);
+                let keys = warm_params.map(|(bits, seed)| warm_keys(bits, seed));
                 let mut popts = PartyOptions::new(Role::Query);
                 popts.journal = Some(slot.journal.clone());
                 popts.resume = slot.journal.exists();
@@ -586,7 +612,7 @@ pub fn serve(
                             &job.right,
                             &popts,
                             mux,
-                            Some(&keys),
+                            keys.as_deref(),
                         )
                     }));
                     let sealed = match attempt {

@@ -41,7 +41,7 @@ pub use batch::{decode_batch, encode_batch, BATCH_MIN_LEN};
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
 pub use commit::CommitSet;
 pub use frame::{encode_frame, FrameDecoder, FRAME_OVERHEAD, MAX_FRAME_LEN};
-pub use hello::{Busy, Hello, Role, NET_VERSION};
+pub use hello::{Backend, Busy, Hello, Role, NET_VERSION};
 pub use mux::{Admission, AdmissionGate, MuxLimits, SessionMux};
 pub use peer::{IncomingData, PeerChannel, ReconnectPolicy};
 pub use state::{Phase, ProtocolState};
@@ -62,6 +62,17 @@ pub enum NetError {
     Frame(String),
     /// Handshake refused (version/role/fingerprint mismatch).
     Handshake(String),
+    /// Handshake refused because the parties are configured for
+    /// different comparator backends — a typed variant (rather than a
+    /// `Handshake` string) so operators and tests can distinguish "you
+    /// launched `--backend bloom` against a paillier party" from generic
+    /// config drift. Fatal: reconnecting cannot fix a configuration.
+    BackendMismatch {
+        /// The backend this side runs.
+        ours: hello::Backend,
+        /// The backend the peer announced.
+        peer: hello::Backend,
+    },
     /// The peer stayed unreachable past the reconnect policy's deadline.
     PeerGone(String),
     /// The listener knows the job but cannot admit it yet (concurrency
@@ -88,6 +99,12 @@ impl std::fmt::Display for NetError {
             NetError::Timeout => write!(f, "read timed out"),
             NetError::Frame(why) => write!(f, "frame error: {why}"),
             NetError::Handshake(why) => write!(f, "handshake refused: {why}"),
+            NetError::BackendMismatch { ours, peer } => write!(
+                f,
+                "comparator backend mismatch: this party runs the {ours} backend, \
+                 peer announced {peer}; all three parties must be launched with \
+                 the same --backend"
+            ),
             NetError::PeerGone(why) => write!(f, "peer unreachable: {why}"),
             NetError::Busy(ms) => write!(f, "peer busy, retry in {ms} ms"),
             NetError::Protocol(why) => write!(f, "protocol violation: {why}"),

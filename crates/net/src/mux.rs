@@ -10,7 +10,7 @@
 //! matter the order connections arrive in.
 
 use crate::frame::{K_BUSY, K_HELLO};
-use crate::hello::{Busy, Hello, Role};
+use crate::hello::{Backend, Busy, Hello, Role};
 use crate::state::ProtocolState;
 use crate::stream::FramedStream;
 use crate::trace::net_trace;
@@ -193,6 +193,14 @@ struct MuxShared {
     limits: MuxLimits,
     /// Connections currently inside their handshake (greeter threads).
     greeting: AtomicUsize,
+    /// This listener's own role and comparator backend, when declared
+    /// ([`SessionMux::set_identity`]). A dialer announcing a different
+    /// backend is refused *in the greeter* with a reply hello carrying
+    /// our identity: without this, a backend split also splits the job
+    /// fingerprint, the connection parks in a mailbox no worker ever
+    /// claims, and both sides time out with an unexplained `PeerGone`
+    /// instead of the typed [`NetError::BackendMismatch`].
+    identity: Mutex<Option<(Role, Backend)>>,
 }
 
 /// A shared listener routing handshaken connections to session workers.
@@ -243,6 +251,7 @@ impl SessionMux {
             gate,
             limits,
             greeting: AtomicUsize::new(0),
+            identity: Mutex::new(None),
         });
         let worker = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -258,6 +267,18 @@ impl SessionMux {
     /// The bound address (with the kernel-assigned port resolved).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Declares this listener's role and comparator backend, arming the
+    /// greeter-side backend check: a dialer announcing a different
+    /// backend gets an immediate reply hello carrying this identity (so
+    /// *its* `verify` surfaces the typed [`NetError::BackendMismatch`])
+    /// and is never parked. Without a declared identity every backend is
+    /// parked as-is (mux unit tests; callers that verify in the worker).
+    pub fn set_identity(&self, role: Role, backend: Backend) {
+        if let Ok(mut id) = self.shared.identity.lock() {
+            *id = Some((role, backend));
+        }
     }
 
     /// Wire accounting for the handshakes the accept loop performed.
@@ -434,6 +455,32 @@ fn greet(socket: TcpStream, shared: &MuxShared) {
     // A connection that never identified itself is simply dropped;
     // legitimate peers re-dial and try again.
     let Ok((stream, hello)) = hello else { return };
+    let identity = shared.identity.lock().ok().and_then(|id| *id);
+    if let Some((role, backend)) = identity {
+        if hello.backend != backend {
+            // Typed refusal: reply with our own identity (echoing the
+            // dialer's fingerprint so the *backend* check is what fires
+            // on its side) and drop the connection. The dialer's
+            // `verify` turns this into `NetError::BackendMismatch`,
+            // which its reconnect loop treats as fatal.
+            net_trace!(
+                "mux refuse {} for {:016x}: peer backend {} != ours {}",
+                hello.role, hello.fingerprint, hello.backend, backend
+            );
+            let mut stream = stream;
+            let mut stats = NetStats::default();
+            stats.refused += 1;
+            let _ = stream.send(
+                K_HELLO,
+                &Hello::new(role, backend, hello.fingerprint).encode(),
+                &mut stats,
+            );
+            if let Ok(mut total) = shared.stats.lock() {
+                total.merge(&stats);
+            }
+            return;
+        }
+    }
     let verdict = match &shared.gate {
         Some(gate) => gate(&hello),
         None => Admission::Accept,
@@ -502,8 +549,8 @@ mod tests {
     fn routes_by_fingerprint_and_role() {
         let mux = SessionMux::bind("127.0.0.1:0", Some(Duration::from_secs(5))).unwrap();
         let addr = mux.local_addr();
-        let mut a = dial_with_hello(addr, Hello::new(Role::Alice, 10));
-        let mut b = dial_with_hello(addr, Hello::new(Role::Bob, 10));
+        let mut a = dial_with_hello(addr, Hello::new(Role::Alice, Backend::Paillier, 10));
+        let mut b = dial_with_hello(addr, Hello::new(Role::Bob, Backend::Paillier, 10));
         // Ask for Bob first even though Alice dialed first.
         let (_, hb) = mux
             .wait_conn(10, Role::Bob, Duration::from_secs(5))
@@ -525,8 +572,8 @@ mod tests {
         // The dialer gives up on its first attempt (no reply in time) and
         // redials; the mailbox must hold only the fresh stream, not a
         // growing backlog of abandoned ones.
-        let _stale = dial_with_hello(addr, Hello::new(Role::Alice, 7));
-        let mut fresh = dial_with_hello(addr, Hello::new(Role::Alice, 7));
+        let _stale = dial_with_hello(addr, Hello::new(Role::Alice, Backend::Paillier, 7));
+        let mut fresh = dial_with_hello(addr, Hello::new(Role::Alice, Backend::Paillier, 7));
         let mut stats = NetStats::default();
         fresh.send(K_DATA, b"fresh", &mut stats).unwrap();
         // Let the accept loop route both dials before claiming.
@@ -552,7 +599,7 @@ mod tests {
         // Dial all sessions before any worker claims one.
         let _dialers: Vec<FramedStream> = fingerprints
             .iter()
-            .map(|&fp| dial_with_hello(addr, Hello::new(Role::Alice, fp)))
+            .map(|&fp| dial_with_hello(addr, Hello::new(Role::Alice, Backend::Paillier, fp)))
             .collect();
         // Workers on pprl-runtime threads each wait for their own session.
         let got = pprl_runtime::par_map(&fingerprints, 4, |_, &fp| {
@@ -589,12 +636,12 @@ mod tests {
         };
         let mux2 = Arc::clone(&mux);
         let acceptor = std::thread::spawn(move || {
-            PeerChannel::accept(mux2, Hello::new(Role::Bob, 5), Role::Alice, timeout, policy)
+            PeerChannel::accept(mux2, Hello::new(Role::Bob, Backend::Paillier, 5), Role::Alice, timeout, policy)
                 .unwrap()
         });
         let dialer = PeerChannel::connect(
             addr,
-            Hello::new(Role::Alice, 5),
+            Hello::new(Role::Alice, Backend::Paillier, 5),
             Role::Bob,
             timeout,
             policy,
@@ -619,7 +666,7 @@ mod tests {
         };
         let err = match PeerChannel::connect(
             mux.local_addr(),
-            Hello::new(Role::Alice, 9),
+            Hello::new(Role::Alice, Backend::Paillier, 9),
             Role::Bob,
             timeout,
             policy,
@@ -652,7 +699,7 @@ mod tests {
         let addr = mux.local_addr();
         let _silent: Vec<TcpStream> = (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
         let started = Instant::now();
-        let _honest = dial_with_hello(addr, Hello::new(Role::Alice, 42));
+        let _honest = dial_with_hello(addr, Hello::new(Role::Alice, Backend::Paillier, 42));
         let (_, hello) = mux
             .wait_conn(42, Role::Alice, Duration::from_secs(2))
             .unwrap();
@@ -710,7 +757,7 @@ mod tests {
         )
         .unwrap();
         let addr = mux.local_addr();
-        let _stream = dial_with_hello(addr, Hello::new(Role::Bob, 77));
+        let _stream = dial_with_hello(addr, Hello::new(Role::Bob, Backend::Paillier, 77));
         // Nobody claims it; the reaper must discard it after the idle
         // timeout (sweeps run every 250 ms).
         std::thread::sleep(Duration::from_millis(700));
@@ -732,7 +779,7 @@ mod tests {
             .write_all(&crate::frame::encode_frame(K_DATA, &[0u8; 64]))
             .unwrap();
         // An honest dialer right behind it is unaffected.
-        let _honest = dial_with_hello(addr, Hello::new(Role::Alice, 11));
+        let _honest = dial_with_hello(addr, Hello::new(Role::Alice, Backend::Paillier, 11));
         let (_, hello) = mux
             .wait_conn(11, Role::Alice, Duration::from_secs(2))
             .unwrap();

@@ -264,6 +264,20 @@ impl PeerChannel {
         }
     }
 
+    /// Establishes (or claims) a connection now, blocking under the
+    /// reconnect-policy deadline, without moving any data. The batched
+    /// Paillier session completes the holders' startup dials as a side
+    /// effect of the key broadcast; a backend with no setup message (the
+    /// CLK exchange) calls this instead so eagerly-dialing peers get
+    /// their hello reply at session open rather than at this channel's
+    /// first data operation.
+    pub fn ensure_connected(&mut self) -> Result<(), NetError> {
+        if self.conn.is_none() {
+            self.regain(Instant::now())?;
+        }
+        Ok(())
+    }
+
     /// The peer's most recent announcement.
     pub fn peer_hello(&self) -> Option<Hello> {
         self.peer_hello
@@ -310,7 +324,7 @@ impl PeerChannel {
                     )));
                 }
                 let hello = Hello::decode(&payload)?;
-                hello.verify(self.expect_role, self.local.fingerprint)?;
+                hello.verify(self.expect_role, self.local.backend, self.local.fingerprint)?;
                 net_trace!(
                     "{} dial {}: handshake done (peer wm={} key={})",
                     self.local.role, self.expect_role, hello.watermark, hello.have_key
@@ -325,7 +339,7 @@ impl PeerChannel {
                     self.expect_role,
                     self.policy.deadline,
                 )?;
-                hello.verify(self.expect_role, self.local.fingerprint)?;
+                hello.verify(self.expect_role, self.local.backend, self.local.fingerprint)?;
                 stream.send(K_HELLO, &self.local.encode(), &mut self.stats)?;
                 net_trace!(
                     "{} accept {}: claimed + replied (peer wm={} key={})",
@@ -388,6 +402,9 @@ impl PeerChannel {
             let pause_ms = match self.establish(start) {
                 Ok(()) => return Ok(()),
                 Err(NetError::PeerGone(why)) => return Err(NetError::PeerGone(why)),
+                // A backend split is a configuration error on one side;
+                // no amount of re-dialing fixes a launch flag. Fatal.
+                Err(e @ NetError::BackendMismatch { .. }) => return Err(e),
                 Err(NetError::Busy(retry_after_ms)) => {
                     self.stats.busy += 1;
                     retry_after_ms
@@ -1242,6 +1259,7 @@ impl PeerChannel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hello::Backend;
 
     fn link(
         timeout_ms: u64,
@@ -1260,12 +1278,12 @@ mod tests {
         let addr = mux.local_addr();
         let mux2 = Arc::clone(&mux);
         let acceptor = std::thread::spawn(move || {
-            PeerChannel::accept(mux2, Hello::new(Role::Bob, 77), Role::Alice, timeout, policy)
+            PeerChannel::accept(mux2, Hello::new(Role::Bob, Backend::Paillier, 77), Role::Alice, timeout, policy)
                 .unwrap()
         });
         let dialer = PeerChannel::connect(
             addr,
-            Hello::new(Role::Alice, 77),
+            Hello::new(Role::Alice, Backend::Paillier, 77),
             Role::Bob,
             timeout,
             policy,
@@ -1336,7 +1354,7 @@ mod tests {
         let acceptor = std::thread::spawn(move || {
             let mut bob = PeerChannel::accept(
                 Arc::clone(&mux2),
-                Hello::new(Role::Bob, 9),
+                Hello::new(Role::Bob, Backend::Paillier, 9),
                 Role::Alice,
                 timeout,
                 policy,
@@ -1349,7 +1367,7 @@ mod tests {
             // connection and come back with the watermark in the hello.
             let watermark = bob.watermark();
             drop(bob);
-            let mut resumed_hello = Hello::new(Role::Bob, 9);
+            let mut resumed_hello = Hello::new(Role::Bob, Backend::Paillier, 9);
             resumed_hello.watermark = watermark;
             resumed_hello.have_key = true;
             let mut bob = PeerChannel::accept(
@@ -1367,7 +1385,7 @@ mod tests {
         });
         let mut alice = PeerChannel::connect(
             addr,
-            Hello::new(Role::Alice, 9),
+            Hello::new(Role::Alice, Backend::Paillier, 9),
             Role::Bob,
             timeout,
             policy,
@@ -1394,7 +1412,7 @@ mod tests {
         // receiver must treat it as a protocol violation, drop only this
         // connection, and pick the pair up over the reconnect.
         let mut stats = NetStats::default();
-        let rogue = Hello::new(Role::Alice, 77).encode();
+        let rogue = Hello::new(Role::Alice, Backend::Paillier, 77).encode();
         alice
             .conn
             .as_mut()
@@ -1527,7 +1545,7 @@ mod tests {
         let acceptor = std::thread::spawn(move || {
             let mut bob = PeerChannel::accept(
                 Arc::clone(&mux2),
-                Hello::new(Role::Bob, 31),
+                Hello::new(Role::Bob, Backend::Paillier, 31),
                 Role::Alice,
                 timeout,
                 policy,
@@ -1541,7 +1559,7 @@ mod tests {
             // Crash after committing pairs 1–2; resume from the watermark.
             let watermark = bob.watermark();
             drop(bob);
-            let mut resumed = Hello::new(Role::Bob, 31);
+            let mut resumed = Hello::new(Role::Bob, Backend::Paillier, 31);
             resumed.watermark = watermark;
             resumed.have_key = true;
             let mut bob = PeerChannel::accept(
@@ -1561,7 +1579,7 @@ mod tests {
         });
         let mut alice = PeerChannel::connect(
             addr,
-            Hello::new(Role::Alice, 31),
+            Hello::new(Role::Alice, Backend::Paillier, 31),
             Role::Bob,
             timeout,
             policy,

@@ -6,7 +6,7 @@
 
 use pprl_crypto::protocol::RetryPolicy;
 use pprl_crypto::CostLedger;
-use pprl_net::{ChaosConfig, ChaosProxy, Hello, PeerChannel, ReconnectPolicy, Role, SessionMux};
+use pprl_net::{Backend, ChaosConfig, ChaosProxy, Hello, PeerChannel, ReconnectPolicy, Role, SessionMux};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -36,7 +36,7 @@ fn partition_mid_stream_heals_with_ledger_parity() {
     let receiver = std::thread::spawn(move || {
         let mut bob = PeerChannel::accept(
             mux2,
-            Hello::new(Role::Bob, FP),
+            Hello::new(Role::Bob, Backend::Paillier, FP),
             Role::Alice,
             timeout,
             policy(),
@@ -57,7 +57,7 @@ fn partition_mid_stream_heals_with_ledger_parity() {
 
     let mut alice = PeerChannel::connect(
         chaos_addr,
-        Hello::new(Role::Alice, FP),
+        Hello::new(Role::Alice, Backend::Paillier, FP),
         Role::Bob,
         timeout,
         policy(),

@@ -6,7 +6,7 @@
 //! one layer down the stack.
 
 use pprl_net::frame::{encode_frame, FrameDecoder, K_DATA_BATCH, K_HELLO, FRAME_OVERHEAD, MAX_FRAME_LEN};
-use pprl_net::hello::{Busy, Hello, Role, BUSY_LEN, HELLO_LEN, NET_VERSION};
+use pprl_net::hello::{Backend, Busy, Hello, Role, BUSY_LEN, HELLO_LEN, NET_VERSION};
 use proptest::prelude::*;
 
 /// A valid frame: a *known* kind byte (the decoder rejects unknown kinds
@@ -25,17 +25,21 @@ fn any_hello() -> impl Strategy<Value = Hello> {
             1 => Role::Bob,
             _ => Role::Query,
         }),
+        any::<bool>().prop_map(|b| if b { Backend::Bloom } else { Backend::Paillier }),
         any::<u64>(),
         any::<u64>(),
         any::<bool>(),
     )
-        .prop_map(|(version, role, fingerprint, watermark, have_key)| Hello {
-            version,
-            role,
-            fingerprint,
-            watermark,
-            have_key,
-        })
+        .prop_map(
+            |(version, role, backend, fingerprint, watermark, have_key)| Hello {
+                version,
+                role,
+                backend,
+                fingerprint,
+                watermark,
+                have_key,
+            },
+        )
 }
 
 proptest! {
@@ -195,7 +199,7 @@ proptest! {
             Ok(decoded) => {
                 // Any valid role byte that is *not* the expected role must
                 // fail verification; the expected role must roundtrip.
-                let check = decoded.verify(hello.role, decoded.fingerprint);
+                let check = decoded.verify(hello.role, decoded.backend, decoded.fingerprint);
                 if decoded.role == hello.role && decoded.version == NET_VERSION {
                     prop_assert!(check.is_ok());
                 } else {
@@ -213,7 +217,7 @@ proptest! {
         let mutated = Hello { version, ..hello };
         let decoded = Hello::decode(&mutated.encode()).expect("well-formed bytes decode");
         prop_assert_eq!(decoded, mutated);
-        let check = decoded.verify(hello.role, hello.fingerprint);
+        let check = decoded.verify(hello.role, hello.backend, hello.fingerprint);
         if version == NET_VERSION {
             prop_assert!(check.is_ok());
         } else {

@@ -35,37 +35,23 @@
 //!   compared, and degrade through the same [`LabelingStrategy`] path.
 
 use crate::allowance::SmcAllowance;
+use crate::comparator::{self, Comparator, CompareCtx, ComparatorStats};
 use crate::deadline::{DeadlineBudget, DeadlineClock};
 use crate::heuristics::{order_unknown, SelectionHeuristic};
 use crate::strategy::LabelingStrategy;
 use crate::SmcError;
 use pprl_anon::AnonymizedView;
-use pprl_blocking::{records_match, AttrDistance, ClassPairRef, MatchingRule};
+use pprl_blocking::{AttrDistance, ClassPairRef, MatchingRule};
 use pprl_crypto::paillier::Keypair;
-use pprl_crypto::protocol::message::ProtocolMessage;
-use pprl_crypto::protocol::retry::{ReliableLink, RetryPolicy};
-use pprl_crypto::protocol::transport::{
-    FaultConfig, FaultStats, FaultyTransport, LocalTransport, PartyId, TransportError,
-};
-use pprl_crypto::protocol::{secure_threshold_match, DataHolder};
+use pprl_crypto::protocol::retry::RetryPolicy;
+use pprl_crypto::protocol::transport::{FaultConfig, FaultStats};
 use pprl_crypto::CostLedger;
 use pprl_data::{DataSet, Value};
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Fixed-point scale for continuous values entering the integer-only
 /// Paillier protocol (documented quantization: 1/1000 of a unit).
 const NUM_SCALE: f64 = 1000.0;
-
-/// Pair id reserved for the public-key broadcast.
-const KEY_BROADCAST_PAIR_ID: u64 = 0;
-
-/// Minimum retry budget for the key broadcast. Losing the broadcast kills
-/// the whole session (no shared key ⇒ no degraded continuation), while a
-/// lost record pair merely degrades recall — so session setup is allowed a
-/// more generous budget than individual pairs.
-const KEY_BROADCAST_MIN_RETRIES: u32 = 16;
 
 /// How unknown pairs are actually compared.
 #[derive(Clone, Copy, Debug)]
@@ -98,6 +84,47 @@ pub enum SmcMode {
         /// provably identical to the unpacked exchange.
         pack: bool,
     },
+    /// q-gram CLK Bloom-filter matching ([`pprl_bloom`]): records are
+    /// encoded as bit filters, compared by Dice coefficient against a
+    /// match threshold, optionally hardened with ε-budgeted DP bit
+    /// flipping. Approximate (threshold-tunable recall/precision) but
+    /// orders of magnitude faster than the Paillier exchange; no key
+    /// material, so networked sessions skip the key broadcast entirely.
+    Bloom {
+        /// Filter geometry, q-gram size, Dice threshold, DP budget, and
+        /// the hash-family seed — all fingerprinted, so mismatched
+        /// parties refuse each other at the Hello handshake.
+        params: pprl_bloom::ClkParams,
+    },
+}
+
+impl SmcMode {
+    /// Wire code of the comparator backend family, exchanged in the
+    /// Hello handshake so mismatched parties refuse with a typed error
+    /// before fingerprints are even compared.
+    pub fn backend_code(&self) -> u8 {
+        match self {
+            SmcMode::Bloom { .. } => 1,
+            _ => 0,
+        }
+    }
+
+    /// Stable backend family name for reports and metrics.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            SmcMode::Oracle => "oracle",
+            SmcMode::Bloom { .. } => "bloom",
+            _ => "paillier",
+        }
+    }
+
+    /// True when the backend decides pairs by the matching rule itself
+    /// (oracle / Paillier), so every declared SMC match is a true match
+    /// by construction. Approximate backends (Dice over CLK filters) can
+    /// declare false positives and must be scored against the rule.
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, SmcMode::Bloom { .. })
+    }
 }
 
 /// Network model for the wire-level exchange: fault injection rates plus
@@ -267,6 +294,11 @@ pub struct SmcReport {
     pub suppressed_examined: u64,
     /// Of the examined suppressed pairs, how many matched.
     pub suppressed_matched: u64,
+    /// Which comparator backend ran and what it moved (live counters;
+    /// replayed pairs are counted in `pairs_compared` but exchange no
+    /// fresh bytes, so `clk_bits_exchanged`/`dp_flips` tally only work
+    /// performed by *this* incarnation of the session).
+    pub comparator: ComparatorStats,
     /// Crypto cost accounting (all zeros in oracle mode except invocations).
     pub ledger: CostLedger,
     /// Fault-tolerance accounting (all zeros without a faulty channel).
@@ -409,6 +441,22 @@ pub struct WalkedPair {
     pub si: u32,
     /// Batched encoding; `None` for a trivial match.
     pub encoded: Option<EncodedPair>,
+}
+
+/// One step of the CLK pair walk as seen by a data-holder process: the
+/// pair plus this party's own filter for it. Every CLK pair is
+/// non-trivial, so (unlike [`WalkedPair`]) the encoding is never absent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalkedClk {
+    /// Row in R.
+    pub ri: u32,
+    /// Row in S.
+    pub si: u32,
+    /// This party's side of the pair: Alice's filter of the R record, or
+    /// Bob's filter of the S record.
+    pub clk: pprl_bloom::Clk,
+    /// DP flips applied to that filter.
+    pub flips: u32,
 }
 
 /// The querying party's hook into a genuinely distributed deployment:
@@ -761,36 +809,19 @@ impl<'a> SmcRunner<'a> {
         self.session.ledger.merge(costs);
     }
 
-    /// Converts a batched-Paillier session into a *networked* one: the
-    /// key pair stays querier-side (generated from the mode seed exactly
-    /// as the in-process backends generate it), the data holders live
-    /// behind the [`RemoteParty`] hook, and the public-key broadcast is
-    /// delivered through that hook before the first pair. Requires
-    /// [`SmcMode::PaillierBatched`] with no simulated channel — the
-    /// socket *is* the channel.
+    /// Converts a local session into a *networked* one: the data holders
+    /// live behind the [`RemoteParty`] hook, and whatever session setup
+    /// the backend's wire protocol needs (the Paillier public-key
+    /// broadcast; nothing for CLK) is delivered through that hook before
+    /// the first pair. Requires a backend with a wire protocol —
+    /// [`SmcMode::PaillierBatched`] or [`SmcMode::Bloom`] — and no
+    /// simulated channel: the socket *is* the channel.
     pub fn connect_remote(&mut self, party: Box<dyn RemoteParty>) -> Result<(), SmcError> {
-        let (keys, pack) = match &self.comparer.backend {
-            Backend::PaillierBatched(b) => (b.keys.clone(), b.pack),
-            _ => {
-                return Err(SmcError::Internal(
-                    "remote sessions require batched Paillier mode without a simulated channel",
-                ))
-            }
-        };
-        let key_msg = ProtocolMessage::PublicKey {
-            n: keys.public().n().clone(),
-        }
-        .encode()
-        .to_vec();
-        let mut party = party;
-        let next_pair_id = party.resume_pair_watermark();
-        party.broadcast_key(&key_msg, &mut self.session.ledger)?;
-        self.comparer.backend = Backend::Remote(Box::new(RemoteBackend {
-            keys,
-            party,
-            next_pair_id,
-            pack,
-        }));
+        let remote = self
+            .comparer
+            .backend
+            .connect_remote(party, &mut self.session.ledger)?;
+        self.comparer.backend = remote;
         Ok(())
     }
 
@@ -824,6 +855,45 @@ impl<'a> SmcRunner<'a> {
             });
         self.apply_decision(ri, si, PairDecision::NonMatch)?;
         Ok(Some(WalkedPair { ri, si, encoded }))
+    }
+
+    /// [`walk_next_encoded`](Self::walk_next_encoded) without the batched
+    /// Paillier encoding — the data-holder walk of backends whose wire
+    /// messages are derived from the raw records (the CLK exchange, where
+    /// *every* pair is non-trivial and gets exactly one ordinal).
+    pub fn walk_next_pair(&mut self) -> Result<Option<(u32, u32)>, SmcError> {
+        let Some((ri, si)) = self.locate_next_pair()? else {
+            return Ok(None);
+        };
+        self.apply_decision(ri, si, PairDecision::NonMatch)?;
+        Ok(Some((ri, si)))
+    }
+
+    /// [`walk_next_pair`](Self::walk_next_pair) plus this party's own CLK
+    /// for the pair — Alice's side-A filter of the R record or Bob's
+    /// side-B filter of the S record — produced with the exact
+    /// canonicalization and per-`(side, row)` DP noise stream the
+    /// querier's local mirror uses, so a resumed holder re-encodes
+    /// byte-identical wire messages.
+    pub fn walk_next_clk(
+        &mut self,
+        params: &pprl_bloom::ClkParams,
+        side: u8,
+    ) -> Result<Option<WalkedClk>, SmcError> {
+        let Some((ri, si)) = self.walk_next_pair()? else {
+            return Ok(None);
+        };
+        let (data, row) = if side == pprl_bloom::SIDE_A {
+            (self.r_data, ri)
+        } else {
+            (self.s_data, si)
+        };
+        let rec = data
+            .records()
+            .get(row as usize)
+            .ok_or(SmcError::Internal("record index out of range"))?;
+        let (clk, flips) = comparator::clk_encode_side(params, &self.qids, rec, side, row);
+        Ok(Some(WalkedClk { ri, si, clk, flips }))
     }
 
     /// Advances bookkeeping-only phase transitions (leftover pushes, empty
@@ -885,11 +955,7 @@ impl<'a> SmcRunner<'a> {
     /// *between* pairs — a sequential notion a batch cannot honor
     /// mid-flight without changing which pairs get abandoned).
     pub fn parallelizable(&self) -> bool {
-        self.clock.is_unbounded()
-            && !matches!(
-                self.comparer.backend,
-                Backend::Transported(_) | Backend::Remote(_)
-            )
+        self.clock.is_unbounded() && self.comparer.backend.forkable()
     }
 
     /// Enumerates the next (up to) `max` comparable pairs without
@@ -985,7 +1051,7 @@ impl<'a> SmcRunner<'a> {
                     .get(si as usize)
                     .ok_or(SmcError::Internal("S record index out of range"))?;
                 let mut ledger = CostLedger::new();
-                let decision = match c.compare(qids, r, s, &mut ledger)? {
+                let decision = match c.compare(qids, ri, si, r, s, &mut ledger)? {
                     CompareOutcome::Decided(true) => PairDecision::Matched,
                     CompareOutcome::Decided(false) => PairDecision::NonMatch,
                     CompareOutcome::Abandoned => {
@@ -1038,14 +1104,9 @@ impl<'a> SmcRunner<'a> {
         if count == 0 || !self.parallelizable() {
             return false;
         }
-        match &mut self.comparer.backend {
-            Backend::Paillier(b) | Backend::PaillierBatched(b) => {
-                let pool =
-                    pprl_crypto::RandomizerPool::prefill(b.keys.public(), count, threads, seed);
-                b.keys.attach_pool(pool).is_ok()
-            }
-            _ => false,
-        }
+        self.comparer
+            .backend
+            .prefill_randomizers(count, threads, seed)
     }
 
     /// Snapshot of the current state, suitable for serialization and a
@@ -1061,6 +1122,8 @@ impl<'a> SmcRunner<'a> {
     pub fn finish(mut self) -> SmcReport {
         self.sync_degradation();
         self.session.elapsed_ms = self.clock.elapsed_ms();
+        let backend = self.comparer.backend.backend_name();
+        let (clk_bits_exchanged, dp_flips) = self.comparer.backend.wire_counters();
         let mut s = self.session;
         s.ledger.invocations = s.invocations;
         SmcReport {
@@ -1072,6 +1135,12 @@ impl<'a> SmcRunner<'a> {
             suppressed_total: s.suppressed_total,
             suppressed_examined: s.suppressed_examined,
             suppressed_matched: s.suppressed_matched,
+            comparator: ComparatorStats {
+                backend,
+                pairs_compared: s.invocations,
+                clk_bits_exchanged,
+                dp_flips,
+            },
             ledger: s.ledger,
             degradation: s.degradation,
         }
@@ -1100,7 +1169,7 @@ impl<'a> SmcRunner<'a> {
             .get(si as usize)
             .ok_or(SmcError::Internal("S record index out of range"))?;
         self.comparer
-            .compare(&self.qids, r, s, &mut self.session.ledger)
+            .compare(&self.qids, ri, si, r, s, &mut self.session.ledger)
     }
 }
 
@@ -1329,121 +1398,22 @@ fn walk_abandon(
 }
 
 /// How one record-pair comparison ended.
-enum CompareOutcome {
+pub enum CompareOutcome {
     /// The protocol decided: match or non-match.
     Decided(bool),
     /// The transport exhausted its retries; the strategy must decide.
     Abandoned,
 }
 
-/// Pluggable record-pair comparison backend.
+/// The job-level half of the comparison: schema, rule tables, and
+/// normalization factors, plus the pluggable [`Comparator`] backend that
+/// actually probes each pair.
 struct Comparer {
     schema: std::sync::Arc<pprl_data::Schema>,
     rule: MatchingRule,
     /// Per-QID normalization factors (1.0 for categorical attributes).
     norms: Vec<f64>,
-    backend: Backend,
-}
-
-enum Backend {
-    Oracle,
-    Paillier(Box<PaillierBackend>),
-    PaillierBatched(Box<PaillierBackend>),
-    /// Batched protocol over a (possibly faulty) transport with retries.
-    Transported(Box<TransportedBackend>),
-    /// Batched protocol against *out-of-process* data holders: the
-    /// querier decrypts locally, everything else arrives via the
-    /// [`RemoteParty`] hook (real sockets in `pprl-net`).
-    Remote(Box<RemoteBackend>),
-}
-
-/// Querier-side state of a networked session: only the key pair and the
-/// non-trivial-pair counter live here — ciphertext production happens in
-/// the remote holder processes.
-struct RemoteBackend {
-    keys: Keypair,
-    party: Box<dyn RemoteParty>,
-    next_pair_id: u64,
-    /// Whether the holders send slot-packed replies (the fingerprint
-    /// guarantees all three parties agree on this).
-    pack: bool,
-}
-
-struct PaillierBackend {
-    keys: Keypair,
-    rng: StdRng,
-    /// Slot-packed replies (batched mode only; always false per-attribute).
-    pack: bool,
-}
-
-/// The batched protocol run over an explicit simulated network: the key
-/// broadcast and both per-pair messages cross a [`ReliableLink`] over a
-/// [`FaultyTransport`].
-struct TransportedBackend {
-    keys: Keypair,
-    rng: StdRng,
-    link: ReliableLink<FaultyTransport<LocalTransport>>,
-    alice: DataHolder,
-    bob: DataHolder,
-    next_pair_id: u64,
-    /// Slot-packed replies from the simulated Bob.
-    pack: bool,
-}
-
-impl TransportedBackend {
-    fn connect(
-        modulus_bits: usize,
-        seed: u64,
-        pack: bool,
-        channel: ChannelConfig,
-        ledger: &mut CostLedger,
-    ) -> Result<Self, SmcError> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let keys = Keypair::generate(&mut rng, modulus_bits);
-        let transport = FaultyTransport::new(LocalTransport::new(), channel.faults, channel.seed);
-        let mut link = ReliableLink::new(
-            transport,
-            channel.retry,
-            channel.seed ^ 0x9e37_79b9_7f4a_7c15,
-        );
-        let broadcast_policy = RetryPolicy {
-            max_retries: channel.retry.max_retries.max(KEY_BROADCAST_MIN_RETRIES),
-            ..channel.retry
-        };
-        let key_msg = ProtocolMessage::PublicKey {
-            n: keys.public().n().clone(),
-        }
-        .encode()
-        .to_vec();
-        let broadcast = |link: &mut ReliableLink<FaultyTransport<LocalTransport>>,
-                             ledger: &mut CostLedger,
-                             party: PartyId|
-         -> Result<DataHolder, SmcError> {
-            ledger.record_message(key_msg.len());
-            let delivered = link
-                .deliver_with(
-                    broadcast_policy,
-                    PartyId::Querier,
-                    party,
-                    KEY_BROADCAST_PAIR_ID,
-                    key_msg.clone(),
-                    ledger,
-                )
-                .map_err(SmcError::Transport)?;
-            Ok(DataHolder::from_key_message(&delivered)?)
-        };
-        let alice = broadcast(&mut link, ledger, PartyId::Alice)?;
-        let bob = broadcast(&mut link, ledger, PartyId::Bob)?;
-        Ok(TransportedBackend {
-            keys,
-            rng,
-            link,
-            alice,
-            bob,
-            next_pair_id: KEY_BROADCAST_PAIR_ID,
-            pack,
-        })
-    }
+    backend: Box<dyn Comparator>,
 }
 
 impl Comparer {
@@ -1456,45 +1426,7 @@ impl Comparer {
         ledger: &mut CostLedger,
         warm: Option<&Keypair>,
     ) -> Result<Self, SmcError> {
-        // A warm keypair skips the prime search but leaves the backend
-        // RNG freshly seeded instead of post-generation, so encryption
-        // randomness differs from a cold start. Decisions, message sizes,
-        // and therefore the cost ledger are randomness-independent.
-        let fresh = |warm: Option<&Keypair>, modulus_bits: usize, seed: u64, pack: bool| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let keys = match warm {
-                Some(k) => k.clone(),
-                None => Keypair::generate(&mut rng, modulus_bits),
-            };
-            Box::new(PaillierBackend { keys, rng, pack })
-        };
-        let backend = match mode {
-            SmcMode::Oracle => Backend::Oracle,
-            SmcMode::Paillier { modulus_bits, seed }
-            | SmcMode::PaillierBatched {
-                modulus_bits, seed, ..
-            } => {
-                // The integer protocol cannot evaluate edit distance.
-                if rule.distances.contains(&AttrDistance::NormalizedEdit) {
-                    return Err(SmcError::UnsupportedDistance("NormalizedEdit"));
-                }
-                match (mode, channel) {
-                    (SmcMode::PaillierBatched { pack, .. }, Some(ch)) => {
-                        Backend::Transported(Box::new(TransportedBackend::connect(
-                            modulus_bits,
-                            seed,
-                            pack,
-                            ch,
-                            ledger,
-                        )?))
-                    }
-                    (SmcMode::PaillierBatched { pack, .. }, None) => {
-                        Backend::PaillierBatched(fresh(warm, modulus_bits, seed, pack))
-                    }
-                    _ => Backend::Paillier(fresh(warm, modulus_bits, seed, false)),
-                }
-            }
-        };
+        let backend = comparator::build(mode, channel, rule, ledger, warm)?;
         let norms = qids
             .iter()
             .map(|&q| {
@@ -1520,25 +1452,11 @@ impl Comparer {
     /// original's state mixed with the worker index, so workers draw
     /// distinct encryption randomness. Protocol *decisions* are
     /// randomness-independent, so the labels still equal the sequential
-    /// run's. `None` for the transported backend: a reliable link's
-    /// frame sequencing is inherently serial.
+    /// run's. `None` for backends that refuse to fork (a reliable link's
+    /// frame sequencing is inherently serial; live wire counters would
+    /// lose their tallies).
     fn duplicate(&self, worker: u64) -> Option<Comparer> {
-        let fork = |b: &PaillierBackend| {
-            let mut probe = b.rng.clone();
-            let base = probe.next_u64();
-            let mix = worker.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
-            Box::new(PaillierBackend {
-                keys: b.keys.clone(),
-                rng: StdRng::seed_from_u64(base ^ mix),
-                pack: b.pack,
-            })
-        };
-        let backend = match &self.backend {
-            Backend::Oracle => Backend::Oracle,
-            Backend::Paillier(b) => Backend::Paillier(fork(b)),
-            Backend::PaillierBatched(b) => Backend::PaillierBatched(fork(b)),
-            Backend::Transported(_) | Backend::Remote(_) => return None,
-        };
+        let backend = self.backend.fork(worker)?;
         Some(Comparer {
             schema: std::sync::Arc::clone(&self.schema),
             rule: self.rule.clone(),
@@ -1549,195 +1467,30 @@ impl Comparer {
 
     /// Injected-fault tally since the last harvest (`None` off-transport).
     fn take_fault_stats(&mut self) -> Option<FaultStats> {
-        match &mut self.backend {
-            Backend::Transported(b) => Some(b.link.transport_mut().take_stats()),
-            _ => None,
-        }
+        self.backend.take_fault_stats()
     }
 
     /// Virtual backoff accumulated since the last harvest.
     fn take_virtual_backoff_ms(&mut self) -> u64 {
-        match &mut self.backend {
-            Backend::Transported(b) => b.link.take_virtual_elapsed_ms(),
-            _ => 0,
-        }
+        self.backend.take_virtual_backoff_ms()
     }
 
     fn compare(
         &mut self,
         qids: &[usize],
+        ri: u32,
+        si: u32,
         r: &pprl_data::Record,
         s: &pprl_data::Record,
         ledger: &mut CostLedger,
     ) -> Result<CompareOutcome, SmcError> {
-        match &mut self.backend {
-            // Same predicate the protocol evaluates; free of crypto.
-            Backend::Oracle => Ok(CompareOutcome::Decided(records_match(
-                &self.schema,
-                qids,
-                &self.rule,
-                r,
-                s,
-            ))),
-            Backend::Paillier(backend) => {
-                let PaillierBackend { keys, rng, .. } = backend.as_mut();
-                for (pos, &q) in qids.iter().enumerate() {
-                    let (a, b, t) =
-                        encode_attribute(&self.rule, pos, r.value(q), s.value(q), &self.norms)?;
-                    if t == u64::MAX {
-                        continue; // θ ≥ 1: attribute can never fail
-                    }
-                    let ok = secure_threshold_match(
-                        keys.public(),
-                        keys.private(),
-                        a,
-                        b,
-                        t,
-                        rng,
-                        ledger,
-                    )?;
-                    if !ok {
-                        return Ok(CompareOutcome::Decided(false));
-                    }
-                }
-                Ok(CompareOutcome::Decided(true))
-            }
-            Backend::PaillierBatched(backend) => {
-                let PaillierBackend { keys, rng, pack } = backend.as_mut();
-                let pack = *pack;
-                let Some((a_vals, b_vals, thresholds)) =
-                    batch_encode(&self.rule, qids, r, s, &self.norms)?
-                else {
-                    return Ok(CompareOutcome::Decided(true));
-                };
-                use pprl_crypto::protocol::pack::{
-                    bob_record_message_packed, querier_reveal_record_packed,
-                    validate_packable_values,
-                };
-                use pprl_crypto::protocol::record::{
-                    alice_record_message, bob_record_message, querier_reveal_record,
-                };
-                if pack {
-                    // Alice's own-value bound check (Bob cannot verify it).
-                    validate_packable_values(&a_vals)?;
-                }
-                let m_alice = alice_record_message(keys.public(), &a_vals, rng, ledger)?;
-                let decided = if pack {
-                    let m_bob = bob_record_message_packed(
-                        keys.public(),
-                        &m_alice,
-                        &b_vals,
-                        &thresholds,
-                        rng,
-                        ledger,
-                    )?;
-                    querier_reveal_record_packed(keys.private(), &m_bob, ledger)?
-                } else {
-                    let m_bob = bob_record_message(
-                        keys.public(),
-                        &m_alice,
-                        &b_vals,
-                        &thresholds,
-                        rng,
-                        ledger,
-                    )?;
-                    querier_reveal_record(keys.private(), &m_bob, ledger)?
-                };
-                Ok(CompareOutcome::Decided(decided))
-            }
-            Backend::Transported(backend) => {
-                let b = backend.as_mut();
-                let Some((a_vals, b_vals, thresholds)) =
-                    batch_encode(&self.rule, qids, r, s, &self.norms)?
-                else {
-                    return Ok(CompareOutcome::Decided(true));
-                };
-                use pprl_crypto::protocol::pack::{
-                    bob_record_message_packed, querier_reveal_record_packed,
-                    validate_packable_values,
-                };
-                use pprl_crypto::protocol::record::{
-                    alice_record_message, bob_record_message, querier_reveal_record,
-                };
-                if b.pack {
-                    validate_packable_values(&a_vals)?;
-                }
-                b.next_pair_id += 1;
-                let pair_id = b.next_pair_id;
-                let m_alice =
-                    alice_record_message(b.alice.public_key(), &a_vals, &mut b.rng, ledger)?;
-                let delivered = match b
-                    .link
-                    .deliver(PartyId::Alice, PartyId::Bob, pair_id, m_alice, ledger)
-                {
-                    Ok(bytes) => bytes,
-                    Err(TransportError::RetriesExhausted { .. }) => {
-                        return Ok(CompareOutcome::Abandoned)
-                    }
-                };
-                // The envelope checksum guarantees the payload arrived
-                // intact, so a decode failure here is a real protocol bug —
-                // propagate it rather than degrade.
-                let m_bob = if b.pack {
-                    bob_record_message_packed(
-                        b.bob.public_key(),
-                        &delivered,
-                        &b_vals,
-                        &thresholds,
-                        &mut b.rng,
-                        ledger,
-                    )?
-                } else {
-                    bob_record_message(
-                        b.bob.public_key(),
-                        &delivered,
-                        &b_vals,
-                        &thresholds,
-                        &mut b.rng,
-                        ledger,
-                    )?
-                };
-                let delivered = match b
-                    .link
-                    .deliver(PartyId::Bob, PartyId::Querier, pair_id, m_bob, ledger)
-                {
-                    Ok(bytes) => bytes,
-                    Err(TransportError::RetriesExhausted { .. }) => {
-                        return Ok(CompareOutcome::Abandoned)
-                    }
-                };
-                let decided = if b.pack {
-                    querier_reveal_record_packed(b.keys.private(), &delivered, ledger)?
-                } else {
-                    querier_reveal_record(b.keys.private(), &delivered, ledger)?
-                };
-                Ok(CompareOutcome::Decided(decided))
-            }
-            Backend::Remote(backend) => {
-                let b = backend.as_mut();
-                // The holders replicate this same deterministic walk and
-                // encoding; a trivial pair is decided locally on every
-                // side without a single byte crossing the wire.
-                if batch_encode(&self.rule, qids, r, s, &self.norms)?.is_none() {
-                    return Ok(CompareOutcome::Decided(true));
-                }
-                use pprl_crypto::protocol::pack::querier_reveal_record_packed;
-                use pprl_crypto::protocol::record::querier_reveal_record;
-                b.next_pair_id += 1;
-                let pair_id = b.next_pair_id;
-                match b.party.bob_message(pair_id, ledger)? {
-                    None => Ok(CompareOutcome::Abandoned),
-                    Some(m_bob) => {
-                        let decided = if b.pack {
-                            querier_reveal_record_packed(b.keys.private(), &m_bob, ledger)?
-                        } else {
-                            querier_reveal_record(b.keys.private(), &m_bob, ledger)?
-                        };
-                        Ok(CompareOutcome::Decided(decided))
-                    }
-                }
-            }
-        }
+        let ctx = CompareCtx {
+            schema: self.schema.as_ref(),
+            rule: &self.rule,
+            norms: &self.norms,
+            qids,
+        };
+        self.backend.compare(&ctx, ri, si, r, s, ledger)
     }
 }
 
@@ -1747,7 +1500,7 @@ type BatchEncoding = (Vec<u64>, Vec<u64>, Vec<u64>);
 
 /// Encodes every decidable attribute of a record pair for the batched
 /// protocol; `Ok(None)` when no attribute can fail (trivial match).
-fn batch_encode(
+pub(crate) fn batch_encode(
     rule: &MatchingRule,
     qids: &[usize],
     r: &pprl_data::Record,
@@ -1779,7 +1532,7 @@ fn batch_encode(
 /// fail (θ ≥ 1 under Hamming). Edit distance is rejected at construction,
 /// so seeing it here means the rule tables are inconsistent with the
 /// session — an internal error, not a panic.
-fn encode_attribute(
+pub(crate) fn encode_attribute(
     rule: &MatchingRule,
     pos: usize,
     rv: Value,
@@ -1821,7 +1574,7 @@ fn encode_attribute(
 mod tests {
     use super::*;
     use pprl_anon::{AnonymizationMethod, Anonymizer, KAnonymityRequirement};
-    use pprl_blocking::BlockingEngine;
+    use pprl_blocking::{records_match, BlockingEngine};
     use pprl_data::synth::{generate, SynthConfig};
 
     const QIDS: [usize; 5] = [0, 1, 2, 3, 4];

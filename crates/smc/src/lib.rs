@@ -30,6 +30,7 @@
 
 mod allowance;
 pub mod codec;
+pub mod comparator;
 mod deadline;
 pub mod executor;
 pub mod expected;
@@ -38,11 +39,12 @@ mod strategy;
 
 pub use allowance::SmcAllowance;
 pub use codec::{decode_session, encode_session};
+pub use comparator::{clk_encode_side, clk_record_fields, CompareCtx, Comparator, ComparatorStats};
 pub use deadline::DeadlineBudget;
 pub use executor::{
-    AbandonReason, AbandonTally, ChannelConfig, DegradationReport, EncodedPair, ExaminedStats,
-    LeftoverPair, PairDecision, PairEvent, RemoteParty, SessionPhase, SmcMode, SmcReport,
-    SmcRunner, SmcSession, SmcStep, WalkedPair,
+    AbandonReason, AbandonTally, ChannelConfig, CompareOutcome, DegradationReport, EncodedPair,
+    ExaminedStats, LeftoverPair, PairDecision, PairEvent, RemoteParty, SessionPhase, SmcMode,
+    SmcReport, SmcRunner, SmcSession, SmcStep, WalkedClk, WalkedPair,
 };
 pub use heuristics::{order_unknown, SelectionHeuristic};
 pub use strategy::{label_leftovers, LabelingStrategy};
